@@ -1,0 +1,37 @@
+//! E-5.2 timing: the Appendix E biconnectivity scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpls_core::{engine, CompiledRpls, Configuration, Pls, Rpls};
+use rpls_graph::generators;
+use rpls_schemes::biconnectivity::BiconnectivityPls;
+use std::hint::black_box;
+
+fn bench_biconnectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("biconnectivity");
+    group.sample_size(20);
+    for n in [32usize, 128, 512] {
+        let config = Configuration::plain(generators::wheel(n));
+        group.bench_with_input(BenchmarkId::new("prover", n), &n, |b, _| {
+            b.iter(|| black_box(BiconnectivityPls.label(black_box(&config))));
+        });
+        let labeling = BiconnectivityPls.label(&config);
+        group.bench_with_input(BenchmarkId::new("det_round", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(engine::run_deterministic(
+                    &BiconnectivityPls,
+                    &config,
+                    &labeling,
+                ))
+            });
+        });
+        let compiled = CompiledRpls::new(BiconnectivityPls);
+        let clabels = compiled.label(&config);
+        group.bench_with_input(BenchmarkId::new("compiled_round", n), &n, |b, _| {
+            b.iter(|| black_box(engine::run_randomized(&compiled, &config, &clabels, 1)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_biconnectivity);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E-B timing: boosted verification rounds (footnote 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpls_bits::BitString;
+use rpls_core::{stats, CompiledRpls, Configuration, Rpls};
+use rpls_graph::generators;
+use rpls_schemes::uniformity::{uniform_config, UniformityPls};
+use std::hint::black_box;
+
+fn bench_boosting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boosting");
+    group.sample_size(10);
+    let base = Configuration::plain(generators::cycle(8));
+    let payload = BitString::from_bools((0..512).map(|i| i % 5 == 0));
+    let config = uniform_config(&base, &payload);
+    let scheme = CompiledRpls::new(UniformityPls);
+    let labeling = scheme.label(&config);
+    for reps in [1usize, 7, 31] {
+        group.bench_with_input(BenchmarkId::new("boosted_verify", reps), &reps, |b, &r| {
+            b.iter(|| {
+                black_box(stats::boosted_accepts(
+                    &scheme,
+                    black_box(&config),
+                    &labeling,
+                    r,
+                    9,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_boosting);
+criterion_main!(benches);

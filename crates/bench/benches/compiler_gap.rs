@@ -1,0 +1,62 @@
+//! E-3.1 timing: one full verification round, deterministic label exchange
+//! vs the compiled randomized scheme.
+//!
+//! The compiled scheme trades label-size communication for fingerprint
+//! computation; this bench quantifies that trade per round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpls_core::scheme::ExchangeLabels;
+use rpls_core::{engine, CompiledRpls, Configuration, Rpls};
+use rpls_graph::{generators, NodeId};
+use rpls_schemes::spanning_tree::{spanning_tree_config, SpanningTreePls};
+use std::hint::black_box;
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler_gap");
+    group.sample_size(20);
+    for n in [32usize, 128, 512] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = Configuration::plain(generators::gnp_connected(n, 0.05, &mut rng));
+        let config = spanning_tree_config(&base, NodeId::new(0));
+
+        let exchange = ExchangeLabels::new(SpanningTreePls);
+        let labeling = exchange.label(&config);
+        group.bench_with_input(
+            BenchmarkId::new("exchange_labels_round", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    black_box(engine::run_randomized(
+                        &exchange,
+                        black_box(&config),
+                        &labeling,
+                        3,
+                    ))
+                });
+            },
+        );
+
+        let compiled = CompiledRpls::new(SpanningTreePls);
+        let labeling = compiled.label(&config);
+        group.bench_with_input(
+            BenchmarkId::new("compiled_round", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    black_box(engine::run_randomized(
+                        &compiled,
+                        black_box(&config),
+                        &labeling,
+                        3,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

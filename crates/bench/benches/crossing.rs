@@ -1,0 +1,40 @@
+//! E-4.3 / E-4.8 timing: the crossing operator, the pigeonhole search and
+//! the support-collision search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpls_core::{CompiledRpls, Pls, Rpls};
+use rpls_crossing::det_attack::det_crossing_attack;
+use rpls_crossing::onesided_attack::find_support_collision;
+use rpls_crossing::{families, ModDistancePls};
+use rpls_graph::crossing::cross_copies;
+use std::hint::black_box;
+
+fn bench_crossing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossing");
+    group.sample_size(10);
+    for n in [60usize, 300] {
+        let f = families::acyclicity_path(n);
+        group.bench_with_input(BenchmarkId::new("cross_op", n), &n, |b, _| {
+            b.iter(|| black_box(cross_copies(f.config.graph(), &f.copies, 0, 1).unwrap()));
+        });
+        let scheme = ModDistancePls::new(2);
+        let labeling = scheme.label(&f.config);
+        group.bench_with_input(BenchmarkId::new("det_attack", n), &n, |b, _| {
+            b.iter(|| black_box(det_crossing_attack(&f, &labeling)));
+        });
+    }
+    {
+        let f = families::acyclicity_path(39);
+        let scheme = CompiledRpls::new(ModDistancePls::new(1));
+        let labeling = scheme.label(&f.config);
+        group.bench_function("support_collision_search", |b| {
+            b.iter(|| {
+                black_box(find_support_collision(&scheme, &f, &labeling, 200, 3))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossing);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E-5.3 – E-5.6 timing: cycle-length schemes and their crossings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpls_bits::BitString;
+use rpls_core::{engine, Configuration, Labeling, Pls};
+use rpls_crossing::det_attack::det_crossing_attack;
+use rpls_crossing::families;
+use rpls_crossing::iterated::iterated_crossing;
+use rpls_graph::{generators, NodeId};
+use rpls_schemes::cycle_at_least::CycleAtLeastPls;
+use std::hint::black_box;
+
+fn bench_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycles");
+    group.sample_size(10);
+    // Prover includes an exact longest-cycle search; keep sizes moderate.
+    for n in [12usize, 24] {
+        let config = Configuration::plain(generators::cycle(n));
+        let scheme = CycleAtLeastPls::new(n);
+        group.bench_with_input(BenchmarkId::new("prover_cycle", n), &n, |b, _| {
+            b.iter(|| black_box(scheme.label(black_box(&config))));
+        });
+        let labeling = scheme.label(&config);
+        group.bench_with_input(BenchmarkId::new("det_round", n), &n, |b, _| {
+            b.iter(|| black_box(engine::run_deterministic(&scheme, &config, &labeling)));
+        });
+    }
+    // Theorem 5.4 and 5.6 attacks.
+    {
+        let f = families::wheel_cycle(24, 18);
+        let cheap = Labeling::new(vec![BitString::zeros(1); 24]);
+        group.bench_function("wheel_cycle_attack", |b| {
+            b.iter(|| black_box(det_crossing_attack(&f, &cheap)));
+        });
+    }
+    {
+        let f = families::chain_of_cycles(6, 6);
+        let cheap = Labeling::new(vec![BitString::zeros(1); 36]);
+        group.bench_function("chain_attack", |b| {
+            b.iter(|| black_box(det_crossing_attack(&f, &cheap)));
+        });
+    }
+    // Theorem 5.5 iterated crossing.
+    {
+        let n = 24;
+        let config = Configuration::plain(generators::wheel(n));
+        let labeling = Labeling::new(vec![BitString::zeros(1); n]);
+        let edges: Vec<(NodeId, NodeId)> = (1..=(n / 3 - 1))
+            .map(|i| (NodeId::new(3 * i), NodeId::new(3 * i + 1)))
+            .collect();
+        group.bench_function("iterated_crossing", |b| {
+            b.iter(|| black_box(iterated_crossing(&config, &labeling, &edges, n / 3)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycles);
+criterion_main!(benches);

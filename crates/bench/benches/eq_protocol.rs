@@ -1,0 +1,36 @@
+//! E-A1 timing: the equality protocol at growing input lengths.
+//!
+//! The paper's claim is about *bits*, not time, but the time profile shows
+//! the practical cost of fingerprinting: Horner evaluation is linear in λ
+//! while the message stays logarithmic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rpls_bits::BitString;
+use rpls_fingerprint::EqProtocol;
+use std::hint::black_box;
+
+fn bench_eq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq_protocol");
+    group.sample_size(20);
+    for lambda in [64usize, 1024, 16384] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = BitString::from_bools((0..lambda).map(|_| rng.random_bool(0.5)));
+        let proto = EqProtocol::for_length(lambda);
+        group.bench_with_input(
+            BenchmarkId::new("alice_and_bob", lambda),
+            &lambda,
+            |b, _| {
+                b.iter(|| {
+                    let msg = proto.alice_message(black_box(&a), &mut rng);
+                    black_box(proto.bob_accepts(&a, &msg))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eq);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E-F timing: the k-flow scheme — flow decomposition in the prover and
+//! conservation checking in the verifier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpls_core::{engine, CompiledRpls, Configuration, Pls, Rpls};
+use rpls_graph::generators;
+use rpls_schemes::flow::{FlowPls, FlowPredicate};
+use std::hint::black_box;
+
+fn bench_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow");
+    group.sample_size(20);
+    for k in [4usize, 16] {
+        let config = Configuration::plain(generators::complete(k + 1));
+        let scheme = FlowPls::new(FlowPredicate::new(0, k as u64, k));
+        group.bench_with_input(BenchmarkId::new("prover", k), &k, |b, _| {
+            b.iter(|| black_box(scheme.label(black_box(&config))));
+        });
+        let labeling = scheme.label(&config);
+        group.bench_with_input(BenchmarkId::new("det_round", k), &k, |b, _| {
+            b.iter(|| black_box(engine::run_deterministic(&scheme, &config, &labeling)));
+        });
+        let compiled = CompiledRpls::new(FlowPls::new(FlowPredicate::new(0, k as u64, k)));
+        let clabels = compiled.label(&config);
+        group.bench_with_input(BenchmarkId::new("compiled_round", k), &k, |b, _| {
+            b.iter(|| black_box(engine::run_randomized(&compiled, &config, &clabels, 2)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E-5.1 timing: MST proof labeling — prover (Borůvka hierarchy), one
+//! deterministic round, one compiled randomized round — plus the label
+//! layout ablation called out in DESIGN.md (hierarchy labels vs shipping
+//! the whole tree in every label, which is what the universal scheme does).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpls_core::scheme::FnPredicate;
+use rpls_core::universal::UniversalPls;
+use rpls_core::{engine, CompiledRpls, Configuration, Pls, Predicate, Rpls};
+use rpls_graph::generators;
+use rpls_schemes::mst::{mst_config, MstPls, MstPredicate};
+use std::hint::black_box;
+
+fn workload(n: usize, seed: u64) -> Configuration {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::gnp_connected(n, (4.0 / n as f64).min(0.5), &mut rng);
+    let w = generators::random_weights(&g, (n * n) as u64, &mut rng);
+    mst_config(&Configuration::plain(g.with_weights(&w)))
+}
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst");
+    group.sample_size(10);
+    for n in [32usize, 128] {
+        let config = workload(n, 5);
+        group.bench_with_input(BenchmarkId::new("prover", n), &n, |b, _| {
+            b.iter(|| black_box(MstPls.label(black_box(&config))));
+        });
+        let labeling = MstPls.label(&config);
+        group.bench_with_input(BenchmarkId::new("det_round", n), &n, |b, _| {
+            b.iter(|| black_box(engine::run_deterministic(&MstPls, &config, &labeling)));
+        });
+        let compiled = CompiledRpls::new(MstPls);
+        let clabels = compiled.label(&config);
+        group.bench_with_input(BenchmarkId::new("compiled_round", n), &n, |b, _| {
+            b.iter(|| black_box(engine::run_randomized(&compiled, &config, &clabels, 1)));
+        });
+    }
+    // Ablation: hierarchy labels vs whole-configuration labels.
+    {
+        let config = workload(32, 5);
+        let hierarchy_bits = MstPls.label(&config).max_bits();
+        let universal = UniversalPls::new(FnPredicate::new("mst", {
+            move |c: &Configuration| MstPredicate::new().holds(c)
+        }));
+        let universal_bits = universal.label(&config).max_bits();
+        eprintln!(
+            "[ablation] n=32 MST labels: hierarchy {hierarchy_bits} bits vs whole-config {universal_bits} bits"
+        );
+        group.bench_function("universal_mst_prover_n32", |b| {
+            b.iter(|| black_box(universal.label(black_box(&config))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mst);
+criterion_main!(benches);

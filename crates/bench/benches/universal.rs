@@ -1,0 +1,42 @@
+//! E-3.3 / E-3.4 timing: the universal scheme — configuration encoding,
+//! prover labeling and one randomized round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpls_core::scheme::FnPredicate;
+use rpls_core::universal::{encode_configuration, universal_rpls};
+use rpls_core::{engine, Configuration, Rpls};
+use rpls_graph::{connectivity, generators};
+use std::hint::black_box;
+
+fn connected() -> FnPredicate<impl Fn(&Configuration) -> bool> {
+    FnPredicate::new("connected", |c: &Configuration| {
+        connectivity::is_connected(c.graph())
+    })
+}
+
+fn bench_universal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universal");
+    group.sample_size(10);
+    for n in [16usize, 64, 128] {
+        let config = Configuration::plain(generators::cycle(n));
+        group.bench_with_input(BenchmarkId::new("encode", n), &n, |b, _| {
+            b.iter(|| black_box(encode_configuration(black_box(&config))));
+        });
+        let scheme = universal_rpls(connected());
+        let labeling = scheme.label(&config);
+        group.bench_with_input(BenchmarkId::new("round", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(engine::run_randomized(
+                    &scheme,
+                    black_box(&config),
+                    &labeling,
+                    1,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_universal);
+criterion_main!(benches);

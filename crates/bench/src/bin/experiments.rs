@@ -1,0 +1,41 @@
+//! The experiment runner: regenerates every theorem/figure table.
+//!
+//! ```text
+//! cargo run -p rpls-bench --release --bin experiments            # all
+//! cargo run -p rpls-bench --release --bin experiments -- e31 f2  # a subset
+//! cargo run -p rpls-bench --release --bin experiments -- --markdown
+//! ```
+
+use rpls_bench::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let experiments = all_experiments();
+    if wanted.iter().any(|w| w.as_str() == "list") {
+        for (id, desc, _) in &experiments {
+            println!("{id:6} {desc}");
+        }
+        return;
+    }
+    let mut ran = 0usize;
+    for (id, desc, gen) in &experiments {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w.as_str() == *id) {
+            continue;
+        }
+        eprintln!("[{id}] {desc} ...");
+        let table = gen();
+        if markdown {
+            println!("{}", table.to_markdown());
+        } else {
+            println!("{table}");
+        }
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched; use `experiments list` to see ids");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,169 @@
+//! The paper's figures regenerated as explicit edge lists.
+
+use crate::table::{fmt_b, Table};
+use rpls_core::Configuration;
+use rpls_crossing::families;
+use rpls_graph::crossing::cross_copies;
+use rpls_graph::{connectivity, cycles, generators, isomorphism, Graph};
+
+fn edge_list_string(g: &Graph) -> String {
+    g.sorted_edge_list()
+        .iter()
+        .map(|(u, v)| format!("{{{u},{v}}}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// F-1 — Figure 1: crossing two edges under σ, shown on a 12-node path
+/// with `H₁ = {u3, u4}`, `H₂ = {u6, u7}`.
+#[must_use]
+pub fn f1_crossing_figure() -> Table {
+    let mut t = Table::new(
+        "F-1  crossing two edges under sigma (Figure 1)",
+        &["configuration", "edges"],
+    );
+    let f = families::acyclicity_path(12);
+    t.push_row(vec![
+        "G (path)".into(),
+        edge_list_string(f.config.graph()),
+    ]);
+    let crossed = cross_copies(f.config.graph(), &f.copies, 0, 1).expect("crossable");
+    t.push_row(vec!["sigma><(G)".into(), edge_list_string(&crossed)]);
+    t.push_note("{3,4} and {6,7} became {3,7} and {4,6}: degrees and ports unchanged");
+    t
+}
+
+/// F-2 — Figure 2: the wheel (a) and its crossed version (b) where `v0`
+/// becomes an articulation point.
+#[must_use]
+pub fn f2_wheel_figure() -> Table {
+    let mut t = Table::new(
+        "F-2  the wheel and its crossing (Figure 2)",
+        &["configuration", "biconnected", "edges"],
+    );
+    let f = families::wheel(13);
+    t.push_row(vec![
+        "G (cycle + chords from v0)".into(),
+        fmt_b(connectivity::is_biconnected(f.config.graph())),
+        edge_list_string(f.config.graph()),
+    ]);
+    let crossed = cross_copies(f.config.graph(), &f.copies, 0, 2).expect("crossable");
+    t.push_row(vec![
+        "sigma_ij><(G)".into(),
+        fmt_b(connectivity::is_biconnected(&crossed)),
+        edge_list_string(&crossed),
+    ]);
+    t.push_note("after the crossing, v0 is an articulation point (Figure 2(b))");
+    t
+}
+
+/// F-3/F-4 — Figures 3 and 4: the gadgets `G(z)` and `G(z, z')`, plus the
+/// exhaustive Claim C.2 check for small λ.
+#[must_use]
+pub fn f34_gadget_figure() -> Table {
+    let mut t = Table::new(
+        "F-3/F-4  symmetry gadgets G(z) and G(z, z') (Figures 3-4)",
+        &["graph", "nodes", "symmetric", "edges"],
+    );
+    let z = [true, false, false, true, true]; // "10011" as in Figure 3
+    let g = generators::symmetry_gadget(&z);
+    t.push_row(vec![
+        "G(10011)".into(),
+        g.node_count().to_string(),
+        "-".into(),
+        edge_list_string(&g),
+    ]);
+    let same = generators::symmetry_pair(&z, &z);
+    t.push_row(vec![
+        "G(10011, 10011)".into(),
+        same.node_count().to_string(),
+        fmt_b(isomorphism::is_symmetric(&same)),
+        edge_list_string(&same),
+    ]);
+    let mut z2 = z;
+    z2[0] = false;
+    let diff = generators::symmetry_pair(&z, &z2);
+    t.push_row(vec![
+        "G(10011, 00011)".into(),
+        diff.node_count().to_string(),
+        fmt_b(isomorphism::is_symmetric(&diff)),
+        edge_list_string(&diff),
+    ]);
+    // Claim C.2, exhaustively for lambda = 3.
+    let mut claim_holds = true;
+    for a in 0u8..8 {
+        for b in 0u8..8 {
+            let za: Vec<bool> = (0..3).map(|i| a >> i & 1 == 1).collect();
+            let zb: Vec<bool> = (0..3).map(|i| b >> i & 1 == 1).collect();
+            let sym = isomorphism::is_symmetric(&generators::symmetry_pair(&za, &zb));
+            if sym != (a == b) {
+                claim_holds = false;
+            }
+        }
+    }
+    t.push_note(format!(
+        "Claim C.2 checked exhaustively for lambda=3: {}",
+        if claim_holds { "holds" } else { "VIOLATED" }
+    ));
+    t
+}
+
+/// F-5 — Figure 5: the chain of cycles and its crossed version with the
+/// merged long cycle.
+#[must_use]
+pub fn f5_chain_figure() -> Table {
+    let mut t = Table::new(
+        "F-5  chain of cycles and its crossing (Figure 5)",
+        &["configuration", "longest cycle", "edges"],
+    );
+    let f = families::chain_of_cycles(3, 8);
+    let _ = Configuration::plain(generators::chain_of_cycles(3, 8));
+    t.push_row(vec![
+        "G (3 cycles of 8)".into(),
+        cycles::longest_cycle(f.config.graph())
+            .map_or("-".into(), |l| l.to_string()),
+        edge_list_string(f.config.graph()),
+    ]);
+    let crossed = cross_copies(f.config.graph(), &f.copies, 0, 1).expect("crossable");
+    t.push_row(vec![
+        "sigma><(G)".into(),
+        cycles::longest_cycle(&crossed).map_or("-".into(), |l| l.to_string()),
+        edge_list_string(&crossed),
+    ]);
+    t.push_note("two 8-cycles merged into one 16-cycle (Figure 5(b))");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_shows_both_graphs() {
+        let t = f1_crossing_figure();
+        assert_eq!(t.row_count(), 2);
+        assert!(t.rows()[1][1].contains("{3,7}"));
+        assert!(t.rows()[1][1].contains("{4,6}"));
+    }
+
+    #[test]
+    fn f2_biconnectivity_flips() {
+        let t = f2_wheel_figure();
+        assert_eq!(t.rows()[0][1], "yes");
+        assert_eq!(t.rows()[1][1], "no");
+    }
+
+    #[test]
+    fn f34_symmetry_matches_string_equality() {
+        let t = f34_gadget_figure();
+        assert_eq!(t.rows()[1][2], "yes");
+        assert_eq!(t.rows()[2][2], "no");
+    }
+
+    #[test]
+    fn f5_cycle_doubles() {
+        let t = f5_chain_figure();
+        assert_eq!(t.rows()[0][1], "8");
+        assert_eq!(t.rows()[1][1], "16");
+    }
+}

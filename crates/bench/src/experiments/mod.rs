@@ -1,0 +1,16 @@
+//! The experiment implementations, grouped by paper section.
+
+mod figures;
+mod section3;
+mod section4;
+mod section5;
+
+pub use figures::{f1_crossing_figure, f2_wheel_figure, f34_gadget_figure, f5_chain_figure};
+pub use section3::{
+    e31_compiler_gap, e33_universal_pls, e34_universal_rpls, e35_lower_bound, ea1_eq_protocol,
+};
+pub use section4::{e43_det_crossing, e46_rounded_crossing, e48_onesided_crossing};
+pub use section5::{
+    e51_mst, e52_biconnectivity, e53_cycle_at_least, e54_cycle_lower, e55_iterated, e56_chain,
+    eb_boosting, ef_flow, ev_vertex_connectivity,
+};

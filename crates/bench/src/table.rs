@@ -1,0 +1,151 @@
+//! Plain-text result tables for the experiment harness.
+
+use std::fmt;
+
+/// A titled table of measurement rows, printable as aligned text or
+/// markdown.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the cell count must match the header count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cell-count mismatch.
+    pub fn push_row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a free-text note rendered under the table.
+    pub fn push_note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Access to the raw rows (used by tests asserting on shapes).
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n> {note}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut parts = Vec::with_capacity(cells.len());
+            for (w, cell) in widths.iter().zip(cells) {
+                parts.push(format!("{cell:w$}"));
+            }
+            writeln!(f, "  {}", parts.join("  "))
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "  {}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with three significant decimals for table cells.
+#[must_use]
+pub fn fmt_f(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a boolean as yes/no.
+#[must_use]
+pub fn fmt_b(b: bool) -> String {
+    if b { "yes".into() } else { "no".into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_text_and_markdown() {
+        let mut t = Table::new("demo", &["n", "bits"]);
+        t.push_row(vec!["8".into(), "12".into()]);
+        t.push_note("a note");
+        let text = t.to_string();
+        assert!(text.contains("demo") && text.contains("12") && text.contains("a note"));
+        let md = t.to_markdown();
+        assert!(md.contains("| n | bits |") && md.contains("| 8 | 12 |"));
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f(0.33333), "0.333");
+        assert_eq!(fmt_b(true), "yes");
+        assert_eq!(fmt_b(false), "no");
+    }
+}

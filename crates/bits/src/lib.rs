@@ -1,0 +1,166 @@
+//! Bit-exact strings for proof-labeling schemes.
+//!
+//! The complexity measure of a proof-labeling scheme is the *size in bits* of
+//! the labels (deterministic schemes) or of the randomized certificates
+//! (randomized schemes). Rounding everything to whole bytes would distort the
+//! very quantity the paper studies — Θ(log n) vs Θ(log log n) gaps live in a
+//! handful of bits at practical sizes — so this crate provides a [`BitString`]
+//! that tracks its length exactly, plus [`BitWriter`]/[`BitReader`] cursors
+//! for packing and unpacking fixed-width fields.
+//!
+//! # Examples
+//!
+//! ```
+//! use rpls_bits::{BitString, BitWriter, BitReader};
+//!
+//! let mut w = BitWriter::new();
+//! w.write_u64(5, 7);          // value 5 in 7 bits
+//! w.write_bool(true);
+//! let bits: BitString = w.finish();
+//! assert_eq!(bits.len(), 8);
+//!
+//! let mut r = BitReader::new(&bits);
+//! assert_eq!(r.read_u64(7).unwrap(), 5);
+//! assert_eq!(r.read_bool().unwrap(), true);
+//! assert!(r.is_exhausted());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod reader;
+mod string;
+mod writer;
+
+pub use reader::BitReader;
+pub use string::BitString;
+pub use writer::BitWriter;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`BitReader`] runs past the end of its input or a
+/// fixed-width field cannot hold the requested value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitsError {
+    /// A read requested more bits than remain in the input.
+    OutOfInput {
+        /// Bits requested by the failing read.
+        requested: usize,
+        /// Bits that were still available.
+        available: usize,
+    },
+    /// A value does not fit in the requested field width.
+    ValueTooWide {
+        /// The value that failed to fit.
+        value: u64,
+        /// The field width in bits.
+        width: u32,
+    },
+    /// A field width outside `1..=64` was requested for an integer.
+    InvalidWidth(u32),
+}
+
+impl fmt::Display for BitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitsError::OutOfInput {
+                requested,
+                available,
+            } => write!(
+                f,
+                "read of {requested} bits exceeds remaining input of {available} bits"
+            ),
+            BitsError::ValueTooWide { value, width } => {
+                write!(f, "value {value} does not fit in {width} bits")
+            }
+            BitsError::InvalidWidth(w) => write!(f, "invalid integer field width {w}"),
+        }
+    }
+}
+
+impl Error for BitsError {}
+
+/// Number of bits needed to represent `value` (at least 1, so that the value
+/// 0 still occupies one bit when stored).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(rpls_bits::bits_for(0), 1);
+/// assert_eq!(rpls_bits::bits_for(1), 1);
+/// assert_eq!(rpls_bits::bits_for(5), 3);
+/// assert_eq!(rpls_bits::bits_for(255), 8);
+/// ```
+#[must_use]
+pub fn bits_for(value: u64) -> u32 {
+    if value == 0 {
+        1
+    } else {
+        64 - value.leading_zeros()
+    }
+}
+
+/// Number of bits needed to index any of `universe` distinct values, i.e.
+/// `⌈log₂ universe⌉`, with the convention that a universe of size 0 or 1
+/// needs one bit.
+///
+/// This is the width used throughout the schemes for node identifiers
+/// (`id_width(n)` bits per identifier in an `n`-node network).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(rpls_bits::id_width(1), 1);
+/// assert_eq!(rpls_bits::id_width(2), 1);
+/// assert_eq!(rpls_bits::id_width(5), 3);
+/// assert_eq!(rpls_bits::id_width(1024), 10);
+/// ```
+#[must_use]
+pub fn id_width(universe: u64) -> u32 {
+    if universe <= 2 {
+        1
+    } else {
+        bits_for(universe - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_small_values() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn id_width_is_ceil_log2() {
+        assert_eq!(id_width(0), 1);
+        assert_eq!(id_width(1), 1);
+        assert_eq!(id_width(2), 1);
+        assert_eq!(id_width(3), 2);
+        assert_eq!(id_width(4), 2);
+        assert_eq!(id_width(5), 3);
+        assert_eq!(id_width(256), 8);
+        assert_eq!(id_width(257), 9);
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let e = BitsError::OutOfInput {
+            requested: 8,
+            available: 3,
+        };
+        assert!(!e.to_string().is_empty());
+        let e = BitsError::ValueTooWide { value: 9, width: 3 };
+        assert!(e.to_string().contains('9'));
+        let e = BitsError::InvalidWidth(65);
+        assert!(e.to_string().contains("65"));
+    }
+}

@@ -1,0 +1,168 @@
+//! The [`BitReader`] cursor for unpacking fixed-width fields.
+
+use crate::{BitString, BitsError};
+
+/// Reads fixed-width fields back out of a [`BitString`], in the order they
+/// were written by a [`BitWriter`](crate::BitWriter).
+///
+/// # Examples
+///
+/// ```
+/// use rpls_bits::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write_u64(42, 6).write_bool(true);
+/// let s = w.finish();
+///
+/// let mut r = BitReader::new(&s);
+/// assert_eq!(r.read_u64(6).unwrap(), 42);
+/// assert!(r.read_bool().unwrap());
+/// assert!(r.is_exhausted());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    src: &'a BitString,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at the first bit of `src`.
+    #[must_use]
+    pub fn new(src: &'a BitString) -> Self {
+        Self { src, pos: 0 }
+    }
+
+    /// Number of bits not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.src.len().saturating_sub(self.pos)
+    }
+
+    /// Whether every bit has been consumed.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsError::OutOfInput`] at end of input.
+    pub fn read_bool(&mut self) -> Result<bool, BitsError> {
+        match self.src.bit(self.pos) {
+            Some(b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => Err(BitsError::OutOfInput {
+                requested: 1,
+                available: 0,
+            }),
+        }
+    }
+
+    /// Reads a big-endian unsigned integer of exactly `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsError::InvalidWidth`] if `width` is not in `1..=64`, or
+    /// [`BitsError::OutOfInput`] if fewer than `width` bits remain.
+    pub fn read_u64(&mut self, width: u32) -> Result<u64, BitsError> {
+        if width == 0 || width > 64 {
+            return Err(BitsError::InvalidWidth(width));
+        }
+        if (width as usize) > self.remaining() {
+            return Err(BitsError::OutOfInput {
+                requested: width as usize,
+                available: self.remaining(),
+            });
+        }
+        let mut acc: u64 = 0;
+        for _ in 0..width {
+            let bit = self.src.bit(self.pos).expect("bounds checked above");
+            acc = (acc << 1) | u64::from(bit);
+            self.pos += 1;
+        }
+        Ok(acc)
+    }
+
+    /// Reads `len` bits into a fresh [`BitString`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsError::OutOfInput`] if fewer than `len` bits remain.
+    pub fn read_bits(&mut self, len: usize) -> Result<BitString, BitsError> {
+        if len > self.remaining() {
+            return Err(BitsError::OutOfInput {
+                requested: len,
+                available: self.remaining(),
+            });
+        }
+        let mut out = BitString::new();
+        for _ in 0..len {
+            out.push(self.src.bit(self.pos).expect("bounds checked above"));
+            self.pos += 1;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitWriter;
+
+    #[test]
+    fn round_trips_mixed_fields() {
+        let mut w = BitWriter::new();
+        w.write_u64(7, 3)
+            .write_bool(false)
+            .write_u64(1234, 11)
+            .write_u64(0, 1);
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        assert_eq!(r.read_u64(3).unwrap(), 7);
+        assert!(!r.read_bool().unwrap());
+        assert_eq!(r.read_u64(11).unwrap(), 1234);
+        assert_eq!(r.read_u64(1).unwrap(), 0);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn out_of_input_reports_counts() {
+        let s = BitString::zeros(3);
+        let mut r = BitReader::new(&s);
+        let err = r.read_u64(5).unwrap_err();
+        assert_eq!(
+            err,
+            BitsError::OutOfInput {
+                requested: 5,
+                available: 3
+            }
+        );
+        // Nothing consumed by the failed read.
+        assert_eq!(r.remaining(), 3);
+    }
+
+    #[test]
+    fn read_bits_extracts_substring() {
+        let s = BitString::from_bools([true, false, true, true]);
+        let mut r = BitReader::new(&s);
+        let first = r.read_bits(2).unwrap();
+        assert_eq!(first, BitString::from_bools([true, false]));
+        let rest = r.read_bits(2).unwrap();
+        assert_eq!(rest, BitString::from_bools([true, true]));
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn invalid_width_rejected() {
+        let s = BitString::zeros(80);
+        let mut r = BitReader::new(&s);
+        assert!(matches!(r.read_u64(0), Err(BitsError::InvalidWidth(0))));
+        assert!(matches!(r.read_u64(65), Err(BitsError::InvalidWidth(65))));
+        // 64 is fine.
+        assert_eq!(r.read_u64(64).unwrap(), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! The [`BitWriter`] cursor for packing fixed-width fields.
+
+use crate::{BitString, BitsError};
+
+/// Incrementally builds a [`BitString`] out of fixed-width integer fields,
+/// booleans and embedded bit strings.
+///
+/// The writer is infallible for the common paths ([`write_u64`] panics only
+/// on programmer error — widths outside `1..=64` or values that do not fit);
+/// use [`try_write_u64`] when the width or value comes from untrusted input.
+///
+/// [`write_u64`]: BitWriter::write_u64
+/// [`try_write_u64`]: BitWriter::try_write_u64
+///
+/// # Examples
+///
+/// ```
+/// use rpls_bits::BitWriter;
+///
+/// let mut w = BitWriter::new();
+/// w.write_u64(3, 4);
+/// w.write_bool(false);
+/// let s = w.finish();
+/// assert_eq!(s.len(), 5);
+/// assert_eq!(s.to_string(), "00110");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    out: BitString,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Appends a single bit.
+    pub fn write_bool(&mut self, bit: bool) -> &mut Self {
+        self.out.push(bit);
+        self
+    }
+
+    /// Appends `value` as a big-endian field of exactly `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `1..=64` or `value` needs more than
+    /// `width` bits. Use [`BitWriter::try_write_u64`] for a fallible variant.
+    pub fn write_u64(&mut self, value: u64, width: u32) -> &mut Self {
+        self.try_write_u64(value, width)
+            .expect("write_u64: invalid width or value");
+        self
+    }
+
+    /// Appends `value` as a big-endian field of exactly `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsError::InvalidWidth`] if `width` is not in `1..=64`, or
+    /// [`BitsError::ValueTooWide`] if `value` needs more than `width` bits.
+    pub fn try_write_u64(&mut self, value: u64, width: u32) -> Result<&mut Self, BitsError> {
+        if width == 0 || width > 64 {
+            return Err(BitsError::InvalidWidth(width));
+        }
+        if width < 64 && value >> width != 0 {
+            return Err(BitsError::ValueTooWide { value, width });
+        }
+        for i in (0..width).rev() {
+            self.out.push((value >> i) & 1 == 1);
+        }
+        Ok(self)
+    }
+
+    /// Appends every bit of `bits`.
+    pub fn write_bits(&mut self, bits: &BitString) -> &mut Self {
+        self.out.extend_bits(bits);
+        self
+    }
+
+    /// Appends the bytes MSB-first (8 bits per byte).
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.write_u64(u64::from(b), 8);
+        }
+        self
+    }
+
+    /// Consumes the writer, returning the accumulated bit string.
+    #[must_use]
+    pub fn finish(self) -> BitString {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_pack_big_endian() {
+        let mut w = BitWriter::new();
+        w.write_u64(0b101, 3).write_u64(0b01, 2);
+        assert_eq!(w.finish().to_string(), "10101");
+    }
+
+    #[test]
+    fn invalid_width_rejected() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.try_write_u64(0, 0).unwrap_err(), BitsError::InvalidWidth(0));
+        assert_eq!(
+            w.try_write_u64(0, 65).unwrap_err(),
+            BitsError::InvalidWidth(65)
+        );
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        let mut w = BitWriter::new();
+        assert_eq!(
+            w.try_write_u64(4, 2).unwrap_err(),
+            BitsError::ValueTooWide { value: 4, width: 2 }
+        );
+        // Boundary: exactly fits.
+        assert!(w.try_write_u64(3, 2).is_ok());
+    }
+
+    #[test]
+    fn full_width_values_accepted() {
+        let mut w = BitWriter::new();
+        w.write_u64(u64::MAX, 64);
+        let s = w.finish();
+        assert_eq!(s.len(), 64);
+        assert!(s.iter().all(|b| b));
+    }
+
+    #[test]
+    fn write_bytes_is_eight_bits_each() {
+        let mut w = BitWriter::new();
+        w.write_bytes(&[0xA5, 0x01]);
+        let s = w.finish();
+        assert_eq!(s.len(), 16);
+        assert_eq!(s.to_string(), "1010010100000001");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the bit-string substrate.
+
+use proptest::prelude::*;
+use rpls_bits::{bits_for, id_width, BitReader, BitString, BitWriter};
+
+proptest! {
+    #[test]
+    fn from_bytes_respects_length(bytes in proptest::collection::vec(any::<u8>(), 0..32), extra in 0usize..8) {
+        let max = bytes.len() * 8;
+        let len = max.saturating_sub(extra);
+        let s = BitString::from_bytes(&bytes, len);
+        prop_assert_eq!(s.len(), len);
+        for i in 0..len {
+            let expected = bytes[i / 8] & (0x80 >> (i % 8)) != 0;
+            prop_assert_eq!(s.bit(i), Some(expected));
+        }
+    }
+
+    #[test]
+    fn concat_length_is_sum(a in proptest::collection::vec(any::<bool>(), 0..64),
+                            b in proptest::collection::vec(any::<bool>(), 0..64)) {
+        let sa = BitString::from_bools(a.clone());
+        let sb = BitString::from_bools(b.clone());
+        let c = BitString::concat([&sa, &sb]);
+        prop_assert_eq!(c.len(), a.len() + b.len());
+        let mut expect = a;
+        expect.extend(b);
+        prop_assert_eq!(c.iter().collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn equality_is_content_equality(a in proptest::collection::vec(any::<bool>(), 0..64)) {
+        let s1 = BitString::from_bools(a.clone());
+        let mut s2 = BitString::new();
+        for bit in &a {
+            s2.push(*bit);
+        }
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn writer_reader_with_bools_interleaved(
+        items in proptest::collection::vec((any::<bool>(), any::<u32>(), 1u32..32), 0..16)
+    ) {
+        let mut w = BitWriter::new();
+        for (b, v, width) in &items {
+            w.write_bool(*b);
+            w.write_u64(u64::from(*v) & ((1u64 << width) - 1), *width);
+        }
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        for (b, v, width) in &items {
+            prop_assert_eq!(r.read_bool().unwrap(), *b);
+            prop_assert_eq!(r.read_u64(*width).unwrap(), u64::from(*v) & ((1u64 << width) - 1));
+        }
+        prop_assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn bits_for_is_monotone_and_tight(v in any::<u64>()) {
+        let w = bits_for(v);
+        prop_assert!(w >= 1 && w <= 64);
+        if v > 0 {
+            // v fits in w bits but not w-1.
+            if w < 64 {
+                prop_assert!(v < (1u64 << w));
+            }
+            if w > 1 {
+                prop_assert!(v >= (1u64 << (w - 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn id_width_indexes_universe(n in 1u64..1_000_000) {
+        let w = id_width(n);
+        // Every value in 0..n fits in w bits.
+        if w < 64 {
+            prop_assert!(n - 1 < (1u64 << w));
+        }
+    }
+
+    #[test]
+    fn leading_u64_matches_manual(a in proptest::collection::vec(any::<bool>(), 0..64)) {
+        let s = BitString::from_bools(a.clone());
+        let mut manual: u64 = 0;
+        for b in &a {
+            manual = (manual << 1) | u64::from(*b);
+        }
+        prop_assert_eq!(s.leading_u64(), manual);
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent(
+        a in proptest::collection::vec(any::<bool>(), 0..32),
+        b in proptest::collection::vec(any::<bool>(), 0..32)
+    ) {
+        let sa = BitString::from_bools(a);
+        let sb = BitString::from_bools(b);
+        // Ord agrees with Eq.
+        prop_assert_eq!(sa == sb, sa.cmp(&sb) == std::cmp::Ordering::Equal);
+    }
+}

@@ -1,0 +1,332 @@
+//! The Theorem 3.1 compiler: deterministic κ bits → randomized `O(log κ)`
+//! bits.
+//!
+//! Given any deterministic scheme `(p, v)` with verification complexity κ,
+//! the compiled randomized scheme `(p', v')` works as follows (Appendix A):
+//!
+//! * **Prover** `p'` replicates: `ℓ'(v) = (ℓ(v), ℓ(w₁), …, ℓ(w_d))` — the
+//!   node's own label plus a claimed copy of each neighbor's label, indexed
+//!   by port.
+//! * **Certificates**: node `v` fingerprints its own inner label with the
+//!   Lemma A.1 equality protocol — a fresh `(x, P(x))` pair per port, which
+//!   additionally makes the scheme *edge-independent* (Definition 4.5; the
+//!   paper's single-broadcast variant is recovered by noting all ports
+//!   would work equally well with one shared pair).
+//! * **Verifier** `v'` checks, for each port, that the received fingerprint
+//!   matches the polynomial of the *claimed* neighbor label, then runs the
+//!   inner verifier on the claimed labels as if they had been exchanged.
+//!
+//! The fingerprinted string is the inner label *prefixed by its 32-bit
+//! length*, so two labels that differ only by trailing zeros (and would
+//! collide as polynomials) still yield distinct fingerprints.
+//!
+//! Completeness is perfect (one-sided). On illegal configurations: if the
+//! replicated labels are consistent with the neighbors' actual inner
+//! labels, the inner verifier rejects somewhere (it cannot be fooled); if
+//! they are inconsistent on some edge, the equality protocol catches that
+//! edge with probability `> 2/3`.
+
+use crate::labeling::Labeling;
+use crate::scheme::{CertView, DetView, ErrorSides, Pls, RandView, Rpls};
+use crate::state::Configuration;
+use rand::rngs::StdRng;
+use rpls_bits::{BitReader, BitString, BitWriter};
+use rpls_fingerprint::{EqMessage, EqProtocol};
+
+/// Length-prefix width used both in the replicated label layout and in the
+/// fingerprinted encoding of an inner label.
+const LEN_BITS: u32 = 32;
+
+/// The compiled randomized scheme wrapping a deterministic one.
+///
+/// # Examples
+///
+/// See `rpls-schemes` for concrete instantiations, e.g.
+/// `CompiledRpls::new(SpanningTreePls::new())`, and
+/// `examples/quickstart.rs` for an end-to-end run.
+#[derive(Debug, Clone)]
+pub struct CompiledRpls<S> {
+    inner: S,
+}
+
+impl<S: Pls> CompiledRpls<S> {
+    /// Compiles a deterministic scheme.
+    #[must_use]
+    pub fn new(inner: S) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped deterministic scheme.
+    #[must_use]
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Certificate size (bits) the compilation produces for an inner
+    /// verification complexity of `kappa` bits: `2⌈log₂ p⌉` for the
+    /// protocol prime `p ∈ (3λ, 6λ)`, `λ = 32 + κ` — i.e. `O(log κ)`.
+    #[must_use]
+    pub fn certificate_bits_for_kappa(kappa: usize) -> usize {
+        EqProtocol::for_length(LEN_BITS as usize + kappa).message_bits()
+    }
+}
+
+/// Encodes the replicated label `(κ, ℓ₀, ℓ₁, …, ℓ_d)`.
+fn encode_replicated(kappa: usize, parts: &[&BitString]) -> BitString {
+    let mut w = BitWriter::new();
+    w.write_u64(kappa as u64, LEN_BITS);
+    for part in parts {
+        w.write_u64(part.len() as u64, LEN_BITS);
+        w.write_bits(part);
+    }
+    w.finish()
+}
+
+/// Parses a replicated label into `(κ, parts)`. Returns `None` on any
+/// structural violation — adversarial labels must never panic the verifier.
+fn parse_replicated(label: &BitString) -> Option<(usize, Vec<BitString>)> {
+    let mut r = BitReader::new(label);
+    let kappa = r.read_u64(LEN_BITS).ok()? as usize;
+    let mut parts = Vec::new();
+    while !r.is_exhausted() {
+        let len = r.read_u64(LEN_BITS).ok()? as usize;
+        if len > kappa {
+            return None; // a claimed label longer than κ is malformed
+        }
+        parts.push(r.read_bits(len).ok()?);
+    }
+    Some((kappa, parts))
+}
+
+/// The string actually fingerprinted for an inner label: 32-bit length then
+/// the label bits.
+fn length_prefixed(label: &BitString) -> BitString {
+    let mut w = BitWriter::new();
+    w.write_u64(label.len() as u64, LEN_BITS);
+    w.write_bits(label);
+    w.finish()
+}
+
+impl<S: Pls> Rpls for CompiledRpls<S> {
+    fn name(&self) -> String {
+        format!("compiled({})", self.inner.name())
+    }
+
+    fn error_sides(&self) -> ErrorSides {
+        ErrorSides::OneSided
+    }
+
+    fn label(&self, config: &Configuration) -> Labeling {
+        let inner_labels = self.inner.label(config);
+        let kappa = inner_labels.max_bits();
+        config
+            .graph()
+            .nodes()
+            .map(|v| {
+                let mut parts: Vec<&BitString> = vec![inner_labels.get(v)];
+                parts.extend(
+                    config
+                        .graph()
+                        .neighbors(v)
+                        .map(|nb| inner_labels.get(nb.node)),
+                );
+                encode_replicated(kappa, &parts)
+            })
+            .collect()
+    }
+
+    fn certify(
+        &self,
+        view: &CertView<'_>,
+        _port: rpls_graph::Port,
+        rng: &mut StdRng,
+    ) -> BitString {
+        // Malformed (adversarial) labels yield an empty certificate, which
+        // every well-formed neighbor rejects on sight.
+        let Some((kappa, parts)) = parse_replicated(view.label) else {
+            return BitString::new();
+        };
+        let Some(own) = parts.first() else {
+            return BitString::new();
+        };
+        let proto = EqProtocol::for_length(LEN_BITS as usize + kappa);
+        let msg = proto.alice_message(&length_prefixed(own), rng);
+        msg.to_bits(proto.modulus())
+    }
+
+    fn verify(&self, view: &RandView<'_>) -> bool {
+        let Some((kappa, parts)) = parse_replicated(view.label) else {
+            return false;
+        };
+        let degree = view.local.degree();
+        if parts.len() != degree + 1 {
+            return false;
+        }
+        let proto = EqProtocol::for_length(LEN_BITS as usize + kappa);
+        let expected_bits = proto.message_bits();
+        for (i, received) in view.received.iter().enumerate() {
+            if received.len() != expected_bits {
+                return false;
+            }
+            let Ok(msg) = EqMessage::from_bits(received, proto.modulus()) else {
+                return false;
+            };
+            if msg.point >= proto.modulus() {
+                return false;
+            }
+            // Check the fingerprint against the *claimed* label of the
+            // neighbor on this port.
+            if !proto.bob_accepts(&length_prefixed(&parts[i + 1]), &msg) {
+                return false;
+            }
+        }
+        // Fingerprints passed: run the inner verifier on the claimed
+        // labels.
+        let neighbor_labels: Vec<&BitString> = parts[1..].iter().collect();
+        let det = DetView {
+            local: view.local.clone(),
+            label: &parts[0],
+            neighbor_labels,
+        };
+        self.inner.verify(&det)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine;
+    use crate::stats;
+    use rpls_graph::{generators, NodeId};
+
+    /// The intro's spanning-tree-style toy: every node's label must equal
+    /// its id written in 64 bits, and neighbors must carry ids that are
+    /// actually adjacent values on the cycle — enough structure to exercise
+    /// the compiler's honest and fooled paths.
+    struct IdLabel;
+
+    impl Pls for IdLabel {
+        fn name(&self) -> String {
+            "id-label".into()
+        }
+        fn label(&self, config: &Configuration) -> Labeling {
+            config
+                .states()
+                .iter()
+                .map(|s| {
+                    let mut w = BitWriter::new();
+                    w.write_u64(s.id(), 64);
+                    w.finish()
+                })
+                .collect()
+        }
+        fn verify(&self, view: &DetView<'_>) -> bool {
+            let mut r = BitReader::new(view.label);
+            let Ok(claimed) = r.read_u64(64) else {
+                return false;
+            };
+            claimed == view.local.state.id()
+                && view
+                    .neighbor_labels
+                    .iter()
+                    .all(|l| BitReader::new(l).read_u64(64).is_ok())
+        }
+    }
+
+    #[test]
+    fn honest_run_always_accepts() {
+        let config = Configuration::plain(generators::cycle(7));
+        let scheme = CompiledRpls::new(IdLabel);
+        let labeling = scheme.label(&config);
+        for seed in 0..50 {
+            let rec = engine::run_randomized(&scheme, &config, &labeling, seed);
+            assert!(rec.outcome.accepted(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn certificates_are_logarithmic_in_kappa() {
+        let config = Configuration::plain(generators::cycle(7));
+        let scheme = CompiledRpls::new(IdLabel);
+        let labeling = scheme.label(&config);
+        let rec = engine::run_randomized(&scheme, &config, &labeling, 3);
+        let bits = rec.max_certificate_bits();
+        // κ = 64, λ = 96, p ∈ (288, 576) → 2 * ⌈log₂ p⌉ ≤ 20.
+        assert!(bits <= 20, "certificate bits = {bits}");
+        assert_eq!(bits, CompiledRpls::<IdLabel>::certificate_bits_for_kappa(64));
+    }
+
+    #[test]
+    fn tampered_replica_detected_with_good_probability() {
+        // Corrupt node 3's claimed copy of its port-0 neighbor's label.
+        let config = Configuration::plain(generators::cycle(7));
+        let scheme = CompiledRpls::new(IdLabel);
+        let mut labeling = scheme.label(&config);
+        let (kappa, mut parts) = parse_replicated(labeling.get(NodeId::new(3))).unwrap();
+        let flipped: BitString = parts[1]
+            .iter()
+            .enumerate()
+            .map(|(i, b)| if i == 63 { !b } else { b })
+            .collect();
+        parts[1] = flipped;
+        let refs: Vec<&BitString> = parts.iter().collect();
+        labeling.set(NodeId::new(3), encode_replicated(kappa, &refs));
+
+        let p = stats::acceptance_probability(&scheme, &config, &labeling, 1000, 17);
+        // The corrupted edge check fails with probability > 2/3.
+        assert!(p < 1.0 / 3.0 + 0.05, "acceptance = {p}");
+    }
+
+    #[test]
+    fn malformed_labels_rejected_outright() {
+        let config = Configuration::plain(generators::cycle(5));
+        let scheme = CompiledRpls::new(IdLabel);
+        // Garbage labels: too short to parse.
+        let labeling = Labeling::new(vec![BitString::zeros(5); 5]);
+        let rec = engine::run_randomized(&scheme, &config, &labeling, 0);
+        assert!(!rec.outcome.accepted());
+    }
+
+    #[test]
+    fn wrong_arity_labels_rejected() {
+        // A replicated label with too few parts for the degree.
+        let config = Configuration::plain(generators::cycle(5));
+        let scheme = CompiledRpls::new(IdLabel);
+        let inner = IdLabel.label(&config);
+        let kappa = inner.max_bits();
+        let labeling: Labeling = config
+            .graph()
+            .nodes()
+            .map(|v| encode_replicated(kappa, &[inner.get(v)])) // no neighbors!
+            .collect();
+        let rec = engine::run_randomized(&scheme, &config, &labeling, 0);
+        assert!(!rec.outcome.accepted());
+    }
+
+    #[test]
+    fn replicated_roundtrip() {
+        let a = BitString::from_bools([true, false, true]);
+        let b = BitString::zeros(7);
+        let enc = encode_replicated(9, &[&a, &b]);
+        let (kappa, parts) = parse_replicated(&enc).unwrap();
+        assert_eq!(kappa, 9);
+        assert_eq!(parts, vec![a, b]);
+    }
+
+    #[test]
+    fn oversized_part_rejected_by_parser() {
+        // A part longer than the declared κ must be rejected.
+        let a = BitString::zeros(10);
+        let enc = encode_replicated(5, &[&a]);
+        assert!(parse_replicated(&enc).is_none());
+    }
+
+    #[test]
+    fn certificate_bits_grow_double_logarithmically() {
+        // κ → 2⌈log₂(6(32+κ))⌉: doubling κ should add at most 2 bits.
+        let b1 = CompiledRpls::<IdLabel>::certificate_bits_for_kappa(1 << 10);
+        let b2 = CompiledRpls::<IdLabel>::certificate_bits_for_kappa(1 << 20);
+        assert!(b2 - b1 <= 21, "{b1} -> {b2}");
+        assert!(b1 <= 2 * 13);
+    }
+}

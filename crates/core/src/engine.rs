@@ -1,0 +1,374 @@
+//! One-round synchronous execution of schemes.
+//!
+//! The model of §2.1 is a single round: every node sends one value to each
+//! neighbor, receives one value from each, and outputs a boolean. The
+//! engine simulates this exactly and deterministically:
+//!
+//! * deterministic schemes exchange labels ([`run_deterministic`]);
+//! * randomized schemes generate one certificate per (node, port) from an
+//!   **independent** random stream seeded by `(seed, node, port)` —
+//!   edge-independence (Definition 4.5) holds by construction — and deliver
+//!   each certificate to the far endpoint of its edge
+//!   ([`run_randomized`]);
+//! * [`run_randomized_shared`] deliberately reuses one stream per node
+//!   across its ports, the violation mode used to probe the hypothesis of
+//!   Proposition 4.6.
+
+use crate::labeling::Labeling;
+use crate::scheme::{CertView, DetView, LocalContext, Pls, RandView, Rpls};
+use crate::state::Configuration;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpls_bits::BitString;
+use rpls_graph::{NodeId, Port};
+
+/// The per-node votes of one verification round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    votes: Vec<bool>,
+}
+
+impl Outcome {
+    /// Wraps raw per-node votes (used by the alternative execution modes,
+    /// e.g. label-free local decision).
+    #[must_use]
+    pub fn from_votes(votes: Vec<bool>) -> Self {
+        Self { votes }
+    }
+
+    /// Whether the round *accepts*: every node returned `true`.
+    #[must_use]
+    pub fn accepted(&self) -> bool {
+        self.votes.iter().all(|&v| v)
+    }
+
+    /// The nodes that returned `false`.
+    #[must_use]
+    pub fn rejecting_nodes(&self) -> Vec<NodeId> {
+        self.votes
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| !v)
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+
+    /// The raw vote of each node.
+    #[must_use]
+    pub fn votes(&self) -> &[bool] {
+        &self.votes
+    }
+}
+
+/// A full randomized round: every generated certificate plus the votes.
+#[derive(Debug, Clone)]
+pub struct RoundRecord {
+    /// `certificates[v][p]` is the certificate node `v` generated for its
+    /// port rank `p`.
+    pub certificates: Vec<Vec<BitString>>,
+    /// The verification outcome.
+    pub outcome: Outcome,
+}
+
+impl RoundRecord {
+    /// The largest certificate generated this round, in bits — one sample
+    /// of the verification complexity of Definition 2.1.
+    #[must_use]
+    pub fn max_certificate_bits(&self) -> usize {
+        self.certificates
+            .iter()
+            .flatten()
+            .map(BitString::len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total bits communicated this round, summed over every directed edge
+    /// (the network-wide communication cost the paper's bandwidth
+    /// motivation is about).
+    #[must_use]
+    pub fn total_certificate_bits(&self) -> usize {
+        self.certificates
+            .iter()
+            .flatten()
+            .map(BitString::len)
+            .sum()
+    }
+}
+
+/// Builds the strictly-local context of `node` within `config`.
+#[must_use]
+pub fn local_context(config: &Configuration, node: NodeId) -> LocalContext<'_> {
+    LocalContext {
+        node,
+        state: config.state(node),
+        incident_weights: config
+            .graph()
+            .neighbors(node)
+            .map(|nb| nb.weight)
+            .collect(),
+    }
+}
+
+/// Runs a deterministic verification round: every node sees its own label
+/// and its neighbors' labels, and votes.
+pub fn run_deterministic<S: Pls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+) -> Outcome {
+    assert_eq!(
+        labeling.len(),
+        config.node_count(),
+        "one label per node required"
+    );
+    let votes = config
+        .graph()
+        .nodes()
+        .map(|v| {
+            let neighbor_labels = config
+                .graph()
+                .neighbors(v)
+                .map(|nb| labeling.get(nb.node))
+                .collect();
+            let view = DetView {
+                local: local_context(config, v),
+                label: labeling.get(v),
+                neighbor_labels,
+            };
+            scheme.verify(&view)
+        })
+        .collect();
+    Outcome { votes }
+}
+
+/// SplitMix64: a tiny, statistically solid mixer used to derive the
+/// per-(node, port) stream seeds from the round seed. Public because the
+/// lower-bound tooling derives its own streams the same way.
+#[must_use]
+pub fn mix_seed(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs a randomized verification round with edge-independent randomness:
+/// node `v`'s certificate for port `p` is drawn from a stream seeded by
+/// `(seed, v, p)`, independent across both nodes and ports.
+pub fn run_randomized<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    seed: u64,
+) -> RoundRecord {
+    run_randomized_inner(scheme, config, labeling, seed, false)
+}
+
+/// Like [`run_randomized`] but every node reuses **one** stream across all
+/// its ports, sequentially — certificates of one node become correlated,
+/// violating edge-independence (Definition 4.5). Exists to demonstrate that
+/// the hypothesis of Proposition 4.6 is about the scheme, not the engine.
+pub fn run_randomized_shared<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    seed: u64,
+) -> RoundRecord {
+    run_randomized_inner(scheme, config, labeling, seed, true)
+}
+
+fn run_randomized_inner<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    seed: u64,
+    shared_streams: bool,
+) -> RoundRecord {
+    assert_eq!(
+        labeling.len(),
+        config.node_count(),
+        "one label per node required"
+    );
+    let g = config.graph();
+
+    // Phase 1: certificate generation.
+    let certificates: Vec<Vec<BitString>> = g
+        .nodes()
+        .map(|v| {
+            let view = CertView {
+                local: local_context(config, v),
+                label: labeling.get(v),
+            };
+            let mut node_rng = StdRng::seed_from_u64(mix_seed(seed, v.index() as u64, u64::MAX));
+            (0..g.degree(v))
+                .map(|p| {
+                    let port = Port::from_rank(p);
+                    if shared_streams {
+                        scheme.certify(&view, port, &mut node_rng)
+                    } else {
+                        let mut rng = StdRng::seed_from_u64(mix_seed(
+                            seed,
+                            v.index() as u64,
+                            p as u64,
+                        ));
+                        scheme.certify(&view, port, &mut rng)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // Phase 2: delivery and verification. The certificate arriving at v on
+    // port p is the one its neighbor generated for the far end of that edge.
+    let votes = g
+        .nodes()
+        .map(|v| {
+            let received: Vec<&BitString> = g
+                .neighbors(v)
+                .map(|nb| &certificates[nb.node.index()][nb.remote_port.rank()])
+                .collect();
+            let view = RandView {
+                local: local_context(config, v),
+                label: labeling.get(v),
+                received,
+            };
+            scheme.verify(&view)
+        })
+        .collect();
+
+    RoundRecord {
+        certificates,
+        outcome: Outcome { votes },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::ErrorSides;
+    use rpls_graph::generators;
+
+    /// A scheme that accepts iff every neighbor's label equals its own —
+    /// legal labelings are constant ones.
+    struct AgreeOnLabel;
+
+    impl Pls for AgreeOnLabel {
+        fn name(&self) -> String {
+            "agree".into()
+        }
+        fn label(&self, config: &Configuration) -> Labeling {
+            Labeling::new(vec![
+                BitString::from_bools([true, false]);
+                config.node_count()
+            ])
+        }
+        fn verify(&self, view: &DetView<'_>) -> bool {
+            view.neighbor_labels.iter().all(|l| *l == view.label)
+        }
+    }
+
+    #[test]
+    fn deterministic_round_accepts_consistent_labels() {
+        let config = Configuration::plain(generators::cycle(5));
+        let labeling = AgreeOnLabel.label(&config);
+        let out = run_deterministic(&AgreeOnLabel, &config, &labeling);
+        assert!(out.accepted());
+        assert!(out.rejecting_nodes().is_empty());
+    }
+
+    #[test]
+    fn deterministic_round_flags_inconsistency() {
+        let config = Configuration::plain(generators::cycle(5));
+        let mut labeling = AgreeOnLabel.label(&config);
+        labeling.set(NodeId::new(2), BitString::zeros(2));
+        let out = run_deterministic(&AgreeOnLabel, &config, &labeling);
+        assert!(!out.accepted());
+        // Node 2's neighbors (1 and 3) reject; node 2 itself rejects too
+        // since its neighbors now differ from it.
+        let rejecting = out.rejecting_nodes();
+        assert!(rejecting.contains(&NodeId::new(1)));
+        assert!(rejecting.contains(&NodeId::new(3)));
+    }
+
+    /// A scheme whose certificate is one fresh random bit per port; verify
+    /// accepts everything. Used to check stream independence.
+    struct RandomBit;
+
+    impl Rpls for RandomBit {
+        fn name(&self) -> String {
+            "random-bit".into()
+        }
+        fn error_sides(&self) -> ErrorSides {
+            ErrorSides::TwoSided
+        }
+        fn label(&self, config: &Configuration) -> Labeling {
+            Labeling::empty(config.node_count())
+        }
+        fn certify(&self, _view: &CertView<'_>, _port: Port, rng: &mut StdRng) -> BitString {
+            use rand::Rng;
+            BitString::from_bools([(rng.next_u64() & 1) == 1])
+        }
+        fn verify(&self, _view: &RandView<'_>) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn randomized_round_is_reproducible() {
+        let config = Configuration::plain(generators::cycle(6));
+        let labeling = RandomBit.label(&config);
+        let r1 = run_randomized(&RandomBit, &config, &labeling, 99);
+        let r2 = run_randomized(&RandomBit, &config, &labeling, 99);
+        assert_eq!(r1.certificates, r2.certificates);
+        let r3 = run_randomized(&RandomBit, &config, &labeling, 100);
+        assert_ne!(r1.certificates, r3.certificates);
+    }
+
+    #[test]
+    fn per_port_streams_are_independent() {
+        // Different (node, port) pairs should essentially never produce
+        // identical long streams; spot-check by comparing the first bits
+        // across many ports — they must not all coincide.
+        let config = Configuration::plain(generators::complete(8));
+        let labeling = RandomBit.label(&config);
+        let rec = run_randomized(&RandomBit, &config, &labeling, 7);
+        let bits: Vec<bool> = rec
+            .certificates
+            .iter()
+            .flatten()
+            .map(|c| c.bit(0).unwrap())
+            .collect();
+        let ones = bits.iter().filter(|&&b| b).count();
+        assert!(ones > 10 && ones < bits.len() - 10, "ones = {ones}");
+    }
+
+    #[test]
+    fn max_certificate_bits_reports_largest() {
+        let config = Configuration::plain(generators::path(3));
+        let labeling = RandomBit.label(&config);
+        let rec = run_randomized(&RandomBit, &config, &labeling, 1);
+        assert_eq!(rec.max_certificate_bits(), 1);
+    }
+
+    #[test]
+    fn shared_mode_differs_from_independent_mode() {
+        let config = Configuration::plain(generators::complete(6));
+        let labeling = RandomBit.label(&config);
+        let ind = run_randomized(&RandomBit, &config, &labeling, 5);
+        let sh = run_randomized_shared(&RandomBit, &config, &labeling, 5);
+        assert_ne!(ind.certificates, sh.certificates);
+    }
+
+    #[test]
+    fn mix_seed_spreads_inputs() {
+        let a = mix_seed(1, 0, 0);
+        let b = mix_seed(1, 0, 1);
+        let c = mix_seed(1, 1, 0);
+        let d = mix_seed(2, 0, 0);
+        let set: std::collections::HashSet<u64> = [a, b, c, d].into_iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+}

@@ -1,0 +1,144 @@
+//! Label assignments produced by provers.
+
+use rpls_bits::BitString;
+use rpls_graph::NodeId;
+
+/// One label per node — the output of a prover, or an adversarial
+/// assignment being tested against a verifier.
+///
+/// # Examples
+///
+/// ```
+/// use rpls_core::Labeling;
+/// use rpls_bits::BitString;
+///
+/// let l = Labeling::new(vec![BitString::zeros(3), BitString::zeros(5)]);
+/// assert_eq!(l.max_bits(), 5);
+/// assert_eq!(l.get(rpls_graph::NodeId::new(0)).len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Labeling {
+    labels: Vec<BitString>,
+}
+
+impl Labeling {
+    /// Wraps a vector of labels, indexed by node.
+    #[must_use]
+    pub fn new(labels: Vec<BitString>) -> Self {
+        Self { labels }
+    }
+
+    /// The all-empty labeling on `n` nodes (the adversary's cheapest try,
+    /// and the honest labeling of schemes that need no proof).
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        Self {
+            labels: vec![BitString::new(); n],
+        }
+    }
+
+    /// Number of labels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether there are no labels.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The label of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn get(&self, node: NodeId) -> &BitString {
+        &self.labels[node.index()]
+    }
+
+    /// Replaces the label of `node`.
+    pub fn set(&mut self, node: NodeId, label: BitString) {
+        self.labels[node.index()] = label;
+    }
+
+    /// Iterates over `(node, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &BitString)> + '_ {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (NodeId::new(i), l))
+    }
+
+    /// The maximum label size in bits — the verification complexity
+    /// contribution of this assignment (Definition 2.1, deterministic case).
+    #[must_use]
+    pub fn max_bits(&self) -> usize {
+        self.labels.iter().map(BitString::len).max().unwrap_or(0)
+    }
+
+    /// Total bits across all labels (used by the label-layout ablations).
+    #[must_use]
+    pub fn total_bits(&self) -> usize {
+        self.labels.iter().map(BitString::len).sum()
+    }
+
+    /// Returns a copy with every label truncated to at most `bits` bits —
+    /// the bandwidth-budget wrapper the lower-bound experiments use to
+    /// produce under-informative schemes.
+    #[must_use]
+    pub fn truncated(&self, bits: usize) -> Self {
+        Self {
+            labels: self.labels.iter().map(|l| l.truncated(bits)).collect(),
+        }
+    }
+}
+
+impl FromIterator<BitString> for Labeling {
+    fn from_iter<I: IntoIterator<Item = BitString>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_accounting() {
+        let l = Labeling::new(vec![
+            BitString::zeros(4),
+            BitString::zeros(9),
+            BitString::new(),
+        ]);
+        assert_eq!(l.max_bits(), 9);
+        assert_eq!(l.total_bits(), 13);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn empty_labeling_has_zero_bits() {
+        let l = Labeling::empty(5);
+        assert_eq!(l.max_bits(), 0);
+        assert!(!l.is_empty());
+        assert_eq!(Labeling::empty(0).max_bits(), 0);
+    }
+
+    #[test]
+    fn truncation_caps_every_label() {
+        let l = Labeling::new(vec![BitString::zeros(10), BitString::zeros(2)]);
+        let t = l.truncated(4);
+        assert_eq!(t.get(NodeId::new(0)).len(), 4);
+        assert_eq!(t.get(NodeId::new(1)).len(), 2);
+    }
+
+    #[test]
+    fn set_and_iter() {
+        let mut l = Labeling::empty(2);
+        l.set(NodeId::new(1), BitString::from_bools([true]));
+        let collected: Vec<usize> = l.iter().map(|(_, b)| b.len()).collect();
+        assert_eq!(collected, vec![0, 1]);
+    }
+}

@@ -1,0 +1,73 @@
+//! The proof-labeling scheme framework of *Randomized Proof-Labeling
+//! Schemes* (Baruch, Fraigniaud, Patt-Shamir, PODC 2015).
+//!
+//! This crate implements §2 (model), §3 (the relation between deterministic
+//! and randomized schemes) and the measurement machinery the experiments
+//! need:
+//!
+//! * [`state`] — node states and [`Configuration`]s `G_s` (§2.1);
+//! * [`scheme`] — the [`Pls`] and [`Rpls`] traits: prover, verifier, and
+//!   the strictly local views they are allowed to see (§2.2);
+//! * [`engine`] — the one-round synchronous execution: label exchange for
+//!   deterministic schemes, certificate generation with per-(node, port)
+//!   independent randomness (edge-independent by construction,
+//!   Definition 4.5) and delivery for randomized ones;
+//! * [`compiler`] — **Theorem 3.1**: any deterministic scheme with
+//!   verification complexity κ compiles into a one-sided randomized scheme
+//!   exchanging `O(log κ)` bits, via the Lemma A.1 equality protocol;
+//! * [`universal`] — **Lemma 3.3** (the universal deterministic scheme on
+//!   `O(min(n², m log n) + nk)` bits) and **Corollary 3.4** (its compilation
+//!   to `O(log n + log k)`-bit certificates);
+//! * [`stats`] — Monte-Carlo acceptance estimation and the footnote-1
+//!   majority boosting;
+//! * [`measure`] — verification complexity (Definition 2.1) measured in
+//!   exact bits;
+//! * [`adversary`] — label forgers used to probe soundness: exhaustive for
+//!   tiny label spaces, randomized hill-climbing otherwise;
+//! * [`local_decision`] — the label-free `LD(t)` baseline of [15]
+//!   (radius-t ball inspection), implemented so the repository can show
+//!   what proof labels buy over plain local decision.
+//!
+//! # Examples
+//!
+//! ```
+//! use rpls_core::prelude::*;
+//! use rpls_graph::generators;
+//!
+//! let g = generators::cycle(6);
+//! let config = Configuration::plain(g);
+//! // See `rpls-schemes` for real schemes and `examples/` for walkthroughs.
+//! assert_eq!(config.node_count(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod compiler;
+pub mod engine;
+pub mod labeling;
+pub mod local_decision;
+pub mod measure;
+pub mod scheme;
+pub mod state;
+pub mod stats;
+pub mod universal;
+
+pub use compiler::CompiledRpls;
+pub use labeling::Labeling;
+pub use scheme::{CertView, DetView, ErrorSides, Pls, Predicate, RandView, Rpls};
+pub use state::{Configuration, State};
+pub use universal::{UniversalPls, UniversalRpls};
+
+/// Convenient glob-import surface: `use rpls_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::compiler::CompiledRpls;
+    pub use crate::engine::{self, Outcome};
+    pub use crate::labeling::Labeling;
+    pub use crate::measure;
+    pub use crate::scheme::{CertView, DetView, ErrorSides, Pls, Predicate, RandView, Rpls};
+    pub use crate::state::{Configuration, State};
+    pub use crate::stats;
+    pub use crate::universal::{UniversalPls, UniversalRpls};
+}

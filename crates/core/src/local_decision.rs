@@ -1,0 +1,351 @@
+//! Label-free local decision — the `LD` baseline the paper builds on.
+//!
+//! The introduction frames proof-labeling schemes against plain *local
+//! decision* (the class `LD` of Fraigniaud–Korman–Peleg [15], referenced
+//! throughout the paper and in its concluding open questions): every node
+//! inspects its radius-`t` ball — no prover, no labels — and the usual
+//! acceptance rule applies (all nodes `TRUE` on legal instances, at least
+//! one `FALSE` otherwise).
+//!
+//! This module implements that baseline so the repository can *demonstrate*
+//! why schemes are needed at all:
+//!
+//! * proper coloring is decidable at radius 1 (the paper's §1 example);
+//! * acyclicity is **not** decidable at any constant radius — a node cannot
+//!   distinguish a long path from a long cycle (the paper's §1 argument) —
+//!   but cycles short enough to fit in the ball (length ≤ 2t + 1) are
+//!   caught;
+//! * with labels (a PLS) the same predicates become decidable at radius 1,
+//!   which is exactly the point of [31] and of this paper.
+
+use crate::scheme::Predicate;
+use crate::state::Configuration;
+use rpls_graph::{GraphBuilder, NodeId};
+
+/// The radius-`t` view of one node: the induced subgraph on its ball,
+/// complete with states, distances, and the *true* degrees (so a boundary
+/// node can be told apart from a genuinely low-degree one).
+#[derive(Debug, Clone)]
+pub struct Ball {
+    /// The ball as a configuration of its own (nodes re-indexed; states,
+    /// identities and edge weights copied from the host).
+    pub config: Configuration,
+    /// The center, as an index into `config`.
+    pub center: NodeId,
+    /// `distance[v]` = hop distance from the center within the ball.
+    pub distance: Vec<usize>,
+    /// `true_degree[v]` = the node's degree in the *host* graph; nodes on
+    /// the ball's boundary have `true_degree > ball degree`.
+    pub true_degree: Vec<usize>,
+}
+
+impl Ball {
+    /// Whether node `v` of the ball is interior: all its host-graph
+    /// neighbors are inside the ball too.
+    #[must_use]
+    pub fn is_interior(&self, v: NodeId) -> bool {
+        self.config.graph().degree(v) == self.true_degree[v.index()]
+    }
+}
+
+/// A label-free local decision algorithm (the class `LD(t)` of [15]).
+pub trait LocalDecision {
+    /// Human-readable name.
+    fn name(&self) -> String;
+
+    /// The view radius `t`.
+    fn radius(&self) -> usize;
+
+    /// The decision at one node, given its radius-`t` ball.
+    fn decide(&self, ball: &Ball) -> bool;
+}
+
+/// Extracts the radius-`t` ball around `center`.
+#[must_use]
+pub fn ball(config: &Configuration, center: NodeId, radius: usize) -> Ball {
+    let g = config.graph();
+    // BFS out to the radius.
+    let mut dist: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+    dist.insert(center, 0);
+    let mut order = vec![center];
+    let mut queue = std::collections::VecDeque::from([center]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        if d == radius {
+            continue;
+        }
+        for nb in g.neighbors(v) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(nb.node) {
+                e.insert(d + 1);
+                order.push(nb.node);
+                queue.push_back(nb.node);
+            }
+        }
+    }
+    let index_of: std::collections::HashMap<NodeId, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
+    let mut b = GraphBuilder::new(order.len());
+    for (_, rec) in g.edges() {
+        if let (Some(&iu), Some(&iv)) = (index_of.get(&rec.u), index_of.get(&rec.v)) {
+            b.add_edge_full(NodeId::new(iu), NodeId::new(iv), None, rec.weight)
+                .expect("induced edges are simple");
+        }
+    }
+    let graph = b.finish().expect("auto ports are contiguous");
+    let states = order.iter().map(|&v| config.state(v).clone()).collect();
+    Ball {
+        config: Configuration::new(graph, states),
+        center: NodeId::new(0),
+        distance: order.iter().map(|v| dist[v]).collect(),
+        true_degree: order.iter().map(|&v| g.degree(v)).collect(),
+    }
+}
+
+/// Runs a local decision algorithm at every node; accepts iff all accept.
+pub fn run_local_decision<S: LocalDecision + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+) -> crate::engine::Outcome {
+    let votes: Vec<bool> = config
+        .graph()
+        .nodes()
+        .map(|v| scheme.decide(&ball(config, v, scheme.radius())))
+        .collect();
+    crate::engine::Outcome::from_votes(votes)
+}
+
+/// The radius-1 proper-coloring decision (the paper's §1 example of a
+/// predicate that needs no labels at all): reject iff some neighbor shares
+/// the center's color payload.
+#[derive(Debug, Clone, Copy)]
+pub struct ColoringLd;
+
+impl LocalDecision for ColoringLd {
+    fn name(&self) -> String {
+        "coloring-ld".into()
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn decide(&self, ball: &Ball) -> bool {
+        let center_color = ball.config.state(ball.center).payload().clone();
+        ball.config
+            .graph()
+            .neighbors(ball.center)
+            .all(|nb| ball.config.state(nb.node).payload() != &center_color)
+    }
+}
+
+/// The best label-free acyclicity decision at radius `t`: reject iff the
+/// ball provably contains a cycle. Sound but *incomplete* — cycles longer
+/// than `2t + 1` are invisible, which is precisely why acyclicity needs a
+/// proof-labeling scheme (§1 of the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct AcyclicityLd {
+    radius: usize,
+}
+
+impl AcyclicityLd {
+    /// The decision with view radius `t`.
+    #[must_use]
+    pub fn new(radius: usize) -> Self {
+        Self { radius }
+    }
+}
+
+impl LocalDecision for AcyclicityLd {
+    fn name(&self) -> String {
+        format!("acyclicity-ld({})", self.radius)
+    }
+
+    fn radius(&self) -> usize {
+        self.radius
+    }
+
+    fn decide(&self, ball: &Ball) -> bool {
+        // A cycle inside the ball is certain; anything else must be given
+        // the benefit of the doubt (boundary edges may or may not close).
+        !rpls_graph::cycles::has_cycle(ball.config.graph())
+    }
+}
+
+/// A closure-based local decision, for tests and experiments.
+pub struct FnLocalDecision<F> {
+    name: String,
+    radius: usize,
+    f: F,
+}
+
+impl<F: Fn(&Ball) -> bool> FnLocalDecision<F> {
+    /// Wraps a closure as a radius-`t` decision.
+    pub fn new(name: impl Into<String>, radius: usize, f: F) -> Self {
+        Self {
+            name: name.into(),
+            radius,
+            f,
+        }
+    }
+}
+
+impl<F: Fn(&Ball) -> bool> LocalDecision for FnLocalDecision<F> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn radius(&self) -> usize {
+        self.radius
+    }
+
+    fn decide(&self, ball: &Ball) -> bool {
+        (self.f)(ball)
+    }
+}
+
+/// Correctness of a local decision against a predicate on a configuration
+/// set: complete on the legal ones, sound on the illegal ones.
+pub fn agrees_with_predicate<S: LocalDecision + ?Sized, P: Predicate + ?Sized>(
+    scheme: &S,
+    predicate: &P,
+    configs: &[Configuration],
+) -> bool {
+    configs.iter().all(|c| {
+        run_local_decision(scheme, c).accepted() == predicate.holds(c)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::FnPredicate;
+    use rpls_graph::generators;
+
+    #[test]
+    fn ball_of_radius_one_is_closed_neighborhood() {
+        let c = Configuration::plain(generators::cycle(8));
+        let b = ball(&c, NodeId::new(3), 1);
+        assert_eq!(b.config.node_count(), 3);
+        assert_eq!(b.distance, vec![0, 1, 1]);
+        // Ids are preserved from the host configuration.
+        assert_eq!(b.config.state(b.center).id(), 3);
+    }
+
+    #[test]
+    fn ball_marks_boundary_nodes() {
+        let c = Configuration::plain(generators::path(7));
+        let b = ball(&c, NodeId::new(3), 2);
+        // Nodes 1 and 5 are on the boundary: their true degree is 2 but the
+        // ball only contains one of their neighbors.
+        let boundary = b
+            .config
+            .graph()
+            .nodes()
+            .filter(|&v| !b.is_interior(v))
+            .count();
+        assert_eq!(boundary, 2);
+        assert!(b.is_interior(b.center));
+    }
+
+    #[test]
+    fn coloring_is_decidable_at_radius_one() {
+        use crate::Predicate;
+        let legal = {
+            // 2-color a cycle of even length by hand.
+            let mut c = Configuration::plain(generators::cycle(6));
+            for i in 0..6 {
+                c.state_mut(NodeId::new(i)).set_payload(
+                    rpls_bits::BitString::from_bools([(i % 2) == 1]),
+                );
+            }
+            c
+        };
+        assert!(run_local_decision(&ColoringLd, &legal).accepted());
+        let mut illegal = legal.clone();
+        illegal
+            .state_mut(NodeId::new(2))
+            .set_payload(rpls_bits::BitString::from_bools([true]));
+        let out = run_local_decision(&ColoringLd, &illegal);
+        assert!(!out.accepted());
+        let pred = FnPredicate::new("proper", |c: &Configuration| {
+            c.graph().edges().all(|(_, r)| {
+                c.state(r.u).payload() != c.state(r.v).payload()
+            })
+        });
+        assert!(pred.holds(&legal) && !pred.holds(&illegal));
+    }
+
+    #[test]
+    fn short_cycles_are_caught_without_labels() {
+        // A triangle fits in every radius-1 ball of its nodes.
+        let c = Configuration::plain(generators::cycle(3));
+        assert!(!run_local_decision(&AcyclicityLd::new(1), &c).accepted());
+        // C5 fits in radius-2 balls.
+        let c = Configuration::plain(generators::cycle(5));
+        assert!(!run_local_decision(&AcyclicityLd::new(2), &c).accepted());
+    }
+
+    #[test]
+    fn long_cycles_are_invisible_without_labels() {
+        // The paper's §1 point: an 11-cycle looks exactly like a path at
+        // radius 2 — the decision accepts an illegal instance, so
+        // acyclicity ∉ LD(2) over this family. With labels (AcyclicityPls)
+        // the same instance is rejected — that is what schemes buy.
+        let c = Configuration::plain(generators::cycle(11));
+        assert!(run_local_decision(&AcyclicityLd::new(2), &c).accepted());
+        // Completeness still holds on legal instances.
+        let p = Configuration::plain(generators::path(11));
+        assert!(run_local_decision(&AcyclicityLd::new(2), &p).accepted());
+    }
+
+    #[test]
+    fn cycle_detection_threshold_matches_ball_size() {
+        // A cycle of length L is visible at radius t iff L ≤ 2t + 1.
+        for (len, radius, visible) in
+            [(5usize, 2usize, true), (6, 2, false), (7, 3, true), (9, 3, false)]
+        {
+            let c = Configuration::plain(generators::cycle(len));
+            let accepted = run_local_decision(&AcyclicityLd::new(radius), &c).accepted();
+            assert_eq!(!accepted, visible, "len={len} radius={radius}");
+        }
+    }
+
+    #[test]
+    fn agreement_helper() {
+        let configs = vec![
+            Configuration::plain(generators::cycle(3)),
+            Configuration::plain(generators::path(4)),
+        ];
+        let pred = FnPredicate::new("acyclic", |c: &Configuration| {
+            rpls_graph::cycles::is_forest(c.graph())
+        });
+        assert!(agrees_with_predicate(
+            &AcyclicityLd::new(1),
+            &pred,
+            &configs
+        ));
+        // But on the long cycle the agreement breaks — the decision needs
+        // labels there.
+        let hard = vec![Configuration::plain(generators::cycle(9))];
+        assert!(!agrees_with_predicate(
+            &AcyclicityLd::new(1),
+            &pred,
+            &hard
+        ));
+    }
+
+    #[test]
+    fn fn_local_decision_wraps_closures() {
+        let d = FnLocalDecision::new("deg>=2", 1, |b: &Ball| {
+            b.true_degree[b.center.index()] >= 2
+        });
+        assert_eq!(d.radius(), 1);
+        let c = Configuration::plain(generators::cycle(4));
+        assert!(run_local_decision(&d, &c).accepted());
+        let p = Configuration::plain(generators::path(4));
+        assert!(!run_local_decision(&d, &p).accepted());
+    }
+}

@@ -1,0 +1,277 @@
+//! Node states and configurations (§2.1).
+//!
+//! A configuration `G_s` is a graph together with a state assignment
+//! `s : V → S`. The state of a node holds *all its local input*: its
+//! identity, and an arbitrary payload (algorithm output, input bits, …).
+//! Edge weights live on the graph and are visible to a node only for its
+//! incident edges, as the MST setting of §5.1 prescribes.
+
+use rpls_bits::{bits_for, BitString};
+use rpls_graph::{Graph, NodeId};
+
+/// The state of one node: its identity plus an opaque payload.
+///
+/// # Examples
+///
+/// ```
+/// use rpls_core::State;
+/// use rpls_bits::BitString;
+///
+/// let s = State::new(42, BitString::from_bools([true, false]));
+/// assert_eq!(s.id(), 42);
+/// assert_eq!(s.payload().len(), 2);
+/// assert_eq!(s.bit_size(), 64 + 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    id: u64,
+    payload: BitString,
+}
+
+impl State {
+    /// Creates a state with the given identity and payload.
+    #[must_use]
+    pub fn new(id: u64, payload: BitString) -> Self {
+        Self { id, payload }
+    }
+
+    /// A state with an identity and empty payload.
+    #[must_use]
+    pub fn with_id(id: u64) -> Self {
+        Self::new(id, BitString::new())
+    }
+
+    /// The node's identity.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The opaque payload (algorithm output, inputs, …).
+    #[must_use]
+    pub fn payload(&self) -> &BitString {
+        &self.payload
+    }
+
+    /// Replaces the payload.
+    pub fn set_payload(&mut self, payload: BitString) {
+        self.payload = payload;
+    }
+
+    /// The state's size in bits (64-bit identity plus payload), the `k` of
+    /// Lemma 3.3 and Corollary 3.4.
+    #[must_use]
+    pub fn bit_size(&self) -> usize {
+        64 + self.payload.len()
+    }
+}
+
+/// A configuration `G_s`: a port-numbered graph plus one [`State`] per node.
+///
+/// # Examples
+///
+/// ```
+/// use rpls_core::Configuration;
+/// use rpls_graph::generators;
+///
+/// let config = Configuration::plain(generators::path(4));
+/// assert_eq!(config.node_count(), 4);
+/// assert_eq!(config.state(rpls_graph::NodeId::new(2)).id(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Configuration {
+    graph: Graph,
+    states: Vec<State>,
+}
+
+impl Configuration {
+    /// Creates a configuration from a graph and explicit states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of states differs from the number of nodes or if
+    /// two nodes share an identity (the model requires pairwise distinct
+    /// IDs).
+    #[must_use]
+    pub fn new(graph: Graph, states: Vec<State>) -> Self {
+        assert_eq!(
+            states.len(),
+            graph.node_count(),
+            "one state per node required"
+        );
+        let mut ids: Vec<u64> = states.iter().map(State::id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            states.len(),
+            "node identities must be pairwise distinct"
+        );
+        Self { graph, states }
+    }
+
+    /// The default configuration: node `v` gets identity `v` and an empty
+    /// payload.
+    #[must_use]
+    pub fn plain(graph: Graph) -> Self {
+        let states = (0..graph.node_count())
+            .map(|v| State::with_id(v as u64))
+            .collect();
+        Self::new(graph, states)
+    }
+
+    /// Like [`Configuration::plain`] but with explicit identities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` has the wrong length or repeats a value.
+    #[must_use]
+    pub fn with_ids(graph: Graph, ids: &[u64]) -> Self {
+        let states = ids.iter().map(|&id| State::with_id(id)).collect();
+        Self::new(graph, states)
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The state of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn state(&self, node: NodeId) -> &State {
+        &self.states[node.index()]
+    }
+
+    /// Mutable access to the state of `node` (used by workload builders to
+    /// install algorithm outputs).
+    pub fn state_mut(&mut self, node: NodeId) -> &mut State {
+        &mut self.states[node.index()]
+    }
+
+    /// All states, indexed by node.
+    #[must_use]
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// The node carrying identity `id`, if any.
+    #[must_use]
+    pub fn node_with_id(&self, id: u64) -> Option<NodeId> {
+        self.states
+            .iter()
+            .position(|s| s.id() == id)
+            .map(NodeId::new)
+    }
+
+    /// Maximum state size in bits over all nodes — the `k = k(n)` of
+    /// Lemma 3.3 and Corollary 3.4.
+    #[must_use]
+    pub fn state_bits(&self) -> usize {
+        self.states.iter().map(State::bit_size).max().unwrap_or(0)
+    }
+
+    /// Width in bits sufficient to index any node of this configuration
+    /// (`⌈log₂ n⌉`, at least 1).
+    #[must_use]
+    pub fn node_index_width(&self) -> u32 {
+        rpls_bits::id_width(self.node_count() as u64)
+    }
+
+    /// Width in bits sufficient to write any identity used here.
+    #[must_use]
+    pub fn id_width(&self) -> u32 {
+        self.states
+            .iter()
+            .map(|s| bits_for(s.id()))
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Replaces the graph while keeping the states — the operation a
+    /// crossing performs on a configuration (node states, including IDs, do
+    /// not move; only edges do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new graph has a different node count.
+    #[must_use]
+    pub fn with_graph(&self, graph: Graph) -> Self {
+        assert_eq!(
+            graph.node_count(),
+            self.node_count(),
+            "crossing preserves the node set"
+        );
+        Self {
+            graph,
+            states: self.states.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpls_graph::generators;
+
+    #[test]
+    fn plain_assigns_index_ids() {
+        let c = Configuration::plain(generators::cycle(5));
+        for v in c.graph().nodes() {
+            assert_eq!(c.state(v).id(), v.index() as u64);
+        }
+        assert_eq!(c.state_bits(), 64);
+    }
+
+    #[test]
+    fn with_ids_and_lookup() {
+        let c = Configuration::with_ids(generators::path(3), &[10, 20, 30]);
+        assert_eq!(c.node_with_id(20), Some(NodeId::new(1)));
+        assert_eq!(c.node_with_id(99), None);
+        assert_eq!(c.id_width(), 5); // 30 needs 5 bits
+    }
+
+    #[test]
+    #[should_panic(expected = "pairwise distinct")]
+    fn duplicate_ids_rejected() {
+        let _ = Configuration::with_ids(generators::path(3), &[1, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one state per node")]
+    fn state_count_mismatch_rejected() {
+        let _ = Configuration::new(generators::path(3), vec![State::with_id(0)]);
+    }
+
+    #[test]
+    fn payloads_count_toward_state_bits() {
+        let mut c = Configuration::plain(generators::path(2));
+        c.state_mut(NodeId::new(0))
+            .set_payload(BitString::zeros(100));
+        assert_eq!(c.state_bits(), 164);
+    }
+
+    #[test]
+    fn with_graph_preserves_states() {
+        let c = Configuration::with_ids(generators::cycle(4), &[7, 8, 9, 10]);
+        let crossedlike = c.with_graph(generators::cycle(4));
+        assert_eq!(crossedlike.state(NodeId::new(2)).id(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserves the node set")]
+    fn with_graph_rejects_resize() {
+        let c = Configuration::plain(generators::cycle(4));
+        let _ = c.with_graph(generators::cycle(5));
+    }
+}

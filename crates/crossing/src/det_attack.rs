@@ -1,0 +1,228 @@
+//! Proposition 4.3 executed: the deterministic pigeonhole crossing attack.
+//!
+//! Given a labeling of the host configuration and a family of independent
+//! copies, the attack (1) finds two copies whose concatenated labels are
+//! identical (guaranteed by pigeonhole once labels are shorter than
+//! `log₂(r) / 2s` bits), (2) crosses them, and (3) *verifies the fooling
+//! semantically*: every node's deterministic view — own state, own label,
+//! neighbor labels in port order — is bit-identical in the original and the
+//! crossed configuration. Identical views mean **every** deterministic
+//! verifier, known or unknown, returns the same vote at every node; if the
+//! predicate flipped, the scheme is broken.
+
+use rpls_bits::BitString;
+use rpls_core::{Configuration, Labeling};
+use rpls_graph::crossing::cross_copies;
+
+
+use crate::families::Family;
+
+/// Concatenates the labels of copy `i`'s nodes in the shared order induced
+/// by the isomorphisms — the string `L_i` of the Proposition 4.3 proof.
+#[must_use]
+pub fn copy_label_string(labeling: &Labeling, family: &Family, i: usize) -> BitString {
+    let nodes = family.copies.ordered_nodes(i);
+    BitString::concat(nodes.iter().map(|v| labeling.get(*v)).collect::<Vec<_>>())
+}
+
+/// Finds the first pair of copies with identical label strings.
+#[must_use]
+pub fn find_label_collision(labeling: &Labeling, family: &Family) -> Option<(usize, usize)> {
+    let r = family.copy_count();
+    let mut seen: std::collections::HashMap<BitString, usize> = std::collections::HashMap::new();
+    for i in 0..r {
+        let key = copy_label_string(labeling, family, i);
+        if let Some(&j) = seen.get(&key) {
+            return Some((j, i));
+        }
+        seen.insert(key, i);
+    }
+    None
+}
+
+/// Checks that every node's deterministic view is identical in the two
+/// configurations (same graph node set, same states, same labels, and same
+/// neighbor labels *per port*). This is the exact property the
+/// Proposition 4.3 proof establishes for a crossing of label-identical
+/// copies.
+#[must_use]
+pub fn views_identical(
+    original: &Configuration,
+    crossed: &Configuration,
+    labeling: &Labeling,
+) -> bool {
+    let (g, h) = (original.graph(), crossed.graph());
+    if g.node_count() != h.node_count() {
+        return false;
+    }
+    g.nodes().all(|v| {
+        if g.degree(v) != h.degree(v) {
+            return false;
+        }
+        (0..g.degree(v)).all(|p| {
+            let port = rpls_graph::Port::from_rank(p);
+            let a = g.neighbor_by_port(v, port).expect("port in range");
+            let b = h.neighbor_by_port(v, port).expect("port in range");
+            labeling.get(a.node) == labeling.get(b.node) && a.weight == b.weight
+        })
+    })
+}
+
+/// The outcome of a deterministic crossing attack.
+#[derive(Debug, Clone)]
+pub struct DetAttackReport {
+    /// The colliding pair of copy indices, if one exists.
+    pub collision: Option<(usize, usize)>,
+    /// The crossed configuration (if a collision was found).
+    pub crossed: Option<Configuration>,
+    /// Whether every node's view survived the crossing unchanged — the
+    /// "fooled" verdict.
+    pub views_preserved: bool,
+    /// Maximum label bits of the attacked labeling.
+    pub label_bits: usize,
+    /// The pigeonhole threshold `log₂(r) / 2s` for this family.
+    pub threshold_bits: f64,
+}
+
+impl DetAttackReport {
+    /// Whether the attack went through: a collision existed and the views
+    /// were preserved across the crossing.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.collision.is_some() && self.views_preserved
+    }
+}
+
+/// Runs the full Proposition 4.3 attack against a labeling (e.g. the honest
+/// labels of a scheme under a bit budget).
+#[must_use]
+pub fn det_crossing_attack(family: &Family, labeling: &Labeling) -> DetAttackReport {
+    let threshold_bits = family.det_threshold_bits();
+    let label_bits = labeling.max_bits();
+    let Some((i, j)) = find_label_collision(labeling, family) else {
+        return DetAttackReport {
+            collision: None,
+            crossed: None,
+            views_preserved: false,
+            label_bits,
+            threshold_bits,
+        };
+    };
+    let crossed_graph = cross_copies(family.config.graph(), &family.copies, i, j)
+        .expect("family copies are crossable");
+    let crossed = family.config.with_graph(crossed_graph);
+    let views_preserved = views_identical(&family.config, &crossed, labeling);
+    DetAttackReport {
+        collision: Some((i, j)),
+        crossed: Some(crossed),
+        views_preserved,
+        label_bits,
+        threshold_bits,
+    }
+}
+
+/// Convenience for experiments: attack the truncation of a labeling to
+/// `bits` bits per label.
+#[must_use]
+pub fn det_attack_truncated(family: &Family, labeling: &Labeling, bits: usize) -> DetAttackReport {
+    det_crossing_attack(family, &labeling.truncated(bits))
+}
+
+/// The smallest per-label bit budget at which no collision exists among the
+/// copies (a measured analogue of the Theorem 4.4 bound for a specific
+/// labeling): truncating below this always yields a collision.
+#[must_use]
+pub fn collision_free_budget(family: &Family, labeling: &Labeling) -> usize {
+    let max = labeling.max_bits();
+    (0..=max)
+        .find(|&b| find_label_collision(&labeling.truncated(b), family).is_none())
+        .unwrap_or(max + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use rpls_core::engine;
+    use rpls_core::Pls;
+    use rpls_graph::cycles;
+    use rpls_graph::NodeId;
+    use rpls_schemes::acyclicity::AcyclicityPls;
+
+    /// Labels every node with the same constant: every pair collides.
+    fn constant_labeling(n: usize, bits: usize) -> Labeling {
+        Labeling::new(vec![BitString::zeros(bits); n])
+    }
+
+    #[test]
+    fn constant_labels_always_fooled() {
+        let f = families::acyclicity_path(18);
+        let labeling = constant_labeling(18, 3);
+        let report = det_crossing_attack(&f, &labeling);
+        assert!(report.succeeded());
+        let crossed = report.crossed.unwrap();
+        // Predicate flipped: the path became cyclic.
+        assert!(cycles::is_forest(f.config.graph()));
+        assert!(cycles::has_cycle(crossed.graph()));
+    }
+
+    #[test]
+    fn honest_acyclicity_labels_resist_the_attack() {
+        // Full Θ(log n) labels: distances differ across copies, so no
+        // collision exists and the attack reports failure.
+        let f = families::acyclicity_path(18);
+        let labeling = AcyclicityPls.label(&f.config);
+        let report = det_crossing_attack(&f, &labeling);
+        assert!(report.collision.is_none());
+        assert!(!report.succeeded());
+    }
+
+    #[test]
+    fn truncation_below_threshold_gets_fooled() {
+        let f = families::acyclicity_path(33); // r = 10 copies
+        let labeling = AcyclicityPls.label(&f.config);
+        // At 0 bits everything collides.
+        let report = det_attack_truncated(&f, &labeling, 0);
+        assert!(report.succeeded());
+        // The measured collision-free budget is positive.
+        let budget = collision_free_budget(&f, &labeling);
+        assert!(budget > 0);
+    }
+
+    #[test]
+    fn views_identical_detects_label_differences() {
+        let f = families::acyclicity_path(12);
+        let labeling = AcyclicityPls.label(&f.config);
+        // Crossing without a collision: views must differ.
+        let crossed_graph = rpls_graph::crossing::cross_copies(
+            f.config.graph(),
+            &f.copies,
+            0,
+            1,
+        )
+        .unwrap();
+        let crossed = f.config.with_graph(crossed_graph);
+        assert!(!views_identical(&f.config, &crossed, &labeling));
+    }
+
+    #[test]
+    fn fooled_views_fool_a_real_verifier() {
+        // With view preservation established, an actual verifier must give
+        // identical votes on both configurations.
+        let f = families::acyclicity_path(18);
+        let labeling = constant_labeling(18, 2);
+        let report = det_crossing_attack(&f, &labeling);
+        let crossed = report.crossed.unwrap();
+        let before = engine::run_deterministic(&AcyclicityPls, &f.config, &labeling);
+        let after = engine::run_deterministic(&AcyclicityPls, &crossed, &labeling);
+        assert_eq!(before.votes(), after.votes());
+    }
+
+    #[test]
+    fn label_strings_follow_iso_order() {
+        let f = families::acyclicity_path(12);
+        let labeling = AcyclicityPls.label(&f.config);
+        let s0 = copy_label_string(&labeling, &f, 0);
+        assert_eq!(s0.len(), 2 * labeling.get(NodeId::new(3)).len());
+    }
+}

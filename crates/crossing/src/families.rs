@@ -1,0 +1,209 @@
+//! The concrete lower-bound families of §5, packaged for the attacks.
+
+use rpls_core::Configuration;
+use rpls_graph::crossing::IndependentCopies;
+use rpls_graph::{generators, NodeId};
+
+/// A lower-bound instance: a legal configuration, its independent copies,
+/// and what the crossing is supposed to break.
+#[derive(Debug, Clone)]
+pub struct Family {
+    /// Human-readable description for reports.
+    pub name: String,
+    /// The legal configuration `G_s`.
+    pub config: Configuration,
+    /// The `r` pairwise independent isomorphic copies with their
+    /// isomorphisms.
+    pub copies: IndependentCopies,
+}
+
+impl Family {
+    /// `r`, the number of copies.
+    #[must_use]
+    pub fn copy_count(&self) -> usize {
+        self.copies.count()
+    }
+
+    /// `s`, the edges per copy.
+    #[must_use]
+    pub fn edges_per_copy(&self) -> usize {
+        self.copies.edges_per_copy()
+    }
+
+    /// The deterministic pigeonhole threshold of Theorem 4.4 in bits:
+    /// schemes below `log₂(r) / 2s` per label are guaranteed a colliding
+    /// pair.
+    #[must_use]
+    pub fn det_threshold_bits(&self) -> f64 {
+        (self.copy_count() as f64).log2() / (2.0 * self.edges_per_copy() as f64)
+    }
+
+    /// The randomized threshold of Theorem 4.7 in bits:
+    /// `log₂ log₂(r) / 2s`.
+    #[must_use]
+    pub fn rand_threshold_bits(&self) -> f64 {
+        (self.copy_count() as f64).log2().log2() / (2.0 * self.edges_per_copy() as f64)
+    }
+}
+
+/// Theorem 5.1's family: the path `u_0 … u_{n-1}` (acyclic, hence a legal
+/// MST/acyclicity instance) with single-edge copies
+/// `H_i = {u_{3i}, u_{3i+1}}`. Crossing any two copies closes a cycle.
+///
+/// # Panics
+///
+/// Panics if `n < 9` (needs at least two copies).
+#[must_use]
+pub fn acyclicity_path(n: usize) -> Family {
+    assert!(n >= 9, "need at least two independent copies");
+    let g = generators::path(n);
+    let edges: Vec<(NodeId, NodeId)> = (1..n / 3)
+        .map(|i| (NodeId::new(3 * i), NodeId::new(3 * i + 1)))
+        .collect();
+    let copies = IndependentCopies::single_edges(&g, &edges)
+        .expect("path copies are independent and port-preserving");
+    Family {
+        name: format!("acyclicity-path(n={n})"),
+        config: Configuration::plain(g),
+        copies,
+    }
+}
+
+/// Theorem 5.2's family: the Figure 2 wheel (biconnected) with single-edge
+/// rim copies `H_i = {v_{3i}, v_{3i+1}}`. Crossing disconnects the rim and
+/// makes `v0` an articulation point (Figure 2(b)).
+///
+/// # Panics
+///
+/// Panics if `n < 10`.
+#[must_use]
+pub fn wheel(n: usize) -> Family {
+    assert!(n >= 10, "need at least two independent rim copies");
+    let g = generators::wheel(n);
+    // Rim edges away from v0 (whose incident rim edges border the chords).
+    let edges: Vec<(NodeId, NodeId)> = (1..=(n / 3 - 1))
+        .map(|i| (NodeId::new(3 * i), NodeId::new(3 * i + 1)))
+        .collect();
+    let copies = IndependentCopies::single_edges(&g, &edges)
+        .expect("wheel rim copies are independent and port-preserving");
+    Family {
+        name: format!("wheel(n={n})"),
+        config: Configuration::plain(g),
+        copies,
+    }
+}
+
+/// Theorem 5.4's family: the restricted wheel — a `c`-cycle with spokes
+/// from `v0` to everything (cycle-at-least-c holds) and copies on the cycle
+/// part only. Crossing splits the long cycle into two short ones.
+///
+/// # Panics
+///
+/// Panics if `c < 10` or `n < c`.
+#[must_use]
+pub fn wheel_cycle(n: usize, c: usize) -> Family {
+    assert!(c >= 10, "need at least two independent cycle copies");
+    let g = generators::wheel_with_tail(n, c);
+    let edges: Vec<(NodeId, NodeId)> = (1..=(c / 3 - 1))
+        .map(|i| (NodeId::new(3 * i), NodeId::new(3 * i + 1)))
+        .collect();
+    let copies = IndependentCopies::single_edges(&g, &edges)
+        .expect("cycle copies are independent and port-preserving");
+    Family {
+        name: format!("wheel-cycle(n={n}, c={c})"),
+        config: Configuration::plain(g),
+        copies,
+    }
+}
+
+/// Theorem 5.6's family: the Figure 5 chain of `count` cycles of
+/// `cycle_len` nodes each (cycle-at-most-`cycle_len` holds), one copy edge
+/// per cycle. Crossing two copies merges their cycles into one of double
+/// length.
+///
+/// # Panics
+///
+/// Panics if `cycle_len < 6` (smaller cycles leave no edge clear of the
+/// bridge endpoints) or `count < 2`.
+#[must_use]
+pub fn chain_of_cycles(count: usize, cycle_len: usize) -> Family {
+    assert!(cycle_len >= 6, "cycle too short to host an independent copy");
+    assert!(count >= 2, "need at least two cycles");
+    let g = generators::chain_of_cycles(count, cycle_len);
+    // Bridge endpoints within each cycle are node 1 and node len/2; the
+    // edge {len-2, len-1} avoids both.
+    let edges: Vec<(NodeId, NodeId)> = (0..count)
+        .map(|k| {
+            let base = k * cycle_len;
+            (
+                NodeId::new(base + cycle_len - 2),
+                NodeId::new(base + cycle_len - 1),
+            )
+        })
+        .collect();
+    let copies = IndependentCopies::single_edges(&g, &edges)
+        .expect("per-cycle copies are independent and port-preserving");
+    Family {
+        name: format!("chain-of-cycles(count={count}, len={cycle_len})"),
+        config: Configuration::plain(g),
+        copies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpls_graph::crossing::cross_copies;
+    use rpls_graph::{connectivity, cycles};
+
+    #[test]
+    fn path_family_crossing_creates_cycle() {
+        let f = acyclicity_path(18);
+        assert!(f.copy_count() >= 4);
+        assert!(cycles::is_forest(f.config.graph()));
+        for j in 1..f.copy_count() {
+            let crossed = cross_copies(f.config.graph(), &f.copies, 0, j).unwrap();
+            assert!(cycles::has_cycle(&crossed), "pair (0, {j})");
+        }
+    }
+
+    #[test]
+    fn wheel_family_crossing_breaks_biconnectivity() {
+        let f = wheel(16);
+        assert!(connectivity::is_biconnected(f.config.graph()));
+        let crossed = cross_copies(f.config.graph(), &f.copies, 0, 2).unwrap();
+        assert!(connectivity::is_connected(&crossed));
+        assert!(!connectivity::is_biconnected(&crossed));
+    }
+
+    #[test]
+    fn wheel_cycle_family_crossing_shortens_cycles() {
+        let (n, c) = (16, 12);
+        let f = wheel_cycle(n, c);
+        assert!(cycles::has_cycle_at_least(f.config.graph(), c));
+        let crossed = cross_copies(f.config.graph(), &f.copies, 0, 1).unwrap();
+        assert!(
+            !cycles::has_cycle_at_least(&crossed, c),
+            "crossing must split the long cycle"
+        );
+    }
+
+    #[test]
+    fn chain_family_crossing_merges_cycles() {
+        let f = chain_of_cycles(3, 6);
+        assert!(cycles::all_cycles_at_most(f.config.graph(), 6));
+        let crossed = cross_copies(f.config.graph(), &f.copies, 0, 2).unwrap();
+        assert!(
+            !cycles::all_cycles_at_most(&crossed, 6),
+            "crossing must create a long cycle"
+        );
+        assert!(cycles::has_cycle_at_least(&crossed, 12));
+    }
+
+    #[test]
+    fn thresholds_are_positive_and_ordered() {
+        let f = acyclicity_path(60);
+        assert!(f.det_threshold_bits() > f.rand_threshold_bits());
+        assert!(f.rand_threshold_bits() > 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Theorem 5.5 executed: iterated crossing.
+//!
+//! Theorem 5.4 distinguishes a graph with a c-cycle from graphs with
+//! (c−1)-cycles by a single crossing. Theorem 5.5 strengthens the bound to
+//! hold against the family "n-cycle vs everything below c": starting from
+//! the wheel (an n-cycle with chords), repeatedly find two *remaining*
+//! independent cycle edges whose labels collide and cross them, halving
+//! cycles until everything is shorter than `c`. Each individual crossing
+//! preserves every node's view, so the composition does too: the final
+//! graph — with all cycles short — is still accepted by any deterministic
+//! verifier that accepted the original.
+
+use rpls_bits::BitString;
+use rpls_core::{Configuration, Labeling};
+use rpls_graph::crossing::{cross, PortIsomorphism};
+use rpls_graph::subgraph::Subgraph;
+use rpls_graph::NodeId;
+
+use crate::det_attack::views_identical;
+
+/// Outcome of the iterated crossing of Theorem 5.5.
+#[derive(Debug, Clone)]
+pub struct IteratedReport {
+    /// The final configuration after all crossings.
+    pub final_config: Configuration,
+    /// Number of crossings performed.
+    pub crossings: usize,
+    /// Whether every node's view is identical to the original's (the
+    /// composed fooling guarantee).
+    pub views_preserved: bool,
+    /// Length of the longest simple cycle in the final graph.
+    pub final_longest_cycle: Option<usize>,
+}
+
+/// Iteratively crosses label-colliding pairs from `oriented_edges` (each a
+/// single-edge copy in the original graph) until no colliding pair remains
+/// or `stop_below` is reached by the longest cycle.
+///
+/// Returns the final configuration along with the fooling verdict.
+///
+/// # Panics
+///
+/// Panics if an oriented pair is not an edge of the configuration.
+#[must_use]
+pub fn iterated_crossing(
+    config: &Configuration,
+    labeling: &Labeling,
+    oriented_edges: &[(NodeId, NodeId)],
+    stop_below: usize,
+) -> IteratedReport {
+    let mut graph = config.graph().clone();
+    let mut remaining: Vec<(NodeId, NodeId)> = oriented_edges.to_vec();
+    let mut crossings = 0usize;
+
+    loop {
+        if graph.node_count() <= 64 {
+            if let Some(len) = rpls_graph::cycles::longest_cycle(&graph) {
+                if len < stop_below {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        // Group remaining copies by their label strings.
+        let mut by_label: std::collections::HashMap<BitString, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (idx, &(a, b)) in remaining.iter().enumerate() {
+            let key = BitString::concat([labeling.get(a), labeling.get(b)]);
+            by_label.entry(key).or_default().push(idx);
+        }
+        let Some(pair) = by_label.values().find(|v| v.len() >= 2) else {
+            break; // no colliding pair left
+        };
+        let (i, j) = (pair[0], pair[1]);
+        let (a1, b1) = remaining[i];
+        let (a2, b2) = remaining[j];
+        let eid = graph
+            .edge_between(a1, b1)
+            .expect("copy edge present in current graph");
+        let h = Subgraph::from_edges(&graph, [eid]);
+        let sigma = PortIsomorphism::from_pairs([(a1, a2), (b1, b2)])
+            .expect("distinct endpoints");
+        graph = cross(&graph, &sigma, &h).expect("copies remain crossable");
+        crossings += 1;
+        // Both copies are consumed.
+        let mut kept = Vec::with_capacity(remaining.len() - 2);
+        for (idx, e) in remaining.into_iter().enumerate() {
+            if idx != i && idx != j {
+                kept.push(e);
+            }
+        }
+        remaining = kept;
+    }
+
+    let final_config = config.with_graph(graph);
+    let views_preserved = views_identical(config, &final_config, labeling);
+    let final_longest_cycle = if final_config.graph().node_count() <= 64 {
+        rpls_graph::cycles::longest_cycle(final_config.graph())
+    } else {
+        None
+    };
+    IteratedReport {
+        final_config,
+        crossings,
+        views_preserved,
+        final_longest_cycle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpls_core::engine;
+    use rpls_core::Pls;
+    use rpls_graph::{cycles, generators};
+
+    /// The Theorem 5.5 setting: the wheel (n-cycle with chords) labeled
+    /// with constant (zero-bit-budget) labels; iterate crossings on the rim
+    /// until all cycles are short.
+    #[test]
+    fn iterated_crossing_destroys_long_cycles_invisibly() {
+        let n = 24;
+        let g = generators::wheel(n);
+        let config = Configuration::plain(g);
+        let labeling = Labeling::new(vec![BitString::zeros(1); n]);
+        // Independent rim copies away from v0.
+        let edges: Vec<(NodeId, NodeId)> = (1..=(n / 3 - 1))
+            .map(|i| (NodeId::new(3 * i), NodeId::new(3 * i + 1)))
+            .collect();
+        assert_eq!(cycles::longest_cycle(config.graph()), Some(n));
+
+        let report = iterated_crossing(&config, &labeling, &edges, 10);
+        assert!(report.crossings >= 2, "crossings = {}", report.crossings);
+        assert!(report.views_preserved, "fooling must be invisible");
+        let final_len = report.final_longest_cycle.unwrap();
+        assert!(final_len < n, "long cycle destroyed: {final_len}");
+    }
+
+    #[test]
+    fn verifier_verdict_survives_iterated_crossing() {
+        // Any deterministic verifier sees identical views, so its votes are
+        // identical; spot-check with the modular-distance scheme.
+        let n = 24;
+        let config = Configuration::plain(generators::wheel(n));
+        let scheme = crate::mod_distance::ModDistancePls::new(1);
+        let labeling = scheme.label(&config);
+        let edges: Vec<(NodeId, NodeId)> = (1..=(n / 3 - 1))
+            .map(|i| (NodeId::new(3 * i), NodeId::new(3 * i + 1)))
+            .collect();
+        let report = iterated_crossing(&config, &labeling, &edges, 6);
+        if report.views_preserved {
+            let before = engine::run_deterministic(&scheme, &config, &labeling);
+            let after =
+                engine::run_deterministic(&scheme, &report.final_config, &labeling);
+            assert_eq!(before.votes(), after.votes());
+        }
+        assert!(report.crossings >= 1);
+    }
+
+    #[test]
+    fn distinct_labels_stop_the_iteration() {
+        // Wide labels: no collisions, zero crossings.
+        let n = 15;
+        let config = Configuration::plain(generators::wheel(n));
+        let labeling: Labeling = (0..n as u64)
+            .map(|i| {
+                let mut w = rpls_bits::BitWriter::new();
+                w.write_u64(i, 8);
+                w.finish()
+            })
+            .collect();
+        let edges: Vec<(NodeId, NodeId)> = (1..=(n / 3 - 1))
+            .map(|i| (NodeId::new(3 * i), NodeId::new(3 * i + 1)))
+            .collect();
+        let report = iterated_crossing(&config, &labeling, &edges, 3);
+        assert_eq!(report.crossings, 0);
+        assert!(report.views_preserved); // nothing changed
+        assert_eq!(report.final_longest_cycle, Some(n));
+    }
+}

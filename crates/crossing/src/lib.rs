@@ -1,0 +1,42 @@
+//! Lower-bound machinery: the crossing arguments of §4 of *Randomized
+//! Proof-Labeling Schemes*, executable.
+//!
+//! The paper's space lower bounds all follow one recipe: exhibit `r`
+//! pairwise independent isomorphic subgraphs in a legal configuration, show
+//! by pigeonhole that a scheme with too few bits must treat two of them
+//! identically, and *cross* those two (Definition 4.2) — producing an
+//! illegal configuration every node sees exactly the same way. This crate
+//! turns each step into code:
+//!
+//! * [`families`] — the concrete instances of §5: the acyclicity path
+//!   (Thm 5.1), the wheel (Thm 5.2 / Fig. 2), the restricted wheel
+//!   (Thm 5.4), the chain of cycles (Thm 5.6 / Fig. 5);
+//! * [`det_attack`] — Proposition 4.3: find a label-colliding pair, cross,
+//!   and *prove* the fooling by checking that every node's local view is
+//!   bit-identical in the two configurations (hence **any** deterministic
+//!   verifier gives the same verdict);
+//! * [`onesided_attack`] — Proposition 4.8: the same pigeonhole on
+//!   certificate *supports*, fooling any one-sided randomized scheme;
+//! * [`rounded`] — Proposition 4.6: ε-rounded certificate distributions
+//!   and the acceptance-probability transfer for two-sided
+//!   edge-independent schemes;
+//! * [`iterated`] — Theorem 5.5: applying the crossing repeatedly until
+//!   every long cycle is destroyed;
+//! * [`mod_distance`] — a tunable `B`-bit acyclicity scheme (distances
+//!   modulo `2^B`) that is complete at every budget and sound exactly when
+//!   `B` clears the pigeonhole threshold — the demonstration vehicle for
+//!   watching the fooling kick in below the bound.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod det_attack;
+pub mod families;
+pub mod iterated;
+pub mod mod_distance;
+pub mod onesided_attack;
+pub mod rounded;
+
+pub use det_attack::{det_crossing_attack, DetAttackReport};
+pub use families::Family;
+pub use mod_distance::ModDistancePls;

@@ -1,0 +1,182 @@
+//! A tunable-budget acyclicity scheme: distances modulo `2^B`.
+//!
+//! The lower-bound experiments need a scheme that (a) is *complete* at
+//! every bit budget `B` and (b) degrades gracefully: sound when `B` is
+//! large enough that wrap-arounds cannot hide a cycle, provably fooled by
+//! the Proposition 4.3 crossing when `B` drops below the pigeonhole
+//! threshold. Reducing the classic distance labeling modulo `2^B` does
+//! exactly that:
+//!
+//! * every node checks that exactly one neighbor sits at `d − 1 (mod 2^B)`
+//!   and all others at `d + 1 (mod 2^B)` — or that it is a local root with
+//!   all neighbors at `+1`;
+//! * on a path the true distances satisfy this at any `B`;
+//! * on a cycle whose length is a multiple of `2^B`, the reduced distances
+//!   wrap seamlessly and every node accepts — the scheme is *fooled*,
+//!   exactly as Theorem 4.4 predicts must happen once `B < log₂(r)/2s`.
+
+use rpls_bits::BitWriter;
+use rpls_core::{Configuration, DetView, Labeling, Pls};
+
+/// The `B`-bit modular-distance acyclicity scheme.
+#[derive(Debug, Clone, Copy)]
+pub struct ModDistancePls {
+    bits: u32,
+}
+
+impl ModDistancePls {
+    /// The scheme with `bits`-bit labels (distances modulo `2^bits`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or exceeds 32.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=32).contains(&bits), "bits must be in 1..=32");
+        Self { bits }
+    }
+
+    /// The label budget `B`.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn modulus(&self) -> u64 {
+        1u64 << self.bits
+    }
+}
+
+impl Pls for ModDistancePls {
+    fn name(&self) -> String {
+        format!("mod-distance({} bits)", self.bits)
+    }
+
+    fn label(&self, config: &Configuration) -> Labeling {
+        let g = config.graph();
+        let root = g
+            .nodes()
+            .min_by_key(|&v| config.state(v).id())
+            .expect("nonempty graph");
+        let bfs = rpls_graph::traversal::bfs(g, root);
+        let m = self.modulus();
+        g.nodes()
+            .map(|v| {
+                let d = bfs.dist[v.index()].expect("connected graph") as u64 % m;
+                let mut w = BitWriter::new();
+                w.write_u64(d, self.bits);
+                w.finish()
+            })
+            .collect()
+    }
+
+    fn verify(&self, view: &DetView<'_>) -> bool {
+        let m = self.modulus();
+        if view.label.len() != self.bits as usize {
+            return false;
+        }
+        let own = view.label.leading_u64();
+        let mut below = 0usize;
+        for l in &view.neighbor_labels {
+            if l.len() != self.bits as usize {
+                return false;
+            }
+            let d = l.leading_u64();
+            if d == (own + m - 1) % m {
+                below += 1;
+            } else if d != (own + 1) % m {
+                return false;
+            }
+        }
+        // A local root (everyone above) or a regular node (exactly one
+        // parent below). With B = 1 the residues `own − 1` and `own + 1`
+        // coincide, so only the alternation is checkable and the parent
+        // count carries no information.
+        m == 2 || below <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::det_attack::{det_crossing_attack, find_label_collision};
+    use crate::families;
+    use rpls_core::engine;
+    use rpls_graph::{cycles, generators};
+    use rpls_bits::BitString;
+
+    #[test]
+    fn complete_on_paths_at_every_budget() {
+        for bits in [1u32, 2, 3, 5, 8] {
+            let c = Configuration::plain(generators::path(20));
+            let scheme = ModDistancePls::new(bits);
+            let labeling = scheme.label(&c);
+            assert_eq!(labeling.max_bits(), bits as usize);
+            let out = engine::run_deterministic(&scheme, &c, &labeling);
+            assert!(out.accepted(), "B = {bits}");
+        }
+    }
+
+    #[test]
+    fn sound_on_cycles_with_large_budget() {
+        // 2^B > n: no wrap can close; some node must reject its own honest
+        // labeling, and small exhaustive forging fails too.
+        let c = Configuration::plain(generators::cycle(4));
+        let scheme = ModDistancePls::new(3);
+        let labeling = scheme.label(&c);
+        assert!(!engine::run_deterministic(&scheme, &c, &labeling).accepted());
+        assert!(rpls_core::adversary::exhaustive_forge(&scheme, &c, 3).is_none());
+    }
+
+    #[test]
+    fn fooled_on_cycles_whose_length_wraps() {
+        // A cycle of length 8 with B = 2 (modulus 4): distances 0,1,2,3
+        // repeat and everyone accepts a cyclic graph.
+        let c = Configuration::plain(generators::cycle(8));
+        let scheme = ModDistancePls::new(2);
+        let labeling: Labeling = (0..8u64)
+            .map(|i| {
+                let mut w = BitWriter::new();
+                w.write_u64(i % 4, 2);
+                w.finish()
+            })
+            .collect();
+        let out = engine::run_deterministic(&scheme, &c, &labeling);
+        assert!(out.accepted(), "wrap-around fools the modular check");
+        assert!(cycles::has_cycle(c.graph()));
+    }
+
+    #[test]
+    fn crossing_attack_succeeds_below_threshold() {
+        // r = 12 copies on a 39-node path; B = 1 bit ≪ log(12)/2. The
+        // pigeonhole pair exists and the crossing fools the scheme into
+        // accepting a cyclic graph.
+        let f = families::acyclicity_path(39);
+        let scheme = ModDistancePls::new(1);
+        let labeling = scheme.label(&f.config);
+        assert!(engine::run_deterministic(&scheme, &f.config, &labeling).accepted());
+
+        let report = det_crossing_attack(&f, &labeling);
+        assert!(report.succeeded(), "collision must exist at B = 1");
+        let crossed = report.crossed.unwrap();
+        assert!(cycles::has_cycle(crossed.graph()), "predicate flipped");
+        let out = engine::run_deterministic(&scheme, &crossed, &labeling);
+        assert!(out.accepted(), "the verifier is fooled on the crossed graph");
+    }
+
+    #[test]
+    fn large_budget_has_no_collision_on_the_family() {
+        let f = families::acyclicity_path(39);
+        let scheme = ModDistancePls::new(8); // 2^8 > n: distances distinct
+        let labeling = scheme.label(&f.config);
+        assert!(find_label_collision(&labeling, &f).is_none());
+    }
+
+    #[test]
+    fn malformed_label_width_rejected() {
+        let c = Configuration::plain(generators::path(4));
+        let scheme = ModDistancePls::new(3);
+        let labeling = Labeling::new(vec![BitString::zeros(5); 4]);
+        assert!(!engine::run_deterministic(&scheme, &c, &labeling).accepted());
+    }
+}

@@ -1,0 +1,239 @@
+//! Proposition 4.8 executed: the support-pigeonhole attack on one-sided
+//! randomized schemes.
+//!
+//! A one-sided scheme must accept a legal configuration with probability 1,
+//! so at every node only certificates that are *always accepted* can carry
+//! positive probability. If two independent copies induce identical
+//! certificate **supports** on their corresponding directed edges —
+//! guaranteed by pigeonhole once `κ < (1/2s)·log log r` — then every
+//! certificate exchanged in the crossed configuration is one the receiving
+//! node already accepts, and the crossed (illegal) configuration is
+//! accepted with probability 1.
+//!
+//! Supports are measured empirically by sampling certificate generation
+//! across many seeds; for the fingerprint-based compiled schemes the
+//! support is the finite set `{(x, P(x)) : x ∈ GF(p)}`, covered quickly.
+
+use rpls_bits::BitString;
+use rpls_core::engine::{self, mix_seed};
+use rpls_core::{Configuration, Labeling, Rpls};
+use rpls_graph::crossing::cross_copies;
+use rpls_graph::NodeId;
+use std::collections::BTreeSet;
+
+use crate::families::Family;
+
+/// The sampled certificate support of one directed edge `(from → to)`.
+pub type Support = BTreeSet<BitString>;
+
+/// Samples the support of the certificates node `from` generates for its
+/// port towards `to`, over `samples` draws from the stream identified by
+/// `stream_seed`.
+///
+/// Callers comparing corresponding edges of different copies should pass
+/// the **same** `stream_seed` for corresponding positions: the sampled set
+/// is then a deterministic function of the node's certificate distribution,
+/// so equal distributions give equal samples (and the sets converge to the
+/// true supports regardless).
+#[must_use]
+pub fn sample_support<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    from: NodeId,
+    to: NodeId,
+    samples: usize,
+    stream_seed: u64,
+) -> Support {
+    let g = config.graph();
+    let nb = g
+        .neighbors(from)
+        .find(|nb| nb.node == to)
+        .expect("nodes must be adjacent");
+    let view = rpls_core::CertView {
+        local: engine::local_context(config, from),
+        label: labeling.get(from),
+    };
+    (0..samples)
+        .map(|t| {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(mix_seed(stream_seed, t as u64, 0));
+            scheme.certify(&view, nb.port, &mut rng)
+        })
+        .collect()
+}
+
+/// The support signature of copy `i`: one support per directed edge, in the
+/// shared order induced by the isomorphisms. The sampling stream is derived
+/// from the *position* (edge rank and direction within the copy), not the
+/// node, so corresponding edges of different copies are probed identically.
+#[must_use]
+pub fn copy_support_signature<S: Rpls + ?Sized>(
+    scheme: &S,
+    family: &Family,
+    labeling: &Labeling,
+    i: usize,
+    samples: usize,
+    seed: u64,
+) -> Vec<Support> {
+    let g = family.config.graph();
+    family
+        .copies
+        .ordered_edges(g, i)
+        .into_iter()
+        .enumerate()
+        .flat_map(|(pos, (a, b))| {
+            [
+                sample_support(
+                    scheme,
+                    &family.config,
+                    labeling,
+                    a,
+                    b,
+                    samples,
+                    mix_seed(seed, pos as u64, 0),
+                ),
+                sample_support(
+                    scheme,
+                    &family.config,
+                    labeling,
+                    b,
+                    a,
+                    samples,
+                    mix_seed(seed, pos as u64, 1),
+                ),
+            ]
+        })
+        .collect()
+}
+
+/// Finds two copies with identical support signatures.
+#[must_use]
+pub fn find_support_collision<S: Rpls + ?Sized>(
+    scheme: &S,
+    family: &Family,
+    labeling: &Labeling,
+    samples: usize,
+    seed: u64,
+) -> Option<(usize, usize)> {
+    let mut seen: std::collections::HashMap<Vec<Support>, usize> =
+        std::collections::HashMap::new();
+    for i in 0..family.copy_count() {
+        let sig = copy_support_signature(scheme, family, labeling, i, samples, seed);
+        if let Some(&j) = seen.get(&sig) {
+            return Some((j, i));
+        }
+        seen.insert(sig, i);
+    }
+    None
+}
+
+/// Outcome of the one-sided crossing attack.
+#[derive(Debug, Clone)]
+pub struct OneSidedAttackReport {
+    /// The support-colliding pair, if found.
+    pub collision: Option<(usize, usize)>,
+    /// The crossed configuration.
+    pub crossed: Option<Configuration>,
+    /// Measured acceptance probability on the original configuration.
+    pub original_acceptance: f64,
+    /// Measured acceptance probability on the crossed configuration (with
+    /// the same labels). `1.0` here against a flipped predicate is the
+    /// Proposition 4.8 conclusion.
+    pub crossed_acceptance: f64,
+}
+
+impl OneSidedAttackReport {
+    /// Whether the attack went through: a collision existed and the crossed
+    /// configuration is accepted essentially always.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.collision.is_some() && self.crossed_acceptance >= 0.999
+    }
+}
+
+/// Runs the full Proposition 4.8 attack.
+#[must_use]
+pub fn onesided_crossing_attack<S: Rpls + ?Sized>(
+    scheme: &S,
+    family: &Family,
+    labeling: &Labeling,
+    samples: usize,
+    trials: usize,
+    seed: u64,
+) -> OneSidedAttackReport {
+    let original_acceptance =
+        rpls_core::stats::acceptance_probability(scheme, &family.config, labeling, trials, seed);
+    let Some((i, j)) = find_support_collision(scheme, family, labeling, samples, seed) else {
+        return OneSidedAttackReport {
+            collision: None,
+            crossed: None,
+            original_acceptance,
+            crossed_acceptance: 0.0,
+        };
+    };
+    let crossed_graph = cross_copies(family.config.graph(), &family.copies, i, j)
+        .expect("family copies are crossable");
+    let crossed = family.config.with_graph(crossed_graph);
+    let crossed_acceptance =
+        rpls_core::stats::acceptance_probability(scheme, &crossed, labeling, trials, seed + 1);
+    OneSidedAttackReport {
+        collision: Some((i, j)),
+        crossed: Some(crossed),
+        original_acceptance,
+        crossed_acceptance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use crate::mod_distance::ModDistancePls;
+    use rpls_core::CompiledRpls;
+    use rpls_graph::cycles;
+
+    #[test]
+    fn compiled_mod_distance_supports_collide_and_attack_lands() {
+        // B = 1: inner labels repeat with period 2 along the path, so the
+        // fingerprint supports of distinct copies coincide. The compiled
+        // scheme is one-sided; the crossed cyclic graph is accepted w.p. 1.
+        let f = families::acyclicity_path(39);
+        let scheme = CompiledRpls::new(ModDistancePls::new(1));
+        let labeling = scheme.label(&f.config);
+        let report = onesided_crossing_attack(&scheme, &f, &labeling, 600, 60, 3);
+        assert_eq!(report.original_acceptance, 1.0);
+        assert!(report.succeeded(), "collision: {:?}", report.collision);
+        assert!(cycles::has_cycle(report.crossed.unwrap().graph()));
+    }
+
+    #[test]
+    fn wide_inner_labels_have_distinct_supports() {
+        // B = 8 > log n: all copy distances differ, fingerprint supports
+        // differ, no collision.
+        let f = families::acyclicity_path(39);
+        let scheme = CompiledRpls::new(ModDistancePls::new(8));
+        let labeling = scheme.label(&f.config);
+        assert!(find_support_collision(&scheme, &f, &labeling, 400, 5).is_none());
+    }
+
+    #[test]
+    fn support_sampling_is_deterministic_in_seed() {
+        let f = families::acyclicity_path(12);
+        let scheme = CompiledRpls::new(ModDistancePls::new(2));
+        let labeling = scheme.label(&f.config);
+        let a = copy_support_signature(&scheme, &f, &labeling, 0, 100, 7);
+        let b = copy_support_signature(&scheme, &f, &labeling, 0, 100, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn supports_are_nontrivial_sets() {
+        let f = families::acyclicity_path(12);
+        let scheme = CompiledRpls::new(ModDistancePls::new(2));
+        let labeling = scheme.label(&f.config);
+        let sig = copy_support_signature(&scheme, &f, &labeling, 0, 300, 1);
+        // Fingerprints range over many evaluation points.
+        assert!(sig.iter().all(|s| s.len() > 10));
+    }
+}

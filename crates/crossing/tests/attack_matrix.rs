@@ -1,0 +1,135 @@
+//! The attack matrix: every §4 attack against every §5 family, at budgets
+//! straddling the theoretical thresholds.
+
+use rpls_bits::BitString;
+use rpls_core::{engine, CompiledRpls, Labeling, Pls, Rpls};
+use rpls_crossing::det_attack::{det_crossing_attack, find_label_collision};
+use rpls_crossing::onesided_attack::onesided_crossing_attack;
+use rpls_crossing::{families, Family, ModDistancePls};
+use rpls_graph::{connectivity, cycles};
+
+fn constant_labels(f: &Family, bits: usize) -> Labeling {
+    Labeling::new(vec![BitString::zeros(bits); f.config.node_count()])
+}
+
+#[test]
+fn det_attack_lands_on_every_family_at_one_bit() {
+    let families: Vec<Family> = vec![
+        families::acyclicity_path(30),
+        families::wheel(16),
+        families::wheel_cycle(20, 15),
+        families::chain_of_cycles(3, 6),
+    ];
+    for f in families {
+        let labeling = constant_labels(&f, 1);
+        let report = det_crossing_attack(&f, &labeling);
+        assert!(report.succeeded(), "{} not fooled", f.name);
+        assert!(report.crossed.is_some());
+    }
+}
+
+#[test]
+fn predicates_flip_family_specifically() {
+    // Each family's crossing must flip exactly its own predicate.
+    let f = families::acyclicity_path(30);
+    let crossed = det_crossing_attack(&f, &constant_labels(&f, 1))
+        .crossed
+        .unwrap();
+    assert!(cycles::is_forest(f.config.graph()) && !cycles::is_forest(crossed.graph()));
+
+    let f = families::wheel(16);
+    let crossed = det_crossing_attack(&f, &constant_labels(&f, 1))
+        .crossed
+        .unwrap();
+    assert!(
+        connectivity::is_biconnected(f.config.graph())
+            && !connectivity::is_biconnected(crossed.graph())
+    );
+
+    let f = families::wheel_cycle(20, 15);
+    let crossed = det_crossing_attack(&f, &constant_labels(&f, 1))
+        .crossed
+        .unwrap();
+    assert!(
+        cycles::has_cycle_at_least(f.config.graph(), 15)
+            && !cycles::has_cycle_at_least(crossed.graph(), 15)
+    );
+
+    let f = families::chain_of_cycles(3, 6);
+    let crossed = det_crossing_attack(&f, &constant_labels(&f, 1))
+        .crossed
+        .unwrap();
+    assert!(
+        cycles::all_cycles_at_most(f.config.graph(), 6)
+            && !cycles::all_cycles_at_most(crossed.graph(), 6)
+    );
+}
+
+#[test]
+fn thresholds_grow_with_r() {
+    let small = families::acyclicity_path(30);
+    let large = families::acyclicity_path(300);
+    assert!(large.det_threshold_bits() > small.det_threshold_bits());
+    assert!(large.rand_threshold_bits() > small.rand_threshold_bits());
+    // log log grows much slower than log.
+    let det_growth = large.det_threshold_bits() - small.det_threshold_bits();
+    let rand_growth = large.rand_threshold_bits() - small.rand_threshold_bits();
+    assert!(rand_growth < det_growth);
+}
+
+#[test]
+fn attack_verdict_equivalence_is_two_way() {
+    // Prop 4.3 is an iff: a *rejected* configuration stays rejected after
+    // the crossing too. Use mod-distance labels deliberately inconsistent
+    // with the path (all-zero labels make interior nodes reject).
+    let f = families::acyclicity_path(30);
+    let scheme = ModDistancePls::new(2);
+    let labeling = constant_labels(&f, 2);
+    let before = engine::run_deterministic(&scheme, &f.config, &labeling);
+    assert!(!before.accepted(), "constant labels break the ±1 rule");
+    let report = det_crossing_attack(&f, &labeling);
+    let crossed = report.crossed.unwrap();
+    let after = engine::run_deterministic(&scheme, &crossed, &labeling);
+    assert_eq!(before.votes(), after.votes(), "votes identical either way");
+}
+
+#[test]
+fn onesided_attack_respects_the_support_structure() {
+    // Compiled mod-distance at B=2 on a longer path: copies with congruent
+    // positions mod 4 share supports; the attack transfers acceptance 1.
+    let f = families::acyclicity_path(63); // r = 20 copies
+    let scheme = CompiledRpls::new(ModDistancePls::new(2));
+    let labeling = scheme.label(&f.config);
+    let report = onesided_crossing_attack(&scheme, &f, &labeling, 700, 50, 17);
+    assert_eq!(report.original_acceptance, 1.0);
+    assert!(report.succeeded());
+    let crossed = report.crossed.unwrap();
+    assert!(cycles::has_cycle(crossed.graph()), "predicate flipped");
+}
+
+#[test]
+fn honest_labels_have_no_collisions_on_any_family() {
+    use rpls_schemes::acyclicity::AcyclicityPls;
+    use rpls_schemes::biconnectivity::BiconnectivityPls;
+    let f = families::acyclicity_path(60);
+    assert!(find_label_collision(&AcyclicityPls.label(&f.config), &f).is_none());
+    let f = families::wheel(31);
+    assert!(find_label_collision(&BiconnectivityPls.label(&f.config), &f).is_none());
+}
+
+#[test]
+fn views_preserved_is_necessary_for_success() {
+    // With labels that differ between the crossed copies, views change and
+    // the attack must report failure even if we force a crossing.
+    let f = families::acyclicity_path(30);
+    let labeling: Labeling = (0..30u64)
+        .map(|i| {
+            let mut w = rpls_bits::BitWriter::new();
+            w.write_u64(i, 8);
+            w.finish()
+        })
+        .collect();
+    let report = det_crossing_attack(&f, &labeling);
+    assert!(report.collision.is_none());
+    assert!(!report.succeeded());
+}

@@ -1,0 +1,287 @@
+//! The randomized 2-party equality protocol of Lemma A.1.
+//!
+//! Alice holds `a`, Bob holds `b`, both λ-bit strings. Alice picks a uniform
+//! `x ∈ GF(p)` for the deterministic protocol prime `p ∈ (3λ, 6λ)` and sends
+//! the pair `(x, A(x))` — `O(log λ)` bits. Bob accepts iff `B(x) = A(x)`.
+//!
+//! * **Completeness**: if `a = b` the protocol always accepts (one-sided).
+//! * **Soundness**: if `a ≠ b` it accepts with probability `< 1/3`.
+//! * **Communication**: `2⌈log₂ p⌉ = O(log λ)` bits, matching the
+//!   `Θ(log n)` bound of Lemma 3.2.
+//!
+//! Independent repetition drives the error to `3^{-t}`; see
+//! [`EqProtocol::bob_accepts_repeated`].
+
+use crate::field::Fp;
+use crate::poly::BitPolynomial;
+use crate::prime::protocol_prime;
+use rand::Rng;
+use rpls_bits::{bits_for, BitString};
+
+/// Alice's single message: the evaluation point and her polynomial's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EqMessage {
+    /// The uniformly chosen evaluation point `x`.
+    pub point: u64,
+    /// `A(x)`, Alice's fingerprint at that point.
+    pub value: u64,
+}
+
+impl EqMessage {
+    /// Exact size of this message in bits for the field `GF(p)`: two field
+    /// elements of `⌈log₂ p⌉` bits each.
+    #[must_use]
+    pub fn bit_size(p: u64) -> usize {
+        2 * bits_for(p - 1) as usize
+    }
+
+    /// Packs the message into a [`BitString`] of exactly
+    /// [`EqMessage::bit_size`] bits.
+    #[must_use]
+    pub fn to_bits(self, p: u64) -> BitString {
+        let w = bits_for(p - 1);
+        let mut out = rpls_bits::BitWriter::new();
+        out.write_u64(self.point, w).write_u64(self.value, w);
+        out.finish()
+    }
+
+    /// Parses a message packed by [`EqMessage::to_bits`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`rpls_bits::BitsError`] if `bits` is too short.
+    pub fn from_bits(bits: &BitString, p: u64) -> Result<Self, rpls_bits::BitsError> {
+        let w = bits_for(p - 1);
+        let mut r = rpls_bits::BitReader::new(bits);
+        Ok(Self {
+            point: r.read_u64(w)?,
+            value: r.read_u64(w)?,
+        })
+    }
+}
+
+/// The equality protocol for a fixed input length λ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EqProtocol {
+    lambda: usize,
+    modulus: u64,
+}
+
+impl EqProtocol {
+    /// The protocol for λ-bit inputs, with the paper's prime in `(3λ, 6λ)`.
+    #[must_use]
+    pub fn for_length(lambda: usize) -> Self {
+        Self {
+            lambda,
+            modulus: protocol_prime(lambda),
+        }
+    }
+
+    /// The protocol with an explicit prime (for the field-size ablation; the
+    /// soundness bound becomes `min(1, (λ−1)/p)`). A modulus at or below λ
+    /// is allowed — the resulting protocol is *useless* (error bound 1) but
+    /// measurable, which is exactly what the Theorem 3.5 tightness
+    /// experiment demonstrates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is not prime.
+    #[must_use]
+    pub fn with_modulus(lambda: usize, modulus: u64) -> Self {
+        assert!(
+            crate::prime::is_prime(modulus),
+            "modulus {modulus} must be prime"
+        );
+        Self { lambda, modulus }
+    }
+
+    /// Input length λ.
+    #[must_use]
+    pub fn input_length(&self) -> usize {
+        self.lambda
+    }
+
+    /// The field prime `p`.
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// Bits Alice transmits: `2⌈log₂ p⌉`.
+    #[must_use]
+    pub fn message_bits(&self) -> usize {
+        EqMessage::bit_size(self.modulus)
+    }
+
+    /// The guaranteed false-accept bound `min(1, (λ−1)/p)` on unequal
+    /// inputs.
+    #[must_use]
+    pub fn soundness_error(&self) -> f64 {
+        if self.lambda <= 1 {
+            0.0
+        } else {
+            ((self.lambda as f64 - 1.0) / self.modulus as f64).min(1.0)
+        }
+    }
+
+    /// Alice's side: fingerprint `a` at a fresh random point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is longer than the protocol's λ.
+    pub fn alice_message<R: Rng>(&self, a: &BitString, rng: &mut R) -> EqMessage {
+        assert!(a.len() <= self.lambda, "input longer than protocol length");
+        let x = Fp::random(self.modulus, rng);
+        let value = BitPolynomial::from_bits(a, self.modulus).eval(x);
+        EqMessage {
+            point: x.value(),
+            value: value.value(),
+        }
+    }
+
+    /// Bob's side: accept iff his polynomial agrees at Alice's point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is longer than the protocol's λ or the message's point
+    /// lies outside the field.
+    #[must_use]
+    pub fn bob_accepts(&self, b: &BitString, msg: &EqMessage) -> bool {
+        assert!(b.len() <= self.lambda, "input longer than protocol length");
+        assert!(msg.point < self.modulus, "point outside the field");
+        let x = Fp::new(msg.point, self.modulus);
+        BitPolynomial::from_bits(b, self.modulus).eval(x).value() == msg.value
+    }
+
+    /// Runs `t` independent repetitions and accepts iff all accept. Error on
+    /// unequal inputs drops to `soundness_error()^t`; equal inputs are still
+    /// always accepted (the repetition preserves one-sidedness, which is why
+    /// footnote 1's majority vote is not needed here).
+    pub fn bob_accepts_repeated<R: Rng>(
+        &self,
+        a: &BitString,
+        b: &BitString,
+        t: usize,
+        rng: &mut R,
+    ) -> bool {
+        (0..t).all(|_| {
+            let msg = self.alice_message(a, rng);
+            self.bob_accepts(b, &msg)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_bits<R: Rng>(len: usize, rng: &mut R) -> BitString {
+        BitString::from_bools((0..len).map(|_| rng.random_bool(0.5)))
+    }
+
+    #[test]
+    fn equal_inputs_always_accept() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for lambda in [1usize, 2, 8, 64, 500] {
+            let proto = EqProtocol::for_length(lambda);
+            let a = random_bits(lambda, &mut rng);
+            for _ in 0..100 {
+                let msg = proto.alice_message(&a, &mut rng);
+                assert!(proto.bob_accepts(&a, &msg), "λ = {lambda}");
+            }
+        }
+    }
+
+    #[test]
+    fn unequal_inputs_rejected_with_good_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lambda = 128usize;
+        let proto = EqProtocol::for_length(lambda);
+        let a = random_bits(lambda, &mut rng);
+        let mut b = a.clone();
+        // Flip one bit.
+        let flipped: BitString = b
+            .iter()
+            .enumerate()
+            .map(|(i, bit)| if i == 17 { !bit } else { bit })
+            .collect();
+        b = flipped;
+        let trials = 3000;
+        let accepts = (0..trials)
+            .filter(|_| {
+                let msg = proto.alice_message(&a, &mut rng);
+                proto.bob_accepts(&b, &msg)
+            })
+            .count();
+        let rate = accepts as f64 / trials as f64;
+        assert!(
+            rate <= proto.soundness_error() + 0.05,
+            "false-accept rate {rate} vs bound {}",
+            proto.soundness_error()
+        );
+        assert!(rate < 1.0 / 3.0, "rate {rate} must be below 1/3");
+    }
+
+    #[test]
+    fn message_bits_are_logarithmic() {
+        // Communication grows like 2 log(6λ): doubling λ adds ~2 bits.
+        let small = EqProtocol::for_length(64).message_bits();
+        let large = EqProtocol::for_length(65536).message_bits();
+        assert!(small <= 2 * 9, "64-bit inputs need ≤ 18 message bits");
+        assert!(large <= 2 * 19);
+        assert!(large - small <= 2 * 10);
+    }
+
+    #[test]
+    fn message_round_trips_through_bitstring() {
+        let proto = EqProtocol::for_length(100);
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_bits(100, &mut rng);
+        let msg = proto.alice_message(&a, &mut rng);
+        let packed = msg.to_bits(proto.modulus());
+        assert_eq!(packed.len(), proto.message_bits());
+        let unpacked = EqMessage::from_bits(&packed, proto.modulus()).unwrap();
+        assert_eq!(unpacked, msg);
+    }
+
+    #[test]
+    fn repetition_reduces_error_exponentially() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lambda = 32usize;
+        let proto = EqProtocol::for_length(lambda);
+        let a = random_bits(lambda, &mut rng);
+        let b: BitString = a.iter().map(|bit| !bit).collect();
+        let trials = 2000;
+        let accepts_3 = (0..trials)
+            .filter(|_| proto.bob_accepts_repeated(&a, &b, 3, &mut rng))
+            .count();
+        let bound = proto.soundness_error().powi(3);
+        assert!(
+            (accepts_3 as f64 / trials as f64) <= bound + 0.02,
+            "3 repetitions: rate {} vs bound {bound}",
+            accepts_3 as f64 / trials as f64
+        );
+        // Equal strings still always accepted under repetition.
+        assert!(proto.bob_accepts_repeated(&a, &a, 10, &mut rng));
+    }
+
+    #[test]
+    fn ablation_larger_field_lower_error() {
+        let lambda = 64usize;
+        let tight = EqProtocol::for_length(lambda);
+        let wide = EqProtocol::with_modulus(lambda, crate::prime::next_prime(100 * lambda as u64));
+        assert!(wide.soundness_error() < tight.soundness_error() / 10.0);
+        assert!(wide.message_bits() > tight.message_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than protocol")]
+    fn oversized_input_rejected() {
+        let proto = EqProtocol::for_length(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = BitString::zeros(5);
+        let _ = proto.alice_message(&a, &mut rng);
+    }
+}

@@ -1,0 +1,248 @@
+//! The prime field `GF(p)` with a runtime modulus.
+//!
+//! The equality protocol picks its prime as a function of the input length,
+//! so the modulus cannot be a compile-time constant. [`Fp`] carries the
+//! modulus alongside the value; mixing elements of different fields is a
+//! programming error and panics.
+
+use crate::prime::{is_prime, mul_mod, pow_mod};
+use rand::Rng;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An element of `GF(p)` for a runtime prime `p`.
+///
+/// # Examples
+///
+/// ```
+/// use rpls_fingerprint::Fp;
+/// let p = 101;
+/// let a = Fp::new(77, p);
+/// let b = Fp::new(50, p);
+/// assert_eq!((a + b).value(), 26);
+/// assert_eq!((a * b).value(), 77 * 50 % 101);
+/// assert_eq!((a - a).value(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fp {
+    value: u64,
+    modulus: u64,
+}
+
+impl Fp {
+    /// Creates the element `value mod p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is not prime (checked with Miller–Rabin in debug
+    /// and release alike: field arithmetic silently breaks on composite
+    /// moduli, which would invalidate every soundness bound downstream).
+    #[must_use]
+    pub fn new(value: u64, modulus: u64) -> Self {
+        assert!(is_prime(modulus), "modulus {modulus} must be prime");
+        Self {
+            value: value % modulus,
+            modulus,
+        }
+    }
+
+    /// The zero of `GF(p)`.
+    #[must_use]
+    pub fn zero(modulus: u64) -> Self {
+        Self::new(0, modulus)
+    }
+
+    /// The one of `GF(p)`.
+    #[must_use]
+    pub fn one(modulus: u64) -> Self {
+        Self::new(1, modulus)
+    }
+
+    /// A uniform random element of `GF(p)`.
+    pub fn random<R: Rng>(modulus: u64, rng: &mut R) -> Self {
+        let value = rng.next_u64() % modulus; // bias < 2^-40 for p < 2^24
+        Self::new(value, modulus)
+    }
+
+    /// The canonical representative in `0..p`.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.value
+    }
+
+    /// The field's modulus.
+    #[must_use]
+    pub fn modulus(self) -> u64 {
+        self.modulus
+    }
+
+    /// `self ^ exp`.
+    #[must_use]
+    pub fn pow(self, exp: u64) -> Self {
+        Self {
+            value: pow_mod(self.value, exp, self.modulus),
+            modulus: self.modulus,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    #[must_use]
+    pub fn inverse(self) -> Self {
+        assert!(self.value != 0, "zero has no inverse");
+        // Fermat: a^(p-2) = a^{-1} in GF(p).
+        self.pow(self.modulus - 2)
+    }
+
+    fn check_same_field(self, other: Self) {
+        assert_eq!(
+            self.modulus, other.modulus,
+            "mixing GF({}) and GF({})",
+            self.modulus, other.modulus
+        );
+    }
+}
+
+impl Add for Fp {
+    type Output = Fp;
+
+    fn add(self, rhs: Fp) -> Fp {
+        self.check_same_field(rhs);
+        let mut v = self.value + rhs.value; // < 2^65 cannot overflow u64? p < 2^63 assumed
+        if v >= self.modulus {
+            v -= self.modulus;
+        }
+        Fp {
+            value: v,
+            modulus: self.modulus,
+        }
+    }
+}
+
+impl Sub for Fp {
+    type Output = Fp;
+
+    fn sub(self, rhs: Fp) -> Fp {
+        self.check_same_field(rhs);
+        let v = if self.value >= rhs.value {
+            self.value - rhs.value
+        } else {
+            self.value + self.modulus - rhs.value
+        };
+        Fp {
+            value: v,
+            modulus: self.modulus,
+        }
+    }
+}
+
+impl Mul for Fp {
+    type Output = Fp;
+
+    fn mul(self, rhs: Fp) -> Fp {
+        self.check_same_field(rhs);
+        Fp {
+            value: mul_mod(self.value, rhs.value, self.modulus),
+            modulus: self.modulus,
+        }
+    }
+}
+
+impl Neg for Fp {
+    type Output = Fp;
+
+    fn neg(self) -> Fp {
+        Fp::zero(self.modulus) - self
+    }
+}
+
+impl fmt::Debug for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (mod {})", self.value, self.modulus)
+    }
+}
+
+impl fmt::Display for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const P: u64 = 97;
+
+    #[test]
+    fn ring_axioms_hold_exhaustively_mod_13() {
+        let p = 13;
+        for a in 0..p {
+            for b in 0..p {
+                let (fa, fb) = (Fp::new(a, p), Fp::new(b, p));
+                assert_eq!((fa + fb).value(), (a + b) % p);
+                assert_eq!((fa * fb).value(), a * b % p);
+                assert_eq!((fa - fb) + fb, fa);
+                assert_eq!(fa + (-fa), Fp::zero(p));
+            }
+        }
+    }
+
+    #[test]
+    fn inverses_multiply_to_one() {
+        for a in 1..P {
+            let fa = Fp::new(a, P);
+            assert_eq!(fa * fa.inverse(), Fp::one(P), "a = {a}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let a = Fp::new(5, P);
+        let mut acc = Fp::one(P);
+        for e in 0..20u64 {
+            assert_eq!(a.pow(e), acc);
+            acc = acc * a;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be prime")]
+    fn composite_modulus_rejected() {
+        let _ = Fp::new(1, 91); // 91 = 7 * 13
+    }
+
+    #[test]
+    #[should_panic(expected = "mixing")]
+    fn cross_field_arithmetic_panics() {
+        let _ = Fp::new(1, 7) + Fp::new(1, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_panics() {
+        let _ = Fp::zero(7).inverse();
+    }
+
+    #[test]
+    fn random_elements_cover_the_field() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = 11;
+        let mut seen = [false; 11];
+        for _ in 0..500 {
+            seen[Fp::random(p, &mut rng).value() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(Fp::new(42, P).to_string(), "42");
+        assert!(format!("{:?}", Fp::new(42, P)).contains("mod 97"));
+    }
+}

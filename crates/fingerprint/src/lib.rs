@@ -1,0 +1,42 @@
+//! Finite-field polynomial fingerprints and the 2-party equality protocol.
+//!
+//! This crate implements the communication-complexity substrate behind
+//! Theorem 3.1 of *Randomized Proof-Labeling Schemes*: the randomized
+//! equality protocol of Lemma A.1. A λ-bit string is interpreted as a
+//! polynomial of degree `< λ` over `GF(p)` for a prime `3λ < p < 6λ`; Alice
+//! sends `(x, A(x))` for a uniform `x ∈ GF(p)` and Bob accepts iff
+//! `B(x) = A(x)`. Equal strings always agree; distinct strings collide with
+//! probability at most `(λ−1)/p < 1/3`.
+//!
+//! The building blocks — [`prime`] testing (deterministic Miller–Rabin for
+//! `u64`), the dynamic prime [`field`], and bit-string [`poly`]nomials — are
+//! exposed on their own because the Theorem 3.1 compiler in `rpls-core`
+//! reuses them to fingerprint labels.
+//!
+//! # Examples
+//!
+//! ```
+//! use rpls_fingerprint::eq::{EqProtocol, EqMessage};
+//! use rpls_bits::BitString;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let a = BitString::from_bools([true, false, true, true]);
+//! let b = a.clone();
+//! let proto = EqProtocol::for_length(a.len());
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let msg: EqMessage = proto.alice_message(&a, &mut rng);
+//! assert!(proto.bob_accepts(&b, &msg));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eq;
+pub mod field;
+pub mod poly;
+pub mod prime;
+
+pub use eq::{EqMessage, EqProtocol};
+pub use field::Fp;
+pub use poly::BitPolynomial;

@@ -1,0 +1,164 @@
+//! Bit strings as polynomials over `GF(p)`.
+//!
+//! Lemma A.1 views a λ-bit string `a = a₀a₁…a_{λ−1}` as the polynomial
+//! `A(x) = a₀ + a₁x + … + a_{λ−1}x^{λ−1} mod p`. Two distinct strings give
+//! distinct polynomials of degree `< λ`, which agree on at most `λ − 1`
+//! points of the field — the entire soundness of the protocol.
+
+use crate::field::Fp;
+use rpls_bits::BitString;
+
+/// A polynomial over `GF(p)` whose coefficients are the bits of a string
+/// (coefficient `i` = bit `i`).
+///
+/// # Examples
+///
+/// ```
+/// use rpls_fingerprint::{BitPolynomial, Fp};
+/// use rpls_bits::BitString;
+///
+/// // 101 -> A(x) = 1 + x^2
+/// let a = BitPolynomial::from_bits(&BitString::from_bools([true, false, true]), 13);
+/// assert_eq!(a.eval(Fp::new(3, 13)).value(), (1 + 9) % 13);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitPolynomial {
+    /// Bit coefficients, index = degree.
+    coeffs: BitString,
+    modulus: u64,
+}
+
+impl BitPolynomial {
+    /// Builds the polynomial with coefficient `i` equal to bit `i` of
+    /// `bits`, over `GF(modulus)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is not prime.
+    #[must_use]
+    pub fn from_bits(bits: &BitString, modulus: u64) -> Self {
+        assert!(
+            crate::prime::is_prime(modulus),
+            "modulus {modulus} must be prime"
+        );
+        Self {
+            coeffs: bits.clone(),
+            modulus,
+        }
+    }
+
+    /// Degree bound: the number of coefficients λ (the degree is `< λ`).
+    #[must_use]
+    pub fn coefficient_count(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The field modulus.
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// Evaluates the polynomial at `x` by Horner's rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` lives in a different field.
+    #[must_use]
+    pub fn eval(&self, x: Fp) -> Fp {
+        assert_eq!(x.modulus(), self.modulus, "evaluation point field mismatch");
+        let mut acc = Fp::zero(self.modulus);
+        // Horner from the highest coefficient down.
+        for i in (0..self.coeffs.len()).rev() {
+            acc = acc * x;
+            if self.coeffs.bit(i).expect("index in range") {
+                acc = acc + Fp::one(self.modulus);
+            }
+        }
+        acc
+    }
+
+    /// Upper bound on the collision probability of the fingerprint for
+    /// strings of this length over this field: `(λ − 1) / p`.
+    #[must_use]
+    pub fn collision_bound(&self) -> f64 {
+        if self.coeffs.is_empty() {
+            return 0.0;
+        }
+        (self.coeffs.len() as f64 - 1.0) / self.modulus as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::protocol_prime;
+
+    fn bits(s: &str) -> BitString {
+        BitString::from_bools(s.chars().map(|c| c == '1'))
+    }
+
+    #[test]
+    fn evaluation_matches_naive_sum() {
+        let p = 101;
+        let b = bits("1101001");
+        let poly = BitPolynomial::from_bits(&b, p);
+        for x in 0..p {
+            let naive: u64 = b
+                .iter()
+                .enumerate()
+                .filter(|&(_, bit)| bit)
+                .map(|(i, _)| crate::prime::pow_mod(x, i as u64, p))
+                .sum::<u64>()
+                % p;
+            assert_eq!(poly.eval(Fp::new(x, p)).value(), naive, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn zero_polynomial_evaluates_to_zero() {
+        let poly = BitPolynomial::from_bits(&BitString::zeros(10), 31);
+        for x in 0..31 {
+            assert_eq!(poly.eval(Fp::new(x, 31)).value(), 0);
+        }
+    }
+
+    #[test]
+    fn distinct_strings_agree_on_few_points() {
+        // The algebraic core of Lemma A.1: count agreement points and check
+        // the (λ-1)/p bound exactly.
+        let lambda = 16usize;
+        let p = protocol_prime(lambda);
+        let a = bits("1010101010101010");
+        let b = bits("1010101010101011");
+        let pa = BitPolynomial::from_bits(&a, p);
+        let pb = BitPolynomial::from_bits(&b, p);
+        let collisions = (0..p)
+            .filter(|&x| pa.eval(Fp::new(x, p)) == pb.eval(Fp::new(x, p)))
+            .count();
+        assert!(
+            collisions <= lambda - 1,
+            "collisions {collisions} exceed degree bound"
+        );
+        let bound = pa.collision_bound();
+        assert!(bound < 1.0 / 3.0, "bound {bound} must be < 1/3");
+    }
+
+    #[test]
+    fn equal_strings_agree_everywhere() {
+        let p = protocol_prime(8);
+        let a = bits("11001010");
+        let pa = BitPolynomial::from_bits(&a, p);
+        let pb = BitPolynomial::from_bits(&a.clone(), p);
+        for x in 0..p {
+            assert_eq!(pa.eval(Fp::new(x, p)), pb.eval(Fp::new(x, p)));
+        }
+    }
+
+    #[test]
+    fn empty_string_has_zero_collision_bound() {
+        let poly = BitPolynomial::from_bits(&BitString::new(), 7);
+        assert_eq!(poly.collision_bound(), 0.0);
+        assert_eq!(poly.eval(Fp::new(3, 7)).value(), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Primality testing and prime selection.
+//!
+//! Deterministic Miller–Rabin for all 64-bit integers (using the known
+//! sufficient witness set), plus the paper's specific need: a prime in the
+//! open interval `(3λ, 6λ)`, which exists for every `λ ≥ 1` by Bertrand's
+//! postulate applied to `3λ`.
+
+/// Deterministic Miller–Rabin primality test, valid for all `u64` inputs.
+///
+/// # Examples
+///
+/// ```
+/// use rpls_fingerprint::prime::is_prime;
+/// assert!(is_prime(2));
+/// assert!(is_prime(1_000_000_007));
+/// assert!(!is_prime(1));
+/// assert!(!is_prime(561)); // Carmichael number
+/// ```
+#[must_use]
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n.is_multiple_of(p) {
+            return n == p;
+        }
+    }
+    // n is odd and > 37; write n-1 = d * 2^s.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    // This witness set is sufficient for all n < 2^64.
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a % n, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// `(a * b) mod m` without overflow.
+#[must_use]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+/// `(base ^ exp) mod m` by square-and-multiply.
+#[must_use]
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// The smallest prime `≥ n`.
+///
+/// # Panics
+///
+/// Panics if no prime fits in `u64` at or above `n` (cannot happen for
+/// `n ≤ 2^64 − 59`).
+#[must_use]
+pub fn next_prime(mut n: u64) -> u64 {
+    if n <= 2 {
+        return 2;
+    }
+    if n.is_multiple_of(2) {
+        n += 1;
+    }
+    loop {
+        if is_prime(n) {
+            return n;
+        }
+        n = n.checked_add(2).expect("prime below u64::MAX");
+    }
+}
+
+/// The prime the paper's equality protocol uses for λ-bit strings: the
+/// smallest prime in the open interval `(3λ, 6λ)` — deterministic, so both
+/// parties (and every node of a compiled scheme) agree on it without
+/// communication.
+///
+/// For tiny `λ` where the interval is empty of primes before widening, the
+/// interval is interpreted with a floor: `λ` is clamped to at least 2, which
+/// keeps the guarantee `p > 3λ ≥ 3·(string length)` needed for the `< 1/3`
+/// collision bound.
+///
+/// # Examples
+///
+/// ```
+/// use rpls_fingerprint::prime::protocol_prime;
+/// let p = protocol_prime(100);
+/// assert!(300 < p && p < 600);
+/// ```
+#[must_use]
+pub fn protocol_prime(lambda: usize) -> u64 {
+    let l = lambda.max(2) as u64;
+    let p = next_prime(3 * l + 1);
+    debug_assert!(p < 6 * l, "Bertrand guarantees a prime in (3λ, 6λ)");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_recognized() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43];
+        for p in primes {
+            assert!(is_prime(p), "{p}");
+        }
+        for c in [0u64, 1, 4, 6, 8, 9, 15, 21, 25, 27, 33, 35, 49] {
+            assert!(!is_prime(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert!(!is_prime(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn large_known_primes() {
+        assert!(is_prime((1 << 61) - 1)); // Mersenne prime 2^61-1
+        assert!(is_prime(1_000_000_007));
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest u64 prime
+        assert!(!is_prime(u64::MAX));
+    }
+
+    #[test]
+    fn sieve_agreement_up_to_10000() {
+        // Cross-check Miller–Rabin against a straightforward sieve.
+        let n = 10_000usize;
+        let mut sieve = vec![true; n + 1];
+        sieve[0] = false;
+        sieve[1] = false;
+        for i in 2..=n {
+            if sieve[i] {
+                for j in (i * i..=n).step_by(i) {
+                    sieve[j] = false;
+                }
+            }
+        }
+        for i in 0..=n {
+            assert_eq!(is_prime(i as u64), sieve[i], "n = {i}");
+        }
+    }
+
+    #[test]
+    fn next_prime_finds_gaps() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(8), 11);
+        assert_eq!(next_prime(90), 97);
+        assert_eq!(next_prime(97), 97);
+    }
+
+    #[test]
+    fn protocol_prime_in_interval() {
+        for lambda in 1..=2000usize {
+            let p = protocol_prime(lambda);
+            let l = lambda.max(2) as u64;
+            assert!(3 * l < p && p < 6 * l, "λ={lambda} gave p={p}");
+            assert!(is_prime(p));
+        }
+    }
+
+    #[test]
+    fn pow_mod_matches_naive() {
+        for m in [7u64, 13, 97] {
+            for b in 0..m {
+                let mut acc = 1u64;
+                for e in 0..10u64 {
+                    assert_eq!(pow_mod(b, e, m), acc, "b={b} e={e} m={m}");
+                    acc = acc * b % m;
+                }
+            }
+        }
+    }
+}

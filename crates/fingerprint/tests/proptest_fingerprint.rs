@@ -1,0 +1,100 @@
+//! Property-based tests for the fingerprinting substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpls_bits::BitString;
+use rpls_fingerprint::prime::{is_prime, next_prime, protocol_prime};
+use rpls_fingerprint::{BitPolynomial, EqProtocol, Fp};
+
+proptest! {
+    /// Field axioms over random elements of random small prime fields.
+    #[test]
+    fn field_axioms(p_seed in 3u64..5000, a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let p = next_prime(p_seed);
+        let (fa, fb, fc) = (Fp::new(a, p), Fp::new(b, p), Fp::new(c, p));
+        // Commutativity and associativity.
+        prop_assert_eq!(fa + fb, fb + fa);
+        prop_assert_eq!(fa * fb, fb * fa);
+        prop_assert_eq!((fa + fb) + fc, fa + (fb + fc));
+        prop_assert_eq!((fa * fb) * fc, fa * (fb * fc));
+        // Distributivity.
+        prop_assert_eq!(fa * (fb + fc), fa * fb + fa * fc);
+        // Inverses.
+        prop_assert_eq!(fa - fa, Fp::zero(p));
+        if fa.value() != 0 {
+            prop_assert_eq!(fa * fa.inverse(), Fp::one(p));
+        }
+    }
+
+    /// Fermat's little theorem on random field elements.
+    #[test]
+    fn fermat_little_theorem(p_seed in 3u64..2000, a in 1u64..u64::MAX) {
+        let p = next_prime(p_seed);
+        let fa = Fp::new(a, p);
+        prop_assume!(fa.value() != 0);
+        prop_assert_eq!(fa.pow(p - 1), Fp::one(p));
+    }
+
+    /// The collision count of two random distinct strings never exceeds the
+    /// degree bound λ − 1 — exhaustively over the whole field.
+    #[test]
+    fn collision_count_respects_degree_bound(
+        a in proptest::collection::vec(any::<bool>(), 2..48),
+        flips in proptest::collection::vec(any::<usize>(), 1..5)
+    ) {
+        let lambda = a.len();
+        let mut b = a.clone();
+        for f in flips {
+            let i = f % lambda;
+            b[i] = !b[i];
+        }
+        prop_assume!(a != b);
+        let p = protocol_prime(lambda);
+        let pa = BitPolynomial::from_bits(&BitString::from_bools(a), p);
+        let pb = BitPolynomial::from_bits(&BitString::from_bools(b), p);
+        let collisions = (0..p)
+            .filter(|&x| pa.eval(Fp::new(x, p)) == pb.eval(Fp::new(x, p)))
+            .count();
+        prop_assert!(collisions <= lambda - 1, "collisions {} > {}", collisions, lambda - 1);
+    }
+
+    /// Protocol completeness at arbitrary lengths and seeds.
+    #[test]
+    fn protocol_one_sidedness(len in 1usize..200, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::RngExt;
+        let s = BitString::from_bools((0..len).map(|_| rng.random_bool(0.5)));
+        let proto = EqProtocol::for_length(len);
+        for _ in 0..8 {
+            let msg = proto.alice_message(&s, &mut rng);
+            prop_assert!(proto.bob_accepts(&s, &msg));
+            prop_assert!(msg.point < proto.modulus());
+        }
+    }
+
+    /// Message packing round-trips for every protocol size.
+    #[test]
+    fn message_bit_packing(len in 1usize..500, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::RngExt;
+        let s = BitString::from_bools((0..len).map(|_| rng.random_bool(0.5)));
+        let proto = EqProtocol::for_length(len);
+        let msg = proto.alice_message(&s, &mut rng);
+        let packed = msg.to_bits(proto.modulus());
+        prop_assert_eq!(packed.len(), proto.message_bits());
+        let unpacked = rpls_fingerprint::EqMessage::from_bits(&packed, proto.modulus()).unwrap();
+        prop_assert_eq!(unpacked, msg);
+    }
+
+    /// next_prime really returns the next prime.
+    #[test]
+    fn next_prime_is_minimal(n in 2u64..100_000) {
+        let p = next_prime(n);
+        prop_assert!(p >= n);
+        prop_assert!(is_prime(p));
+        for q in n..p {
+            prop_assert!(!is_prime(q));
+        }
+    }
+}

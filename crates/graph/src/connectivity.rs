@@ -1,0 +1,240 @@
+//! Connectivity, components, articulation points and biconnectivity.
+//!
+//! Vertex biconnectivity (`v2con` in the paper, §5.2) is decided here by
+//! Tarjan's articulation-point criterion on the DFS lowpoints, which is the
+//! same structure the Appendix E proof labels certify.
+
+use crate::traversal::{self, DfsTree};
+use crate::{Graph, NodeId};
+
+/// Whether `g` is connected. The empty graph counts as connected; a graph
+/// with isolated nodes does not.
+///
+/// # Examples
+///
+/// ```
+/// use rpls_graph::generators;
+/// assert!(rpls_graph::connectivity::is_connected(&generators::cycle(5)));
+/// ```
+#[must_use]
+pub fn is_connected(g: &Graph) -> bool {
+    if g.node_count() == 0 {
+        return true;
+    }
+    traversal::bfs(g, NodeId::new(0)).reached_count() == g.node_count()
+}
+
+/// The connected components of `g`, each a sorted list of nodes.
+#[must_use]
+pub fn components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut comp: Vec<Option<usize>> = vec![None; n];
+    let mut out: Vec<Vec<NodeId>> = Vec::new();
+    for start in g.nodes() {
+        if comp[start.index()].is_some() {
+            continue;
+        }
+        let idx = out.len();
+        let mut members = Vec::new();
+        let mut stack = vec![start];
+        comp[start.index()] = Some(idx);
+        while let Some(v) = stack.pop() {
+            members.push(v);
+            for nb in g.neighbors(v) {
+                if comp[nb.node.index()].is_none() {
+                    comp[nb.node.index()] = Some(idx);
+                    stack.push(nb.node);
+                }
+            }
+        }
+        members.sort_unstable();
+        out.push(members);
+    }
+    out
+}
+
+/// The articulation points (cut vertices) of a connected graph, via Tarjan's
+/// lowpoint criterion: a non-root `v` is an articulation point iff some DFS
+/// child `u` has `lowpt(u) ≥ preorder(v)`; the root is one iff it has at
+/// least two DFS children.
+///
+/// Nodes are returned sorted. For a disconnected graph the result covers
+/// each component independently.
+#[must_use]
+pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut is_art = vec![false; n];
+    let mut visited = vec![false; n];
+    for start in g.nodes() {
+        if visited[start.index()] {
+            continue;
+        }
+        let t = traversal::dfs(g, start);
+        mark_articulation(&t, &mut is_art);
+        for v in &t.order {
+            visited[v.index()] = true;
+        }
+    }
+    (0..n)
+        .filter(|&i| is_art[i])
+        .map(NodeId::new)
+        .collect()
+}
+
+fn mark_articulation(t: &DfsTree, is_art: &mut [bool]) {
+    let mut root_children = 0usize;
+    for &v in &t.order {
+        let Some(p) = t.parent[v.index()] else {
+            continue;
+        };
+        if p == t.root {
+            root_children += 1;
+        }
+        // Non-root parent p is an articulation point if lowpt(v) >= preo(p).
+        if t.parent[p.index()].is_some() {
+            let lv = t.lowpt[v.index()].expect("visited");
+            let pp = t.preorder[p.index()].expect("visited");
+            if lv >= pp {
+                is_art[p.index()] = true;
+            }
+        }
+    }
+    if root_children >= 2 {
+        is_art[t.root.index()] = true;
+    }
+}
+
+/// Whether `g` is vertex-biconnected: connected, at least 3 nodes, and the
+/// removal of any single node leaves it connected (the predicate `v2con` of
+/// Theorem 5.2).
+///
+/// A single edge `K₂` is *not* biconnected under this definition (removing
+/// one endpoint leaves a single node, which is connected, but the standard
+/// convention — and the one the paper's wheel construction relies on — is
+/// that biconnectivity requires no articulation points **and** |V| ≥ 3).
+///
+/// # Examples
+///
+/// ```
+/// use rpls_graph::{generators, connectivity};
+/// assert!(connectivity::is_biconnected(&generators::cycle(4)));
+/// assert!(!connectivity::is_biconnected(&generators::path(4)));
+/// ```
+#[must_use]
+pub fn is_biconnected(g: &Graph) -> bool {
+    g.node_count() >= 3 && is_connected(g) && articulation_points(g).is_empty()
+}
+
+/// The bridges (cut edges) of `g`: edges `{v, parent(v)}` with
+/// `lowpt(v) > preorder(parent(v))`, plus the analogous condition per
+/// component. Returned as sorted `(min, max)` index pairs.
+#[must_use]
+pub fn bridges(g: &Graph) -> Vec<(NodeId, NodeId)> {
+    let n = g.node_count();
+    let mut visited = vec![false; n];
+    let mut out = Vec::new();
+    for start in g.nodes() {
+        if visited[start.index()] {
+            continue;
+        }
+        let t = traversal::dfs(g, start);
+        for &v in &t.order {
+            visited[v.index()] = true;
+            if let Some(p) = t.parent[v.index()] {
+                let lv = t.lowpt[v.index()].expect("visited");
+                let pp = t.preorder[p.index()].expect("visited");
+                if lv > pp {
+                    let (a, b) = if p < v { (p, v) } else { (v, p) };
+                    out.push((a, b));
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn cycle_is_connected_and_biconnected() {
+        let g = generators::cycle(6);
+        assert!(is_connected(&g));
+        assert!(is_biconnected(&g));
+        assert!(articulation_points(&g).is_empty());
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn path_interior_nodes_are_articulation_points() {
+        let g = generators::path(5);
+        let arts = articulation_points(&g);
+        assert_eq!(
+            arts,
+            vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+        );
+        assert!(!is_biconnected(&g));
+    }
+
+    #[test]
+    fn every_path_edge_is_a_bridge() {
+        let g = generators::path(4);
+        assert_eq!(bridges(&g).len(), 3);
+    }
+
+    #[test]
+    fn star_center_is_the_only_articulation_point() {
+        let g = generators::star(5);
+        assert_eq!(articulation_points(&g), vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_node() {
+        // 0-1-2-0 and 2-3-4-2: node 2 is the unique articulation point.
+        let mut b = crate::GraphBuilder::new(5);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)] {
+            b.add_edge(u, v).unwrap();
+        }
+        let g = b.finish().unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(articulation_points(&g), vec![NodeId::new(2)]);
+        assert!(!is_biconnected(&g));
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn components_partition_nodes() {
+        let mut b = crate::GraphBuilder::new(6);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(2, 3).unwrap();
+        b.add_edge(3, 4).unwrap();
+        let g = b.finish().unwrap();
+        let comps = components(&g);
+        assert_eq!(comps.len(), 3); // {0,1}, {2,3,4}, {5}
+        let sizes: Vec<usize> = comps.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn complete_graph_is_biconnected() {
+        let g = generators::complete(5);
+        assert!(is_biconnected(&g));
+    }
+
+    #[test]
+    fn k2_is_not_biconnected() {
+        let g = generators::path(2);
+        assert!(!is_biconnected(&g));
+    }
+
+    #[test]
+    fn wheel_is_biconnected() {
+        // The Figure 2 graph: a cycle plus chords from v0 — biconnected.
+        let g = generators::wheel(8);
+        assert!(is_biconnected(&g));
+    }
+}

@@ -1,0 +1,508 @@
+//! The crossing operator of Definition 4.2 and the independent-copies
+//! machinery behind Theorems 4.4, 4.7 and Propositions 4.3, 4.6, 4.8.
+//!
+//! Given two independent isomorphic subgraphs `H₁`, `H₂` of `G` and a
+//! port-preserving isomorphism `σ : V(H₁) → V(H₂)`, the crossing `σ⋈(G)`
+//! replaces every pair of edges `{u, v} ∈ E(H₁)` and `{σ(u), σ(v)} ∈ E(H₂)`
+//! by `{u, σ(v)}` and `{σ(u), v}` (Figure 1). Degrees and port numbers are
+//! preserved, which is exactly why a local verifier cannot tell the crossed
+//! graph from the original when the labels (or certificate distributions)
+//! on the two subgraphs collide.
+
+use crate::subgraph::{check_independent, Subgraph};
+use crate::{EdgeRecord, Graph, GraphError, NodeId};
+use std::collections::BTreeMap;
+
+/// A node bijection `σ : V(H₁) → V(H₂)` intended to be a port-preserving
+/// isomorphism between two subgraphs of the same host graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortIsomorphism {
+    map: BTreeMap<NodeId, NodeId>,
+}
+
+impl PortIsomorphism {
+    /// Builds an isomorphism from explicit `(from, to)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotAnIsomorphism`] if the pairs do not form a
+    /// bijection.
+    pub fn from_pairs<I: IntoIterator<Item = (NodeId, NodeId)>>(
+        pairs: I,
+    ) -> Result<Self, GraphError> {
+        let mut map = BTreeMap::new();
+        let mut image = std::collections::BTreeSet::new();
+        for (from, to) in pairs {
+            if map.insert(from, to).is_some() {
+                return Err(GraphError::NotAnIsomorphism {
+                    reason: format!("{from} mapped twice"),
+                });
+            }
+            if !image.insert(to) {
+                return Err(GraphError::NotAnIsomorphism {
+                    reason: format!("{to} is the image of two nodes"),
+                });
+            }
+        }
+        Ok(Self { map })
+    }
+
+    /// The identity isomorphism on the nodes of `h`.
+    #[must_use]
+    pub fn identity(h: &Subgraph) -> Self {
+        Self {
+            map: h.nodes().map(|v| (v, v)).collect(),
+        }
+    }
+
+    /// Applies σ to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the domain.
+    #[must_use]
+    pub fn apply(&self, v: NodeId) -> NodeId {
+        self.map[&v]
+    }
+
+    /// Applies σ if `v` is in the domain.
+    #[must_use]
+    pub fn try_apply(&self, v: NodeId) -> Option<NodeId> {
+        self.map.get(&v).copied()
+    }
+
+    /// The inverse bijection σ⁻¹.
+    #[must_use]
+    pub fn inverse(&self) -> Self {
+        Self {
+            map: self.map.iter().map(|(&k, &v)| (v, k)).collect(),
+        }
+    }
+
+    /// The composition `other ∘ self` (apply `self` first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image of `self` is not contained in the domain of
+    /// `other`.
+    #[must_use]
+    pub fn then(&self, other: &Self) -> Self {
+        Self {
+            map: self
+                .map
+                .iter()
+                .map(|(&k, &v)| (k, other.apply(v)))
+                .collect(),
+        }
+    }
+
+    /// Iterates over the `(from, to)` pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Verifies that σ is a port-preserving isomorphism from `h1` onto `h2`
+    /// within `g`: a bijection of node sets mapping edges to edges such that
+    /// corresponding edges occupy the same port numbers at corresponding
+    /// endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotAnIsomorphism`] describing the violation.
+    pub fn check(&self, g: &Graph, h1: &Subgraph, h2: &Subgraph) -> Result<(), GraphError> {
+        // Domain must be exactly V(H1), image exactly V(H2).
+        for v in h1.nodes() {
+            let img = self.try_apply(v).ok_or_else(|| GraphError::NotAnIsomorphism {
+                reason: format!("{v} has no image"),
+            })?;
+            if !h2.contains_node(img) {
+                return Err(GraphError::NotAnIsomorphism {
+                    reason: format!("image {img} of {v} lies outside H2"),
+                });
+            }
+        }
+        if self.map.len() != h1.node_count() || h1.node_count() != h2.node_count() {
+            return Err(GraphError::NotAnIsomorphism {
+                reason: "node counts differ".to_owned(),
+            });
+        }
+        if h1.edge_count() != h2.edge_count() {
+            return Err(GraphError::NotAnIsomorphism {
+                reason: "edge counts differ".to_owned(),
+            });
+        }
+        for &eid in h1.edges() {
+            let rec = g.edge(eid);
+            let (iu, iv) = (self.apply(rec.u), self.apply(rec.v));
+            let Some(img_eid) = g.edge_between(iu, iv) else {
+                return Err(GraphError::NotAnIsomorphism {
+                    reason: format!("edge {{{}, {}}} has no image edge", rec.u, rec.v),
+                });
+            };
+            if !h2.contains_edge(img_eid) {
+                return Err(GraphError::NotAnIsomorphism {
+                    reason: format!("image of edge {{{}, {}}} is outside H2", rec.u, rec.v),
+                });
+            }
+            let img = g.edge(img_eid);
+            if img.port_at(iu) != rec.port_at(rec.u) || img.port_at(iv) != rec.port_at(rec.v) {
+                return Err(GraphError::NotAnIsomorphism {
+                    reason: format!(
+                        "edge {{{}, {}}} changes port numbers under the mapping",
+                        rec.u, rec.v
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A family of `r` pairwise independent, isomorphic subgraphs
+/// `H₁, …, H_r` of a host graph, with port-preserving isomorphisms
+/// `σᵢ : H₁ → Hᵢ` (σ₁ = identity) — the hypothesis shared by Theorems 4.4
+/// and 4.7.
+#[derive(Debug, Clone)]
+pub struct IndependentCopies {
+    copies: Vec<Subgraph>,
+    isos: Vec<PortIsomorphism>,
+}
+
+impl IndependentCopies {
+    /// Builds and validates a family. `isos[i]` must map `copies[0]` onto
+    /// `copies[i]`; the identity for `i = 0` is checked like the rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotIndependent`] if some pair of copies is not
+    /// independent, or [`GraphError::NotAnIsomorphism`] if a mapping is not
+    /// a port-preserving isomorphism.
+    pub fn new(
+        g: &Graph,
+        copies: Vec<Subgraph>,
+        isos: Vec<PortIsomorphism>,
+    ) -> Result<Self, GraphError> {
+        assert_eq!(copies.len(), isos.len(), "one isomorphism per copy");
+        assert!(!copies.is_empty(), "need at least one copy");
+        for i in 0..copies.len() {
+            isos[i].check(g, &copies[0], &copies[i])?;
+            for j in i + 1..copies.len() {
+                check_independent(g, &copies[i], &copies[j])?;
+            }
+        }
+        Ok(Self { copies, isos })
+    }
+
+    /// The common case used throughout §5: each copy is a single edge, and
+    /// `σᵢ` maps the endpoints of the first edge onto the endpoints of the
+    /// `i`-th in the given orientation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`IndependentCopies::new`].
+    pub fn single_edges(
+        g: &Graph,
+        oriented_edges: &[(NodeId, NodeId)],
+    ) -> Result<Self, GraphError> {
+        assert!(!oriented_edges.is_empty(), "need at least one edge");
+        let mut copies = Vec::with_capacity(oriented_edges.len());
+        let mut isos = Vec::with_capacity(oriented_edges.len());
+        let (a0, b0) = oriented_edges[0];
+        for &(a, b) in oriented_edges {
+            let eid = g.edge_between(a, b).ok_or_else(|| GraphError::NotAnIsomorphism {
+                reason: format!("no edge between {a} and {b}"),
+            })?;
+            copies.push(Subgraph::from_edges(g, [eid]));
+            isos.push(PortIsomorphism::from_pairs([(a0, a), (b0, b)])?);
+        }
+        Self::new(g, copies, isos)
+    }
+
+    /// Number of copies `r`.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Number of edges `s` in each copy.
+    #[must_use]
+    pub fn edges_per_copy(&self) -> usize {
+        self.copies[0].edge_count()
+    }
+
+    /// The `i`-th copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= count()`.
+    #[must_use]
+    pub fn copy(&self, i: usize) -> &Subgraph {
+        &self.copies[i]
+    }
+
+    /// The isomorphism `σᵢ : H₁ → Hᵢ`.
+    #[must_use]
+    pub fn iso(&self, i: usize) -> &PortIsomorphism {
+        &self.isos[i]
+    }
+
+    /// The isomorphism `σᵢⱼ = σⱼ ∘ σᵢ⁻¹ : Hᵢ → Hⱼ` used in the crossing.
+    #[must_use]
+    pub fn sigma_between(&self, i: usize, j: usize) -> PortIsomorphism {
+        self.isos[i].inverse().then(&self.isos[j])
+    }
+
+    /// The nodes of copy `i`, ordered consistently with copy 0 (i.e. the
+    /// image under `σᵢ` of copy 0's sorted node order). Label concatenation
+    /// in the pigeonhole arguments must use this shared order.
+    #[must_use]
+    pub fn ordered_nodes(&self, i: usize) -> Vec<NodeId> {
+        self.copies[0]
+            .nodes()
+            .map(|v| self.isos[i].apply(v))
+            .collect()
+    }
+
+    /// The edges of copy `i` as oriented pairs, ordered consistently with
+    /// copy 0 (image of copy 0's edge order, orientation induced by σᵢ).
+    #[must_use]
+    pub fn ordered_edges(&self, g: &Graph, i: usize) -> Vec<(NodeId, NodeId)> {
+        self.copies[0]
+            .edges()
+            .iter()
+            .map(|&eid| {
+                let rec = g.edge(eid);
+                (self.isos[i].apply(rec.u), self.isos[i].apply(rec.v))
+            })
+            .collect()
+    }
+}
+
+/// Computes the crossing `σ⋈(G)` (Definition 4.2) for `σ : Hᵢ → Hⱼ`.
+///
+/// Every edge `{u, v}` of `h_from` is removed together with its image
+/// `{σ(u), σ(v)}`, and the pair is replaced by `{u, σ(v)}` and `{σ(u), v}`.
+/// Port numbers are inherited endpoint-wise from the removed edges, so the
+/// port layout of every node is unchanged. Edge weights travel with the
+/// endpoint of `h_from`: `{u, σ(v)}` inherits the weight of `{u, v}` and
+/// `{σ(u), v}` that of `{σ(u), σ(v)}` (the §5 families are uniformly
+/// weighted, so this choice is only visible to callers building custom
+/// weighted crossings).
+///
+/// # Errors
+///
+/// Returns [`GraphError::NotAnIsomorphism`] if an image edge is missing, or
+/// a duplicate-edge error if the crossing would create a multi-edge (which
+/// cannot happen for independent copies).
+pub fn cross(g: &Graph, sigma: &PortIsomorphism, h_from: &Subgraph) -> Result<Graph, GraphError> {
+    let mut removed = std::collections::BTreeSet::new();
+    let mut added: Vec<EdgeRecord> = Vec::new();
+    for &eid in h_from.edges() {
+        let rec = g.edge(eid);
+        let (u, v) = (rec.u, rec.v);
+        let (iu, iv) = (sigma.apply(u), sigma.apply(v));
+        let img_eid = g
+            .edge_between(iu, iv)
+            .ok_or_else(|| GraphError::NotAnIsomorphism {
+                reason: format!("image edge {{{iu}, {iv}}} missing"),
+            })?;
+        let img = g.edge(img_eid);
+        removed.insert(eid);
+        removed.insert(img_eid);
+        added.push(EdgeRecord {
+            u,
+            v: iv,
+            port_at_u: rec.port_at(u),
+            port_at_v: img.port_at(iv),
+            weight: rec.weight,
+        });
+        added.push(EdgeRecord {
+            u: iu,
+            v,
+            port_at_u: img.port_at(iu),
+            port_at_v: rec.port_at(v),
+            weight: img.weight,
+        });
+    }
+    let mut records: Vec<EdgeRecord> = g
+        .edges()
+        .filter(|(eid, _)| !removed.contains(eid))
+        .map(|(_, r)| *r)
+        .collect();
+    records.extend(added);
+    Graph::from_edge_records(g.node_count(), records)
+}
+
+/// Convenience: the crossing induced by copies `i` and `j` of a family.
+///
+/// # Errors
+///
+/// Propagates the errors of [`cross`].
+pub fn cross_copies(
+    g: &Graph,
+    family: &IndependentCopies,
+    i: usize,
+    j: usize,
+) -> Result<Graph, GraphError> {
+    let sigma = family.sigma_between(i, j);
+    cross(g, &sigma, family.copy(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{connectivity, generators, EdgeId};
+
+    /// Build the paper's acyclicity family on a path: copies H_i are single
+    /// edges {u_{3i}, u_{3i+1}} (plus H_1 = {u_0, u_1} shifted to match the
+    /// 0-based layout).
+    fn path_family(n: usize) -> (Graph, IndependentCopies) {
+        let g = generators::path(n);
+        let r = n / 3 - 1;
+        let edges: Vec<(NodeId, NodeId)> = (1..=r)
+            .map(|i| (NodeId::new(3 * i), NodeId::new(3 * i + 1)))
+            .collect();
+        let fam = IndependentCopies::single_edges(&g, &edges).unwrap();
+        (g, fam)
+    }
+
+    #[test]
+    fn identity_isomorphism_checks_out() {
+        let g = generators::cycle(6);
+        let h = Subgraph::from_edges(&g, [EdgeId::new(2)]);
+        let id = PortIsomorphism::identity(&h);
+        id.check(&g, &h, &h).unwrap();
+    }
+
+    #[test]
+    fn figure_1_single_edge_crossing() {
+        // Crossing {u, v} and {σu, σv} yields {u, σv} and {σu, v}.
+        let (g, fam) = path_family(12);
+        let crossed = cross_copies(&g, &fam, 0, 1).unwrap();
+        // Edges {3,4} and {6,7} replaced by {3,7} and {6,4}.
+        let mut expect = generators::path(12).sorted_edge_list();
+        expect.retain(|&e| e != (3, 4) && e != (6, 7));
+        expect.push((3, 7));
+        expect.push((4, 6));
+        expect.sort_unstable();
+        assert_eq!(crossed.sorted_edge_list(), expect);
+    }
+
+    #[test]
+    fn crossing_preserves_degrees_and_ports() {
+        let (g, fam) = path_family(15);
+        let crossed = cross_copies(&g, &fam, 0, 2).unwrap();
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), crossed.degree(v), "degree of {v}");
+        }
+        // Port layout validity is enforced by the rebuild; spot-check one.
+        let v = NodeId::new(3);
+        let ports_g: Vec<usize> = g.neighbors(v).map(|nb| nb.port.rank()).collect();
+        let ports_x: Vec<usize> = crossed.neighbors(v).map(|nb| nb.port.rank()).collect();
+        assert_eq!(ports_g, ports_x);
+    }
+
+    #[test]
+    fn crossing_a_path_creates_a_cycle() {
+        // Theorem 5.1's acyclicity argument: crossing two path edges turns
+        // the segment between them into a cycle.
+        let (g, fam) = path_family(12);
+        assert!(!crate::cycles::has_cycle(&g));
+        let crossed = cross_copies(&g, &fam, 0, 1).unwrap();
+        assert!(crate::cycles::has_cycle(&crossed));
+    }
+
+    #[test]
+    fn crossing_wheel_creates_articulation_point() {
+        // Theorem 5.2: crossing two independent cycle edges of the wheel
+        // splits the rim; v0 becomes an articulation point (Figure 2(b)).
+        let n = 13;
+        let g = generators::wheel(n);
+        assert!(connectivity::is_biconnected(&g));
+        let edges: Vec<(NodeId, NodeId)> = (1..=(n / 3 - 1))
+            .map(|i| (NodeId::new(3 * i), NodeId::new(3 * i + 1)))
+            .collect();
+        let fam = IndependentCopies::single_edges(&g, &edges).unwrap();
+        let crossed = cross_copies(&g, &fam, 0, 1).unwrap();
+        assert!(connectivity::is_connected(&crossed));
+        assert!(!connectivity::is_biconnected(&crossed));
+        assert!(connectivity::articulation_points(&crossed).contains(&NodeId::new(0)));
+    }
+
+    #[test]
+    fn sigma_between_composes_isos() {
+        let (_, fam) = path_family(15);
+        let s = fam.sigma_between(1, 2);
+        // σ_{1,2} maps H_2 = {6,7} onto H_3 = {9,10}.
+        assert_eq!(s.apply(NodeId::new(6)), NodeId::new(9));
+        assert_eq!(s.apply(NodeId::new(7)), NodeId::new(10));
+    }
+
+    #[test]
+    fn non_bijection_rejected() {
+        let err = PortIsomorphism::from_pairs([
+            (NodeId::new(0), NodeId::new(1)),
+            (NodeId::new(2), NodeId::new(1)),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, GraphError::NotAnIsomorphism { .. }));
+    }
+
+    #[test]
+    fn port_mismatch_rejected() {
+        // Map a path edge onto one with swapped orientation: the endpoints'
+        // ports disagree (successor-port vs predecessor-port), so the check
+        // must fail.
+        let g = generators::path(9);
+        let edges = [
+            (NodeId::new(3), NodeId::new(4)),
+            (NodeId::new(7), NodeId::new(6)), // reversed orientation
+        ];
+        let err = IndependentCopies::single_edges(&g, &edges).unwrap_err();
+        assert!(matches!(err, GraphError::NotAnIsomorphism { .. }));
+    }
+
+    #[test]
+    fn dependent_copies_rejected() {
+        let g = generators::path(9);
+        let edges = [
+            (NodeId::new(1), NodeId::new(2)),
+            (NodeId::new(3), NodeId::new(4)), // edge {2,3} connects them
+        ];
+        let err = IndependentCopies::single_edges(&g, &edges).unwrap_err();
+        assert!(matches!(err, GraphError::NotIndependent { .. }));
+    }
+
+    #[test]
+    fn ordered_nodes_follow_sigma() {
+        let (_, fam) = path_family(12);
+        assert_eq!(
+            fam.ordered_nodes(1),
+            vec![NodeId::new(6), NodeId::new(7)]
+        );
+    }
+
+    #[test]
+    fn crossing_is_involutive_on_single_edges() {
+        // Crossing the same pair twice restores the original edge set.
+        let (g, fam) = path_family(12);
+        let once = cross_copies(&g, &fam, 0, 1).unwrap();
+        // Re-derive the family on the crossed graph with swapped partners.
+        let sigma = fam.sigma_between(0, 1);
+        let h0 = fam.copy(0);
+        // After crossing, edges are {3, σ(4)} and {σ(3), 4}; crossing them
+        // back under the same sigma restores the originals.
+        let e1 = once
+            .edge_between(NodeId::new(3), sigma.apply(NodeId::new(4)))
+            .unwrap();
+        let h = Subgraph::from_edges(&once, [e1]);
+        let sigma_back = PortIsomorphism::from_pairs([
+            (NodeId::new(3), sigma.apply(NodeId::new(3))),
+            (sigma.apply(NodeId::new(4)), NodeId::new(4)),
+        ])
+        .unwrap();
+        let twice = cross(&once, &sigma_back, &h).unwrap();
+        assert_eq!(twice.sorted_edge_list(), g.sorted_edge_list());
+        let _ = h0;
+    }
+}

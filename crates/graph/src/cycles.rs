@@ -1,0 +1,237 @@
+//! Cycle analysis: detection, girth, and exact longest-cycle search.
+//!
+//! The predicates of §5.3 — `cycle-at-least-c` and `cycle-at-most-c` — need
+//! ground truth about the longest simple cycle. Longest cycle is NP-hard in
+//! general (the paper leans on exactly this for `cycle-at-most-c`), so the
+//! exact search here is a pruned backtracking intended for the moderate
+//! instance sizes used in experiments; the generated families of
+//! [`generators`](crate::generators) additionally have closed-form answers
+//! the tests cross-check against.
+
+use crate::{Graph, NodeId};
+
+/// Whether `g` contains any cycle.
+///
+/// # Examples
+///
+/// ```
+/// use rpls_graph::{generators, cycles};
+/// assert!(!cycles::has_cycle(&generators::path(5)));
+/// assert!(cycles::has_cycle(&generators::cycle(5)));
+/// ```
+#[must_use]
+pub fn has_cycle(g: &Graph) -> bool {
+    // A forest has m = n - (#components); anything more implies a cycle.
+    let comps = crate::connectivity::components(g).len();
+    g.edge_count() + comps > g.node_count()
+}
+
+/// Whether `g` is a forest (acyclic). The `acyclicity` predicate used inside
+/// the Theorem 5.1 lower bound.
+#[must_use]
+pub fn is_forest(g: &Graph) -> bool {
+    !has_cycle(g)
+}
+
+/// Length of the longest simple cycle of `g`, or `None` if the graph is
+/// acyclic.
+///
+/// Exact exponential-time backtracking with the following pruning: cycles
+/// are canonicalized to start at their minimum-index node, and the search
+/// stops early when a Hamiltonian cycle is found.
+///
+/// # Panics
+///
+/// Panics if `g` has more than 128 nodes (the search would not finish on
+/// dense instances anyway; use the family-specific ground truths for larger
+/// ones).
+#[must_use]
+pub fn longest_cycle(g: &Graph) -> Option<usize> {
+    longest_cycle_with_limit(g, g.node_count())
+}
+
+/// Like [`longest_cycle`] but stops as soon as a cycle of length at least
+/// `target` is found, returning that cycle's length. Returns the longest
+/// found overall if no cycle reaches `target`.
+#[must_use]
+pub fn longest_cycle_with_limit(g: &Graph, target: usize) -> Option<usize> {
+    assert!(g.node_count() <= 128, "exact search limited to 128 nodes");
+    let n = g.node_count();
+    let mut best: Option<usize> = None;
+    let mut on_path = vec![false; n];
+    let mut path: Vec<NodeId> = Vec::new();
+
+    fn dfs(
+        g: &Graph,
+        start: NodeId,
+        v: NodeId,
+        on_path: &mut [bool],
+        path: &mut Vec<NodeId>,
+        best: &mut Option<usize>,
+        target: usize,
+    ) -> bool {
+        for nb in g.neighbors(v) {
+            let w = nb.node;
+            if w == start && path.len() >= 3 {
+                let len = path.len();
+                if best.is_none_or(|b| len > b) {
+                    *best = Some(len);
+                }
+                if len >= target {
+                    return true;
+                }
+            }
+            // Canonical form: the start is the minimum node on the cycle.
+            if w.index() <= start.index() || on_path[w.index()] {
+                continue;
+            }
+            on_path[w.index()] = true;
+            path.push(w);
+            let done = dfs(g, start, w, on_path, path, best, target);
+            path.pop();
+            on_path[w.index()] = false;
+            if done {
+                return true;
+            }
+        }
+        false
+    }
+
+    for start in g.nodes() {
+        on_path[start.index()] = true;
+        path.push(start);
+        let done = dfs(g, start, start, &mut on_path, &mut path, &mut best, target);
+        path.pop();
+        on_path[start.index()] = false;
+        if done {
+            break;
+        }
+    }
+    best
+}
+
+/// The `cycle-at-least-c` predicate: does `g` contain a simple cycle with at
+/// least `c` nodes?
+#[must_use]
+pub fn has_cycle_at_least(g: &Graph, c: usize) -> bool {
+    if c <= 2 {
+        return has_cycle(g);
+    }
+    matches!(longest_cycle_with_limit(g, c), Some(len) if len >= c)
+}
+
+/// The `cycle-at-most-c` predicate: does every simple cycle of `g` have at
+/// most `c` nodes?
+#[must_use]
+pub fn all_cycles_at_most(g: &Graph, c: usize) -> bool {
+    !has_cycle_at_least(g, c + 1)
+}
+
+/// Girth (length of a shortest cycle), or `None` if acyclic. BFS from every
+/// node; polynomial, so usable at any size.
+#[must_use]
+pub fn girth(g: &Graph) -> Option<usize> {
+    let n = g.node_count();
+    let mut best: Option<usize> = None;
+    for start in g.nodes() {
+        let mut dist = vec![usize::MAX; n];
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[start.index()] = 0;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for nb in g.neighbors(v) {
+                let w = nb.node;
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dist[v.index()] + 1;
+                    parent[w.index()] = Some(v);
+                    queue.push_back(w);
+                } else if parent[v.index()] != Some(w) {
+                    let len = dist[v.index()] + dist[w.index()] + 1;
+                    if best.is_none_or(|b| len < b) {
+                        best = Some(len);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn forests_have_no_cycles() {
+        assert!(is_forest(&generators::path(7)));
+        assert!(is_forest(&generators::balanced_binary_tree(3)));
+        assert_eq!(longest_cycle(&generators::path(7)), None);
+        assert_eq!(girth(&generators::star(4)), None);
+    }
+
+    #[test]
+    fn cycle_graph_longest_is_n() {
+        for n in [3, 5, 8] {
+            let g = generators::cycle(n);
+            assert_eq!(longest_cycle(&g), Some(n));
+            assert_eq!(girth(&g), Some(n));
+            assert!(has_cycle_at_least(&g, n));
+            assert!(!has_cycle_at_least(&g, n + 1));
+            assert!(all_cycles_at_most(&g, n));
+            assert!(!all_cycles_at_most(&g, n - 1));
+        }
+    }
+
+    #[test]
+    fn complete_graph_is_hamiltonian() {
+        let g = generators::complete(7);
+        assert_eq!(longest_cycle(&g), Some(7));
+        assert_eq!(girth(&g), Some(3));
+    }
+
+    #[test]
+    fn wheel_longest_cycle_is_the_rim() {
+        // In the Figure 2 wheel, the rim is a Hamiltonian cycle.
+        let g = generators::wheel(10);
+        assert_eq!(longest_cycle(&g), Some(10));
+    }
+
+    #[test]
+    fn wheel_with_tail_longest_cycle() {
+        // Cycle part c=8 plus chords; chords from v0 can shortcut but not
+        // extend beyond c, and tail nodes are pendant.
+        let g = generators::wheel_with_tail(14, 8);
+        assert_eq!(longest_cycle(&g), Some(8));
+        assert!(has_cycle_at_least(&g, 8));
+        assert!(!has_cycle_at_least(&g, 9));
+    }
+
+    #[test]
+    fn chain_of_cycles_max_is_cycle_len() {
+        let g = generators::chain_of_cycles(3, 6);
+        assert_eq!(longest_cycle(&g), Some(6));
+        assert!(all_cycles_at_most(&g, 6));
+        assert!(!all_cycles_at_most(&g, 5));
+    }
+
+    #[test]
+    fn girth_of_gadget_is_triangle() {
+        let g = generators::symmetry_gadget(&[true, false, true]);
+        assert_eq!(girth(&g), Some(3));
+    }
+
+    #[test]
+    fn early_exit_limit_still_reports_some_cycle() {
+        let g = generators::cycle(9);
+        let len = longest_cycle_with_limit(&g, 3).unwrap();
+        assert!(len >= 3);
+    }
+
+    #[test]
+    fn has_cycle_at_least_small_c_degenerates_to_detection() {
+        assert!(has_cycle_at_least(&generators::cycle(4), 2));
+        assert!(!has_cycle_at_least(&generators::path(4), 2));
+    }
+}

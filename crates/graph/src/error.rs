@@ -1,0 +1,91 @@
+//! Error type for graph construction and manipulation.
+
+use crate::{EdgeId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by graph construction, validation or the crossing operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referred to a node outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A self-loop `{v, v}` was requested; the model forbids them.
+    SelfLoop(NodeId),
+    /// A duplicate edge `{u, v}` was requested; the model forbids multi-edges.
+    DuplicateEdge(NodeId, NodeId),
+    /// An edge index referred outside `0..m`.
+    EdgeOutOfRange {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Number of edges in the graph.
+        edge_count: usize,
+    },
+    /// The requested operation needs a connected graph.
+    NotConnected,
+    /// Two subgraphs passed to a crossing were not independent
+    /// (Definition 4.1: disjoint node sets and no connecting edges).
+    NotIndependent {
+        /// Human-readable reason (which condition failed and where).
+        reason: String,
+    },
+    /// A mapping passed as an isomorphism is not a valid port-preserving
+    /// isomorphism between the two subgraphs.
+    NotAnIsomorphism {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Weights were required (e.g. by an MST routine) but absent.
+    MissingWeights,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for {node_count} nodes")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at {v} is not allowed"),
+            GraphError::DuplicateEdge(u, v) => {
+                write!(f, "duplicate edge between {u} and {v} is not allowed")
+            }
+            GraphError::EdgeOutOfRange { edge, edge_count } => {
+                write!(f, "edge {edge} out of range for {edge_count} edges")
+            }
+            GraphError::NotConnected => write!(f, "graph is not connected"),
+            GraphError::NotIndependent { reason } => {
+                write!(f, "subgraphs are not independent: {reason}")
+            }
+            GraphError::NotAnIsomorphism { reason } => {
+                write!(f, "mapping is not a port-preserving isomorphism: {reason}")
+            }
+            GraphError::MissingWeights => write!(f, "graph has no edge weights"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offenders() {
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId::new(7),
+            node_count: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("v7") && s.contains('5'));
+
+        assert!(GraphError::SelfLoop(NodeId::new(1))
+            .to_string()
+            .contains("v1"));
+        assert!(GraphError::NotConnected.to_string().contains("connected"));
+    }
+}

@@ -1,0 +1,466 @@
+//! Max-flow and connectivity numbers for the k-flow scheme of §5.2.
+//!
+//! The paper's k-flow problem asks whether the maximum flow between two
+//! distinguished nodes equals `k`; with unit capacities this is the number
+//! of edge-disjoint s–t paths (Menger). The s-t *vertex* connectivity used
+//! by the s-t k-connectivity discussion is computed by the standard node
+//! splitting reduction.
+
+use crate::{Graph, NodeId};
+
+/// Maximum s–t flow of `g` with unit capacity per edge — equivalently the
+/// maximum number of pairwise edge-disjoint s–t paths.
+///
+/// Edmonds–Karp on the residual network; with unit capacities the running
+/// time is `O(m · flow)`.
+///
+/// # Panics
+///
+/// Panics if `s == t`.
+///
+/// # Examples
+///
+/// ```
+/// use rpls_graph::{generators, flow, NodeId};
+/// let g = generators::cycle(6);
+/// assert_eq!(flow::max_flow_unit(&g, NodeId::new(0), NodeId::new(3)), 2);
+/// ```
+#[must_use]
+pub fn max_flow_unit(g: &Graph, s: NodeId, t: NodeId) -> usize {
+    assert_ne!(s, t, "source and sink must differ");
+    // Directed residual capacities per (edge, direction): each undirected
+    // edge supports one unit in either direction, and sending flow one way
+    // frees capacity the other way. cap[e][0]: u->v, cap[e][1]: v->u.
+    let m = g.edge_count();
+    let mut cap = vec![[1u8, 1u8]; m];
+    let mut flow = 0usize;
+    loop {
+        // BFS over residual edges.
+        let n = g.node_count();
+        let mut pred: Vec<Option<(NodeId, usize, usize)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[s.index()] = true;
+        queue.push_back(s);
+        'bfs: while let Some(v) = queue.pop_front() {
+            for nb in g.neighbors(v) {
+                let eid = nb.edge.index();
+                let rec = g.edge(nb.edge);
+                let dir = usize::from(rec.u != v); // 0 if v is rec.u
+                if cap[eid][dir] == 0 || visited[nb.node.index()] {
+                    continue;
+                }
+                visited[nb.node.index()] = true;
+                pred[nb.node.index()] = Some((v, eid, dir));
+                if nb.node == t {
+                    break 'bfs;
+                }
+                queue.push_back(nb.node);
+            }
+        }
+        if !visited[t.index()] {
+            return flow;
+        }
+        // Augment one unit along the path.
+        let mut v = t;
+        while v != s {
+            let (prev, eid, dir) = pred[v.index()].expect("path exists");
+            cap[eid][dir] -= 1;
+            cap[eid][1 - dir] += 1;
+            v = prev;
+        }
+        flow += 1;
+    }
+}
+
+/// Computes a maximum set of pairwise edge-disjoint s–t paths (each a node
+/// sequence starting at `s` and ending at `t`), via max-flow followed by
+/// flow decomposition.
+///
+/// # Panics
+///
+/// Panics if `s == t`.
+#[must_use]
+pub fn edge_disjoint_paths(g: &Graph, s: NodeId, t: NodeId) -> Vec<Vec<NodeId>> {
+    assert_ne!(s, t, "source and sink must differ");
+    let m = g.edge_count();
+    let mut cap = vec![[1u8, 1u8]; m];
+    loop {
+        let n = g.node_count();
+        let mut pred: Vec<Option<(NodeId, usize, usize)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[s.index()] = true;
+        queue.push_back(s);
+        'bfs: while let Some(v) = queue.pop_front() {
+            for nb in g.neighbors(v) {
+                let eid = nb.edge.index();
+                let rec = g.edge(nb.edge);
+                let dir = usize::from(rec.u != v);
+                if cap[eid][dir] == 0 || visited[nb.node.index()] {
+                    continue;
+                }
+                visited[nb.node.index()] = true;
+                pred[nb.node.index()] = Some((v, eid, dir));
+                if nb.node == t {
+                    break 'bfs;
+                }
+                queue.push_back(nb.node);
+            }
+        }
+        if !visited[t.index()] {
+            break;
+        }
+        let mut v = t;
+        while v != s {
+            let (prev, eid, dir) = pred[v.index()].expect("path exists");
+            cap[eid][dir] -= 1;
+            cap[eid][1 - dir] += 1;
+            v = prev;
+        }
+    }
+    // Net flow per edge: direction u->v iff cap[e][0] was consumed on net.
+    // cap[e] started at [1, 1]; [0, 2] means one unit u->v, [2, 0] v->u,
+    // [1, 1] unused.
+    let mut out: Vec<Vec<(usize, NodeId)>> = vec![Vec::new(); g.node_count()];
+    for (eid, rec) in g.edges() {
+        match cap[eid.index()] {
+            [0, 2] => out[rec.u.index()].push((eid.index(), rec.v)),
+            [2, 0] => out[rec.v.index()].push((eid.index(), rec.u)),
+            _ => {}
+        }
+    }
+    // Decompose: repeatedly walk from s following unused flow arcs.
+    let mut paths = Vec::new();
+    while let Some((_, first)) = out[s.index()].pop() {
+        let mut v = first;
+        let mut path = vec![s, v];
+        while v != t {
+            let (_, next) = out[v.index()].pop().expect("flow conservation");
+            path.push(next);
+            v = next;
+        }
+        paths.push(path);
+    }
+    paths
+}
+
+/// s–t vertex connectivity: the maximum number of internally node-disjoint
+/// s–t paths, computed by splitting every node `v ∉ {s, t}` into
+/// `v_in → v_out` with unit capacity.
+///
+/// For adjacent `s`, `t` the count includes the direct edge.
+///
+/// # Panics
+///
+/// Panics if `s == t`.
+#[must_use]
+pub fn vertex_connectivity_st(g: &Graph, s: NodeId, t: NodeId) -> usize {
+    assert_ne!(s, t, "source and sink must differ");
+    let (arcs, src, dst) = split_network(g, s, t);
+    let state = run_max_flow(2 * g.node_count(), &arcs, src, dst);
+    // Flow value = total used capacity on arcs leaving the source.
+    arcs.iter()
+        .enumerate()
+        .filter(|&(_, &(u, _, _))| u == src)
+        .map(|(i, &(_, _, c))| (c - state.cap[2 * i]).max(0) as usize)
+        .sum()
+}
+
+/// Computes a maximum set of internally node-disjoint s–t paths via the
+/// node-splitting reduction plus flow decomposition. The direct s–t edge
+/// (if any) contributes the single-edge path.
+///
+/// # Panics
+///
+/// Panics if `s == t`.
+#[must_use]
+pub fn vertex_disjoint_paths(g: &Graph, s: NodeId, t: NodeId) -> Vec<Vec<NodeId>> {
+    assert_ne!(s, t, "source and sink must differ");
+    let (arcs, src, dst) = split_network(g, s, t);
+    let state = run_max_flow(2 * g.node_count(), &arcs, src, dst);
+    // Walk saturated arcs from s_out, skipping the internal in->out arcs.
+    // out_arcs[v] = list of target nodes w with saturated arc v_out -> w_in.
+    let n = g.node_count();
+    let mut out_arcs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &(u, v, cap0)) in arcs.iter().enumerate() {
+        // Arc i occupies slots 2i (forward) and 2i+1 (reverse) in state.
+        let used = cap0 - state.cap[2 * i];
+        if used > 0 && u % 2 == 1 && v % 2 == 0 && u / 2 != v / 2 {
+            // v_out -> w_in arc carrying flow.
+            for _ in 0..used {
+                out_arcs[u / 2].push(v / 2);
+            }
+        }
+    }
+    let mut paths = Vec::new();
+    while let Some(&first) = out_arcs[s.index()].last() {
+        out_arcs[s.index()].pop();
+        let mut path = vec![s, NodeId::new(first)];
+        let mut cur = first;
+        while cur != t.index() {
+            let next = out_arcs[cur].pop().expect("flow conservation");
+            path.push(NodeId::new(next));
+            cur = next;
+        }
+        paths.push(path);
+    }
+    paths
+}
+
+/// Computes a minimum s–t *vertex* cut: a smallest set of nodes (excluding
+/// `s` and `t`) whose removal disconnects `s` from `t`.
+///
+/// Returns `None` if `s` and `t` are adjacent (no vertex cut exists: the
+/// direct edge survives every node removal).
+///
+/// # Panics
+///
+/// Panics if `s == t`.
+#[must_use]
+pub fn minimum_vertex_cut(g: &Graph, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+    assert_ne!(s, t, "source and sink must differ");
+    if g.are_adjacent(s, t) {
+        return None;
+    }
+    let (arcs, src, dst) = split_network(g, s, t);
+    let state = run_max_flow(2 * g.node_count(), &arcs, src, dst);
+    // Min cut: nodes whose internal arc v_in -> v_out crosses the residual
+    // reachability frontier.
+    let n2 = 2 * g.node_count();
+    let mut reach = vec![false; n2];
+    reach[src] = true;
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(v) = queue.pop_front() {
+        for &a in &state.adj[v] {
+            let w = state.head[a];
+            if state.cap[a] > 0 && !reach[w] {
+                reach[w] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    let mut cut = Vec::new();
+    for v in 0..g.node_count() {
+        if reach[2 * v] && !reach[2 * v + 1] {
+            cut.push(NodeId::new(v));
+        }
+    }
+    Some(cut)
+}
+
+/// Builds the node-splitting network: node `2v = v_in`, `2v+1 = v_out`.
+fn split_network(g: &Graph, s: NodeId, t: NodeId) -> (Vec<(usize, usize, i64)>, usize, usize) {
+    let n = g.node_count();
+    let big = n as i64;
+    let mut arcs: Vec<(usize, usize, i64)> = Vec::new();
+    for v in g.nodes() {
+        let c = if v == s || v == t { big } else { 1 };
+        arcs.push((2 * v.index(), 2 * v.index() + 1, c));
+    }
+    for (_, rec) in g.edges() {
+        let c = if (rec.u == s && rec.v == t) || (rec.u == t && rec.v == s) {
+            1
+        } else {
+            big
+        };
+        arcs.push((2 * rec.u.index() + 1, 2 * rec.v.index(), c));
+        arcs.push((2 * rec.v.index() + 1, 2 * rec.u.index(), c));
+    }
+    (arcs, 2 * s.index() + 1, 2 * t.index())
+}
+
+/// Residual state of a finished max-flow run.
+struct FlowState {
+    head: Vec<usize>,
+    cap: Vec<i64>,
+    adj: Vec<Vec<usize>>,
+}
+
+fn run_max_flow(n: usize, arcs: &[(usize, usize, i64)], s: usize, t: usize) -> FlowState {
+    let mut head = Vec::with_capacity(arcs.len() * 2);
+    let mut cap = Vec::with_capacity(arcs.len() * 2);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(u, v, c) in arcs {
+        adj[u].push(head.len());
+        head.push(v);
+        cap.push(c);
+        adj[v].push(head.len());
+        head.push(u);
+        cap.push(0);
+    }
+    loop {
+        let mut pred: Vec<Option<usize>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[s] = true;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            if v == t {
+                break;
+            }
+            for &a in &adj[v] {
+                let w = head[a];
+                if cap[a] > 0 && !visited[w] {
+                    visited[w] = true;
+                    pred[w] = Some(a);
+                    queue.push_back(w);
+                }
+            }
+        }
+        if !visited[t] {
+            return FlowState { head, cap, adj };
+        }
+        let mut bottleneck = i64::MAX;
+        let mut v = t;
+        while v != s {
+            let a = pred[v].expect("path exists");
+            bottleneck = bottleneck.min(cap[a]);
+            v = head[a ^ 1];
+        }
+        let mut v = t;
+        while v != s {
+            let a = pred[v].expect("path exists");
+            cap[a] -= bottleneck;
+            cap[a ^ 1] += bottleneck;
+            v = head[a ^ 1];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_has_unit_flow() {
+        let g = generators::path(5);
+        assert_eq!(max_flow_unit(&g, NodeId::new(0), NodeId::new(4)), 1);
+        assert_eq!(vertex_connectivity_st(&g, NodeId::new(0), NodeId::new(4)), 1);
+    }
+
+    #[test]
+    fn cycle_has_two_disjoint_paths() {
+        let g = generators::cycle(8);
+        assert_eq!(max_flow_unit(&g, NodeId::new(0), NodeId::new(4)), 2);
+        assert_eq!(vertex_connectivity_st(&g, NodeId::new(0), NodeId::new(4)), 2);
+    }
+
+    #[test]
+    fn complete_graph_flow_is_n_minus_1() {
+        let g = generators::complete(6);
+        assert_eq!(max_flow_unit(&g, NodeId::new(0), NodeId::new(5)), 5);
+        // Vertex connectivity between adjacent nodes in K_n is n-1
+        // (the direct edge plus n-2 two-hop paths).
+        assert_eq!(vertex_connectivity_st(&g, NodeId::new(0), NodeId::new(5)), 5);
+    }
+
+    #[test]
+    fn star_routes_through_center() {
+        let g = generators::star(5);
+        assert_eq!(max_flow_unit(&g, NodeId::new(1), NodeId::new(2)), 1);
+        assert_eq!(vertex_connectivity_st(&g, NodeId::new(1), NodeId::new(2)), 1);
+    }
+
+    #[test]
+    fn grid_corner_to_corner() {
+        let g = generators::grid(3, 3);
+        // Two disjoint monotone paths exist between opposite corners.
+        assert_eq!(max_flow_unit(&g, NodeId::new(0), NodeId::new(8)), 2);
+        assert_eq!(vertex_connectivity_st(&g, NodeId::new(0), NodeId::new(8)), 2);
+    }
+
+    #[test]
+    fn wheel_flow_between_rim_nodes() {
+        let g = generators::wheel(9);
+        // v1 has degree 2, limiting both flows through it.
+        assert_eq!(max_flow_unit(&g, NodeId::new(1), NodeId::new(5)), 2);
+    }
+
+    #[test]
+    fn decomposed_paths_are_edge_disjoint_and_valid() {
+        for (g, s, t) in [
+            (generators::cycle(8), 0usize, 4usize),
+            (generators::complete(6), 0, 5),
+            (generators::grid(3, 3), 0, 8),
+            (generators::wheel(9), 1, 5),
+        ] {
+            let (s, t) = (NodeId::new(s), NodeId::new(t));
+            let paths = edge_disjoint_paths(&g, s, t);
+            assert_eq!(paths.len(), max_flow_unit(&g, s, t));
+            let mut used = std::collections::HashSet::new();
+            for p in &paths {
+                assert_eq!(p[0], s);
+                assert_eq!(*p.last().unwrap(), t);
+                for w in p.windows(2) {
+                    let eid = g.edge_between(w[0], w[1]).expect("path uses real edges");
+                    assert!(used.insert(eid), "edge reused across paths");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_disjoint_paths_are_disjoint_and_counted() {
+        for (g, s, t) in [
+            (generators::cycle(8), 0usize, 4usize),
+            (generators::grid(3, 4), 0, 11),
+            (generators::complete(6), 0, 5),
+            (generators::wheel(9), 2, 6),
+        ] {
+            let (s, t) = (NodeId::new(s), NodeId::new(t));
+            let paths = vertex_disjoint_paths(&g, s, t);
+            assert_eq!(paths.len(), vertex_connectivity_st(&g, s, t));
+            let mut seen = std::collections::HashSet::new();
+            for p in &paths {
+                assert_eq!(p[0], s);
+                assert_eq!(*p.last().unwrap(), t);
+                for w in p.windows(2) {
+                    assert!(g.are_adjacent(w[0], w[1]), "path uses real edges");
+                }
+                for &v in &p[1..p.len() - 1] {
+                    assert!(seen.insert(v), "internal node {v} reused");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimum_vertex_cut_separates() {
+        let g = generators::grid(3, 3);
+        let (s, t) = (NodeId::new(0), NodeId::new(8));
+        let cut = minimum_vertex_cut(&g, s, t).expect("non-adjacent");
+        assert_eq!(cut.len(), vertex_connectivity_st(&g, s, t));
+        // Removing the cut must disconnect s from t.
+        let mut b = crate::GraphBuilder::new(g.node_count());
+        for (_, rec) in g.edges() {
+            if !cut.contains(&rec.u) && !cut.contains(&rec.v) {
+                b.add_edge(rec.u, rec.v).unwrap();
+            }
+        }
+        let h = b.finish().unwrap();
+        let reach = crate::traversal::bfs(&h, s);
+        assert!(reach.dist[t.index()].is_none(), "cut must separate");
+    }
+
+    #[test]
+    fn minimum_vertex_cut_rejects_adjacent_pairs() {
+        let g = generators::cycle(5);
+        assert!(minimum_vertex_cut(&g, NodeId::new(0), NodeId::new(1)).is_none());
+        assert!(minimum_vertex_cut(&g, NodeId::new(0), NodeId::new(2)).is_some());
+    }
+
+    #[test]
+    fn vertex_vs_edge_connectivity_differ() {
+        // Two triangles sharing a node: edge connectivity 2 between the far
+        // corners, but vertex connectivity 1 (the shared node cuts).
+        let mut b = crate::GraphBuilder::new(5);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)] {
+            b.add_edge(u, v).unwrap();
+        }
+        let g = b.finish().unwrap();
+        assert_eq!(max_flow_unit(&g, NodeId::new(0), NodeId::new(4)), 2);
+        assert_eq!(vertex_connectivity_st(&g, NodeId::new(0), NodeId::new(4)), 1);
+    }
+}

@@ -1,0 +1,593 @@
+//! Graph families: the standard ones plus every construction in the paper.
+//!
+//! Port-number conventions matter for the crossing lower bounds, so the path
+//! and cycle families here are *consistently ordered* exactly as the proofs
+//! of Theorems 5.1–5.6 require: at every node the edge towards its successor
+//! (`v_{i+1}`) occupies the first port and the edge towards its predecessor
+//! the second.
+//!
+//! Paper-specific families:
+//!
+//! * [`wheel`] — Figure 2(a): a cycle with chords from `v0` to every other
+//!   node (used for the vertex-biconnectivity lower bound, Theorem 5.2);
+//! * [`wheel_with_tail`] — the Theorem 5.4 variant: a `c`-node cycle plus
+//!   edges from `v0` to all remaining nodes;
+//! * [`chain_of_cycles`] — Figure 5: disjoint `c`-cycles chained by bridge
+//!   edges (Theorem 5.6);
+//! * [`symmetry_gadget`] / [`symmetry_pair`] — Figures 3 and 4: the graphs
+//!   `G(z)` and `G(z, z')` encoding bit strings for the reduction from
+//!   2-party equality (Lemma C.1).
+
+use crate::{Graph, GraphBuilder, NodeId, Port};
+use rand::{Rng, RngExt};
+
+/// A path `u_0 — u_1 — … — u_{n-1}` with consistently ordered ports
+/// (successor first).
+///
+/// # Panics
+///
+/// Panics if `n < 1`.
+#[must_use]
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 1, "path needs at least one node");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n.saturating_sub(1) {
+        // Successor edge is port rank 0 at i (unless i is the last node),
+        // predecessor edge is rank 1 at i+1 (rank 0 if i+1 is the endpoint).
+        let at_succ = if i + 1 == n - 1 {
+            Port::from_rank(0)
+        } else {
+            Port::from_rank(1)
+        };
+        b.add_edge_with_ports(i, i + 1, Port::from_rank(0), at_succ)
+            .expect("path edges are simple");
+    }
+    b.finish().expect("path ports are contiguous")
+}
+
+/// A cycle `v_0 — v_1 — … — v_{n-1} — v_0` with consistently ordered ports:
+/// at every node, port 1 leads to the successor and port 2 to the
+/// predecessor.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least three nodes");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        b.add_edge_with_ports(i, j, Port::from_rank(0), Port::from_rank(1))
+            .expect("cycle edges are simple");
+    }
+    b.finish().expect("cycle ports are contiguous")
+}
+
+/// The complete graph `K_n`.
+///
+/// # Panics
+///
+/// Panics if `n < 1`.
+#[must_use]
+pub fn complete(n: usize) -> Graph {
+    assert!(n >= 1, "complete graph needs at least one node");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            b.add_edge(u, v).expect("distinct pairs");
+        }
+    }
+    b.finish().expect("auto ports are contiguous")
+}
+
+/// A star: center node `0` joined to `leaves` leaf nodes `1..=leaves`.
+///
+/// # Panics
+///
+/// Panics if `leaves < 1`.
+#[must_use]
+pub fn star(leaves: usize) -> Graph {
+    assert!(leaves >= 1, "star needs at least one leaf");
+    let mut b = GraphBuilder::new(leaves + 1);
+    for leaf in 1..=leaves {
+        b.add_edge(0, leaf).expect("distinct pairs");
+    }
+    b.finish().expect("auto ports are contiguous")
+}
+
+/// A complete binary tree of the given `depth` (`2^depth − 1` nodes, node
+/// `i` has children `2i+1` and `2i+2`).
+///
+/// # Panics
+///
+/// Panics if `depth` is 0 or at least 32.
+#[must_use]
+pub fn balanced_binary_tree(depth: u32) -> Graph {
+    assert!((1..32).contains(&depth), "depth must be in 1..32");
+    let n = (1usize << depth) - 1;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < n {
+                b.add_edge(i, child).expect("tree edges are simple");
+            }
+        }
+    }
+    b.finish().expect("auto ports are contiguous")
+}
+
+/// A `rows × cols` grid graph (node `(r, c)` has index `r * cols + c`).
+///
+/// # Panics
+///
+/// Panics if either dimension is 0.
+#[must_use]
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            if c + 1 < cols {
+                b.add_edge(i, i + 1).expect("grid edges are simple");
+            }
+            if r + 1 < rows {
+                b.add_edge(i, i + cols).expect("grid edges are simple");
+            }
+        }
+    }
+    b.finish().expect("auto ports are contiguous")
+}
+
+/// A uniformly random labelled tree on `n` nodes (each node `i ≥ 1` attaches
+/// to a uniform random earlier node — a random recursive tree).
+///
+/// # Panics
+///
+/// Panics if `n < 1`.
+pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> Graph {
+    assert!(n >= 1, "tree needs at least one node");
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let parent = rng.random_range(0..i);
+        b.add_edge(parent, i).expect("tree edges are simple");
+    }
+    b.finish().expect("auto ports are contiguous")
+}
+
+/// A connected Erdős–Rényi-style graph: a random spanning tree plus every
+/// remaining pair independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `n < 1` or `p` is not in `[0, 1]`.
+pub fn gnp_connected<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!(n >= 1, "graph needs at least one node");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    let mut present = std::collections::HashSet::new();
+    for i in 1..n {
+        let parent = rng.random_range(0..i);
+        b.add_edge(parent, i).expect("tree edges are simple");
+        present.insert((parent.min(i), parent.max(i)));
+    }
+    for u in 0..n {
+        for v in u + 1..n {
+            if !present.contains(&(u, v)) && rng.random_bool(p) {
+                b.add_edge(u, v).expect("new pair");
+            }
+        }
+    }
+    b.finish().expect("auto ports are contiguous")
+}
+
+/// Figure 2(a): an `n`-node cycle with consistently ordered ports plus
+/// chords `{v_0, v_j}` for `j = 2, …, n−2`.
+///
+/// This graph is vertex-biconnected; crossing two independent cycle edges
+/// produces Figure 2(b), where `v_0` becomes an articulation point — the
+/// engine of the Theorem 5.2 lower bound.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+#[must_use]
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "wheel needs at least four nodes");
+    let mut b = GraphBuilder::new(n);
+    // Cycle edges with the consistent numbering (successor = port 1).
+    for i in 0..n {
+        let j = (i + 1) % n;
+        b.add_edge_with_ports(i, j, Port::from_rank(0), Port::from_rank(1))
+            .expect("cycle edges are simple");
+    }
+    // Chords from v0, taking the next free ports on both sides.
+    for (k, j) in (2..=n - 2).enumerate() {
+        b.add_edge_with_ports(0, j, Port::from_rank(2 + k), Port::from_rank(2))
+            .expect("chords are simple");
+    }
+    b.finish().expect("wheel ports are contiguous")
+}
+
+/// The Theorem 5.4 graph: a `c`-node cycle `v_0 … v_{c-1}` plus edges
+/// `{v_0, v_j}` for every `j = 2, …, n−1` with `j ≠ c−1` (both chords inside
+/// the cycle and pendant spokes to the `n − c` nodes outside it).
+///
+/// Satisfies `cycle-at-least-c` and contains `⌊c/3⌋ − 1` pairwise
+/// independent cycle edges whose crossing splits the long cycle.
+///
+/// # Panics
+///
+/// Panics if `c < 4` or `n < c`.
+#[must_use]
+pub fn wheel_with_tail(n: usize, c: usize) -> Graph {
+    assert!(c >= 4, "cycle part needs at least four nodes");
+    assert!(n >= c, "need n >= c");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..c {
+        let j = (i + 1) % c;
+        b.add_edge_with_ports(i, j, Port::from_rank(0), Port::from_rank(1))
+            .expect("cycle edges are simple");
+    }
+    let mut next_port_v0 = 2usize;
+    for j in 2..n {
+        if j == c - 1 {
+            continue;
+        }
+        // Inside the cycle the far endpoint already has ports 0 and 1;
+        // outside it this is the node's first edge.
+        let far_rank = if j < c { 2 } else { 0 };
+        b.add_edge_with_ports(
+            0,
+            j,
+            Port::from_rank(next_port_v0),
+            Port::from_rank(far_rank),
+        )
+        .expect("spokes are simple");
+        next_port_v0 += 1;
+    }
+    b.finish().expect("ports are contiguous")
+}
+
+/// Figure 5: a chain of `count` cycles with `cycle_len` nodes each,
+/// consecutive cycles joined by a single bridge edge.
+///
+/// Every simple cycle has length exactly `cycle_len`, so the graph satisfies
+/// `cycle-at-most-c` for `c = cycle_len`; crossing two cycle edges from
+/// different links merges them into one long cycle (Figure 5(b)), flipping
+/// the predicate — the Theorem 5.6 construction.
+///
+/// The bridge joins node `1` of one cycle to node `⌈len/2⌉` of the next, so
+/// bridges never collide with each other on a node.
+///
+/// # Panics
+///
+/// Panics if `cycle_len < 4` or `count < 1`.
+#[must_use]
+pub fn chain_of_cycles(count: usize, cycle_len: usize) -> Graph {
+    assert!(cycle_len >= 4, "cycles need at least four nodes");
+    assert!(count >= 1, "need at least one cycle");
+    let n = count * cycle_len;
+    let mut b = GraphBuilder::new(n);
+    for k in 0..count {
+        let base = k * cycle_len;
+        for i in 0..cycle_len {
+            let j = (i + 1) % cycle_len;
+            b.add_edge_with_ports(
+                base + i,
+                base + j,
+                Port::from_rank(0),
+                Port::from_rank(1),
+            )
+            .expect("cycle edges are simple");
+        }
+    }
+    for k in 0..count.saturating_sub(1) {
+        let from = k * cycle_len + 1;
+        let to = (k + 1) * cycle_len + cycle_len / 2;
+        b.add_edge_with_ports(from, to, Port::from_rank(2), Port::from_rank(2))
+            .expect("bridges are simple");
+    }
+    b.finish().expect("ports are contiguous")
+}
+
+/// Node layout of the Figure 3 symmetry gadget `G(z)`; see
+/// [`symmetry_gadget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymmetryLayout {
+    /// Number of encoded bits λ.
+    pub lambda: usize,
+}
+
+impl SymmetryLayout {
+    /// Index of path node `u_i`.
+    #[must_use]
+    pub fn u(&self, i: usize) -> NodeId {
+        assert!(i < self.lambda);
+        NodeId::new(i)
+    }
+
+    /// Index of pendant node `w_i`.
+    #[must_use]
+    pub fn w(&self, i: usize) -> NodeId {
+        assert!(i < self.lambda);
+        NodeId::new(self.lambda + i)
+    }
+
+    /// Index of triangle node `t_j` (`j ∈ {0, 1, 2}`).
+    #[must_use]
+    pub fn t(&self, j: usize) -> NodeId {
+        assert!(j < 3);
+        NodeId::new(2 * self.lambda + j)
+    }
+
+    /// Total number of nodes `ν = 2λ + 3`.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        2 * self.lambda + 3
+    }
+}
+
+fn add_gadget_edges(b: &mut GraphBuilder, z: &[bool], offset: usize) {
+    let lambda = z.len();
+    let u = |i: usize| offset + i;
+    let w = |i: usize| offset + lambda + i;
+    let t = |j: usize| offset + 2 * lambda + j;
+    // Path on U.
+    for i in 0..lambda - 1 {
+        b.add_edge(u(i), u(i + 1)).expect("path edges are simple");
+    }
+    // Triangle on T.
+    for (a, c) in [(0, 1), (1, 2), (2, 0)] {
+        b.add_edge(t(a), t(c)).expect("triangle edges are simple");
+    }
+    // Anchor edge e0 = {t0, u0}.
+    b.add_edge(t(0), u(0)).expect("anchor edge is simple");
+    // Pendants encode the bit string.
+    for (i, &bit) in z.iter().enumerate() {
+        if bit {
+            b.add_edge(w(i), u(i)).expect("pendant edges are simple");
+        } else {
+            b.add_edge(w(i), t(1)).expect("pendant edges are simple");
+        }
+    }
+}
+
+/// Figure 3: the graph `G(z)` encoding the bit string `z` (λ = `z.len()`
+/// bits, `2λ + 3` nodes).
+///
+/// `G(z)` and `G(z')` are isomorphic if and only if `z = z'` (Claim C.2),
+/// which is what makes [`symmetry_pair`] a reduction from 2-party equality.
+///
+/// # Panics
+///
+/// Panics if `z` is empty.
+#[must_use]
+pub fn symmetry_gadget(z: &[bool]) -> Graph {
+    assert!(!z.is_empty(), "need at least one bit");
+    let layout = SymmetryLayout { lambda: z.len() };
+    let mut b = GraphBuilder::new(layout.node_count());
+    add_gadget_edges(&mut b, z, 0);
+    b.finish().expect("auto ports are contiguous")
+}
+
+/// Figure 4: the graph `G(z, z')` — two gadgets joined by the single edge
+/// `{u⁰_{λ-1}, u¹_{λ-1}}`.
+///
+/// By Claim C.2 this graph is *symmetric* (removing one edge leaves two
+/// isomorphic components) if and only if `z = z'`.
+///
+/// # Panics
+///
+/// Panics if the strings are empty or of different lengths.
+#[must_use]
+pub fn symmetry_pair(z: &[bool], z2: &[bool]) -> Graph {
+    assert!(!z.is_empty(), "need at least one bit");
+    assert_eq!(z.len(), z2.len(), "strings must have equal length");
+    let lambda = z.len();
+    let half = 2 * lambda + 3;
+    let mut b = GraphBuilder::new(2 * half);
+    add_gadget_edges(&mut b, z, 0);
+    add_gadget_edges(&mut b, z2, half);
+    b.add_edge(lambda - 1, half + lambda - 1)
+        .expect("joining edge is simple");
+    b.finish().expect("auto ports are contiguous")
+}
+
+/// The [`EdgeId`](crate::EdgeId) of the joining edge in [`symmetry_pair`]
+/// (the edge whose removal must split the graph into the two gadgets).
+#[must_use]
+pub fn symmetry_pair_bridge(g: &Graph, lambda: usize) -> crate::EdgeId {
+    let half = 2 * lambda + 3;
+    g.edge_between(NodeId::new(lambda - 1), NodeId::new(half + lambda - 1))
+        .expect("symmetry pair contains its joining edge")
+}
+
+/// Random distinct weights `1..=m` (a permutation), guaranteeing the MST is
+/// unique.
+pub fn distinct_weights<R: Rng>(g: &Graph, rng: &mut R) -> Vec<u64> {
+    let m = g.edge_count();
+    let mut w: Vec<u64> = (1..=m as u64).collect();
+    // Fisher–Yates.
+    for i in (1..m).rev() {
+        let j = rng.random_range(0..=i);
+        w.swap(i, j);
+    }
+    w
+}
+
+/// Independent uniform weights in `1..=max_weight`.
+pub fn random_weights<R: Rng>(g: &Graph, max_weight: u64, rng: &mut R) -> Vec<u64> {
+    (0..g.edge_count())
+        .map(|_| rng.random_range(1..=max_weight))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_structure() {
+        let g = path(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+        assert_eq!(g.degree(NodeId::new(2)), 2);
+        assert!(connectivity::is_connected(&g));
+    }
+
+    #[test]
+    fn path_ports_are_successor_first() {
+        let g = path(5);
+        // Interior node 2: port 1 -> node 3 (successor), port 2 -> node 1.
+        let v = NodeId::new(2);
+        assert_eq!(
+            g.neighbor_by_port(v, Port::from_rank(0)).unwrap().node,
+            NodeId::new(3)
+        );
+        assert_eq!(
+            g.neighbor_by_port(v, Port::from_rank(1)).unwrap().node,
+            NodeId::new(1)
+        );
+    }
+
+    #[test]
+    fn cycle_ports_are_consistent() {
+        let g = cycle(6);
+        for i in 0..6 {
+            let v = NodeId::new(i);
+            assert_eq!(
+                g.neighbor_by_port(v, Port::from_rank(0)).unwrap().node,
+                NodeId::new((i + 1) % 6),
+                "successor of v{i}"
+            );
+            assert_eq!(
+                g.neighbor_by_port(v, Port::from_rank(1)).unwrap().node,
+                NodeId::new((i + 5) % 6),
+                "predecessor of v{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn tree_families_are_acyclic() {
+        let g = balanced_binary_tree(4);
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert!(connectivity::is_connected(&g));
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = random_tree(20, &mut rng);
+        assert_eq!(t.edge_count(), 19);
+        assert!(connectivity::is_connected(&t));
+    }
+
+    #[test]
+    fn gnp_is_connected_and_at_least_tree() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &p in &[0.0, 0.1, 0.5] {
+            let g = gnp_connected(15, p, &mut rng);
+            assert!(connectivity::is_connected(&g), "p={p}");
+            assert!(g.edge_count() >= 14);
+        }
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert!(connectivity::is_connected(&g));
+    }
+
+    #[test]
+    fn wheel_matches_figure_2() {
+        let n = 8;
+        let g = wheel(n);
+        assert_eq!(g.edge_count(), n + (n - 3)); // cycle + chords 2..=n-2
+        assert_eq!(g.degree(NodeId::new(0)), 2 + (n - 3));
+        assert_eq!(g.degree(NodeId::new(1)), 2); // v1 has no chord
+        assert_eq!(g.degree(NodeId::new(n - 1)), 2); // v_{n-1} has no chord
+        assert_eq!(g.degree(NodeId::new(2)), 3);
+        assert!(connectivity::is_biconnected(&g));
+    }
+
+    #[test]
+    fn wheel_with_tail_has_long_cycle_and_spokes() {
+        let (n, c) = (12, 8);
+        let g = wheel_with_tail(n, c);
+        assert!(connectivity::is_connected(&g));
+        // v_{c-1} has no chord; tail nodes hang off v0.
+        assert_eq!(g.degree(NodeId::new(c - 1)), 2);
+        for j in c..n {
+            assert_eq!(g.degree(NodeId::new(j)), 1, "tail node v{j}");
+        }
+        // Edge count: c cycle edges + (n - 3) spokes (j = 2..n-1 minus c-1).
+        assert_eq!(g.edge_count(), c + n - 3);
+    }
+
+    #[test]
+    fn chain_of_cycles_matches_figure_5() {
+        let g = chain_of_cycles(3, 6);
+        assert_eq!(g.node_count(), 18);
+        assert_eq!(g.edge_count(), 3 * 6 + 2);
+        assert!(connectivity::is_connected(&g));
+    }
+
+    #[test]
+    fn symmetry_gadget_structure() {
+        let z = [true, false, false, true, true]; // "10011" as in Figure 3
+        let g = symmetry_gadget(&z);
+        let layout = SymmetryLayout { lambda: z.len() };
+        assert_eq!(g.node_count(), 13);
+        // λ-1 path + 3 triangle + 1 anchor + λ pendant edges.
+        assert_eq!(g.edge_count(), (z.len() - 1) + 3 + 1 + z.len());
+        assert!(connectivity::is_connected(&g));
+        // w_0 attaches to u_0 (bit 1); w_1 attaches to t_1 (bit 0).
+        assert!(g.are_adjacent(layout.w(0), layout.u(0)));
+        assert!(g.are_adjacent(layout.w(1), layout.t(1)));
+    }
+
+    #[test]
+    fn symmetry_pair_is_two_gadgets_plus_bridge() {
+        let z = [true, false, true];
+        let g = symmetry_pair(&z, &z);
+        assert_eq!(g.node_count(), 2 * 9);
+        let bridge = symmetry_pair_bridge(&g, z.len());
+        let rec = g.edge(bridge);
+        assert_eq!(rec.u, NodeId::new(2));
+        assert_eq!(rec.v, NodeId::new(9 + 2));
+        assert!(connectivity::is_connected(&g));
+    }
+
+    #[test]
+    fn distinct_weights_are_a_permutation() {
+        let g = complete(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut w = distinct_weights(&g, &mut rng);
+        w.sort_unstable();
+        assert_eq!(w, (1..=10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn random_weights_respect_bounds() {
+        let g = cycle(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = random_weights(&g, 64, &mut rng);
+        assert!(w.iter().all(|&x| (1..=64).contains(&x)));
+    }
+}

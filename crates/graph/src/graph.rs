@@ -1,0 +1,599 @@
+//! The port-numbered graph representation and its builder.
+
+use crate::{EdgeId, GraphError, NodeId, Port};
+use std::fmt;
+
+/// One undirected edge, with the port number it occupies at each endpoint
+/// and an optional weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EdgeRecord {
+    /// First endpoint (the one passed first at construction).
+    pub u: NodeId,
+    /// Second endpoint.
+    pub v: NodeId,
+    /// Port number of this edge at `u`.
+    pub port_at_u: Port,
+    /// Port number of this edge at `v`.
+    pub port_at_v: Port,
+    /// Optional edge weight (present on weighted configurations such as MST
+    /// instances).
+    pub weight: Option<u64>,
+}
+
+impl EdgeRecord {
+    /// The endpoint opposite to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint of this edge.
+    #[must_use]
+    pub fn other(&self, node: NodeId) -> NodeId {
+        if node == self.u {
+            self.v
+        } else if node == self.v {
+            self.u
+        } else {
+            panic!("{node} is not an endpoint of this edge");
+        }
+    }
+
+    /// The port number of this edge at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint of this edge.
+    #[must_use]
+    pub fn port_at(&self, node: NodeId) -> Port {
+        if node == self.u {
+            self.port_at_u
+        } else if node == self.v {
+            self.port_at_v
+        } else {
+            panic!("{node} is not an endpoint of this edge");
+        }
+    }
+
+    /// Whether `node` is one of the two endpoints.
+    #[must_use]
+    pub fn touches(&self, node: NodeId) -> bool {
+        node == self.u || node == self.v
+    }
+}
+
+/// A neighbor as seen from a particular node, carrying everything a local
+/// verifier is allowed to use: which port leads there, which port the edge
+/// occupies on the far side, and the edge weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Neighbor {
+    /// The neighboring node.
+    pub node: NodeId,
+    /// The connecting edge.
+    pub edge: EdgeId,
+    /// Port of the edge at the local node.
+    pub port: Port,
+    /// Port of the edge at `node` (the far endpoint). A certificate sent by
+    /// the neighbor along this edge is the one it generated for this port.
+    pub remote_port: Port,
+    /// Edge weight, if the graph is weighted.
+    pub weight: Option<u64>,
+}
+
+/// A connected, simple, undirected, port-numbered graph (the network model
+/// of §2.1 of the paper).
+///
+/// Construct one through [`GraphBuilder`] or the ready-made families in
+/// [`generators`](crate::generators).
+///
+/// # Examples
+///
+/// ```
+/// use rpls_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// let g = b.finish()?;
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// # Ok::<(), rpls_graph::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// Adjacency lists ordered by port rank: `adjacency[v][p]` is the edge at
+    /// port rank `p` of node `v`.
+    adjacency: Vec<Vec<EdgeId>>,
+    edges: Vec<EdgeRecord>,
+}
+
+impl Graph {
+    /// Number of nodes `n`.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges `m`.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// Iterates over all node indices `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Iterates over all edge records with their indices.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &EdgeRecord)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId::new(i), e))
+    }
+
+    /// The record of edge `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    #[must_use]
+    pub fn edge(&self, edge: EdgeId) -> &EdgeRecord {
+        &self.edges[edge.index()]
+    }
+
+    /// The neighbors of `node` in port order (port 1 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = Neighbor> + '_ {
+        self.adjacency[node.index()]
+            .iter()
+            .enumerate()
+            .map(move |(rank, &eid)| self.neighbor_entry(node, Port::from_rank(rank), eid))
+    }
+
+    /// The neighbor reached from `node` through `port`, or `None` if the
+    /// port rank is at least `deg(node)`.
+    #[must_use]
+    pub fn neighbor_by_port(&self, node: NodeId, port: Port) -> Option<Neighbor> {
+        let eid = *self.adjacency[node.index()].get(port.rank())?;
+        Some(self.neighbor_entry(node, port, eid))
+    }
+
+    fn neighbor_entry(&self, node: NodeId, port: Port, eid: EdgeId) -> Neighbor {
+        let rec = &self.edges[eid.index()];
+        let other = rec.other(node);
+        Neighbor {
+            node: other,
+            edge: eid,
+            port,
+            remote_port: rec.port_at(other),
+            weight: rec.weight,
+        }
+    }
+
+    /// The edge between `u` and `v`, if any.
+    #[must_use]
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.adjacency[u.index()]
+            .iter()
+            .copied()
+            .find(|&eid| self.edges[eid.index()].other(u) == v)
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    #[must_use]
+    pub fn are_adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+
+    /// Whether every edge carries a weight.
+    #[must_use]
+    pub fn is_weighted(&self) -> bool {
+        !self.edges.is_empty() && self.edges.iter().all(|e| e.weight.is_some())
+    }
+
+    /// Sum of all edge weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingWeights`] if any edge lacks a weight.
+    pub fn total_weight(&self) -> Result<u128, GraphError> {
+        self.edges
+            .iter()
+            .map(|e| e.weight.map(u128::from).ok_or(GraphError::MissingWeights))
+            .sum()
+    }
+
+    /// Returns a copy of this graph with the given weights, indexed by
+    /// [`EdgeId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != self.edge_count()`.
+    #[must_use]
+    pub fn with_weights(&self, weights: &[u64]) -> Graph {
+        assert_eq!(
+            weights.len(),
+            self.edge_count(),
+            "one weight per edge required"
+        );
+        let mut g = self.clone();
+        for (rec, &w) in g.edges.iter_mut().zip(weights) {
+            rec.weight = Some(w);
+        }
+        g
+    }
+
+    /// Returns a copy of this graph with every edge weight set to `w`.
+    #[must_use]
+    pub fn with_uniform_weights(&self, w: u64) -> Graph {
+        self.with_weights(&vec![w; self.edge_count()])
+    }
+
+    /// The sorted list of `(u, v)` endpoint pairs (u < v), a convenient
+    /// canonical form for structural comparisons in tests.
+    #[must_use]
+    pub fn sorted_edge_list(&self) -> Vec<(usize, usize)> {
+        let mut list: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .map(|e| {
+                let (a, b) = (e.u.index(), e.v.index());
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        list.sort_unstable();
+        list
+    }
+
+    /// Rebuilds this graph from its own edge list via a [`GraphBuilder`],
+    /// preserving ports. Used internally by operations that need to
+    /// re-validate structural invariants after editing.
+    pub(crate) fn from_edge_records(
+        node_count: usize,
+        records: Vec<EdgeRecord>,
+    ) -> Result<Graph, GraphError> {
+        let mut b = GraphBuilder::new(node_count);
+        for rec in records {
+            b.add_edge_full(rec.u, rec.v, Some((rec.port_at_u, rec.port_at_v)), rec.weight)?;
+        }
+        b.finish()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={}, edges={:?})",
+            self.node_count(),
+            self.edge_count(),
+            self.sorted_edge_list()
+        )
+    }
+}
+
+/// Incremental construction of a [`Graph`] with validation.
+///
+/// Ports default to insertion order at each endpoint; pass explicit ports via
+/// [`GraphBuilder::add_edge_with_ports`] when reproducing a crossing, which
+/// must preserve the original numbering.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: Vec<EdgeRecord>,
+    next_port: Vec<u32>,
+    /// Adjacency presence for duplicate detection.
+    seen: std::collections::HashSet<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `node_count` nodes and no edges.
+    #[must_use]
+    pub fn new(node_count: usize) -> Self {
+        Self {
+            node_count,
+            edges: Vec::new(),
+            next_port: vec![0; node_count],
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Number of nodes the final graph will have.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges added so far.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the edge `{u, v}` with automatically assigned ports (insertion
+    /// order at each endpoint) and no weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-range endpoints, self-loops or duplicate
+    /// edges.
+    pub fn add_edge(
+        &mut self,
+        u: impl Into<NodeId>,
+        v: impl Into<NodeId>,
+    ) -> Result<EdgeId, GraphError> {
+        self.add_edge_full(u.into(), v.into(), None, None)
+    }
+
+    /// Adds the edge `{u, v}` with a weight.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GraphBuilder::add_edge`].
+    pub fn add_weighted_edge(
+        &mut self,
+        u: impl Into<NodeId>,
+        v: impl Into<NodeId>,
+        weight: u64,
+    ) -> Result<EdgeId, GraphError> {
+        self.add_edge_full(u.into(), v.into(), None, Some(weight))
+    }
+
+    /// Adds the edge `{u, v}` with explicit port numbers at both endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GraphBuilder::add_edge`]; port collisions are
+    /// detected at [`GraphBuilder::finish`].
+    pub fn add_edge_with_ports(
+        &mut self,
+        u: impl Into<NodeId>,
+        v: impl Into<NodeId>,
+        port_at_u: Port,
+        port_at_v: Port,
+    ) -> Result<EdgeId, GraphError> {
+        self.add_edge_full(u.into(), v.into(), Some((port_at_u, port_at_v)), None)
+    }
+
+    /// Adds an edge with full control: optional explicit ports and an
+    /// optional weight. This is the primitive the other `add_*` methods and
+    /// the configuration decoders build on.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GraphBuilder::add_edge`].
+    pub fn add_edge_full(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        ports: Option<(Port, Port)>,
+        weight: Option<u64>,
+    ) -> Result<EdgeId, GraphError> {
+        for node in [u, v] {
+            if node.index() >= self.node_count {
+                return Err(GraphError::NodeOutOfRange {
+                    node,
+                    node_count: self.node_count,
+                });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        let key = (
+            u.index().min(v.index()) as u32,
+            u.index().max(v.index()) as u32,
+        );
+        if !self.seen.insert(key) {
+            return Err(GraphError::DuplicateEdge(u, v));
+        }
+        let (port_at_u, port_at_v) = match ports {
+            Some(p) => p,
+            None => {
+                let pu = Port::from_rank(self.next_port[u.index()] as usize);
+                let pv = Port::from_rank(self.next_port[v.index()] as usize);
+                (pu, pv)
+            }
+        };
+        self.next_port[u.index()] = self.next_port[u.index()].max(port_at_u.rank() as u32 + 1);
+        self.next_port[v.index()] = self.next_port[v.index()].max(port_at_v.rank() as u32 + 1);
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push(EdgeRecord {
+            u,
+            v,
+            port_at_u,
+            port_at_v,
+            weight,
+        });
+        Ok(id)
+    }
+
+    /// Validates port assignments and produces the graph.
+    ///
+    /// Each node's ports must be exactly `{1, …, deg(v)}` (no gaps, no
+    /// collisions), as the model requires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotAnIsomorphism`]-style validation failures as
+    /// [`GraphError::DuplicateEdge`] is already caught on insertion; port
+    /// collisions surface as [`GraphError::NotIndependent`] is *not* used
+    /// here — instead an invalid port layout yields
+    /// [`GraphError::NodeOutOfRange`]-free dedicated panic-free error via
+    /// `NotAnIsomorphism { reason }`.
+    pub fn finish(self) -> Result<Graph, GraphError> {
+        let mut adjacency: Vec<Vec<Option<EdgeId>>> = (0..self.node_count)
+            .map(|v| {
+                let deg = self
+                    .edges
+                    .iter()
+                    .filter(|e| e.touches(NodeId::new(v)))
+                    .count();
+                vec![None; deg]
+            })
+            .collect();
+        for (i, rec) in self.edges.iter().enumerate() {
+            for (node, port) in [(rec.u, rec.port_at_u), (rec.v, rec.port_at_v)] {
+                let slots = &mut adjacency[node.index()];
+                if port.rank() >= slots.len() {
+                    return Err(GraphError::NotAnIsomorphism {
+                        reason: format!(
+                            "{node} has degree {} but edge uses {port}",
+                            slots.len()
+                        ),
+                    });
+                }
+                if slots[port.rank()].is_some() {
+                    return Err(GraphError::NotAnIsomorphism {
+                        reason: format!("{node} has two edges on {port}"),
+                    });
+                }
+                slots[port.rank()] = Some(EdgeId::new(i));
+            }
+        }
+        let adjacency = adjacency
+            .into_iter()
+            .map(|slots| slots.into_iter().map(|s| s.expect("all slots filled")).collect())
+            .collect();
+        Ok(Graph {
+            adjacency,
+            edges: self.edges,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(2, 0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_ports_in_insertion_order() {
+        let g = triangle();
+        let v1 = NodeId::new(1);
+        let ports: Vec<usize> = g.neighbors(v1).map(|nb| nb.port.number()).collect();
+        assert_eq!(ports, vec![1, 2]);
+        // v1's port 1 leads to v0 (the first inserted edge touching v1).
+        assert_eq!(
+            g.neighbor_by_port(v1, Port::from_number(1)).unwrap().node,
+            NodeId::new(0)
+        );
+    }
+
+    #[test]
+    fn remote_port_is_symmetric_view() {
+        let g = triangle();
+        let v0 = NodeId::new(0);
+        for nb in g.neighbors(v0) {
+            let back = g
+                .neighbor_by_port(nb.node, nb.remote_port)
+                .expect("remote port exists");
+            assert_eq!(back.node, v0, "remote port must point back");
+            assert_eq!(back.edge, nb.edge);
+        }
+    }
+
+    #[test]
+    fn rejects_self_loops_and_duplicates() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(
+            b.add_edge(0, 0).unwrap_err(),
+            GraphError::SelfLoop(NodeId::new(0))
+        );
+        b.add_edge(0, 1).unwrap();
+        assert_eq!(
+            b.add_edge(1, 0).unwrap_err(),
+            GraphError::DuplicateEdge(NodeId::new(1), NodeId::new(0))
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_nodes() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 5),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_port_collisions() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_with_ports(0, 1, Port::from_rank(0), Port::from_rank(0))
+            .unwrap();
+        b.add_edge_with_ports(0, 2, Port::from_rank(0), Port::from_rank(0))
+            .unwrap();
+        assert!(matches!(
+            b.finish(),
+            Err(GraphError::NotAnIsomorphism { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_port_gaps() {
+        let mut b = GraphBuilder::new(2);
+        // Degree-1 node with port number 2: invalid.
+        b.add_edge_with_ports(0, 1, Port::from_rank(1), Port::from_rank(0))
+            .unwrap();
+        assert!(matches!(
+            b.finish(),
+            Err(GraphError::NotAnIsomorphism { .. })
+        ));
+    }
+
+    #[test]
+    fn weights_round_trip() {
+        let g = triangle().with_weights(&[5, 7, 11]);
+        assert!(g.is_weighted());
+        assert_eq!(g.total_weight().unwrap(), 23);
+        let uw = triangle();
+        assert!(!uw.is_weighted());
+        assert_eq!(uw.total_weight().unwrap_err(), GraphError::MissingWeights);
+    }
+
+    #[test]
+    fn edge_between_finds_edges() {
+        let g = triangle();
+        assert!(g.edge_between(NodeId::new(0), NodeId::new(2)).is_some());
+        assert!(g.are_adjacent(NodeId::new(1), NodeId::new(2)));
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(2, 3).unwrap();
+        let g = b.finish().unwrap();
+        assert!(!g.are_adjacent(NodeId::new(0), NodeId::new(3)));
+    }
+
+    #[test]
+    fn from_edge_records_preserves_ports() {
+        let g = triangle();
+        let records: Vec<EdgeRecord> = g.edges().map(|(_, r)| *r).collect();
+        let g2 = Graph::from_edge_records(3, records).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn sorted_edge_list_is_canonical() {
+        let g = triangle();
+        assert_eq!(g.sorted_edge_list(), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Index newtypes: nodes, edges and port numbers.
+
+use std::fmt;
+
+/// Structural index of a node within a [`Graph`](crate::Graph).
+///
+/// Node indices are dense (`0..n`) and purely structural: the *identity* a
+/// node exposes to a proof-labeling scheme is part of its state, assigned by
+/// the configuration layer, and need not coincide with this index.
+///
+/// # Examples
+///
+/// ```
+/// use rpls_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Self(u32::try_from(index).expect("node index fits in u32"))
+    }
+
+    /// The dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        Self::new(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Structural index of an undirected edge within a [`Graph`](crate::Graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Self(u32::try_from(index).expect("edge index fits in u32"))
+    }
+
+    /// The dense index of this edge.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(index: usize) -> Self {
+        Self::new(index)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A port number at one endpoint of an edge.
+///
+/// The paper numbers the edges incident to `v` in sequence `1, …, deg(v)`;
+/// this type follows the same 1-based convention in its display form while
+/// storing a 0-based rank internally (accessible via [`Port::rank`]).
+///
+/// # Examples
+///
+/// ```
+/// use rpls_graph::Port;
+/// let p = Port::from_rank(0);
+/// assert_eq!(p.number(), 1);  // first port, numbered 1 as in the paper
+/// assert_eq!(p.rank(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Port(u32);
+
+impl Port {
+    /// Creates a port from its 0-based rank in the neighbor list.
+    #[must_use]
+    pub fn from_rank(rank: usize) -> Self {
+        Self(u32::try_from(rank).expect("port rank fits in u32"))
+    }
+
+    /// Creates a port from the paper's 1-based numbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `number` is 0.
+    #[must_use]
+    pub fn from_number(number: usize) -> Self {
+        assert!(number >= 1, "port numbers are 1-based");
+        Self::from_rank(number - 1)
+    }
+
+    /// 0-based rank within the node's neighbor list.
+    #[must_use]
+    pub fn rank(self) -> usize {
+        self.0 as usize
+    }
+
+    /// 1-based port number as in the paper (`1..=deg(v)`).
+    #[must_use]
+    pub fn number(self) -> usize {
+        self.0 as usize + 1
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port{}", self.number())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        let v = NodeId::new(17);
+        assert_eq!(v.index(), 17);
+        assert_eq!(NodeId::from(17usize), v);
+    }
+
+    #[test]
+    fn port_numbering_conventions() {
+        assert_eq!(Port::from_rank(2).number(), 3);
+        assert_eq!(Port::from_number(3).rank(), 2);
+        assert_eq!(Port::from_number(1), Port::from_rank(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn port_number_zero_panics() {
+        let _ = Port::from_number(0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId::new(4).to_string(), "v4");
+        assert_eq!(EdgeId::new(9).to_string(), "e9");
+        assert_eq!(Port::from_rank(0).to_string(), "port1");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(Port::from_rank(0) < Port::from_rank(1));
+    }
+}

@@ -1,0 +1,269 @@
+//! Graph isomorphism testing and the `Sym` predicate of Appendix C.
+//!
+//! The symmetry predicate — “there is an edge whose removal splits the graph
+//! into two isomorphic components” — is what Lemma C.1 uses to encode
+//! 2-party equality into a network predicate. Isomorphism is decided by
+//! backtracking with degree-sequence pruning, adequate for the gadget sizes
+//! (`2λ + 3` nodes per side) the reduction generates.
+
+use crate::{EdgeId, Graph, NodeId};
+
+/// Whether `g1` and `g2` are isomorphic (as unlabeled graphs, ignoring ports
+/// and weights).
+///
+/// Backtracking with degree pruning; exponential worst case, intended for
+/// the small gadget graphs of the Lemma C.1 reduction.
+///
+/// # Examples
+///
+/// ```
+/// use rpls_graph::{generators, isomorphism};
+/// let a = generators::cycle(5);
+/// let b = generators::cycle(5);
+/// assert!(isomorphism::are_isomorphic(&a, &b));
+/// let p = generators::path(5);
+/// assert!(!isomorphism::are_isomorphic(&a, &p));
+/// ```
+#[must_use]
+pub fn are_isomorphic(g1: &Graph, g2: &Graph) -> bool {
+    let n = g1.node_count();
+    if n != g2.node_count() || g1.edge_count() != g2.edge_count() {
+        return false;
+    }
+    if n == 0 {
+        return true;
+    }
+    let mut deg1: Vec<usize> = g1.nodes().map(|v| g1.degree(v)).collect();
+    let mut deg2: Vec<usize> = g2.nodes().map(|v| g2.degree(v)).collect();
+    {
+        let mut s1 = deg1.clone();
+        let mut s2 = deg2.clone();
+        s1.sort_unstable();
+        s2.sort_unstable();
+        if s1 != s2 {
+            return false;
+        }
+    }
+    // Order g1's nodes by descending degree to fail fast on constrained
+    // nodes.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(deg1[v]));
+
+    let adj1 = adjacency_sets(g1);
+    let adj2 = adjacency_sets(g2);
+    let mut mapping: Vec<Option<usize>> = vec![None; n];
+    let mut used: Vec<bool> = vec![false; n];
+    backtrack(
+        0,
+        &order,
+        &adj1,
+        &adj2,
+        &mut deg1,
+        &mut deg2,
+        &mut mapping,
+        &mut used,
+    )
+}
+
+fn adjacency_sets(g: &Graph) -> Vec<Vec<usize>> {
+    g.nodes()
+        .map(|v| {
+            let mut nb: Vec<usize> = g.neighbors(v).map(|x| x.node.index()).collect();
+            nb.sort_unstable();
+            nb
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    depth: usize,
+    order: &[usize],
+    adj1: &[Vec<usize>],
+    adj2: &[Vec<usize>],
+    deg1: &mut [usize],
+    deg2: &mut [usize],
+    mapping: &mut [Option<usize>],
+    used: &mut [bool],
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    let v = order[depth];
+    'candidates: for w in 0..adj2.len() {
+        if used[w] || deg1[v] != deg2[w] {
+            continue;
+        }
+        // Every already-mapped neighbor of v must map to a neighbor of w,
+        // and every already-mapped non-neighbor must not.
+        for &u in &adj1[v] {
+            if let Some(mu) = mapping[u] {
+                if adj2[w].binary_search(&mu).is_err() {
+                    continue 'candidates;
+                }
+            }
+        }
+        // Count check in the other direction: mapped neighbors of w must be
+        // images of neighbors of v.
+        let mapped_nb_v = adj1[v].iter().filter(|&&u| mapping[u].is_some()).count();
+        let mapped_nb_w = adj2[w].iter().filter(|&&u| used[u]).count();
+        if mapped_nb_v != mapped_nb_w {
+            continue;
+        }
+        mapping[v] = Some(w);
+        used[w] = true;
+        if backtrack(depth + 1, order, adj1, adj2, deg1, deg2, mapping, used) {
+            return true;
+        }
+        mapping[v] = None;
+        used[w] = false;
+    }
+    false
+}
+
+/// Extracts the subgraph induced by `nodes` as a standalone graph (node `i`
+/// of the result is `nodes[i]`); ports are reassigned in edge order.
+#[must_use]
+pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Graph {
+    let mut index_of = std::collections::HashMap::new();
+    for (i, &v) in nodes.iter().enumerate() {
+        index_of.insert(v, i);
+    }
+    let mut b = crate::GraphBuilder::new(nodes.len());
+    for (_, rec) in g.edges() {
+        if let (Some(&iu), Some(&iv)) = (index_of.get(&rec.u), index_of.get(&rec.v)) {
+            b.add_edge(iu, iv).expect("induced edges are simple");
+        }
+    }
+    b.finish().expect("auto ports are contiguous")
+}
+
+/// The `Sym` predicate of Appendix C: `g` is *symmetric* iff there exists an
+/// edge `e` such that `g − e` consists of exactly two connected components
+/// that are isomorphic.
+///
+/// # Examples
+///
+/// ```
+/// use rpls_graph::{generators, isomorphism};
+/// let z = [true, false, true];
+/// assert!(isomorphism::is_symmetric(&generators::symmetry_pair(&z, &z)));
+/// let z2 = [false, false, true];
+/// assert!(!isomorphism::is_symmetric(&generators::symmetry_pair(&z, &z2)));
+/// ```
+#[must_use]
+pub fn is_symmetric(g: &Graph) -> bool {
+    g.edges().any(|(eid, _)| splits_symmetrically(g, eid))
+}
+
+/// Whether removing `edge` leaves exactly two isomorphic components.
+#[must_use]
+pub fn splits_symmetrically(g: &Graph, edge: EdgeId) -> bool {
+    let records: Vec<crate::EdgeRecord> = g
+        .edges()
+        .filter(|&(eid, _)| eid != edge)
+        .map(|(_, r)| *r)
+        .collect();
+    // Rebuild without port validation concerns by using auto ports.
+    let mut b = crate::GraphBuilder::new(g.node_count());
+    for rec in &records {
+        b.add_edge(rec.u, rec.v).expect("subset of simple edges");
+    }
+    let without = b.finish().expect("auto ports are contiguous");
+    let comps = crate::connectivity::components(&without);
+    if comps.len() != 2 || comps[0].len() != comps[1].len() {
+        return false;
+    }
+    let a = induced_subgraph(&without, &comps[0]);
+    let b = induced_subgraph(&without, &comps[1]);
+    are_isomorphic(&a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn isomorphic_to_self_and_relabeling() {
+        let g = generators::wheel(8);
+        assert!(are_isomorphic(&g, &g));
+    }
+
+    #[test]
+    fn different_degree_sequences_fail_fast() {
+        let a = generators::star(4);
+        let b = generators::path(5);
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn same_degree_sequence_different_structure() {
+        // C6 vs two triangles: both 2-regular on 6 nodes, not isomorphic.
+        let c6 = generators::cycle(6);
+        let mut b = crate::GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(u, v).unwrap();
+        }
+        let tri2 = b.finish().unwrap();
+        assert!(!are_isomorphic(&c6, &tri2));
+    }
+
+    #[test]
+    fn claim_c2_equal_strings_give_symmetric_pairs() {
+        // Exhaustive over λ = 3: G(z, z') symmetric iff z = z'.
+        for z_bits in 0u8..8 {
+            for z2_bits in 0u8..8 {
+                let z: Vec<bool> = (0..3).map(|i| z_bits >> i & 1 == 1).collect();
+                let z2: Vec<bool> = (0..3).map(|i| z2_bits >> i & 1 == 1).collect();
+                let g = generators::symmetry_pair(&z, &z2);
+                assert_eq!(
+                    is_symmetric(&g),
+                    z == z2,
+                    "z={z_bits:03b} z'={z2_bits:03b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gadgets_isomorphic_iff_equal_strings() {
+        // Claim C.2's core: G(z) ≅ G(z') iff z = z', exhaustive for λ = 4.
+        for a in 0u8..16 {
+            for b in 0u8..16 {
+                let z: Vec<bool> = (0..4).map(|i| a >> i & 1 == 1).collect();
+                let z2: Vec<bool> = (0..4).map(|i| b >> i & 1 == 1).collect();
+                let iso = are_isomorphic(
+                    &generators::symmetry_gadget(&z),
+                    &generators::symmetry_gadget(&z2),
+                );
+                assert_eq!(iso, a == b, "a={a:04b} b={b:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn splitting_edge_is_the_bridge() {
+        let z = [true, true, false];
+        let g = generators::symmetry_pair(&z, &z);
+        let bridge = generators::symmetry_pair_bridge(&g, z.len());
+        assert!(splits_symmetrically(&g, bridge));
+        // The triangle edges certainly do not split the graph.
+        let non_bridge = g
+            .edges()
+            .find(|&(eid, _)| eid != bridge && !splits_symmetrically(&g, eid))
+            .map(|(eid, _)| eid);
+        assert!(non_bridge.is_some());
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges() {
+        let g = generators::cycle(6);
+        let sub = induced_subgraph(
+            &g,
+            &[NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+        );
+        // Path 0-1-2 survives; the closing edges leave the node set.
+        assert_eq!(sub.edge_count(), 2);
+    }
+}

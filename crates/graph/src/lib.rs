@@ -1,0 +1,52 @@
+//! Port-numbered network graphs for proof-labeling schemes.
+//!
+//! This crate is the network substrate of the reproduction of *Randomized
+//! Proof-Labeling Schemes* (Baruch, Fraigniaud, Patt-Shamir, PODC 2015). It
+//! models networks exactly as §2.1 of the paper does: connected simple graphs
+//! whose edges carry a *port number* at each endpoint (edge `e` incident to
+//! `v` is the `i`-th edge of `v`, and the two endpoints may disagree on the
+//! number). On top of the representation it provides:
+//!
+//! * [`generators`] — every graph family the paper's proofs use (paths,
+//!   cycles, the Figure 2 wheel, the Figure 3/4 symmetry gadgets, the
+//!   Figure 5 chain of cycles, …) plus standard random families;
+//! * [`traversal`], [`connectivity`], [`mst`], [`cycles`], [`flow`],
+//!   [`isomorphism`] — the graph algorithms the concrete schemes of §5 rely
+//!   on (DFS with lowpoints, articulation points, Borůvka with merge
+//!   history, exact longest-cycle search, max-flow, isomorphism testing);
+//! * [`crossing`] — the *crossing* operator of Definition 4.2 together with
+//!   the pairwise-independence checks of Definition 4.1, the engine of every
+//!   lower bound in §4 and §5.
+//!
+//! # Examples
+//!
+//! ```
+//! use rpls_graph::generators;
+//!
+//! let g = generators::cycle(6);
+//! assert_eq!(g.node_count(), 6);
+//! assert_eq!(g.edge_count(), 6);
+//! assert_eq!(g.degree(rpls_graph::NodeId::new(0)), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod graph;
+mod ids;
+
+pub mod connectivity;
+pub mod crossing;
+pub mod cycles;
+pub mod flow;
+pub mod generators;
+pub mod isomorphism;
+pub mod mst;
+pub mod subgraph;
+pub mod traversal;
+pub mod unionfind;
+
+pub use error::GraphError;
+pub use graph::{EdgeRecord, Graph, GraphBuilder, Neighbor};
+pub use ids::{EdgeId, NodeId, Port};

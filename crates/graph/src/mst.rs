@@ -1,0 +1,358 @@
+//! Minimum spanning trees: Kruskal, Borůvka with merge history, and the
+//! MST predicate of Theorem 5.1.
+//!
+//! Ties are broken by edge index, making the ordering on edges total and the
+//! minimum spanning tree *unique with respect to that order*. The Borůvka
+//! run records, per phase, each node's fragment and each fragment's chosen
+//! minimum-weight outgoing edge — exactly the structure the
+//! Korman–Kutten–Peleg-style MST proof labels certify level by level.
+
+use crate::unionfind::UnionFind;
+use crate::{EdgeId, Graph, GraphError};
+use std::collections::BTreeMap;
+
+/// Total order key for edges: weight first, then index (the tie-breaker that
+/// makes the MST unique).
+fn key(g: &Graph, eid: EdgeId) -> (u64, usize) {
+    (
+        g.edge(eid).weight.expect("weighted graph"),
+        eid.index(),
+    )
+}
+
+fn require_weighted_connected(g: &Graph) -> Result<(), GraphError> {
+    if !g.is_weighted() {
+        return Err(GraphError::MissingWeights);
+    }
+    if !crate::connectivity::is_connected(g) {
+        return Err(GraphError::NotConnected);
+    }
+    Ok(())
+}
+
+/// Kruskal's algorithm. Returns the MST edge set (with the index
+/// tie-breaking order, this set is unique).
+///
+/// # Errors
+///
+/// Returns [`GraphError::MissingWeights`] on unweighted input and
+/// [`GraphError::NotConnected`] on disconnected input.
+pub fn kruskal(g: &Graph) -> Result<Vec<EdgeId>, GraphError> {
+    require_weighted_connected(g)?;
+    let mut order: Vec<EdgeId> = g.edges().map(|(eid, _)| eid).collect();
+    order.sort_by_key(|&eid| key(g, eid));
+    let mut uf = UnionFind::new(g.node_count());
+    let mut tree = Vec::with_capacity(g.node_count().saturating_sub(1));
+    for eid in order {
+        let rec = g.edge(eid);
+        if uf.union(rec.u.index(), rec.v.index()) {
+            tree.push(eid);
+        }
+    }
+    tree.sort_unstable();
+    Ok(tree)
+}
+
+/// Prim's algorithm from node 0. Returns an MST edge set; under the index
+/// tie-breaker the *weight* always matches [`kruskal`]'s (the edge sets may
+/// differ when weights tie).
+///
+/// # Errors
+///
+/// Same conditions as [`kruskal`].
+pub fn prim(g: &Graph) -> Result<Vec<EdgeId>, GraphError> {
+    require_weighted_connected(g)?;
+    let n = g.node_count();
+    let mut in_tree = vec![false; n];
+    in_tree[0] = true;
+    let mut tree = Vec::with_capacity(n.saturating_sub(1));
+    // Binary heap of (Reverse(key), edge) frontier entries.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<(Reverse<(u64, usize)>, EdgeId)> = BinaryHeap::new();
+    let push_edges = |v: usize, heap: &mut BinaryHeap<(Reverse<(u64, usize)>, EdgeId)>| {
+        for nb in g.neighbors(crate::NodeId::new(v)) {
+            heap.push((Reverse(key(g, nb.edge)), nb.edge));
+        }
+    };
+    push_edges(0, &mut heap);
+    while tree.len() + 1 < n {
+        let (_, eid) = heap.pop().expect("connected graph keeps a frontier");
+        let rec = g.edge(eid);
+        let (u, v) = (rec.u.index(), rec.v.index());
+        let fresh = match (in_tree[u], in_tree[v]) {
+            (true, false) => v,
+            (false, true) => u,
+            _ => continue,
+        };
+        in_tree[fresh] = true;
+        tree.push(eid);
+        push_edges(fresh, &mut heap);
+    }
+    tree.sort_unstable();
+    Ok(tree)
+}
+
+/// Total weight of the minimum spanning tree.
+///
+/// # Errors
+///
+/// Same conditions as [`kruskal`].
+pub fn mst_weight(g: &Graph) -> Result<u128, GraphError> {
+    let tree = kruskal(g)?;
+    Ok(tree
+        .iter()
+        .map(|&eid| u128::from(g.edge(eid).weight.expect("weighted")))
+        .sum())
+}
+
+/// Whether `edges` forms a spanning tree of `g`: `n − 1` distinct edges,
+/// connected, covering all nodes.
+#[must_use]
+pub fn is_spanning_tree(g: &Graph, edges: &[EdgeId]) -> bool {
+    let n = g.node_count();
+    if edges.len() + 1 != n {
+        return false;
+    }
+    let mut uf = UnionFind::new(n);
+    for &eid in edges {
+        if eid.index() >= g.edge_count() {
+            return false;
+        }
+        let rec = g.edge(eid);
+        if !uf.union(rec.u.index(), rec.v.index()) {
+            return false; // duplicate or cycle
+        }
+    }
+    uf.set_count() == 1
+}
+
+/// The MST predicate: `edges` is a spanning tree whose total weight equals
+/// the minimum over all spanning trees.
+///
+/// # Errors
+///
+/// Same conditions as [`kruskal`].
+pub fn is_mst(g: &Graph, edges: &[EdgeId]) -> Result<bool, GraphError> {
+    require_weighted_connected(g)?;
+    if !is_spanning_tree(g, edges) {
+        return Ok(false);
+    }
+    let w: u128 = edges
+        .iter()
+        .map(|&eid| u128::from(g.edge(eid).weight.expect("weighted")))
+        .sum();
+    Ok(w == mst_weight(g)?)
+}
+
+/// One Borůvka phase: the fragment partition entering the phase and the
+/// minimum-weight outgoing edge each fragment selected.
+#[derive(Debug, Clone)]
+pub struct BoruvkaLevel {
+    /// `fragment_of[v]` is the canonical id (minimum node index) of `v`'s
+    /// fragment at the start of this phase.
+    pub fragment_of: Vec<u32>,
+    /// The minimum-weight outgoing edge chosen by each fragment, keyed by
+    /// fragment id.
+    pub mwoe: BTreeMap<u32, EdgeId>,
+}
+
+/// Full record of a Borůvka execution.
+#[derive(Debug, Clone)]
+pub struct BoruvkaHistory {
+    /// The phases, in order; at most `⌈log₂ n⌉` of them.
+    pub levels: Vec<BoruvkaLevel>,
+    /// The union of all selected edges — the MST (sorted by index).
+    pub tree_edges: Vec<EdgeId>,
+}
+
+impl BoruvkaHistory {
+    /// Number of phases.
+    #[must_use]
+    pub fn phase_count(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// Runs Borůvka's algorithm, recording each phase. With the index
+/// tie-breaker the selected edges can never close a cycle, and the result
+/// equals [`kruskal`]'s tree.
+///
+/// # Errors
+///
+/// Same conditions as [`kruskal`].
+pub fn boruvka(g: &Graph) -> Result<BoruvkaHistory, GraphError> {
+    require_weighted_connected(g)?;
+    let n = g.node_count();
+    let mut uf = UnionFind::new(n);
+    let mut levels = Vec::new();
+    let mut tree: Vec<EdgeId> = Vec::new();
+    while uf.set_count() > 1 {
+        // Canonical fragment ids: minimum node index per fragment.
+        let mut canon: Vec<u32> = (0..n as u32).collect();
+        for v in 0..n {
+            let root = uf.find(v);
+            canon[root] = canon[root].min(v as u32);
+        }
+        let fragment_of: Vec<u32> = (0..n).map(|v| canon[uf.find(v)]).collect();
+
+        // Minimum outgoing edge per fragment.
+        let mut mwoe: BTreeMap<u32, EdgeId> = BTreeMap::new();
+        for (eid, rec) in g.edges() {
+            let (fu, fv) = (
+                fragment_of[rec.u.index()],
+                fragment_of[rec.v.index()],
+            );
+            if fu == fv {
+                continue;
+            }
+            for f in [fu, fv] {
+                match mwoe.get(&f) {
+                    Some(&best) if key(g, best) <= key(g, eid) => {}
+                    _ => {
+                        mwoe.insert(f, eid);
+                    }
+                }
+            }
+        }
+        levels.push(BoruvkaLevel {
+            fragment_of,
+            mwoe: mwoe.clone(),
+        });
+        for &eid in mwoe.values() {
+            let rec = g.edge(eid);
+            if uf.union(rec.u.index(), rec.v.index()) {
+                tree.push(eid);
+            }
+        }
+    }
+    tree.sort_unstable();
+    tree.dedup();
+    Ok(BoruvkaHistory {
+        levels,
+        tree_edges: tree,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kruskal_on_weighted_cycle_drops_heaviest() {
+        let g = generators::cycle(5).with_weights(&[1, 2, 3, 4, 5]);
+        let tree = kruskal(&g).unwrap();
+        assert_eq!(tree.len(), 4);
+        assert!(!tree.contains(&EdgeId::new(4))); // weight-5 edge dropped
+        assert!(is_mst(&g, &tree).unwrap());
+    }
+
+    #[test]
+    fn kruskal_requires_weights_and_connectivity() {
+        assert_eq!(
+            kruskal(&generators::cycle(4)).unwrap_err(),
+            GraphError::MissingWeights
+        );
+        let mut b = crate::GraphBuilder::new(4);
+        b.add_weighted_edge(0, 1, 1).unwrap();
+        b.add_weighted_edge(2, 3, 1).unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(kruskal(&g).unwrap_err(), GraphError::NotConnected);
+    }
+
+    #[test]
+    fn boruvka_matches_kruskal_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..20 {
+            let g = generators::gnp_connected(18, 0.25, &mut rng);
+            let w = generators::random_weights(&g, 16, &mut rng); // many ties
+            let g = g.with_weights(&w);
+            let k = kruskal(&g).unwrap();
+            let b = boruvka(&g).unwrap();
+            assert_eq!(k, b.tree_edges, "trial {trial}");
+            assert!(is_mst(&g, &b.tree_edges).unwrap());
+        }
+    }
+
+    #[test]
+    fn prim_matches_kruskal_weight_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..15 {
+            let g = generators::gnp_connected(16, 0.3, &mut rng);
+            let w = generators::random_weights(&g, 8, &mut rng); // heavy ties
+            let g = g.with_weights(&w);
+            let p = prim(&g).unwrap();
+            assert!(is_spanning_tree(&g, &p), "trial {trial}");
+            assert!(is_mst(&g, &p).unwrap(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn prim_equals_kruskal_with_distinct_weights() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let g = generators::gnp_connected(20, 0.25, &mut rng);
+        let w = generators::distinct_weights(&g, &mut rng);
+        let g = g.with_weights(&w);
+        assert_eq!(prim(&g).unwrap(), kruskal(&g).unwrap());
+    }
+
+    #[test]
+    fn boruvka_phase_count_is_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::gnp_connected(64, 0.1, &mut rng);
+        let w = generators::distinct_weights(&g, &mut rng);
+        let h = boruvka(&g.with_weights(&w)).unwrap();
+        assert!(h.phase_count() <= 6, "phases = {}", h.phase_count());
+        assert!(h.phase_count() >= 1);
+    }
+
+    #[test]
+    fn boruvka_first_level_fragments_are_singletons() {
+        let g = generators::cycle(6).with_weights(&[3, 1, 4, 1, 5, 9]);
+        let h = boruvka(&g).unwrap();
+        let lvl0 = &h.levels[0];
+        for (v, &f) in lvl0.fragment_of.iter().enumerate() {
+            assert_eq!(f as usize, v);
+        }
+    }
+
+    #[test]
+    fn spanning_tree_checks() {
+        let g = generators::cycle(5).with_uniform_weights(1);
+        let tree = kruskal(&g).unwrap();
+        assert!(is_spanning_tree(&g, &tree));
+        // Too few edges.
+        assert!(!is_spanning_tree(&g, &tree[..3]));
+        // Any 4 of the 5 cycle edges form a spanning path; all 5 close a
+        // cycle and are rejected.
+        let all: Vec<EdgeId> = g.edges().map(|(e, _)| e).collect();
+        assert!(is_spanning_tree(&g, &all[..4]));
+        assert!(!is_spanning_tree(&g, &all));
+    }
+
+    #[test]
+    fn non_minimal_tree_rejected_by_predicate() {
+        // Path weights force a unique MST: the heaviest cycle edge is out.
+        let g = generators::cycle(4).with_weights(&[1, 1, 1, 10]);
+        let good = kruskal(&g).unwrap();
+        assert!(is_mst(&g, &good).unwrap());
+        // Swap in the heavy edge: still a spanning tree, but not minimal.
+        let bad: Vec<EdgeId> = vec![EdgeId::new(0), EdgeId::new(1), EdgeId::new(3)];
+        assert!(is_spanning_tree(&g, &bad));
+        assert!(!is_mst(&g, &bad).unwrap());
+    }
+
+    #[test]
+    fn uniform_weights_any_tree_is_minimal() {
+        let g = generators::complete(5).with_uniform_weights(7);
+        let star_tree: Vec<EdgeId> = g
+            .edges()
+            .filter(|(_, r)| r.u.index() == 0 || r.v.index() == 0)
+            .map(|(e, _)| e)
+            .collect();
+        assert!(is_mst(&g, &star_tree).unwrap());
+    }
+}

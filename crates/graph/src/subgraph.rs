@@ -1,0 +1,168 @@
+//! Subgraphs and the pairwise-independence condition of Definition 4.1.
+
+use crate::{EdgeId, Graph, GraphError, NodeId};
+use std::collections::BTreeSet;
+
+/// An edge-induced subgraph of some host graph: a set of edges together with
+/// the nodes they touch.
+///
+/// # Examples
+///
+/// ```
+/// use rpls_graph::{generators, subgraph::Subgraph, EdgeId};
+/// let g = generators::cycle(6);
+/// let h = Subgraph::from_edges(&g, [EdgeId::new(0)]);
+/// assert_eq!(h.node_count(), 2);
+/// assert_eq!(h.edge_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subgraph {
+    nodes: BTreeSet<NodeId>,
+    edges: Vec<EdgeId>,
+}
+
+impl Subgraph {
+    /// Builds the subgraph induced by the given host-graph edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge index is out of range for `g`.
+    #[must_use]
+    pub fn from_edges<I: IntoIterator<Item = EdgeId>>(g: &Graph, edges: I) -> Self {
+        let mut nodes = BTreeSet::new();
+        let mut list = Vec::new();
+        for eid in edges {
+            let rec = g.edge(eid);
+            nodes.insert(rec.u);
+            nodes.insert(rec.v);
+            list.push(eid);
+        }
+        list.sort_unstable();
+        list.dedup();
+        Self { nodes, edges: list }
+    }
+
+    /// The nodes of the subgraph, sorted.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// The edges of the subgraph, sorted by index.
+    #[must_use]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges `s`.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether `v` belongs to the subgraph.
+    #[must_use]
+    pub fn contains_node(&self, v: NodeId) -> bool {
+        self.nodes.contains(&v)
+    }
+
+    /// Whether `e` belongs to the subgraph.
+    #[must_use]
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edges.binary_search(&e).is_ok()
+    }
+}
+
+/// Checks Definition 4.1: `a` and `b` are *independent* in `g` iff their
+/// node sets are disjoint and `g` has no edge with one endpoint in each.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NotIndependent`] describing the violated condition.
+pub fn check_independent(g: &Graph, a: &Subgraph, b: &Subgraph) -> Result<(), GraphError> {
+    if let Some(shared) = a.nodes().find(|v| b.contains_node(*v)) {
+        return Err(GraphError::NotIndependent {
+            reason: format!("node {shared} belongs to both subgraphs"),
+        });
+    }
+    for (_, rec) in g.edges() {
+        let a_touch = a.contains_node(rec.u) || a.contains_node(rec.v);
+        let b_touch = b.contains_node(rec.u) || b.contains_node(rec.v);
+        if a_touch && b_touch {
+            return Err(GraphError::NotIndependent {
+                reason: format!("edge {{{}, {}}} connects the subgraphs", rec.u, rec.v),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Whether `a` and `b` are independent (Definition 4.1).
+#[must_use]
+pub fn are_independent(g: &Graph, a: &Subgraph, b: &Subgraph) -> bool {
+    check_independent(g, a, b).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn single_edges_far_apart_are_independent() {
+        let g = generators::cycle(9);
+        // Cycle edges e0 = {0,1} and e4 = {4,5}: no shared nodes, and no
+        // cycle edge joins {0,1} to {4,5}.
+        let a = Subgraph::from_edges(&g, [EdgeId::new(0)]);
+        let b = Subgraph::from_edges(&g, [EdgeId::new(4)]);
+        assert!(are_independent(&g, &a, &b));
+    }
+
+    #[test]
+    fn adjacent_edges_are_not_independent() {
+        let g = generators::cycle(9);
+        // e0 = {0,1} and e1 = {1,2} share node 1.
+        let a = Subgraph::from_edges(&g, [EdgeId::new(0)]);
+        let b = Subgraph::from_edges(&g, [EdgeId::new(1)]);
+        let err = check_independent(&g, &a, &b).unwrap_err();
+        assert!(matches!(err, GraphError::NotIndependent { .. }));
+    }
+
+    #[test]
+    fn touching_edges_are_not_independent() {
+        let g = generators::cycle(9);
+        // e0 = {0,1} and e2 = {2,3}: the cycle edge {1,2} joins them.
+        let a = Subgraph::from_edges(&g, [EdgeId::new(0)]);
+        let b = Subgraph::from_edges(&g, [EdgeId::new(2)]);
+        let err = check_independent(&g, &a, &b).unwrap_err();
+        match err {
+            GraphError::NotIndependent { reason } => {
+                assert!(reason.contains("connects"), "reason: {reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subgraph_membership_queries() {
+        let g = generators::cycle(5);
+        let h = Subgraph::from_edges(&g, [EdgeId::new(1), EdgeId::new(2)]);
+        assert_eq!(h.node_count(), 3); // nodes 1, 2, 3
+        assert!(h.contains_node(NodeId::new(2)));
+        assert!(!h.contains_node(NodeId::new(0)));
+        assert!(h.contains_edge(EdgeId::new(2)));
+        assert!(!h.contains_edge(EdgeId::new(0)));
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let g = generators::cycle(5);
+        let h = Subgraph::from_edges(&g, [EdgeId::new(1), EdgeId::new(1)]);
+        assert_eq!(h.edge_count(), 1);
+    }
+}

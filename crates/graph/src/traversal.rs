@@ -1,0 +1,265 @@
+//! Breadth-first and depth-first traversals.
+//!
+//! The DFS here computes exactly the quantities the biconnectivity scheme of
+//! Appendix E labels nodes with: preorder numbers, subtree intervals
+//! (`span`), parents, depths, and lowpoints (the smallest preorder number
+//! reachable from a subtree via a single back edge).
+
+use crate::{Graph, NodeId};
+
+/// Result of a breadth-first search from a root.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// Root the search started from.
+    pub root: NodeId,
+    /// `dist[v]` is the hop distance from the root, or `None` if unreachable.
+    pub dist: Vec<Option<usize>>,
+    /// `parent[v]` is the BFS parent, `None` for the root and unreachable
+    /// nodes.
+    pub parent: Vec<Option<NodeId>>,
+}
+
+impl BfsTree {
+    /// Number of nodes reached (including the root).
+    #[must_use]
+    pub fn reached_count(&self) -> usize {
+        self.dist.iter().filter(|d| d.is_some()).count()
+    }
+}
+
+/// Runs a breadth-first search over `g` from `root`.
+///
+/// # Examples
+///
+/// ```
+/// use rpls_graph::{generators, traversal, NodeId};
+/// let g = generators::path(5);
+/// let bfs = traversal::bfs(&g, NodeId::new(0));
+/// assert_eq!(bfs.dist[4], Some(4));
+/// ```
+#[must_use]
+pub fn bfs(g: &Graph, root: NodeId) -> BfsTree {
+    let n = g.node_count();
+    let mut dist = vec![None; n];
+    let mut parent = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[root.index()] = Some(0);
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()].expect("queued nodes have distances");
+        for nb in g.neighbors(v) {
+            if dist[nb.node.index()].is_none() {
+                dist[nb.node.index()] = Some(d + 1);
+                parent[nb.node.index()] = Some(v);
+                queue.push_back(nb.node);
+            }
+        }
+    }
+    BfsTree { root, dist, parent }
+}
+
+/// Result of a depth-first search from a root, with the ancillary values used
+/// by Tarjan-style algorithms and by the Appendix E proof labels.
+#[derive(Debug, Clone)]
+pub struct DfsTree {
+    /// Root the search started from.
+    pub root: NodeId,
+    /// `preorder[v]` is the DFS preorder number (root gets 0), or `None` if
+    /// unreachable.
+    pub preorder: Vec<Option<usize>>,
+    /// `parent[v]` is the DFS tree parent.
+    pub parent: Vec<Option<NodeId>>,
+    /// `depth[v]` is the DFS tree depth (root 0).
+    pub depth: Vec<Option<usize>>,
+    /// `span[v] = (lo, hi)` is the half-open interval of preorder numbers of
+    /// the subtree rooted at `v` (so `lo == preorder[v]` and the subtree has
+    /// `hi - lo` nodes).
+    pub span: Vec<Option<(usize, usize)>>,
+    /// `lowpt[v]` is the smallest preorder number among nodes reachable from
+    /// the subtree of `v` by following tree edges down and at most one back
+    /// edge — Tarjan's LOWPT, the quantity verified by predicate P7.
+    pub lowpt: Vec<Option<usize>>,
+    /// Nodes in preorder (for iterating the tree top-down).
+    pub order: Vec<NodeId>,
+}
+
+impl DfsTree {
+    /// Whether `anc` is an ancestor of `desc` in the DFS tree (a node is an
+    /// ancestor of itself).
+    #[must_use]
+    pub fn is_ancestor(&self, anc: NodeId, desc: NodeId) -> bool {
+        match (self.span[anc.index()], self.preorder[desc.index()]) {
+            (Some((lo, hi)), Some(p)) => lo <= p && p < hi,
+            _ => false,
+        }
+    }
+
+    /// The children of `v` in the DFS tree.
+    #[must_use]
+    pub fn children(&self, v: NodeId) -> Vec<NodeId> {
+        self.order
+            .iter()
+            .copied()
+            .filter(|&w| self.parent[w.index()] == Some(v))
+            .collect()
+    }
+}
+
+/// Runs an iterative depth-first search over `g` from `root`, visiting
+/// neighbors in port order (so the traversal is deterministic).
+///
+/// # Examples
+///
+/// ```
+/// use rpls_graph::{generators, traversal, NodeId};
+/// let g = generators::cycle(4);
+/// let dfs = traversal::dfs(&g, NodeId::new(0));
+/// assert_eq!(dfs.preorder[0], Some(0));
+/// assert_eq!(dfs.span[0], Some((0, 4)));
+/// ```
+#[must_use]
+pub fn dfs(g: &Graph, root: NodeId) -> DfsTree {
+    let n = g.node_count();
+    let mut preorder = vec![None; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut depth = vec![None; n];
+    let mut span = vec![None; n];
+    let mut lowpt = vec![None; n];
+    let mut order = Vec::with_capacity(n);
+    let mut counter = 0usize;
+
+    // Stack frames: (node, next neighbor rank to try).
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+    preorder[root.index()] = Some(counter);
+    lowpt[root.index()] = Some(counter);
+    depth[root.index()] = Some(0);
+    order.push(root);
+    counter += 1;
+    stack.push((root, 0));
+
+    while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+        let nb = g.neighbors(v).nth(*next);
+        match nb {
+            Some(nb) => {
+                *next += 1;
+                let w = nb.node;
+                if preorder[w.index()].is_none() {
+                    preorder[w.index()] = Some(counter);
+                    lowpt[w.index()] = Some(counter);
+                    parent[w.index()] = Some(v);
+                    depth[w.index()] = Some(depth[v.index()].expect("parent visited") + 1);
+                    order.push(w);
+                    counter += 1;
+                    stack.push((w, 0));
+                } else if parent[v.index()] != Some(w) {
+                    // Back (or forward) edge: update lowpoint with the
+                    // endpoint's preorder number.
+                    let pw = preorder[w.index()].expect("visited");
+                    let lv = lowpt[v.index()].expect("visited");
+                    lowpt[v.index()] = Some(lv.min(pw));
+                }
+            }
+            None => {
+                // Finished v: close its span and propagate lowpt to parent.
+                let lo = preorder[v.index()].expect("visited");
+                span[v.index()] = Some((lo, counter));
+                stack.pop();
+                if let Some(p) = parent[v.index()] {
+                    let lp = lowpt[p.index()].expect("visited");
+                    let lv = lowpt[v.index()].expect("visited");
+                    lowpt[p.index()] = Some(lp.min(lv));
+                }
+            }
+        }
+    }
+
+    DfsTree {
+        root,
+        preorder,
+        parent,
+        depth,
+        span,
+        lowpt,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = generators::path(6);
+        let t = bfs(&g, NodeId::new(2));
+        assert_eq!(t.dist[0], Some(2));
+        assert_eq!(t.dist[5], Some(3));
+        assert_eq!(t.parent[3], Some(NodeId::new(2)));
+        assert_eq!(t.reached_count(), 6);
+    }
+
+    #[test]
+    fn dfs_preorder_covers_all_nodes_once() {
+        let g = generators::cycle(7);
+        let t = dfs(&g, NodeId::new(0));
+        let mut seen: Vec<usize> = t.preorder.iter().map(|p| p.unwrap()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+        assert_eq!(t.order.len(), 7);
+    }
+
+    #[test]
+    fn dfs_spans_nest_properly() {
+        let g = generators::balanced_binary_tree(3); // 7 nodes
+        let t = dfs(&g, NodeId::new(0));
+        for v in g.nodes() {
+            let (lo, hi) = t.span[v.index()].unwrap();
+            assert_eq!(lo, t.preorder[v.index()].unwrap());
+            if let Some(p) = t.parent[v.index()] {
+                let (plo, phi) = t.span[p.index()].unwrap();
+                assert!(plo < lo && hi <= phi, "child span nests in parent");
+            }
+        }
+        // Root spans everything.
+        assert_eq!(t.span[0], Some((0, 7)));
+    }
+
+    #[test]
+    fn dfs_lowpt_on_cycle_reaches_root() {
+        // On a cycle, every node's subtree sees the root via the closing
+        // back edge, so all lowpoints are 0.
+        let g = generators::cycle(5);
+        let t = dfs(&g, NodeId::new(0));
+        for v in g.nodes() {
+            assert_eq!(t.lowpt[v.index()], Some(0), "lowpt of {v}");
+        }
+    }
+
+    #[test]
+    fn dfs_lowpt_on_tree_is_own_preorder() {
+        // No back edges in a tree: lowpt(v) = preorder(v).
+        let g = generators::balanced_binary_tree(3);
+        let t = dfs(&g, NodeId::new(0));
+        for v in g.nodes() {
+            assert_eq!(t.lowpt[v.index()], t.preorder[v.index()]);
+        }
+    }
+
+    #[test]
+    fn ancestor_test_matches_parent_chain() {
+        let g = generators::path(5);
+        let t = dfs(&g, NodeId::new(0));
+        assert!(t.is_ancestor(NodeId::new(0), NodeId::new(4)));
+        assert!(t.is_ancestor(NodeId::new(2), NodeId::new(2)));
+        assert!(!t.is_ancestor(NodeId::new(4), NodeId::new(0)));
+    }
+
+    #[test]
+    fn children_listed_in_preorder() {
+        let g = generators::star(4); // center 0 with 4 leaves
+        let t = dfs(&g, NodeId::new(0));
+        let kids = t.children(NodeId::new(0));
+        assert_eq!(kids.len(), 4);
+    }
+}

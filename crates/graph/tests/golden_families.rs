@@ -1,0 +1,163 @@
+//! Golden tests pinning the exact structure of the paper's constructions.
+//!
+//! The lower-bound proofs depend on precise edge sets and port numberings;
+//! these tests freeze them so refactors cannot silently change a family.
+
+use rpls_graph::{generators, NodeId, Port};
+
+#[test]
+fn golden_path_6() {
+    let g = generators::path(6);
+    assert_eq!(
+        g.sorted_edge_list(),
+        vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]
+    );
+    // Successor-first port convention at interior nodes.
+    for i in 1..5 {
+        let v = NodeId::new(i);
+        assert_eq!(
+            g.neighbor_by_port(v, Port::from_rank(0)).unwrap().node,
+            NodeId::new(i + 1)
+        );
+        assert_eq!(
+            g.neighbor_by_port(v, Port::from_rank(1)).unwrap().node,
+            NodeId::new(i - 1)
+        );
+    }
+}
+
+#[test]
+fn golden_wheel_8() {
+    // Figure 2(a) at n = 8: rim 0..7 plus chords {0,2}..{0,6}.
+    let g = generators::wheel(8);
+    assert_eq!(
+        g.sorted_edge_list(),
+        vec![
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (0, 6),
+            (0, 7),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+        ]
+    );
+    // Rim ports stay consistent even at the hub.
+    assert_eq!(
+        g.neighbor_by_port(NodeId::new(0), Port::from_rank(0))
+            .unwrap()
+            .node,
+        NodeId::new(1)
+    );
+    assert_eq!(
+        g.neighbor_by_port(NodeId::new(0), Port::from_rank(1))
+            .unwrap()
+            .node,
+        NodeId::new(7)
+    );
+}
+
+#[test]
+fn golden_wheel_with_tail_10_6() {
+    // Theorem 5.4's graph at n = 10, c = 6: 6-cycle, chords {0,2},{0,3},
+    // {0,4} (j = 5 = c−1 skipped), spokes {0,6}..{0,9}.
+    let g = generators::wheel_with_tail(10, 6);
+    assert_eq!(
+        g.sorted_edge_list(),
+        vec![
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5), // cycle edge {5, 0}
+            (0, 6),
+            (0, 7),
+            (0, 8),
+            (0, 9),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+        ]
+    );
+    assert_eq!(g.degree(NodeId::new(5)), 2, "v_{{c-1}} has no chord");
+    assert_eq!(g.degree(NodeId::new(9)), 1, "tail nodes are pendant");
+}
+
+#[test]
+fn golden_chain_2x6() {
+    // Figure 5 at two 6-cycles: bridge from node 1 to node 6 + 3 = 9.
+    let g = generators::chain_of_cycles(2, 6);
+    assert_eq!(
+        g.sorted_edge_list(),
+        vec![
+            (0, 1),
+            (0, 5),
+            (1, 2),
+            (1, 9),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (6, 7),
+            (6, 11),
+            (7, 8),
+            (8, 9),
+            (9, 10),
+            (10, 11),
+        ]
+    );
+}
+
+#[test]
+fn golden_symmetry_gadget_101() {
+    // Figure 3 at z = 101 (λ = 3): u = 0..2, w = 3..5, t = 6..8.
+    let g = generators::symmetry_gadget(&[true, false, true]);
+    assert_eq!(
+        g.sorted_edge_list(),
+        vec![
+            (0, 1),
+            (0, 3), // w0 — u0 (bit 1)
+            (0, 6), // anchor e0 = {t0, u0}
+            (1, 2),
+            (2, 5), // w2 — u2 (bit 1)
+            (4, 7), // w1 — t1 (bit 0)
+            (6, 7),
+            (6, 8),
+            (7, 8), // triangle
+        ]
+    );
+}
+
+#[test]
+fn golden_symmetry_layout_indices() {
+    let layout = generators::SymmetryLayout { lambda: 4 };
+    assert_eq!(layout.u(0), NodeId::new(0));
+    assert_eq!(layout.u(3), NodeId::new(3));
+    assert_eq!(layout.w(0), NodeId::new(4));
+    assert_eq!(layout.t(2), NodeId::new(10));
+    assert_eq!(layout.node_count(), 11);
+}
+
+#[test]
+fn golden_grid_2x3() {
+    let g = generators::grid(2, 3);
+    assert_eq!(
+        g.sorted_edge_list(),
+        vec![(0, 1), (0, 3), (1, 2), (1, 4), (2, 5), (3, 4), (4, 5)]
+    );
+}
+
+#[test]
+fn golden_balanced_tree_depth_3() {
+    let g = generators::balanced_binary_tree(3);
+    assert_eq!(
+        g.sorted_edge_list(),
+        vec![(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]
+    );
+}

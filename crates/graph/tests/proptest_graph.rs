@@ -1,0 +1,158 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpls_graph::crossing::{cross_copies, IndependentCopies};
+use rpls_graph::subgraph::Subgraph;
+use rpls_graph::{connectivity, cycles, flow, generators, isomorphism, traversal, NodeId};
+
+proptest! {
+    /// Generators produce the node/edge counts they promise.
+    #[test]
+    fn generator_counts(n in 3usize..40) {
+        prop_assert_eq!(generators::path(n).edge_count(), n - 1);
+        prop_assert_eq!(generators::cycle(n).edge_count(), n);
+        prop_assert_eq!(generators::complete(n).edge_count(), n * (n - 1) / 2);
+        prop_assert_eq!(generators::star(n).node_count(), n + 1);
+    }
+
+    /// Every edge's two endpoint views agree (port symmetry invariant).
+    #[test]
+    fn port_views_are_symmetric(n in 2usize..30, p in 0.0f64..0.6, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, p, &mut rng);
+        for v in g.nodes() {
+            for nb in g.neighbors(v) {
+                let back = g.neighbor_by_port(nb.node, nb.remote_port).unwrap();
+                prop_assert_eq!(back.node, v);
+                prop_assert_eq!(back.edge, nb.edge);
+                prop_assert_eq!(back.remote_port, nb.port);
+            }
+        }
+    }
+
+    /// Articulation points by definition: removing a reported articulation
+    /// point disconnects the graph; removing a non-articulation node does
+    /// not (checked on small random graphs).
+    #[test]
+    fn articulation_points_match_definition(n in 4usize..16, p in 0.1f64..0.5, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, p, &mut rng);
+        let arts: std::collections::HashSet<NodeId> =
+            connectivity::articulation_points(&g).into_iter().collect();
+        for v in g.nodes() {
+            // Remove v and count components among the rest.
+            let mut b = rpls_graph::GraphBuilder::new(n);
+            for (_, rec) in g.edges() {
+                if rec.u != v && rec.v != v {
+                    b.add_edge(rec.u, rec.v).unwrap();
+                }
+            }
+            let h = b.finish().unwrap();
+            let comps = connectivity::components(&h)
+                .into_iter()
+                .filter(|c| !(c.len() == 1 && c[0] == v))
+                .count();
+            prop_assert_eq!(comps > 1, arts.contains(&v), "node {}", v);
+        }
+    }
+
+    /// Menger on random graphs: max edge-disjoint path count equals the
+    /// unit max-flow, and vertex-disjoint count is at most it.
+    #[test]
+    fn menger_consistency(n in 4usize..16, p in 0.2f64..0.7, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, p, &mut rng);
+        let (s, t) = (NodeId::new(0), NodeId::new(n - 1));
+        let edge_paths = flow::edge_disjoint_paths(&g, s, t);
+        prop_assert_eq!(edge_paths.len(), flow::max_flow_unit(&g, s, t));
+        let vertex_paths = flow::vertex_disjoint_paths(&g, s, t);
+        prop_assert_eq!(vertex_paths.len(), flow::vertex_connectivity_st(&g, s, t));
+        prop_assert!(vertex_paths.len() <= edge_paths.len());
+    }
+
+    /// Girth never exceeds the longest cycle.
+    #[test]
+    fn girth_bounds_longest_cycle(n in 4usize..14, p in 0.2f64..0.6, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, p, &mut rng);
+        match (cycles::girth(&g), cycles::longest_cycle(&g)) {
+            (Some(gi), Some(lo)) => prop_assert!(gi <= lo),
+            (None, None) => {}
+            other => prop_assert!(false, "mismatch {:?}", other),
+        }
+    }
+
+    /// Crossing twice with the same pair restores the original edge set.
+    #[test]
+    fn double_crossing_is_identity(n in 12usize..60, pick in any::<u64>()) {
+        let g = generators::path(n);
+        let r = n / 3 - 1;
+        prop_assume!(r >= 2);
+        let i = (pick % r as u64) as usize;
+        let j = ((pick / 7) % r as u64) as usize;
+        prop_assume!(i != j);
+        let edges: Vec<(NodeId, NodeId)> = (1..n / 3)
+            .map(|t| (NodeId::new(3 * t), NodeId::new(3 * t + 1)))
+            .collect();
+        let fam = IndependentCopies::single_edges(&g, &edges).unwrap();
+        let once = cross_copies(&g, &fam, i, j).unwrap();
+        // Re-cross the two new edges back.
+        let (a1, b1) = edges[i];
+        let (_, b2) = edges[j];
+        let sigma = fam.sigma_between(i, j);
+        let e = once.edge_between(a1, sigma.apply(b1)).unwrap();
+        let h = Subgraph::from_edges(&once, [e]);
+        let back = rpls_graph::crossing::PortIsomorphism::from_pairs([
+            (a1, sigma.apply(a1)),
+            (sigma.apply(b1), b1),
+        ]).unwrap();
+        let twice = rpls_graph::crossing::cross(&once, &back, &h).unwrap();
+        prop_assert_eq!(twice.sorted_edge_list(), g.sorted_edge_list());
+        let _ = b2;
+    }
+
+    /// A graph is always isomorphic to itself under node relabeling by
+    /// reversal (paths and cycles are symmetric families).
+    #[test]
+    fn reversal_isomorphism(n in 3usize..12) {
+        let p1 = generators::path(n);
+        // Build the reversed path explicitly.
+        let mut b = rpls_graph::GraphBuilder::new(n);
+        for i in (1..n).rev() {
+            b.add_edge(i, i - 1).unwrap();
+        }
+        let p2 = b.finish().unwrap();
+        prop_assert!(isomorphism::are_isomorphic(&p1, &p2));
+    }
+
+    /// DFS parents form a tree: following parents from any node reaches
+    /// the root in at most n steps.
+    #[test]
+    fn dfs_parent_chains_terminate(n in 2usize..30, p in 0.05f64..0.5, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, p, &mut rng);
+        let t = traversal::dfs(&g, NodeId::new(0));
+        for v in g.nodes() {
+            let mut cur = v;
+            let mut steps = 0;
+            while let Some(p) = t.parent[cur.index()] {
+                cur = p;
+                steps += 1;
+                prop_assert!(steps <= n, "parent cycle at {}", v);
+            }
+            prop_assert_eq!(cur, NodeId::new(0));
+        }
+    }
+
+    /// Symmetry gadget sizes and bridge positions are as specified.
+    #[test]
+    fn gadget_shape(bits in proptest::collection::vec(any::<bool>(), 1..8)) {
+        let g = generators::symmetry_gadget(&bits);
+        prop_assert_eq!(g.node_count(), 2 * bits.len() + 3);
+        let pair = generators::symmetry_pair(&bits, &bits);
+        prop_assert_eq!(pair.node_count(), 2 * (2 * bits.len() + 3));
+        prop_assert!(isomorphism::is_symmetric(&pair));
+    }
+}

@@ -1,0 +1,288 @@
+//! The `cycle-at-least-c` predicate and its O(log n) scheme (Theorem 5.3).
+//!
+//! The prover marks a longest cycle `C`: every node is labeled with
+//! `(dist, index)` — its hop distance to `C` and, on the cycle, its
+//! clockwise position. The verifier is the disjunction of the paper's two
+//! predicates:
+//!
+//! * **P1** (`dist = 0`): some neighbor at distance 0 carries index `i+1`
+//!   (or wraps to 0 from an index ≥ c−1) and some neighbor carries `i−1`
+//!   (or an index ≥ c−1 when `i = 0`);
+//! * **P2** (`dist > 0`): some neighbor is closer to the cycle.
+//!
+//! P1 is stated here with *some* rather than the paper's *exactly two*
+//! cycle-neighbors: the relaxation keeps the soundness argument intact
+//! (following successor indices still yields an infinite index sequence
+//! that must close a cycle of length ≥ c, since a wrap needs a preceding
+//! index ≥ c−1) while restoring completeness on graphs whose longest cycle
+//! has chords — e.g. the wheel of Figure 2, where `v0` has many
+//! distance-0 neighbors.
+
+use rpls_bits::{BitReader, BitString, BitWriter};
+use rpls_core::{Configuration, DetView, Labeling, Pls, Predicate};
+use rpls_graph::{cycles, NodeId};
+
+const FIELD_BITS: u32 = 32;
+
+/// The `cycle-at-least-c` predicate.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleAtLeastPredicate {
+    c: usize,
+}
+
+impl CycleAtLeastPredicate {
+    /// The predicate "some simple cycle has at least `c` nodes".
+    #[must_use]
+    pub fn new(c: usize) -> Self {
+        Self { c }
+    }
+
+    /// The threshold `c`.
+    #[must_use]
+    pub fn threshold(&self) -> usize {
+        self.c
+    }
+}
+
+impl Predicate for CycleAtLeastPredicate {
+    fn name(&self) -> String {
+        format!("cycle-at-least-{}", self.c)
+    }
+
+    fn holds(&self, config: &Configuration) -> bool {
+        cycles::has_cycle_at_least(config.graph(), self.c)
+    }
+}
+
+/// The O(log n) deterministic scheme of Theorem 5.3.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleAtLeastPls {
+    c: usize,
+}
+
+impl CycleAtLeastPls {
+    /// The scheme for threshold `c`.
+    #[must_use]
+    pub fn new(c: usize) -> Self {
+        Self { c }
+    }
+}
+
+fn encode_label(dist: u64, index: u64) -> BitString {
+    let mut w = BitWriter::new();
+    w.write_u64(dist, FIELD_BITS);
+    w.write_u64(index, FIELD_BITS);
+    w.finish()
+}
+
+fn decode_label(bits: &BitString) -> Option<(u64, u64)> {
+    let mut r = BitReader::new(bits);
+    let dist = r.read_u64(FIELD_BITS).ok()?;
+    let index = r.read_u64(FIELD_BITS).ok()?;
+    r.is_exhausted().then_some((dist, index))
+}
+
+/// Finds a longest cycle as an ordered node sequence (exact search, so
+/// intended for the moderate sizes of the experiments).
+fn longest_cycle_nodes(g: &rpls_graph::Graph) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    assert!(n <= 64, "exact cycle search limited to 64 nodes");
+    let mut best: Option<Vec<NodeId>> = None;
+
+    fn dfs(
+        g: &rpls_graph::Graph,
+        start: NodeId,
+        v: NodeId,
+        on_path: &mut Vec<bool>,
+        path: &mut Vec<NodeId>,
+        best: &mut Option<Vec<NodeId>>,
+    ) -> bool {
+        for nb in g.neighbors(v) {
+            let w = nb.node;
+            if w == start && path.len() >= 3 && best.as_ref().is_none_or(|b| path.len() > b.len())
+            {
+                *best = Some(path.clone());
+                if path.len() == g.node_count() {
+                    return true;
+                }
+            }
+            if w.index() <= start.index() || on_path[w.index()] {
+                continue;
+            }
+            on_path[w.index()] = true;
+            path.push(w);
+            let done = dfs(g, start, w, on_path, path, best);
+            path.pop();
+            on_path[w.index()] = false;
+            if done {
+                return true;
+            }
+        }
+        false
+    }
+
+    let mut on_path = vec![false; n];
+    let mut path = Vec::new();
+    for start in g.nodes() {
+        on_path[start.index()] = true;
+        path.push(start);
+        let done = dfs(g, start, start, &mut on_path, &mut path, &mut best);
+        path.pop();
+        on_path[start.index()] = false;
+        if done {
+            break;
+        }
+    }
+    best
+}
+
+impl Pls for CycleAtLeastPls {
+    fn name(&self) -> String {
+        format!("cycle-at-least-{}", self.c)
+    }
+
+    fn label(&self, config: &Configuration) -> Labeling {
+        let g = config.graph();
+        let cycle = longest_cycle_nodes(g).expect("legal configuration has a cycle");
+        assert!(cycle.len() >= self.c, "legal configuration");
+        let mut index = vec![0u64; g.node_count()];
+        let mut dist = vec![u64::MAX; g.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        for (i, &v) in cycle.iter().enumerate() {
+            index[v.index()] = i as u64;
+            dist[v.index()] = 0;
+            queue.push_back(v);
+        }
+        while let Some(v) = queue.pop_front() {
+            for nb in g.neighbors(v) {
+                if dist[nb.node.index()] == u64::MAX {
+                    dist[nb.node.index()] = dist[v.index()] + 1;
+                    queue.push_back(nb.node);
+                }
+            }
+        }
+        g.nodes()
+            .map(|v| encode_label(dist[v.index()], index[v.index()]))
+            .collect()
+    }
+
+    fn verify(&self, view: &DetView<'_>) -> bool {
+        let Some((dist, index)) = decode_label(view.label) else {
+            return false;
+        };
+        let mut parsed = Vec::with_capacity(view.neighbor_labels.len());
+        for l in &view.neighbor_labels {
+            let Some(p) = decode_label(l) else {
+                return false;
+            };
+            parsed.push(p);
+        }
+        let c = self.c as u64;
+        if dist == 0 {
+            // P1: a successor and a predecessor on the cycle.
+            let successor = parsed.iter().any(|&(d, i)| {
+                d == 0 && (i == index + 1 || (index >= c - 1 && i == 0))
+            });
+            let predecessor = parsed.iter().any(|&(d, i)| {
+                d == 0 && (index > 0 && i == index - 1 || (index == 0 && i >= c - 1))
+            });
+            successor && predecessor
+        } else {
+            // P2: someone is closer to the cycle.
+            parsed.iter().any(|&(d, _)| d == dist - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpls_core::engine;
+    use rpls_core::{CompiledRpls, Rpls};
+    use rpls_graph::generators;
+
+    #[test]
+    fn predicate_thresholds() {
+        let c8 = Configuration::plain(generators::cycle(8));
+        assert!(CycleAtLeastPredicate::new(8).holds(&c8));
+        assert!(CycleAtLeastPredicate::new(5).holds(&c8));
+        assert!(!CycleAtLeastPredicate::new(9).holds(&c8));
+        let tree = Configuration::plain(generators::path(8));
+        assert!(!CycleAtLeastPredicate::new(3).holds(&tree));
+    }
+
+    #[test]
+    fn honest_labels_accepted_on_plain_cycles() {
+        for n in [4usize, 7, 12] {
+            let c = Configuration::plain(generators::cycle(n));
+            let scheme = CycleAtLeastPls::new(n);
+            let labeling = scheme.label(&c);
+            let out = engine::run_deterministic(&scheme, &c, &labeling);
+            assert!(out.accepted(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn honest_labels_accepted_on_wheel_with_tail() {
+        // The Theorem 5.4 graph: cycle part of length 8 with chords and
+        // pendant spokes — the chords exercise the charitable P1.
+        let g = generators::wheel_with_tail(13, 8);
+        let c = Configuration::plain(g);
+        let scheme = CycleAtLeastPls::new(8);
+        let labeling = scheme.label(&c);
+        let out = engine::run_deterministic(&scheme, &c, &labeling);
+        assert!(out.accepted(), "rejecting: {:?}", out.rejecting_nodes());
+    }
+
+    #[test]
+    fn honest_labels_accepted_on_wheel() {
+        let c = Configuration::plain(generators::wheel(9));
+        let scheme = CycleAtLeastPls::new(9);
+        let labeling = scheme.label(&c);
+        assert!(engine::run_deterministic(&scheme, &c, &labeling).accepted());
+    }
+
+    #[test]
+    fn trees_cannot_be_certified_small_exhaustive() {
+        let c = Configuration::plain(generators::path(3));
+        let scheme = CycleAtLeastPls::new(3);
+        assert!(rpls_core::adversary::exhaustive_forge(&scheme, &c, 4).is_none());
+    }
+
+    #[test]
+    fn short_cycle_cannot_claim_long_one() {
+        // C4 cannot be certified as cycle-at-least-6: indices around the
+        // square would need a wrap from ≥ 5, impossible with 4 nodes...
+        // checked by randomized forging with generous budgets.
+        let c = Configuration::plain(generators::cycle(4));
+        let scheme = CycleAtLeastPls::new(6);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let report = rpls_core::adversary::random_forge(&scheme, &c, 64, 40, 400, &mut rng);
+        assert!(!report.succeeded());
+        // And exhaustively with 3-bit labels.
+        assert!(rpls_core::adversary::exhaustive_forge(&scheme, &c, 3).is_none());
+    }
+
+    #[test]
+    fn compiled_scheme_round_trip() {
+        let c = Configuration::plain(generators::cycle(10));
+        let scheme = CompiledRpls::new(CycleAtLeastPls::new(10));
+        let labeling = scheme.label(&c);
+        let rec = engine::run_randomized(&scheme, &c, &labeling, 123);
+        assert!(rec.outcome.accepted());
+        assert!(rec.max_certificate_bits() <= 20);
+    }
+
+    #[test]
+    fn wrap_requires_large_index() {
+        // Hand-label C4 claiming c = 6 with indices 0,1,2,3: node 3 has no
+        // valid successor (cannot wrap from 3 < 5), so it rejects.
+        let c = Configuration::plain(generators::cycle(4));
+        let scheme = CycleAtLeastPls::new(6);
+        let labeling: Labeling = (0..4).map(|i| encode_label(0, i as u64)).collect();
+        let out = engine::run_deterministic(&scheme, &c, &labeling);
+        assert!(!out.accepted());
+        assert!(out.rejecting_nodes().contains(&NodeId::new(3)));
+    }
+}

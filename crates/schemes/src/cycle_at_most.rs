@@ -1,0 +1,111 @@
+//! The `cycle-at-most-c` predicate (Theorem 5.6).
+//!
+//! The paper shows this predicate is co-NP-hard to certify efficiently
+//! (`c = n − 1` is the complement of Hamiltonicity): a polynomial-size,
+//! polynomially-verifiable PLS would imply NP = co-NP. The best known
+//! scheme is the *universal* one of Lemma 3.3 (with unbounded node
+//! computation), so this module provides the predicate plus constructors
+//! instantiating the universal deterministic and randomized schemes for it.
+
+use rpls_core::universal::{universal_rpls, UniversalPls, UniversalRpls};
+use rpls_core::{Configuration, Predicate};
+use rpls_graph::cycles;
+
+/// The `cycle-at-most-c` predicate.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleAtMostPredicate {
+    c: usize,
+}
+
+impl CycleAtMostPredicate {
+    /// The predicate "every simple cycle has at most `c` nodes".
+    #[must_use]
+    pub fn new(c: usize) -> Self {
+        Self { c }
+    }
+
+    /// The threshold `c`.
+    #[must_use]
+    pub fn threshold(&self) -> usize {
+        self.c
+    }
+}
+
+impl Predicate for CycleAtMostPredicate {
+    fn name(&self) -> String {
+        format!("cycle-at-most-{}", self.c)
+    }
+
+    fn holds(&self, config: &Configuration) -> bool {
+        cycles::all_cycles_at_most(config.graph(), self.c)
+    }
+}
+
+/// The universal deterministic scheme for `cycle-at-most-c` (Lemma 3.3 —
+/// the best known PLS for this co-NP-hard predicate).
+#[must_use]
+pub fn cycle_at_most_pls(c: usize) -> UniversalPls<CycleAtMostPredicate> {
+    UniversalPls::new(CycleAtMostPredicate::new(c))
+}
+
+/// The universal randomized scheme for `cycle-at-most-c` (Corollary 3.4):
+/// `O(log n)`-bit certificates despite the predicate's hardness.
+#[must_use]
+pub fn cycle_at_most_rpls(c: usize) -> UniversalRpls<CycleAtMostPredicate> {
+    universal_rpls(CycleAtMostPredicate::new(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpls_core::engine;
+    use rpls_core::{Pls, Rpls};
+    use rpls_graph::generators;
+
+    #[test]
+    fn predicate_on_chain_of_cycles() {
+        // Figure 5: every cycle has exactly `len` nodes.
+        let g = generators::chain_of_cycles(3, 6);
+        let c = Configuration::plain(g);
+        assert!(CycleAtMostPredicate::new(6).holds(&c));
+        assert!(!CycleAtMostPredicate::new(5).holds(&c));
+    }
+
+    #[test]
+    fn trees_satisfy_any_threshold() {
+        let c = Configuration::plain(generators::path(6));
+        assert!(CycleAtMostPredicate::new(1).holds(&c));
+    }
+
+    #[test]
+    fn universal_pls_certifies_chain() {
+        let g = generators::chain_of_cycles(2, 5);
+        let c = Configuration::plain(g);
+        let scheme = cycle_at_most_pls(5);
+        let labeling = scheme.label(&c);
+        assert!(engine::run_deterministic(&scheme, &c, &labeling).accepted());
+    }
+
+    #[test]
+    fn universal_pls_rejects_honest_encoding_of_violation() {
+        // A 6-cycle violates cycle-at-most-5: every node rejects the honest
+        // representation because the predicate fails on it.
+        let c = Configuration::plain(generators::cycle(6));
+        let scheme = cycle_at_most_pls(5);
+        let labeling = scheme.label(&c);
+        assert!(!engine::run_deterministic(&scheme, &c, &labeling).accepted());
+    }
+
+    #[test]
+    fn universal_rpls_round_trip() {
+        let g = generators::chain_of_cycles(2, 4);
+        let c = Configuration::plain(g);
+        let scheme = cycle_at_most_rpls(4);
+        let labeling = scheme.label(&c);
+        let rec = engine::run_randomized(&scheme, &c, &labeling, 5);
+        assert!(rec.outcome.accepted());
+        // Certificates are logarithmic even though labels hold the whole
+        // graph.
+        assert!(rec.max_certificate_bits() < labeling.max_bits() / 4);
+    }
+}

@@ -1,0 +1,39 @@
+//! Concrete proof-labeling schemes for the predicates studied in §5 of
+//! *Randomized Proof-Labeling Schemes*, plus the classics they build on.
+//!
+//! Every module ships: the **predicate** (centralized ground truth), a
+//! **workload builder** installing realistic states (the output of the
+//! distributed algorithm being checked), the **deterministic PLS** with the
+//! label layout the paper describes, and — via
+//! [`CompiledRpls`](rpls_core::CompiledRpls) — its randomized compilation.
+//!
+//! | Module | Predicate | Det. bits | Rand. bits | Paper |
+//! |---|---|---|---|---|
+//! | [`spanning_tree`] | parent pointers form a spanning tree | Θ(log n) | Θ(log log n) | §1 intro |
+//! | [`acyclicity`]    | the graph is acyclic (a tree, in `F_con`) | Θ(log n) | Θ(log log n) | Thm 5.1 lower bound |
+//! | [`mst`]           | marked edges form a minimum spanning tree | O(log² n) | O(log log n) | Thm 5.1 |
+//! | [`biconnectivity`] | no articulation point (`v2con`) | Θ(log n) | Θ(log log n) | Thm 5.2, App. E |
+//! | [`cycle_at_least`] | some simple cycle has ≥ c nodes | O(log n) | O(log log n) | Thm 5.3 |
+//! | [`cycle_at_most`]  | every simple cycle has ≤ c nodes | universal only | universal only | Thm 5.6 |
+//! | [`uniformity`]    | all node payloads equal (`Unif`) | Θ(k) | Θ(log k) | Lemma C.3 |
+//! | [`symmetry`]      | `Sym`: an edge splits G into isomorphic halves | universal | universal | Lemma C.1 |
+//! | [`coloring`]      | the payload colors are proper | Θ(log C) | Θ(log log C) | §1 example |
+//! | [`flow`]          | max s–t flow equals k | O(k log n) | O(log k + log log n) | §5.2 remark |
+//! | [`vertex_connectivity`] | s–t vertex connectivity equals k | O(k log n) | O(log k + log log n) | §5.2 |
+//! | [`leader`]        | exactly one leader flag | Θ(log n) | Θ(log log n) | classic |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acyclicity;
+pub mod biconnectivity;
+pub mod coloring;
+pub mod cycle_at_least;
+pub mod cycle_at_most;
+pub mod flow;
+pub mod leader;
+pub mod mst;
+pub mod spanning_tree;
+pub mod symmetry;
+pub mod uniformity;
+pub mod vertex_connectivity;

@@ -1,0 +1,68 @@
+//! MST certification (Theorem 5.1): the paper's flagship application.
+//!
+//! A distributed MST algorithm outputs a tree; a proof-labeling scheme lets
+//! the network *keep checking* that output forever with one-round
+//! exchanges. Deterministically that costs Θ(log²n) bits per message; the
+//! compiled randomized scheme needs only Θ(log log n) — the exponential
+//! gap that motivates the whole paper.
+//!
+//! ```text
+//! cargo run --release --example mst_certification
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpls::core::{engine, stats, CompiledRpls, Configuration, Pls, Predicate, Rpls};
+use rpls::graph::{generators, mst as graph_mst, EdgeId};
+use rpls::schemes::mst::{install_tree, mst_config, MstPls, MstPredicate};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(77);
+    println!("{:>5} {:>12} {:>14} {:>12}", "n", "det bits", "cert bits", "verdict");
+    for n in [16usize, 32, 64, 128] {
+        let g = generators::gnp_connected(n, (6.0 / n as f64).min(0.8), &mut rng);
+        let w = generators::random_weights(&g, (n * n) as u64, &mut rng);
+        let config = mst_config(&Configuration::plain(g.with_weights(&w)));
+        assert!(MstPredicate::new().holds(&config));
+
+        let det_bits = MstPls::new().label(&config).max_bits();
+        let compiled = CompiledRpls::new(MstPls::new());
+        let labels = compiled.label(&config);
+        let rec = engine::run_randomized(&compiled, &config, &labels, n as u64);
+        println!(
+            "{:>5} {:>12} {:>14} {:>12}",
+            n,
+            det_bits,
+            rec.max_certificate_bits(),
+            if rec.outcome.accepted() { "accept" } else { "reject" }
+        );
+    }
+
+    // Now the adversarial side: swap one MST edge for a heavier one and
+    // try to pass the old certificates off on the new tree.
+    println!("\n--- tampering: replace an MST edge with a heavy non-tree edge ---");
+    let g = generators::cycle(8).with_weights(&[1, 2, 3, 4, 5, 6, 7, 100]);
+    let base = Configuration::plain(g);
+    let honest = mst_config(&base);
+    assert!(MstPredicate::new().holds(&honest));
+
+    // The MST drops the weight-100 edge; force it in instead of edge 0.
+    let bad_tree: Vec<EdgeId> = (1..8).map(EdgeId::new).collect();
+    assert!(graph_mst::is_spanning_tree(base.graph(), &bad_tree));
+    let tampered = install_tree(&base, &bad_tree);
+    assert!(!MstPredicate::new().holds(&tampered));
+
+    let honest_labels = MstPls::new().label(&honest);
+    let det_out = engine::run_deterministic(&MstPls::new(), &tampered, &honest_labels);
+    println!(
+        "deterministic verifier on tampered tree: {} ({} rejecting nodes)",
+        if det_out.accepted() { "ACCEPTED (!)" } else { "rejected" },
+        det_out.rejecting_nodes().len()
+    );
+
+    let compiled = CompiledRpls::new(MstPls::new());
+    let compiled_labels = compiled.label(&honest);
+    let acc = stats::acceptance_probability(&compiled, &tampered, &compiled_labels, 400, 3);
+    println!("randomized verifier on tampered tree: acceptance probability {acc:.3}");
+    println!("(labels certify the *minimum* tree; a heavier tree has no valid proof)");
+}

@@ -1,0 +1,30 @@
+//! Facade crate for the *Randomized Proof-Labeling Schemes* reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`bits`] — bit-exact strings ([`rpls_bits`]);
+//! * [`graph`] — port-numbered networks, generators, algorithms and the
+//!   crossing operator ([`rpls_graph`]);
+//! * [`fingerprint`] — GF(p) polynomial fingerprints and the 2-party
+//!   equality protocol ([`rpls_fingerprint`]);
+//! * [`core`] — the PLS/RPLS framework, engines, the Theorem 3.1 compiler
+//!   and the universal schemes ([`rpls_core`]);
+//! * [`schemes`] — concrete schemes for the predicates of §5
+//!   ([`rpls_schemes`]);
+//! * [`crossing`] — the §4 lower-bound machinery ([`rpls_crossing`]).
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for a guided tour: build a network, run a
+//! deterministic spanning-tree scheme, compile it into a randomized one and
+//! compare the verification complexities.
+
+#![forbid(unsafe_code)]
+
+pub use rpls_bits as bits;
+pub use rpls_core as core;
+pub use rpls_crossing as crossing;
+pub use rpls_fingerprint as fingerprint;
+pub use rpls_graph as graph;
+pub use rpls_schemes as schemes;

@@ -1,0 +1,109 @@
+//! Adversarial soundness probes across schemes: on illegal configurations,
+//! exhaustive and randomized forging must fail against honest schemes —
+//! and must succeed against the deliberately under-provisioned ones.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpls::core::{adversary, engine, stats, CompiledRpls, Configuration, Labeling, Predicate, Rpls};
+use rpls::graph::{generators, NodeId};
+
+#[test]
+fn acyclicity_on_c3_unforgeable_exhaustively() {
+    use rpls::schemes::acyclicity::AcyclicityPls;
+    let config = Configuration::plain(generators::cycle(3));
+    assert!(adversary::exhaustive_forge(&AcyclicityPls, &config, 4).is_none());
+}
+
+#[test]
+fn leader_zero_and_two_unforgeable() {
+    use rpls::schemes::leader::*;
+    let base = Configuration::plain(generators::cycle(3));
+    let mut none = base.clone();
+    for v in base.graph().nodes() {
+        none.state_mut(v).set_payload(encode_flag(false));
+    }
+    assert!(adversary::exhaustive_forge(&LeaderPls::new(), &none, 3).is_none());
+
+    let mut two = leader_config(&base, NodeId::new(0));
+    two.state_mut(NodeId::new(2)).set_payload(encode_flag(true));
+    assert!(adversary::exhaustive_forge(&LeaderPls::new(), &two, 3).is_none());
+}
+
+#[test]
+fn spanning_tree_cycle_pointers_resist_hill_climbing() {
+    use rpls::schemes::spanning_tree::*;
+    let g = generators::cycle(8);
+    let mut config = Configuration::plain(g);
+    for i in 0..8 {
+        config
+            .state_mut(NodeId::new(i))
+            .set_payload(encode_pointer(Some(rpls::graph::Port::from_rank(0))));
+    }
+    assert!(!SpanningTreePredicate::new().holds(&config));
+    let mut rng = StdRng::seed_from_u64(4);
+    let report = adversary::random_forge(&SpanningTreePls::new(), &config, 96, 25, 400, &mut rng);
+    assert!(!report.succeeded(), "forged a rootless pointer cycle");
+}
+
+#[test]
+fn biconnectivity_star_resists_hill_climbing() {
+    use rpls::schemes::biconnectivity::BiconnectivityPls;
+    let config = Configuration::plain(generators::star(4));
+    let mut rng = StdRng::seed_from_u64(5);
+    let report =
+        adversary::random_forge(&BiconnectivityPls::new(), &config, 50, 25, 400, &mut rng);
+    assert!(!report.succeeded());
+}
+
+#[test]
+fn compiled_schemes_resist_rpls_forging() {
+    use rpls::schemes::uniformity::*;
+    // An illegal instance: one deviating payload on a path.
+    let base = Configuration::plain(generators::path(4));
+    let payload = rpls::bits::BitString::from_bools((0..32).map(|i| i % 2 == 0));
+    let mut config = uniform_config(&base, &payload);
+    config
+        .state_mut(NodeId::new(1))
+        .set_payload(rpls::bits::BitString::zeros(32));
+    assert!(!UniformityPredicate::new().holds(&config));
+
+    let scheme = CompiledRpls::new(UniformityPls::new());
+    let mut rng = StdRng::seed_from_u64(6);
+    let report = adversary::random_forge_rpls(&scheme, &config, 40, 6, 40, 60, 11, &mut rng);
+    // One-sided soundness: no labeling should push acceptance past 1/2.
+    assert!(
+        report.acceptance <= 0.5,
+        "forged acceptance {}",
+        report.acceptance
+    );
+}
+
+#[test]
+fn under_provisioned_scheme_is_forgeable_where_theory_says_so() {
+    // Sanity check of the adversary itself: the 1-bit modular-distance
+    // scheme accepts some labeling on an *even* cycle (alternating bits),
+    // and the forger finds it.
+    use rpls::crossing::ModDistancePls;
+    let config = Configuration::plain(generators::cycle(6));
+    let scheme = ModDistancePls::new(1);
+    let found = adversary::exhaustive_forge(&scheme, &config, 1);
+    assert!(found.is_some(), "alternating labels must fool the mod-2 check");
+    let labeling = found.unwrap();
+    assert!(engine::run_deterministic(&scheme, &config, &labeling).accepted());
+}
+
+#[test]
+fn compiled_acyclicity_sound_against_replayed_labels() {
+    use rpls::schemes::acyclicity::AcyclicityPls;
+    // Replay path labels on a same-size cycle: every node has consistent
+    // replicas except where the structure differs; acceptance stays low.
+    let path_conf = Configuration::plain(generators::path(8));
+    let cycle_conf = Configuration::plain(generators::cycle(8));
+    let scheme = CompiledRpls::new(AcyclicityPls);
+    let labels = scheme.label(&path_conf);
+    // Degrees differ (endpoints), so the replicated labels do not even
+    // parse consistently on the cycle; acceptance must be ~0.
+    let acc = stats::acceptance_probability(&scheme, &cycle_conf, &labels, 200, 12);
+    assert!(acc < 0.05, "acceptance {acc}");
+    let _ = Labeling::empty(0);
+}

@@ -1,0 +1,151 @@
+//! End-to-end pipelines over the public API: build a workload, certify it,
+//! verify it, tamper with it, detect the tampering — for every scheme.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpls::core::{engine, stats, CompiledRpls, Configuration, Pls, Predicate, Rpls};
+use rpls::graph::{generators, EdgeId, NodeId};
+
+#[test]
+fn spanning_tree_full_pipeline() {
+    use rpls::schemes::spanning_tree::*;
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [4usize, 12, 40] {
+        let base = Configuration::plain(generators::gnp_connected(n, 0.2, &mut rng));
+        let config = spanning_tree_config(&base, NodeId::new(0));
+        assert!(SpanningTreePredicate::new().holds(&config));
+
+        let det = SpanningTreePls::new();
+        let labels = det.label(&config);
+        assert!(engine::run_deterministic(&det, &config, &labels).accepted());
+
+        let compiled = CompiledRpls::new(SpanningTreePls::new());
+        let clabels = compiled.label(&config);
+        for seed in 0..5 {
+            assert!(
+                engine::run_randomized(&compiled, &config, &clabels, seed)
+                    .outcome
+                    .accepted(),
+                "one-sided scheme must accept every round"
+            );
+        }
+
+        // Tamper: second root.
+        let mut bad = config.clone();
+        bad.state_mut(NodeId::new(n / 2))
+            .set_payload(encode_pointer(None));
+        if !SpanningTreePredicate::new().holds(&bad) {
+            assert!(!engine::run_deterministic(&det, &bad, &labels).accepted());
+            let acc = stats::acceptance_probability(&compiled, &bad, &clabels, 200, 3);
+            assert!(acc < 0.4, "n={n}: tampered acceptance {acc}");
+        }
+    }
+}
+
+#[test]
+fn mst_full_pipeline() {
+    use rpls::schemes::mst::*;
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = generators::gnp_connected(20, 0.3, &mut rng);
+    let w = generators::distinct_weights(&g, &mut rng);
+    let config = mst_config(&Configuration::plain(g.with_weights(&w)));
+    assert!(MstPredicate::new().holds(&config));
+
+    let labels = MstPls::new().label(&config);
+    assert!(engine::run_deterministic(&MstPls::new(), &config, &labels).accepted());
+
+    let compiled = CompiledRpls::new(MstPls::new());
+    let clabels = compiled.label(&config);
+    assert!(engine::run_randomized(&compiled, &config, &clabels, 9)
+        .outcome
+        .accepted());
+    // The compiled certificate must be dramatically smaller than the label.
+    let rec = engine::run_randomized(&compiled, &config, &clabels, 10);
+    assert!(rec.max_certificate_bits() * 3 < labels.max_bits());
+}
+
+#[test]
+fn biconnectivity_full_pipeline() {
+    use rpls::schemes::biconnectivity::*;
+    for g in [generators::wheel(12), generators::complete(6), generators::grid(3, 5)] {
+        let config = Configuration::plain(g);
+        assert!(BiconnectivityPredicate::new().holds(&config));
+        let labels = BiconnectivityPls::new().label(&config);
+        assert!(
+            engine::run_deterministic(&BiconnectivityPls::new(), &config, &labels).accepted()
+        );
+    }
+    // A graph with an articulation point is rejected under any of the
+    // honest label assignments computed for related legal graphs.
+    let config = Configuration::plain(generators::star(5));
+    assert!(!BiconnectivityPredicate::new().holds(&config));
+    let labels = BiconnectivityPls::new().label(&config);
+    assert!(!engine::run_deterministic(&BiconnectivityPls::new(), &config, &labels).accepted());
+}
+
+#[test]
+fn flow_full_pipeline() {
+    use rpls::schemes::flow::*;
+    let config = Configuration::plain(generators::grid(3, 4));
+    // Corner to far corner of a grid: exactly 2 edge-disjoint paths.
+    let predicate = FlowPredicate::new(0, 11, 2);
+    assert!(predicate.holds(&config));
+    let scheme = FlowPls::new(predicate);
+    let labels = scheme.label(&config);
+    assert!(engine::run_deterministic(&scheme, &config, &labels).accepted());
+
+    let compiled = CompiledRpls::new(FlowPls::new(predicate));
+    let clabels = compiled.label(&config);
+    assert!(engine::run_randomized(&compiled, &config, &clabels, 4)
+        .outcome
+        .accepted());
+}
+
+#[test]
+fn coloring_and_leader_pipelines() {
+    use rpls::schemes::coloring::*;
+    use rpls::schemes::leader::*;
+    let g = generators::wheel(9);
+    let colored = greedy_coloring_config(&Configuration::plain(g.clone()));
+    assert!(ProperColoringPredicate::new().holds(&colored));
+    let labels = ColoringPls::new().label(&colored);
+    assert!(engine::run_deterministic(&ColoringPls::new(), &colored, &labels).accepted());
+
+    let led = leader_config(&Configuration::plain(g), NodeId::new(3));
+    assert!(LeaderPredicate::new().holds(&led));
+    let labels = LeaderPls::new().label(&led);
+    assert!(engine::run_deterministic(&LeaderPls::new(), &led, &labels).accepted());
+}
+
+#[test]
+fn cycle_schemes_pipelines() {
+    use rpls::schemes::cycle_at_least::*;
+    use rpls::schemes::cycle_at_most::*;
+    let config = Configuration::plain(generators::wheel_with_tail(16, 10));
+    assert!(CycleAtLeastPredicate::new(10).holds(&config));
+    let scheme = CycleAtLeastPls::new(10);
+    let labels = scheme.label(&config);
+    assert!(engine::run_deterministic(&scheme, &config, &labels).accepted());
+
+    let chain = Configuration::plain(generators::chain_of_cycles(2, 6));
+    assert!(CycleAtMostPredicate::new(6).holds(&chain));
+    let universal = cycle_at_most_pls(6);
+    let labels = universal.label(&chain);
+    assert!(engine::run_deterministic(&universal, &chain, &labels).accepted());
+}
+
+#[test]
+fn tampered_mst_rejected_probabilistically() {
+    use rpls::schemes::mst::*;
+    let g = generators::cycle(6).with_weights(&[1, 2, 3, 4, 5, 60]);
+    let base = Configuration::plain(g);
+    let honest = mst_config(&base);
+    let bad_tree: Vec<EdgeId> = (1..6).map(EdgeId::new).collect();
+    let tampered = install_tree(&base, &bad_tree);
+    assert!(!MstPredicate::new().holds(&tampered));
+
+    let compiled = CompiledRpls::new(MstPls::new());
+    let honest_labels = compiled.label(&honest);
+    let acc = stats::acceptance_probability(&compiled, &tampered, &honest_labels, 300, 5);
+    assert!(acc < 0.4, "acceptance {acc}");
+}

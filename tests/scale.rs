@@ -1,0 +1,77 @@
+//! Scale checks: the engine and schemes stay correct (and the certificate
+//! sizes stay tiny) on networks far larger than the unit-test sizes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpls::core::{engine, CompiledRpls, Configuration, Pls, Rpls};
+use rpls::graph::{generators, NodeId};
+
+#[test]
+fn compiled_acyclicity_at_n_2000() {
+    use rpls::schemes::acyclicity::AcyclicityPls;
+    let mut rng = StdRng::seed_from_u64(1);
+    let config = Configuration::plain(generators::random_tree(2000, &mut rng));
+    let scheme = CompiledRpls::new(AcyclicityPls);
+    let labels = scheme.label(&config);
+    let rec = engine::run_randomized(&scheme, &config, &labels, 7);
+    assert!(rec.outcome.accepted());
+    // Certificates stay at ~18 bits regardless of n.
+    assert!(rec.max_certificate_bits() <= 20);
+    // Total network traffic: certificates on both directions of each edge.
+    assert_eq!(
+        rec.certificates.iter().map(Vec::len).sum::<usize>(),
+        2 * config.graph().edge_count()
+    );
+}
+
+#[test]
+fn compiled_biconnectivity_at_n_1000() {
+    use rpls::schemes::biconnectivity::BiconnectivityPls;
+    let config = Configuration::plain(generators::wheel(1000));
+    let scheme = CompiledRpls::new(BiconnectivityPls);
+    let labels = scheme.label(&config);
+    let rec = engine::run_randomized(&scheme, &config, &labels, 3);
+    assert!(rec.outcome.accepted());
+    assert!(rec.max_certificate_bits() <= 20);
+}
+
+#[test]
+fn spanning_tree_detection_latency_at_scale() {
+    // One corrupted pointer among 1500 nodes: exactly the right nodes
+    // reject, nobody else.
+    use rpls::schemes::spanning_tree::*;
+    let mut rng = StdRng::seed_from_u64(5);
+    let base = Configuration::plain(generators::gnp_connected(1500, 0.004, &mut rng));
+    let config = spanning_tree_config(&base, NodeId::new(0));
+    let det = SpanningTreePls::new();
+    let labels = det.label(&config);
+    assert!(engine::run_deterministic(&det, &config, &labels).accepted());
+
+    let mut corrupted = config.clone();
+    corrupted
+        .state_mut(NodeId::new(700))
+        .set_payload(encode_pointer(None)); // second root
+    let out = engine::run_deterministic(&det, &corrupted, &labels);
+    assert!(!out.accepted());
+    // Only the corrupted node itself can notice (its label says depth > 0
+    // but its state now claims root).
+    assert_eq!(out.rejecting_nodes(), vec![NodeId::new(700)]);
+}
+
+#[test]
+fn universal_scheme_on_moderately_large_dense_graph() {
+    use rpls::core::scheme::FnPredicate;
+    use rpls::core::universal::universal_rpls;
+    let config = Configuration::plain(generators::complete(64));
+    let scheme = universal_rpls(FnPredicate::new("regular", |c: &Configuration| {
+        let d = c.graph().degree(NodeId::new(0));
+        c.graph().nodes().all(|v| c.graph().degree(v) == d)
+    }));
+    let labels = scheme.label(&config);
+    // K64: labels hold the n² matrix (~4 kbit + header), certificates stay
+    // logarithmic.
+    let rec = engine::run_randomized(&scheme, &config, &labels, 11);
+    assert!(rec.outcome.accepted());
+    assert!(labels.max_bits() > 4000);
+    assert!(rec.max_certificate_bits() <= 32);
+}

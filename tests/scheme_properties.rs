@@ -1,0 +1,161 @@
+//! Property-based completeness tests: every scheme accepts every legal
+//! workload we can generate, across random graphs, weights and identities.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpls::core::{engine, CompiledRpls, Configuration, Pls, Predicate, Rpls};
+use rpls::graph::{connectivity, flow as graph_flow, generators, NodeId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// MST scheme completeness on random weighted graphs (with ties).
+    #[test]
+    fn mst_complete_on_random_weighted_graphs(n in 4usize..20, seed in any::<u64>(), maxw in 1u64..64) {
+        use rpls::schemes::mst::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, 0.3, &mut rng);
+        let w = generators::random_weights(&g, maxw, &mut rng);
+        let config = mst_config(&Configuration::plain(g.with_weights(&w)));
+        prop_assert!(MstPredicate::new().holds(&config));
+        let labels = MstPls::new().label(&config);
+        let out = engine::run_deterministic(&MstPls::new(), &config, &labels);
+        prop_assert!(out.accepted(), "rejecting: {:?}", out.rejecting_nodes());
+        // Compiled scheme accepts as well (one-sided: always).
+        let compiled = CompiledRpls::new(MstPls::new());
+        let clabels = compiled.label(&config);
+        prop_assert!(engine::run_randomized(&compiled, &config, &clabels, seed)
+            .outcome
+            .accepted());
+    }
+
+    /// Spanning-tree scheme completeness with shuffled identities.
+    #[test]
+    fn spanning_tree_complete_with_shuffled_ids(n in 2usize..30, seed in any::<u64>()) {
+        use rand::RngExt;
+        use rpls::schemes::spanning_tree::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, 0.25, &mut rng);
+        let mut ids: Vec<u64> = (0..n as u64).map(|i| i * 13 + 5).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            ids.swap(i, j);
+        }
+        let root = NodeId::new(rng.random_range(0..n));
+        let config = spanning_tree_config(&Configuration::with_ids(g, &ids), root);
+        prop_assert!(SpanningTreePredicate::new().holds(&config));
+        let labels = SpanningTreePls::new().label(&config);
+        prop_assert!(engine::run_deterministic(&SpanningTreePls::new(), &config, &labels).accepted());
+    }
+
+    /// Leader scheme completeness for every choice of leader.
+    #[test]
+    fn leader_complete_for_any_leader(n in 2usize..25, seed in any::<u64>(), pick in any::<usize>()) {
+        use rpls::schemes::leader::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, 0.2, &mut rng);
+        let leader = NodeId::new(pick % n);
+        let config = leader_config(&Configuration::plain(g), leader);
+        prop_assert!(LeaderPredicate::new().holds(&config));
+        let labels = LeaderPls::new().label(&config);
+        prop_assert!(engine::run_deterministic(&LeaderPls::new(), &config, &labels).accepted());
+    }
+
+    /// Coloring scheme completeness on random graphs via greedy colorings.
+    #[test]
+    fn coloring_complete_on_random_graphs(n in 2usize..25, p in 0.1f64..0.7, seed in any::<u64>()) {
+        use rpls::schemes::coloring::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, p, &mut rng);
+        let config = greedy_coloring_config(&Configuration::plain(g));
+        prop_assert!(ProperColoringPredicate::new().holds(&config));
+        let labels = ColoringPls::new().label(&config);
+        prop_assert!(engine::run_deterministic(&ColoringPls::new(), &config, &labels).accepted());
+    }
+
+    /// Flow scheme completeness for whatever flow value the graph happens
+    /// to have between nodes 0 and n-1.
+    #[test]
+    fn flow_complete_at_true_value(n in 4usize..16, p in 0.2f64..0.6, seed in any::<u64>()) {
+        use rpls::schemes::flow::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, p, &mut rng);
+        let (s, t) = (NodeId::new(0), NodeId::new(n - 1));
+        let k = graph_flow::max_flow_unit(&g, s, t);
+        let config = Configuration::plain(g);
+        let predicate = FlowPredicate::new(0, (n - 1) as u64, k);
+        prop_assert!(predicate.holds(&config));
+        let scheme = FlowPls::new(predicate);
+        let labels = scheme.label(&config);
+        let out = engine::run_deterministic(&scheme, &config, &labels);
+        prop_assert!(out.accepted(), "k={k} rejecting {:?}", out.rejecting_nodes());
+    }
+
+    /// Vertex-connectivity scheme completeness at the true value, on
+    /// non-adjacent terminal pairs.
+    #[test]
+    fn st_connectivity_complete_at_true_value(n in 5usize..14, p in 0.2f64..0.5, seed in any::<u64>()) {
+        use rpls::schemes::vertex_connectivity::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, p, &mut rng);
+        let (s, t) = (NodeId::new(0), NodeId::new(n - 1));
+        prop_assume!(!g.are_adjacent(s, t));
+        let k = graph_flow::vertex_connectivity_st(&g, s, t);
+        let config = Configuration::plain(g);
+        let predicate = StConnectivityPredicate::new(0, (n - 1) as u64, k);
+        prop_assert!(predicate.holds(&config));
+        let scheme = StConnectivityPls::new(predicate);
+        let labels = scheme.label(&config);
+        let out = engine::run_deterministic(&scheme, &config, &labels);
+        prop_assert!(out.accepted(), "k={k} rejecting {:?}", out.rejecting_nodes());
+    }
+
+    /// Biconnectivity scheme soundness sampling: on graphs with an
+    /// articulation point, the honest-style labels never pass.
+    #[test]
+    fn biconnectivity_rejects_cut_graphs(n in 3usize..12, seed in any::<u64>()) {
+        use rpls::schemes::biconnectivity::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Two random connected blobs joined at a single node: always has an
+        // articulation point (the joint), unless a blob is trivial.
+        let g1 = generators::gnp_connected(n, 0.5, &mut rng);
+        let mut b = rpls::graph::GraphBuilder::new(2 * n - 1);
+        for (_, rec) in g1.edges() {
+            b.add_edge(rec.u.index(), rec.v.index()).unwrap();
+        }
+        // Mirror blob on nodes n-1..2n-1 (sharing node n-1 requires offset
+        // mapping: node i of blob2 -> n - 1 + i).
+        for (_, rec) in g1.edges() {
+            let (u, v) = (n - 1 + rec.u.index(), n - 1 + rec.v.index());
+            if b.add_edge(u, v).is_err() {
+                // Edge already present (only possible for the shared node
+                // pairs; skip).
+            }
+        }
+        let g = b.finish().unwrap();
+        prop_assume!(connectivity::is_connected(&g));
+        prop_assume!(!connectivity::is_biconnected(&g));
+        let config = Configuration::plain(g);
+        let labels = BiconnectivityPls::new().label(&config);
+        prop_assert!(!engine::run_deterministic(&BiconnectivityPls::new(), &config, &labels).accepted());
+    }
+
+    /// The compiled scheme's certificate size depends only on κ, never on
+    /// which legal configuration is being verified.
+    #[test]
+    fn compiled_certificate_size_is_config_independent(n in 4usize..24, seed in any::<u64>()) {
+        use rpls::schemes::acyclicity::AcyclicityPls;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_tree(n, &mut rng);
+        let config = Configuration::plain(g);
+        let scheme = CompiledRpls::new(AcyclicityPls);
+        let labels = scheme.label(&config);
+        let rec = engine::run_randomized(&scheme, &config, &labels, seed);
+        // κ = 96 for the acyclicity label layout at any n < 2^32.
+        prop_assert_eq!(
+            rec.max_certificate_bits(),
+            CompiledRpls::<AcyclicityPls>::certificate_bits_for_kappa(96)
+        );
+    }
+}
