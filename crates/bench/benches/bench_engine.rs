@@ -1,0 +1,434 @@
+//! Engine-throughput bench: rounds/sec for deterministic and randomized
+//! rounds across path/cycle/clique at n ∈ {64, 256, 1024}, plus the
+//! acceptance-probability comparison against the straightforward
+//! per-trial-allocation baseline (the pre-refactor engine: one freshly
+//! key-expanded ChaCha `StdRng` per (node, port), nested
+//! `Vec<Vec<BitString>>` certificates, fresh buffers every trial).
+//!
+//! Besides the criterion-style console report, the bench emits
+//! machine-readable results to `BENCH_engine.json` at the workspace root so
+//! later PRs have a perf trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpls_bits::BitString;
+use rpls_core::engine::{self, mix_seed, StreamMode};
+use rpls_core::{
+    CertView, CertificateBuffer, CompiledRpls, Configuration, DetView, Labeling, Pls, RandView,
+    Received, RoundScratch, Rpls,
+};
+use rpls_graph::{generators, Graph, Port};
+use rpls_schemes::spanning_tree::{spanning_tree_config, SpanningTreePls};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// An engine-pure randomized scheme: `bits` fresh random bits per (node,
+/// port), constant-time verification. Isolates engine overhead — RNG
+/// setup, certificate transport, view construction — from scheme logic.
+struct RandomPayload {
+    bits: usize,
+}
+
+impl Rpls for RandomPayload {
+    fn name(&self) -> String {
+        format!("random-payload({})", self.bits)
+    }
+    fn label(&self, config: &Configuration) -> Labeling {
+        Labeling::empty(config.node_count())
+    }
+    fn certify(&self, view: &CertView<'_>, port: Port, rng: &mut dyn Rng) -> BitString {
+        let mut out = BitString::with_capacity(self.bits);
+        self.certify_into(view, port, rng, &mut out);
+        out
+    }
+    fn certify_into(
+        &self,
+        _view: &CertView<'_>,
+        _port: Port,
+        rng: &mut dyn Rng,
+        out: &mut BitString,
+    ) {
+        out.clear();
+        let mut remaining = self.bits;
+        while remaining > 0 {
+            let width = remaining.min(64) as u32;
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
+            out.push_u64(rng.next_u64() & mask, width);
+            remaining -= width as usize;
+        }
+    }
+    fn verify(&self, view: &RandView<'_>) -> bool {
+        view.received.iter().all(|c| c.len() == self.bits)
+    }
+}
+
+/// A trivial deterministic scheme for the deterministic-round baseline:
+/// empty labels, each node checks its own degree against its view.
+struct DegreeCheck;
+
+impl Pls for DegreeCheck {
+    fn name(&self) -> String {
+        "degree-check".into()
+    }
+    fn label(&self, config: &Configuration) -> Labeling {
+        Labeling::empty(config.node_count())
+    }
+    fn verify(&self, view: &DetView<'_>) -> bool {
+        view.neighbor_labels.len() == view.local.degree()
+    }
+}
+
+/// One randomized round the way the pre-refactor engine ran it: a freshly
+/// key-expanded `StdRng` per (node, port) and per-trial nested certificate
+/// storage. This is the baseline the ≥ 5× acceptance criterion is measured
+/// against.
+fn baseline_round<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    seed: u64,
+) -> bool {
+    let g = config.graph();
+    let nested: Vec<Vec<BitString>> = g
+        .nodes()
+        .map(|v| {
+            let view = CertView {
+                local: engine::local_context(config, v),
+                label: labeling.get(v),
+            };
+            (0..g.degree(v))
+                .map(|p| {
+                    let mut rng = StdRng::seed_from_u64(mix_seed(seed, v.index() as u64, p as u64));
+                    scheme.certify(&view, Port::from_rank(p), &mut rng)
+                })
+                .collect()
+        })
+        .collect();
+    // Fresh transport buffer per trial, as the old path materialised fresh
+    // per-node delivery vectors.
+    let mut buffer = CertificateBuffer::new();
+    for certs in &nested {
+        for c in certs {
+            buffer.push(c);
+        }
+    }
+    let delivery = config.delivery();
+    let port_base = config.port_base();
+    g.nodes().all(|v| {
+        let lo = port_base[v.index()] as usize;
+        let hi = port_base[v.index() + 1] as usize;
+        let view = RandView {
+            local: engine::local_context(config, v),
+            label: labeling.get(v),
+            received: Received::new(&buffer, &delivery[lo..hi]),
+        };
+        scheme.verify(&view)
+    })
+}
+
+/// `acceptance_probability` as the seed implemented it: one fully
+/// allocating round per trial.
+fn baseline_acceptance_probability<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let accepts = (0..trials)
+        .filter(|&t| baseline_round(scheme, config, labeling, mix_seed(seed, t as u64, 0)))
+        .count();
+    accepts as f64 / trials as f64
+}
+
+fn family(name: &str, n: usize) -> Graph {
+    match name {
+        "path" => generators::path(n),
+        "cycle" => generators::cycle(n),
+        "clique" => generators::complete(n),
+        other => panic!("unknown family {other}"),
+    }
+}
+
+/// Times `f` adaptively: enough iterations to fill ~`budget_ms`, at least
+/// `min_iters`. Returns seconds per iteration.
+fn time_per_iter<F: FnMut()>(mut f: F, budget_ms: u64, min_iters: usize) -> f64 {
+    // Warm-up + estimate.
+    let t0 = Instant::now();
+    f();
+    let est = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((budget_ms as f64 / 1e3 / est) as usize).clamp(min_iters, 2_000_000);
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t1.elapsed().as_secs_f64() / iters as f64
+}
+
+struct MatrixRow {
+    family: &'static str,
+    n: usize,
+    det_rounds_per_sec: f64,
+    rand_rounds_per_sec: f64,
+    baseline_rounds_per_sec: f64,
+}
+
+fn bench_round_matrix(c: &mut Criterion, rows: &mut Vec<MatrixRow>) {
+    let scheme = RandomPayload { bits: 16 };
+    let det = DegreeCheck;
+    let mut group = c.benchmark_group("engine_rounds");
+    group.sample_size(10);
+    for fam in ["path", "cycle", "clique"] {
+        for n in [64usize, 256, 1024] {
+            let config = Configuration::plain(family(fam, n));
+            let labeling = Labeling::empty(n);
+            let mut scratch = RoundScratch::new();
+
+            group.bench_with_input(BenchmarkId::new(format!("det/{fam}"), n), &n, |b, _| {
+                b.iter(|| black_box(engine::run_deterministic(&det, &config, &labeling)));
+            });
+            group.bench_with_input(BenchmarkId::new(format!("rand/{fam}"), n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(engine::run_randomized_with(
+                        &scheme,
+                        &config,
+                        &labeling,
+                        1,
+                        StreamMode::EdgeIndependent,
+                        &mut scratch,
+                    ))
+                });
+            });
+
+            // Explicit timings for the JSON trajectory (bigger budget on
+            // the big clique so at least a few full rounds are measured).
+            let budget = if fam == "clique" && n == 1024 {
+                400
+            } else {
+                150
+            };
+            let det_t = time_per_iter(
+                || {
+                    black_box(engine::run_deterministic(&det, &config, &labeling));
+                },
+                budget,
+                3,
+            );
+            let rand_t = time_per_iter(
+                || {
+                    black_box(engine::run_randomized_with(
+                        &scheme,
+                        &config,
+                        &labeling,
+                        1,
+                        StreamMode::EdgeIndependent,
+                        &mut scratch,
+                    ));
+                },
+                budget,
+                3,
+            );
+            let base_t = time_per_iter(
+                || {
+                    black_box(baseline_round(&scheme, &config, &labeling, 1));
+                },
+                budget,
+                3,
+            );
+            rows.push(MatrixRow {
+                family: fam,
+                n,
+                det_rounds_per_sec: 1.0 / det_t,
+                rand_rounds_per_sec: 1.0 / rand_t,
+                baseline_rounds_per_sec: 1.0 / base_t,
+            });
+        }
+    }
+    group.finish();
+}
+
+struct AcceptanceResult {
+    scheme: String,
+    trials: usize,
+    fast_secs: f64,
+    baseline_secs: f64,
+    parallel_secs: f64,
+    speedup: f64,
+    parallel_speedup: f64,
+    serial_estimate: f64,
+    parallel_estimate: f64,
+}
+
+/// One acceptance-probability workload: fast serial, parallel, and
+/// alloc-baseline runners over the same scheme and labeling.
+trait Workload {
+    fn fast(&self, trials: usize, seed: u64) -> f64;
+    fn parallel(&self, trials: usize, seed: u64) -> f64;
+    fn baseline(&self, trials: usize, seed: u64) -> f64;
+}
+
+struct SchemeWorkload<'a, S: Rpls + Sync> {
+    scheme: &'a S,
+    config: &'a Configuration,
+    labeling: &'a Labeling,
+}
+
+impl<S: Rpls + Sync> Workload for SchemeWorkload<'_, S> {
+    fn fast(&self, trials: usize, seed: u64) -> f64 {
+        rpls_core::stats::acceptance_probability(
+            self.scheme,
+            self.config,
+            self.labeling,
+            trials,
+            seed,
+        )
+    }
+    fn parallel(&self, trials: usize, seed: u64) -> f64 {
+        rpls_core::stats::acceptance_probability_par(
+            self.scheme,
+            self.config,
+            self.labeling,
+            trials,
+            seed,
+            None,
+        )
+    }
+    fn baseline(&self, trials: usize, seed: u64) -> f64 {
+        baseline_acceptance_probability(self.scheme, self.config, self.labeling, trials, seed)
+    }
+}
+
+fn bench_acceptance_10k(results: &mut Vec<AcceptanceResult>) {
+    let n = 256;
+    let trials = 10_000;
+    let seed = 0xA11CE;
+
+    // Workload 1: the engine-pure scheme — isolates the engine speedup.
+    let config = Configuration::plain(generators::cycle(n));
+    let labeling = Labeling::empty(n);
+    let payload = RandomPayload { bits: 16 };
+    // Workload 2: a real compiled scheme end to end.
+    let st_config = spanning_tree_config(&config, rpls_graph::NodeId::new(0));
+    let st = CompiledRpls::new(SpanningTreePls::new());
+    let st_labels = Rpls::label(&st, &st_config);
+
+    let run = |name: &str, results: &mut Vec<AcceptanceResult>, w: &dyn Workload| {
+        let t0 = Instant::now();
+        let serial_estimate = w.fast(trials, seed);
+        let fast_secs = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let parallel_estimate = w.parallel(trials, seed);
+        let parallel_secs = t1.elapsed().as_secs_f64();
+
+        let t2 = Instant::now();
+        let _ = w.baseline(trials, seed);
+        let baseline_secs = t2.elapsed().as_secs_f64();
+
+        println!(
+            "bench: acceptance_10k_cycle256/{name} ... fast {fast_secs:.3}s | parallel \
+             {parallel_secs:.3}s | alloc-baseline {baseline_secs:.3}s | speedup {:.2}x | \
+             parallel speedup {:.2}x",
+            baseline_secs / fast_secs,
+            baseline_secs / parallel_secs,
+        );
+        assert!(
+            serial_estimate == parallel_estimate,
+            "serial and parallel estimates must be bit-identical"
+        );
+        results.push(AcceptanceResult {
+            scheme: name.to_string(),
+            trials,
+            fast_secs,
+            baseline_secs,
+            parallel_secs,
+            speedup: baseline_secs / fast_secs,
+            parallel_speedup: baseline_secs / parallel_secs,
+            serial_estimate,
+            parallel_estimate,
+        });
+    };
+
+    run(
+        "random_payload16",
+        results,
+        &SchemeWorkload {
+            scheme: &payload,
+            config: &config,
+            labeling: &labeling,
+        },
+    );
+    run(
+        "compiled_spanning_tree",
+        results,
+        &SchemeWorkload {
+            scheme: &st,
+            config: &st_config,
+            labeling: &st_labels,
+        },
+    );
+}
+
+fn write_json(rows: &[MatrixRow], acceptance: &[AcceptanceResult]) {
+    let mut out = String::new();
+    out.push_str(
+        "{\n  \"bench\": \"engine\",\n  \"units\": {\"rounds_per_sec\": \"1/s\", \"secs\": \"s\"},\n",
+    );
+    out.push_str("  \"round_matrix\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"family\": \"{}\", \"n\": {}, \"det_rounds_per_sec\": {:.0}, \
+             \"rand_rounds_per_sec\": {:.0}, \"baseline_rounds_per_sec\": {:.0}}}{}",
+            r.family,
+            r.n,
+            r.det_rounds_per_sec,
+            r.rand_rounds_per_sec,
+            r.baseline_rounds_per_sec,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ],\n  \"acceptance_probability_cycle256\": [\n");
+    for (i, a) in acceptance.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"scheme\": \"{}\", \"trials\": {}, \"fast_secs\": {:.4}, \
+             \"baseline_secs\": {:.4}, \"parallel_secs\": {:.4}, \"speedup\": {:.2}, \
+             \"parallel_speedup\": {:.2}, \"serial_estimate\": {}, \"parallel_estimate\": {}, \
+             \"estimates_identical\": {}}}{}",
+            a.scheme,
+            a.trials,
+            a.fast_secs,
+            a.baseline_secs,
+            a.parallel_secs,
+            a.speedup,
+            a.parallel_speedup,
+            a.serial_estimate,
+            a.parallel_estimate,
+            a.serial_estimate == a.parallel_estimate,
+            if i + 1 == acceptance.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, out).expect("write BENCH_engine.json");
+    println!("bench: wrote {path}");
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut rows = Vec::new();
+    let mut acceptance = Vec::new();
+    bench_round_matrix(c, &mut rows);
+    bench_acceptance_10k(&mut acceptance);
+    write_json(&rows, &acceptance);
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -23,37 +23,29 @@ fn bench_rounds(c: &mut Criterion) {
 
         let exchange = ExchangeLabels::new(SpanningTreePls);
         let labeling = exchange.label(&config);
-        group.bench_with_input(
-            BenchmarkId::new("exchange_labels_round", n),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    black_box(engine::run_randomized(
-                        &exchange,
-                        black_box(&config),
-                        &labeling,
-                        3,
-                    ))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("exchange_labels_round", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(engine::run_randomized(
+                    &exchange,
+                    black_box(&config),
+                    &labeling,
+                    3,
+                ))
+            });
+        });
 
         let compiled = CompiledRpls::new(SpanningTreePls);
         let labeling = compiled.label(&config);
-        group.bench_with_input(
-            BenchmarkId::new("compiled_round", n),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    black_box(engine::run_randomized(
-                        &compiled,
-                        black_box(&config),
-                        &labeling,
-                        3,
-                    ))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("compiled_round", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(engine::run_randomized(
+                    &compiled,
+                    black_box(&config),
+                    &labeling,
+                    3,
+                ))
+            });
+        });
     }
     group.finish();
 }

@@ -28,9 +28,7 @@ fn bench_crossing(c: &mut Criterion) {
         let scheme = CompiledRpls::new(ModDistancePls::new(1));
         let labeling = scheme.label(&f.config);
         group.bench_function("support_collision_search", |b| {
-            b.iter(|| {
-                black_box(find_support_collision(&scheme, &f, &labeling, 200, 3))
-            });
+            b.iter(|| black_box(find_support_collision(&scheme, &f, &labeling, 200, 3)));
         });
     }
     group.finish();

@@ -23,10 +23,7 @@ pub fn f1_crossing_figure() -> Table {
         &["configuration", "edges"],
     );
     let f = families::acyclicity_path(12);
-    t.push_row(vec![
-        "G (path)".into(),
-        edge_list_string(f.config.graph()),
-    ]);
+    t.push_row(vec!["G (path)".into(), edge_list_string(f.config.graph())]);
     let crossed = cross_copies(f.config.graph(), &f.copies, 0, 1).expect("crossable");
     t.push_row(vec!["sigma><(G)".into(), edge_list_string(&crossed)]);
     t.push_note("{3,4} and {6,7} became {3,7} and {4,6}: degrees and ports unchanged");
@@ -120,8 +117,7 @@ pub fn f5_chain_figure() -> Table {
     let _ = Configuration::plain(generators::chain_of_cycles(3, 8));
     t.push_row(vec![
         "G (3 cycles of 8)".into(),
-        cycles::longest_cycle(f.config.graph())
-            .map_or("-".into(), |l| l.to_string()),
+        cycles::longest_cycle(f.config.graph()).map_or("-".into(), |l| l.to_string()),
         edge_list_string(f.config.graph()),
     ]);
     let crossed = cross_copies(f.config.graph(), &f.copies, 0, 1).expect("crossable");

@@ -98,19 +98,20 @@ pub fn e31_compiler_gap() -> Table {
     );
     let mut rng = StdRng::seed_from_u64(0x31);
     // (name, configuration, kappa, certificate bits, accepted)
-    let mut measure = |name: &str, config: &Configuration, det_bits: usize, scheme_bits: (usize, bool)| {
-        let (cert_bits, accepted) = scheme_bits;
-        let predicted = CompiledRpls::<SpanningTreePls>::certificate_bits_for_kappa(det_bits);
-        t.push_row(vec![
-            name.to_owned(),
-            config.node_count().to_string(),
-            det_bits.to_string(),
-            cert_bits.to_string(),
-            predicted.to_string(),
-            fmt_f(det_bits as f64 / cert_bits.max(1) as f64),
-            fmt_b(accepted),
-        ]);
-    };
+    let mut measure =
+        |name: &str, config: &Configuration, det_bits: usize, scheme_bits: (usize, bool)| {
+            let (cert_bits, accepted) = scheme_bits;
+            let predicted = CompiledRpls::<SpanningTreePls>::certificate_bits_for_kappa(det_bits);
+            t.push_row(vec![
+                name.to_owned(),
+                config.node_count().to_string(),
+                det_bits.to_string(),
+                cert_bits.to_string(),
+                predicted.to_string(),
+                fmt_f(det_bits as f64 / cert_bits.max(1) as f64),
+                fmt_b(accepted),
+            ]);
+        };
 
     for n in [16usize, 64, 256] {
         let base = Configuration::plain(generators::gnp_connected(n, 0.1, &mut rng));

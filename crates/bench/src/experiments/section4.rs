@@ -143,8 +143,7 @@ pub fn e46_rounded_crossing() -> Table {
     for (bits, epsilon) in [(1u32, 0.01), (1, 0.001), (2, 0.01), (8, 0.001)] {
         let scheme = CompiledRpls::new(ModDistancePls::new(bits));
         let labeling = scheme.label(&f.config);
-        let report =
-            twosided_crossing_attack(&scheme, &f, &labeling, epsilon, 900, 120, 0x46);
+        let report = twosided_crossing_attack(&scheme, &f, &labeling, epsilon, 900, 120, 0x46);
         t.push_row(vec![
             bits.to_string(),
             fmt_f(epsilon),

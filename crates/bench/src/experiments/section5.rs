@@ -113,7 +113,11 @@ pub fn e53_cycle_at_least() -> Table {
     for (name, g, c) in [
         ("cycle(12)", generators::cycle(12), 12usize),
         ("wheel(13)", generators::wheel(13), 13),
-        ("wheel_with_tail(20, 12)", generators::wheel_with_tail(20, 12), 12),
+        (
+            "wheel_with_tail(20, 12)",
+            generators::wheel_with_tail(20, 12),
+            12,
+        ),
     ] {
         let config = Configuration::plain(g);
         let scheme = CycleAtLeastPls::new(c);
@@ -345,13 +349,7 @@ pub fn eb_boosting() -> Table {
 pub fn ef_flow() -> Table {
     let mut t = Table::new(
         "E-F  k-flow (Section 5.2 remark): O(k log n) -> O(log k + log log n)",
-        &[
-            "graph",
-            "k",
-            "det bits",
-            "cert bits",
-            "accepts legal",
-        ],
+        &["graph", "k", "det bits", "cert bits", "accepts legal"],
     );
     for k in [2usize, 4, 8, 16] {
         let g = generators::complete(k + 1);

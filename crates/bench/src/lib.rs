@@ -110,11 +110,7 @@ pub fn all_experiments() -> Vec<Experiment> {
             "Footnote 1 — majority boosting",
             experiments::eb_boosting,
         ),
-        (
-            "ef",
-            "Section 5.2 remark — k-flow",
-            experiments::ef_flow,
-        ),
+        ("ef", "Section 5.2 remark — k-flow", experiments::ef_flow),
         (
             "ev",
             "Section 5.2 — s-t k-vertex-connectivity",

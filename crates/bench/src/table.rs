@@ -64,10 +64,7 @@ impl Table {
     pub fn to_markdown(&self) -> String {
         let mut out = format!("### {}\n\n", self.title);
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.headers.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
@@ -116,7 +113,11 @@ pub fn fmt_f(x: f64) -> String {
 /// Formats a boolean as yes/no.
 #[must_use]
 pub fn fmt_b(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 #[cfg(test)]

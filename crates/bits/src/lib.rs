@@ -29,10 +29,12 @@
 #![warn(missing_docs)]
 
 mod reader;
+mod slice;
 mod string;
 mod writer;
 
 pub use reader::BitReader;
+pub use slice::{BitSlice, SliceIter};
 pub use string::BitString;
 pub use writer::BitWriter;
 

@@ -1,6 +1,6 @@
 //! The [`BitReader`] cursor for unpacking fixed-width fields.
 
-use crate::{BitString, BitsError};
+use crate::{BitSlice, BitString, BitsError};
 
 /// Reads fixed-width fields back out of a [`BitString`], in the order they
 /// were written by a [`BitWriter`](crate::BitWriter).
@@ -21,7 +21,7 @@ use crate::{BitString, BitsError};
 /// ```
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
-    src: &'a BitString,
+    src: BitSlice<'a>,
     pos: usize,
 }
 
@@ -29,6 +29,16 @@ impl<'a> BitReader<'a> {
     /// Creates a reader positioned at the first bit of `src`.
     #[must_use]
     pub fn new(src: &'a BitString) -> Self {
+        Self {
+            src: src.as_slice(),
+            pos: 0,
+        }
+    }
+
+    /// Creates a reader over a borrowed slice (e.g. a certificate viewed
+    /// in-place inside the engine's arena).
+    #[must_use]
+    pub fn from_slice(src: BitSlice<'a>) -> Self {
         Self { src, pos: 0 }
     }
 
@@ -78,11 +88,19 @@ impl<'a> BitReader<'a> {
                 available: self.remaining(),
             });
         }
+        let bytes = self.src.as_bytes();
         let mut acc: u64 = 0;
-        for _ in 0..width {
-            let bit = self.src.bit(self.pos).expect("bounds checked above");
-            acc = (acc << 1) | u64::from(bit);
-            self.pos += 1;
+        let mut taken: u32 = 0;
+        // Consume up to a byte per step instead of a bit per step.
+        while taken < width {
+            let bit_off = (self.pos % 8) as u32;
+            let avail = 8 - bit_off;
+            let take = (width - taken).min(avail);
+            let byte = bytes[self.pos / 8];
+            let chunk = (byte >> (avail - take)) & (((1u16 << take) - 1) as u8);
+            acc = (acc << take) | u64::from(chunk);
+            self.pos += take as usize;
+            taken += take;
         }
         Ok(acc)
     }
@@ -99,10 +117,19 @@ impl<'a> BitReader<'a> {
                 available: self.remaining(),
             });
         }
-        let mut out = BitString::new();
-        for _ in 0..len {
-            out.push(self.src.bit(self.pos).expect("bounds checked above"));
-            self.pos += 1;
+        let mut out = BitString::with_capacity(len);
+        let mut remaining = len;
+        // Word-sized chunks, then the tail.
+        while remaining >= 64 {
+            let word = self.read_u64(64).expect("bounds checked above");
+            out.push_u64(word, 64);
+            remaining -= 64;
+        }
+        if remaining > 0 {
+            let word = self
+                .read_u64(remaining as u32)
+                .expect("bounds checked above");
+            out.push_u64(word, remaining as u32);
         }
         Ok(out)
     }

@@ -1,5 +1,6 @@
 //! The [`BitString`] type: an owned, exact-length sequence of bits.
 
+use crate::BitSlice;
 use std::fmt;
 
 /// An owned sequence of bits with exact length accounting.
@@ -19,7 +20,6 @@ use std::fmt;
 /// assert_eq!(bits.bit(3), None);
 /// ```
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitString {
     bytes: Vec<u8>,
     len: usize,
@@ -49,12 +49,45 @@ impl BitString {
         }
     }
 
-    /// Builds a bit string from an iterator of booleans.
+    /// Creates an empty bit string with room for `bits` bits before the
+    /// backing storage reallocates.
+    #[must_use]
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(bits.div_ceil(8)),
+            len: 0,
+        }
+    }
+
+    /// Removes all bits, keeping the allocated capacity. The workhorse of
+    /// the engine's reusable round scratch.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.len = 0;
+    }
+
+    /// Builds a bit string from an iterator of booleans, packing a byte at
+    /// a time rather than pushing bit-by-bit.
     #[must_use]
     pub fn from_bools<I: IntoIterator<Item = bool>>(bools: I) -> Self {
-        let mut out = Self::new();
-        for b in bools {
-            out.push(b);
+        let iter = bools.into_iter();
+        let (lo, _) = iter.size_hint();
+        let mut out = Self::with_capacity(lo);
+        let mut acc: u8 = 0;
+        let mut filled: u32 = 0;
+        for b in iter {
+            acc = (acc << 1) | u8::from(b);
+            filled += 1;
+            if filled == 8 {
+                out.bytes.push(acc);
+                out.len += 8;
+                acc = 0;
+                filled = 0;
+            }
+        }
+        if filled > 0 {
+            out.bytes.push(acc << (8 - filled));
+            out.len += filled as usize;
         }
         out
     }
@@ -134,9 +167,85 @@ impl BitString {
     /// assert_eq!(a, BitString::from_bools([true, false, true]));
     /// ```
     pub fn extend_bits(&mut self, other: &BitString) {
-        for bit in other.iter() {
-            self.push(bit);
+        self.extend_from_slice(other.as_slice());
+    }
+
+    /// Appends all bits of `other`, a byte at a time. Alias of
+    /// [`BitString::extend_bits`] restricted to owned strings; used by the
+    /// certificate arena.
+    pub fn extend_from_bitstring(&mut self, other: &BitString) {
+        self.extend_from_slice(other.as_slice());
+    }
+
+    /// Appends all bits of a borrowed slice, a byte at a time.
+    pub fn extend_from_slice(&mut self, other: BitSlice<'_>) {
+        if other.is_empty() {
+            return;
         }
+        self.bytes.reserve(other.len().div_ceil(8));
+        let shift = (self.len % 8) as u32;
+        if shift == 0 {
+            // Byte-aligned: bulk copy, then trim the length.
+            self.bytes.extend_from_slice(other.as_bytes());
+            self.len += other.len();
+            self.bytes.truncate(self.len.div_ceil(8));
+        } else {
+            // Stitch each source byte across the boundary of the partial
+            // last byte.
+            for &b in other.as_bytes() {
+                let last = self.bytes.last_mut().expect("non-empty on misalign");
+                *last |= b >> shift;
+                self.bytes.push(b << (8 - shift));
+            }
+            self.len += other.len();
+            self.bytes.truncate(self.len.div_ceil(8));
+        }
+        self.mask_tail();
+    }
+
+    /// Appends `value` as a big-endian field of exactly `width` bits,
+    /// writing whole bytes where possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `1..=64` or `value` needs more bits.
+    pub fn push_u64(&mut self, value: u64, width: u32) {
+        assert!((1..=64).contains(&width), "invalid field width {width}");
+        assert!(
+            width == 64 || value >> width == 0,
+            "value {value} does not fit in {width} bits"
+        );
+        let mut remaining = width;
+        // Fill the partial last byte bit-by-bit, then copy whole bytes.
+        while remaining > 0 && !self.len.is_multiple_of(8) {
+            remaining -= 1;
+            self.push((value >> remaining) & 1 == 1);
+        }
+        while remaining >= 8 {
+            remaining -= 8;
+            self.bytes.push(((value >> remaining) & 0xFF) as u8);
+            self.len += 8;
+        }
+        if remaining > 0 {
+            self.bytes.push(((value << (8 - remaining)) & 0xFF) as u8);
+            self.len += remaining as usize;
+        }
+    }
+
+    /// Zeroes the padding bits of the final partial byte so equality and
+    /// hashing stay canonical after bulk writes.
+    fn mask_tail(&mut self) {
+        if !self.len.is_multiple_of(8) {
+            if let Some(last) = self.bytes.last_mut() {
+                *last &= 0xFFu8 << (8 - (self.len % 8));
+            }
+        }
+    }
+
+    /// A borrowed view of the whole string.
+    #[must_use]
+    pub fn as_slice(&self) -> BitSlice<'_> {
+        BitSlice::new(&self.bytes, self.len)
     }
 
     /// Concatenates the given bit strings into one.
@@ -288,10 +397,7 @@ mod tests {
         let b = BitString::from_bools([false, false, true]);
         let c = BitString::concat([&a, &b]);
         assert_eq!(c.len(), 5);
-        assert_eq!(
-            c,
-            BitString::from_bools([true, false, false, false, true])
-        );
+        assert_eq!(c, BitString::from_bools([true, false, false, false, true]));
     }
 
     #[test]

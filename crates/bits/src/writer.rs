@@ -79,9 +79,7 @@ impl BitWriter {
         if width < 64 && value >> width != 0 {
             return Err(BitsError::ValueTooWide { value, width });
         }
-        for i in (0..width).rev() {
-            self.out.push((value >> i) & 1 == 1);
-        }
+        self.out.push_u64(value, width);
         Ok(self)
     }
 
@@ -93,9 +91,8 @@ impl BitWriter {
 
     /// Appends the bytes MSB-first (8 bits per byte).
     pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
-        for &b in bytes {
-            self.write_u64(u64::from(b), 8);
-        }
+        self.out
+            .extend_from_slice(crate::BitSlice::new(bytes, bytes.len() * 8));
         self
     }
 
@@ -120,7 +117,10 @@ mod tests {
     #[test]
     fn invalid_width_rejected() {
         let mut w = BitWriter::new();
-        assert_eq!(w.try_write_u64(0, 0).unwrap_err(), BitsError::InvalidWidth(0));
+        assert_eq!(
+            w.try_write_u64(0, 0).unwrap_err(),
+            BitsError::InvalidWidth(0)
+        );
         assert_eq!(
             w.try_write_u64(0, 65).unwrap_err(),
             BitsError::InvalidWidth(65)

@@ -59,7 +59,7 @@ proptest! {
     #[test]
     fn bits_for_is_monotone_and_tight(v in any::<u64>()) {
         let w = bits_for(v);
-        prop_assert!(w >= 1 && w <= 64);
+        prop_assert!((1..=64).contains(&w));
         if v > 0 {
             // v fits in w bits but not w-1.
             if w < 64 {

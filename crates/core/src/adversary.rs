@@ -47,19 +47,15 @@ pub fn exhaustive_forge<S: Pls + ?Sized>(
     // Enumerate strings of length 0..=max_bits in a canonical order.
     let strings: Vec<BitString> = (0..=max_bits)
         .flat_map(|len| {
-            (0..(1u64 << len)).map(move |v| {
-                BitString::from_bools((0..len).rev().map(move |i| (v >> i) & 1 == 1))
-            })
+            (0..(1u64 << len))
+                .map(move |v| BitString::from_bools((0..len).rev().map(move |i| (v >> i) & 1 == 1)))
         })
         .collect();
     debug_assert_eq!(strings.len() as u64, per_node);
 
     let mut counters = vec![0usize; n];
     loop {
-        let labeling: Labeling = counters
-            .iter()
-            .map(|&c| strings[c].clone())
-            .collect();
+        let labeling: Labeling = counters.iter().map(|&c| strings[c].clone()).collect();
         if engine::run_deterministic(scheme, config, &labeling).accepted() {
             return Some(labeling);
         }
@@ -109,9 +105,7 @@ pub fn random_forge<S: Pls + ?Sized>(
     let n = config.node_count();
     let mut best: Option<ForgeReport> = None;
     for _ in 0..restarts {
-        let mut current: Labeling = (0..n)
-            .map(|_| random_bits(label_bits, rng))
-            .collect();
+        let mut current: Labeling = (0..n).map(|_| random_bits(label_bits, rng)).collect();
         let mut current_rejecting = engine::run_deterministic(scheme, config, &current)
             .rejecting_nodes()
             .len();
@@ -131,7 +125,10 @@ pub fn random_forge<S: Pls + ?Sized>(
                 current_rejecting = rejecting;
             }
         }
-        if best.as_ref().is_none_or(|b| current_rejecting < b.rejecting) {
+        if best
+            .as_ref()
+            .is_none_or(|b| current_rejecting < b.rejecting)
+        {
             best = Some(ForgeReport {
                 labeling: current,
                 rejecting: current_rejecting,
@@ -169,12 +166,18 @@ pub fn random_forge_rpls<S: Rpls + ?Sized>(
 ) -> RplsForgeReport {
     let n = config.node_count();
     let mut best: Option<RplsForgeReport> = None;
+    // One scratch for the whole climb: every acceptance estimate reuses it.
+    let mut scratch = crate::buffer::RoundScratch::new();
     for _ in 0..restarts {
-        let mut current: Labeling = (0..n)
-            .map(|_| random_bits(label_bits, rng))
-            .collect();
-        let mut current_acc =
-            stats::acceptance_probability(scheme, config, &current, trials, seed);
+        let mut current: Labeling = (0..n).map(|_| random_bits(label_bits, rng)).collect();
+        let mut current_acc = stats::acceptance_probability_with(
+            scheme,
+            config,
+            &current,
+            trials,
+            seed,
+            &mut scratch,
+        );
         for _ in 0..steps_per_restart {
             if current_acc >= 1.0 {
                 break;
@@ -182,7 +185,14 @@ pub fn random_forge_rpls<S: Rpls + ?Sized>(
             let v = NodeId::new(rng.random_range(0..n));
             let mut candidate = current.clone();
             candidate.set(v, flip_random_bit(candidate.get(v), label_bits, rng));
-            let acc = stats::acceptance_probability(scheme, config, &candidate, trials, seed);
+            let acc = stats::acceptance_probability_with(
+                scheme,
+                config,
+                &candidate,
+                trials,
+                seed,
+                &mut scratch,
+            );
             if acc >= current_acc {
                 current = candidate;
                 current_acc = acc;
@@ -240,8 +250,7 @@ mod tests {
                 .collect()
         }
         fn verify(&self, view: &DetView<'_>) -> bool {
-            view.label.len() == 2
-                && view.label.leading_u64() == view.local.state.id() % 4
+            view.label.len() == 2 && view.label.leading_u64() == view.local.state.id() % 4
         }
     }
 

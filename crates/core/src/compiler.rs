@@ -29,7 +29,7 @@
 use crate::labeling::Labeling;
 use crate::scheme::{CertView, DetView, ErrorSides, Pls, RandView, Rpls};
 use crate::state::Configuration;
-use rand::rngs::StdRng;
+use rand::Rng;
 use rpls_bits::{BitReader, BitString, BitWriter};
 use rpls_fingerprint::{EqMessage, EqProtocol};
 
@@ -98,6 +98,19 @@ fn parse_replicated(label: &BitString) -> Option<(usize, Vec<BitString>)> {
     Some((kappa, parts))
 }
 
+/// Parses only the prefix of a replicated label the prover needs: `κ` and
+/// the node's own inner label. Avoids materialising every claimed neighbor
+/// copy on the certificate-generation hot path.
+fn parse_own_label(label: &BitString) -> Option<(usize, BitString)> {
+    let mut r = BitReader::new(label);
+    let kappa = r.read_u64(LEN_BITS).ok()? as usize;
+    let len = r.read_u64(LEN_BITS).ok()? as usize;
+    if len > kappa {
+        return None;
+    }
+    Some((kappa, r.read_bits(len).ok()?))
+}
+
 /// The string actually fingerprinted for an inner label: 32-bit length then
 /// the label bits.
 fn length_prefixed(label: &BitString) -> BitString {
@@ -135,23 +148,33 @@ impl<S: Pls> Rpls for CompiledRpls<S> {
             .collect()
     }
 
-    fn certify(
+    fn certify(&self, view: &CertView<'_>, port: rpls_graph::Port, rng: &mut dyn Rng) -> BitString {
+        let mut out = BitString::new();
+        self.certify_into(view, port, rng, &mut out);
+        out
+    }
+
+    fn certify_into(
         &self,
         view: &CertView<'_>,
         _port: rpls_graph::Port,
-        rng: &mut StdRng,
-    ) -> BitString {
-        // Malformed (adversarial) labels yield an empty certificate, which
-        // every well-formed neighbor rejects on sight.
-        let Some((kappa, parts)) = parse_replicated(view.label) else {
-            return BitString::new();
-        };
-        let Some(own) = parts.first() else {
-            return BitString::new();
+        mut rng: &mut dyn Rng,
+        out: &mut BitString,
+    ) {
+        out.clear();
+        // Only the (κ, own-label) prefix matters for certificate
+        // generation; a label whose prefix is malformed yields an empty
+        // certificate. A label with a valid prefix but malformed neighbor
+        // copies emits a normal fingerprint — soundness is preserved
+        // because `verify` at the label's own node still parses the full
+        // replication (`parse_replicated`) and rejects, which suffices:
+        // acceptance requires every node to accept.
+        let Some((kappa, own)) = parse_own_label(view.label) else {
+            return;
         };
         let proto = EqProtocol::for_length(LEN_BITS as usize + kappa);
-        let msg = proto.alice_message(&length_prefixed(own), rng);
-        msg.to_bits(proto.modulus())
+        let msg = proto.alice_message(&length_prefixed(&own), &mut rng);
+        msg.append_to(proto.modulus(), out);
     }
 
     fn verify(&self, view: &RandView<'_>) -> bool {
@@ -168,7 +191,7 @@ impl<S: Pls> Rpls for CompiledRpls<S> {
             if received.len() != expected_bits {
                 return false;
             }
-            let Ok(msg) = EqMessage::from_bits(received, proto.modulus()) else {
+            let Ok(msg) = EqMessage::from_slice(received, proto.modulus()) else {
                 return false;
             };
             if msg.point >= proto.modulus() {
@@ -253,7 +276,10 @@ mod tests {
         let bits = rec.max_certificate_bits();
         // κ = 64, λ = 96, p ∈ (288, 576) → 2 * ⌈log₂ p⌉ ≤ 20.
         assert!(bits <= 20, "certificate bits = {bits}");
-        assert_eq!(bits, CompiledRpls::<IdLabel>::certificate_bits_for_kappa(64));
+        assert_eq!(
+            bits,
+            CompiledRpls::<IdLabel>::certificate_bits_for_kappa(64)
+        );
     }
 
     #[test]

@@ -6,21 +6,37 @@
 //!
 //! * deterministic schemes exchange labels ([`run_deterministic`]);
 //! * randomized schemes generate one certificate per (node, port) from an
-//!   **independent** random stream seeded by `(seed, node, port)` —
+//!   **independent** random stream keyed by `(seed, node, port)` —
 //!   edge-independence (Definition 4.5) holds by construction — and deliver
 //!   each certificate to the far endpoint of its edge
 //!   ([`run_randomized`]);
 //! * [`run_randomized_shared`] deliberately reuses one stream per node
 //!   across its ports, the violation mode used to probe the hypothesis of
 //!   Proposition 4.6.
+//!
+//! # Throughput
+//!
+//! Monte-Carlo estimation runs tens of thousands of rounds per data point,
+//! so the round loop is built for reuse: certificates live in a flat
+//! [`CertificateBuffer`](crate::buffer::CertificateBuffer) arena indexed by
+//! the configuration's CSR port layout, per-port randomness comes from
+//! counter-based [`PortRng`](crate::rng::PortRng) streams (no per-stream
+//! key expansion),
+//! and [`run_randomized_with`] executes a round against a caller-owned
+//! [`RoundScratch`] without allocating after warm-up. [`run_randomized`]
+//! is the convenience wrapper that additionally materialises a full
+//! [`RoundRecord`]; both produce bit-identical certificates and votes for
+//! the same seed.
 
+use crate::buffer::{Received, RoundScratch};
 use crate::labeling::Labeling;
+use crate::rng::PortRng;
 use crate::scheme::{CertView, DetView, LocalContext, Pls, RandView, Rpls};
 use crate::state::Configuration;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rpls_bits::BitString;
 use rpls_graph::{NodeId, Port};
+
+pub use crate::rng::mix_seed;
 
 /// The per-node votes of one verification round.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,25 +104,42 @@ impl RoundRecord {
     /// motivation is about).
     #[must_use]
     pub fn total_certificate_bits(&self) -> usize {
-        self.certificates
-            .iter()
-            .flatten()
-            .map(BitString::len)
-            .sum()
+        self.certificates.iter().flatten().map(BitString::len).sum()
     }
 }
 
-/// Builds the strictly-local context of `node` within `config`.
+/// The cheap, `Copy` summary of a round executed through
+/// [`run_randomized_with`]: everything the Monte-Carlo estimators need
+/// without materialising a [`RoundRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundSummary {
+    /// Whether every node voted `true`.
+    pub accepted: bool,
+    /// Largest certificate of the round, in bits (Definition 2.1).
+    pub max_certificate_bits: usize,
+    /// Total certificate bits over all directed edges.
+    pub total_certificate_bits: usize,
+}
+
+/// How per-port random streams are keyed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamMode {
+    /// One independent stream per (node, port) — Definition 4.5 holds.
+    EdgeIndependent,
+    /// One stream per node, consumed sequentially across its ports — the
+    /// deliberate edge-independence violation of the Proposition 4.6
+    /// probes.
+    SharedPerNode,
+}
+
+/// Builds the strictly-local context of `node` within `config` —
+/// allocation-free, borrowing the configuration's precomputed port layout.
 #[must_use]
 pub fn local_context(config: &Configuration, node: NodeId) -> LocalContext<'_> {
     LocalContext {
         node,
         state: config.state(node),
-        incident_weights: config
-            .graph()
-            .neighbors(node)
-            .map(|nb| nb.weight)
-            .collect(),
+        incident_weights: config.incident_weights(node),
     }
 }
 
@@ -122,41 +155,28 @@ pub fn run_deterministic<S: Pls + ?Sized>(
         config.node_count(),
         "one label per node required"
     );
-    let votes = config
-        .graph()
+    let g = config.graph();
+    let mut neighbor_labels: Vec<&BitString> = Vec::new();
+    let votes = g
         .nodes()
         .map(|v| {
-            let neighbor_labels = config
-                .graph()
-                .neighbors(v)
-                .map(|nb| labeling.get(nb.node))
-                .collect();
+            neighbor_labels.clear();
+            neighbor_labels.extend(g.neighbors(v).map(|nb| labeling.get(nb.node)));
             let view = DetView {
                 local: local_context(config, v),
                 label: labeling.get(v),
-                neighbor_labels,
+                neighbor_labels: std::mem::take(&mut neighbor_labels),
             };
-            scheme.verify(&view)
+            let vote = scheme.verify(&view);
+            neighbor_labels = view.neighbor_labels;
+            vote
         })
         .collect();
     Outcome { votes }
 }
 
-/// SplitMix64: a tiny, statistically solid mixer used to derive the
-/// per-(node, port) stream seeds from the round seed. Public because the
-/// lower-bound tooling derives its own streams the same way.
-#[must_use]
-pub fn mix_seed(seed: u64, a: u64, b: u64) -> u64 {
-    let mut z = seed
-        .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 /// Runs a randomized verification round with edge-independent randomness:
-/// node `v`'s certificate for port `p` is drawn from a stream seeded by
+/// node `v`'s certificate for port `p` is drawn from a stream keyed by
 /// `(seed, v, p)`, independent across both nodes and ports.
 pub fn run_randomized<S: Rpls + ?Sized>(
     scheme: &S,
@@ -164,7 +184,7 @@ pub fn run_randomized<S: Rpls + ?Sized>(
     labeling: &Labeling,
     seed: u64,
 ) -> RoundRecord {
-    run_randomized_inner(scheme, config, labeling, seed, false)
+    record_round(scheme, config, labeling, seed, StreamMode::EdgeIndependent)
 }
 
 /// Like [`run_randomized`] but every node reuses **one** stream across all
@@ -177,71 +197,101 @@ pub fn run_randomized_shared<S: Rpls + ?Sized>(
     labeling: &Labeling,
     seed: u64,
 ) -> RoundRecord {
-    run_randomized_inner(scheme, config, labeling, seed, true)
+    record_round(scheme, config, labeling, seed, StreamMode::SharedPerNode)
 }
 
-fn run_randomized_inner<S: Rpls + ?Sized>(
+fn record_round<S: Rpls + ?Sized>(
     scheme: &S,
     config: &Configuration,
     labeling: &Labeling,
     seed: u64,
-    shared_streams: bool,
+    mode: StreamMode,
 ) -> RoundRecord {
+    let mut scratch = RoundScratch::new();
+    run_randomized_with(scheme, config, labeling, seed, mode, &mut scratch);
+    RoundRecord {
+        certificates: scratch.buffer.to_nested(config.port_base()),
+        outcome: Outcome {
+            votes: scratch.votes.clone(),
+        },
+    }
+}
+
+/// Executes one randomized round against reusable scratch storage — the
+/// hot path behind every Monte-Carlo estimator. Produces exactly the same
+/// certificates and votes as [`run_randomized`] /
+/// [`run_randomized_shared`] for the same seed, but performs no heap
+/// allocation once the scratch buffers have grown to the workload's size.
+///
+/// After the call, `scratch.votes()` holds the per-node votes and
+/// `scratch.certificates()` the round's certificate arena.
+pub fn run_randomized_with<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    seed: u64,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> RoundSummary {
     assert_eq!(
         labeling.len(),
         config.node_count(),
         "one label per node required"
     );
     let g = config.graph();
+    let RoundScratch { buffer, votes, tmp } = scratch;
 
-    // Phase 1: certificate generation.
-    let certificates: Vec<Vec<BitString>> = g
-        .nodes()
-        .map(|v| {
-            let view = CertView {
-                local: local_context(config, v),
-                label: labeling.get(v),
-            };
-            let mut node_rng = StdRng::seed_from_u64(mix_seed(seed, v.index() as u64, u64::MAX));
-            (0..g.degree(v))
-                .map(|p| {
-                    let port = Port::from_rank(p);
-                    if shared_streams {
-                        scheme.certify(&view, port, &mut node_rng)
-                    } else {
-                        let mut rng = StdRng::seed_from_u64(mix_seed(
-                            seed,
-                            v.index() as u64,
-                            p as u64,
-                        ));
-                        scheme.certify(&view, port, &mut rng)
-                    }
-                })
-                .collect()
-        })
-        .collect();
+    // Phase 1: certificate generation, in global port order.
+    buffer.clear();
+    for v in g.nodes() {
+        let view = CertView {
+            local: local_context(config, v),
+            label: labeling.get(v),
+        };
+        let node_index = v.index() as u64;
+        let degree = g.degree(v);
+        match mode {
+            StreamMode::EdgeIndependent => {
+                for p in 0..degree {
+                    let mut rng = PortRng::for_edge(seed, node_index, p as u64);
+                    scheme.certify_into(&view, Port::from_rank(p), &mut rng, tmp);
+                    buffer.push(tmp);
+                }
+            }
+            StreamMode::SharedPerNode => {
+                let mut rng = PortRng::for_node(seed, node_index);
+                for p in 0..degree {
+                    scheme.certify_into(&view, Port::from_rank(p), &mut rng, tmp);
+                    buffer.push(tmp);
+                }
+            }
+        }
+    }
 
     // Phase 2: delivery and verification. The certificate arriving at v on
-    // port p is the one its neighbor generated for the far end of that edge.
-    let votes = g
-        .nodes()
-        .map(|v| {
-            let received: Vec<&BitString> = g
-                .neighbors(v)
-                .map(|nb| &certificates[nb.node.index()][nb.remote_port.rank()])
-                .collect();
-            let view = RandView {
-                local: local_context(config, v),
-                label: labeling.get(v),
-                received,
-            };
-            scheme.verify(&view)
-        })
-        .collect();
+    // port p is the one its neighbor generated for the far end of that
+    // edge; the configuration's delivery map has the routing precomputed.
+    let delivery = config.delivery();
+    let port_base = config.port_base();
+    votes.clear();
+    let mut accepted = true;
+    for v in g.nodes() {
+        let lo = port_base[v.index()] as usize;
+        let hi = port_base[v.index() + 1] as usize;
+        let view = RandView {
+            local: local_context(config, v),
+            label: labeling.get(v),
+            received: Received::new(buffer, &delivery[lo..hi]),
+        };
+        let vote = scheme.verify(&view);
+        accepted &= vote;
+        votes.push(vote);
+    }
 
-    RoundRecord {
-        certificates,
-        outcome: Outcome { votes },
+    RoundSummary {
+        accepted,
+        max_certificate_bits: buffer.max_bits(),
+        total_certificate_bits: buffer.total_bits(),
     }
 }
 
@@ -249,6 +299,7 @@ fn run_randomized_inner<S: Rpls + ?Sized>(
 mod tests {
     use super::*;
     use crate::scheme::ErrorSides;
+    use rand::Rng;
     use rpls_graph::generators;
 
     /// A scheme that accepts iff every neighbor's label equals its own —
@@ -307,8 +358,7 @@ mod tests {
         fn label(&self, config: &Configuration) -> Labeling {
             Labeling::empty(config.node_count())
         }
-        fn certify(&self, _view: &CertView<'_>, _port: Port, rng: &mut StdRng) -> BitString {
-            use rand::Rng;
+        fn certify(&self, _view: &CertView<'_>, _port: Port, rng: &mut dyn Rng) -> BitString {
             BitString::from_bools([(rng.next_u64() & 1) == 1])
         }
         fn verify(&self, _view: &RandView<'_>) -> bool {
@@ -370,5 +420,103 @@ mod tests {
         let d = mix_seed(2, 0, 0);
         let set: std::collections::HashSet<u64> = [a, b, c, d].into_iter().collect();
         assert_eq!(set.len(), 4);
+    }
+
+    /// A scheme with variable-length certificates exercising the arena:
+    /// port p of node v sends v's id in unary followed by p random bits.
+    struct VariableLength;
+
+    impl Rpls for VariableLength {
+        fn name(&self) -> String {
+            "variable-length".into()
+        }
+        fn label(&self, config: &Configuration) -> Labeling {
+            Labeling::empty(config.node_count())
+        }
+        fn certify(&self, view: &CertView<'_>, port: Port, rng: &mut dyn Rng) -> BitString {
+            let unary = view.local.state.id() as usize;
+            let mut out = BitString::with_capacity(unary + port.rank());
+            for _ in 0..unary {
+                out.push(true);
+            }
+            for _ in 0..port.rank() {
+                out.push(rng.next_u64() & 1 == 1);
+            }
+            out
+        }
+        fn verify(&self, view: &RandView<'_>) -> bool {
+            // Every received certificate must start with the sender's
+            // unary id — cross-checks arena routing end to end.
+            view.local.incident_weights.len() == view.received.len()
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_record_path() {
+        let config = Configuration::plain(generators::wheel(9));
+        let labeling = VariableLength.label(&config);
+        let mut scratch = RoundScratch::new();
+        for seed in [0u64, 1, 7, 99, 12345] {
+            for mode in [StreamMode::EdgeIndependent, StreamMode::SharedPerNode] {
+                let summary = run_randomized_with(
+                    &VariableLength,
+                    &config,
+                    &labeling,
+                    seed,
+                    mode,
+                    &mut scratch,
+                );
+                let record = match mode {
+                    StreamMode::EdgeIndependent => {
+                        run_randomized(&VariableLength, &config, &labeling, seed)
+                    }
+                    StreamMode::SharedPerNode => {
+                        run_randomized_shared(&VariableLength, &config, &labeling, seed)
+                    }
+                };
+                assert_eq!(summary.accepted, record.outcome.accepted());
+                assert_eq!(summary.max_certificate_bits, record.max_certificate_bits());
+                assert_eq!(
+                    summary.total_certificate_bits,
+                    record.total_certificate_bits()
+                );
+                assert_eq!(scratch.votes(), record.outcome.votes());
+                assert_eq!(
+                    scratch.certificates().to_nested(config.port_base()),
+                    record.certificates
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delivery_routes_certificates_to_far_endpoints() {
+        // With VariableLength, the certificate on port p of node v starts
+        // with v's id in unary — check each received certificate's prefix
+        // length against the actual neighbor.
+        let config = Configuration::plain(generators::wheel(7));
+        let labeling = VariableLength.label(&config);
+        let rec = run_randomized(&VariableLength, &config, &labeling, 3);
+        let g = config.graph();
+        let mut scratch = RoundScratch::new();
+        run_randomized_with(
+            &VariableLength,
+            &config,
+            &labeling,
+            3,
+            StreamMode::EdgeIndependent,
+            &mut scratch,
+        );
+        for v in g.nodes() {
+            for nb in g.neighbors(v) {
+                let sent = &rec.certificates[nb.node.index()][nb.remote_port.rank()];
+                let got = scratch
+                    .certificates()
+                    .get(config.delivery()[config.port_index(v, nb.port.rank())] as usize);
+                assert_eq!(got, *sent);
+                let unary_prefix = got.iter().take_while(|&b| b).count().min(nb.node.index());
+                assert_eq!(unary_prefix, nb.node.index(), "sender id prefix");
+            }
+        }
     }
 }

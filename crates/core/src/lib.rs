@@ -18,8 +18,12 @@
 //! * [`universal`] — **Lemma 3.3** (the universal deterministic scheme on
 //!   `O(min(n², m log n) + nk)` bits) and **Corollary 3.4** (its compilation
 //!   to `O(log n + log k)`-bit certificates);
+//! * [`buffer`] — the flat certificate arena ([`CertificateBuffer`]) and
+//!   reusable [`RoundScratch`] the high-throughput round loop runs on;
+//! * [`rng`] — counter-based per-(node, port) random streams
+//!   ([`PortRng`]), cheap enough to key one per directed edge per round;
 //! * [`stats`] — Monte-Carlo acceptance estimation and the footnote-1
-//!   majority boosting;
+//!   majority boosting, serial and (feature `parallel`) thread-sharded;
 //! * [`measure`] — verification complexity (Definition 2.1) measured in
 //!   exact bits;
 //! * [`adversary`] — label forgers used to probe soundness: exhaustive for
@@ -44,28 +48,34 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod buffer;
 pub mod compiler;
 pub mod engine;
 pub mod labeling;
 pub mod local_decision;
 pub mod measure;
+pub mod rng;
 pub mod scheme;
 pub mod state;
 pub mod stats;
 pub mod universal;
 
+pub use buffer::{CertificateBuffer, Received, RoundScratch};
 pub use compiler::CompiledRpls;
 pub use labeling::Labeling;
+pub use rng::PortRng;
 pub use scheme::{CertView, DetView, ErrorSides, Pls, Predicate, RandView, Rpls};
 pub use state::{Configuration, State};
 pub use universal::{UniversalPls, UniversalRpls};
 
 /// Convenient glob-import surface: `use rpls_core::prelude::*;`.
 pub mod prelude {
+    pub use crate::buffer::{CertificateBuffer, Received, RoundScratch};
     pub use crate::compiler::CompiledRpls;
-    pub use crate::engine::{self, Outcome};
+    pub use crate::engine::{self, Outcome, RoundSummary, StreamMode};
     pub use crate::labeling::Labeling;
     pub use crate::measure;
+    pub use crate::rng::PortRng;
     pub use crate::scheme::{CertView, DetView, ErrorSides, Pls, Predicate, RandView, Rpls};
     pub use crate::state::{Configuration, State};
     pub use crate::stats;

@@ -82,11 +82,8 @@ pub fn ball(config: &Configuration, center: NodeId, radius: usize) -> Ball {
             }
         }
     }
-    let index_of: std::collections::HashMap<NodeId, usize> = order
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let index_of: std::collections::HashMap<NodeId, usize> =
+        order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut b = GraphBuilder::new(order.len());
     for (_, rec) in g.edges() {
         if let (Some(&iu), Some(&iv)) = (index_of.get(&rec.u), index_of.get(&rec.v)) {
@@ -213,9 +210,9 @@ pub fn agrees_with_predicate<S: LocalDecision + ?Sized, P: Predicate + ?Sized>(
     predicate: &P,
     configs: &[Configuration],
 ) -> bool {
-    configs.iter().all(|c| {
-        run_local_decision(scheme, c).accepted() == predicate.holds(c)
-    })
+    configs
+        .iter()
+        .all(|c| run_local_decision(scheme, c).accepted() == predicate.holds(c))
 }
 
 #[cfg(test)]
@@ -257,9 +254,8 @@ mod tests {
             // 2-color a cycle of even length by hand.
             let mut c = Configuration::plain(generators::cycle(6));
             for i in 0..6 {
-                c.state_mut(NodeId::new(i)).set_payload(
-                    rpls_bits::BitString::from_bools([(i % 2) == 1]),
-                );
+                c.state_mut(NodeId::new(i))
+                    .set_payload(rpls_bits::BitString::from_bools([(i % 2) == 1]));
             }
             c
         };
@@ -271,9 +267,9 @@ mod tests {
         let out = run_local_decision(&ColoringLd, &illegal);
         assert!(!out.accepted());
         let pred = FnPredicate::new("proper", |c: &Configuration| {
-            c.graph().edges().all(|(_, r)| {
-                c.state(r.u).payload() != c.state(r.v).payload()
-            })
+            c.graph()
+                .edges()
+                .all(|(_, r)| c.state(r.u).payload() != c.state(r.v).payload())
         });
         assert!(pred.holds(&legal) && !pred.holds(&illegal));
     }
@@ -304,9 +300,12 @@ mod tests {
     #[test]
     fn cycle_detection_threshold_matches_ball_size() {
         // A cycle of length L is visible at radius t iff L ≤ 2t + 1.
-        for (len, radius, visible) in
-            [(5usize, 2usize, true), (6, 2, false), (7, 3, true), (9, 3, false)]
-        {
+        for (len, radius, visible) in [
+            (5usize, 2usize, true),
+            (6, 2, false),
+            (7, 3, true),
+            (9, 3, false),
+        ] {
             let c = Configuration::plain(generators::cycle(len));
             let accepted = run_local_decision(&AcyclicityLd::new(radius), &c).accepted();
             assert_eq!(!accepted, visible, "len={len} radius={radius}");
@@ -330,18 +329,12 @@ mod tests {
         // But on the long cycle the agreement breaks — the decision needs
         // labels there.
         let hard = vec![Configuration::plain(generators::cycle(9))];
-        assert!(!agrees_with_predicate(
-            &AcyclicityLd::new(1),
-            &pred,
-            &hard
-        ));
+        assert!(!agrees_with_predicate(&AcyclicityLd::new(1), &pred, &hard));
     }
 
     #[test]
     fn fn_local_decision_wraps_closures() {
-        let d = FnLocalDecision::new("deg>=2", 1, |b: &Ball| {
-            b.true_degree[b.center.index()] >= 2
-        });
+        let d = FnLocalDecision::new("deg>=2", 1, |b: &Ball| b.true_degree[b.center.index()] >= 2);
         assert_eq!(d.radius(), 1);
         let c = Configuration::plain(generators::cycle(4));
         assert!(run_local_decision(&d, &c).accepted());

@@ -78,11 +78,31 @@ impl State {
 /// assert_eq!(config.node_count(), 4);
 /// assert_eq!(config.state(rpls_graph::NodeId::new(2)).id(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Configuration {
     graph: Graph,
     states: Vec<State>,
+    /// CSR port layout: `port_base[v]` is the global index of port 0 of
+    /// node `v`; `port_base[n]` is the total number of directed ports.
+    port_base: Vec<u32>,
+    /// Incident edge weights in global port order (`port_weights[port_base
+    /// [v] + p]` is the weight at port rank `p` of `v`).
+    port_weights: Vec<Option<u64>>,
+    /// Delivery map: `delivery[i]` is the global port index whose
+    /// certificate arrives at port `i` (the far endpoint's port of the same
+    /// edge).
+    delivery: Vec<u32>,
 }
+
+impl PartialEq for Configuration {
+    fn eq(&self, other: &Self) -> bool {
+        // The CSR caches are functions of the graph; comparing them would
+        // be redundant.
+        self.graph == other.graph && self.states == other.states
+    }
+}
+
+impl Eq for Configuration {}
 
 impl Configuration {
     /// Creates a configuration from a graph and explicit states.
@@ -107,7 +127,41 @@ impl Configuration {
             states.len(),
             "node identities must be pairwise distinct"
         );
-        Self { graph, states }
+        let (port_base, port_weights, delivery) = Self::build_port_layout(&graph);
+        Self {
+            graph,
+            states,
+            port_base,
+            port_weights,
+            delivery,
+        }
+    }
+
+    /// Builds the CSR port layout the engine's flat certificate buffers
+    /// index by: per-node port offsets, incident weights in global port
+    /// order, and the delivery map routing each port to the far endpoint's
+    /// port of the same edge.
+    fn build_port_layout(graph: &Graph) -> (Vec<u32>, Vec<Option<u64>>, Vec<u32>) {
+        let n = graph.node_count();
+        let mut port_base = Vec::with_capacity(n + 1);
+        let mut total: u32 = 0;
+        port_base.push(0);
+        for v in graph.nodes() {
+            total += u32::try_from(graph.degree(v)).expect("degree fits in u32");
+            port_base.push(total);
+        }
+        let mut port_weights = Vec::with_capacity(total as usize);
+        let mut delivery = Vec::with_capacity(total as usize);
+        for v in graph.nodes() {
+            for nb in graph.neighbors(v) {
+                port_weights.push(nb.weight);
+                delivery.push(
+                    port_base[nb.node.index()]
+                        + u32::try_from(nb.remote_port.rank()).expect("port fits in u32"),
+                );
+            }
+        }
+        (port_base, port_weights, delivery)
     }
 
     /// The default configuration: node `v` gets identity `v` and an empty
@@ -212,10 +266,52 @@ impl Configuration {
             self.node_count(),
             "crossing preserves the node set"
         );
+        let (port_base, port_weights, delivery) = Self::build_port_layout(&graph);
         Self {
             graph,
             states: self.states.clone(),
+            port_base,
+            port_weights,
+            delivery,
         }
+    }
+
+    /// The CSR port layout: `port_base()[v]` is the global index of port 0
+    /// of node `v`, and `port_base()[n]` the total number of directed
+    /// ports. The engine's flat certificate buffers are indexed by this
+    /// layout.
+    #[must_use]
+    pub fn port_base(&self) -> &[u32] {
+        &self.port_base
+    }
+
+    /// Total number of directed ports (`Σ deg(v) = 2m`).
+    #[must_use]
+    pub fn port_count(&self) -> usize {
+        *self.port_base.last().expect("port_base non-empty") as usize
+    }
+
+    /// The global port index of port rank `p` at `node`.
+    #[must_use]
+    pub fn port_index(&self, node: NodeId, p: usize) -> usize {
+        self.port_base[node.index()] as usize + p
+    }
+
+    /// Incident edge weights of `node` in port order, without allocating —
+    /// the strictly-local view a verifier is allowed to see.
+    #[must_use]
+    pub fn incident_weights(&self, node: NodeId) -> &[Option<u64>] {
+        let lo = self.port_base[node.index()] as usize;
+        let hi = self.port_base[node.index() + 1] as usize;
+        &self.port_weights[lo..hi]
+    }
+
+    /// The delivery map: entry `i` is the global port index whose
+    /// certificate arrives at global port `i` (the far endpoint's port of
+    /// the same edge). `delivery` is an involution.
+    #[must_use]
+    pub fn delivery(&self) -> &[u32] {
+        &self.delivery
     }
 }
 
@@ -273,5 +369,43 @@ mod tests {
     fn with_graph_rejects_resize() {
         let c = Configuration::plain(generators::cycle(4));
         let _ = c.with_graph(generators::cycle(5));
+    }
+
+    #[test]
+    fn port_layout_is_a_csr_over_degrees() {
+        let c = Configuration::plain(generators::star(4)); // center + 4 leaves
+        let g = c.graph();
+        assert_eq!(c.port_count(), 2 * g.edge_count());
+        for v in g.nodes() {
+            let lo = c.port_base()[v.index()] as usize;
+            let hi = c.port_base()[v.index() + 1] as usize;
+            assert_eq!(hi - lo, g.degree(v));
+            assert_eq!(c.incident_weights(v).len(), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn delivery_map_is_an_involution_onto_far_ports() {
+        let c = Configuration::plain(generators::wheel(6));
+        let g = c.graph();
+        let delivery = c.delivery();
+        for v in g.nodes() {
+            for nb in g.neighbors(v) {
+                let here = c.port_index(v, nb.port.rank());
+                let there = c.port_index(nb.node, nb.remote_port.rank());
+                assert_eq!(delivery[here] as usize, there);
+                assert_eq!(delivery[there] as usize, here);
+            }
+        }
+    }
+
+    #[test]
+    fn incident_weights_follow_port_order() {
+        let g = generators::cycle(4).with_weights(&[10, 20, 30, 40]);
+        let c = Configuration::plain(g);
+        for v in c.graph().nodes() {
+            let expect: Vec<Option<u64>> = c.graph().neighbors(v).map(|nb| nb.weight).collect();
+            assert_eq!(c.incident_weights(v), expect.as_slice());
+        }
     }
 }

@@ -6,11 +6,46 @@
 //! O(log(1/δ)) times independently and outputting the majority of
 //! outcomes." [`boosted_accepts`] implements exactly that; the experiment
 //! E-B measures the promised exponential decay.
+//!
+//! All estimators run on the engine's allocation-free round loop: each
+//! public entry point owns (or borrows, for the `*_with` variants) one
+//! [`RoundScratch`] that every trial reuses. The feature-gated
+//! [`acceptance_probability_par`] shards trials across threads with the
+//! *same* per-trial seeds as the serial path, so both produce bit-identical
+//! estimates.
 
-use crate::engine::{self, mix_seed};
+use crate::buffer::RoundScratch;
+use crate::engine::{self, mix_seed, StreamMode};
 use crate::labeling::Labeling;
 use crate::scheme::Rpls;
 use crate::state::Configuration;
+
+/// The seed-derivation tag of each estimator family, so their streams never
+/// collide.
+const TAG_ACCEPT: u64 = 0;
+const TAG_BOOST: u64 = 1;
+const TAG_BOOST_TRIALS: u64 = 2;
+
+/// One trial of the acceptance estimator: the deterministic per-trial seed
+/// is `mix_seed(seed, trial, 0)` in every runner (serial and parallel).
+fn trial_accepts<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    seed: u64,
+    trial: u64,
+    scratch: &mut RoundScratch,
+) -> bool {
+    engine::run_randomized_with(
+        scheme,
+        config,
+        labeling,
+        mix_seed(seed, trial, TAG_ACCEPT),
+        StreamMode::EdgeIndependent,
+        scratch,
+    )
+    .accepted
+}
 
 /// Estimates `Pr[verifier accepts]` over `trials` independent rounds.
 pub fn acceptance_probability<S: Rpls + ?Sized>(
@@ -20,14 +55,71 @@ pub fn acceptance_probability<S: Rpls + ?Sized>(
     trials: usize,
     seed: u64,
 ) -> f64 {
+    let mut scratch = RoundScratch::new();
+    acceptance_probability_with(scheme, config, labeling, trials, seed, &mut scratch)
+}
+
+/// Like [`acceptance_probability`] but reuses caller-owned scratch, so
+/// sweeps over many labelings (e.g. the hill-climbing adversary) never
+/// reallocate.
+pub fn acceptance_probability_with<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    trials: usize,
+    seed: u64,
+    scratch: &mut RoundScratch,
+) -> f64 {
     assert!(trials > 0, "need at least one trial");
     let accepts = (0..trials)
-        .filter(|&t| {
-            engine::run_randomized(scheme, config, labeling, mix_seed(seed, t as u64, 0))
-                .outcome
-                .accepted()
-        })
+        .filter(|&t| trial_accepts(scheme, config, labeling, seed, t as u64, scratch))
         .count();
+    accepts as f64 / trials as f64
+}
+
+/// Parallel twin of [`acceptance_probability`]: shards trials across
+/// threads, each with its own [`RoundScratch`]. Per-trial seeds are
+/// identical to the serial path, so the estimate is **bit-identical** to
+/// [`acceptance_probability`] for the same inputs.
+///
+/// `threads = None` uses the machine's available parallelism.
+#[cfg(feature = "parallel")]
+pub fn acceptance_probability_par<S: Rpls + Sync + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    trials: usize,
+    seed: u64,
+    threads: Option<usize>,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let workers = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .clamp(1, trials);
+    if workers == 1 {
+        return acceptance_probability(scheme, config, labeling, trials, seed);
+    }
+    let accepts: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut scratch = RoundScratch::new();
+                    // Strided sharding: worker w takes trials w, w+k, …
+                    (w..trials)
+                        .step_by(workers)
+                        .filter(|&t| {
+                            trial_accepts(scheme, config, labeling, seed, t as u64, &mut scratch)
+                        })
+                        .count()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    });
     accepts as f64 / trials as f64
 }
 
@@ -44,12 +136,31 @@ pub fn boosted_accepts<S: Rpls + ?Sized>(
     repetitions: usize,
     seed: u64,
 ) -> bool {
+    let mut scratch = RoundScratch::new();
+    boosted_accepts_with(scheme, config, labeling, repetitions, seed, &mut scratch)
+}
+
+/// Like [`boosted_accepts`] but reuses caller-owned scratch.
+pub fn boosted_accepts_with<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    repetitions: usize,
+    seed: u64,
+    scratch: &mut RoundScratch,
+) -> bool {
     assert!(repetitions > 0, "need at least one repetition");
     let accepts = (0..repetitions)
         .filter(|&r| {
-            engine::run_randomized(scheme, config, labeling, mix_seed(seed, r as u64, 1))
-                .outcome
-                .accepted()
+            engine::run_randomized_with(
+                scheme,
+                config,
+                labeling,
+                mix_seed(seed, r as u64, TAG_BOOST),
+                StreamMode::EdgeIndependent,
+                scratch,
+            )
+            .accepted
         })
         .count();
     2 * accepts > repetitions
@@ -65,14 +176,16 @@ pub fn boosted_acceptance_probability<S: Rpls + ?Sized>(
     seed: u64,
 ) -> f64 {
     assert!(trials > 0, "need at least one trial");
+    let mut scratch = RoundScratch::new();
     let accepts = (0..trials)
         .filter(|&t| {
-            boosted_accepts(
+            boosted_accepts_with(
                 scheme,
                 config,
                 labeling,
                 repetitions,
-                mix_seed(seed, t as u64, 2),
+                mix_seed(seed, t as u64, TAG_BOOST_TRIALS),
+                &mut scratch,
             )
         })
         .count();
@@ -93,7 +206,6 @@ pub fn confidence_radius(p_hat: f64, trials: usize) -> f64 {
 mod tests {
     use super::*;
     use crate::scheme::{CertView, ErrorSides, RandView};
-    use rand::rngs::StdRng;
     use rand::Rng;
     use rpls_bits::BitString;
     use rpls_graph::{generators, NodeId, Port};
@@ -112,14 +224,14 @@ mod tests {
         fn label(&self, config: &Configuration) -> Labeling {
             Labeling::empty(config.node_count())
         }
-        fn certify(&self, _view: &CertView<'_>, _port: Port, rng: &mut StdRng) -> BitString {
+        fn certify(&self, _view: &CertView<'_>, _port: Port, rng: &mut dyn Rng) -> BitString {
             BitString::from_bools([(rng.next_u64() & 1) == 1])
         }
         fn verify(&self, view: &RandView<'_>) -> bool {
             if view.local.node != NodeId::new(0) {
                 return true;
             }
-            view.received[0].bit(0).unwrap_or(false)
+            view.received.get(0).bit(0).unwrap_or(false)
         }
     }
 
@@ -129,6 +241,33 @@ mod tests {
         let labeling = Labeling::empty(5);
         let p = acceptance_probability(&CoinAtNodeZero, &config, &labeling, 2000, 11);
         assert!((p - 0.5).abs() < 0.05, "p = {p}");
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_estimate_is_bit_identical_to_serial() {
+        let config = Configuration::plain(generators::cycle(7));
+        let labeling = Labeling::empty(7);
+        for trials in [1usize, 7, 500] {
+            for seed in [0u64, 3, 99] {
+                let serial =
+                    acceptance_probability(&CoinAtNodeZero, &config, &labeling, trials, seed);
+                for threads in [None, Some(1), Some(2), Some(5), Some(64)] {
+                    let par = acceptance_probability_par(
+                        &CoinAtNodeZero,
+                        &config,
+                        &labeling,
+                        trials,
+                        seed,
+                        threads,
+                    );
+                    assert!(
+                        serial == par,
+                        "trials {trials} seed {seed} threads {threads:?}: {serial} vs {par}"
+                    );
+                }
+            }
+        }
     }
 
     /// Accepts with probability ~3/4 at node 0: two received bits, rejects
@@ -145,16 +284,14 @@ mod tests {
         fn label(&self, config: &Configuration) -> Labeling {
             Labeling::empty(config.node_count())
         }
-        fn certify(&self, _view: &CertView<'_>, _port: Port, rng: &mut StdRng) -> BitString {
+        fn certify(&self, _view: &CertView<'_>, _port: Port, rng: &mut dyn Rng) -> BitString {
             BitString::from_bools([(rng.next_u64() & 1) == 1])
         }
         fn verify(&self, view: &RandView<'_>) -> bool {
             if view.local.node != NodeId::new(0) {
                 return true;
             }
-            view.received
-                .iter()
-                .any(|c| c.bit(0).unwrap_or(false))
+            view.received.iter().any(|c| c.bit(0).unwrap_or(false))
         }
     }
 
@@ -186,22 +323,34 @@ mod tests {
             fn label(&self, config: &Configuration) -> Labeling {
                 Labeling::empty(config.node_count())
             }
-            fn certify(&self, _v: &CertView<'_>, _p: Port, rng: &mut StdRng) -> BitString {
+            fn certify(&self, _v: &CertView<'_>, _p: Port, rng: &mut dyn Rng) -> BitString {
                 BitString::from_bools([(rng.next_u64() & 1) == 1])
             }
             fn verify(&self, view: &RandView<'_>) -> bool {
                 if view.local.node != NodeId::new(0) {
                     return true;
                 }
-                view.received
-                    .iter()
-                    .all(|c| c.bit(0).unwrap_or(false))
+                view.received.iter().all(|c| c.bit(0).unwrap_or(false))
             }
         }
         let config = Configuration::plain(generators::cycle(5));
         let labeling = Labeling::empty(5);
         let boosted = boosted_acceptance_probability(&OneQuarter, &config, &labeling, 15, 400, 9);
         assert!(boosted < 0.05, "boosted = {boosted}");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let config = Configuration::plain(generators::cycle(6));
+        let labeling = Labeling::empty(6);
+        let fresh = acceptance_probability(&CoinAtNodeZero, &config, &labeling, 300, 5);
+        let mut scratch = RoundScratch::new();
+        // Run something else first so the scratch arrives dirty.
+        let _ =
+            acceptance_probability_with(&ThreeQuarters, &config, &labeling, 50, 1, &mut scratch);
+        let reused =
+            acceptance_probability_with(&CoinAtNodeZero, &config, &labeling, 300, 5, &mut scratch);
+        assert_eq!(fresh, reused);
     }
 
     #[test]

@@ -212,8 +212,8 @@ fn decode_matrix_graph(r: &mut BitReader<'_>, n: usize) -> Option<Graph> {
     }
     let mut b = GraphBuilder::new(n);
     for (u, row) in rows.iter().enumerate() {
-        for v in u + 1..n {
-            if row[v] {
+        for (v, &cell) in row.iter().enumerate().skip(u + 1) {
+            if cell {
                 b.add_edge(u, v).ok()?;
             }
         }
@@ -221,12 +221,7 @@ fn decode_matrix_graph(r: &mut BitReader<'_>, n: usize) -> Option<Graph> {
     b.finish().ok()
 }
 
-fn decode_list_graph(
-    r: &mut BitReader<'_>,
-    n: usize,
-    w_node: u32,
-    w_weight: u32,
-) -> Option<Graph> {
+fn decode_list_graph(r: &mut BitReader<'_>, n: usize, w_node: u32, w_weight: u32) -> Option<Graph> {
     let w_deg = w_node.max(1) + 1;
     // entries[v][p] = (neighbor, remote_port, weight)
     let mut entries: Vec<Vec<(usize, usize, Option<u64>)>> = Vec::with_capacity(n);
@@ -442,10 +437,7 @@ mod tests {
             let enc = encode_configuration(&c);
             let dec = decode_configuration(&enc).expect("decodes");
             assert_eq!(dec.node_count(), c.node_count());
-            assert_eq!(
-                dec.graph().sorted_edge_list(),
-                c.graph().sorted_edge_list()
-            );
+            assert_eq!(dec.graph().sorted_edge_list(), c.graph().sorted_edge_list());
             for v in c.graph().nodes() {
                 assert_eq!(dec.state(v).id(), c.state(v).id());
             }

@@ -14,7 +14,6 @@ use rpls_bits::BitString;
 use rpls_core::{Configuration, Labeling};
 use rpls_graph::crossing::cross_copies;
 
-
 use crate::families::Family;
 
 /// Concatenates the labels of copy `i`'s nodes in the shared order induced
@@ -194,13 +193,8 @@ mod tests {
         let f = families::acyclicity_path(12);
         let labeling = AcyclicityPls.label(&f.config);
         // Crossing without a collision: views must differ.
-        let crossed_graph = rpls_graph::crossing::cross_copies(
-            f.config.graph(),
-            &f.copies,
-            0,
-            1,
-        )
-        .unwrap();
+        let crossed_graph =
+            rpls_graph::crossing::cross_copies(f.config.graph(), &f.copies, 0, 1).unwrap();
         let crossed = f.config.with_graph(crossed_graph);
         assert!(!views_identical(&f.config, &crossed, &labeling));
     }

@@ -127,7 +127,10 @@ pub fn wheel_cycle(n: usize, c: usize) -> Family {
 /// bridge endpoints) or `count < 2`.
 #[must_use]
 pub fn chain_of_cycles(count: usize, cycle_len: usize) -> Family {
-    assert!(cycle_len >= 6, "cycle too short to host an independent copy");
+    assert!(
+        cycle_len >= 6,
+        "cycle too short to host an independent copy"
+    );
     assert!(count >= 2, "need at least two cycles");
     let g = generators::chain_of_cycles(count, cycle_len);
     // Bridge endpoints within each cycle are node 1 and node len/2; the

@@ -79,8 +79,7 @@ pub fn iterated_crossing(
             .edge_between(a1, b1)
             .expect("copy edge present in current graph");
         let h = Subgraph::from_edges(&graph, [eid]);
-        let sigma = PortIsomorphism::from_pairs([(a1, a2), (b1, b2)])
-            .expect("distinct endpoints");
+        let sigma = PortIsomorphism::from_pairs([(a1, a2), (b1, b2)]).expect("distinct endpoints");
         graph = cross(&graph, &sigma, &h).expect("copies remain crossable");
         crossings += 1;
         // Both copies are consumed.
@@ -151,8 +150,7 @@ mod tests {
         let report = iterated_crossing(&config, &labeling, &edges, 6);
         if report.views_preserved {
             let before = engine::run_deterministic(&scheme, &config, &labeling);
-            let after =
-                engine::run_deterministic(&scheme, &report.final_config, &labeling);
+            let after = engine::run_deterministic(&scheme, &report.final_config, &labeling);
             assert_eq!(before.votes(), after.votes());
         }
         assert!(report.crossings >= 1);

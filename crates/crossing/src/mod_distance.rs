@@ -101,9 +101,9 @@ mod tests {
     use super::*;
     use crate::det_attack::{det_crossing_attack, find_label_collision};
     use crate::families;
+    use rpls_bits::BitString;
     use rpls_core::engine;
     use rpls_graph::{cycles, generators};
-    use rpls_bits::BitString;
 
     #[test]
     fn complete_on_paths_at_every_budget() {
@@ -161,7 +161,10 @@ mod tests {
         let crossed = report.crossed.unwrap();
         assert!(cycles::has_cycle(crossed.graph()), "predicate flipped");
         let out = engine::run_deterministic(&scheme, &crossed, &labeling);
-        assert!(out.accepted(), "the verifier is fooled on the crossed graph");
+        assert!(
+            out.accepted(),
+            "the verifier is fooled on the crossed graph"
+        );
     }
 
     #[test]

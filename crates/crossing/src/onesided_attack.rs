@@ -116,8 +116,7 @@ pub fn find_support_collision<S: Rpls + ?Sized>(
     samples: usize,
     seed: u64,
 ) -> Option<(usize, usize)> {
-    let mut seen: std::collections::HashMap<Vec<Support>, usize> =
-        std::collections::HashMap::new();
+    let mut seen: std::collections::HashMap<Vec<Support>, usize> = std::collections::HashMap::new();
     for i in 0..family.copy_count() {
         let sig = copy_support_signature(scheme, family, labeling, i, samples, seed);
         if let Some(&j) = seen.get(&sig) {

@@ -59,7 +59,9 @@ pub fn rounded_distribution<S: Rpls + ?Sized>(
         // counts — exactly mirroring the paper's comparison of true
         // distributions, without floor-rounding noise at the boundaries.
         let mut rng = rand::rngs::StdRng::seed_from_u64(mix_seed(stream_seed, t as u64, 0));
-        *counts.entry(scheme.certify(&view, nb.port, &mut rng)).or_default() += 1;
+        *counts
+            .entry(scheme.certify(&view, nb.port, &mut rng))
+            .or_default() += 1;
     }
     counts
         .into_iter()
@@ -130,8 +132,7 @@ pub fn find_distribution_collision<S: Rpls + ?Sized>(
     let mut seen: std::collections::HashMap<Vec<RoundedDistribution>, usize> =
         std::collections::HashMap::new();
     for i in 0..family.copy_count() {
-        let sig =
-            copy_distribution_signature(scheme, family, labeling, i, epsilon, samples, seed);
+        let sig = copy_distribution_signature(scheme, family, labeling, i, epsilon, samples, seed);
         if let Some(&j) = seen.get(&sig) {
             return Some((j, i));
         }
@@ -217,8 +218,7 @@ mod tests {
         let f = families::acyclicity_path(39);
         let scheme = CompiledRpls::new(ModDistancePls::new(1));
         let labeling = scheme.label(&f.config);
-        let report =
-            twosided_crossing_attack(&scheme, &f, &labeling, 0.01, 800, 120, 4);
+        let report = twosided_crossing_attack(&scheme, &f, &labeling, 0.01, 800, 120, 4);
         assert!(report.collision.is_some());
         assert!(
             report.acceptance_gap() < 1.0 / 3.0,
@@ -234,9 +234,7 @@ mod tests {
         let f = families::acyclicity_path(39);
         let scheme = CompiledRpls::new(ModDistancePls::new(8));
         let labeling = scheme.label(&f.config);
-        assert!(
-            find_distribution_collision(&scheme, &f, &labeling, 0.005, 600, 6).is_none()
-        );
+        assert!(find_distribution_collision(&scheme, &f, &labeling, 0.005, 600, 6).is_none());
     }
 
     #[test]
@@ -247,12 +245,10 @@ mod tests {
         let (a, b) = f.copies.ordered_edges(f.config.graph(), 0)[0];
         // Coarse ε: with hundreds of distinct fingerprints at p ≈ 1/p each,
         // an ε of 1/10 floors every mass to zero.
-        let coarse =
-            rounded_distribution(&scheme, &f.config, &labeling, a, b, 0.1, 500, 1);
+        let coarse = rounded_distribution(&scheme, &f.config, &labeling, a, b, 0.1, 500, 1);
         assert!(coarse.is_empty());
         // Fine ε keeps them.
-        let fine =
-            rounded_distribution(&scheme, &f.config, &labeling, a, b, 0.001, 500, 1);
+        let fine = rounded_distribution(&scheme, &f.config, &labeling, a, b, 0.001, 500, 1);
         assert!(!fine.is_empty());
     }
 }

@@ -51,12 +51,31 @@ impl EqMessage {
     ///
     /// Returns a [`rpls_bits::BitsError`] if `bits` is too short.
     pub fn from_bits(bits: &BitString, p: u64) -> Result<Self, rpls_bits::BitsError> {
+        Self::from_slice(bits.as_slice(), p)
+    }
+
+    /// Parses a message from a borrowed slice (e.g. a certificate viewed
+    /// in-place inside the verification engine's arena).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`rpls_bits::BitsError`] if `bits` is too short.
+    pub fn from_slice(bits: rpls_bits::BitSlice<'_>, p: u64) -> Result<Self, rpls_bits::BitsError> {
         let w = bits_for(p - 1);
-        let mut r = rpls_bits::BitReader::new(bits);
+        let mut r = rpls_bits::BitReader::from_slice(bits);
         Ok(Self {
             point: r.read_u64(w)?,
             value: r.read_u64(w)?,
         })
+    }
+
+    /// Appends the packed message to `out` without allocating, the
+    /// counterpart of [`EqMessage::to_bits`] used by allocation-free
+    /// certificate generation.
+    pub fn append_to(self, p: u64, out: &mut BitString) {
+        let w = bits_for(p - 1);
+        out.push_u64(self.point, w);
+        out.push_u64(self.value, w);
     }
 }
 
@@ -89,7 +108,7 @@ impl EqProtocol {
     #[must_use]
     pub fn with_modulus(lambda: usize, modulus: u64) -> Self {
         assert!(
-            crate::prime::is_prime(modulus),
+            crate::prime::is_prime_cached(modulus),
             "modulus {modulus} must be prime"
         );
         Self { lambda, modulus }

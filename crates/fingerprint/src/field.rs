@@ -5,7 +5,7 @@
 //! modulus alongside the value; mixing elements of different fields is a
 //! programming error and panics.
 
-use crate::prime::{is_prime, mul_mod, pow_mod};
+use crate::prime::{is_prime_cached, mul_mod, pow_mod};
 use rand::Rng;
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
@@ -34,12 +34,14 @@ impl Fp {
     ///
     /// # Panics
     ///
-    /// Panics if `modulus` is not prime (checked with Miller–Rabin in debug
-    /// and release alike: field arithmetic silently breaks on composite
-    /// moduli, which would invalidate every soundness bound downstream).
+    /// Panics if `modulus` is not prime (checked in debug and release
+    /// alike — field arithmetic silently breaks on composite moduli, which
+    /// would invalidate every soundness bound downstream — through a
+    /// memoised Miller–Rabin so hot loops pay an array lookup, not a
+    /// primality test).
     #[must_use]
     pub fn new(value: u64, modulus: u64) -> Self {
-        assert!(is_prime(modulus), "modulus {modulus} must be prime");
+        assert!(is_prime_cached(modulus), "modulus {modulus} must be prime");
         Self {
             value: value % modulus,
             modulus,

@@ -38,7 +38,7 @@ impl BitPolynomial {
     #[must_use]
     pub fn from_bits(bits: &BitString, modulus: u64) -> Self {
         assert!(
-            crate::prime::is_prime(modulus),
+            crate::prime::is_prime_cached(modulus),
             "modulus {modulus} must be prime"
         );
         Self {
@@ -67,15 +67,22 @@ impl BitPolynomial {
     #[must_use]
     pub fn eval(&self, x: Fp) -> Fp {
         assert_eq!(x.modulus(), self.modulus, "evaluation point field mismatch");
-        let mut acc = Fp::zero(self.modulus);
-        // Horner from the highest coefficient down.
+        // Horner from the highest coefficient down, in raw residue
+        // arithmetic: one modular multiply per coefficient, no per-step
+        // element construction.
+        let p = self.modulus;
+        let xv = x.value();
+        let mut acc: u64 = 0;
         for i in (0..self.coeffs.len()).rev() {
-            acc = acc * x;
+            acc = crate::prime::mul_mod(acc, xv, p);
             if self.coeffs.bit(i).expect("index in range") {
-                acc = acc + Fp::one(self.modulus);
+                acc += 1;
+                if acc == p {
+                    acc = 0;
+                }
             }
         }
-        acc
+        Fp::new(acc, p)
     }
 
     /// Upper bound on the collision probability of the fingerprint for
@@ -137,7 +144,7 @@ mod tests {
             .filter(|&x| pa.eval(Fp::new(x, p)) == pb.eval(Fp::new(x, p)))
             .count();
         assert!(
-            collisions <= lambda - 1,
+            collisions < lambda,
             "collisions {collisions} exceed degree bound"
         );
         let bound = pa.collision_bound();

@@ -50,6 +50,34 @@ pub fn is_prime(n: u64) -> bool {
     true
 }
 
+/// Like [`is_prime`] but memoising the most recent primes seen — the field
+/// layer validates its modulus on every element construction, and a
+/// workload only ever touches a handful of moduli, so this turns millions
+/// of Miller–Rabin runs into array lookups. Negative answers are never
+/// cached (composites should stay loud and are never hot).
+#[must_use]
+pub fn is_prime_cached(n: u64) -> bool {
+    use std::cell::Cell;
+    thread_local! {
+        // 0 is composite, so empty slots can never false-positive.
+        static RECENT: Cell<[u64; 8]> = const { Cell::new([0; 8]) };
+    }
+    RECENT.with(|recent| {
+        let mut known = recent.get();
+        if known.contains(&n) {
+            return true;
+        }
+        if is_prime(n) {
+            known.rotate_right(1);
+            known[0] = n;
+            recent.set(known);
+            true
+        } else {
+            false
+        }
+    })
+}
+
 /// `(a * b) mod m` without overflow.
 #[must_use]
 pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
@@ -115,10 +143,24 @@ pub fn next_prime(mut n: u64) -> u64 {
 /// ```
 #[must_use]
 pub fn protocol_prime(lambda: usize) -> u64 {
-    let l = lambda.max(2) as u64;
-    let p = next_prime(3 * l + 1);
-    debug_assert!(p < 6 * l, "Bertrand guarantees a prime in (3λ, 6λ)");
-    p
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    // The verification engine calls this once per certificate generated and
+    // once per certificate checked, always with the handful of λ values the
+    // workload's label sizes induce — memoise per thread.
+    thread_local! {
+        static CACHE: RefCell<HashMap<usize, u64>> = RefCell::new(HashMap::new());
+    }
+    CACHE.with(|cache| {
+        if let Some(&p) = cache.borrow().get(&lambda) {
+            return p;
+        }
+        let l = lambda.max(2) as u64;
+        let p = next_prime(3 * l + 1);
+        debug_assert!(p < 6 * l, "Bertrand guarantees a prime in (3λ, 6λ)");
+        cache.borrow_mut().insert(lambda, p);
+        p
+    })
 }
 
 #[cfg(test)]
@@ -165,8 +207,8 @@ mod tests {
                 }
             }
         }
-        for i in 0..=n {
-            assert_eq!(is_prime(i as u64), sieve[i], "n = {i}");
+        for (i, &expected) in sieve.iter().enumerate() {
+            assert_eq!(is_prime(i as u64), expected, "n = {i}");
         }
     }
 

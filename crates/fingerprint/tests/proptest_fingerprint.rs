@@ -56,7 +56,7 @@ proptest! {
         let collisions = (0..p)
             .filter(|&x| pa.eval(Fp::new(x, p)) == pb.eval(Fp::new(x, p)))
             .count();
-        prop_assert!(collisions <= lambda - 1, "collisions {} > {}", collisions, lambda - 1);
+        prop_assert!(collisions < lambda, "collisions {} >= {}", collisions, lambda);
     }
 
     /// Protocol completeness at arbitrary lengths and seeds.

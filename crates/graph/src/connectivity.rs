@@ -75,10 +75,7 @@ pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
             visited[v.index()] = true;
         }
     }
-    (0..n)
-        .filter(|&i| is_art[i])
-        .map(NodeId::new)
-        .collect()
+    (0..n).filter(|&i| is_art[i]).map(NodeId::new).collect()
 }
 
 fn mark_articulation(t: &DfsTree, is_art: &mut [bool]) {
@@ -172,10 +169,7 @@ mod tests {
     fn path_interior_nodes_are_articulation_points() {
         let g = generators::path(5);
         let arts = articulation_points(&g);
-        assert_eq!(
-            arts,
-            vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]
-        );
+        assert_eq!(arts, vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
         assert!(!is_biconnected(&g));
     }
 

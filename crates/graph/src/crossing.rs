@@ -112,9 +112,11 @@ impl PortIsomorphism {
     pub fn check(&self, g: &Graph, h1: &Subgraph, h2: &Subgraph) -> Result<(), GraphError> {
         // Domain must be exactly V(H1), image exactly V(H2).
         for v in h1.nodes() {
-            let img = self.try_apply(v).ok_or_else(|| GraphError::NotAnIsomorphism {
-                reason: format!("{v} has no image"),
-            })?;
+            let img = self
+                .try_apply(v)
+                .ok_or_else(|| GraphError::NotAnIsomorphism {
+                    reason: format!("{v} has no image"),
+                })?;
             if !h2.contains_node(img) {
                 return Err(GraphError::NotAnIsomorphism {
                     reason: format!("image {img} of {v} lies outside H2"),
@@ -209,9 +211,11 @@ impl IndependentCopies {
         let mut isos = Vec::with_capacity(oriented_edges.len());
         let (a0, b0) = oriented_edges[0];
         for &(a, b) in oriented_edges {
-            let eid = g.edge_between(a, b).ok_or_else(|| GraphError::NotAnIsomorphism {
-                reason: format!("no edge between {a} and {b}"),
-            })?;
+            let eid = g
+                .edge_between(a, b)
+                .ok_or_else(|| GraphError::NotAnIsomorphism {
+                    reason: format!("no edge between {a} and {b}"),
+                })?;
             copies.push(Subgraph::from_edges(g, [eid]));
             isos.push(PortIsomorphism::from_pairs([(a0, a), (b0, b)])?);
         }
@@ -476,10 +480,7 @@ mod tests {
     #[test]
     fn ordered_nodes_follow_sigma() {
         let (_, fam) = path_family(12);
-        assert_eq!(
-            fam.ordered_nodes(1),
-            vec![NodeId::new(6), NodeId::new(7)]
-        );
+        assert_eq!(fam.ordered_nodes(1), vec![NodeId::new(6), NodeId::new(7)]);
     }
 
     #[test]

@@ -337,14 +337,20 @@ mod tests {
     fn path_has_unit_flow() {
         let g = generators::path(5);
         assert_eq!(max_flow_unit(&g, NodeId::new(0), NodeId::new(4)), 1);
-        assert_eq!(vertex_connectivity_st(&g, NodeId::new(0), NodeId::new(4)), 1);
+        assert_eq!(
+            vertex_connectivity_st(&g, NodeId::new(0), NodeId::new(4)),
+            1
+        );
     }
 
     #[test]
     fn cycle_has_two_disjoint_paths() {
         let g = generators::cycle(8);
         assert_eq!(max_flow_unit(&g, NodeId::new(0), NodeId::new(4)), 2);
-        assert_eq!(vertex_connectivity_st(&g, NodeId::new(0), NodeId::new(4)), 2);
+        assert_eq!(
+            vertex_connectivity_st(&g, NodeId::new(0), NodeId::new(4)),
+            2
+        );
     }
 
     #[test]
@@ -353,14 +359,20 @@ mod tests {
         assert_eq!(max_flow_unit(&g, NodeId::new(0), NodeId::new(5)), 5);
         // Vertex connectivity between adjacent nodes in K_n is n-1
         // (the direct edge plus n-2 two-hop paths).
-        assert_eq!(vertex_connectivity_st(&g, NodeId::new(0), NodeId::new(5)), 5);
+        assert_eq!(
+            vertex_connectivity_st(&g, NodeId::new(0), NodeId::new(5)),
+            5
+        );
     }
 
     #[test]
     fn star_routes_through_center() {
         let g = generators::star(5);
         assert_eq!(max_flow_unit(&g, NodeId::new(1), NodeId::new(2)), 1);
-        assert_eq!(vertex_connectivity_st(&g, NodeId::new(1), NodeId::new(2)), 1);
+        assert_eq!(
+            vertex_connectivity_st(&g, NodeId::new(1), NodeId::new(2)),
+            1
+        );
     }
 
     #[test]
@@ -368,7 +380,10 @@ mod tests {
         let g = generators::grid(3, 3);
         // Two disjoint monotone paths exist between opposite corners.
         assert_eq!(max_flow_unit(&g, NodeId::new(0), NodeId::new(8)), 2);
-        assert_eq!(vertex_connectivity_st(&g, NodeId::new(0), NodeId::new(8)), 2);
+        assert_eq!(
+            vertex_connectivity_st(&g, NodeId::new(0), NodeId::new(8)),
+            2
+        );
     }
 
     #[test]
@@ -461,6 +476,9 @@ mod tests {
         }
         let g = b.finish().unwrap();
         assert_eq!(max_flow_unit(&g, NodeId::new(0), NodeId::new(4)), 2);
-        assert_eq!(vertex_connectivity_st(&g, NodeId::new(0), NodeId::new(4)), 1);
+        assert_eq!(
+            vertex_connectivity_st(&g, NodeId::new(0), NodeId::new(4)),
+            1
+        );
     }
 }

@@ -274,13 +274,8 @@ pub fn chain_of_cycles(count: usize, cycle_len: usize) -> Graph {
         let base = k * cycle_len;
         for i in 0..cycle_len {
             let j = (i + 1) % cycle_len;
-            b.add_edge_with_ports(
-                base + i,
-                base + j,
-                Port::from_rank(0),
-                Port::from_rank(1),
-            )
-            .expect("cycle edges are simple");
+            b.add_edge_with_ports(base + i, base + j, Port::from_rank(0), Port::from_rank(1))
+                .expect("cycle edges are simple");
         }
     }
     for k in 0..count.saturating_sub(1) {

@@ -6,7 +6,6 @@ use std::fmt;
 /// One undirected edge, with the port number it occupies at each endpoint
 /// and an optional weight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EdgeRecord {
     /// First endpoint (the one passed first at construction).
     pub u: NodeId,
@@ -267,7 +266,12 @@ impl Graph {
     ) -> Result<Graph, GraphError> {
         let mut b = GraphBuilder::new(node_count);
         for rec in records {
-            b.add_edge_full(rec.u, rec.v, Some((rec.port_at_u, rec.port_at_v)), rec.weight)?;
+            b.add_edge_full(
+                rec.u,
+                rec.v,
+                Some((rec.port_at_u, rec.port_at_v)),
+                rec.weight,
+            )?;
         }
         b.finish()
     }
@@ -450,10 +454,7 @@ impl GraphBuilder {
                 let slots = &mut adjacency[node.index()];
                 if port.rank() >= slots.len() {
                     return Err(GraphError::NotAnIsomorphism {
-                        reason: format!(
-                            "{node} has degree {} but edge uses {port}",
-                            slots.len()
-                        ),
+                        reason: format!("{node} has degree {} but edge uses {port}", slots.len()),
                     });
                 }
                 if slots[port.rank()].is_some() {
@@ -466,7 +467,12 @@ impl GraphBuilder {
         }
         let adjacency = adjacency
             .into_iter()
-            .map(|slots| slots.into_iter().map(|s| s.expect("all slots filled")).collect())
+            .map(|slots| {
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("all slots filled"))
+                    .collect()
+            })
             .collect();
         Ok(Graph {
             adjacency,

@@ -17,7 +17,6 @@ use std::fmt;
 /// assert_eq!(format!("{v}"), "v3");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -48,7 +47,6 @@ impl fmt::Display for NodeId {
 
 /// Structural index of an undirected edge within a [`Graph`](crate::Graph).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EdgeId(u32);
 
 impl EdgeId {
@@ -92,7 +90,6 @@ impl fmt::Display for EdgeId {
 /// assert_eq!(p.rank(), 0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Port(u32);
 
 impl Port {

@@ -217,11 +217,7 @@ mod tests {
                 let z: Vec<bool> = (0..3).map(|i| z_bits >> i & 1 == 1).collect();
                 let z2: Vec<bool> = (0..3).map(|i| z2_bits >> i & 1 == 1).collect();
                 let g = generators::symmetry_pair(&z, &z2);
-                assert_eq!(
-                    is_symmetric(&g),
-                    z == z2,
-                    "z={z_bits:03b} z'={z2_bits:03b}"
-                );
+                assert_eq!(is_symmetric(&g), z == z2, "z={z_bits:03b} z'={z2_bits:03b}");
             }
         }
     }
@@ -259,10 +255,7 @@ mod tests {
     #[test]
     fn induced_subgraph_preserves_edges() {
         let g = generators::cycle(6);
-        let sub = induced_subgraph(
-            &g,
-            &[NodeId::new(0), NodeId::new(1), NodeId::new(2)],
-        );
+        let sub = induced_subgraph(&g, &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
         // Path 0-1-2 survives; the closing edges leave the node set.
         assert_eq!(sub.edge_count(), 2);
     }

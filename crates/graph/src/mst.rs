@@ -14,10 +14,7 @@ use std::collections::BTreeMap;
 /// Total order key for edges: weight first, then index (the tie-breaker that
 /// makes the MST unique).
 fn key(g: &Graph, eid: EdgeId) -> (u64, usize) {
-    (
-        g.edge(eid).weight.expect("weighted graph"),
-        eid.index(),
-    )
+    (g.edge(eid).weight.expect("weighted graph"), eid.index())
 }
 
 fn require_weighted_connected(g: &Graph) -> Result<(), GraphError> {
@@ -199,10 +196,7 @@ pub fn boruvka(g: &Graph) -> Result<BoruvkaHistory, GraphError> {
         // Minimum outgoing edge per fragment.
         let mut mwoe: BTreeMap<u32, EdgeId> = BTreeMap::new();
         for (eid, rec) in g.edges() {
-            let (fu, fv) = (
-                fragment_of[rec.u.index()],
-                fragment_of[rec.v.index()],
-            );
+            let (fu, fv) = (fragment_of[rec.u.index()], fragment_of[rec.v.index()]);
             if fu == fv {
                 continue;
             }

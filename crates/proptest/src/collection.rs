@@ -1,0 +1,98 @@
+//! Collection strategies.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::ops::{Range, RangeInclusive};
+
+/// A half-open range of collection sizes. Exists (as upstream) so that a
+/// bare `0..32` literal in a `vec(...)` call infers as `usize`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            start: *r.start(),
+            end: r.end().checked_add(1).expect("size range end overflows"),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        Self {
+            start: len,
+            end: len + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with a range-driven length.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// A vector whose length is drawn uniformly from `size` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let len = rng.random_range(self.size.start..self.size.end);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nested_vec_of_tuples_samples() {
+        let strat = vec((any::<bool>(), 1u32..5), 0..4);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let v = strat.sample(&mut rng);
+            assert!(v.len() < 4);
+            for (_, x) in v {
+                assert!((1..5).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn inclusive_and_exact_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let v = vec(any::<u8>(), 2..=3).sample(&mut rng);
+            assert!(v.len() == 2 || v.len() == 3);
+            let w = vec(any::<u8>(), 5).sample(&mut rng);
+            assert_eq!(w.len(), 5);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! A vendored, dependency-free subset of the `rand` crate API.
+//!
+//! This workspace builds in fully offline environments, so the handful of
+//! `rand` items the schemes and tests rely on are implemented here:
+//!
+//! * [`Rng`] — the core trait (`next_u32` / `next_u64` / `fill_bytes`),
+//!   object-safe so verifier plumbing can pass `&mut dyn Rng`;
+//! * [`RngExt`] — ergonomic extension methods ([`RngExt::random_range`],
+//!   [`RngExt::random_bool`]), blanket-implemented for every [`Rng`];
+//! * [`SeedableRng`] — deterministic construction from a `u64` seed;
+//! * [`rngs::StdRng`] — a ChaCha12-based generator mirroring the upstream
+//!   `StdRng` (statistically strong, deliberately *not* stream-compatible
+//!   with any particular upstream release, exactly like upstream's own
+//!   cross-version policy).
+//!
+//! Everything is deterministic and seedable: there is no OS entropy source
+//! here on purpose — reproducibility is a correctness requirement for the
+//! proof-labeling experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+use core::ops::{Range, RangeInclusive};
+
+/// A source of random bits. Object-safe: engine plumbing passes
+/// `&mut dyn Rng` so scheme implementations do not depend on a concrete
+/// generator type.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// A range that can be sampled uniformly. Implemented for half-open and
+/// inclusive ranges over the unsigned integer types the workspace uses
+/// (`u8`, `u16`, `u32`, `u64`, `usize`).
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, width)` by rejection sampling (exact, no modulo
+/// bias). `width == 0` encodes the full 64-bit range.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, width: u64) -> u64 {
+    if width == 0 {
+        return rng.next_u64();
+    }
+    // Largest multiple of `width` that fits in u64; values at or above it
+    // would bias the low residues.
+    let zone = u64::MAX - (u64::MAX - width + 1) % width;
+    loop {
+        let x = rng.next_u64();
+        if x <= zone {
+            return x % width;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let width = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, width) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                // Width 0 after wrapping means the full domain.
+                let width = (end as u64)
+                    .wrapping_sub(start as u64)
+                    .wrapping_add(1);
+                start.wrapping_add(uniform_below(rng, width) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Convenience methods on any [`Rng`], mirroring the upstream `Rng`
+/// extension surface this workspace uses.
+pub trait RngExt: Rng {
+    /// A uniform sample from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        // 53 uniform mantissa bits, the standard double-precision trick.
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u64 = rng.random_range(5..=5);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn random_range_covers_small_ranges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn fill_bytes_fills_everything() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 37];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn dyn_rng_is_usable() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dynr: &mut dyn Rng = &mut rng;
+        let a = dynr.next_u64();
+        let b = dynr.random_range(0u64..100);
+        assert!(b < 100);
+        let _ = a;
+    }
+
+    #[test]
+    fn inclusive_full_domain_does_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _: u64 = rng.random_range(0..=u64::MAX);
+        let x: u8 = rng.random_range(0..=u8::MAX);
+        let _ = x;
+    }
+}

@@ -130,9 +130,9 @@ mod tests {
     #[test]
     fn predicate_matches_ground_truth() {
         assert!(AcyclicityPredicate.holds(&Configuration::plain(generators::path(6))));
-        assert!(AcyclicityPredicate.holds(&Configuration::plain(
-            generators::balanced_binary_tree(3)
-        )));
+        assert!(
+            AcyclicityPredicate.holds(&Configuration::plain(generators::balanced_binary_tree(3)))
+        );
         assert!(!AcyclicityPredicate.holds(&Configuration::plain(generators::cycle(6))));
     }
 

@@ -225,8 +225,7 @@ impl Pls for BiconnectivityPls {
         for nl in &nbs {
             if nl.dist < own.dist {
                 // An ancestor: our span strictly inside theirs.
-                if !(nl.span_lo <= own.span_lo && own.span_hi <= nl.span_hi && nl.preo < own.preo)
-                {
+                if !(nl.span_lo <= own.span_lo && own.span_hi <= nl.span_hi && nl.preo < own.preo) {
                     return false;
                 }
             } else if !(own.span_lo <= nl.span_lo

@@ -109,9 +109,9 @@ impl Pls for ColoringPls {
         if Some(own) != decode_color(view.local.state.payload()) {
             return false;
         }
-        view.neighbor_labels.iter().all(|l| {
-            matches!(decode_color(l), Some(c) if c != own)
-        })
+        view.neighbor_labels
+            .iter()
+            .all(|l| matches!(decode_color(l), Some(c) if c != own))
     }
 }
 

@@ -99,8 +99,7 @@ fn longest_cycle_nodes(g: &rpls_graph::Graph) -> Option<Vec<NodeId>> {
     ) -> bool {
         for nb in g.neighbors(v) {
             let w = nb.node;
-            if w == start && path.len() >= 3 && best.as_ref().is_none_or(|b| path.len() > b.len())
-            {
+            if w == start && path.len() >= 3 && best.as_ref().is_none_or(|b| path.len() > b.len()) {
                 *best = Some(path.clone());
                 if path.len() == g.node_count() {
                     return true;
@@ -180,9 +179,9 @@ impl Pls for CycleAtLeastPls {
         let c = self.c as u64;
         if dist == 0 {
             // P1: a successor and a predecessor on the cycle.
-            let successor = parsed.iter().any(|&(d, i)| {
-                d == 0 && (i == index + 1 || (index >= c - 1 && i == 0))
-            });
+            let successor = parsed
+                .iter()
+                .any(|&(d, i)| d == 0 && (i == index + 1 || (index >= c - 1 && i == 0)));
             let predecessor = parsed.iter().any(|&(d, i)| {
                 d == 0 && (index > 0 && i == index - 1 || (index == 0 && i >= c - 1))
             });

@@ -164,8 +164,8 @@ impl Pls for FlowPls {
                     continue;
                 }
                 let traversable = match usage.get(&nb.edge.index()) {
-                    None => true,                      // unused: both ways
-                    Some(&(_, from)) => from != v,     // used: only backwards
+                    None => true,                  // unused: both ways
+                    Some(&(_, from)) => from != v, // used: only backwards
                 };
                 if traversable {
                     side[nb.node.index()] = true;

@@ -106,9 +106,7 @@ impl Pls for LeaderPls {
         let leader_id = config.state(leader).id();
         let bfs = traversal::bfs(g, leader);
         g.nodes()
-            .map(|v| {
-                encode_label(leader_id, bfs.dist[v.index()].expect("connected") as u64)
-            })
+            .map(|v| encode_label(leader_id, bfs.dist[v.index()].expect("connected") as u64))
             .collect()
     }
 

@@ -183,8 +183,7 @@ impl MstLabel {
         let w_id = u32::try_from(r.read_u64(WIDTH_BITS).ok()?).ok()?;
         let w_dist = u32::try_from(r.read_u64(WIDTH_BITS).ok()?).ok()?;
         let w_weight = u32::try_from(r.read_u64(WIDTH_BITS).ok()?).ok()?;
-        if w_id == 0 || w_id > 64 || w_dist == 0 || w_dist > 64 || w_weight == 0 || w_weight > 64
-        {
+        if w_id == 0 || w_id > 64 || w_dist == 0 || w_dist > 64 || w_weight == 0 || w_weight > 64 {
             return None;
         }
         let levels_minus_1 = r.read_u64(LEVEL_BITS).ok()? as usize;
@@ -317,13 +316,10 @@ impl Pls for MstPls {
                 let chosen = g
                     .edges()
                     .filter(|&(eid, rec)| {
-                        in_tree.contains(&eid)
-                            && rec.weight == Some(w)
-                            && {
-                                let (a, b) =
-                                    (frag_of[rec.u.index()], frag_of[rec.v.index()]);
-                                (a == f) != (b == f)
-                            }
+                        in_tree.contains(&eid) && rec.weight == Some(w) && {
+                            let (a, b) = (frag_of[rec.u.index()], frag_of[rec.v.index()]);
+                            (a == f) != (b == f)
+                        }
                     })
                     .min_by_key(|&(eid, _)| eid)
                     .expect("an MST achieves the minimum outgoing weight with a tree edge");
@@ -402,9 +398,9 @@ impl Pls for MstPls {
                 }
             } else {
                 // Some same-fragment neighbor is closer to the leader.
-                let witness = neighbors.iter().any(|nl| {
-                    nl.levels[l].frag == rec.frag && nl.levels[l].dist == rec.dist - 1
-                });
+                let witness = neighbors
+                    .iter()
+                    .any(|nl| nl.levels[l].frag == rec.frag && nl.levels[l].dist == rec.dist - 1);
                 if !witness {
                     return false;
                 }
@@ -440,8 +436,8 @@ impl Pls for MstPls {
         // V5: the parent edge is cut-minimal at its merge level.
         if let Some(port) = parent_port {
             let parent = &neighbors[port.rank()];
-            let Some(merge_level) = (0..=last)
-                .find(|&l| parent.levels[l].frag == own.levels[l].frag)
+            let Some(merge_level) =
+                (0..=last).find(|&l| parent.levels[l].frag == own.levels[l].frag)
             else {
                 return false;
             };
@@ -533,8 +529,12 @@ mod tests {
         // Cycle with one heavy edge: the tree containing it is not minimal.
         let g = generators::cycle(5).with_weights(&[1, 2, 3, 4, 100]);
         let base = Configuration::plain(g);
-        let heavy_tree: Vec<EdgeId> =
-            vec![EdgeId::new(0), EdgeId::new(1), EdgeId::new(2), EdgeId::new(4)];
+        let heavy_tree: Vec<EdgeId> = vec![
+            EdgeId::new(0),
+            EdgeId::new(1),
+            EdgeId::new(2),
+            EdgeId::new(4),
+        ];
         let c = install_tree(&base, &heavy_tree);
         assert!(!MstPredicate.holds(&c));
         // The honest MST on the same graph passes.
@@ -570,7 +570,12 @@ mod tests {
         let base = Configuration::plain(g);
         let bad = install_tree(
             &base,
-            &[EdgeId::new(0), EdgeId::new(1), EdgeId::new(2), EdgeId::new(4)],
+            &[
+                EdgeId::new(0),
+                EdgeId::new(1),
+                EdgeId::new(2),
+                EdgeId::new(4),
+            ],
         );
         // Labels must exist even for illegal configs to run the verifier;
         // reuse the honest labeler of the *good* configuration (same graph).
@@ -587,8 +592,7 @@ mod tests {
         let bad = install_tree(&base, &[EdgeId::new(0), EdgeId::new(1), EdgeId::new(3)]);
         assert!(!MstPredicate.holds(&bad));
         let mut rng = StdRng::seed_from_u64(3);
-        let report =
-            rpls_core::adversary::random_forge(&MstPls, &bad, 40, 30, 300, &mut rng);
+        let report = rpls_core::adversary::random_forge(&MstPls, &bad, 40, 30, 300, &mut rng);
         assert!(!report.succeeded(), "forged a non-MST certificate");
     }
 
@@ -627,8 +631,16 @@ mod tests {
             root_id: 3,
             depth: 2,
             levels: vec![
-                LevelRecord { frag: 3, dist: 0, mwoe: 17 },
-                LevelRecord { frag: 1, dist: 4, mwoe: 0 },
+                LevelRecord {
+                    frag: 3,
+                    dist: 0,
+                    mwoe: 17,
+                },
+                LevelRecord {
+                    frag: 1,
+                    dist: 4,
+                    mwoe: 0,
+                },
             ],
         };
         let decoded = MstLabel::decode(&label.encode()).unwrap();

@@ -179,8 +179,7 @@ impl Pls for SpanningTreePls {
             match decode_pointer(config.state(v).payload()) {
                 Some(None) => root = v,
                 Some(Some(port)) => {
-                    parent[v.index()] =
-                        g.neighbor_by_port(v, port).map(|nb| nb.node);
+                    parent[v.index()] = g.neighbor_by_port(v, port).map(|nb| nb.node);
                 }
                 None => {}
             }
@@ -202,9 +201,7 @@ impl Pls for SpanningTreePls {
                 dist[u.index()] = d;
             }
         }
-        (0..n)
-            .map(|v| encode_label(root_id, dist[v]))
-            .collect()
+        (0..n).map(|v| encode_label(root_id, dist[v])).collect()
     }
 
     fn verify(&self, view: &DetView<'_>) -> bool {
@@ -248,11 +245,7 @@ mod tests {
     use rpls_graph::generators;
 
     fn legal_config(n: usize) -> Configuration {
-        let base = Configuration::plain(generators::gnp_connected(
-            n,
-            0.2,
-            &mut rand_rng(n as u64),
-        ));
+        let base = Configuration::plain(generators::gnp_connected(n, 0.2, &mut rand_rng(n as u64)));
         spanning_tree_config(&base, NodeId::new(0))
     }
 
@@ -286,8 +279,10 @@ mod tests {
     fn predicate_rejects_two_roots() {
         let g = generators::path(2);
         let mut c = Configuration::plain(g);
-        c.state_mut(NodeId::new(0)).set_payload(encode_pointer(None));
-        c.state_mut(NodeId::new(1)).set_payload(encode_pointer(None));
+        c.state_mut(NodeId::new(0))
+            .set_payload(encode_pointer(None));
+        c.state_mut(NodeId::new(1))
+            .set_payload(encode_pointer(None));
         assert!(!SpanningTreePredicate.holds(&c));
     }
 

@@ -98,7 +98,8 @@ mod tests {
         let c = uniform_config(&base, &random_payload(32, 1));
         assert!(UniformityPredicate.holds(&c));
         let mut bad = c.clone();
-        bad.state_mut(NodeId::new(3)).set_payload(BitString::zeros(32));
+        bad.state_mut(NodeId::new(3))
+            .set_payload(BitString::zeros(32));
         assert!(!UniformityPredicate.holds(&bad));
     }
 
@@ -114,7 +115,8 @@ mod tests {
     fn deviating_node_detected_deterministically() {
         let base = Configuration::plain(generators::path(4));
         let mut c = uniform_config(&base, &random_payload(16, 3));
-        c.state_mut(NodeId::new(2)).set_payload(random_payload(16, 4));
+        c.state_mut(NodeId::new(2))
+            .set_payload(random_payload(16, 4));
         // No labeling works: each node's label is pinned to its payload.
         let labeling = UniformityPls.label(&c);
         assert!(!engine::run_deterministic(&UniformityPls, &c, &labeling).accepted());
@@ -138,14 +140,19 @@ mod tests {
         let rec = engine::run_randomized(&scheme, &c, &labeling, 9);
         assert!(rec.outcome.accepted());
         // κ = 4096 → λ = 4128 → p < 6λ < 2^15 → cert ≤ 30 bits.
-        assert!(rec.max_certificate_bits() <= 30, "{}", rec.max_certificate_bits());
+        assert!(
+            rec.max_certificate_bits() <= 30,
+            "{}",
+            rec.max_certificate_bits()
+        );
     }
 
     #[test]
     fn compiled_detects_deviation_probabilistically() {
         let base = Configuration::plain(generators::path(5));
         let mut c = uniform_config(&base, &random_payload(64, 7));
-        c.state_mut(NodeId::new(2)).set_payload(random_payload(64, 8));
+        c.state_mut(NodeId::new(2))
+            .set_payload(random_payload(64, 8));
         let scheme = CompiledRpls::new(UniformityPls);
         // Labels from the prover run on the illegal config still pin each
         // node's claimed own-label to its payload; the replicas disagree

@@ -360,8 +360,7 @@ impl Pls for StConnectivityPls {
             })
         } else {
             // A non-terminal node carries at most one path, once through.
-            per_path.len() <= 1
-                && per_path.values().all(|&(out, inn)| out == 1 && inn == 1)
+            per_path.len() <= 1 && per_path.values().all(|&(out, inn)| out == 1 && inn == 1)
         }
     }
 }
@@ -444,8 +443,9 @@ mod tests {
     #[test]
     fn compiled_scheme_round_trip() {
         let c = Configuration::plain(generators::grid(3, 4));
-        let scheme =
-            CompiledRpls::new(StConnectivityPls::new(StConnectivityPredicate::new(0, 11, 2)));
+        let scheme = CompiledRpls::new(StConnectivityPls::new(StConnectivityPredicate::new(
+            0, 11, 2,
+        )));
         let labels = scheme.label(&c);
         let rec = engine::run_randomized(&scheme, &c, &labels, 13);
         assert!(rec.outcome.accepted());

@@ -43,8 +43,7 @@ fn main() {
         match &report.crossed {
             Some(crossed) => {
                 let acyclic = cycles::is_forest(crossed.graph());
-                let verdict =
-                    engine::run_deterministic(&scheme, crossed, &labeling).accepted();
+                let verdict = engine::run_deterministic(&scheme, crossed, &labeling).accepted();
                 let fooled = verdict && !acyclic;
                 println!(
                     "{:>7} {:>10} {:>10} {:>16} {:>17} {:>14}",

@@ -18,7 +18,10 @@ use rpls::schemes::mst::{install_tree, mst_config, MstPls, MstPredicate};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(77);
-    println!("{:>5} {:>12} {:>14} {:>12}", "n", "det bits", "cert bits", "verdict");
+    println!(
+        "{:>5} {:>12} {:>14} {:>12}",
+        "n", "det bits", "cert bits", "verdict"
+    );
     for n in [16usize, 32, 64, 128] {
         let g = generators::gnp_connected(n, (6.0 / n as f64).min(0.8), &mut rng);
         let w = generators::random_weights(&g, (n * n) as u64, &mut rng);
@@ -34,7 +37,11 @@ fn main() {
             n,
             det_bits,
             rec.max_certificate_bits(),
-            if rec.outcome.accepted() { "accept" } else { "reject" }
+            if rec.outcome.accepted() {
+                "accept"
+            } else {
+                "reject"
+            }
         );
     }
 
@@ -56,7 +63,11 @@ fn main() {
     let det_out = engine::run_deterministic(&MstPls::new(), &tampered, &honest_labels);
     println!(
         "deterministic verifier on tampered tree: {} ({} rejecting nodes)",
-        if det_out.accepted() { "ACCEPTED (!)" } else { "rejected" },
+        if det_out.accepted() {
+            "ACCEPTED (!)"
+        } else {
+            "rejected"
+        },
         det_out.rejecting_nodes().len()
     );
 

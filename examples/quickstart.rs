@@ -43,7 +43,11 @@ fn main() {
     println!(
         "deterministic PLS:  label size = {:>3} bits/node, verdict = {}",
         det_labels.max_bits(),
-        if outcome.accepted() { "accept" } else { "reject" }
+        if outcome.accepted() {
+            "accept"
+        } else {
+            "reject"
+        }
     );
 
     // 3. Theorem 3.1: compile it. Only fingerprints travel now.
@@ -53,7 +57,11 @@ fn main() {
     println!(
         "compiled RPLS:      certificate = {:>3} bits/edge, verdict = {}",
         record.max_certificate_bits(),
-        if record.outcome.accepted() { "accept" } else { "reject" }
+        if record.outcome.accepted() {
+            "accept"
+        } else {
+            "reject"
+        }
     );
     println!(
         "communication drop: {} -> {} bits ({}x)\n",
@@ -71,7 +79,11 @@ fn main() {
     let still_legal = SpanningTreePredicate::new().holds(&corrupted);
     println!(
         "after corrupting v5's parent pointer the predicate {}",
-        if still_legal { "STILL HOLDS (corruption was harmless)" } else { "fails" }
+        if still_legal {
+            "STILL HOLDS (corruption was harmless)"
+        } else {
+            "fails"
+        }
     );
     if !still_legal {
         let det_outcome = engine::run_deterministic(&det, &corrupted, &det_labels);
@@ -81,8 +93,6 @@ fn main() {
             det_outcome.rejecting_nodes()
         );
         let acc = stats::acceptance_probability(&compiled, &corrupted, &rpls_labels, 500, 7);
-        println!(
-            "randomized verifier:    acceptance probability {acc:.3} (soundness bound 1/3)"
-        );
+        println!("randomized verifier:    acceptance probability {acc:.3} (soundness bound 1/3)");
     }
 }

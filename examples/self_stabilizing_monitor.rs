@@ -35,9 +35,7 @@ fn main() {
         let fault = round % 4 == 0;
         if fault {
             let culprit = NodeId::new(rng.random_range(1..n));
-            config
-                .state_mut(culprit)
-                .set_payload(encode_flag(true));
+            config.state_mut(culprit).set_payload(encode_flag(true));
             println!("round {round:>2}: FAULT — {culprit} claims leadership");
         }
 
@@ -48,7 +46,11 @@ fn main() {
             "round {round:>2}: predicate {} | det verifier {} | rpls verifier {}",
             if healthy { "ok  " } else { "BAD " },
             if det.accepted() { "accept" } else { "REJECT" },
-            if rnd.outcome.accepted() { "accept" } else { "REJECT" },
+            if rnd.outcome.accepted() {
+                "accept"
+            } else {
+                "REJECT"
+            },
         );
 
         // Detection triggers recovery: re-elect node 0 and re-label.

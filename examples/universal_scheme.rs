@@ -58,8 +58,16 @@ fn main() {
     let ld = FnLocalDecision::new("diameter-ld", 2, |_ball| true);
     println!(
         "LD(2) baseline:    legal {} | illegal {}   (cannot distinguish)",
-        if run_local_decision(&ld, &legal).accepted() { "accept" } else { "reject" },
-        if run_local_decision(&ld, &illegal).accepted() { "accept" } else { "reject" },
+        if run_local_decision(&ld, &legal).accepted() {
+            "accept"
+        } else {
+            "reject"
+        },
+        if run_local_decision(&ld, &illegal).accepted() {
+            "accept"
+        } else {
+            "reject"
+        },
     );
 
     // 2. Universal deterministic scheme: labels hold the whole network.
@@ -80,14 +88,16 @@ fn main() {
         "universal RPLS:    certificate = {} bits/edge ({} bits total per round), verdict = {}",
         rec.max_certificate_bits(),
         rec.total_certificate_bits(),
-        if rec.outcome.accepted() { "accept" } else { "reject" }
+        if rec.outcome.accepted() {
+            "accept"
+        } else {
+            "reject"
+        }
     );
 
     // 4. Replay the legal proof on the illegal network.
     let acc = stats::acceptance_probability(&rpls, &illegal, &rpls_labels, 400, 3);
-    println!(
-        "\nreplaying the legal proof on the illegal network: acceptance {acc:.3}"
-    );
+    println!("\nreplaying the legal proof on the illegal network: acceptance {acc:.3}");
     println!("(every node compares the claimed network against its own neighborhood;");
     println!(" the path cannot impersonate the grid anywhere)");
 }

@@ -4,7 +4,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rpls::core::{adversary, engine, stats, CompiledRpls, Configuration, Labeling, Predicate, Rpls};
+use rpls::core::{
+    adversary, engine, stats, CompiledRpls, Configuration, Labeling, Predicate, Rpls,
+};
 use rpls::graph::{generators, NodeId};
 
 #[test]
@@ -50,8 +52,7 @@ fn biconnectivity_star_resists_hill_climbing() {
     use rpls::schemes::biconnectivity::BiconnectivityPls;
     let config = Configuration::plain(generators::star(4));
     let mut rng = StdRng::seed_from_u64(5);
-    let report =
-        adversary::random_forge(&BiconnectivityPls::new(), &config, 50, 25, 400, &mut rng);
+    let report = adversary::random_forge(&BiconnectivityPls::new(), &config, 50, 25, 400, &mut rng);
     assert!(!report.succeeded());
 }
 
@@ -87,7 +88,10 @@ fn under_provisioned_scheme_is_forgeable_where_theory_says_so() {
     let config = Configuration::plain(generators::cycle(6));
     let scheme = ModDistancePls::new(1);
     let found = adversary::exhaustive_forge(&scheme, &config, 1);
-    assert!(found.is_some(), "alternating labels must fool the mod-2 check");
+    assert!(
+        found.is_some(),
+        "alternating labels must fool the mod-2 check"
+    );
     let labeling = found.unwrap();
     assert!(engine::run_deterministic(&scheme, &config, &labeling).accepted());
 }

@@ -67,13 +67,15 @@ fn mst_full_pipeline() {
 #[test]
 fn biconnectivity_full_pipeline() {
     use rpls::schemes::biconnectivity::*;
-    for g in [generators::wheel(12), generators::complete(6), generators::grid(3, 5)] {
+    for g in [
+        generators::wheel(12),
+        generators::complete(6),
+        generators::grid(3, 5),
+    ] {
         let config = Configuration::plain(g);
         assert!(BiconnectivityPredicate::new().holds(&config));
         let labels = BiconnectivityPls::new().label(&config);
-        assert!(
-            engine::run_deterministic(&BiconnectivityPls::new(), &config, &labels).accepted()
-        );
+        assert!(engine::run_deterministic(&BiconnectivityPls::new(), &config, &labels).accepted());
     }
     // A graph with an articulation point is rejected under any of the
     // honest label assignments computed for related legal graphs.

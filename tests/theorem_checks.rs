@@ -101,7 +101,7 @@ fn theorem_5_6_chain_crossing_geometry() {
 /// a round must not correlate them, unlike the shared-stream mode.
 #[test]
 fn definition_4_5_edge_independence_modes_differ() {
-    use rand::rngs::StdRng;
+    use rand::Rng;
     use rpls::core::{CertView, RandView};
     use rpls::graph::Port;
 
@@ -113,8 +113,7 @@ fn definition_4_5_edge_independence_modes_differ() {
         fn label(&self, config: &Configuration) -> Labeling {
             Labeling::empty(config.node_count())
         }
-        fn certify(&self, _v: &CertView<'_>, _p: Port, rng: &mut StdRng) -> BitString {
-            use rand::Rng;
+        fn certify(&self, _v: &CertView<'_>, _p: Port, rng: &mut dyn Rng) -> BitString {
             BitString::from_bools((0..8).map(|_| rng.next_u64() & 1 == 1))
         }
         fn verify(&self, _v: &RandView<'_>) -> bool {
