@@ -257,18 +257,22 @@ struct AcceptanceResult {
     scheme: String,
     trials: usize,
     fast_secs: f64,
+    unprepared_secs: f64,
     baseline_secs: f64,
     parallel_secs: f64,
     speedup: f64,
+    prepared_speedup: f64,
     parallel_speedup: f64,
     serial_estimate: f64,
     parallel_estimate: f64,
 }
 
-/// One acceptance-probability workload: fast serial, parallel, and
-/// alloc-baseline runners over the same scheme and labeling.
+/// One acceptance-probability workload: fast serial (prepared), unprepared
+/// per-round, parallel, and alloc-baseline runners over the same scheme and
+/// labeling.
 trait Workload {
     fn fast(&self, trials: usize, seed: u64) -> f64;
+    fn unprepared(&self, trials: usize, seed: u64) -> f64;
     fn parallel(&self, trials: usize, seed: u64) -> f64;
     fn baseline(&self, trials: usize, seed: u64) -> f64;
 }
@@ -288,6 +292,27 @@ impl<S: Rpls + Sync> Workload for SchemeWorkload<'_, S> {
             trials,
             seed,
         )
+    }
+    /// The pre-prepared-layer estimator (the PR-1 shape): the scratch-reuse
+    /// engine, but re-parsing labels and rebuilding polynomials every
+    /// round. Uses the same per-trial seed derivation as
+    /// `acceptance_probability`, so the estimate must come out identical.
+    fn unprepared(&self, trials: usize, seed: u64) -> f64 {
+        let mut scratch = RoundScratch::new();
+        let accepts = (0..trials)
+            .filter(|&t| {
+                engine::run_randomized_with(
+                    self.scheme,
+                    self.config,
+                    self.labeling,
+                    rpls_core::stats::trial_seed(seed, t as u64),
+                    StreamMode::EdgeIndependent,
+                    &mut scratch,
+                )
+                .accepted
+            })
+            .count();
+        accepts as f64 / trials as f64
     }
     fn parallel(&self, trials: usize, seed: u64) -> f64 {
         rpls_core::stats::acceptance_probability_par(
@@ -328,27 +353,39 @@ fn bench_acceptance_10k(results: &mut Vec<AcceptanceResult>) {
         let parallel_secs = t1.elapsed().as_secs_f64();
 
         let t2 = Instant::now();
+        let unprepared_estimate = w.unprepared(trials, seed);
+        let unprepared_secs = t2.elapsed().as_secs_f64();
+
+        let t3 = Instant::now();
         let _ = w.baseline(trials, seed);
-        let baseline_secs = t2.elapsed().as_secs_f64();
+        let baseline_secs = t3.elapsed().as_secs_f64();
 
         println!(
-            "bench: acceptance_10k_cycle256/{name} ... fast {fast_secs:.3}s | parallel \
-             {parallel_secs:.3}s | alloc-baseline {baseline_secs:.3}s | speedup {:.2}x | \
-             parallel speedup {:.2}x",
+            "bench: acceptance_10k_cycle256/{name} ... fast {fast_secs:.3}s | unprepared \
+             {unprepared_secs:.3}s | parallel {parallel_secs:.3}s | alloc-baseline \
+             {baseline_secs:.3}s | speedup {:.2}x | prepared speedup {:.2}x | parallel speedup \
+             {:.2}x",
             baseline_secs / fast_secs,
+            unprepared_secs / fast_secs,
             baseline_secs / parallel_secs,
         );
         assert!(
             serial_estimate == parallel_estimate,
             "serial and parallel estimates must be bit-identical"
         );
+        assert!(
+            serial_estimate == unprepared_estimate,
+            "prepared and unprepared estimates must be bit-identical"
+        );
         results.push(AcceptanceResult {
             scheme: name.to_string(),
             trials,
             fast_secs,
+            unprepared_secs,
             baseline_secs,
             parallel_secs,
             speedup: baseline_secs / fast_secs,
+            prepared_speedup: unprepared_secs / fast_secs,
             parallel_speedup: baseline_secs / parallel_secs,
             serial_estimate,
             parallel_estimate,
@@ -399,15 +436,17 @@ fn write_json(rows: &[MatrixRow], acceptance: &[AcceptanceResult]) {
         let _ = writeln!(
             out,
             "    {{\"scheme\": \"{}\", \"trials\": {}, \"fast_secs\": {:.4}, \
-             \"baseline_secs\": {:.4}, \"parallel_secs\": {:.4}, \"speedup\": {:.2}, \
-             \"parallel_speedup\": {:.2}, \"serial_estimate\": {}, \"parallel_estimate\": {}, \
-             \"estimates_identical\": {}}}{}",
+             \"unprepared_secs\": {:.4}, \"baseline_secs\": {:.4}, \"parallel_secs\": {:.4}, \
+             \"speedup\": {:.2}, \"prepared_speedup\": {:.2}, \"parallel_speedup\": {:.2}, \
+             \"serial_estimate\": {}, \"parallel_estimate\": {}, \"estimates_identical\": {}}}{}",
             a.scheme,
             a.trials,
             a.fast_secs,
+            a.unprepared_secs,
             a.baseline_secs,
             a.parallel_secs,
             a.speedup,
+            a.prepared_speedup,
             a.parallel_speedup,
             a.serial_estimate,
             a.parallel_estimate,

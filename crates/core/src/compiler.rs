@@ -25,13 +25,34 @@
 //! labels, the inner verifier rejects somewhere (it cannot be fooled); if
 //! they are inconsistent on some edge, the equality protocol catches that
 //! edge with probability `> 2/3`.
+//!
+//! # The prepared fast path
+//!
+//! The straight [`Rpls::certify_into`]/[`Rpls::verify`] implementations
+//! re-parse the replicated label and rebuild the fingerprint polynomial on
+//! every call — fine for one round, ruinous for a 10k-trial Monte-Carlo
+//! estimate. [`Rpls::prepare`] is overridden here to hoist all of that out
+//! of the round loop: per labeling, each replicated label is parsed once,
+//! each inner label length-prefixed once, one [`PreparedEq`] built per
+//! node for the prover side and one per claimed neighbor copy for the
+//! verifier side (with full evaluation tables at Monte-Carlo trial
+//! counts), and the randomness-independent inner verdict memoised. Each
+//! (node, port, trial) then costs one random field element plus one
+//! polynomial evaluation. The prepared path is transcript-identical to the
+//! unprepared one — `tests/engine_golden.rs` pins it.
 
+use crate::buffer::Received;
 use crate::labeling::Labeling;
-use crate::scheme::{CertView, DetView, ErrorSides, Pls, RandView, Rpls};
+use crate::scheme::{CertView, DetView, ErrorSides, Pls, PreparedRpls, RandView, Rpls};
 use crate::state::Configuration;
 use rand::Rng;
 use rpls_bits::{BitReader, BitString, BitWriter};
-use rpls_fingerprint::{EqMessage, EqProtocol};
+use rpls_fingerprint::{EqMessage, EqProtocol, PreparedEq};
+use rpls_graph::NodeId;
+use std::cell::OnceCell;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Length-prefix width used both in the replicated label layout and in the
 /// fingerprinted encoding of an inner label.
@@ -194,11 +215,10 @@ impl<S: Pls> Rpls for CompiledRpls<S> {
             let Ok(msg) = EqMessage::from_slice(received, proto.modulus()) else {
                 return false;
             };
-            if msg.point >= proto.modulus() {
-                return false;
-            }
             // Check the fingerprint against the *claimed* label of the
-            // neighbor on this port.
+            // neighbor on this port. `bob_accepts` is total: an
+            // out-of-field point in a malformed certificate rejects rather
+            // than panicking, so no pre-check is needed here.
             if !proto.bob_accepts(&length_prefixed(&parts[i + 1]), &msg) {
                 return false;
             }
@@ -212,6 +232,191 @@ impl<S: Pls> Rpls for CompiledRpls<S> {
             neighbor_labels,
         };
         self.inner.verify(&det)
+    }
+
+    fn prepare<'a>(
+        &'a self,
+        config: &'a Configuration,
+        labeling: &'a Labeling,
+        rounds_hint: usize,
+    ) -> Box<dyn PreparedRpls + 'a> {
+        assert_eq!(
+            labeling.len(),
+            config.node_count(),
+            "one label per node required"
+        );
+        // Fingerprint preparations are shared by (modulus, fingerprinted
+        // string): under an honest labeling, node v's inner label is
+        // prepared once as v's prover polynomial and once per neighbor's
+        // claimed copy — identical inputs, one table. The map also
+        // enforces an aggregate cap on evaluation-table memory (entries of
+        // `u64`, so 2²³ ≈ 64 MiB): each table is already capped
+        // individually inside `EqProtocol::prepare`, but an adversarial
+        // labeling can declare a large κ on *every* node and multiply
+        // per-table cost by nodes × ports. Once the budget is spent, later
+        // fingerprints fall back to per-round Horner — values are
+        // identical either way, so transcripts do not depend on sharing or
+        // on where the budget runs out.
+        let mut table_budget: u64 = 1 << 23;
+        let mut shared: HashMap<(u64, BitString), Rc<PreparedEq>> = HashMap::new();
+        let mut prepare_eq = |proto: &EqProtocol, input: BitString| -> Option<Rc<PreparedEq>> {
+            match shared.entry((proto.modulus(), input)) {
+                Entry::Occupied(e) => Some(Rc::clone(e.get())),
+                Entry::Vacant(e) => {
+                    let hint = if table_budget >= proto.modulus() {
+                        rounds_hint
+                    } else {
+                        0
+                    };
+                    let prep = Rc::new(proto.prepare(&e.key().1, hint)?);
+                    if prep.has_table() {
+                        table_budget -= proto.modulus();
+                    }
+                    Some(Rc::clone(e.insert(prep)))
+                }
+            }
+        };
+        let nodes = config
+            .graph()
+            .nodes()
+            .map(|v| {
+                let label = labeling.get(v);
+                // Prover side: the (κ, own-label) prefix, parsed and
+                // fingerprint-prepared once. A malformed prefix keeps the
+                // unprepared behaviour — empty certificates, no randomness
+                // drawn.
+                let prover = parse_own_label(label).map(|(kappa, own)| {
+                    prepare_eq(
+                        &EqProtocol::for_length(LEN_BITS as usize + kappa),
+                        length_prefixed(&own),
+                    )
+                    .expect("own label length is bounded by κ")
+                });
+                // Verifier side: the full replication, with one prepared
+                // fingerprint per claimed neighbor copy.
+                let verifier = match parse_replicated(label) {
+                    Some((kappa, parts)) if parts.len() == config.graph().degree(v) + 1 => {
+                        let proto = EqProtocol::for_length(LEN_BITS as usize + kappa);
+                        let ports = parts[1..]
+                            .iter()
+                            .map(|part| {
+                                prepare_eq(&proto, length_prefixed(part))
+                                    .expect("claimed copy length is bounded by κ")
+                            })
+                            .collect();
+                        VerifierPrep::Ready {
+                            expected_bits: proto.message_bits(),
+                            modulus: proto.modulus(),
+                            ports,
+                            parts,
+                            inner: OnceCell::new(),
+                        }
+                    }
+                    _ => VerifierPrep::Reject,
+                };
+                PreparedNode { prover, verifier }
+            })
+            .collect();
+        Box::new(PreparedCompiled {
+            scheme: self,
+            config,
+            nodes,
+        })
+    }
+}
+
+/// Per-node state of a prepared compiled scheme.
+struct PreparedNode {
+    /// `None` when the (κ, own-label) prefix is malformed: such nodes emit
+    /// empty certificates without drawing randomness, exactly like the
+    /// unprepared [`Rpls::certify_into`].
+    prover: Option<Rc<PreparedEq>>,
+    verifier: VerifierPrep,
+}
+
+/// Verifier-side per-node state of a prepared compiled scheme.
+enum VerifierPrep {
+    /// The replicated label failed to parse or has the wrong arity for the
+    /// node's degree: every round rejects.
+    Reject,
+    /// A well-formed replication: fingerprints prepared per port, claimed
+    /// labels kept for the inner verifier.
+    Ready {
+        /// Exact certificate size every received message must have.
+        expected_bits: usize,
+        /// The protocol prime for this node's declared κ.
+        modulus: u64,
+        /// One prepared fingerprint per claimed neighbor copy, in port
+        /// order (shared with identical inputs elsewhere in the labeling).
+        ports: Vec<Rc<PreparedEq>>,
+        /// The parsed parts `(own, claimed₀, …, claimed_{d−1})`.
+        parts: Vec<BitString>,
+        /// The inner verifier's verdict on the claimed labels. It does not
+        /// depend on the round's randomness, so it is computed at most
+        /// once — and, matching the unprepared path, only on a round in
+        /// which every fingerprint check passed.
+        inner: OnceCell<bool>,
+    },
+}
+
+/// The prepared form of [`CompiledRpls`] (the ROADMAP's "prepared
+/// prover"): each replicated label parsed once per labeling,
+/// length-prefixed once, one fingerprint polynomial per node on the prover
+/// side and one per claimed neighbor copy on the verifier side — after
+/// which each (node, port, trial) costs one random field element plus one
+/// polynomial evaluation (a table lookup at Monte-Carlo trial counts).
+struct PreparedCompiled<'a, S> {
+    scheme: &'a CompiledRpls<S>,
+    config: &'a Configuration,
+    nodes: Vec<PreparedNode>,
+}
+
+impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
+    fn certify_into(
+        &self,
+        node: NodeId,
+        _port: rpls_graph::Port,
+        rng: &mut dyn Rng,
+        out: &mut BitString,
+    ) {
+        out.clear();
+        let Some(prep) = &self.nodes[node.index()].prover else {
+            return;
+        };
+        let msg = prep.alice_message(rng);
+        msg.append_to(prep.protocol().modulus(), out);
+    }
+
+    fn verify(&self, node: NodeId, received: &Received<'_>) -> bool {
+        let VerifierPrep::Ready {
+            expected_bits,
+            modulus,
+            ports,
+            parts,
+            inner,
+        } = &self.nodes[node.index()].verifier
+        else {
+            return false;
+        };
+        for (i, cert) in received.iter().enumerate() {
+            if cert.len() != *expected_bits {
+                return false;
+            }
+            let Ok(msg) = EqMessage::from_slice(cert, *modulus) else {
+                return false;
+            };
+            if !ports[i].bob_accepts(&msg) {
+                return false;
+            }
+        }
+        *inner.get_or_init(|| {
+            let det = DetView {
+                local: crate::engine::local_context(self.config, node),
+                label: &parts[0],
+                neighbor_labels: parts[1..].iter().collect(),
+            };
+            self.scheme.inner.verify(&det)
+        })
     }
 }
 
@@ -327,6 +532,39 @@ mod tests {
             .collect();
         let rec = engine::run_randomized(&scheme, &config, &labeling, 0);
         assert!(!rec.outcome.accepted());
+    }
+
+    #[test]
+    fn absurd_kappa_claims_do_not_materialise_tables() {
+        // A label declaring κ ≈ 2³¹ induces a protocol prime around 6·10⁹;
+        // preparing with a huge rounds hint must fall back to per-round
+        // Horner (a table would be tens of gigabytes) and still agree with
+        // the unprepared path.
+        let config = Configuration::plain(generators::cycle(3));
+        let scheme = CompiledRpls::new(IdLabel);
+        let kappa = (1usize << 31) + 5;
+        let part = BitString::zeros(8);
+        let labeling: Labeling = config
+            .graph()
+            .nodes()
+            .map(|_| encode_replicated(kappa, &[&part, &part, &part]))
+            .collect();
+        let prepared = Rpls::prepare(&scheme, &config, &labeling, usize::MAX);
+        let mut scratch = crate::buffer::RoundScratch::new();
+        let summary = engine::run_randomized_prepared_with(
+            &*prepared,
+            &config,
+            1,
+            crate::engine::StreamMode::EdgeIndependent,
+            &mut scratch,
+        );
+        let rec = engine::run_randomized(&scheme, &config, &labeling, 1);
+        assert_eq!(summary.accepted, rec.outcome.accepted());
+        assert_eq!(scratch.votes(), rec.outcome.votes());
+        assert_eq!(
+            scratch.certificates().to_nested(config.port_base()),
+            rec.certificates
+        );
     }
 
     #[test]

@@ -27,11 +27,17 @@
 //! is the convenience wrapper that additionally materialises a full
 //! [`RoundRecord`]; both produce bit-identical certificates and votes for
 //! the same seed.
+//!
+//! For many rounds against one labeling, [`Rpls::prepare`] hoists label
+//! parsing and polynomial construction out of the loop entirely;
+//! [`run_randomized_prepared_with`] then runs a round of the prepared
+//! scheme — still bit-identical to the unprepared path, which the golden
+//! tests pin.
 
 use crate::buffer::{Received, RoundScratch};
 use crate::labeling::Labeling;
 use crate::rng::PortRng;
-use crate::scheme::{CertView, DetView, LocalContext, Pls, RandView, Rpls};
+use crate::scheme::{DetView, LocalContext, Pls, PreparedRpls, Rpls, UnpreparedRpls};
 use crate::state::Configuration;
 use rpls_bits::BitString;
 use rpls_graph::{NodeId, Port};
@@ -238,30 +244,57 @@ pub fn run_randomized_with<S: Rpls + ?Sized>(
         config.node_count(),
         "one label per node required"
     );
+    // The unprepared adapter routes straight to the scheme's certify/verify
+    // with statically dispatched views — no per-labeling precomputation, no
+    // boxing. Estimators that run many rounds against one labeling should
+    // call [`Rpls::prepare`] once and use
+    // [`run_randomized_prepared_with`] instead.
+    let unprepared = UnpreparedRpls {
+        scheme,
+        config,
+        labeling,
+    };
+    run_randomized_prepared_with(&unprepared, config, seed, mode, scratch)
+}
+
+/// Executes one randomized round of a **prepared** scheme (see
+/// [`Rpls::prepare`]) against reusable scratch storage. This is the round
+/// loop every other entry point funnels into; with a prepared scheme the
+/// per-(node, port) cost is whatever the preparation left behind — for
+/// [`CompiledRpls`](crate::compiler::CompiledRpls), one random field
+/// element plus one polynomial evaluation.
+///
+/// `prepared` must have been prepared for `config` (and the labeling the
+/// caller wants) — transcripts are bit-identical to
+/// [`run_randomized_with`] on the same inputs, which
+/// `tests/engine_golden.rs` pins.
+pub fn run_randomized_prepared_with<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seed: u64,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> RoundSummary {
     let g = config.graph();
     let RoundScratch { buffer, votes, tmp } = scratch;
 
     // Phase 1: certificate generation, in global port order.
     buffer.clear();
     for v in g.nodes() {
-        let view = CertView {
-            local: local_context(config, v),
-            label: labeling.get(v),
-        };
         let node_index = v.index() as u64;
         let degree = g.degree(v);
         match mode {
             StreamMode::EdgeIndependent => {
                 for p in 0..degree {
                     let mut rng = PortRng::for_edge(seed, node_index, p as u64);
-                    scheme.certify_into(&view, Port::from_rank(p), &mut rng, tmp);
+                    prepared.certify_into(v, Port::from_rank(p), &mut rng, tmp);
                     buffer.push(tmp);
                 }
             }
             StreamMode::SharedPerNode => {
                 let mut rng = PortRng::for_node(seed, node_index);
                 for p in 0..degree {
-                    scheme.certify_into(&view, Port::from_rank(p), &mut rng, tmp);
+                    prepared.certify_into(v, Port::from_rank(p), &mut rng, tmp);
                     buffer.push(tmp);
                 }
             }
@@ -278,12 +311,8 @@ pub fn run_randomized_with<S: Rpls + ?Sized>(
     for v in g.nodes() {
         let lo = port_base[v.index()] as usize;
         let hi = port_base[v.index() + 1] as usize;
-        let view = RandView {
-            local: local_context(config, v),
-            label: labeling.get(v),
-            received: Received::new(buffer, &delivery[lo..hi]),
-        };
-        let vote = scheme.verify(&view);
+        let received = Received::new(buffer, &delivery[lo..hi]);
+        let vote = prepared.verify(v, &received);
         accepted &= vote;
         votes.push(vote);
     }
@@ -298,7 +327,7 @@ pub fn run_randomized_with<S: Rpls + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheme::ErrorSides;
+    use crate::scheme::{CertView, ErrorSides, RandView};
     use rand::Rng;
     use rpls_graph::generators;
 

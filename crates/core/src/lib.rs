@@ -64,7 +64,7 @@ pub use buffer::{CertificateBuffer, Received, RoundScratch};
 pub use compiler::CompiledRpls;
 pub use labeling::Labeling;
 pub use rng::PortRng;
-pub use scheme::{CertView, DetView, ErrorSides, Pls, Predicate, RandView, Rpls};
+pub use scheme::{CertView, DetView, ErrorSides, Pls, Predicate, PreparedRpls, RandView, Rpls};
 pub use state::{Configuration, State};
 pub use universal::{UniversalPls, UniversalRpls};
 
@@ -76,7 +76,9 @@ pub mod prelude {
     pub use crate::labeling::Labeling;
     pub use crate::measure;
     pub use crate::rng::PortRng;
-    pub use crate::scheme::{CertView, DetView, ErrorSides, Pls, Predicate, RandView, Rpls};
+    pub use crate::scheme::{
+        CertView, DetView, ErrorSides, Pls, Predicate, PreparedRpls, RandView, Rpls,
+    };
     pub use crate::state::{Configuration, State};
     pub use crate::stats;
     pub use crate::universal::{UniversalPls, UniversalRpls};

@@ -9,15 +9,18 @@
 //!
 //! All estimators run on the engine's allocation-free round loop: each
 //! public entry point owns (or borrows, for the `*_with` variants) one
-//! [`RoundScratch`] that every trial reuses. The feature-gated
-//! [`acceptance_probability_par`] shards trials across threads with the
-//! *same* per-trial seeds as the serial path, so both produce bit-identical
-//! estimates.
+//! [`RoundScratch`] that every trial reuses, and prepares the labeling once
+//! ([`Rpls::prepare`]) so schemes with a prepared fast path (notably
+//! [`CompiledRpls`](crate::compiler::CompiledRpls)) parse labels and build
+//! fingerprint polynomials once per sweep instead of once per (node, port,
+//! trial). The feature-gated [`acceptance_probability_par`] shards trials
+//! across threads with the *same* per-trial seeds as the serial path, so
+//! both produce bit-identical estimates.
 
 use crate::buffer::RoundScratch;
 use crate::engine::{self, mix_seed, StreamMode};
 use crate::labeling::Labeling;
-use crate::scheme::Rpls;
+use crate::scheme::{PreparedRpls, Rpls};
 use crate::state::Configuration;
 
 /// The seed-derivation tag of each estimator family, so their streams never
@@ -26,21 +29,27 @@ const TAG_ACCEPT: u64 = 0;
 const TAG_BOOST: u64 = 1;
 const TAG_BOOST_TRIALS: u64 = 2;
 
+/// The per-trial round seed of the acceptance estimators. Public so
+/// benches and golden tests can replay individual estimator trials
+/// through the engine without duplicating the tag constant.
+#[must_use]
+pub fn trial_seed(seed: u64, trial: u64) -> u64 {
+    mix_seed(seed, trial, TAG_ACCEPT)
+}
+
 /// One trial of the acceptance estimator: the deterministic per-trial seed
-/// is `mix_seed(seed, trial, 0)` in every runner (serial and parallel).
-fn trial_accepts<S: Rpls + ?Sized>(
-    scheme: &S,
+/// is [`trial_seed`] in every runner (serial and parallel).
+fn trial_accepts(
+    prepared: &dyn PreparedRpls,
     config: &Configuration,
-    labeling: &Labeling,
     seed: u64,
     trial: u64,
     scratch: &mut RoundScratch,
 ) -> bool {
-    engine::run_randomized_with(
-        scheme,
+    engine::run_randomized_prepared_with(
+        prepared,
         config,
-        labeling,
-        mix_seed(seed, trial, TAG_ACCEPT),
+        trial_seed(seed, trial),
         StreamMode::EdgeIndependent,
         scratch,
     )
@@ -62,6 +71,10 @@ pub fn acceptance_probability<S: Rpls + ?Sized>(
 /// Like [`acceptance_probability`] but reuses caller-owned scratch, so
 /// sweeps over many labelings (e.g. the hill-climbing adversary) never
 /// reallocate.
+///
+/// The labeling is prepared once ([`Rpls::prepare`]) and every trial runs
+/// against the prepared scheme; estimates are bit-identical to running
+/// [`engine::run_randomized_with`] per trial, only faster.
 pub fn acceptance_probability_with<S: Rpls + ?Sized>(
     scheme: &S,
     config: &Configuration,
@@ -71,8 +84,9 @@ pub fn acceptance_probability_with<S: Rpls + ?Sized>(
     scratch: &mut RoundScratch,
 ) -> f64 {
     assert!(trials > 0, "need at least one trial");
+    let prepared = scheme.prepare(config, labeling, trials);
     let accepts = (0..trials)
-        .filter(|&t| trial_accepts(scheme, config, labeling, seed, t as u64, scratch))
+        .filter(|&t| trial_accepts(&*prepared, config, seed, t as u64, scratch))
         .count();
     accepts as f64 / trials as f64
 }
@@ -108,11 +122,16 @@ pub fn acceptance_probability_par<S: Rpls + Sync + ?Sized>(
             .map(|w| {
                 scope.spawn(move || {
                     let mut scratch = RoundScratch::new();
+                    // Each worker prepares the labeling for itself (the
+                    // prepared state is not shared across threads); the
+                    // preparation is a pure function of the labeling, so
+                    // per-trial transcripts stay identical to serial.
+                    let prepared = scheme.prepare(config, labeling, trials.div_ceil(workers));
                     // Strided sharding: worker w takes trials w, w+k, …
                     (w..trials)
                         .step_by(workers)
                         .filter(|&t| {
-                            trial_accepts(scheme, config, labeling, seed, t as u64, &mut scratch)
+                            trial_accepts(&*prepared, config, seed, t as u64, &mut scratch)
                         })
                         .count()
                 })
@@ -149,13 +168,24 @@ pub fn boosted_accepts_with<S: Rpls + ?Sized>(
     seed: u64,
     scratch: &mut RoundScratch,
 ) -> bool {
+    let prepared = scheme.prepare(config, labeling, repetitions);
+    boosted_accepts_prepared(&*prepared, config, repetitions, seed, scratch)
+}
+
+/// The boosted verdict against an already-prepared scheme.
+fn boosted_accepts_prepared(
+    prepared: &dyn PreparedRpls,
+    config: &Configuration,
+    repetitions: usize,
+    seed: u64,
+    scratch: &mut RoundScratch,
+) -> bool {
     assert!(repetitions > 0, "need at least one repetition");
     let accepts = (0..repetitions)
         .filter(|&r| {
-            engine::run_randomized_with(
-                scheme,
+            engine::run_randomized_prepared_with(
+                prepared,
                 config,
-                labeling,
                 mix_seed(seed, r as u64, TAG_BOOST),
                 StreamMode::EdgeIndependent,
                 scratch,
@@ -177,12 +207,13 @@ pub fn boosted_acceptance_probability<S: Rpls + ?Sized>(
 ) -> f64 {
     assert!(trials > 0, "need at least one trial");
     let mut scratch = RoundScratch::new();
+    // One preparation covers the whole trials × repetitions sweep.
+    let prepared = scheme.prepare(config, labeling, trials.saturating_mul(repetitions));
     let accepts = (0..trials)
         .filter(|&t| {
-            boosted_accepts_with(
-                scheme,
+            boosted_accepts_prepared(
+                &*prepared,
                 config,
-                labeling,
                 repetitions,
                 mix_seed(seed, t as u64, TAG_BOOST_TRIALS),
                 &mut scratch,
@@ -192,13 +223,14 @@ pub fn boosted_acceptance_probability<S: Rpls + ?Sized>(
     accepts as f64 / trials as f64
 }
 
-/// A two-sided Wilson-style confidence radius for an estimated probability
-/// `p_hat` over `trials` samples at roughly 95% confidence — used by tests
-/// to assert probabilistic bounds without flaking.
+/// A two-sided Wald-style confidence radius for an estimated probability
+/// `p_hat` over `trials` samples: `2·sqrt(p̂(1−p̂)/n) + 1/n`. The
+/// z-multiplier 2 (rounded up from the exact 95% value 1.96) and the `1/n`
+/// continuity pad make the radius deliberately conservative — it is used by
+/// tests to assert probabilistic bounds without flaking.
 #[must_use]
 pub fn confidence_radius(p_hat: f64, trials: usize) -> f64 {
     assert!(trials > 0, "need at least one trial");
-    // 1.96 * sqrt(p(1-p)/n), padded slightly.
     2.0 * (p_hat * (1.0 - p_hat) / trials as f64).sqrt() + 1.0 / trials as f64
 }
 

@@ -159,7 +159,10 @@ pub fn decode_configuration(bits: &BitString) -> Option<Configuration> {
     if w_id == 0 || w_id > 64 || w_pl > 64 || w_node == 0 || w_node > 32 || w_weight > 64 {
         return None;
     }
-    let mut states = Vec::with_capacity(n);
+    // Capacity bounded by what the bits could possibly encode (each state
+    // takes at least w_id ≥ 1 bits): an adversarial header claiming
+    // n = 2²⁴ on a short label must not pre-allocate gigabytes.
+    let mut states = Vec::with_capacity(n.min(r.remaining() + 1));
     for _ in 0..n {
         let id = r.read_u64(w_id).ok()?;
         let pl_len = if w_pl == 0 {
@@ -191,9 +194,12 @@ pub fn decode_configuration(bits: &BitString) -> Option<Configuration> {
 }
 
 fn decode_matrix_graph(r: &mut BitReader<'_>, n: usize) -> Option<Graph> {
-    let mut rows = Vec::with_capacity(n);
+    // Every capacity is clamped by what the remaining bits could encode
+    // (each row takes n bits), so a huge claimed n cannot force a huge
+    // allocation before the reads fail.
+    let mut rows = Vec::with_capacity(n.min(r.remaining() / n.max(1) + 1));
     for _ in 0..n {
-        let mut row = Vec::with_capacity(n);
+        let mut row = Vec::with_capacity(n.min(r.remaining() + 1));
         for _ in 0..n {
             row.push(r.read_bool().ok()?);
         }
@@ -223,14 +229,17 @@ fn decode_matrix_graph(r: &mut BitReader<'_>, n: usize) -> Option<Graph> {
 
 fn decode_list_graph(r: &mut BitReader<'_>, n: usize, w_node: u32, w_weight: u32) -> Option<Graph> {
     let w_deg = w_node.max(1) + 1;
-    // entries[v][p] = (neighbor, remote_port, weight)
-    let mut entries: Vec<Vec<(usize, usize, Option<u64>)>> = Vec::with_capacity(n);
+    // entries[v][p] = (neighbor, remote_port, weight); capacities clamped
+    // by the remaining bits so a huge claimed n or degree cannot force a
+    // huge allocation before the reads fail.
+    let mut entries: Vec<Vec<(usize, usize, Option<u64>)>> =
+        Vec::with_capacity(n.min(r.remaining() / w_deg as usize + 1));
     for _ in 0..n {
         let deg = r.read_u64(w_deg).ok()? as usize;
         if deg >= n {
             return None;
         }
-        let mut row = Vec::with_capacity(deg);
+        let mut row = Vec::with_capacity(deg.min(r.remaining() / w_node as usize + 1));
         for _ in 0..deg {
             let nb = r.read_u64(w_node).ok()? as usize;
             let rport = r.read_u64(w_deg).ok()? as usize;

@@ -148,7 +148,7 @@ impl EqProtocol {
     /// # Panics
     ///
     /// Panics if `a` is longer than the protocol's λ.
-    pub fn alice_message<R: Rng>(&self, a: &BitString, rng: &mut R) -> EqMessage {
+    pub fn alice_message<R: Rng + ?Sized>(&self, a: &BitString, rng: &mut R) -> EqMessage {
         assert!(a.len() <= self.lambda, "input longer than protocol length");
         let x = Fp::random(self.modulus, rng);
         let value = BitPolynomial::from_bits(a, self.modulus).eval(x);
@@ -160,16 +160,45 @@ impl EqProtocol {
 
     /// Bob's side: accept iff his polynomial agrees at Alice's point.
     ///
-    /// # Panics
-    ///
-    /// Panics if `b` is longer than the protocol's λ or the message's point
-    /// lies outside the field.
+    /// Bob is the *verifier* side of the protocol, so this is total on
+    /// adversarial input: a message whose point lies outside the field, or
+    /// an input longer than the protocol's λ, is rejected (`false`) rather
+    /// than panicking. (The prover side, [`EqProtocol::alice_message`],
+    /// keeps its panic — the prover runs on trusted honest data.)
     #[must_use]
     pub fn bob_accepts(&self, b: &BitString, msg: &EqMessage) -> bool {
-        assert!(b.len() <= self.lambda, "input longer than protocol length");
-        assert!(msg.point < self.modulus, "point outside the field");
+        if b.len() > self.lambda || msg.point >= self.modulus {
+            return false;
+        }
         let x = Fp::new(msg.point, self.modulus);
         BitPolynomial::from_bits(b, self.modulus).eval(x).value() == msg.value
+    }
+
+    /// Prepares an input for many protocol rounds: the fingerprint
+    /// polynomial is parsed once (and, when `expected_rounds` makes it pay
+    /// for itself, expanded into a full evaluation table), after which each
+    /// round costs one random field element plus one evaluation instead of
+    /// a polynomial rebuild.
+    ///
+    /// Returns `None` if `input` is longer than the protocol's λ — on the
+    /// verifier side that is adversarial data, which must not panic.
+    #[must_use]
+    pub fn prepare(&self, input: &BitString, expected_rounds: usize) -> Option<PreparedEq> {
+        if input.len() > self.lambda {
+            return None;
+        }
+        let poly = BitPolynomial::from_bits(input, self.modulus);
+        // The table pays off once the polynomial is evaluated ~p times; the
+        // size cap guards against adversarially declared lengths whose
+        // protocol prime (and hence table) would be in the billions.
+        const MAX_TABLE: u64 = 1 << 20;
+        let table = (self.modulus <= MAX_TABLE && expected_rounds as u64 >= self.modulus)
+            .then(|| poly.evaluation_table());
+        Some(PreparedEq {
+            proto: *self,
+            poly,
+            table,
+        })
     }
 
     /// Runs `t` independent repetitions and accepts iff all accept. Error on
@@ -187,6 +216,64 @@ impl EqProtocol {
             let msg = self.alice_message(a, rng);
             self.bob_accepts(b, &msg)
         })
+    }
+}
+
+/// One party's input to the equality protocol, prepared once for many
+/// rounds (see [`EqProtocol::prepare`]).
+///
+/// Both sides are transcript-identical to their unprepared counterparts:
+/// [`PreparedEq::alice_message`] consumes exactly the randomness
+/// [`EqProtocol::alice_message`] consumes (one `u64`) and produces the same
+/// message, and [`PreparedEq::bob_accepts`] returns exactly what
+/// [`EqProtocol::bob_accepts`] returns for the prepared input.
+#[derive(Debug, Clone)]
+pub struct PreparedEq {
+    proto: EqProtocol,
+    poly: BitPolynomial,
+    /// `Some` once the full `[A(0), …, A(p−1)]` table has been built; then
+    /// every evaluation is one array index.
+    table: Option<Vec<u64>>,
+}
+
+impl PreparedEq {
+    /// The protocol this input was prepared for.
+    #[must_use]
+    pub fn protocol(&self) -> &EqProtocol {
+        &self.proto
+    }
+
+    /// Whether the full evaluation table was materialised.
+    #[must_use]
+    pub fn has_table(&self) -> bool {
+        self.table.is_some()
+    }
+
+    /// `A(x)` at the raw residue `x`, which must be `< p`.
+    #[must_use]
+    pub fn eval(&self, x: u64) -> u64 {
+        match &self.table {
+            Some(t) => t[x as usize],
+            None => self.poly.eval_raw(x),
+        }
+    }
+
+    /// Alice's side: fingerprint the prepared input at a fresh random
+    /// point.
+    pub fn alice_message<R: Rng + ?Sized>(&self, rng: &mut R) -> EqMessage {
+        let x = Fp::random(self.proto.modulus, rng).value();
+        EqMessage {
+            point: x,
+            value: self.eval(x),
+        }
+    }
+
+    /// Bob's side: accept iff the prepared polynomial agrees at Alice's
+    /// point. Total, like [`EqProtocol::bob_accepts`]: a point outside the
+    /// field rejects instead of panicking.
+    #[must_use]
+    pub fn bob_accepts(&self, msg: &EqMessage) -> bool {
+        msg.point < self.proto.modulus && self.eval(msg.point) == msg.value
     }
 }
 
@@ -302,5 +389,53 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let a = BitString::zeros(5);
         let _ = proto.alice_message(&a, &mut rng);
+    }
+
+    #[test]
+    fn bob_rejects_malformed_messages_without_panicking() {
+        let proto = EqProtocol::for_length(8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = random_bits(8, &mut rng);
+        let honest = proto.alice_message(&a, &mut rng);
+        // A point outside the field is adversarial data, not a bug.
+        let outside = EqMessage {
+            point: proto.modulus() + 3,
+            value: honest.value,
+        };
+        assert!(!proto.bob_accepts(&a, &outside));
+        assert!(!proto.prepare(&a, 0).unwrap().bob_accepts(&outside));
+        // Likewise an input longer than λ on the verifier side.
+        assert!(!proto.bob_accepts(&BitString::zeros(9), &honest));
+        assert!(proto.prepare(&BitString::zeros(9), 0).is_none());
+    }
+
+    #[test]
+    fn prepared_sides_match_unprepared_transcripts() {
+        for lambda in [1usize, 8, 64, 300] {
+            let proto = EqProtocol::for_length(lambda);
+            let mut rng = StdRng::seed_from_u64(lambda as u64);
+            let a = random_bits(lambda, &mut rng);
+            let b = random_bits(lambda, &mut rng);
+            // Force both variants: no table, and full table.
+            for rounds in [0usize, usize::MAX] {
+                let pa = proto.prepare(&a, rounds).unwrap();
+                let pb = proto.prepare(&b, rounds).unwrap();
+                assert_eq!(pa.has_table(), rounds > 0);
+                assert_eq!(pa.protocol(), &proto);
+                let mut fresh = StdRng::seed_from_u64(42);
+                let mut fresh2 = StdRng::seed_from_u64(42);
+                for _ in 0..50 {
+                    let msg = proto.alice_message(&a, &mut fresh);
+                    let prepared_msg = pa.alice_message(&mut fresh2);
+                    assert_eq!(msg, prepared_msg, "λ = {lambda}");
+                    assert_eq!(
+                        proto.bob_accepts(&b, &msg),
+                        pb.bob_accepts(&msg),
+                        "λ = {lambda}"
+                    );
+                    assert!(pa.bob_accepts(&msg));
+                }
+            }
+        }
     }
 }

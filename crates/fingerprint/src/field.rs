@@ -61,7 +61,7 @@ impl Fp {
     }
 
     /// A uniform random element of `GF(p)`.
-    pub fn random<R: Rng>(modulus: u64, rng: &mut R) -> Self {
+    pub fn random<R: Rng + ?Sized>(modulus: u64, rng: &mut R) -> Self {
         let value = rng.next_u64() % modulus; // bias < 2^-40 for p < 2^24
         Self::new(value, modulus)
     }

@@ -67,14 +67,24 @@ impl BitPolynomial {
     #[must_use]
     pub fn eval(&self, x: Fp) -> Fp {
         assert_eq!(x.modulus(), self.modulus, "evaluation point field mismatch");
+        Fp::new(self.eval_raw(x.value()), self.modulus)
+    }
+
+    /// Evaluates at the raw residue `x` (which must already be reduced,
+    /// `x < p`), returning the raw residue of the result — the
+    /// borrowed-state core of [`BitPolynomial::eval`] used by prepared
+    /// fingerprint evaluation, where the field element wrappers would cost
+    /// a redundant primality-cache lookup per call.
+    #[must_use]
+    pub fn eval_raw(&self, x: u64) -> u64 {
+        debug_assert!(x < self.modulus, "evaluation point not reduced");
         // Horner from the highest coefficient down, in raw residue
         // arithmetic: one modular multiply per coefficient, no per-step
         // element construction.
         let p = self.modulus;
-        let xv = x.value();
         let mut acc: u64 = 0;
         for i in (0..self.coeffs.len()).rev() {
-            acc = crate::prime::mul_mod(acc, xv, p);
+            acc = crate::prime::mul_mod(acc, x, p);
             if self.coeffs.bit(i).expect("index in range") {
                 acc += 1;
                 if acc == p {
@@ -82,7 +92,20 @@ impl BitPolynomial {
                 }
             }
         }
-        Fp::new(acc, p)
+        acc
+    }
+
+    /// The full evaluation table `[A(0), A(1), …, A(p−1)]`.
+    ///
+    /// Costs `p` Horner evaluations up front; afterwards each evaluation is
+    /// one array index. Worth it exactly when one polynomial will be
+    /// evaluated at least ~`p` times — the Monte-Carlo regime the prepared
+    /// prover/verifier layer in `rpls-core` lives in. The caller is
+    /// responsible for bounding `p` (an adversarially declared input length
+    /// can push the protocol prime into the billions).
+    #[must_use]
+    pub fn evaluation_table(&self) -> Vec<u64> {
+        (0..self.modulus).map(|x| self.eval_raw(x)).collect()
     }
 
     /// Upper bound on the collision probability of the fingerprint for
@@ -159,6 +182,18 @@ mod tests {
         let pb = BitPolynomial::from_bits(&a.clone(), p);
         for x in 0..p {
             assert_eq!(pa.eval(Fp::new(x, p)), pb.eval(Fp::new(x, p)));
+        }
+    }
+
+    #[test]
+    fn evaluation_table_matches_pointwise_eval() {
+        let p = protocol_prime(24);
+        let poly = BitPolynomial::from_bits(&bits("110100101110100010010111"), p);
+        let table = poly.evaluation_table();
+        assert_eq!(table.len() as u64, p);
+        for x in 0..p {
+            assert_eq!(table[x as usize], poly.eval_raw(x), "x = {x}");
+            assert_eq!(table[x as usize], poly.eval(Fp::new(x, p)).value());
         }
     }
 

@@ -143,22 +143,28 @@ pub fn next_prime(mut n: u64) -> u64 {
 /// ```
 #[must_use]
 pub fn protocol_prime(lambda: usize) -> u64 {
-    use std::cell::RefCell;
-    use std::collections::HashMap;
+    use std::cell::Cell;
     // The verification engine calls this once per certificate generated and
     // once per certificate checked, always with the handful of λ values the
-    // workload's label sizes induce — memoise per thread.
+    // workload's label sizes induce — memoise the most recent ones per
+    // thread. The cache is a small rotating array, not a map: adversarial
+    // labels can claim arbitrarily many distinct κ values, and an unbounded
+    // memo would let a verifier's memory grow without limit.
     thread_local! {
-        static CACHE: RefCell<HashMap<usize, u64>> = RefCell::new(HashMap::new());
+        // A prime is never 0, so `p == 0` marks an empty slot.
+        static RECENT: Cell<[(usize, u64); 8]> = const { Cell::new([(0, 0); 8]) };
     }
-    CACHE.with(|cache| {
-        if let Some(&p) = cache.borrow().get(&lambda) {
+    RECENT.with(|recent| {
+        let mut known = recent.get();
+        if let Some(&(_, p)) = known.iter().find(|&&(l, p)| p != 0 && l == lambda) {
             return p;
         }
         let l = lambda.max(2) as u64;
         let p = next_prime(3 * l + 1);
         debug_assert!(p < 6 * l, "Bertrand guarantees a prime in (3λ, 6λ)");
-        cache.borrow_mut().insert(lambda, p);
+        known.rotate_right(1);
+        known[0] = (lambda, p);
+        recent.set(known);
         p
     })
 }
@@ -228,6 +234,20 @@ mod tests {
             let l = lambda.max(2) as u64;
             assert!(3 * l < p && p < 6 * l, "λ={lambda} gave p={p}");
             assert!(is_prime(p));
+        }
+    }
+
+    #[test]
+    fn protocol_prime_memo_survives_eviction_sweeps() {
+        // Touch far more distinct λ values than the rotating cache holds
+        // (the adversarial many-κ pattern), then re-ask for earlier ones:
+        // answers must stay correct, evicted or not.
+        let first: Vec<u64> = (1..=64usize).map(protocol_prime).collect();
+        for big in (1000..1400).step_by(7) {
+            let _ = protocol_prime(big);
+        }
+        for (i, &p) in first.iter().enumerate() {
+            assert_eq!(protocol_prime(i + 1), p, "λ = {}", i + 1);
         }
     }
 

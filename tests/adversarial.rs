@@ -111,3 +111,289 @@ fn compiled_acyclicity_sound_against_replayed_labels() {
     assert!(acc < 0.05, "acceptance {acc}");
     let _ = Labeling::empty(0);
 }
+
+/// Verifiers must be *total*: arbitrary garbage labelings and arbitrary
+/// garbage certificates may make them reject, never panic. Every scheme in
+/// `rpls-schemes` is pushed through four verifier surfaces — the
+/// deterministic verifier, the compiled randomized verifier (unprepared
+/// and prepared paths), the certificate-corruption wrapper below, and the
+/// `ExchangeLabels` baseline.
+mod never_panic {
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+    use rand::Rng;
+    use rpls::bits::BitString;
+    use rpls::core::scheme::ExchangeLabels;
+    use rpls::core::{engine, stats, CompiledRpls, Configuration, Labeling, Pls, Rpls};
+    use rpls::core::{CertView, PreparedRpls, RandView, Received};
+    use rpls::graph::{generators, NodeId, Port};
+
+    /// Mangles a just-generated certificate in place, drawing the
+    /// corruption pattern from the round's own stream: bit flips,
+    /// truncation, appended garbage, or wholesale replacement.
+    fn corrupt(out: &mut BitString, rng: &mut dyn Rng) {
+        match rng.next_u64() % 4 {
+            0 => {
+                // Flip one bit.
+                if out.is_empty() {
+                    out.push(true);
+                    return;
+                }
+                let target = (rng.next_u64() % out.len() as u64) as usize;
+                let flipped: BitString = out
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| if i == target { !b } else { b })
+                    .collect();
+                *out = flipped;
+            }
+            1 => {
+                // Truncate to a random prefix.
+                let keep = (rng.next_u64() % (out.len() as u64 + 1)) as usize;
+                *out = out.truncated(keep);
+            }
+            2 => {
+                // Append garbage bits.
+                let extra = (rng.next_u64() % 24) as u32 + 1;
+                let bits = rng.next_u64() & ((1 << extra) - 1);
+                out.push_u64(bits, extra);
+            }
+            _ => {
+                // Replace wholesale (possibly with the empty string).
+                let len = (rng.next_u64() % 48) as u32;
+                out.clear();
+                if len > 0 {
+                    out.push_u64(rng.next_u64() & ((1u64 << len) - 1), len);
+                }
+            }
+        }
+    }
+
+    /// Wraps a randomized scheme so every certificate it emits arrives
+    /// corrupted — the "arbitrary garbage certificates" half of the threat
+    /// model. Both the unprepared path and the prepared path corrupt, so
+    /// prepared verifiers face the same garbage.
+    struct CorruptingRpls<S> {
+        inner: S,
+    }
+
+    impl<S: Rpls> Rpls for CorruptingRpls<S> {
+        fn name(&self) -> String {
+            format!("corrupting({})", self.inner.name())
+        }
+        fn label(&self, config: &Configuration) -> Labeling {
+            self.inner.label(config)
+        }
+        fn certify(&self, view: &CertView<'_>, port: Port, rng: &mut dyn Rng) -> BitString {
+            let mut out = self.inner.certify(view, port, rng);
+            corrupt(&mut out, rng);
+            out
+        }
+        fn certify_into(
+            &self,
+            view: &CertView<'_>,
+            port: Port,
+            rng: &mut dyn Rng,
+            out: &mut BitString,
+        ) {
+            self.inner.certify_into(view, port, rng, out);
+            corrupt(out, rng);
+        }
+        fn verify(&self, view: &RandView<'_>) -> bool {
+            self.inner.verify(view)
+        }
+        fn prepare<'a>(
+            &'a self,
+            config: &'a Configuration,
+            labeling: &'a Labeling,
+            rounds_hint: usize,
+        ) -> Box<dyn PreparedRpls + 'a> {
+            Box::new(CorruptingPrepared {
+                inner: self.inner.prepare(config, labeling, rounds_hint),
+            })
+        }
+    }
+
+    struct CorruptingPrepared<'a> {
+        inner: Box<dyn PreparedRpls + 'a>,
+    }
+
+    impl PreparedRpls for CorruptingPrepared<'_> {
+        fn certify_into(&self, node: NodeId, port: Port, rng: &mut dyn Rng, out: &mut BitString) {
+            self.inner.certify_into(node, port, rng, out);
+            corrupt(out, rng);
+        }
+        fn verify(&self, node: NodeId, received: &Received<'_>) -> bool {
+            self.inner.verify(node, received)
+        }
+    }
+
+    /// Drives one deterministic scheme through every verifier surface with
+    /// the given garbage label pool. Nothing is asserted about the
+    /// verdicts — only that each call returns at all.
+    fn hammer<S: Pls + Clone>(scheme: S, config: &Configuration, garbage: &[BitString], seed: u64) {
+        let n = config.node_count();
+        let labeling: Labeling = (0..n).map(|i| garbage[i % garbage.len()].clone()).collect();
+
+        // Deterministic verifier on garbage labels.
+        let _ = engine::run_deterministic(&scheme, config, &labeling);
+
+        // Compiled verifier on garbage labels: unprepared round, then the
+        // prepared estimator path.
+        let compiled = CompiledRpls::new(scheme.clone());
+        let _ = engine::run_randomized(&compiled, config, &labeling, seed);
+        let _ = stats::acceptance_probability(&compiled, config, &labeling, 2, seed);
+
+        // Honest labels but corrupted certificates, then garbage labels
+        // *and* corrupted certificates, through both paths.
+        let honest = Rpls::label(&compiled, config);
+        let corrupting = CorruptingRpls { inner: compiled };
+        let _ = engine::run_randomized(&corrupting, config, &honest, seed);
+        let _ = stats::acceptance_probability(&corrupting, config, &honest, 2, seed ^ 1);
+        let _ = stats::acceptance_probability(&corrupting, config, &labeling, 2, seed ^ 2);
+
+        // The κ-bit baseline wrapper: garbage labels double as garbage
+        // certificates (the certificate *is* the label), corrupted on top.
+        let exchanging = CorruptingRpls {
+            inner: ExchangeLabels::new(scheme),
+        };
+        let _ = engine::run_randomized(&exchanging, config, &labeling, seed);
+        let _ = stats::acceptance_probability(&exchanging, config, &labeling, 2, seed ^ 3);
+    }
+
+    /// Assembles the garbage label pool from proptest's raw material.
+    fn pool(words: &[(u64, u32)]) -> Vec<BitString> {
+        words
+            .iter()
+            .map(|&(value, width)| {
+                let mut b = BitString::new();
+                let width = width % 65;
+                if width > 0 {
+                    let masked = if width == 64 {
+                        value
+                    } else {
+                        value & ((1u64 << width) - 1)
+                    };
+                    b.push_u64(masked, width);
+                }
+                b
+            })
+            .collect()
+    }
+
+    /// Regression: the prepared `ExchangeLabels` verdict must follow the
+    /// *delivered* certificates, not the labeling it was prepared for —
+    /// a wrapper corrupting certificates in flight must see identical
+    /// verdicts on the prepared and unprepared paths.
+    #[test]
+    fn corrupting_wrapper_prepared_path_matches_unprepared() {
+        use rpls::core::engine::StreamMode;
+        use rpls::core::RoundScratch;
+        use rpls::schemes::spanning_tree::{spanning_tree_config, SpanningTreePls};
+        let config =
+            spanning_tree_config(&Configuration::plain(generators::cycle(6)), NodeId::new(0));
+        let scheme = CorruptingRpls {
+            inner: ExchangeLabels::new(SpanningTreePls::new()),
+        };
+        let labeling = Rpls::label(&scheme, &config);
+        let prepared = scheme.prepare(&config, &labeling, 64);
+        let mut unprepared_scratch = RoundScratch::new();
+        let mut prepared_scratch = RoundScratch::new();
+        for seed in 0..25u64 {
+            let a = engine::run_randomized_with(
+                &scheme,
+                &config,
+                &labeling,
+                seed,
+                StreamMode::EdgeIndependent,
+                &mut unprepared_scratch,
+            );
+            let b = engine::run_randomized_prepared_with(
+                &*prepared,
+                &config,
+                seed,
+                StreamMode::EdgeIndependent,
+                &mut prepared_scratch,
+            );
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(
+                unprepared_scratch.votes(),
+                prepared_scratch.votes(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn no_scheme_verifier_panics_on_garbage(
+            words in vec((any::<u64>(), 0u32..=64), 1..6),
+            seed in any::<u64>(),
+        ) {
+            let garbage = pool(&words);
+            let plain5 = Configuration::plain(generators::cycle(5));
+            let path5 = Configuration::plain(generators::path(5));
+
+            use rpls::schemes::*;
+            hammer(acyclicity::AcyclicityPls::new(), &path5, &garbage, seed);
+            hammer(biconnectivity::BiconnectivityPls::new(), &plain5, &garbage, seed);
+            hammer(
+                coloring::ColoringPls::new(),
+                &coloring::greedy_coloring_config(&plain5),
+                &garbage,
+                seed,
+            );
+            hammer(cycle_at_least::CycleAtLeastPls::new(4), &plain5, &garbage, seed);
+            hammer(
+                leader::LeaderPls::new(),
+                &leader::leader_config(&plain5, NodeId::new(2)),
+                &garbage,
+                seed,
+            );
+            hammer(
+                spanning_tree::SpanningTreePls::new(),
+                &spanning_tree::spanning_tree_config(&plain5, NodeId::new(0)),
+                &garbage,
+                seed,
+            );
+            hammer(
+                uniformity::UniformityPls::new(),
+                &uniformity::uniform_config(&plain5, &BitString::zeros(16)),
+                &garbage,
+                seed,
+            );
+            hammer(
+                mst::MstPls::new(),
+                &mst::mst_config(&Configuration::plain(
+                    generators::cycle(5).with_weights(&[4, 1, 5, 2, 3]),
+                )),
+                &garbage,
+                seed,
+            );
+
+            // Terminals 0 and 3 are non-adjacent on a 6-cycle, giving two
+            // edge-disjoint (and vertex-disjoint) paths.
+            let cyc6 = Configuration::plain(generators::cycle(6));
+            hammer(
+                flow::FlowPls::new(flow::FlowPredicate::new(0, 3, 2)),
+                &cyc6,
+                &garbage,
+                seed,
+            );
+            hammer(
+                vertex_connectivity::StConnectivityPls::new(
+                    vertex_connectivity::StConnectivityPredicate::new(0, 3, 2),
+                ),
+                &cyc6,
+                &garbage,
+                seed,
+            );
+
+            // The universal-only predicates ride on the Lemma 3.3 scheme.
+            hammer(cycle_at_most::cycle_at_most_pls(6), &plain5, &garbage, seed);
+            hammer(symmetry::symmetry_pls(), &path5, &garbage, seed);
+        }
+    }
+}
