@@ -8,6 +8,16 @@
 //! Besides the criterion-style console report, the bench emits
 //! machine-readable results to `BENCH_engine.json` at the workspace root so
 //! later PRs have a perf trajectory.
+//!
+//! Setting `BENCH_ENGINE_SMOKE=1` runs a reduced matrix (~15 s total):
+//! the cheap acceptance runners keep their full 10k trials — their ratios
+//! are what the gate checks — while the two slow ones (unprepared,
+//! alloc-baseline) run a tenth and have their strictly-linear cost scaled
+//! back up, and the round-matrix timing budgets shrink. The result goes to
+//! `BENCH_engine_smoke.json` — the PR-time CI job runs this and feeds it
+//! to the `bench_gate` binary, which fails the build if the within-run
+//! throughput ratios or the tracked speedups regress more than 2× against
+//! the committed `BENCH_engine.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -147,6 +157,11 @@ fn baseline_acceptance_probability<S: Rpls + ?Sized>(
     accepts as f64 / trials as f64
 }
 
+/// Whether the reduced PR-time smoke matrix was requested.
+fn smoke_mode() -> bool {
+    std::env::var("BENCH_ENGINE_SMOKE").is_ok_and(|v| v == "1")
+}
+
 fn family(name: &str, n: usize) -> Graph {
     match name {
         "path" => generators::path(n),
@@ -190,29 +205,36 @@ fn bench_round_matrix(c: &mut Criterion, rows: &mut Vec<MatrixRow>) {
             let labeling = Labeling::empty(n);
             let mut scratch = RoundScratch::new();
 
-            group.bench_with_input(BenchmarkId::new(format!("det/{fam}"), n), &n, |b, _| {
-                b.iter(|| black_box(engine::run_deterministic(&det, &config, &labeling)));
-            });
-            group.bench_with_input(BenchmarkId::new(format!("rand/{fam}"), n), &n, |b, _| {
-                b.iter(|| {
-                    black_box(engine::run_randomized_with(
-                        &scheme,
-                        &config,
-                        &labeling,
-                        1,
-                        StreamMode::EdgeIndependent,
-                        &mut scratch,
-                    ))
+            // The criterion console report duplicates the explicit
+            // timings below; smoke mode skips it and keeps only the JSON
+            // measurements the gate consumes.
+            if !smoke_mode() {
+                group.bench_with_input(BenchmarkId::new(format!("det/{fam}"), n), &n, |b, _| {
+                    b.iter(|| black_box(engine::run_deterministic(&det, &config, &labeling)));
                 });
-            });
+                group.bench_with_input(BenchmarkId::new(format!("rand/{fam}"), n), &n, |b, _| {
+                    b.iter(|| {
+                        black_box(engine::run_randomized_with(
+                            &scheme,
+                            &config,
+                            &labeling,
+                            1,
+                            StreamMode::EdgeIndependent,
+                            &mut scratch,
+                        ))
+                    });
+                });
+            }
 
             // Explicit timings for the JSON trajectory (bigger budget on
-            // the big clique so at least a few full rounds are measured).
-            let budget = if fam == "clique" && n == 1024 {
+            // the big clique so at least a few full rounds are measured;
+            // smoke mode shrinks every budget to keep the PR job fast).
+            let full = if fam == "clique" && n == 1024 {
                 400
             } else {
                 150
             };
+            let budget = if smoke_mode() { full / 3 } else { full };
             let det_t = time_per_iter(
                 || {
                     black_box(engine::run_deterministic(&det, &config, &labeling));
@@ -256,21 +278,26 @@ fn bench_round_matrix(c: &mut Criterion, rows: &mut Vec<MatrixRow>) {
 struct AcceptanceResult {
     scheme: String,
     trials: usize,
+    batched_secs: f64,
     fast_secs: f64,
     unprepared_secs: f64,
     baseline_secs: f64,
     parallel_secs: f64,
     speedup: f64,
     prepared_speedup: f64,
+    batched_speedup: f64,
     parallel_speedup: f64,
     serial_estimate: f64,
     parallel_estimate: f64,
 }
 
-/// One acceptance-probability workload: fast serial (prepared), unprepared
-/// per-round, parallel, and alloc-baseline runners over the same scheme and
-/// labeling.
+/// One acceptance-probability workload: the batched trial engine (what
+/// `stats::acceptance_probability` runs today), the prepared scalar
+/// per-round loop (PR 2's fast path, kept for the `prepared_speedup`
+/// trajectory), the unprepared per-round loop, the parallel runner, and
+/// the alloc-baseline — all over the same scheme and labeling.
 trait Workload {
+    fn batched(&self, trials: usize, seed: u64) -> f64;
     fn fast(&self, trials: usize, seed: u64) -> f64;
     fn unprepared(&self, trials: usize, seed: u64) -> f64;
     fn parallel(&self, trials: usize, seed: u64) -> f64;
@@ -284,7 +311,7 @@ struct SchemeWorkload<'a, S: Rpls + Sync> {
 }
 
 impl<S: Rpls + Sync> Workload for SchemeWorkload<'_, S> {
-    fn fast(&self, trials: usize, seed: u64) -> f64 {
+    fn batched(&self, trials: usize, seed: u64) -> f64 {
         rpls_core::stats::acceptance_probability(
             self.scheme,
             self.config,
@@ -292,6 +319,28 @@ impl<S: Rpls + Sync> Workload for SchemeWorkload<'_, S> {
             trials,
             seed,
         )
+    }
+    /// The prepared *scalar* path: prepare once, then one
+    /// `run_randomized_prepared_with` round per trial with the estimator's
+    /// seed derivation. This is exactly what `acceptance_probability` ran
+    /// before the batched engine, so `prepared_speedup` keeps its meaning
+    /// across the JSON trajectory.
+    fn fast(&self, trials: usize, seed: u64) -> f64 {
+        let mut scratch = RoundScratch::new();
+        let prepared = self.scheme.prepare(self.config, self.labeling, trials);
+        let accepts = (0..trials)
+            .filter(|&t| {
+                engine::run_randomized_prepared_with(
+                    &*prepared,
+                    self.config,
+                    rpls_core::stats::trial_seed(seed, t as u64),
+                    StreamMode::EdgeIndependent,
+                    &mut scratch,
+                )
+                .accepted
+            })
+            .count();
+        accepts as f64 / trials as f64
     }
     /// The pre-prepared-layer estimator (the PR-1 shape): the scratch-reuse
     /// engine, but re-parsing labels and rebuilding polynomials every
@@ -332,41 +381,74 @@ impl<S: Rpls + Sync> Workload for SchemeWorkload<'_, S> {
 fn bench_acceptance_10k(results: &mut Vec<AcceptanceResult>) {
     let n = 256;
     let trials = 10_000;
+    // Smoke mode keeps the full 10k trials on the cheap runners (batched,
+    // prepared-scalar, parallel — their ratios are what the gate checks)
+    // and runs the two slow ones (unprepared, alloc-baseline) at a tenth,
+    // scaling their measured seconds back up. Both are strictly per-trial
+    // linear — no preparation, nothing amortised — so the extrapolated
+    // ratios stay comparable to the committed full run, which is what
+    // makes a 2x gate tolerance meaningful.
+    let heavy_scale = if smoke_mode() { 10 } else { 1 };
+    let heavy_trials = trials / heavy_scale;
     let seed = 0xA11CE;
 
     // Workload 1: the engine-pure scheme — isolates the engine speedup.
     let config = Configuration::plain(generators::cycle(n));
     let labeling = Labeling::empty(n);
     let payload = RandomPayload { bits: 16 };
-    // Workload 2: a real compiled scheme end to end.
+    // Workload 2: a real compiled scheme end to end. Under the honest
+    // labeling every fingerprint probe is statically satisfied, so this
+    // row measures the batched engine's best case.
     let st_config = spanning_tree_config(&config, rpls_graph::NodeId::new(0));
     let st = CompiledRpls::new(SpanningTreePls::new());
     let st_labels = Rpls::label(&st, &st_config);
+    // Workload 3: the same compiled scheme with one corrupted claimed
+    // replica — fractional acceptance, so the batched path runs its
+    // per-trial GF(p) probe kernel instead of the static shortcut.
+    let tampered_labels = {
+        let mut tampered = st_labels.clone();
+        let node = rpls_graph::NodeId::new(5);
+        let target = tampered.get(node).len() / 2;
+        let flipped: rpls_bits::BitString = tampered
+            .get(node)
+            .iter()
+            .enumerate()
+            .map(|(i, b)| if i == target { !b } else { b })
+            .collect();
+        tampered.set(node, flipped);
+        tampered
+    };
 
     let run = |name: &str, results: &mut Vec<AcceptanceResult>, w: &dyn Workload| {
         let t0 = Instant::now();
-        let serial_estimate = w.fast(trials, seed);
-        let fast_secs = t0.elapsed().as_secs_f64();
+        let serial_estimate = w.batched(trials, seed);
+        let batched_secs = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let parallel_estimate = w.parallel(trials, seed);
-        let parallel_secs = t1.elapsed().as_secs_f64();
+        let prepared_estimate = w.fast(trials, seed);
+        let fast_secs = t1.elapsed().as_secs_f64();
 
         let t2 = Instant::now();
-        let unprepared_estimate = w.unprepared(trials, seed);
-        let unprepared_secs = t2.elapsed().as_secs_f64();
+        let parallel_estimate = w.parallel(trials, seed);
+        let parallel_secs = t2.elapsed().as_secs_f64();
 
         let t3 = Instant::now();
-        let _ = w.baseline(trials, seed);
-        let baseline_secs = t3.elapsed().as_secs_f64();
+        let unprepared_estimate = w.unprepared(heavy_trials, seed);
+        let unprepared_secs = t3.elapsed().as_secs_f64() * heavy_scale as f64;
+
+        let t4 = Instant::now();
+        let _ = w.baseline(heavy_trials, seed);
+        let baseline_secs = t4.elapsed().as_secs_f64() * heavy_scale as f64;
 
         println!(
-            "bench: acceptance_10k_cycle256/{name} ... fast {fast_secs:.3}s | unprepared \
+            "bench: acceptance_cycle256/{name} ({trials} trials) ... batched \
+             {batched_secs:.4}s | prepared-scalar {fast_secs:.3}s | unprepared \
              {unprepared_secs:.3}s | parallel {parallel_secs:.3}s | alloc-baseline \
-             {baseline_secs:.3}s | speedup {:.2}x | prepared speedup {:.2}x | parallel speedup \
-             {:.2}x",
+             {baseline_secs:.3}s | speedup {:.2}x | prepared speedup {:.2}x | batched speedup \
+             {:.2}x | parallel speedup {:.2}x",
             baseline_secs / fast_secs,
             unprepared_secs / fast_secs,
+            fast_secs / batched_secs,
             baseline_secs / parallel_secs,
         );
         assert!(
@@ -374,18 +456,31 @@ fn bench_acceptance_10k(results: &mut Vec<AcceptanceResult>) {
             "serial and parallel estimates must be bit-identical"
         );
         assert!(
-            serial_estimate == unprepared_estimate,
+            serial_estimate == prepared_estimate,
+            "batched and prepared-scalar estimates must be bit-identical"
+        );
+        // The unprepared runner may have used the reduced trial count;
+        // compare it against the batched engine at the same count.
+        let unprepared_reference = if heavy_trials == trials {
+            serial_estimate
+        } else {
+            w.batched(heavy_trials, seed)
+        };
+        assert!(
+            unprepared_reference == unprepared_estimate,
             "prepared and unprepared estimates must be bit-identical"
         );
         results.push(AcceptanceResult {
             scheme: name.to_string(),
             trials,
+            batched_secs,
             fast_secs,
             unprepared_secs,
             baseline_secs,
             parallel_secs,
             speedup: baseline_secs / fast_secs,
             prepared_speedup: unprepared_secs / fast_secs,
+            batched_speedup: fast_secs / batched_secs,
             parallel_speedup: baseline_secs / parallel_secs,
             serial_estimate,
             parallel_estimate,
@@ -410,12 +505,24 @@ fn bench_acceptance_10k(results: &mut Vec<AcceptanceResult>) {
             labeling: &st_labels,
         },
     );
+    run(
+        "compiled_spanning_tree_tampered",
+        results,
+        &SchemeWorkload {
+            scheme: &st,
+            config: &st_config,
+            labeling: &tampered_labels,
+        },
+    );
 }
 
 fn write_json(rows: &[MatrixRow], acceptance: &[AcceptanceResult]) {
     let mut out = String::new();
-    out.push_str(
-        "{\n  \"bench\": \"engine\",\n  \"units\": {\"rounds_per_sec\": \"1/s\", \"secs\": \"s\"},\n",
+    let _ = writeln!(
+        out,
+        "{{\n  \"bench\": \"engine\",\n  \"mode\": \"{}\",\n  \"units\": {{\"rounds_per_sec\": \
+         \"1/s\", \"secs\": \"s\"}},",
+        if smoke_mode() { "smoke" } else { "full" }
     );
     out.push_str("  \"round_matrix\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -435,18 +542,21 @@ fn write_json(rows: &[MatrixRow], acceptance: &[AcceptanceResult]) {
     for (i, a) in acceptance.iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{\"scheme\": \"{}\", \"trials\": {}, \"fast_secs\": {:.4}, \
-             \"unprepared_secs\": {:.4}, \"baseline_secs\": {:.4}, \"parallel_secs\": {:.4}, \
-             \"speedup\": {:.2}, \"prepared_speedup\": {:.2}, \"parallel_speedup\": {:.2}, \
+            "    {{\"scheme\": \"{}\", \"trials\": {}, \"batched_secs\": {:.4}, \
+             \"fast_secs\": {:.4}, \"unprepared_secs\": {:.4}, \"baseline_secs\": {:.4}, \
+             \"parallel_secs\": {:.4}, \"speedup\": {:.2}, \"prepared_speedup\": {:.2}, \
+             \"batched_speedup\": {:.2}, \"parallel_speedup\": {:.2}, \
              \"serial_estimate\": {}, \"parallel_estimate\": {}, \"estimates_identical\": {}}}{}",
             a.scheme,
             a.trials,
+            a.batched_secs,
             a.fast_secs,
             a.unprepared_secs,
             a.baseline_secs,
             a.parallel_secs,
             a.speedup,
             a.prepared_speedup,
+            a.batched_speedup,
             a.parallel_speedup,
             a.serial_estimate,
             a.parallel_estimate,
@@ -456,8 +566,13 @@ fn write_json(rows: &[MatrixRow], acceptance: &[AcceptanceResult]) {
     }
     out.push_str("  ]\n}\n");
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    std::fs::write(path, out).expect("write BENCH_engine.json");
+    let file = if smoke_mode() {
+        "BENCH_engine_smoke.json"
+    } else {
+        "BENCH_engine.json"
+    };
+    let path = format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, out).expect("write bench JSON");
     println!("bench: wrote {path}");
 }
 

@@ -1,0 +1,342 @@
+//! The CI perf-regression gate over `BENCH_engine.json`.
+//!
+//! PR 1 bought ≈7× Monte-Carlo throughput and PR 2 another ≈21× on the
+//! compiled path; this module is how CI keeps them. The PR-time
+//! `bench-smoke` job runs `bench_engine` in smoke mode (reduced trial
+//! counts) and hands the emitted JSON plus the committed reference to
+//! [`check`], which fails the build when a tracked ratio regresses more
+//! than the allowed factor.
+//!
+//! Only **relative** metrics are compared — round throughput divided by
+//! the same run's allocation-per-trial baseline throughput, and the
+//! prepared/batched speedup ratios — never absolute seconds or absolute
+//! rounds/second. The smoke run uses smaller trial counts than the
+//! committed full run (so absolute seconds differ by construction) and CI
+//! runners are not the machine the reference was committed from (so
+//! absolute throughput differs by hardware); within-run ratios cancel
+//! both, while a genuine engine regression still collapses them. Rows are
+//! matched by `(family, n)` (round matrix) and by scheme name (acceptance
+//! table); rows present in only one file are skipped, so adding a
+//! workload never breaks the gate, and metrics missing from an older
+//! reference are simply not checked.
+//!
+//! The parser is deliberately minimal: it reads exactly the flat
+//! object-per-row schema `bench_engine` emits (no nested objects inside
+//! rows, no escaped quotes), because the workspace builds offline and a
+//! vendored full JSON parser would be all cost and no coverage.
+
+use std::collections::BTreeMap;
+
+/// One parsed benchmark row: its identity fields plus every numeric or
+/// boolean field, keyed by name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// String-valued fields (`family`, `scheme`, …).
+    pub tags: BTreeMap<String, String>,
+    /// Numeric fields (`n`, `rand_rounds_per_sec`, `prepared_speedup`, …);
+    /// booleans parse as 1.0 / 0.0.
+    pub nums: BTreeMap<String, f64>,
+}
+
+impl Row {
+    /// The row's identity within `section`: `family/n` for the round
+    /// matrix, the scheme name for the acceptance table.
+    #[must_use]
+    pub fn key(&self) -> String {
+        match (self.tags.get("family"), self.tags.get("scheme")) {
+            (Some(f), _) => format!("{f}/n={}", self.nums.get("n").copied().unwrap_or(0.0)),
+            (None, Some(s)) => s.clone(),
+            (None, None) => String::from("?"),
+        }
+    }
+}
+
+/// Extracts the bracketed array that follows `"name":` in `json`, or an
+/// empty slice when the section is absent.
+fn section<'a>(json: &'a str, name: &str) -> &'a str {
+    let Some(at) = json.find(&format!("\"{name}\"")) else {
+        return "";
+    };
+    let rest = &json[at..];
+    let Some(open) = rest.find('[') else {
+        return "";
+    };
+    let Some(close) = rest[open..].find(']') else {
+        return "";
+    };
+    &rest[open + 1..open + close]
+}
+
+/// Parses every flat `{…}` object inside `array` into a [`Row`].
+fn rows(array: &str) -> Vec<Row> {
+    let mut out = Vec::new();
+    let mut rest = array;
+    while let Some(open) = rest.find('{') {
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
+        let body = &rest[open + 1..open + close];
+        let mut row = Row {
+            tags: BTreeMap::new(),
+            nums: BTreeMap::new(),
+        };
+        // Fields are `"key": value` separated by commas; values contain no
+        // commas, braces, or escaped quotes in this schema.
+        for field in body.split(',') {
+            let Some((key, value)) = field.split_once(':') else {
+                continue;
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let value = value.trim();
+            if let Some(stripped) = value.strip_prefix('"') {
+                row.tags
+                    .insert(key, stripped.trim_end_matches('"').to_string());
+            } else if value == "true" || value == "false" {
+                row.nums.insert(key, f64::from(u8::from(value == "true")));
+            } else if let Ok(v) = value.parse::<f64>() {
+                row.nums.insert(key, v);
+            }
+        }
+        out.push(row);
+        rest = &rest[open + close + 1..];
+    }
+    out
+}
+
+/// Parses one bench JSON into its two row tables.
+#[must_use]
+pub fn parse(json: &str) -> (Vec<Row>, Vec<Row>) {
+    (
+        rows(section(json, "round_matrix")),
+        rows(section(json, "acceptance_probability_cycle256")),
+    )
+}
+
+/// Round-matrix comparisons, as `(name, numerator, denominator)` derived
+/// ratios: engine throughput is divided by the same run's
+/// allocation-per-trial baseline throughput, so the machine's absolute
+/// speed cancels — a slower CI runner slows both sides equally, while a
+/// real engine regression collapses the ratio. Higher is better.
+const MATRIX_RATIOS: &[(&str, &str, &str)] = &[
+    (
+        "det_vs_baseline",
+        "det_rounds_per_sec",
+        "baseline_rounds_per_sec",
+    ),
+    (
+        "rand_vs_baseline",
+        "rand_rounds_per_sec",
+        "baseline_rounds_per_sec",
+    ),
+];
+/// Scale-free metrics compared per acceptance row (already within-run
+/// ratios): higher is better.
+const ACCEPTANCE_METRICS: &[&str] = &["prepared_speedup", "batched_speedup"];
+
+/// The outcome of one gate run.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Metrics compared (present in both files).
+    pub checks: usize,
+    /// Human-readable failures; empty means the gate passes.
+    pub failures: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the build should pass.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares `current` (the smoke run) against `reference` (the committed
+/// trajectory): every shared scale-free metric must satisfy
+/// `current >= reference / max_regress`, and the current run's estimates
+/// must be path-identical. Returns the report; the `bench_gate` binary
+/// turns a non-empty failure list into a non-zero exit.
+///
+/// # Panics
+///
+/// Panics if `max_regress` is not a positive finite number.
+#[must_use]
+pub fn check(current: &str, reference: &str, max_regress: f64) -> GateReport {
+    assert!(
+        max_regress.is_finite() && max_regress > 0.0,
+        "max_regress must be positive"
+    );
+    let (cur_matrix, cur_acc) = parse(current);
+    let (ref_matrix, ref_acc) = parse(reference);
+    let mut report = GateReport::default();
+
+    // One comparison: the named value must not sit more than `max_regress`
+    // below the reference value.
+    let mut compare_one = |key: &str, metric: &str, c: f64, r: f64| {
+        report.checks += 1;
+        if c < r / max_regress {
+            report.failures.push(format!(
+                "{key} {metric}: {c:.2} is more than {max_regress}x below reference {r:.2}"
+            ));
+        }
+    };
+
+    // The derived within-run ratio of two row fields, when both are
+    // present and the denominator is positive.
+    let ratio = |row: &Row, num: &str, den: &str| -> Option<f64> {
+        match (row.nums.get(num), row.nums.get(den)) {
+            (Some(&n), Some(&d)) if d > 0.0 => Some(n / d),
+            _ => None,
+        }
+    };
+
+    let matrix_pairs: Vec<(&Row, &Row)> = cur_matrix
+        .iter()
+        .filter_map(|c| {
+            ref_matrix
+                .iter()
+                .find(|r| r.key() == c.key())
+                .map(|r| (c, r))
+        })
+        .collect();
+    for (cur, reference) in &matrix_pairs {
+        for &(name, num, den) in MATRIX_RATIOS {
+            let (Some(c), Some(r)) = (ratio(cur, num, den), ratio(reference, num, den)) else {
+                continue;
+            };
+            compare_one(&cur.key(), name, c, r);
+        }
+    }
+    let acc_pairs: Vec<(&Row, &Row)> = cur_acc
+        .iter()
+        .filter_map(|c| ref_acc.iter().find(|r| r.key() == c.key()).map(|r| (c, r)))
+        .collect();
+    for (cur, reference) in &acc_pairs {
+        for &metric in ACCEPTANCE_METRICS {
+            let (Some(&c), Some(&r)) = (cur.nums.get(metric), reference.nums.get(metric)) else {
+                continue;
+            };
+            compare_one(&cur.key(), metric, c, r);
+        }
+    }
+
+    if report.checks == 0 {
+        report
+            .failures
+            .push("no comparable metrics found — wrong file, or schema drift".into());
+    }
+    // Path-identity is a correctness bit, not a perf ratio: a current run
+    // whose serial and parallel estimates diverged must never pass.
+    for row in &cur_acc {
+        if row.nums.get("estimates_identical") == Some(&0.0) {
+            report
+                .failures
+                .push(format!("{}: estimates_identical is false", row.key()));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rand_rps: f64, prepared: f64, batched: Option<f64>, identical: bool) -> String {
+        let batched_field =
+            batched.map_or(String::new(), |b| format!("\"batched_speedup\": {b}, "));
+        format!(
+            "{{\n  \"bench\": \"engine\",\n  \"round_matrix\": [\n    {{\"family\": \"cycle\", \
+             \"n\": 64, \"det_rounds_per_sec\": 1000000, \"rand_rounds_per_sec\": {rand_rps}, \
+             \"baseline_rounds_per_sec\": 48000}}\n  \
+             ],\n  \"acceptance_probability_cycle256\": [\n    {{\"scheme\": \"compiled\", \
+             \"trials\": 1000, \"prepared_speedup\": {prepared}, {batched_field}\
+             \"estimates_identical\": {identical}}}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let j = sample(300000.0, 20.0, Some(50.0), true);
+        let report = check(&j, &j, 2.0);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.checks, 4);
+    }
+
+    #[test]
+    fn small_regressions_within_tolerance_pass() {
+        let cur = sample(160000.0, 11.0, Some(26.0), true);
+        let reference = sample(300000.0, 20.0, Some(50.0), true);
+        assert!(check(&cur, &reference, 2.0).failures.is_empty());
+    }
+
+    #[test]
+    fn throughput_collapse_fails() {
+        let cur = sample(100000.0, 20.0, Some(50.0), true);
+        let reference = sample(300000.0, 20.0, Some(50.0), true);
+        let report = check(&cur, &reference, 2.0);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("rand_vs_baseline"));
+    }
+
+    #[test]
+    fn uniformly_slower_machine_passes() {
+        // A runner 3x slower on every metric (engine and baseline alike)
+        // must not trip the gate: the within-run ratios are unchanged.
+        let reference = sample(300000.0, 20.0, Some(50.0), true);
+        let cur = reference
+            .replace("1000000", "333333")
+            .replace("300000", "100000")
+            .replace("48000", "16000");
+        let report = check(&cur, &reference, 2.0);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn speedup_collapse_fails() {
+        let cur = sample(300000.0, 5.0, Some(10.0), true);
+        let reference = sample(300000.0, 20.0, Some(50.0), true);
+        let report = check(&cur, &reference, 2.0);
+        assert_eq!(report.failures.len(), 2, "{:?}", report.failures);
+    }
+
+    #[test]
+    fn metric_missing_from_reference_is_skipped() {
+        // An older committed reference without batched_speedup must not
+        // fail a newer smoke run, and vice versa.
+        let cur = sample(300000.0, 20.0, Some(50.0), true);
+        let reference = sample(300000.0, 20.0, None, true);
+        let report = check(&cur, &reference, 2.0);
+        assert!(report.failures.is_empty());
+        assert_eq!(report.checks, 3);
+    }
+
+    #[test]
+    fn diverged_estimates_fail_regardless_of_speed() {
+        let cur = sample(300000.0, 20.0, Some(50.0), false);
+        let report = check(&cur, &cur, 2.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("estimates_identical")));
+    }
+
+    #[test]
+    fn empty_current_file_fails_loudly() {
+        let reference = sample(300000.0, 20.0, Some(50.0), true);
+        let report = check("{}", &reference, 2.0);
+        assert!(!report.failures.is_empty());
+    }
+
+    #[test]
+    fn real_schema_round_trips() {
+        // The committed reference itself must parse: guard against the
+        // emitter and the parser drifting apart.
+        let json = include_str!("../../../BENCH_engine.json");
+        let (matrix, acc) = parse(json);
+        assert!(matrix.len() >= 9);
+        assert!(acc.len() >= 2);
+        assert!(matrix[0].nums.contains_key("rand_rounds_per_sec"));
+        assert!(acc[0].nums.contains_key("prepared_speedup"));
+        let report = check(json, json, 2.0);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod gate;
 pub mod table;
 
 pub use table::Table;

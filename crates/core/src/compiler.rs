@@ -41,8 +41,10 @@
 //! polynomial evaluation. The prepared path is transcript-identical to the
 //! unprepared one — `tests/engine_golden.rs` pins it.
 
-use crate::buffer::Received;
+use crate::buffer::{Received, RoundScratch};
+use crate::engine::{RoundSummary, StreamMode};
 use crate::labeling::Labeling;
+use crate::rng::edge_stream_first_word;
 use crate::scheme::{CertView, DetView, ErrorSides, Pls, PreparedRpls, RandView, Rpls};
 use crate::state::Configuration;
 use rand::Rng;
@@ -276,7 +278,7 @@ impl<S: Pls> Rpls for CompiledRpls<S> {
                 }
             }
         };
-        let nodes = config
+        let nodes: Vec<PreparedNode> = config
             .graph()
             .nodes()
             .map(|v| {
@@ -317,11 +319,147 @@ impl<S: Pls> Rpls for CompiledRpls<S> {
                 PreparedNode { prover, verifier }
             })
             .collect();
+        let plan = BatchPlan::build(config, &nodes);
         Box::new(PreparedCompiled {
             scheme: self,
             config,
             nodes,
+            plan,
         })
+    }
+}
+
+/// The labeling-static plan of the batched trial path: how each node's
+/// vote is computed across a whole block of trials. Everything here is a
+/// pure function of the prepared labeling — certificate lengths, length
+/// checks, and which fingerprint probes are non-trivial do not depend on
+/// the round's randomness, so they are resolved once at preparation time
+/// and the per-(edge, trial) loop is left with one SplitMix64 word, one
+/// reduction, and two polynomial probes.
+struct BatchPlan {
+    /// Largest certificate any round generates (every cert length is
+    /// labeling-static: a node sends `message_bits` of its own protocol on
+    /// every port, or nothing when its prover prefix is malformed).
+    max_bits: usize,
+    /// Total certificate bits per round, over all directed edges.
+    total_bits: usize,
+    /// One entry per node, parallel to `PreparedCompiled::nodes`.
+    nodes: Vec<NodeBatch>,
+}
+
+/// How one node votes across a block of trials.
+enum NodeBatch {
+    /// The vote is `false` every trial: the replicated label failed to
+    /// parse (`VerifierPrep::Reject`), or some port statically fails the
+    /// certificate-length check (malformed sender prover, or a κ mismatch
+    /// that changes the message width).
+    AlwaysFalse,
+    /// Every fingerprint probe passes at every point (each sender
+    /// fingerprints exactly the string this node's port expects — the
+    /// honest-labeling case), so the vote is the memoised inner verdict.
+    StaticPass,
+    /// At least one port needs per-trial fingerprint probes; trivially
+    /// passing ports are already dropped.
+    Dynamic(Vec<EdgeCheck>),
+}
+
+/// One non-trivial per-trial fingerprint probe: the delivered certificate
+/// on some port of the receiving node, reduced to its algebraic content.
+struct EdgeCheck {
+    /// The sender's (node, port) — the key of the per-trial random stream.
+    src_node: u64,
+    src_port: u64,
+    /// The sender's field prime (the random point is drawn in this field).
+    send_mod: u64,
+    /// The receiver's field prime (the scalar path rejects points outside
+    /// it before evaluating).
+    recv_mod: u64,
+    /// The sender's prepared fingerprint (what the certificate claims).
+    sender: Rc<PreparedEq>,
+    /// The receiver's prepared fingerprint of the claimed neighbor copy.
+    receiver: Rc<PreparedEq>,
+}
+
+impl BatchPlan {
+    fn build(config: &Configuration, nodes: &[PreparedNode]) -> Self {
+        let g = config.graph();
+        let port_base = config.port_base();
+        let delivery = config.delivery();
+        // Owner of each global port (the inverse of the CSR layout).
+        let port_count = *port_base.last().expect("port_base has n+1 entries") as usize;
+        let mut owner = vec![0u32; port_count];
+        for v in 0..nodes.len() {
+            let node = u32::try_from(v).expect("node index fits in u32");
+            owner[port_base[v] as usize..port_base[v + 1] as usize].fill(node);
+        }
+        let mut max_bits = 0usize;
+        let mut total_bits = 0usize;
+        for (v, n) in nodes.iter().enumerate() {
+            let len = n.prover.as_ref().map_or(0, |p| p.protocol().message_bits());
+            let degree = g.degree(NodeId::new(v));
+            if degree > 0 {
+                max_bits = max_bits.max(len);
+            }
+            total_bits += degree * len;
+        }
+        let batch_nodes = nodes
+            .iter()
+            .enumerate()
+            .map(|(u, n)| {
+                let VerifierPrep::Ready {
+                    expected_bits,
+                    modulus,
+                    ports,
+                    ..
+                } = &n.verifier
+                else {
+                    return NodeBatch::AlwaysFalse;
+                };
+                let mut checks = Vec::new();
+                let lo = port_base[u] as usize;
+                for (i, recv_prep) in ports.iter().enumerate() {
+                    let src = delivery[lo + i] as usize;
+                    let v = owner[src] as usize;
+                    let p = src - port_base[v] as usize;
+                    let Some(send_prep) = &nodes[v].prover else {
+                        // A malformed sender prover emits empty
+                        // certificates, which can never match the expected
+                        // fingerprint width: the length check fails every
+                        // trial.
+                        return NodeBatch::AlwaysFalse;
+                    };
+                    if send_prep.protocol().message_bits() != *expected_bits {
+                        return NodeBatch::AlwaysFalse;
+                    }
+                    if Rc::ptr_eq(send_prep, recv_prep) {
+                        // Preparations are shared by (modulus,
+                        // fingerprinted string), so pointer equality means
+                        // the sender fingerprints exactly the string this
+                        // port expects: the probe passes at every point of
+                        // the field, every trial.
+                        continue;
+                    }
+                    checks.push(EdgeCheck {
+                        src_node: v as u64,
+                        src_port: p as u64,
+                        send_mod: send_prep.protocol().modulus(),
+                        recv_mod: *modulus,
+                        sender: Rc::clone(send_prep),
+                        receiver: Rc::clone(recv_prep),
+                    });
+                }
+                if checks.is_empty() {
+                    NodeBatch::StaticPass
+                } else {
+                    NodeBatch::Dynamic(checks)
+                }
+            })
+            .collect();
+        Self {
+            max_bits,
+            total_bits,
+            nodes: batch_nodes,
+        }
     }
 }
 
@@ -369,6 +507,29 @@ struct PreparedCompiled<'a, S> {
     scheme: &'a CompiledRpls<S>,
     config: &'a Configuration,
     nodes: Vec<PreparedNode>,
+    /// The labeling-static batched-trial plan (see [`BatchPlan`]).
+    plan: BatchPlan,
+}
+
+impl<S: Pls> PreparedCompiled<'_, S> {
+    /// The memoised inner verdict of node `u`, whose verifier prep must be
+    /// `Ready`. Shared between the scalar and batched paths, so whichever
+    /// runs first fills the same memo — and, matching the unprepared path,
+    /// it is only ever queried after a round (or trial) in which every
+    /// fingerprint check passed.
+    fn inner_verdict(&self, u: usize) -> bool {
+        let VerifierPrep::Ready { parts, inner, .. } = &self.nodes[u].verifier else {
+            unreachable!("inner verdict queried for a rejecting node");
+        };
+        *inner.get_or_init(|| {
+            let det = DetView {
+                local: crate::engine::local_context(self.config, NodeId::new(u)),
+                label: &parts[0],
+                neighbor_labels: parts[1..].iter().collect(),
+            };
+            self.scheme.inner.verify(&det)
+        })
+    }
 }
 
 impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
@@ -392,8 +553,7 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
             expected_bits,
             modulus,
             ports,
-            parts,
-            inner,
+            ..
         } = &self.nodes[node.index()].verifier
         else {
             return false;
@@ -409,14 +569,97 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
                 return false;
             }
         }
-        *inner.get_or_init(|| {
-            let det = DetView {
-                local: crate::engine::local_context(self.config, node),
-                label: &parts[0],
-                neighbor_labels: parts[1..].iter().collect(),
-            };
-            self.scheme.inner.verify(&det)
-        })
+        self.inner_verdict(node.index())
+    }
+
+    /// The batched trial loop the ROADMAP's "batch whole trials per node"
+    /// lever asked for. Certificates are never materialised: with
+    /// edge-independent streams, each (node, port, trial) certificate is a
+    /// pure function of `(seed_t, node, port)` — one SplitMix64 word
+    /// reduced into the sender's field — so the fingerprint check collapses
+    /// to comparing two prepared polynomial probes at that point. The
+    /// BitSlice parse, the table-vs-Horner dispatch, the arena writes, and
+    /// the per-trial vote loop of the scalar path are all hoisted out of
+    /// (or dropped from) the inner loop; summaries stay bit-identical to
+    /// the scalar path, which the golden tests pin.
+    fn run_trials(
+        &self,
+        config: &Configuration,
+        seeds: &[u64],
+        mode: StreamMode,
+        scratch: &mut RoundScratch,
+        emit: &mut dyn FnMut(RoundSummary),
+    ) {
+        // The shared-stream violation mode threads one generator across a
+        // node's ports sequentially; batching per (node, port) would
+        // reorder its draws, so that diagnostics mode keeps the scalar
+        // loop.
+        if mode != StreamMode::EdgeIndependent {
+            for &seed in seeds {
+                emit(crate::engine::run_randomized_prepared_with(
+                    self, config, seed, mode, scratch,
+                ));
+            }
+            return;
+        }
+        let plan = &self.plan;
+        let trials = seeds.len();
+        let mut acc = vec![true; trials];
+        let mut ok: Vec<bool> = Vec::with_capacity(trials);
+        'nodes: for (u, nb) in plan.nodes.iter().enumerate() {
+            match nb {
+                NodeBatch::AlwaysFalse => {
+                    acc.fill(false);
+                    break 'nodes;
+                }
+                NodeBatch::StaticPass => {
+                    if trials > 0 && !self.inner_verdict(u) {
+                        acc.fill(false);
+                        break 'nodes;
+                    }
+                }
+                NodeBatch::Dynamic(checks) => {
+                    // Trials some earlier node already rejected can skip
+                    // the probes: streams are per-(node, port, trial), so
+                    // nothing downstream observes the skipped draws.
+                    ok.clear();
+                    ok.extend_from_slice(&acc);
+                    for c in checks {
+                        let send = c.sender.evaluator();
+                        let recv = c.receiver.evaluator();
+                        for (t, &seed) in seeds.iter().enumerate() {
+                            if !ok[t] {
+                                continue;
+                            }
+                            let x =
+                                edge_stream_first_word(seed, c.src_node, c.src_port) % c.send_mod;
+                            ok[t] = x < c.recv_mod && recv.eval(x) == send.eval(x);
+                        }
+                    }
+                    if !ok.contains(&true) {
+                        acc.fill(false);
+                        break 'nodes;
+                    }
+                    if self.inner_verdict(u) {
+                        acc.copy_from_slice(&ok);
+                    } else {
+                        // The inner verifier rejects the claimed labels:
+                        // trials whose fingerprints all passed reach that
+                        // rejection, the rest already failed a probe —
+                        // either way every vote is false.
+                        acc.fill(false);
+                        break 'nodes;
+                    }
+                }
+            }
+        }
+        for &accepted in &acc {
+            emit(RoundSummary {
+                accepted,
+                max_certificate_bits: plan.max_bits,
+                total_certificate_bits: plan.total_bits,
+            });
+        }
     }
 }
 

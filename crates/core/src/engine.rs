@@ -20,8 +20,7 @@
 //! so the round loop is built for reuse: certificates live in a flat
 //! [`CertificateBuffer`](crate::buffer::CertificateBuffer) arena indexed by
 //! the configuration's CSR port layout, per-port randomness comes from
-//! counter-based [`PortRng`](crate::rng::PortRng) streams (no per-stream
-//! key expansion),
+//! counter-based [`PortRng`] streams (no per-stream key expansion),
 //! and [`run_randomized_with`] executes a round against a caller-owned
 //! [`RoundScratch`] without allocating after warm-up. [`run_randomized`]
 //! is the convenience wrapper that additionally materialises a full
@@ -32,7 +31,12 @@
 //! parsing and polynomial construction out of the loop entirely;
 //! [`run_randomized_prepared_with`] then runs a round of the prepared
 //! scheme — still bit-identical to the unprepared path, which the golden
-//! tests pin.
+//! tests pin. For many *trials* against one prepared labeling (the
+//! Monte-Carlo regime), [`run_trials_batched_with`] hands the whole block
+//! of per-trial seeds to [`PreparedRpls::run_trials`], letting schemes
+//! batch trials node-at-a-time — the compiled schemes skip certificate
+//! materialisation entirely — while emitting summaries bit-identical to
+//! the scalar loop.
 
 use crate::buffer::{Received, RoundScratch};
 use crate::labeling::Labeling;
@@ -322,6 +326,43 @@ pub fn run_randomized_prepared_with<P: PreparedRpls + ?Sized>(
         max_certificate_bits: buffer.max_bits(),
         total_certificate_bits: buffer.total_bits(),
     }
+}
+
+/// How many per-trial seeds the estimators hand to the batched engine at
+/// once. Bounds estimator memory at O(chunk) for any trial count while
+/// leaving whole-node batching intact — trials are independent, so chunked
+/// and unchunked runs are bit-identical, and any chunk in the thousands
+/// amortises the per-block plan walk to noise.
+pub(crate) const TRIAL_CHUNK: usize = 8192;
+
+/// Runs one verification round per seed in `seeds` against a prepared
+/// scheme, calling `emit` once per trial (in seed order) with that round's
+/// [`RoundSummary`] — the trial loop every Monte-Carlo estimator in
+/// [`stats`](crate::stats) and [`measure`](crate::measure) funnels into.
+///
+/// This delegates to [`PreparedRpls::run_trials`], whose default is a
+/// scalar loop over [`run_randomized_prepared_with`]; schemes with a
+/// batched override (notably
+/// [`CompiledRpls`](crate::compiler::CompiledRpls)) evaluate whole blocks
+/// of trials node-at-a-time instead, with per-(node, port) setup hoisted
+/// out of the inner loop. Either way the emitted summaries are
+/// **bit-identical** to running the scalar prepared path once per seed —
+/// `tests/engine_golden.rs` pins this — so estimates never depend on which
+/// path executed.
+///
+/// Batched overrides may skip materialising certificates, so unlike the
+/// single-round entry points this function makes no promise about the
+/// contents of `scratch` afterwards; only the emitted summaries are
+/// meaningful.
+pub fn run_trials_batched_with<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seeds: &[u64],
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+    emit: &mut dyn FnMut(RoundSummary),
+) {
+    prepared.run_trials(config, seeds, mode, scratch, emit);
 }
 
 #[cfg(test)]

@@ -28,9 +28,9 @@
 //!   exact bits;
 //! * [`adversary`] — label forgers used to probe soundness: exhaustive for
 //!   tiny label spaces, randomized hill-climbing otherwise;
-//! * [`local_decision`] — the label-free `LD(t)` baseline of [15]
-//!   (radius-t ball inspection), implemented so the repository can show
-//!   what proof labels buy over plain local decision.
+//! * [`local_decision`] — the label-free `LD(t)` baseline of
+//!   Fraigniaud–Korman–Peleg (radius-t ball inspection), implemented so the
+//!   repository can show what proof labels buy over plain local decision.
 //!
 //! # Examples
 //!

@@ -1,7 +1,7 @@
 //! Label-free local decision — the `LD` baseline the paper builds on.
 //!
 //! The introduction frames proof-labeling schemes against plain *local
-//! decision* (the class `LD` of Fraigniaud–Korman–Peleg [15], referenced
+//! decision* (the class `LD` of Fraigniaud–Korman–Peleg \[15], referenced
 //! throughout the paper and in its concluding open questions): every node
 //! inspects its radius-`t` ball — no prover, no labels — and the usual
 //! acceptance rule applies (all nodes `TRUE` on legal instances, at least
@@ -16,7 +16,7 @@
 //!   but cycles short enough to fit in the ball (length ≤ 2t + 1) are
 //!   caught;
 //! * with labels (a PLS) the same predicates become decidable at radius 1,
-//!   which is exactly the point of [31] and of this paper.
+//!   which is exactly the point of \[31] and of this paper.
 
 use crate::scheme::Predicate;
 use crate::state::Configuration;
@@ -48,7 +48,7 @@ impl Ball {
     }
 }
 
-/// A label-free local decision algorithm (the class `LD(t)` of [15]).
+/// A label-free local decision algorithm (the class `LD(t)` of \[15]).
 pub trait LocalDecision {
     /// Human-readable name.
     fn name(&self) -> String;

@@ -30,6 +30,34 @@ pub fn mix_seed(seed: u64, a: u64, b: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The first word of the `(seed, node, port)` stream, as a pure function —
+/// exactly what `PortRng::for_edge(seed, node, port).next_u64()` returns,
+/// without materialising the generator.
+///
+/// The batched trial engine draws its per-(edge, trial) randomness through
+/// this: schemes whose certificate consumes a single word (one field
+/// element — the compiled Theorem 3.1 schemes) can evaluate a whole block
+/// of trials as a counter block of these words, with no generator state,
+/// no `dyn Rng` dispatch, and bit-identical output to the scalar path.
+#[inline]
+#[must_use]
+pub fn edge_stream_first_word(seed: u64, node: u64, port: u64) -> u64 {
+    split_mix_output(mix_seed(seed, node, port).wrapping_add(GAMMA))
+}
+
+/// The SplitMix64 additive constant shared by [`PortRng`] and the
+/// counter-block path.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 output permutation applied to an advanced state word.
+#[inline]
+fn split_mix_output(state: u64) -> u64 {
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A counter-based SplitMix64 stream: the per-(node, port) generator of the
 /// randomized round engine.
 ///
@@ -72,11 +100,8 @@ impl PortRng {
 
 impl Rng for PortRng {
     fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        self.state = self.state.wrapping_add(GAMMA);
+        split_mix_output(self.state)
     }
 }
 
@@ -120,6 +145,18 @@ mod tests {
         let mut r = PortRng::for_edge(0, 0, 0);
         let ones: u32 = (0..1000).map(|_| r.next_u64().count_ones()).sum();
         assert!((30_000..34_000).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn edge_stream_first_word_matches_generator() {
+        for (seed, node, port) in [(0u64, 0u64, 0u64), (7, 3, 1), (u64::MAX, 255, 511)] {
+            let mut r = PortRng::for_edge(seed, node, port);
+            assert_eq!(
+                edge_stream_first_word(seed, node, port),
+                r.next_u64(),
+                "({seed}, {node}, {port})"
+            );
+        }
     }
 
     #[test]

@@ -7,18 +7,22 @@
 //! outcomes." [`boosted_accepts`] implements exactly that; the experiment
 //! E-B measures the promised exponential decay.
 //!
-//! All estimators run on the engine's allocation-free round loop: each
-//! public entry point owns (or borrows, for the `*_with` variants) one
-//! [`RoundScratch`] that every trial reuses, and prepares the labeling once
-//! ([`Rpls::prepare`]) so schemes with a prepared fast path (notably
-//! [`CompiledRpls`](crate::compiler::CompiledRpls)) parse labels and build
-//! fingerprint polynomials once per sweep instead of once per (node, port,
-//! trial). The feature-gated [`acceptance_probability_par`] shards trials
-//! across threads with the *same* per-trial seeds as the serial path, so
-//! both produce bit-identical estimates.
+//! All estimators run on the engine's batched trial loop
+//! ([`engine::run_trials_batched_with`]): each public entry point owns (or
+//! borrows, for the `*_with` variants) one [`RoundScratch`], prepares the
+//! labeling once ([`Rpls::prepare`]), and hands the whole block of
+//! per-trial seeds to the prepared scheme. Schemes with a batched
+//! [`PreparedRpls::run_trials`] override (notably
+//! [`CompiledRpls`](crate::compiler::CompiledRpls)) evaluate trials
+//! node-at-a-time with all per-(node, port) setup hoisted out of the inner
+//! loop; everything else falls back to the scalar prepared path. Estimates
+//! are bit-identical either way. The feature-gated
+//! [`acceptance_probability_par`] shards trials across threads with the
+//! *same* per-trial seeds as the serial path, so both produce bit-identical
+//! estimates.
 
 use crate::buffer::RoundScratch;
-use crate::engine::{self, mix_seed, StreamMode};
+use crate::engine::{self, mix_seed, StreamMode, TRIAL_CHUNK};
 use crate::labeling::Labeling;
 use crate::scheme::{PreparedRpls, Rpls};
 use crate::state::Configuration;
@@ -37,23 +41,39 @@ pub fn trial_seed(seed: u64, trial: u64) -> u64 {
     mix_seed(seed, trial, TAG_ACCEPT)
 }
 
-/// One trial of the acceptance estimator: the deterministic per-trial seed
-/// is [`trial_seed`] in every runner (serial and parallel).
-fn trial_accepts(
+/// Counts accepting rounds over `trials` trials whose seeds are
+/// `seed_of(0..trials)` — every estimator (serial and parallel) funnels
+/// its trials through the batched engine here, so schemes with a
+/// [`PreparedRpls::run_trials`] override (notably the compiled ones)
+/// evaluate whole blocks per node instead of paying per-(node, port,
+/// trial) overhead. Seeds are generated chunk-wise into the caller's
+/// reusable buffer. Counts are bit-identical to running the scalar
+/// prepared path once per seed.
+fn count_accepts(
     prepared: &dyn PreparedRpls,
     config: &Configuration,
-    seed: u64,
-    trial: u64,
+    trials: usize,
+    seed_of: &dyn Fn(u64) -> u64,
     scratch: &mut RoundScratch,
-) -> bool {
-    engine::run_randomized_prepared_with(
-        prepared,
-        config,
-        trial_seed(seed, trial),
-        StreamMode::EdgeIndependent,
-        scratch,
-    )
-    .accepted
+    seeds_buf: &mut Vec<u64>,
+) -> usize {
+    let mut accepts = 0usize;
+    let mut next = 0usize;
+    while next < trials {
+        let chunk = TRIAL_CHUNK.min(trials - next);
+        seeds_buf.clear();
+        seeds_buf.extend((next..next + chunk).map(|t| seed_of(t as u64)));
+        next += chunk;
+        engine::run_trials_batched_with(
+            prepared,
+            config,
+            seeds_buf,
+            StreamMode::EdgeIndependent,
+            scratch,
+            &mut |summary| accepts += usize::from(summary.accepted),
+        );
+    }
+    accepts
 }
 
 /// Estimates `Pr[verifier accepts]` over `trials` independent rounds.
@@ -85,9 +105,15 @@ pub fn acceptance_probability_with<S: Rpls + ?Sized>(
 ) -> f64 {
     assert!(trials > 0, "need at least one trial");
     let prepared = scheme.prepare(config, labeling, trials);
-    let accepts = (0..trials)
-        .filter(|&t| trial_accepts(&*prepared, config, seed, t as u64, scratch))
-        .count();
+    let mut seeds_buf = Vec::new();
+    let accepts = count_accepts(
+        &*prepared,
+        config,
+        trials,
+        &|t| trial_seed(seed, t),
+        scratch,
+        &mut seeds_buf,
+    );
     accepts as f64 / trials as f64
 }
 
@@ -127,13 +153,19 @@ pub fn acceptance_probability_par<S: Rpls + Sync + ?Sized>(
                     // preparation is a pure function of the labeling, so
                     // per-trial transcripts stay identical to serial.
                     let prepared = scheme.prepare(config, labeling, trials.div_ceil(workers));
-                    // Strided sharding: worker w takes trials w, w+k, …
-                    (w..trials)
-                        .step_by(workers)
-                        .filter(|&t| {
-                            trial_accepts(&*prepared, config, seed, t as u64, &mut scratch)
-                        })
-                        .count()
+                    // Strided sharding: worker w takes trials w, w+k, … —
+                    // each shard runs as one batch with the same per-trial
+                    // seeds the serial path derives.
+                    let shard = (trials - w).div_ceil(workers);
+                    let mut seeds_buf = Vec::new();
+                    count_accepts(
+                        &*prepared,
+                        config,
+                        shard,
+                        &|i| trial_seed(seed, w as u64 + i * workers as u64),
+                        &mut scratch,
+                        &mut seeds_buf,
+                    )
                 })
             })
             .collect();
@@ -169,7 +201,14 @@ pub fn boosted_accepts_with<S: Rpls + ?Sized>(
     scratch: &mut RoundScratch,
 ) -> bool {
     let prepared = scheme.prepare(config, labeling, repetitions);
-    boosted_accepts_prepared(&*prepared, config, repetitions, seed, scratch)
+    boosted_accepts_prepared(
+        &*prepared,
+        config,
+        repetitions,
+        seed,
+        scratch,
+        &mut Vec::new(),
+    )
 }
 
 /// The boosted verdict against an already-prepared scheme.
@@ -179,20 +218,17 @@ fn boosted_accepts_prepared(
     repetitions: usize,
     seed: u64,
     scratch: &mut RoundScratch,
+    seeds_buf: &mut Vec<u64>,
 ) -> bool {
     assert!(repetitions > 0, "need at least one repetition");
-    let accepts = (0..repetitions)
-        .filter(|&r| {
-            engine::run_randomized_prepared_with(
-                prepared,
-                config,
-                mix_seed(seed, r as u64, TAG_BOOST),
-                StreamMode::EdgeIndependent,
-                scratch,
-            )
-            .accepted
-        })
-        .count();
+    let accepts = count_accepts(
+        prepared,
+        config,
+        repetitions,
+        &|r| mix_seed(seed, r, TAG_BOOST),
+        scratch,
+        seeds_buf,
+    );
     2 * accepts > repetitions
 }
 
@@ -207,8 +243,10 @@ pub fn boosted_acceptance_probability<S: Rpls + ?Sized>(
 ) -> f64 {
     assert!(trials > 0, "need at least one trial");
     let mut scratch = RoundScratch::new();
-    // One preparation covers the whole trials × repetitions sweep.
+    // One preparation and one seeds buffer cover the whole trials ×
+    // repetitions sweep.
     let prepared = scheme.prepare(config, labeling, trials.saturating_mul(repetitions));
+    let mut seeds_buf = Vec::new();
     let accepts = (0..trials)
         .filter(|&t| {
             boosted_accepts_prepared(
@@ -217,6 +255,7 @@ pub fn boosted_acceptance_probability<S: Rpls + ?Sized>(
                 repetitions,
                 mix_seed(seed, t as u64, TAG_BOOST_TRIALS),
                 &mut scratch,
+                &mut seeds_buf,
             )
         })
         .count();

@@ -252,9 +252,18 @@ impl PreparedEq {
     /// `A(x)` at the raw residue `x`, which must be `< p`.
     #[must_use]
     pub fn eval(&self, x: u64) -> u64 {
-        match &self.table {
-            Some(t) => t[x as usize],
-            None => self.poly.eval_raw(x),
+        self.evaluator().eval(x)
+    }
+
+    /// A borrowed evaluation view with the table-vs-Horner dispatch (and
+    /// the table bounds information) resolved once, for callers that probe
+    /// the same prepared polynomial many times in a tight loop — the
+    /// batched trial engine evaluates one of these per (edge, trial).
+    #[must_use]
+    pub fn evaluator(&self) -> EqEvaluator<'_> {
+        EqEvaluator {
+            table: self.table.as_deref(),
+            prep: self,
         }
     }
 
@@ -274,6 +283,36 @@ impl PreparedEq {
     #[must_use]
     pub fn bob_accepts(&self, msg: &EqMessage) -> bool {
         msg.point < self.proto.modulus && self.eval(msg.point) == msg.value
+    }
+}
+
+/// A borrowed, loop-hoisted evaluation view of a [`PreparedEq`] (see
+/// [`PreparedEq::evaluator`]): the table reference (when one was
+/// materialised) is resolved once instead of per probe.
+///
+/// Values are identical to [`PreparedEq::eval`] for every `x < p`.
+#[derive(Debug, Clone, Copy)]
+pub struct EqEvaluator<'a> {
+    table: Option<&'a [u64]>,
+    prep: &'a PreparedEq,
+}
+
+impl EqEvaluator<'_> {
+    /// `A(x)` at the raw residue `x`, which must be `< p`.
+    #[inline]
+    #[must_use]
+    pub fn eval(&self, x: u64) -> u64 {
+        match self.table {
+            Some(t) => t[x as usize],
+            None => self.prep.poly.eval_raw(x),
+        }
+    }
+
+    /// The field prime of the underlying protocol.
+    #[inline]
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.prep.proto.modulus
     }
 }
 
@@ -407,6 +446,21 @@ mod tests {
         // Likewise an input longer than λ on the verifier side.
         assert!(!proto.bob_accepts(&BitString::zeros(9), &honest));
         assert!(proto.prepare(&BitString::zeros(9), 0).is_none());
+    }
+
+    #[test]
+    fn evaluator_matches_prepared_eval_with_and_without_table() {
+        let proto = EqProtocol::for_length(40);
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = random_bits(40, &mut rng);
+        for rounds in [0usize, usize::MAX] {
+            let prep = proto.prepare(&a, rounds).unwrap();
+            let ev = prep.evaluator();
+            assert_eq!(ev.modulus(), proto.modulus());
+            for x in 0..proto.modulus() {
+                assert_eq!(ev.eval(x), prep.eval(x), "x = {x}, rounds = {rounds}");
+            }
+        }
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub mod field;
 pub mod poly;
 pub mod prime;
 
-pub use eq::{EqMessage, EqProtocol, PreparedEq};
+pub use eq::{EqEvaluator, EqMessage, EqProtocol, PreparedEq};
 pub use field::Fp;
 pub use poly::BitPolynomial;

@@ -114,10 +114,11 @@ fn compiled_acyclicity_sound_against_replayed_labels() {
 
 /// Verifiers must be *total*: arbitrary garbage labelings and arbitrary
 /// garbage certificates may make them reject, never panic. Every scheme in
-/// `rpls-schemes` is pushed through four verifier surfaces — the
-/// deterministic verifier, the compiled randomized verifier (unprepared
-/// and prepared paths), the certificate-corruption wrapper below, and the
-/// `ExchangeLabels` baseline.
+/// `rpls-schemes` is pushed through every verifier surface — the
+/// deterministic verifier, the compiled randomized verifier (unprepared,
+/// prepared-scalar, and batched trial paths, in both stream modes), the
+/// certificate-corruption wrapper below, and the `ExchangeLabels`
+/// baseline.
 mod never_panic {
     use proptest::collection::vec;
     use proptest::prelude::*;
@@ -239,10 +240,28 @@ mod never_panic {
         let _ = engine::run_deterministic(&scheme, config, &labeling);
 
         // Compiled verifier on garbage labels: unprepared round, then the
-        // prepared estimator path.
+        // prepared estimator path (which routes through the batched trial
+        // engine), then the batched hook driven directly — whole blocks of
+        // trials against corrupted replicas must reject, never panic.
         let compiled = CompiledRpls::new(scheme.clone());
         let _ = engine::run_randomized(&compiled, config, &labeling, seed);
         let _ = stats::acceptance_probability(&compiled, config, &labeling, 2, seed);
+        {
+            use rpls::core::engine::StreamMode;
+            use rpls::core::RoundScratch;
+            let prepared = Rpls::prepare(&compiled, config, &labeling, 3);
+            let mut scratch = RoundScratch::new();
+            for mode in [StreamMode::EdgeIndependent, StreamMode::SharedPerNode] {
+                engine::run_trials_batched_with(
+                    &*prepared,
+                    config,
+                    &[seed, seed ^ 5, seed ^ 9],
+                    mode,
+                    &mut scratch,
+                    &mut |_| {},
+                );
+            }
+        }
 
         // Honest labels but corrupted certificates, then garbage labels
         // *and* corrupted certificates, through both paths.

@@ -309,6 +309,225 @@ fn prepared_estimates_match_manual_unprepared_loop() {
     );
 }
 
+/// Every scheme in `rpls-schemes`, compiled and run across the three trial
+/// paths — unprepared per-round, prepared scalar per-round, and the batched
+/// trial engine — must produce identical per-trial summaries and identical
+/// acceptance estimates, for honest, tampered, and garbage labelings. This
+/// is the contract that lets `stats`/`measure` route everything through
+/// `engine::run_trials_batched_with` without estimates ever depending on
+/// which path executed.
+mod batched_identity {
+    use super::*;
+    use rpls::core::engine::RoundSummary;
+    use rpls::core::stats;
+    use rpls::graph::NodeId;
+
+    /// Flips one mid-label bit of node 1 (or the first node with a
+    /// non-empty label), producing a tampered-replica labeling.
+    fn tamper(labeling: &Labeling) -> Labeling {
+        let mut out = labeling.clone();
+        for v in 0..out.len() {
+            let label = out.get(NodeId::new(v));
+            if label.is_empty() {
+                continue;
+            }
+            let target = label.len() / 2;
+            let flipped: rpls::bits::BitString = label
+                .iter()
+                .enumerate()
+                .map(|(i, b)| if i == target { !b } else { b })
+                .collect();
+            out.set(NodeId::new(v), flipped);
+            break;
+        }
+        out
+    }
+
+    /// Drives one compiled scheme through the three paths on one labeling
+    /// and asserts bit-identity of summaries and estimates.
+    fn check<S: Pls + Sync>(
+        name: &str,
+        scheme: &CompiledRpls<S>,
+        config: &Configuration,
+        labeling: &Labeling,
+    ) {
+        let trials = 120usize;
+        let seed = 0xB417u64;
+        let seeds: Vec<u64> = (0..trials)
+            .map(|t| stats::trial_seed(seed, t as u64))
+            .collect();
+
+        // Scalar prepared per-round loop.
+        let prepared = scheme.prepare(config, labeling, trials);
+        let mut scratch = RoundScratch::new();
+        let scalar: Vec<RoundSummary> = seeds
+            .iter()
+            .map(|&s| {
+                engine::run_randomized_prepared_with(
+                    &*prepared,
+                    config,
+                    s,
+                    StreamMode::EdgeIndependent,
+                    &mut scratch,
+                )
+            })
+            .collect();
+
+        // Batched trial loop on a fresh preparation (the verdict memo of
+        // the scalar run must not mask a batched-path divergence).
+        let prepared2 = scheme.prepare(config, labeling, trials);
+        let mut batched: Vec<RoundSummary> = Vec::new();
+        engine::run_trials_batched_with(
+            &*prepared2,
+            config,
+            &seeds,
+            StreamMode::EdgeIndependent,
+            &mut scratch,
+            &mut |s| batched.push(s),
+        );
+        assert_eq!(scalar, batched, "{name}: batched vs scalar summaries");
+
+        // Unprepared per-round loop, and the public estimator (which
+        // routes through the batched engine).
+        let mut unprepared_scratch = RoundScratch::new();
+        let manual = seeds
+            .iter()
+            .filter(|&&s| {
+                engine::run_randomized_with(
+                    scheme,
+                    config,
+                    labeling,
+                    s,
+                    StreamMode::EdgeIndependent,
+                    &mut unprepared_scratch,
+                )
+                .accepted
+            })
+            .count() as f64
+            / trials as f64;
+        let estimate = stats::acceptance_probability(scheme, config, labeling, trials, seed);
+        assert!(
+            manual == estimate,
+            "{name}: unprepared {manual} != batched estimate {estimate}"
+        );
+
+        // The shared-stream violation mode falls back to the scalar path;
+        // it must stay transcript-identical too.
+        let shared_scalar: Vec<RoundSummary> = seeds
+            .iter()
+            .take(16)
+            .map(|&s| {
+                engine::run_randomized_prepared_with(
+                    &*prepared,
+                    config,
+                    s,
+                    StreamMode::SharedPerNode,
+                    &mut scratch,
+                )
+            })
+            .collect();
+        let mut shared_batched: Vec<RoundSummary> = Vec::new();
+        engine::run_trials_batched_with(
+            &*prepared2,
+            config,
+            &seeds[..16],
+            StreamMode::SharedPerNode,
+            &mut scratch,
+            &mut |s| shared_batched.push(s),
+        );
+        assert_eq!(shared_scalar, shared_batched, "{name}: shared mode");
+
+        #[cfg(feature = "parallel")]
+        {
+            let par =
+                stats::acceptance_probability_par(scheme, config, labeling, trials, seed, Some(3));
+            assert!(
+                par == estimate,
+                "{name}: parallel {par} != serial {estimate}"
+            );
+        }
+    }
+
+    /// Runs the full honest/tampered/garbage matrix for one scheme.
+    fn matrix<S: Pls + Clone + Sync>(name: &str, inner: S, config: &Configuration) {
+        let scheme = CompiledRpls::new(inner);
+        let honest = Rpls::label(&scheme, config);
+        check(name, &scheme, config, &honest);
+        check(name, &scheme, config, &tamper(&honest));
+        let garbage = Labeling::new(
+            (0..config.node_count())
+                .map(|i| rpls::bits::BitString::zeros(i % 5))
+                .collect(),
+        );
+        check(name, &scheme, config, &garbage);
+    }
+
+    #[test]
+    fn every_scheme_is_bit_identical_across_paths() {
+        use rpls::schemes::*;
+        let plain5 = Configuration::plain(generators::cycle(5));
+        let path5 = Configuration::plain(generators::path(5));
+        let cyc6 = Configuration::plain(generators::cycle(6));
+
+        matrix("acyclicity", acyclicity::AcyclicityPls::new(), &path5);
+        matrix(
+            "biconnectivity",
+            biconnectivity::BiconnectivityPls::new(),
+            &plain5,
+        );
+        matrix(
+            "coloring",
+            coloring::ColoringPls::new(),
+            &coloring::greedy_coloring_config(&plain5),
+        );
+        matrix(
+            "cycle_at_least",
+            cycle_at_least::CycleAtLeastPls::new(4),
+            &plain5,
+        );
+        matrix(
+            "leader",
+            leader::LeaderPls::new(),
+            &leader::leader_config(&plain5, NodeId::new(2)),
+        );
+        matrix(
+            "spanning_tree",
+            SpanningTreePls::new(),
+            &spanning_tree_config(&plain5, NodeId::new(0)),
+        );
+        matrix(
+            "uniformity",
+            uniformity::UniformityPls::new(),
+            &uniformity::uniform_config(&plain5, &rpls::bits::BitString::zeros(16)),
+        );
+        matrix(
+            "mst",
+            mst::MstPls::new(),
+            &mst::mst_config(&Configuration::plain(
+                generators::cycle(5).with_weights(&[4, 1, 5, 2, 3]),
+            )),
+        );
+        matrix(
+            "flow",
+            flow::FlowPls::new(flow::FlowPredicate::new(0, 3, 2)),
+            &cyc6,
+        );
+        matrix(
+            "vertex_connectivity",
+            vertex_connectivity::StConnectivityPls::new(
+                vertex_connectivity::StConnectivityPredicate::new(0, 3, 2),
+            ),
+            &cyc6,
+        );
+        matrix(
+            "cycle_at_most",
+            cycle_at_most::cycle_at_most_pls(6),
+            &plain5,
+        );
+        matrix("symmetry", symmetry::symmetry_pls(), &path5);
+    }
+}
+
 /// The deterministic engine still agrees with the randomized compilation on
 /// honest inputs (Theorem 3.1 completeness), end to end through the facade.
 #[test]
