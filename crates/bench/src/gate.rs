@@ -130,8 +130,14 @@ const MATRIX_RATIOS: &[(&str, &str, &str)] = &[
     ),
 ];
 /// Scale-free metrics compared per acceptance row (already within-run
-/// ratios): higher is better.
-const ACCEPTANCE_METRICS: &[&str] = &["prepared_speedup", "batched_speedup"];
+/// ratios): higher is better. `prep_amortized_speedup` is the
+/// adversary-sweep row's shared-`PrepCache` vs per-labeling-prepare ratio;
+/// losing cross-labeling preparation sharing collapses it.
+const ACCEPTANCE_METRICS: &[&str] = &[
+    "prepared_speedup",
+    "batched_speedup",
+    "prep_amortized_speedup",
+];
 
 /// The outcome of one gate run.
 #[derive(Debug, Clone, Default)]
@@ -309,6 +315,61 @@ mod tests {
         assert_eq!(report.checks, 3);
     }
 
+    /// A second acceptance-array row shaped like the adversary-sweep
+    /// workload (its scale-free metric is `prep_amortized_speedup`).
+    fn with_sweep(base: &str, amortized: f64, identical: bool) -> String {
+        let sweep = format!(
+            "    {{\"scheme\": \"adversary_sweep64\", \"trials\": 256, \"labelings\": 64, \
+             \"sweep_secs\": 0.05, \"per_prepare_secs\": 0.50, \
+             \"prep_amortized_speedup\": {amortized}, \"estimates_identical\": {identical}}}\n  ]"
+        );
+        let at = base.rfind("  ]").expect("acceptance array close");
+        let mut out = String::from(&base[..at]);
+        // The previous row needs a separating comma.
+        let brace = out.rfind('}').expect("previous row");
+        out.insert(brace + 1, ',');
+        out.push_str(&sweep);
+        out.push_str(&base[at + 3..]);
+        out
+    }
+
+    #[test]
+    fn sweep_amortization_collapse_fails() {
+        let base = sample(300000.0, 20.0, Some(50.0), true);
+        let reference = with_sweep(&base, 8.0, true);
+        // Within tolerance: 8.0 → 4.5 is less than 2x down.
+        let ok = with_sweep(&base, 4.5, true);
+        assert!(check(&ok, &reference, 2.0).failures.is_empty());
+        // Collapse: the cache stopped sharing, the ratio fell to ~1.
+        let collapsed = with_sweep(&base, 1.1, true);
+        let report = check(&collapsed, &reference, 2.0);
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("prep_amortized_speedup"));
+        assert!(report.failures[0].contains("adversary_sweep64"));
+    }
+
+    #[test]
+    fn sweep_row_missing_from_reference_is_skipped() {
+        // Gating a new smoke run against a pre-sweep reference must not
+        // fail: rows present in only one file are skipped.
+        let reference = sample(300000.0, 20.0, Some(50.0), true);
+        let cur = with_sweep(&reference, 9.0, true);
+        let report = check(&cur, &reference, 2.0);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.checks, 4);
+    }
+
+    #[test]
+    fn sweep_estimate_divergence_fails_regardless_of_speed() {
+        let base = sample(300000.0, 20.0, Some(50.0), true);
+        let cur = with_sweep(&base, 50.0, false);
+        let report = check(&cur, &cur, 2.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("adversary_sweep64") && f.contains("estimates_identical")));
+    }
+
     #[test]
     fn diverged_estimates_fail_regardless_of_speed() {
         let cur = sample(300000.0, 20.0, Some(50.0), false);
@@ -336,6 +397,11 @@ mod tests {
         assert!(acc.len() >= 2);
         assert!(matrix[0].nums.contains_key("rand_rounds_per_sec"));
         assert!(acc[0].nums.contains_key("prepared_speedup"));
+        assert!(
+            acc.iter()
+                .any(|r| r.nums.contains_key("prep_amortized_speedup")),
+            "committed reference must include the adversary-sweep row"
+        );
         let report = check(json, json, 2.0);
         assert!(report.failures.is_empty(), "{:?}", report.failures);
     }

@@ -32,18 +32,26 @@
 //! re-parse the replicated label and rebuild the fingerprint polynomial on
 //! every call — fine for one round, ruinous for a 10k-trial Monte-Carlo
 //! estimate. [`Rpls::prepare`] is overridden here to hoist all of that out
-//! of the round loop: per labeling, each replicated label is parsed once,
-//! each inner label length-prefixed once, one [`PreparedEq`] built per
-//! node for the prover side and one per claimed neighbor copy for the
-//! verifier side (with full evaluation tables at Monte-Carlo trial
-//! counts), and the randomness-independent inner verdict memoised. Each
-//! (node, port, trial) then costs one random field element plus one
-//! polynomial evaluation. The prepared path is transcript-identical to the
-//! unprepared one — `tests/engine_golden.rs` pins it.
+//! of the round loop: each distinct replicated label is parsed once, each
+//! inner label length-prefixed once, one [`PreparedEq`] built per distinct
+//! `(modulus, fingerprinted string)` (with *lazily* built evaluation
+//! tables — filled only for polynomials the dynamic probes actually hit,
+//! see [`PreparedEq`]), and the randomness-independent inner verdict
+//! memoised. Each (node, port, trial) then costs one random field element
+//! plus one polynomial evaluation.
+//!
+//! All of that per-label state is content-keyed, so it lives in a
+//! [`PrepCache`] rather than per prepared instance: [`Rpls::prepare_cached`]
+//! reuses one cache across labelings — an adversary sweeping hundreds of
+//! near-identical forged candidates re-prepares only the labels that
+//! actually changed — while plain [`Rpls::prepare`] runs the same code
+//! against a throwaway cache. Both are transcript-identical to the
+//! unprepared path — `tests/engine_golden.rs` pins it.
 
 use crate::buffer::{Received, RoundScratch};
 use crate::engine::{RoundSummary, StreamMode};
 use crate::labeling::Labeling;
+use crate::prep::{CachedLabel, CachedReplication, PrepCache};
 use crate::rng::edge_stream_first_word;
 use crate::scheme::{CertView, DetView, ErrorSides, Pls, PreparedRpls, RandView, Rpls};
 use crate::state::Configuration;
@@ -52,8 +60,6 @@ use rpls_bits::{BitReader, BitString, BitWriter};
 use rpls_fingerprint::{EqMessage, EqProtocol, PreparedEq};
 use rpls_graph::NodeId;
 use std::cell::OnceCell;
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Length-prefix width used both in the replicated label layout and in the
@@ -242,81 +248,48 @@ impl<S: Pls> Rpls for CompiledRpls<S> {
         labeling: &'a Labeling,
         rounds_hint: usize,
     ) -> Box<dyn PreparedRpls + 'a> {
+        // One throwaway cache: preparation state is always built through
+        // the cache machinery, `prepare` simply never shares it with a
+        // later call. Cached and uncached preparation are therefore the
+        // same code path, which is what keeps them transcript-identical by
+        // construction.
+        self.prepare_cached(config, labeling, rounds_hint, &mut PrepCache::new())
+    }
+
+    fn prepare_cached<'a>(
+        &'a self,
+        config: &'a Configuration,
+        labeling: &'a Labeling,
+        rounds_hint: usize,
+        cache: &mut PrepCache,
+    ) -> Box<dyn PreparedRpls + 'a> {
         assert_eq!(
             labeling.len(),
             config.node_count(),
             "one label per node required"
         );
-        // Fingerprint preparations are shared by (modulus, fingerprinted
-        // string): under an honest labeling, node v's inner label is
-        // prepared once as v's prover polynomial and once per neighbor's
-        // claimed copy — identical inputs, one table. The map also
-        // enforces an aggregate cap on evaluation-table memory (entries of
-        // `u64`, so 2²³ ≈ 64 MiB): each table is already capped
-        // individually inside `EqProtocol::prepare`, but an adversarial
-        // labeling can declare a large κ on *every* node and multiply
-        // per-table cost by nodes × ports. Once the budget is spent, later
-        // fingerprints fall back to per-round Horner — values are
-        // identical either way, so transcripts do not depend on sharing or
-        // on where the budget runs out.
-        let mut table_budget: u64 = 1 << 23;
-        let mut shared: HashMap<(u64, BitString), Rc<PreparedEq>> = HashMap::new();
-        let mut prepare_eq = |proto: &EqProtocol, input: BitString| -> Option<Rc<PreparedEq>> {
-            match shared.entry((proto.modulus(), input)) {
-                Entry::Occupied(e) => Some(Rc::clone(e.get())),
-                Entry::Vacant(e) => {
-                    let hint = if table_budget >= proto.modulus() {
-                        rounds_hint
-                    } else {
-                        0
-                    };
-                    let prep = Rc::new(proto.prepare(&e.key().1, hint)?);
-                    if prep.has_table() {
-                        table_budget -= proto.modulus();
-                    }
-                    Some(Rc::clone(e.insert(prep)))
-                }
-            }
-        };
+        // Each distinct label is parsed and fingerprint-prepared once per
+        // *cache*, not once per labeling: under an honest labeling node
+        // v's inner label is prepared once as v's prover polynomial and
+        // once per neighbor's claimed copy (identical inputs, one shared
+        // preparation), and across a sweep's near-identical candidate
+        // labelings almost every lookup is a hash hit. Whether a node's
+        // replication matches its degree is the only per-(config, node)
+        // fact, resolved here at binding time.
         let nodes: Vec<PreparedNode> = config
             .graph()
             .nodes()
             .map(|v| {
-                let label = labeling.get(v);
-                // Prover side: the (κ, own-label) prefix, parsed and
-                // fingerprint-prepared once. A malformed prefix keeps the
-                // unprepared behaviour — empty certificates, no randomness
-                // drawn.
-                let prover = parse_own_label(label).map(|(kappa, own)| {
-                    prepare_eq(
-                        &EqProtocol::for_length(LEN_BITS as usize + kappa),
-                        length_prefixed(&own),
-                    )
-                    .expect("own label length is bounded by κ")
-                });
-                // Verifier side: the full replication, with one prepared
-                // fingerprint per claimed neighbor copy.
-                let verifier = match parse_replicated(label) {
-                    Some((kappa, parts)) if parts.len() == config.graph().degree(v) + 1 => {
-                        let proto = EqProtocol::for_length(LEN_BITS as usize + kappa);
-                        let ports = parts[1..]
-                            .iter()
-                            .map(|part| {
-                                prepare_eq(&proto, length_prefixed(part))
-                                    .expect("claimed copy length is bounded by κ")
-                            })
-                            .collect();
-                        VerifierPrep::Ready {
-                            expected_bits: proto.message_bits(),
-                            modulus: proto.modulus(),
-                            ports,
-                            parts,
-                            inner: OnceCell::new(),
-                        }
-                    }
-                    _ => VerifierPrep::Reject,
-                };
-                PreparedNode { prover, verifier }
+                let prep = cache.label_prep(labeling.get(v), rounds_hint);
+                let ready = prep
+                    .replication
+                    .as_ref()
+                    .is_some_and(|r| r.parts.len() == config.graph().degree(v) + 1);
+                PreparedNode {
+                    label: prep,
+                    ready,
+                    inner: OnceCell::new(),
+                }
             })
             .collect();
         let plan = BatchPlan::build(config, &nodes);
@@ -326,6 +299,144 @@ impl<S: Pls> Rpls for CompiledRpls<S> {
             nodes,
             plan,
         })
+    }
+}
+
+impl PrepCache {
+    /// The shared fingerprint preparation for `input` under `proto`,
+    /// preparing (and, budget permitting, retaining) it on first sight.
+    /// `None` iff `input` is longer than the protocol's λ.
+    ///
+    /// Evaluation-table slots are *reserved* here — against the cache's
+    /// aggregate budget — whenever a preparation is allowed a lazy table;
+    /// each table is additionally capped individually inside
+    /// `EqProtocol::prepare`, but an adversarial labeling can declare a
+    /// large κ on every node and multiply per-table cost by nodes × ports
+    /// × labelings. Allowances are only granted to *retained* entries
+    /// (an unshared throwaway preparation would pin its reservation
+    /// forever), and a retained entry first prepared under a small round
+    /// hint is upgraded on a later hit whose hint justifies a table.
+    /// Exhausting the retention budget turns the cache over to a fresh
+    /// epoch ([`PrepCache::begin_epoch`]) rather than degrading the rest
+    /// of the sweep to uncached preparation; only an entry too large for
+    /// even a whole epoch's budget is handed out unshared (and
+    /// table-less). Values are identical either way, so transcripts
+    /// depend on neither sharing nor where the budgets run out.
+    fn eq_prep(
+        &mut self,
+        proto: &EqProtocol,
+        input: BitString,
+        rounds_hint: usize,
+    ) -> Option<Rc<PreparedEq>> {
+        let key = (proto.modulus(), input);
+        if let Some(prep) = self.eq.get(&key) {
+            self.hits += 1;
+            let prep = Rc::clone(prep);
+            // A hit under a bigger round hint than the entry was born
+            // with may now justify a table (budget permitting).
+            if self.table_slots >= proto.modulus() && prep.permit_table(rounds_hint) {
+                self.table_slots -= proto.modulus();
+            }
+            return Some(prep);
+        }
+        self.misses += 1;
+        let cost = Self::key_cost(key.1.len());
+        if self.key_bits < cost && cost <= PrepCache::KEY_BITS_BUDGET {
+            self.begin_epoch();
+        }
+        let retain = self.key_bits >= cost;
+        let hint = if retain && self.table_slots >= proto.modulus() {
+            rounds_hint
+        } else {
+            0
+        };
+        let prep = Rc::new(proto.prepare(&key.1, hint)?);
+        if prep.table_allowed() {
+            self.table_slots -= proto.modulus();
+        }
+        if retain {
+            self.key_bits -= cost;
+            self.eq.insert(key, Rc::clone(&prep));
+        }
+        Some(prep)
+    }
+
+    /// Re-evaluates the table allowances of a label-cache hit: the
+    /// underlying fingerprints were skipped entirely (that is the point of
+    /// the label layer), so the round-hint upgrade of [`PrepCache::eq_prep`]
+    /// is applied to them directly.
+    fn upgrade_tables(&mut self, label: &CachedLabel, rounds_hint: usize) {
+        let ports = label.replication.iter().flat_map(|r| r.ports.iter());
+        for prep in label.prover.iter().chain(ports) {
+            let modulus = prep.protocol().modulus();
+            if self.table_slots >= modulus && prep.permit_table(rounds_hint) {
+                self.table_slots -= modulus;
+            }
+        }
+    }
+
+    /// The shared preparation of one replicated label: parse results and
+    /// per-part fingerprints, keyed by the label's bits. Built on first
+    /// sight, retained while the key budget lasts.
+    fn label_prep(&mut self, label: &BitString, rounds_hint: usize) -> Rc<CachedLabel> {
+        if let Some(hit) = self.labels.get(label) {
+            let prep = Rc::clone(hit);
+            self.hits += 1;
+            self.upgrade_tables(&prep, rounds_hint);
+            return prep;
+        }
+        self.misses += 1;
+        // Prover side: the (κ, own-label) prefix. A malformed prefix keeps
+        // the unprepared behaviour — empty certificates, no randomness
+        // drawn.
+        let prover = parse_own_label(label).map(|(kappa, own)| {
+            self.eq_prep(
+                &EqProtocol::for_length(LEN_BITS as usize + kappa),
+                length_prefixed(&own),
+                rounds_hint,
+            )
+            .expect("own label length is bounded by κ")
+        });
+        // Verifier side: the full replication, with one prepared
+        // fingerprint per claimed neighbor copy. Whether the arity fits a
+        // node's degree is deliberately *not* decided here — degree is not
+        // label content — so an empty parts list (never usable: degree + 1
+        // is at least 1) is folded into the malformed case.
+        let replication = match parse_replicated(label) {
+            Some((kappa, parts)) if !parts.is_empty() => {
+                let proto = EqProtocol::for_length(LEN_BITS as usize + kappa);
+                let ports = parts[1..]
+                    .iter()
+                    .map(|part| {
+                        self.eq_prep(&proto, length_prefixed(part), rounds_hint)
+                            .expect("claimed copy length is bounded by κ")
+                    })
+                    .collect();
+                Some(CachedReplication {
+                    expected_bits: proto.message_bits(),
+                    modulus: proto.modulus(),
+                    parts,
+                    ports,
+                })
+            }
+            _ => None,
+        };
+        let prep = Rc::new(CachedLabel {
+            prover,
+            replication,
+        });
+        let cost = Self::key_cost(label.len());
+        if self.key_bits < cost && cost <= PrepCache::KEY_BITS_BUDGET {
+            // Epoch turnover (see `eq_prep`). This label's own fingerprint
+            // entries, created just above, are wiped with the rest — the
+            // Rcs in `prep` keep them alive, only future sharing restarts.
+            self.begin_epoch();
+        }
+        if self.key_bits >= cost {
+            self.key_bits -= cost;
+            self.labels.insert(label.clone(), Rc::clone(&prep));
+        }
+        prep
     }
 }
 
@@ -395,7 +506,11 @@ impl BatchPlan {
         let mut max_bits = 0usize;
         let mut total_bits = 0usize;
         for (v, n) in nodes.iter().enumerate() {
-            let len = n.prover.as_ref().map_or(0, |p| p.protocol().message_bits());
+            let len = n
+                .label
+                .prover
+                .as_ref()
+                .map_or(0, |p| p.protocol().message_bits());
             let degree = g.degree(NodeId::new(v));
             if degree > 0 {
                 max_bits = max_bits.max(len);
@@ -406,29 +521,24 @@ impl BatchPlan {
             .iter()
             .enumerate()
             .map(|(u, n)| {
-                let VerifierPrep::Ready {
-                    expected_bits,
-                    modulus,
-                    ports,
-                    ..
-                } = &n.verifier
-                else {
+                if !n.ready {
                     return NodeBatch::AlwaysFalse;
-                };
+                }
+                let rep = n.label.replication.as_ref().expect("ready implies parsed");
                 let mut checks = Vec::new();
                 let lo = port_base[u] as usize;
-                for (i, recv_prep) in ports.iter().enumerate() {
+                for (i, recv_prep) in rep.ports.iter().enumerate() {
                     let src = delivery[lo + i] as usize;
                     let v = owner[src] as usize;
                     let p = src - port_base[v] as usize;
-                    let Some(send_prep) = &nodes[v].prover else {
+                    let Some(send_prep) = &nodes[v].label.prover else {
                         // A malformed sender prover emits empty
                         // certificates, which can never match the expected
                         // fingerprint width: the length check fails every
                         // trial.
                         return NodeBatch::AlwaysFalse;
                     };
-                    if send_prep.protocol().message_bits() != *expected_bits {
+                    if send_prep.protocol().message_bits() != rep.expected_bits {
                         return NodeBatch::AlwaysFalse;
                     }
                     if Rc::ptr_eq(send_prep, recv_prep) {
@@ -436,14 +546,17 @@ impl BatchPlan {
                         // fingerprinted string), so pointer equality means
                         // the sender fingerprints exactly the string this
                         // port expects: the probe passes at every point of
-                        // the field, every trial.
+                        // the field, every trial. (When a cache budget ran
+                        // out and handed one side out unshared, the probe
+                        // simply runs — and passes — dynamically; votes
+                        // cannot depend on the shortcut.)
                         continue;
                     }
                     checks.push(EdgeCheck {
                         src_node: v as u64,
                         src_port: p as u64,
                         send_mod: send_prep.protocol().modulus(),
-                        recv_mod: *modulus,
+                        recv_mod: rep.modulus,
                         sender: Rc::clone(send_prep),
                         receiver: Rc::clone(recv_prep),
                     });
@@ -463,38 +576,27 @@ impl BatchPlan {
     }
 }
 
-/// Per-node state of a prepared compiled scheme.
+/// Per-node state of a prepared compiled scheme: the content-derived label
+/// preparation (shared through the [`PrepCache`]) plus the two
+/// per-(configuration, node) facts that are *not* label content and so
+/// never cross labelings — the arity fit and the memoised inner verdict.
 struct PreparedNode {
-    /// `None` when the (κ, own-label) prefix is malformed: such nodes emit
-    /// empty certificates without drawing randomness, exactly like the
-    /// unprepared [`Rpls::certify_into`].
-    prover: Option<Rc<PreparedEq>>,
-    verifier: VerifierPrep,
-}
-
-/// Verifier-side per-node state of a prepared compiled scheme.
-enum VerifierPrep {
-    /// The replicated label failed to parse or has the wrong arity for the
-    /// node's degree: every round rejects.
-    Reject,
-    /// A well-formed replication: fingerprints prepared per port, claimed
-    /// labels kept for the inner verifier.
-    Ready {
-        /// Exact certificate size every received message must have.
-        expected_bits: usize,
-        /// The protocol prime for this node's declared κ.
-        modulus: u64,
-        /// One prepared fingerprint per claimed neighbor copy, in port
-        /// order (shared with identical inputs elsewhere in the labeling).
-        ports: Vec<Rc<PreparedEq>>,
-        /// The parsed parts `(own, claimed₀, …, claimed_{d−1})`.
-        parts: Vec<BitString>,
-        /// The inner verifier's verdict on the claimed labels. It does not
-        /// depend on the round's randomness, so it is computed at most
-        /// once — and, matching the unprepared path, only on a round in
-        /// which every fingerprint check passed.
-        inner: OnceCell<bool>,
-    },
+    /// The shared preparation of this node's label: prover fingerprint
+    /// (`None` when the (κ, own-label) prefix is malformed — such nodes
+    /// emit empty certificates without drawing randomness, exactly like
+    /// the unprepared [`Rpls::certify_into`]) and the parsed replication
+    /// with one prepared fingerprint per claimed neighbor copy.
+    label: Rc<CachedLabel>,
+    /// Whether the replication parsed *and* matches this node's degree;
+    /// `false` means every round rejects at this node.
+    ready: bool,
+    /// The inner verifier's verdict on the claimed labels. It does not
+    /// depend on the round's randomness, so it is computed at most once
+    /// per prepared instance — and, matching the unprepared path, only on
+    /// a round in which every fingerprint check passed. It depends on the
+    /// node's local context (identity, payload, weights), which is not
+    /// label content, so it deliberately lives here and not in the cache.
+    inner: OnceCell<bool>,
 }
 
 /// The prepared form of [`CompiledRpls`] (the ROADMAP's "prepared
@@ -512,20 +614,24 @@ struct PreparedCompiled<'a, S> {
 }
 
 impl<S: Pls> PreparedCompiled<'_, S> {
-    /// The memoised inner verdict of node `u`, whose verifier prep must be
-    /// `Ready`. Shared between the scalar and batched paths, so whichever
-    /// runs first fills the same memo — and, matching the unprepared path,
-    /// it is only ever queried after a round (or trial) in which every
+    /// The memoised inner verdict of node `u`, which must be `ready`.
+    /// Shared between the scalar and batched paths, so whichever runs
+    /// first fills the same memo — and, matching the unprepared path, it
+    /// is only ever queried after a round (or trial) in which every
     /// fingerprint check passed.
     fn inner_verdict(&self, u: usize) -> bool {
-        let VerifierPrep::Ready { parts, inner, .. } = &self.nodes[u].verifier else {
-            unreachable!("inner verdict queried for a rejecting node");
-        };
-        *inner.get_or_init(|| {
+        let node = &self.nodes[u];
+        debug_assert!(node.ready, "inner verdict queried for a rejecting node");
+        let rep = node
+            .label
+            .replication
+            .as_ref()
+            .expect("ready implies parsed");
+        *node.inner.get_or_init(|| {
             let det = DetView {
                 local: crate::engine::local_context(self.config, NodeId::new(u)),
-                label: &parts[0],
-                neighbor_labels: parts[1..].iter().collect(),
+                label: &rep.parts[0],
+                neighbor_labels: rep.parts[1..].iter().collect(),
             };
             self.scheme.inner.verify(&det)
         })
@@ -541,7 +647,7 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
         out: &mut BitString,
     ) {
         out.clear();
-        let Some(prep) = &self.nodes[node.index()].prover else {
+        let Some(prep) = &self.nodes[node.index()].label.prover else {
             return;
         };
         let msg = prep.alice_message(rng);
@@ -549,23 +655,19 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
     }
 
     fn verify(&self, node: NodeId, received: &Received<'_>) -> bool {
-        let VerifierPrep::Ready {
-            expected_bits,
-            modulus,
-            ports,
-            ..
-        } = &self.nodes[node.index()].verifier
-        else {
+        let n = &self.nodes[node.index()];
+        if !n.ready {
             return false;
-        };
+        }
+        let rep = n.label.replication.as_ref().expect("ready implies parsed");
         for (i, cert) in received.iter().enumerate() {
-            if cert.len() != *expected_bits {
+            if cert.len() != rep.expected_bits {
                 return false;
             }
-            let Ok(msg) = EqMessage::from_slice(cert, *modulus) else {
+            let Ok(msg) = EqMessage::from_slice(cert, rep.modulus) else {
                 return false;
             };
-            if !ports[i].bob_accepts(&msg) {
+            if !rep.ports[i].bob_accepts(&msg) {
                 return false;
             }
         }
@@ -807,6 +909,186 @@ mod tests {
         assert_eq!(
             scratch.certificates().to_nested(config.port_base()),
             rec.certificates
+        );
+    }
+
+    #[test]
+    fn cached_preparation_shares_labels_and_matches_uncached() {
+        let config = Configuration::plain(generators::cycle(9));
+        let scheme = CompiledRpls::new(IdLabel);
+        let honest = Rpls::label(&scheme, &config);
+        let mut tampered = honest.clone();
+        let flipped: BitString = tampered
+            .get(NodeId::new(4))
+            .iter()
+            .enumerate()
+            .map(|(i, b)| if i == 70 { !b } else { b })
+            .collect();
+        tampered.set(NodeId::new(4), flipped);
+
+        let mut cache = PrepCache::new();
+        let mut scratch = crate::buffer::RoundScratch::new();
+        for labeling in [&honest, &tampered, &honest] {
+            let cached = scheme.prepare_cached(&config, labeling, 64, &mut cache);
+            let fresh = Rpls::prepare(&scheme, &config, labeling, 64);
+            for seed in [1u64, 9, 33] {
+                let a = engine::run_randomized_prepared_with(
+                    &*cached,
+                    &config,
+                    seed,
+                    crate::engine::StreamMode::EdgeIndependent,
+                    &mut scratch,
+                );
+                let cached_votes = scratch.votes().to_vec();
+                let b = engine::run_randomized_prepared_with(
+                    &*fresh,
+                    &config,
+                    seed,
+                    crate::engine::StreamMode::EdgeIndependent,
+                    &mut scratch,
+                );
+                assert_eq!(a, b, "seed {seed}");
+                assert_eq!(cached_votes, scratch.votes(), "seed {seed}");
+            }
+        }
+        // Honest then tampered then honest again: the second honest pass
+        // must be served almost entirely from the cache (9 shared labels
+        // plus the one tampered variant).
+        assert_eq!(cache.shared_labels(), 10);
+        assert!(
+            cache.hits() > cache.misses(),
+            "sweep should be hit-dominated: {cache:?}"
+        );
+    }
+
+    #[test]
+    fn cache_key_budget_bounds_retention_without_changing_verdicts() {
+        // Adversarial labelings carrying multi-megabit claimed copies,
+        // distinct every round: retained key material would grow without
+        // bound if the budget did not stop it. The big strings sit in a
+        // wrong-arity replication, so they are parsed and cached (key
+        // pressure) but never probed (their lazy tables never fill) — the
+        // test stays fast while the budget is genuinely exercised.
+        let config = Configuration::plain(generators::cycle(3));
+        let scheme = CompiledRpls::new(IdLabel);
+        let mut cache = PrepCache::new();
+        let mut scratch = crate::buffer::RoundScratch::new();
+        let big = 1usize << 22; // 4 Mbit per claimed copy
+        let kappa = big;
+        for round in 0..8u64 {
+            let labeling: Labeling = (0..3u64)
+                .map(|v| {
+                    let own = {
+                        let mut w = BitWriter::new();
+                        w.write_u64(round * 3 + v, 64);
+                        w.finish()
+                    };
+                    let junk = {
+                        let mut w = BitWriter::new();
+                        for i in 0..big / 64 {
+                            w.write_u64(round ^ (v << 32) ^ i as u64, 64);
+                        }
+                        w.finish()
+                    };
+                    // Two parts where a degree-2 node needs three: every
+                    // node rejects, on cached and uncached paths alike.
+                    encode_replicated(kappa, &[&own, &junk])
+                })
+                .collect();
+            let cached = scheme.prepare_cached(&config, &labeling, 4, &mut cache);
+            let fresh = Rpls::prepare(&scheme, &config, &labeling, 4);
+            let a = engine::run_randomized_prepared_with(
+                &*cached,
+                &config,
+                round,
+                crate::engine::StreamMode::EdgeIndependent,
+                &mut scratch,
+            );
+            let b = engine::run_randomized_prepared_with(
+                &*fresh,
+                &config,
+                round,
+                crate::engine::StreamMode::EdgeIndependent,
+                &mut scratch,
+            );
+            assert_eq!(a, b, "round {round}");
+            assert!(!a.accepted);
+            assert!(cache.retained_key_bits() <= PrepCache::KEY_BITS_BUDGET);
+            assert!(cache.table_slots_reserved() <= PrepCache::TABLE_SLOT_BUDGET);
+        }
+        // 8 labelings × ~25 Mbit of distinct keys each (labels plus their
+        // fingerprinted parts) far exceeds the 64 Mbit budget: the cache
+        // must have turned epochs over rather than growing past the cap.
+        assert!(cache.retained_key_bits() <= PrepCache::KEY_BITS_BUDGET);
+        assert!(cache.epochs() > 0, "overflow must turn an epoch: {cache:?}");
+    }
+
+    #[test]
+    fn cache_hit_upgrades_table_allowance_under_bigger_hint() {
+        // A screening pass (tiny hint: no table pays off) followed by a
+        // deep pass (Monte-Carlo hint) through the same cache: the shared
+        // preparations must gain their table allowance on the hit, not be
+        // stuck with the birth hint forever.
+        let config = Configuration::plain(generators::cycle(5));
+        let scheme = CompiledRpls::new(IdLabel);
+        let honest = Rpls::label(&scheme, &config);
+        let mut cache = PrepCache::new();
+        let _screen = scheme.prepare_cached(&config, &honest, 1, &mut cache);
+        assert_eq!(
+            cache.table_slots_reserved(),
+            0,
+            "a 1-round hint must not reserve tables"
+        );
+        let _deep = scheme.prepare_cached(&config, &honest, 1 << 20, &mut cache);
+        assert!(
+            cache.table_slots_reserved() > 0,
+            "the Monte-Carlo hint must upgrade the cached preparations"
+        );
+    }
+
+    #[test]
+    fn cache_entry_overhead_bounds_tiny_entry_floods() {
+        // Floods of tiny distinct labels: the per-entry overhead charge
+        // must cap the map at ~KEY_BITS_BUDGET / ENTRY_OVERHEAD_BITS
+        // entries per epoch even though the raw key bits alone would
+        // admit millions — and overflowing must turn epochs over, after
+        // which sharing immediately recovers for fresh candidates.
+        let config = Configuration::plain(generators::cycle(3));
+        let scheme = CompiledRpls::new(IdLabel);
+        let mut cache = PrepCache::new();
+        let max_entries = (PrepCache::KEY_BITS_BUDGET / PrepCache::ENTRY_OVERHEAD_BITS) as usize;
+        let tiny_labeling = |round: u64| -> Labeling {
+            (0..3u64)
+                .map(|v| {
+                    let mut w = BitWriter::new();
+                    w.write_u64(round * 3 + v, 26);
+                    w.finish()
+                })
+                .collect()
+        };
+        let rounds = max_entries as u64 / 3 + 2000;
+        for round in 0..rounds {
+            let _ = scheme.prepare_cached(&config, &tiny_labeling(round), 4, &mut cache);
+        }
+        assert!(
+            cache.shared_labels() + cache.shared_fingerprints() <= max_entries,
+            "retained {} entries past the overhead bound {max_entries}",
+            cache.shared_labels() + cache.shared_fingerprints()
+        );
+        assert!(cache.retained_key_bits() <= PrepCache::KEY_BITS_BUDGET);
+        assert!(cache.epochs() > 0, "overflow must turn an epoch: {cache:?}");
+
+        // Post-overflow amortisation: a candidate prepared again right
+        // after landing in the current epoch is served entirely from it.
+        let fresh = tiny_labeling(rounds + 7);
+        let _ = scheme.prepare_cached(&config, &fresh, 4, &mut cache);
+        let _ = scheme.prepare_cached(&config, &fresh, 4, &mut cache);
+        let misses_before = cache.misses();
+        let _ = scheme.prepare_cached(&config, &fresh, 4, &mut cache);
+        assert_eq!(
+            cache.misses(),
+            misses_before,
+            "repeat preparation after an epoch turnover must be all hits"
         );
     }
 

@@ -26,6 +26,9 @@
 //!   majority boosting, serial and (feature `parallel`) thread-sharded;
 //! * [`measure`] — verification complexity (Definition 2.1) measured in
 //!   exact bits;
+//! * [`prep`] — the cross-labeling [`PrepCache`] that amortises compiled
+//!   preparation (parsed labels, shared fingerprints, lazy GF(p) tables)
+//!   across the labelings of a sweep;
 //! * [`adversary`] — label forgers used to probe soundness: exhaustive for
 //!   tiny label spaces, randomized hill-climbing otherwise;
 //! * [`local_decision`] — the label-free `LD(t)` baseline of
@@ -54,6 +57,7 @@ pub mod engine;
 pub mod labeling;
 pub mod local_decision;
 pub mod measure;
+pub mod prep;
 pub mod rng;
 pub mod scheme;
 pub mod state;
@@ -63,6 +67,7 @@ pub mod universal;
 pub use buffer::{CertificateBuffer, Received, RoundScratch};
 pub use compiler::CompiledRpls;
 pub use labeling::Labeling;
+pub use prep::PrepCache;
 pub use rng::PortRng;
 pub use scheme::{CertView, DetView, ErrorSides, Pls, Predicate, PreparedRpls, RandView, Rpls};
 pub use state::{Configuration, State};
@@ -75,6 +80,7 @@ pub mod prelude {
     pub use crate::engine::{self, Outcome, RoundSummary, StreamMode};
     pub use crate::labeling::Labeling;
     pub use crate::measure;
+    pub use crate::prep::PrepCache;
     pub use crate::rng::PortRng;
     pub use crate::scheme::{
         CertView, DetView, ErrorSides, Pls, Predicate, PreparedRpls, RandView, Rpls,

@@ -10,8 +10,10 @@
 //! All estimators run on the engine's batched trial loop
 //! ([`engine::run_trials_batched_with`]): each public entry point owns (or
 //! borrows, for the `*_with` variants) one [`RoundScratch`], prepares the
-//! labeling once ([`Rpls::prepare`]), and hands the whole block of
-//! per-trial seeds to the prepared scheme. Schemes with a batched
+//! labeling once — always through [`Rpls::prepare_cached`], against a
+//! caller-owned [`PrepCache`] for the `*_cached` variants or a throwaway
+//! one otherwise, so sweeps over many labelings amortise preparation —
+//! and hands the whole block of per-trial seeds to the prepared scheme. Schemes with a batched
 //! [`PreparedRpls::run_trials`] override (notably
 //! [`CompiledRpls`](crate::compiler::CompiledRpls)) evaluate trials
 //! node-at-a-time with all per-(node, port) setup hoisted out of the inner
@@ -24,6 +26,7 @@
 use crate::buffer::RoundScratch;
 use crate::engine::{self, mix_seed, StreamMode, TRIAL_CHUNK};
 use crate::labeling::Labeling;
+use crate::prep::PrepCache;
 use crate::scheme::{PreparedRpls, Rpls};
 use crate::state::Configuration;
 
@@ -103,8 +106,40 @@ pub fn acceptance_probability_with<S: Rpls + ?Sized>(
     seed: u64,
     scratch: &mut RoundScratch,
 ) -> f64 {
+    acceptance_probability_cached(
+        scheme,
+        config,
+        labeling,
+        trials,
+        seed,
+        scratch,
+        &mut PrepCache::new(),
+    )
+}
+
+/// Like [`acceptance_probability_with`] but additionally reuses a
+/// caller-owned [`PrepCache`], so a sweep over many labelings (the
+/// hill-climbing adversary, a forged-candidate batch) pays preparation
+/// only for the labels that changed since the previous estimate — under
+/// the Theorem 3.1 compiler that turns per-candidate preparation from
+/// O(nodes × label bits) parsing and polynomial building into O(nodes)
+/// hash lookups.
+///
+/// The estimate is **bit-identical** to [`acceptance_probability`] on the
+/// same inputs for any cache state (`tests/engine_golden.rs` pins this);
+/// the cache only moves work, never results.
+#[allow(clippy::too_many_arguments)]
+pub fn acceptance_probability_cached<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    trials: usize,
+    seed: u64,
+    scratch: &mut RoundScratch,
+    cache: &mut PrepCache,
+) -> f64 {
     assert!(trials > 0, "need at least one trial");
-    let prepared = scheme.prepare(config, labeling, trials);
+    let prepared = scheme.prepare_cached(config, labeling, trials, cache);
     let mut seeds_buf = Vec::new();
     let accepts = count_accepts(
         &*prepared,
@@ -149,10 +184,16 @@ pub fn acceptance_probability_par<S: Rpls + Sync + ?Sized>(
                 scope.spawn(move || {
                     let mut scratch = RoundScratch::new();
                     // Each worker prepares the labeling for itself (the
-                    // prepared state is not shared across threads); the
-                    // preparation is a pure function of the labeling, so
-                    // per-trial transcripts stay identical to serial.
-                    let prepared = scheme.prepare(config, labeling, trials.div_ceil(workers));
+                    // prepared state is `Rc`-shared and cannot cross
+                    // threads); the preparation is a pure function of the
+                    // labeling, so per-trial transcripts stay identical to
+                    // serial — cached and uncached alike.
+                    let prepared = scheme.prepare_cached(
+                        config,
+                        labeling,
+                        trials.div_ceil(workers),
+                        &mut PrepCache::new(),
+                    );
                     // Strided sharding: worker w takes trials w, w+k, … —
                     // each shard runs as one batch with the same per-trial
                     // seeds the serial path derives.
@@ -200,7 +241,31 @@ pub fn boosted_accepts_with<S: Rpls + ?Sized>(
     seed: u64,
     scratch: &mut RoundScratch,
 ) -> bool {
-    let prepared = scheme.prepare(config, labeling, repetitions);
+    boosted_accepts_cached(
+        scheme,
+        config,
+        labeling,
+        repetitions,
+        seed,
+        scratch,
+        &mut PrepCache::new(),
+    )
+}
+
+/// Like [`boosted_accepts_with`] but additionally reuses a caller-owned
+/// [`PrepCache`] across labelings — see
+/// [`acceptance_probability_cached`] for the sweep-amortisation contract.
+#[allow(clippy::too_many_arguments)]
+pub fn boosted_accepts_cached<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    repetitions: usize,
+    seed: u64,
+    scratch: &mut RoundScratch,
+    cache: &mut PrepCache,
+) -> bool {
+    let prepared = scheme.prepare_cached(config, labeling, repetitions, cache);
     boosted_accepts_prepared(
         &*prepared,
         config,
@@ -245,7 +310,12 @@ pub fn boosted_acceptance_probability<S: Rpls + ?Sized>(
     let mut scratch = RoundScratch::new();
     // One preparation and one seeds buffer cover the whole trials ×
     // repetitions sweep.
-    let prepared = scheme.prepare(config, labeling, trials.saturating_mul(repetitions));
+    let prepared = scheme.prepare_cached(
+        config,
+        labeling,
+        trials.saturating_mul(repetitions),
+        &mut PrepCache::new(),
+    );
     let mut seeds_buf = Vec::new();
     let accepts = (0..trials)
         .filter(|&t| {

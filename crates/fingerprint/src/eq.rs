@@ -17,6 +17,7 @@ use crate::poly::BitPolynomial;
 use crate::prime::protocol_prime;
 use rand::Rng;
 use rpls_bits::{bits_for, BitString};
+use std::cell::{Cell, OnceCell};
 
 /// Alice's single message: the evaluation point and her polynomial's value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -175,10 +176,16 @@ impl EqProtocol {
     }
 
     /// Prepares an input for many protocol rounds: the fingerprint
-    /// polynomial is parsed once (and, when `expected_rounds` makes it pay
-    /// for itself, expanded into a full evaluation table), after which each
-    /// round costs one random field element plus one evaluation instead of
-    /// a polynomial rebuild.
+    /// polynomial is parsed once, after which each round costs one random
+    /// field element plus one evaluation instead of a polynomial rebuild.
+    ///
+    /// When `expected_rounds` makes a full evaluation table pay for itself,
+    /// the preparation is *allowed* to materialise one — but the table is
+    /// built **lazily**, on the first evaluation past a probe-count
+    /// threshold (see [`PreparedEq`]), so preparing a polynomial that is
+    /// never (or rarely) probed costs nothing beyond the parse. Honest
+    /// labelings in the compiled verifier are exactly that case: every
+    /// probe is statically satisfied, so no table is ever filled.
     ///
     /// Returns `None` if `input` is longer than the protocol's λ — on the
     /// verifier side that is adversarial data, which must not panic.
@@ -188,16 +195,12 @@ impl EqProtocol {
             return None;
         }
         let poly = BitPolynomial::from_bits(input, self.modulus);
-        // The table pays off once the polynomial is evaluated ~p times; the
-        // size cap guards against adversarially declared lengths whose
-        // protocol prime (and hence table) would be in the billions.
-        const MAX_TABLE: u64 = 1 << 20;
-        let table = (self.modulus <= MAX_TABLE && expected_rounds as u64 >= self.modulus)
-            .then(|| poly.evaluation_table());
         Some(PreparedEq {
             proto: *self,
             poly,
-            table,
+            table: OnceCell::new(),
+            probes: Cell::new(0),
+            table_allowed: Cell::new(table_worthwhile(self.modulus, expected_rounds)),
         })
     }
 
@@ -219,6 +222,15 @@ impl EqProtocol {
     }
 }
 
+/// Whether a full evaluation table can pay for itself: the table pays off
+/// once the polynomial is evaluated ~p times, and the size cap guards
+/// against adversarially declared lengths whose protocol prime (and hence
+/// table) would be in the billions.
+fn table_worthwhile(modulus: u64, expected_rounds: usize) -> bool {
+    const MAX_TABLE: u64 = 1 << 20;
+    modulus <= MAX_TABLE && expected_rounds as u64 >= modulus
+}
+
 /// One party's input to the equality protocol, prepared once for many
 /// rounds (see [`EqProtocol::prepare`]).
 ///
@@ -227,13 +239,38 @@ impl EqProtocol {
 /// [`EqProtocol::alice_message`] consumes (one `u64`) and produces the same
 /// message, and [`PreparedEq::bob_accepts`] returns exactly what
 /// [`EqProtocol::bob_accepts`] returns for the prepared input.
+///
+/// # Lazy evaluation tables
+///
+/// When the preparation was [allowed a table](PreparedEq::table_allowed),
+/// the full `[A(0), …, A(p−1)]` expansion is built on the fly: evaluations
+/// are counted, and once they pass a quarter of the field size — the point
+/// where the `p` Horner evaluations the build costs are provably within 2×
+/// of optimal no matter how many more probes follow — the table is filled
+/// and every further evaluation becomes one array index. A prepared
+/// polynomial that is never probed (an always-rejecting node, a statically
+/// satisfied probe the batch plan dropped) therefore costs `O(λ)` parse
+/// work, never `O(p)` table fills. Values are identical with and without
+/// the table, so *when* it materialises affects time, never transcripts.
 #[derive(Debug, Clone)]
 pub struct PreparedEq {
     proto: EqProtocol,
     poly: BitPolynomial,
-    /// `Some` once the full `[A(0), …, A(p−1)]` table has been built; then
+    /// Filled once the probe count crosses the laziness threshold; then
     /// every evaluation is one array index.
-    table: Option<Vec<u64>>,
+    table: OnceCell<Vec<u64>>,
+    /// Evaluations served so far by Horner (stops counting once the table
+    /// is built). Shared across everyone holding this preparation — under
+    /// an `Rc` in a cross-labeling cache, probes from different labelings
+    /// all push the same polynomial toward its table.
+    probes: Cell<u64>,
+    /// Whether this preparation may materialise a table at all: decided at
+    /// [`EqProtocol::prepare`] time from the expected round count, the
+    /// per-table size cap, and (in the compiler) the aggregate memory
+    /// budget — and upgradeable later via [`PreparedEq::permit_table`]
+    /// when a shared preparation first created under a small round hint
+    /// is reused by a caller expecting many more.
+    table_allowed: Cell<bool>,
 }
 
 impl PreparedEq {
@@ -243,26 +280,66 @@ impl PreparedEq {
         &self.proto
     }
 
-    /// Whether the full evaluation table was materialised.
+    /// Whether the full evaluation table has been materialised (it builds
+    /// lazily; see the type docs).
     #[must_use]
     pub fn has_table(&self) -> bool {
-        self.table.is_some()
+        self.table.get().is_some()
+    }
+
+    /// Whether this preparation is allowed to materialise an evaluation
+    /// table once enough probes arrive.
+    #[must_use]
+    pub fn table_allowed(&self) -> bool {
+        self.table_allowed.get()
+    }
+
+    /// Grants the table allowance after the fact, for a preparation first
+    /// created under a round hint too small to justify one — a shared
+    /// cache upgrades its entries this way when a later caller announces
+    /// enough rounds. Returns `true` iff the allowance was **newly**
+    /// granted (so the caller can account it against an aggregate memory
+    /// budget); a preparation already allowed, or whose field is too
+    /// large or expected use too small to pay for a table, returns
+    /// `false` and is unchanged. Tables never change evaluation values,
+    /// so this only ever moves work.
+    pub fn permit_table(&self, expected_rounds: usize) -> bool {
+        if self.table_allowed.get() || !table_worthwhile(self.proto.modulus, expected_rounds) {
+            return false;
+        }
+        self.table_allowed.set(true);
+        true
     }
 
     /// `A(x)` at the raw residue `x`, which must be `< p`.
     #[must_use]
     pub fn eval(&self, x: u64) -> u64 {
-        self.evaluator().eval(x)
+        if let Some(t) = self.table.get() {
+            return t[x as usize];
+        }
+        if self.table_allowed.get() {
+            let seen = self.probes.get() + 1;
+            self.probes.set(seen);
+            // Build once probes reach p/4: at most p/4 Horner evaluations
+            // are "wasted" before the p-evaluation build, keeping total
+            // work within 2× of the best clairvoyant choice.
+            if seen.saturating_mul(4) >= self.proto.modulus {
+                return self.table.get_or_init(|| self.poly.evaluation_table())[x as usize];
+            }
+        }
+        self.poly.eval_raw(x)
     }
 
-    /// A borrowed evaluation view with the table-vs-Horner dispatch (and
-    /// the table bounds information) resolved once, for callers that probe
-    /// the same prepared polynomial many times in a tight loop — the
-    /// batched trial engine evaluates one of these per (edge, trial).
+    /// A borrowed evaluation view with the table dispatch resolved once
+    /// when the table already exists, for callers that probe the same
+    /// prepared polynomial many times in a tight loop — the batched trial
+    /// engine evaluates one of these per (edge, trial). Before the lazy
+    /// table materialises, evaluations fall through to
+    /// [`PreparedEq::eval`] (and keep pushing it toward materialising).
     #[must_use]
     pub fn evaluator(&self) -> EqEvaluator<'_> {
         EqEvaluator {
-            table: self.table.as_deref(),
+            table: self.table.get().map(Vec::as_slice),
             prep: self,
         }
     }
@@ -287,7 +364,7 @@ impl PreparedEq {
 }
 
 /// A borrowed, loop-hoisted evaluation view of a [`PreparedEq`] (see
-/// [`PreparedEq::evaluator`]): the table reference (when one was
+/// [`PreparedEq::evaluator`]): the table reference (when one has already
 /// materialised) is resolved once instead of per probe.
 ///
 /// Values are identical to [`PreparedEq::eval`] for every `x < p`.
@@ -304,7 +381,9 @@ impl EqEvaluator<'_> {
     pub fn eval(&self, x: u64) -> u64 {
         match self.table {
             Some(t) => t[x as usize],
-            None => self.prep.poly.eval_raw(x),
+            // The lazy path: the table may materialise mid-loop, in which
+            // case `PreparedEq::eval` serves from it from then on.
+            None => self.prep.eval(x),
         }
     }
 
@@ -449,6 +528,66 @@ mod tests {
     }
 
     #[test]
+    fn lazy_table_builds_at_probe_threshold_with_identical_values() {
+        let proto = EqProtocol::for_length(64);
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = random_bits(64, &mut rng);
+        let p = proto.modulus();
+
+        // Not allowed a table: never builds, no matter how many probes.
+        let never = proto.prepare(&a, 0).unwrap();
+        assert!(!never.table_allowed());
+        for x in (0..p).cycle().take(2 * p as usize) {
+            let _ = never.eval(x);
+        }
+        assert!(!never.has_table());
+
+        // Allowed: builds only once probes reach p/4, and values before,
+        // at, and after the switch all match the raw Horner reference.
+        let lazy = proto.prepare(&a, usize::MAX).unwrap();
+        let reference = proto.prepare(&a, 0).unwrap();
+        assert!(lazy.table_allowed() && !lazy.has_table());
+        let mut probes = 0u64;
+        for x in (0..p).cycle().take(p as usize) {
+            assert_eq!(lazy.eval(x), reference.eval(x), "x = {x}");
+            probes += 1;
+            assert_eq!(
+                lazy.has_table(),
+                probes * 4 >= p,
+                "table must appear exactly at the p/4 threshold (probe {probes})"
+            );
+        }
+        assert!(lazy.has_table());
+    }
+
+    #[test]
+    fn permit_table_upgrades_once_and_only_when_worthwhile() {
+        let proto = EqProtocol::for_length(64);
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = random_bits(64, &mut rng);
+        let p = proto.modulus();
+        let prep = proto.prepare(&a, 0).unwrap();
+        assert!(!prep.table_allowed());
+        // Too few expected rounds: no upgrade.
+        assert!(!prep.permit_table(p as usize - 1));
+        assert!(!prep.table_allowed());
+        // Enough rounds: newly granted exactly once.
+        assert!(prep.permit_table(p as usize));
+        assert!(prep.table_allowed());
+        assert!(
+            !prep.permit_table(usize::MAX),
+            "second grant must report false"
+        );
+        // The upgraded preparation behaves like one allowed from birth:
+        // probes now count toward the lazy threshold and values match.
+        let reference = proto.prepare(&a, 0).unwrap();
+        for x in (0..p).cycle().take(p as usize) {
+            assert_eq!(prep.eval(x), reference.eval(x));
+        }
+        assert!(prep.has_table());
+    }
+
+    #[test]
     fn evaluator_matches_prepared_eval_with_and_without_table() {
         let proto = EqProtocol::for_length(40);
         let mut rng = StdRng::seed_from_u64(13);
@@ -474,7 +613,8 @@ mod tests {
             for rounds in [0usize, usize::MAX] {
                 let pa = proto.prepare(&a, rounds).unwrap();
                 let pb = proto.prepare(&b, rounds).unwrap();
-                assert_eq!(pa.has_table(), rounds > 0);
+                assert_eq!(pa.table_allowed(), rounds > 0);
+                assert!(!pa.has_table(), "tables build lazily, not at prepare");
                 assert_eq!(pa.protocol(), &proto);
                 let mut fresh = StdRng::seed_from_u64(42);
                 let mut fresh2 = StdRng::seed_from_u64(42);

@@ -4,11 +4,150 @@
 //! so the modulus cannot be a compile-time constant. [`Fp`] carries the
 //! modulus alongside the value; mixing elements of different fields is a
 //! programming error and panics.
+//!
+//! Multiplication is the hottest instruction of the whole verification
+//! engine (one per Horner step of every fingerprint probe), so reduction is
+//! done by [`Barrett`]'s multiply-shift instead of a generic `u128 %`
+//! division: the per-modulus constant `⌊2¹²⁸ / p⌋` is computed once (and
+//! memoised per thread), after which a reduction is four 64-bit multiplies
+//! and one conditional subtract — bit-identical to the division it
+//! replaces.
 
-use crate::prime::{is_prime_cached, mul_mod, pow_mod};
+use crate::prime::is_prime_cached;
 use rand::Rng;
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
+
+/// Barrett reduction state for one modulus `m` with `2 ≤ m < 2⁶³`: the
+/// precomputed factor `⌊2¹²⁸ / m⌋` turns every `x mod m` of a product
+/// `x < 2¹²⁶` into two multiplications and one conditional subtraction.
+///
+/// Results are **exactly** `x mod m` — the quotient estimate
+/// `q = ⌊x·factor / 2¹²⁸⌋` is provably within 1 of `⌊x / m⌋`, so a single
+/// conditional subtract lands in `[0, m)`. The naive `u128 %` reference
+/// ([`crate::prime::mul_mod`] / [`crate::prime::pow_mod`]) stays available
+/// for the full `u64` modulus range (Miller–Rabin needs it) and as the
+/// oracle the property tests compare against.
+///
+/// # Examples
+///
+/// ```
+/// use rpls_fingerprint::field::Barrett;
+/// let b = Barrett::new(97);
+/// assert_eq!(b.mul_mod(77, 50), 77 * 50 % 97);
+/// assert_eq!(b.pow_mod(5, 96), 1); // Fermat
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Barrett {
+    modulus: u64,
+    /// `⌊2¹²⁸ / modulus⌋`. Fits in a `u128` for every modulus ≥ 2.
+    factor: u128,
+}
+
+/// High 128 bits of the 256-bit product `a · b`, via 64-bit limbs.
+#[inline]
+fn mul_hi(a: u128, b: u128) -> u128 {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+    let lo_lo = a_lo * b_lo;
+    let hi_lo = a_hi * b_lo;
+    let lo_hi = a_lo * b_hi;
+    // Carries collected in a 128-bit middle limb: each term is < 2⁶⁴, so
+    // the sum cannot overflow.
+    let mid = (lo_lo >> 64) + (hi_lo & MASK) + (lo_hi & MASK);
+    a_hi * b_hi + (hi_lo >> 64) + (lo_hi >> 64) + (mid >> 64)
+}
+
+impl Barrett {
+    /// Precomputes the reduction factor for `modulus` (one `u128` division
+    /// — amortise it: construct once per modulus, not per operation; see
+    /// [`Barrett::cached`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ modulus < 2⁶³` — the range every caller in this
+    /// workspace lives in ([`Fp`] enforces it at element construction), and
+    /// the range for which the `q ∈ {Q−1, Q}` quotient bound holds with a
+    /// single correction step.
+    #[must_use]
+    pub fn new(modulus: u64) -> Self {
+        assert!(
+            (2..1u64 << 63).contains(&modulus),
+            "Barrett modulus {modulus} must be in [2, 2^63)"
+        );
+        let m = u128::from(modulus);
+        // 2¹²⁸ = u128::MAX + 1, so ⌊2¹²⁸/m⌋ = ⌊u128::MAX/m⌋ + [m | 2¹²⁸].
+        let factor = u128::MAX / m + u128::from(u128::MAX % m == m - 1);
+        Self { modulus, factor }
+    }
+
+    /// Like [`Barrett::new`] but memoising the most recent moduli per
+    /// thread — a workload touches a handful of field primes, so element
+    /// construction pays an array scan instead of a `u128` division.
+    #[must_use]
+    pub fn cached(modulus: u64) -> Self {
+        use std::cell::Cell;
+        thread_local! {
+            // A valid factor is never 0, so empty slots cannot match.
+            static RECENT: Cell<[(u64, u128); 8]> = const { Cell::new([(0, 0); 8]) };
+        }
+        RECENT.with(|recent| {
+            let mut known = recent.get();
+            if let Some(&(m, factor)) = known.iter().find(|&&(m, f)| f != 0 && m == modulus) {
+                return Self { modulus: m, factor };
+            }
+            let fresh = Self::new(modulus);
+            known.rotate_right(1);
+            known[0] = (fresh.modulus, fresh.factor);
+            recent.set(known);
+            fresh
+        })
+    }
+
+    /// The modulus this state reduces by.
+    #[must_use]
+    pub fn modulus(self) -> u64 {
+        self.modulus
+    }
+
+    /// `x mod m` for any 128-bit `x`, by multiply-shift.
+    #[inline]
+    #[must_use]
+    pub fn reduce(self, x: u128) -> u64 {
+        let q = mul_hi(x, self.factor);
+        // q ∈ {⌊x/m⌋ − 1, ⌊x/m⌋}, so the remainder estimate is in [0, 2m).
+        let mut r = x - q * u128::from(self.modulus);
+        if r >= u128::from(self.modulus) {
+            r -= u128::from(self.modulus);
+        }
+        debug_assert_eq!(r as u64, (x % u128::from(self.modulus)) as u64);
+        r as u64
+    }
+
+    /// `(a * b) mod m`, bit-identical to [`crate::prime::mul_mod`].
+    #[inline]
+    #[must_use]
+    pub fn mul_mod(self, a: u64, b: u64) -> u64 {
+        self.reduce(u128::from(a) * u128::from(b))
+    }
+
+    /// `(base ^ exp) mod m` by square-and-multiply, bit-identical to
+    /// [`crate::prime::pow_mod`].
+    #[must_use]
+    pub fn pow_mod(self, mut base: u64, mut exp: u64) -> u64 {
+        let mut acc = 1u64;
+        base = self.reduce(u128::from(base));
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul_mod(acc, base);
+            }
+            base = self.mul_mod(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+}
 
 /// An element of `GF(p)` for a runtime prime `p`.
 ///
@@ -26,7 +165,10 @@ use std::ops::{Add, Mul, Neg, Sub};
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fp {
     value: u64,
-    modulus: u64,
+    /// The field's reduction state; the modulus lives inside it. The
+    /// factor is a pure function of the modulus, so derived equality and
+    /// hashing over it are consistent with comparing moduli.
+    field: Barrett,
 }
 
 impl Fp {
@@ -38,13 +180,22 @@ impl Fp {
     /// alike — field arithmetic silently breaks on composite moduli, which
     /// would invalidate every soundness bound downstream — through a
     /// memoised Miller–Rabin so hot loops pay an array lookup, not a
-    /// primality test).
+    /// primality test), or if `modulus ≥ 2⁶³`. The latter is the **field
+    /// invariant** every operation relies on: with `p < 2⁶³`, two
+    /// residues sum below `2⁶⁴` (so [`Add`] needs no widening) and their
+    /// product stays below `2¹²⁶` (so [`Barrett`] reduction is exact).
+    /// It is enforced once here, not per operation.
     #[must_use]
     pub fn new(value: u64, modulus: u64) -> Self {
         assert!(is_prime_cached(modulus), "modulus {modulus} must be prime");
+        assert!(
+            modulus < 1u64 << 63,
+            "modulus {modulus} must fit in 63 bits"
+        );
+        let field = Barrett::cached(modulus);
         Self {
             value: value % modulus,
-            modulus,
+            field,
         }
     }
 
@@ -75,15 +226,15 @@ impl Fp {
     /// The field's modulus.
     #[must_use]
     pub fn modulus(self) -> u64 {
-        self.modulus
+        self.field.modulus()
     }
 
     /// `self ^ exp`.
     #[must_use]
     pub fn pow(self, exp: u64) -> Self {
         Self {
-            value: pow_mod(self.value, exp, self.modulus),
-            modulus: self.modulus,
+            value: self.field.pow_mod(self.value, exp),
+            field: self.field,
         }
     }
 
@@ -96,14 +247,16 @@ impl Fp {
     pub fn inverse(self) -> Self {
         assert!(self.value != 0, "zero has no inverse");
         // Fermat: a^(p-2) = a^{-1} in GF(p).
-        self.pow(self.modulus - 2)
+        self.pow(self.modulus() - 2)
     }
 
     fn check_same_field(self, other: Self) {
         assert_eq!(
-            self.modulus, other.modulus,
+            self.field.modulus(),
+            other.field.modulus(),
             "mixing GF({}) and GF({})",
-            self.modulus, other.modulus
+            self.field.modulus(),
+            other.field.modulus()
         );
     }
 }
@@ -113,13 +266,15 @@ impl Add for Fp {
 
     fn add(self, rhs: Fp) -> Fp {
         self.check_same_field(rhs);
-        let mut v = self.value + rhs.value; // < 2^65 cannot overflow u64? p < 2^63 assumed
-        if v >= self.modulus {
-            v -= self.modulus;
+        // Both residues are < p < 2^63 (enforced once, in `Fp::new`), so
+        // the sum is < 2^64 and a single conditional subtract reduces it.
+        let mut v = self.value + rhs.value;
+        if v >= self.modulus() {
+            v -= self.modulus();
         }
         Fp {
             value: v,
-            modulus: self.modulus,
+            field: self.field,
         }
     }
 }
@@ -132,11 +287,11 @@ impl Sub for Fp {
         let v = if self.value >= rhs.value {
             self.value - rhs.value
         } else {
-            self.value + self.modulus - rhs.value
+            self.value + self.modulus() - rhs.value
         };
         Fp {
             value: v,
-            modulus: self.modulus,
+            field: self.field,
         }
     }
 }
@@ -147,8 +302,8 @@ impl Mul for Fp {
     fn mul(self, rhs: Fp) -> Fp {
         self.check_same_field(rhs);
         Fp {
-            value: mul_mod(self.value, rhs.value, self.modulus),
-            modulus: self.modulus,
+            value: self.field.mul_mod(self.value, rhs.value),
+            field: self.field,
         }
     }
 }
@@ -157,13 +312,13 @@ impl Neg for Fp {
     type Output = Fp;
 
     fn neg(self) -> Fp {
-        Fp::zero(self.modulus) - self
+        Fp::zero(self.modulus()) - self
     }
 }
 
 impl fmt::Debug for Fp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (mod {})", self.value, self.modulus)
+        write!(f, "{} (mod {})", self.value, self.modulus())
     }
 }
 
@@ -246,5 +401,74 @@ mod tests {
     fn display_shows_value() {
         assert_eq!(Fp::new(42, P).to_string(), "42");
         assert!(format!("{:?}", Fp::new(42, P)).contains("mod 97"));
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in 63 bits")]
+    fn oversized_modulus_rejected() {
+        // The largest u64 prime is ≥ 2^63: the field invariant rejects it
+        // at construction, before any operation could overflow.
+        let _ = Fp::new(1, 18_446_744_073_709_551_557);
+    }
+
+    #[test]
+    fn barrett_matches_naive_reduction_across_moduli() {
+        // Includes the power-of-two prime 2 (the ⌊2¹²⁸/m⌋ rounding edge
+        // case) and composites — Barrett does not require primality.
+        let moduli = [
+            2u64,
+            3,
+            4,
+            97,
+            91,
+            (1 << 20) - 3,
+            (1 << 32) + 15,
+            (1 << 61) - 1,
+            (1 << 63) - 1,
+            (1 << 63) - 25, // just under the 2^63 ceiling
+        ];
+        for &m in &moduli {
+            let b = Barrett::new(m);
+            assert_eq!(b.modulus(), m);
+            for &x in &[0u64, 1, 2, m - 1, m / 2, m / 3 + 1] {
+                for &y in &[0u64, 1, m - 1, m / 2, m / 7 + 3] {
+                    let (x, y) = (x % m, y % m);
+                    assert_eq!(
+                        b.mul_mod(x, y),
+                        crate::prime::mul_mod(x, y, m),
+                        "x={x} y={y} m={m}"
+                    );
+                }
+                assert_eq!(
+                    b.pow_mod(x, x ^ 0x5A5A),
+                    crate::prime::pow_mod(x, x ^ 0x5A5A, m),
+                    "x={x} m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn barrett_reduce_handles_full_u128_range() {
+        let b = Barrett::new((1 << 63) - 25);
+        for &x in &[0u128, 1, u128::MAX, u128::MAX - 1, 1 << 127, (1 << 126) - 1] {
+            assert_eq!(u128::from(b.reduce(x)), x % u128::from(b.modulus()));
+        }
+    }
+
+    #[test]
+    fn barrett_cached_survives_eviction_sweeps() {
+        let first: Vec<Barrett> = (0..32u64).map(|i| Barrett::cached(97 + 2 * i)).collect();
+        for (i, &b) in first.iter().enumerate() {
+            let again = Barrett::cached(97 + 2 * i as u64);
+            assert_eq!(again, b);
+            assert_eq!(again.mul_mod(5, 7), 35 % again.modulus());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [2, 2^63)")]
+    fn barrett_rejects_modulus_one() {
+        let _ = Barrett::new(1);
     }
 }

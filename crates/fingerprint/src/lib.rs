@@ -38,5 +38,5 @@ pub mod poly;
 pub mod prime;
 
 pub use eq::{EqEvaluator, EqMessage, EqProtocol, PreparedEq};
-pub use field::Fp;
+pub use field::{Barrett, Fp};
 pub use poly::BitPolynomial;

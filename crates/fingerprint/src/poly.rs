@@ -25,7 +25,11 @@ use rpls_bits::BitString;
 pub struct BitPolynomial {
     /// Bit coefficients, index = degree.
     coeffs: BitString,
-    modulus: u64,
+    /// Barrett reduction state for the field modulus, precomputed once at
+    /// construction so every Horner step is a multiply-shift, not a
+    /// division. (The factor is a pure function of the modulus, so the
+    /// derived equality stays equality-of-moduli.)
+    field: crate::field::Barrett,
 }
 
 impl BitPolynomial {
@@ -34,7 +38,8 @@ impl BitPolynomial {
     ///
     /// # Panics
     ///
-    /// Panics if `modulus` is not prime.
+    /// Panics if `modulus` is not prime, or not below `2⁶³` (the field
+    /// invariant of [`Fp`]).
     #[must_use]
     pub fn from_bits(bits: &BitString, modulus: u64) -> Self {
         assert!(
@@ -43,7 +48,7 @@ impl BitPolynomial {
         );
         Self {
             coeffs: bits.clone(),
-            modulus,
+            field: crate::field::Barrett::cached(modulus),
         }
     }
 
@@ -56,7 +61,7 @@ impl BitPolynomial {
     /// The field modulus.
     #[must_use]
     pub fn modulus(&self) -> u64 {
-        self.modulus
+        self.field.modulus()
     }
 
     /// Evaluates the polynomial at `x` by Horner's rule.
@@ -66,8 +71,12 @@ impl BitPolynomial {
     /// Panics if `x` lives in a different field.
     #[must_use]
     pub fn eval(&self, x: Fp) -> Fp {
-        assert_eq!(x.modulus(), self.modulus, "evaluation point field mismatch");
-        Fp::new(self.eval_raw(x.value()), self.modulus)
+        assert_eq!(
+            x.modulus(),
+            self.modulus(),
+            "evaluation point field mismatch"
+        );
+        Fp::new(self.eval_raw(x.value()), self.modulus())
     }
 
     /// Evaluates at the raw residue `x` (which must already be reduced,
@@ -77,14 +86,14 @@ impl BitPolynomial {
     /// a redundant primality-cache lookup per call.
     #[must_use]
     pub fn eval_raw(&self, x: u64) -> u64 {
-        debug_assert!(x < self.modulus, "evaluation point not reduced");
+        debug_assert!(x < self.modulus(), "evaluation point not reduced");
         // Horner from the highest coefficient down, in raw residue
-        // arithmetic: one modular multiply per coefficient, no per-step
-        // element construction.
-        let p = self.modulus;
+        // arithmetic: one Barrett multiply-shift per coefficient, no
+        // per-step element construction and no division.
+        let p = self.field.modulus();
         let mut acc: u64 = 0;
         for i in (0..self.coeffs.len()).rev() {
-            acc = crate::prime::mul_mod(acc, x, p);
+            acc = self.field.mul_mod(acc, x);
             if self.coeffs.bit(i).expect("index in range") {
                 acc += 1;
                 if acc == p {
@@ -105,7 +114,7 @@ impl BitPolynomial {
     /// can push the protocol prime into the billions).
     #[must_use]
     pub fn evaluation_table(&self) -> Vec<u64> {
-        (0..self.modulus).map(|x| self.eval_raw(x)).collect()
+        (0..self.modulus()).map(|x| self.eval_raw(x)).collect()
     }
 
     /// Upper bound on the collision probability of the fingerprint for
@@ -115,7 +124,7 @@ impl BitPolynomial {
         if self.coeffs.is_empty() {
             return 0.0;
         }
-        (self.coeffs.len() as f64 - 1.0) / self.modulus as f64
+        (self.coeffs.len() as f64 - 1.0) / self.modulus() as f64
     }
 }
 

@@ -78,13 +78,21 @@ pub fn is_prime_cached(n: u64) -> bool {
     })
 }
 
-/// `(a * b) mod m` without overflow.
+/// `(a * b) mod m` without overflow — the naive `u128 %` **reference**
+/// implementation, valid for every `u64` modulus.
+///
+/// Hot loops use [`crate::field::Barrett`] instead, which replaces the
+/// 128-bit division with a precomputed multiply-shift for moduli below
+/// `2⁶³`; this function is what Miller–Rabin (whose moduli span the full
+/// `u64` range) runs on, and the oracle the Barrett property tests compare
+/// against.
 #[must_use]
 pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
     ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
 }
 
-/// `(base ^ exp) mod m` by square-and-multiply.
+/// `(base ^ exp) mod m` by square-and-multiply, on the naive [`mul_mod`]
+/// reference (see there for when to prefer [`crate::field::Barrett`]).
 #[must_use]
 pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
     if m == 1 {

@@ -5,9 +5,49 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rpls_bits::BitString;
 use rpls_fingerprint::prime::{is_prime, next_prime, protocol_prime};
-use rpls_fingerprint::{BitPolynomial, EqProtocol, Fp};
+use rpls_fingerprint::{Barrett, BitPolynomial, EqProtocol, Fp};
 
 proptest! {
+    /// Barrett multiply-shift reduction agrees with the naive `u128 %`
+    /// reference on random moduli up to 62 bits (primality not required —
+    /// Barrett is a pure reduction) and random operands.
+    #[test]
+    fn barrett_mul_matches_naive_reference(
+        m_raw in 2u64..(1 << 62),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let barrett = Barrett::new(m_raw);
+        let (a, b) = (a % m_raw, b % m_raw);
+        prop_assert_eq!(
+            barrett.mul_mod(a, b),
+            rpls_fingerprint::prime::mul_mod(a, b, m_raw),
+            "a={} b={} m={}", a, b, m_raw
+        );
+        // The raw reducer must also agree on arbitrary 128-bit inputs
+        // (products are just the special case below m²).
+        let wide = (u128::from(a) << 64) ^ u128::from(b);
+        prop_assert_eq!(
+            u128::from(barrett.reduce(wide)),
+            wide % u128::from(m_raw)
+        );
+    }
+
+    /// Barrett square-and-multiply agrees with the naive reference for
+    /// random bases and exponents over random 62-bit moduli.
+    #[test]
+    fn barrett_pow_matches_naive_reference(
+        m_raw in 2u64..(1 << 62),
+        base in any::<u64>(),
+        exp in any::<u64>(),
+    ) {
+        let barrett = Barrett::new(m_raw);
+        prop_assert_eq!(
+            barrett.pow_mod(base, exp),
+            rpls_fingerprint::prime::pow_mod(base, exp, m_raw),
+            "base={} exp={} m={}", base, exp, m_raw
+        );
+    }
     /// Field axioms over random elements of random small prime fields.
     #[test]
     fn field_axioms(p_seed in 3u64..5000, a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {

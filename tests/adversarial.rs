@@ -230,9 +230,18 @@ mod never_panic {
     }
 
     /// Drives one deterministic scheme through every verifier surface with
-    /// the given garbage label pool. Nothing is asserted about the
-    /// verdicts — only that each call returns at all.
-    fn hammer<S: Pls + Clone>(scheme: S, config: &Configuration, garbage: &[BitString], seed: u64) {
+    /// the given garbage label pool — including the cached-prepare path,
+    /// against a `PrepCache` shared across schemes, configurations, and
+    /// labelings (`cache`). Nothing is asserted about the verdicts — only
+    /// that each call returns at all and the shared cache stays within its
+    /// memory bounds.
+    fn hammer<S: Pls + Clone>(
+        scheme: S,
+        config: &Configuration,
+        garbage: &[BitString],
+        seed: u64,
+        cache: &mut rpls::core::PrepCache,
+    ) {
         let n = config.node_count();
         let labeling: Labeling = (0..n).map(|i| garbage[i % garbage.len()].clone()).collect();
 
@@ -248,19 +257,47 @@ mod never_panic {
         let _ = stats::acceptance_probability(&compiled, config, &labeling, 2, seed);
         {
             use rpls::core::engine::StreamMode;
-            use rpls::core::RoundScratch;
+            use rpls::core::{PrepCache, RoundScratch};
             let prepared = Rpls::prepare(&compiled, config, &labeling, 3);
+            // The cached-prepare twin, sharing arbitrary earlier state:
+            // garbage labelings must neither panic it nor blow its memory
+            // bounds, and whole blocks of trials must emit the same
+            // summaries the fresh preparation emits.
+            let cached = compiled.prepare_cached(config, &labeling, 3, cache);
             let mut scratch = RoundScratch::new();
             for mode in [StreamMode::EdgeIndependent, StreamMode::SharedPerNode] {
+                let mut fresh_out = Vec::new();
                 engine::run_trials_batched_with(
                     &*prepared,
                     config,
                     &[seed, seed ^ 5, seed ^ 9],
                     mode,
                     &mut scratch,
-                    &mut |_| {},
+                    &mut |s| fresh_out.push(s),
                 );
+                let mut cached_out = Vec::new();
+                engine::run_trials_batched_with(
+                    &*cached,
+                    config,
+                    &[seed, seed ^ 5, seed ^ 9],
+                    mode,
+                    &mut scratch,
+                    &mut |s| cached_out.push(s),
+                );
+                assert_eq!(fresh_out, cached_out, "cached vs fresh summaries");
             }
+            let mut cached_estimate_scratch = RoundScratch::new();
+            let _ = stats::acceptance_probability_cached(
+                &compiled,
+                config,
+                &labeling,
+                2,
+                seed ^ 4,
+                &mut cached_estimate_scratch,
+                cache,
+            );
+            assert!(cache.retained_key_bits() <= PrepCache::KEY_BITS_BUDGET);
+            assert!(cache.table_slots_reserved() <= PrepCache::TABLE_SLOT_BUDGET);
         }
 
         // Honest labels but corrupted certificates, then garbage labels
@@ -354,34 +391,44 @@ mod never_panic {
             let garbage = pool(&words);
             let plain5 = Configuration::plain(generators::cycle(5));
             let path5 = Configuration::plain(generators::path(5));
+            // One preparation cache shared across every scheme,
+            // configuration, and garbage labeling below — the cached
+            // entries are content-keyed, so cross-pollination must be
+            // harmless by construction (and memory stays bounded, checked
+            // inside each hammer pass).
+            let mut cache = rpls::core::PrepCache::new();
 
             use rpls::schemes::*;
-            hammer(acyclicity::AcyclicityPls::new(), &path5, &garbage, seed);
-            hammer(biconnectivity::BiconnectivityPls::new(), &plain5, &garbage, seed);
+            hammer(acyclicity::AcyclicityPls::new(), &path5, &garbage, seed, &mut cache);
+            hammer(biconnectivity::BiconnectivityPls::new(), &plain5, &garbage, seed, &mut cache);
             hammer(
                 coloring::ColoringPls::new(),
                 &coloring::greedy_coloring_config(&plain5),
                 &garbage,
                 seed,
+                &mut cache,
             );
-            hammer(cycle_at_least::CycleAtLeastPls::new(4), &plain5, &garbage, seed);
+            hammer(cycle_at_least::CycleAtLeastPls::new(4), &plain5, &garbage, seed, &mut cache);
             hammer(
                 leader::LeaderPls::new(),
                 &leader::leader_config(&plain5, NodeId::new(2)),
                 &garbage,
                 seed,
+                &mut cache,
             );
             hammer(
                 spanning_tree::SpanningTreePls::new(),
                 &spanning_tree::spanning_tree_config(&plain5, NodeId::new(0)),
                 &garbage,
                 seed,
+                &mut cache,
             );
             hammer(
                 uniformity::UniformityPls::new(),
                 &uniformity::uniform_config(&plain5, &BitString::zeros(16)),
                 &garbage,
                 seed,
+                &mut cache,
             );
             hammer(
                 mst::MstPls::new(),
@@ -390,6 +437,7 @@ mod never_panic {
                 )),
                 &garbage,
                 seed,
+                &mut cache,
             );
 
             // Terminals 0 and 3 are non-adjacent on a 6-cycle, giving two
@@ -400,6 +448,7 @@ mod never_panic {
                 &cyc6,
                 &garbage,
                 seed,
+                &mut cache,
             );
             hammer(
                 vertex_connectivity::StConnectivityPls::new(
@@ -408,11 +457,12 @@ mod never_panic {
                 &cyc6,
                 &garbage,
                 seed,
+                &mut cache,
             );
 
             // The universal-only predicates ride on the Lemma 3.3 scheme.
-            hammer(cycle_at_most::cycle_at_most_pls(6), &plain5, &garbage, seed);
-            hammer(symmetry::symmetry_pls(), &path5, &garbage, seed);
+            hammer(cycle_at_most::cycle_at_most_pls(6), &plain5, &garbage, seed, &mut cache);
+            hammer(symmetry::symmetry_pls(), &path5, &garbage, seed, &mut cache);
         }
     }
 }

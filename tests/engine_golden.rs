@@ -203,6 +203,74 @@ fn prepared_path_is_transcript_identical_to_unprepared() {
     }
 }
 
+/// Cached preparation ([`Rpls::prepare_cached`] with one [`PrepCache`]
+/// reused across honest, tampered, and garbage labelings — then honest
+/// again) must be certificate-for-certificate and vote-for-vote identical
+/// to fresh preparation. Keying on content and verifying on hit makes
+/// cache poisoning impossible by construction; this test is the pin.
+#[test]
+fn cached_preparation_sweep_is_transcript_identical() {
+    use rpls::core::PrepCache;
+    let (scheme, config, honest) = compiled_spanning_tree_workload(10);
+    let mut tampered = honest.clone();
+    let flipped: rpls::bits::BitString = tampered
+        .get(rpls::graph::NodeId::new(2))
+        .iter()
+        .enumerate()
+        .map(|(i, b)| if i == 50 { !b } else { b })
+        .collect();
+    tampered.set(rpls::graph::NodeId::new(2), flipped);
+    let garbage = Labeling::new(
+        (0..10)
+            .map(|i| rpls::bits::BitString::zeros(i % 4))
+            .collect(),
+    );
+
+    let mut cache = PrepCache::new();
+    let mut fresh_scratch = RoundScratch::new();
+    let mut cached_scratch = RoundScratch::new();
+    for labeling in [&honest, &tampered, &garbage, &honest] {
+        for rounds_hint in [1usize, 1 << 20] {
+            let fresh = scheme.prepare(&config, labeling, rounds_hint);
+            let cached = scheme.prepare_cached(&config, labeling, rounds_hint, &mut cache);
+            for seed in [0u64, 9, 77, 12345] {
+                for mode in [StreamMode::EdgeIndependent, StreamMode::SharedPerNode] {
+                    let a = engine::run_randomized_prepared_with(
+                        &*fresh,
+                        &config,
+                        seed,
+                        mode,
+                        &mut fresh_scratch,
+                    );
+                    let b = engine::run_randomized_prepared_with(
+                        &*cached,
+                        &config,
+                        seed,
+                        mode,
+                        &mut cached_scratch,
+                    );
+                    assert_eq!(a, b, "summary (seed {seed}, hint {rounds_hint})");
+                    assert_eq!(
+                        fresh_scratch.votes(),
+                        cached_scratch.votes(),
+                        "votes (seed {seed}, hint {rounds_hint})"
+                    );
+                    assert_eq!(
+                        fresh_scratch.certificates().to_nested(config.port_base()),
+                        cached_scratch.certificates().to_nested(config.port_base()),
+                        "certificates (seed {seed}, hint {rounds_hint})"
+                    );
+                }
+            }
+        }
+    }
+    // The sweep revisited every labeling: the cache must have served most
+    // of it from shared state while staying within its memory bounds.
+    assert!(cache.hits() > cache.misses(), "{cache:?}");
+    assert!(cache.retained_key_bits() <= PrepCache::KEY_BITS_BUDGET);
+    assert!(cache.table_slots_reserved() <= PrepCache::TABLE_SLOT_BUDGET);
+}
+
 /// Same pinning for the κ-bit baseline wrapper, whose preparation caches
 /// whole verdicts.
 #[test]
@@ -343,13 +411,18 @@ mod batched_identity {
         out
     }
 
-    /// Drives one compiled scheme through the three paths on one labeling
-    /// and asserts bit-identity of summaries and estimates.
+    /// Drives one compiled scheme through the four paths on one labeling
+    /// and asserts bit-identity of summaries and estimates. `cache` is the
+    /// sweep-wide preparation cache: callers reuse one across labelings
+    /// (honest, tampered, garbage — and honest again after garbage), so
+    /// this also pins that shared cached state can never poison a later
+    /// preparation.
     fn check<S: Pls + Sync>(
         name: &str,
         scheme: &CompiledRpls<S>,
         config: &Configuration,
         labeling: &Labeling,
+        cache: &mut rpls::core::PrepCache,
     ) {
         let trials = 120usize;
         let seed = 0xB417u64;
@@ -387,6 +460,31 @@ mod batched_identity {
         );
         assert_eq!(scalar, batched, "{name}: batched vs scalar summaries");
 
+        // Cached preparation against the sweep-shared cache: summaries
+        // must be identical to the fresh preparation whatever the cache
+        // already holds, and the estimator's cached entry point must
+        // reproduce the uncached estimate bit for bit.
+        let prepared3 = scheme.prepare_cached(config, labeling, trials, cache);
+        let mut cached: Vec<RoundSummary> = Vec::new();
+        engine::run_trials_batched_with(
+            &*prepared3,
+            config,
+            &seeds,
+            StreamMode::EdgeIndependent,
+            &mut scratch,
+            &mut |s| cached.push(s),
+        );
+        assert_eq!(scalar, cached, "{name}: cached vs scalar summaries");
+        let cached_estimate = stats::acceptance_probability_cached(
+            scheme,
+            config,
+            labeling,
+            trials,
+            seed,
+            &mut scratch,
+            cache,
+        );
+
         // Unprepared per-round loop, and the public estimator (which
         // routes through the batched engine).
         let mut unprepared_scratch = RoundScratch::new();
@@ -409,6 +507,10 @@ mod batched_identity {
         assert!(
             manual == estimate,
             "{name}: unprepared {manual} != batched estimate {estimate}"
+        );
+        assert!(
+            cached_estimate == estimate,
+            "{name}: cached estimate {cached_estimate} != uncached {estimate}"
         );
 
         // The shared-stream violation mode falls back to the scalar path;
@@ -448,18 +550,23 @@ mod batched_identity {
         }
     }
 
-    /// Runs the full honest/tampered/garbage matrix for one scheme.
+    /// Runs the full honest/tampered/garbage matrix for one scheme, with
+    /// one preparation cache shared across the whole sweep — and a second
+    /// honest pass after the garbage one, so state the garbage labelings
+    /// left in the cache provably cannot poison an honest preparation.
     fn matrix<S: Pls + Clone + Sync>(name: &str, inner: S, config: &Configuration) {
         let scheme = CompiledRpls::new(inner);
+        let mut cache = rpls::core::PrepCache::new();
         let honest = Rpls::label(&scheme, config);
-        check(name, &scheme, config, &honest);
-        check(name, &scheme, config, &tamper(&honest));
+        check(name, &scheme, config, &honest, &mut cache);
+        check(name, &scheme, config, &tamper(&honest), &mut cache);
         let garbage = Labeling::new(
             (0..config.node_count())
                 .map(|i| rpls::bits::BitString::zeros(i % 5))
                 .collect(),
         );
-        check(name, &scheme, config, &garbage);
+        check(name, &scheme, config, &garbage, &mut cache);
+        check(name, &scheme, config, &honest, &mut cache);
     }
 
     #[test]
