@@ -40,12 +40,16 @@ pub struct Row {
 
 impl Row {
     /// The row's identity within `section`: `family/n` for the round
-    /// matrix, the scheme name for the acceptance table.
+    /// matrix, the scheme name for the acceptance table, `scheme/t` for
+    /// the per-round-count trade-off rows.
     #[must_use]
     pub fn key(&self) -> String {
         match (self.tags.get("family"), self.tags.get("scheme")) {
             (Some(f), _) => format!("{f}/n={}", self.nums.get("n").copied().unwrap_or(0.0)),
-            (None, Some(s)) => s.clone(),
+            (None, Some(s)) => match self.nums.get("t") {
+                Some(t) => format!("{s}/t={t}"),
+                None => s.clone(),
+            },
             (None, None) => String::from("?"),
         }
     }
@@ -103,12 +107,15 @@ fn rows(array: &str) -> Vec<Row> {
     out
 }
 
-/// Parses one bench JSON into its two row tables.
+/// Parses one bench JSON into its row tables: the round matrix, the
+/// acceptance table, and the t-round trade-off sweep (empty for JSONs
+/// predating the `tradeoff` section).
 #[must_use]
-pub fn parse(json: &str) -> (Vec<Row>, Vec<Row>) {
+pub fn parse(json: &str) -> (Vec<Row>, Vec<Row>, Vec<Row>) {
     (
         rows(section(json, "round_matrix")),
         rows(section(json, "acceptance_probability_cycle256")),
+        rows(section(json, "tradeoff")),
     )
 }
 
@@ -138,6 +145,12 @@ const ACCEPTANCE_METRICS: &[&str] = &[
     "batched_speedup",
     "prep_amortized_speedup",
 ];
+/// Scale-free metrics compared per trade-off row: `bits_shrink` is the
+/// workload's t = 1 per-round bits divided by this row's — the κ/t
+/// communication shrink of the t-round schedule. It is a deterministic
+/// function of the protocol (no timing), so a regression means the
+/// schedule itself changed, not the machine.
+const TRADEOFF_METRICS: &[&str] = &["bits_shrink"];
 
 /// The outcome of one gate run.
 #[derive(Debug, Clone, Default)]
@@ -171,8 +184,8 @@ pub fn check(current: &str, reference: &str, max_regress: f64) -> GateReport {
         max_regress.is_finite() && max_regress > 0.0,
         "max_regress must be positive"
     );
-    let (cur_matrix, cur_acc) = parse(current);
-    let (ref_matrix, ref_acc) = parse(reference);
+    let (cur_matrix, cur_acc, cur_tradeoff) = parse(current);
+    let (ref_matrix, ref_acc, ref_tradeoff) = parse(reference);
     let mut report = GateReport::default();
 
     // One comparison: the named value must not sit more than `max_regress`
@@ -224,6 +237,23 @@ pub fn check(current: &str, reference: &str, max_regress: f64) -> GateReport {
             compare_one(&cur.key(), metric, c, r);
         }
     }
+    let tradeoff_pairs: Vec<(&Row, &Row)> = cur_tradeoff
+        .iter()
+        .filter_map(|c| {
+            ref_tradeoff
+                .iter()
+                .find(|r| r.key() == c.key())
+                .map(|r| (c, r))
+        })
+        .collect();
+    for (cur, reference) in &tradeoff_pairs {
+        for &metric in TRADEOFF_METRICS {
+            let (Some(&c), Some(&r)) = (cur.nums.get(metric), reference.nums.get(metric)) else {
+                continue;
+            };
+            compare_one(&cur.key(), metric, c, r);
+        }
+    }
 
     if report.checks == 0 {
         report
@@ -237,6 +267,16 @@ pub fn check(current: &str, reference: &str, max_regress: f64) -> GateReport {
             report
                 .failures
                 .push(format!("{}: estimates_identical is false", row.key()));
+        }
+    }
+    // Likewise the trade-off sweep's t = 1 rows: the multi-round schedule
+    // diverging from the batched one-round path is a correctness bug at
+    // any speed.
+    for row in &cur_tradeoff {
+        if row.nums.get("t1_identical") == Some(&0.0) {
+            report
+                .failures
+                .push(format!("{}: t1_identical is false", row.key()));
         }
     }
     report
@@ -387,12 +427,77 @@ mod tests {
         assert!(!report.failures.is_empty());
     }
 
+    /// A bench JSON with a `tradeoff` section: two rows of one workload
+    /// (t = 1 and t = 16) with the given shrink and t = 1 identity bit.
+    fn with_tradeoff(base: &str, shrink_t16: f64, t1_identical: bool) -> String {
+        let tradeoff = format!(
+            ",\n  \"tradeoff\": [\n    {{\"scheme\": \"exchange_spanning_tree\", \"t\": 1, \
+             \"trials\": 1000, \"max_bits_per_round\": 96, \"total_bits\": 49152, \
+             \"bits_shrink\": 1.00, \"secs\": 0.1, \"honest_estimate\": 1, \
+             \"tampered_estimate\": 0.0, \"mean_reject_round\": 1.0, \
+             \"t1_identical\": {t1_identical}}},\n    {{\"scheme\": \
+             \"exchange_spanning_tree\", \"t\": 16, \"trials\": 1000, \
+             \"max_bits_per_round\": 6, \"total_bits\": 49152, \"bits_shrink\": {shrink_t16}, \
+             \"secs\": 0.1, \"honest_estimate\": 1, \"tampered_estimate\": 0.0, \
+             \"mean_reject_round\": 16.0}}\n  ]"
+        );
+        let at = base.rfind("\n}").expect("object close");
+        let mut out = String::from(&base[..at]);
+        out.push_str(&tradeoff);
+        out.push_str(&base[at..]);
+        out
+    }
+
+    #[test]
+    fn tradeoff_rows_are_keyed_by_scheme_and_t() {
+        let json = with_tradeoff(&sample(300000.0, 20.0, Some(50.0), true), 16.0, true);
+        let (_, _, tradeoff) = parse(&json);
+        assert_eq!(tradeoff.len(), 2);
+        assert_eq!(tradeoff[0].key(), "exchange_spanning_tree/t=1");
+        assert_eq!(tradeoff[1].key(), "exchange_spanning_tree/t=16");
+    }
+
+    #[test]
+    fn tradeoff_bits_shrink_collapse_fails() {
+        let base = sample(300000.0, 20.0, Some(50.0), true);
+        let reference = with_tradeoff(&base, 16.0, true);
+        // Within tolerance passes…
+        let ok = with_tradeoff(&base, 9.0, true);
+        assert!(check(&ok, &reference, 2.0).failures.is_empty());
+        // …losing the per-round shrink (schedule fell back to one round)
+        // fails.
+        let collapsed = with_tradeoff(&base, 1.0, true);
+        let report = check(&collapsed, &reference, 2.0);
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("bits_shrink"));
+        assert!(report.failures[0].contains("t=16"));
+    }
+
+    #[test]
+    fn tradeoff_t1_divergence_fails_regardless_of_speed() {
+        let cur = with_tradeoff(&sample(300000.0, 20.0, Some(50.0), true), 16.0, false);
+        let report = check(&cur, &cur, 2.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("t=1") && f.contains("t1_identical")));
+    }
+
+    #[test]
+    fn tradeoff_missing_from_reference_is_skipped() {
+        let reference = sample(300000.0, 20.0, Some(50.0), true);
+        let cur = with_tradeoff(&reference, 16.0, true);
+        let report = check(&cur, &reference, 2.0);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.checks, 4);
+    }
+
     #[test]
     fn real_schema_round_trips() {
         // The committed reference itself must parse: guard against the
         // emitter and the parser drifting apart.
         let json = include_str!("../../../BENCH_engine.json");
-        let (matrix, acc) = parse(json);
+        let (matrix, acc, tradeoff) = parse(json);
         assert!(matrix.len() >= 9);
         assert!(acc.len() >= 2);
         assert!(matrix[0].nums.contains_key("rand_rounds_per_sec"));
@@ -401,6 +506,16 @@ mod tests {
             acc.iter()
                 .any(|r| r.nums.contains_key("prep_amortized_speedup")),
             "committed reference must include the adversary-sweep row"
+        );
+        assert!(
+            tradeoff.len() >= 10,
+            "committed reference must include the t-round trade-off sweep"
+        );
+        assert!(
+            tradeoff
+                .iter()
+                .any(|r| r.nums.get("t1_identical") == Some(&1.0)),
+            "the t = 1 rows must carry their identity bit"
         );
         let report = check(json, json, 2.0);
         assert!(report.failures.is_empty(), "{:?}", report.failures);

@@ -47,19 +47,35 @@
 //! actually changed — while plain [`Rpls::prepare`] runs the same code
 //! against a throwaway cache. Both are transcript-identical to the
 //! unprepared path — `tests/engine_golden.rs` pins it.
+//!
+//! # The t-round trade-off schedule
+//!
+//! The space–time trade-off axis (Patt-Shamir & Perry's t-PLS model)
+//! verifies a proof of size κ over `t` rounds at `O(κ/t + log t)` bits per
+//! round. The compiled scheme's [`PreparedRpls::run_multiround`] override
+//! implements **chunked fingerprint streaming**: the length-prefixed inner
+//! label is cut into `⌈λ/t⌉`-bit slices and round `r` carries one fresh
+//! `(x, A_r(x))` fingerprint of slice `r`, so per-round communication is
+//! the message width of the *slice-length* protocol and verdicts
+//! accumulate with **early rejection** — a tampered replica is caught in
+//! the round whose slice covers the tampering. `t = 1` degenerates to the
+//! one-round protocol exactly (same prime, same polynomial, same
+//! randomness), which keeps it bit-identical to the batched one-round
+//! path; see the private `MultiRoundPlan` type for the schedule and its
+//! batched kernel.
 
 use crate::buffer::{Received, RoundScratch};
-use crate::engine::{RoundSummary, StreamMode};
+use crate::engine::{multiround_seed, MultiRoundSummary, RoundSummary, StreamMode};
 use crate::labeling::Labeling;
 use crate::prep::{CachedLabel, CachedReplication, PrepCache};
-use crate::rng::edge_stream_first_word;
+use crate::rng::{edge_stream_first_word, node_stream_word};
 use crate::scheme::{CertView, DetView, ErrorSides, Pls, PreparedRpls, RandView, Rpls};
 use crate::state::Configuration;
 use rand::Rng;
 use rpls_bits::{BitReader, BitString, BitWriter};
 use rpls_fingerprint::{EqMessage, EqProtocol, PreparedEq};
 use rpls_graph::NodeId;
-use std::cell::OnceCell;
+use std::cell::{OnceCell, RefCell};
 use std::rc::Rc;
 
 /// Length-prefix width used both in the replicated label layout and in the
@@ -296,8 +312,11 @@ impl<S: Pls> Rpls for CompiledRpls<S> {
         Box::new(PreparedCompiled {
             scheme: self,
             config,
+            labeling,
+            rounds_hint,
             nodes,
             plan,
+            multiround_plans: RefCell::new(Vec::new()),
         })
     }
 }
@@ -576,6 +595,281 @@ impl BatchPlan {
     }
 }
 
+/// The `t`-round **chunked fingerprint streaming** plan (the compiled
+/// scheme's [`PreparedRpls::run_multiround`] schedule). Instead of
+/// fingerprinting the whole length-prefixed inner label once, the prover
+/// cuts it into `⌈λ/t⌉`-bit slices and sends, in round `r`, one fresh
+/// `(x, A_r(x))` fingerprint of slice `r` — per-round communication
+/// `2⌈log₂ p⌉` for the prime of the *slice* protocol, and rounds past the
+/// string's coverage send nothing at all. The verifier checks each round's
+/// fingerprint against the matching slice of its claimed neighbor copy and
+/// **rejects early**: a trial's verdict is known at the first round in
+/// which any node's check fails.
+///
+/// Soundness is preserved slice-wise: two different length-prefixed labels
+/// differ in some aligned slice (different lengths differ inside the
+/// 32-bit length prefix, which lives in slice 0's span), and that slice's
+/// equality protocol catches the difference with probability `> 2/3`. The
+/// `t = 1` schedule fingerprints the whole string under the exact
+/// one-round protocol with the exact one-round randomness, so it is
+/// bit-identical to the one-round batched path (`tests/engine_golden.rs`
+/// pins this).
+///
+/// Everything here is labeling-static, mirroring [`BatchPlan`]: per-round
+/// certificate widths, coverage mismatches, and which slice probes are
+/// non-trivial are resolved once; the per-(edge, round, trial) loop is one
+/// SplitMix64 word plus two slice-polynomial probes. Plans are cached per
+/// `t` on the prepared instance.
+struct MultiRoundPlan {
+    /// Largest per-round certificate on any directed edge (round 0 always
+    /// carries a full slice message wherever anything is sent).
+    max_bits: usize,
+    /// Total bits over all directed edges and all rounds: each node sends
+    /// its slice-message width per port for each of its covered rounds.
+    total_bits: usize,
+    /// One entry per node.
+    nodes: Vec<MultiNodeBatch>,
+}
+
+/// How one node's accumulated multi-round vote resolves across a block of
+/// trials.
+enum MultiNodeBatch {
+    /// Rejects deterministically in the given 1-based round, every trial:
+    /// parse/arity failures and certificate-width mismatches fail round 1's
+    /// length check; coverage mismatches fail the length check of the first
+    /// round where one side stops streaming.
+    RejectAt(usize),
+    /// Every slice probe passes at every point in every round, so the vote
+    /// is the memoised inner verdict (a `false` verdict surfaces when the
+    /// node votes after its last round, i.e. at round `rounds`).
+    StaticPass,
+    /// At least one (port, round) needs per-trial slice probes.
+    Dynamic {
+        /// Earliest 1-based round with a deterministic length failure
+        /// (coverage mismatch), if any; probes at or past it are pruned.
+        static_reject: Option<usize>,
+        /// Non-trivial probes, sorted by round.
+        checks: Vec<MultiEdgeCheck>,
+    },
+}
+
+/// One non-trivial slice probe: round `round`'s certificate on some port,
+/// reduced to its algebraic content (the multi-round analog of
+/// [`EdgeCheck`]).
+struct MultiEdgeCheck {
+    /// 0-based round of this probe.
+    round: usize,
+    /// The sender's (node, port) keying the per-round random stream.
+    src_node: u64,
+    src_port: u64,
+    /// The sender's slice-protocol prime (the random point's field).
+    send_mod: u64,
+    /// The receiver's slice-protocol prime (points outside it reject).
+    recv_mod: u64,
+    /// The sender's prepared fingerprint of its own slice `round`.
+    sender: Rc<PreparedEq>,
+    /// The receiver's prepared fingerprint of the claimed copy's slice.
+    receiver: Rc<PreparedEq>,
+}
+
+/// The prover-side slice schedule of one node: how its length-prefixed
+/// inner label streams across `t` rounds.
+struct SenderSchedule {
+    /// Slice capacity `⌈λ/t⌉` for the node's declared `λ = 32 + κ`.
+    chunk: usize,
+    /// The equality protocol of that slice capacity (all rounds share it).
+    proto: EqProtocol,
+    /// The length-prefixed inner label actually streamed.
+    lp: BitString,
+    /// Rounds that carry a message: `⌈lp.len() / chunk⌉` (≥ 1 — the 32-bit
+    /// length prefix guarantees a non-empty string). Rounds past this send
+    /// empty certificates without drawing randomness.
+    covered: usize,
+}
+
+/// The bits `[r·chunk, (r+1)·chunk)` of `lp`, clamped to its length.
+fn slice_of(lp: &BitString, r: usize, chunk: usize) -> BitString {
+    let start = r * chunk;
+    let end = lp.len().min(start.saturating_add(chunk));
+    let mut out = BitString::with_capacity(end.saturating_sub(start));
+    for i in start..end {
+        out.push(lp.bit(i).expect("slice range is clamped to the string"));
+    }
+    out
+}
+
+impl MultiRoundPlan {
+    /// Aggregate cap on lazy evaluation-table slots one plan may grant its
+    /// slice fingerprints — same budget shape as
+    /// [`PrepCache::TABLE_SLOT_BUDGET`], applied per plan because slice
+    /// preparations are per-instance, not cache-shared.
+    const TABLE_SLOT_BUDGET: u64 = PrepCache::TABLE_SLOT_BUDGET;
+
+    fn build<S: Pls>(
+        prepared: &PreparedCompiled<'_, S>,
+        rounds: usize,
+        rounds_hint: usize,
+    ) -> Self {
+        let config = prepared.config;
+        let g = config.graph();
+        let port_base = config.port_base();
+        let delivery = config.delivery();
+        let port_count = *port_base.last().expect("port_base has n+1 entries") as usize;
+        let mut owner = vec![0u32; port_count];
+        for v in 0..prepared.nodes.len() {
+            let node = u32::try_from(v).expect("node index fits in u32");
+            owner[port_base[v] as usize..port_base[v + 1] as usize].fill(node);
+        }
+
+        // Prover-side slice schedules, one per node. A malformed
+        // (κ, own-label) prefix keeps the one-round behaviour: empty
+        // certificates every round, no randomness drawn.
+        let senders: Vec<Option<SenderSchedule>> = g
+            .nodes()
+            .map(|v| {
+                parse_own_label(prepared.labeling.get(v)).map(|(kappa, own)| {
+                    let lambda = LEN_BITS as usize + kappa;
+                    let chunk = lambda.div_ceil(rounds);
+                    let proto = EqProtocol::for_length(chunk);
+                    let lp = length_prefixed(&own);
+                    let covered = lp.len().div_ceil(chunk);
+                    SenderSchedule {
+                        chunk,
+                        proto,
+                        lp,
+                        covered,
+                    }
+                })
+            })
+            .collect();
+
+        let mut max_bits = 0usize;
+        let mut total_bits = 0usize;
+        for (v, s) in senders.iter().enumerate() {
+            let degree = g.degree(NodeId::new(v));
+            let Some(s) = s else { continue };
+            if degree > 0 {
+                max_bits = max_bits.max(s.proto.message_bits());
+            }
+            total_bits += degree * s.proto.message_bits() * s.covered;
+        }
+
+        // Sender slice fingerprints are shared across the ports that check
+        // them (several neighbors may claim copies of one label); receiver
+        // slices are unique per (node, port, round). Lazy-table allowances
+        // draw on one per-plan budget.
+        let mut table_slots = Self::TABLE_SLOT_BUDGET;
+        let mut sender_slices: std::collections::HashMap<(usize, usize), Rc<PreparedEq>> =
+            std::collections::HashMap::new();
+        let prepare_slice =
+            |proto: &EqProtocol, slice: BitString, table_slots: &mut u64| -> Rc<PreparedEq> {
+                let hint = if *table_slots >= proto.modulus() {
+                    rounds_hint
+                } else {
+                    0
+                };
+                let prep = proto
+                    .prepare(&slice, hint)
+                    .expect("slice length is bounded by the slice capacity");
+                if prep.table_allowed() {
+                    *table_slots -= proto.modulus();
+                }
+                Rc::new(prep)
+            };
+
+        let batch_nodes = prepared
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(u, n)| {
+                if !n.ready {
+                    return MultiNodeBatch::RejectAt(1);
+                }
+                let rep = n.label.replication.as_ref().expect("ready implies parsed");
+                // The receiver's slice capacity comes from its own declared
+                // κ (the first 32 bits of its replicated label, which
+                // `ready` guarantees parse).
+                let kappa_u = BitReader::new(prepared.labeling.get(NodeId::new(u)))
+                    .read_u64(LEN_BITS)
+                    .expect("ready implies a parsable κ prefix")
+                    as usize;
+                let chunk_u = (LEN_BITS as usize + kappa_u).div_ceil(rounds);
+                let proto_u = EqProtocol::for_length(chunk_u);
+                let mut static_reject: Option<usize> = None;
+                let mut checks: Vec<MultiEdgeCheck> = Vec::new();
+                let lo = port_base[u] as usize;
+                for (i, part) in rep.parts[1..].iter().enumerate() {
+                    let src = delivery[lo + i] as usize;
+                    let v = owner[src] as usize;
+                    let p = src - port_base[v] as usize;
+                    let Some(sv) = &senders[v] else {
+                        // Empty certificates where a slice message is
+                        // expected: round 1's length check fails.
+                        return MultiNodeBatch::RejectAt(1);
+                    };
+                    if sv.proto.message_bits() != proto_u.message_bits() {
+                        return MultiNodeBatch::RejectAt(1);
+                    }
+                    let lp_u = length_prefixed(part);
+                    let covered_u = lp_u.len().div_ceil(chunk_u);
+                    let shared = sv.covered.min(covered_u);
+                    if sv.covered != covered_u {
+                        // One side stops streaming before the other: the
+                        // first uncovered round's length check fails
+                        // deterministically.
+                        let at = shared + 1;
+                        static_reject = Some(static_reject.map_or(at, |k| k.min(at)));
+                    }
+                    for r in 0..shared {
+                        let ss = slice_of(&sv.lp, r, sv.chunk);
+                        let su = slice_of(&lp_u, r, chunk_u);
+                        if sv.proto.modulus() == proto_u.modulus() && ss == su {
+                            // The sender fingerprints exactly the slice
+                            // this round expects: passes at every point of
+                            // the field, every trial.
+                            continue;
+                        }
+                        let sender = sender_slices
+                            .entry((v, r))
+                            .or_insert_with(|| prepare_slice(&sv.proto, ss, &mut table_slots))
+                            .clone();
+                        let receiver = prepare_slice(&proto_u, su, &mut table_slots);
+                        checks.push(MultiEdgeCheck {
+                            round: r,
+                            src_node: v as u64,
+                            src_port: p as u64,
+                            send_mod: sv.proto.modulus(),
+                            recv_mod: proto_u.modulus(),
+                            sender,
+                            receiver,
+                        });
+                    }
+                }
+                if let Some(k) = static_reject {
+                    // Probes at or past a deterministic rejection cannot
+                    // move the node's first-failure round.
+                    checks.retain(|c| c.round + 1 < k);
+                }
+                checks.sort_by_key(|c| c.round);
+                match (checks.is_empty(), static_reject) {
+                    (true, Some(k)) => MultiNodeBatch::RejectAt(k),
+                    (true, None) => MultiNodeBatch::StaticPass,
+                    (false, _) => MultiNodeBatch::Dynamic {
+                        static_reject,
+                        checks,
+                    },
+                }
+            })
+            .collect();
+
+        Self {
+            max_bits,
+            total_bits,
+            nodes: batch_nodes,
+        }
+    }
+}
+
 /// Per-node state of a prepared compiled scheme: the content-derived label
 /// preparation (shared through the [`PrepCache`]) plus the two
 /// per-(configuration, node) facts that are *not* label content and so
@@ -608,12 +902,40 @@ struct PreparedNode {
 struct PreparedCompiled<'a, S> {
     scheme: &'a CompiledRpls<S>,
     config: &'a Configuration,
+    /// The bound labeling — the multi-round planner re-reads raw labels
+    /// from it (slice schedules are cut from strings the one-round
+    /// preparation does not retain).
+    labeling: &'a Labeling,
+    /// The round count this instance was prepared for, reused as the
+    /// lazy-table hint of multi-round slice fingerprints.
+    rounds_hint: usize,
     nodes: Vec<PreparedNode>,
     /// The labeling-static batched-trial plan (see [`BatchPlan`]).
     plan: BatchPlan,
+    /// Chunked-fingerprint schedules, built on first use and cached per
+    /// `t` (see [`MultiRoundPlan`]). A sweep rarely uses more than a
+    /// handful of distinct `t`s, so a small vec beats a map.
+    multiround_plans: RefCell<Vec<(usize, Rc<MultiRoundPlan>)>>,
 }
 
 impl<S: Pls> PreparedCompiled<'_, S> {
+    /// The chunked-fingerprint schedule for `rounds`, built on first use.
+    fn multiround_plan(&self, rounds: usize) -> Rc<MultiRoundPlan> {
+        if let Some((_, plan)) = self
+            .multiround_plans
+            .borrow()
+            .iter()
+            .find(|(t, _)| *t == rounds)
+        {
+            return Rc::clone(plan);
+        }
+        let plan = Rc::new(MultiRoundPlan::build(self, rounds, self.rounds_hint));
+        self.multiround_plans
+            .borrow_mut()
+            .push((rounds, Rc::clone(&plan)));
+        plan
+    }
+
     /// The memoised inner verdict of node `u`, which must be `ready`.
     /// Shared between the scalar and batched paths, so whichever runs
     /// first fills the same memo — and, matching the unprepared path, it
@@ -760,6 +1082,132 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
                 accepted,
                 max_certificate_bits: plan.max_bits,
                 total_certificate_bits: plan.total_bits,
+            });
+        }
+    }
+
+    /// One t-round chunked-fingerprint trial (see [`MultiRoundPlan`]).
+    fn run_multiround(
+        &self,
+        config: &Configuration,
+        seed: u64,
+        rounds: usize,
+        mode: StreamMode,
+        scratch: &mut RoundScratch,
+    ) -> MultiRoundSummary {
+        let mut out = None;
+        self.run_multiround_trials(config, &[seed], rounds, mode, scratch, &mut |s| {
+            out = Some(s);
+        });
+        out.expect("one summary per seed")
+    }
+
+    /// The batched t-round trial loop: chunked fingerprint streaming with
+    /// early rejection, certificates never materialised. Each non-trivial
+    /// (port, round, trial) probe is one SplitMix64 word of round `r`'s
+    /// stream reduced into the sender's slice field, compared through two
+    /// prepared slice polynomials; everything else — per-round widths,
+    /// coverage mismatches, statically satisfied slices — was resolved at
+    /// plan-build time. Probes that can no longer move a trial's
+    /// first-rejection round are skipped (streams are per-(node, port,
+    /// round, trial), so nothing downstream observes the skipped draws).
+    fn run_multiround_trials(
+        &self,
+        config: &Configuration,
+        seeds: &[u64],
+        rounds: usize,
+        mode: StreamMode,
+        scratch: &mut RoundScratch,
+        emit: &mut dyn FnMut(MultiRoundSummary),
+    ) {
+        assert!(rounds > 0, "a schedule needs at least one round");
+        let _ = (config, scratch);
+        let plan = self.multiround_plan(rounds);
+        let trials = seeds.len();
+        /// Sentinel for "no rejection observed yet".
+        const NONE: usize = usize::MAX;
+        let mut reject_at = vec![NONE; trials];
+        let mut node_fail: Vec<usize> = Vec::new();
+        for (u, nb) in plan.nodes.iter().enumerate() {
+            match nb {
+                MultiNodeBatch::RejectAt(k) => {
+                    for slot in &mut reject_at {
+                        *slot = (*slot).min(*k);
+                    }
+                }
+                MultiNodeBatch::StaticPass => {
+                    if trials > 0 && !self.inner_verdict(u) {
+                        for slot in &mut reject_at {
+                            *slot = (*slot).min(rounds);
+                        }
+                    }
+                }
+                MultiNodeBatch::Dynamic {
+                    static_reject,
+                    checks,
+                } => {
+                    node_fail.clear();
+                    node_fail.resize(trials, static_reject.unwrap_or(NONE));
+                    for c in checks {
+                        let send = c.sender.evaluator();
+                        let recv = c.receiver.evaluator();
+                        let round1 = c.round + 1;
+                        for (t, &seed) in seeds.iter().enumerate() {
+                            if node_fail[t] <= round1 || reject_at[t] <= round1 {
+                                continue;
+                            }
+                            let rseed = multiround_seed(seed, c.round);
+                            let word = match mode {
+                                StreamMode::EdgeIndependent => {
+                                    edge_stream_first_word(rseed, c.src_node, c.src_port)
+                                }
+                                // The shared-stream violation mode draws
+                                // one word per port from the node's single
+                                // per-round stream; port rank p consumes
+                                // word p (each slice message costs exactly
+                                // one word).
+                                StreamMode::SharedPerNode => {
+                                    node_stream_word(rseed, c.src_node, c.src_port)
+                                }
+                            };
+                            let x = word % c.send_mod;
+                            if !(x < c.recv_mod && recv.eval(x) == send.eval(x)) {
+                                node_fail[t] = round1;
+                            }
+                        }
+                    }
+                    // The inner verifier runs only for trials whose probes
+                    // all passed, matching the one-round order; its `false`
+                    // verdict surfaces when the node votes after the last
+                    // round.
+                    let inner = if node_fail.contains(&NONE) {
+                        self.inner_verdict(u)
+                    } else {
+                        true // unused: every trial already failed a probe
+                    };
+                    for (slot, &fail) in reject_at.iter_mut().zip(&node_fail) {
+                        let fail = if fail == NONE {
+                            if inner {
+                                NONE
+                            } else {
+                                rounds
+                            }
+                        } else {
+                            fail
+                        };
+                        *slot = (*slot).min(fail);
+                    }
+                }
+            }
+        }
+        for &r in &reject_at {
+            let accepted = r == NONE;
+            emit(MultiRoundSummary {
+                accepted,
+                rounds,
+                decided_round: if accepted { rounds } else { r },
+                max_bits_per_round: plan.max_bits,
+                total_bits: plan.total_bits,
             });
         }
     }
@@ -1090,6 +1538,186 @@ mod tests {
             misses_before,
             "repeat preparation after an epoch turnover must be all hits"
         );
+    }
+
+    #[test]
+    fn multiround_honest_accepts_and_t1_matches_one_round() {
+        let config = Configuration::plain(generators::cycle(7));
+        let scheme = CompiledRpls::new(IdLabel);
+        let labeling = Rpls::label(&scheme, &config);
+        let prepared = Rpls::prepare(&scheme, &config, &labeling, 32);
+        let mut scratch = crate::buffer::RoundScratch::new();
+        for seed in [0u64, 5, 99] {
+            let one = engine::run_randomized_prepared_with(
+                &*prepared,
+                &config,
+                seed,
+                crate::engine::StreamMode::EdgeIndependent,
+                &mut scratch,
+            );
+            for rounds in [1usize, 2, 4, 16, 1 << 40] {
+                let multi = engine::run_multiround_prepared_with(
+                    &*prepared,
+                    &config,
+                    seed,
+                    rounds,
+                    crate::engine::StreamMode::EdgeIndependent,
+                    &mut scratch,
+                );
+                assert!(multi.accepted, "seed {seed} rounds {rounds}");
+                assert_eq!(multi.decided_round, rounds);
+                if rounds == 1 {
+                    assert_eq!(multi.max_bits_per_round, one.max_certificate_bits);
+                    assert_eq!(multi.total_bits, one.total_certificate_bits);
+                }
+                // Chunked streaming: per-round messages fingerprint
+                // shorter slices, so they can only shrink as t grows.
+                assert!(multi.max_bits_per_round <= one.max_certificate_bits);
+            }
+        }
+    }
+
+    #[test]
+    fn multiround_verdicts_match_one_round_for_any_t() {
+        // Tamper one claimed replica: for every t the acceptance verdict
+        // of a trial must equal the one-round verdict for that seed
+        // (schedules re-time communication, never change verdicts), and
+        // rejecting trials must be decided no later than round t.
+        let config = Configuration::plain(generators::cycle(7));
+        let scheme = CompiledRpls::new(IdLabel);
+        let mut labeling = Rpls::label(&scheme, &config);
+        let (kappa, mut parts) = parse_replicated(labeling.get(NodeId::new(3))).unwrap();
+        let flipped: BitString = parts[1]
+            .iter()
+            .enumerate()
+            .map(|(i, b)| if i == 63 { !b } else { b })
+            .collect();
+        parts[1] = flipped;
+        let refs: Vec<&BitString> = parts.iter().collect();
+        labeling.set(NodeId::new(3), encode_replicated(kappa, &refs));
+
+        let prepared = Rpls::prepare(&scheme, &config, &labeling, 64);
+        let mut scratch = crate::buffer::RoundScratch::new();
+        let mut rejected_somewhere = false;
+        for rounds in [1usize, 2, 3, 8] {
+            for seed in 0..64u64 {
+                let one = engine::run_randomized_prepared_with(
+                    &*prepared,
+                    &config,
+                    seed,
+                    crate::engine::StreamMode::EdgeIndependent,
+                    &mut scratch,
+                );
+                let multi = engine::run_multiround_prepared_with(
+                    &*prepared,
+                    &config,
+                    seed,
+                    rounds,
+                    crate::engine::StreamMode::EdgeIndependent,
+                    &mut scratch,
+                );
+                // Different t re-randomises the slice probes, so verdicts
+                // across t values differ trial-by-trial — but t = 1 must
+                // equal the one-round verdict exactly.
+                if rounds == 1 {
+                    assert_eq!(multi.accepted, one.accepted, "seed {seed}");
+                }
+                assert!(multi.decided_round >= 1 && multi.decided_round <= rounds);
+                if !multi.accepted {
+                    rejected_somewhere = true;
+                }
+            }
+        }
+        assert!(rejected_somewhere, "a tampered replica must be caught");
+    }
+
+    #[test]
+    fn multiround_rejects_early_on_sliced_tampering() {
+        // The flipped bit sits at position 63 of the first claimed copy:
+        // inside the *second half* of the 128-bit length-prefixed string
+        // (32 length bits + 96 label bits; bit 63 of the copy is bit 95 of
+        // the string). At t = 2 the slices cover [0, 64) and [64, 128), so
+        // every rejection must be decided in round 2 — round 1's slice is
+        // identical on both sides — while parse-level garbage rejects in
+        // round 1.
+        let config = Configuration::plain(generators::cycle(7));
+        let scheme = CompiledRpls::new(IdLabel);
+        let mut labeling = Rpls::label(&scheme, &config);
+        let (kappa, mut parts) = parse_replicated(labeling.get(NodeId::new(3))).unwrap();
+        let flipped: BitString = parts[1]
+            .iter()
+            .enumerate()
+            .map(|(i, b)| if i == 63 { !b } else { b })
+            .collect();
+        parts[1] = flipped;
+        let refs: Vec<&BitString> = parts.iter().collect();
+        labeling.set(NodeId::new(3), encode_replicated(kappa, &refs));
+        let prepared = Rpls::prepare(&scheme, &config, &labeling, 64);
+        let mut scratch = crate::buffer::RoundScratch::new();
+        let mut rejects = 0usize;
+        for seed in 0..200u64 {
+            let multi = engine::run_multiround_prepared_with(
+                &*prepared,
+                &config,
+                seed,
+                2,
+                crate::engine::StreamMode::EdgeIndependent,
+                &mut scratch,
+            );
+            if !multi.accepted {
+                rejects += 1;
+                assert_eq!(
+                    multi.decided_round, 2,
+                    "seed {seed}: the mismatch lives in slice 2"
+                );
+            }
+        }
+        assert!(rejects > 100, "rejects = {rejects}");
+
+        // Garbage labels fail the parse: decided in round 1 at any t.
+        let garbage = Labeling::new(vec![BitString::zeros(5); 7]);
+        let prepared = Rpls::prepare(&scheme, &config, &garbage, 4);
+        let multi = engine::run_multiround_prepared_with(
+            &*prepared,
+            &config,
+            0,
+            8,
+            crate::engine::StreamMode::EdgeIndependent,
+            &mut scratch,
+        );
+        assert!(!multi.accepted);
+        assert_eq!(multi.decided_round, 1);
+    }
+
+    #[test]
+    fn multiround_per_round_bits_shrink_with_t() {
+        // The per-round message fingerprints a ⌈λ/t⌉-bit slice, so its
+        // width 2⌈log₂ p⌉ for p ∈ (3⌈λ/t⌉, 6⌈λ/t⌉) is non-increasing in t.
+        let config = Configuration::plain(generators::cycle(5));
+        let scheme = CompiledRpls::new(IdLabel);
+        let labeling = Rpls::label(&scheme, &config);
+        let prepared = Rpls::prepare(&scheme, &config, &labeling, 8);
+        let mut scratch = crate::buffer::RoundScratch::new();
+        let mut last = usize::MAX;
+        for rounds in [1usize, 2, 4, 8, 16] {
+            let multi = engine::run_multiround_prepared_with(
+                &*prepared,
+                &config,
+                1,
+                rounds,
+                crate::engine::StreamMode::EdgeIndependent,
+                &mut scratch,
+            );
+            assert!(
+                multi.max_bits_per_round <= last,
+                "t {rounds}: {} > {last}",
+                multi.max_bits_per_round
+            );
+            last = multi.max_bits_per_round;
+        }
+        // λ = 96: t = 16 slices are 6 bits, p ∈ (18, 36) → ≤ 12-bit
+        // messages vs 20 at t = 1.
+        assert!(last < 16, "per-round bits must shrink: {last}");
     }
 
     #[test]

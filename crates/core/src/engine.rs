@@ -131,6 +131,81 @@ pub struct RoundSummary {
     pub total_certificate_bits: usize,
 }
 
+/// The summary of a **t-round** verification schedule (the space–time
+/// trade-off axis: a proof of size κ verified in `t` rounds with `O(κ/t)`
+/// bits communicated per round per edge). Produced by
+/// [`run_multiround_with`] / [`run_multiround_prepared_with`] and the
+/// batched [`run_multiround_trials_batched_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiRoundSummary {
+    /// Whether every node's accumulated verdict is `true` after all
+    /// `rounds` rounds. The default certificate-splitting schedule only
+    /// re-times communication, so this equals the one-round
+    /// [`RoundSummary::accepted`] of the same trial seed for any `t`;
+    /// schedules that re-randomise per round (the compiled
+    /// chunked-fingerprint streaming) preserve perfect completeness and
+    /// the soundness *bound* for every `t`, and are bit-identical to the
+    /// one-round trial at `t = 1`.
+    pub accepted: bool,
+    /// The schedule length `t` this trial ran with.
+    pub rounds: usize,
+    /// The 1-based round at which the global verdict became known: the
+    /// earliest round in which some node's accumulated verdict turned
+    /// `false` (early rejection), or `rounds` for accepting trials (and
+    /// for schedules, like the default certificate-splitting one, whose
+    /// verifiers only vote once the last chunk has arrived).
+    pub decided_round: usize,
+    /// The largest number of bits any single directed edge carries in any
+    /// single round — the per-round communication the trade-off shrinks as
+    /// ≈ κ/t. At `t = 1` this equals
+    /// [`RoundSummary::max_certificate_bits`].
+    pub max_bits_per_round: usize,
+    /// Total bits communicated over all directed edges and all rounds. At
+    /// `t = 1` this equals [`RoundSummary::total_certificate_bits`].
+    pub total_bits: usize,
+}
+
+impl MultiRoundSummary {
+    /// The default **certificate-splitting** schedule, derived from a
+    /// one-round summary: the one-round certificate of each directed edge
+    /// is cut into `rounds` equal chunks (the last possibly short) and
+    /// chunk `r` is delivered in round `r`; verifiers reassemble and vote
+    /// after the last round. Verdicts and total bits are exactly the
+    /// one-round ones; per-round communication is
+    /// `⌈max_certificate_bits / rounds⌉` (ceiling division is monotone, so
+    /// the per-edge maximum commutes with the split).
+    #[must_use]
+    pub fn from_split(summary: RoundSummary, rounds: usize) -> Self {
+        assert!(rounds > 0, "a schedule needs at least one round");
+        Self {
+            accepted: summary.accepted,
+            rounds,
+            decided_round: rounds,
+            max_bits_per_round: summary.max_certificate_bits.div_ceil(rounds),
+            total_bits: summary.total_certificate_bits,
+        }
+    }
+}
+
+/// Seed-derivation tag of per-round streams beyond the first, chosen to
+/// collide with neither the estimator tags in [`stats`](crate::stats) nor
+/// any (node, port) mixing.
+const TAG_MULTIROUND: u64 = 0x6D72_6F75_6E64; // "mround"
+
+/// The stream seed of round `round` (0-based) within a multi-round trial
+/// whose base seed is `seed`. Round 0 uses `seed` itself, so the `t = 1`
+/// schedule consumes **exactly** the randomness of the one-round engine —
+/// the bit-identity `tests/engine_golden.rs` pins; later rounds get
+/// independently mixed seeds.
+#[must_use]
+pub fn multiround_seed(seed: u64, round: usize) -> u64 {
+    if round == 0 {
+        seed
+    } else {
+        mix_seed(seed, round as u64, TAG_MULTIROUND)
+    }
+}
+
 /// How per-port random streams are keyed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StreamMode {
@@ -326,6 +401,93 @@ pub fn run_randomized_prepared_with<P: PreparedRpls + ?Sized>(
         max_certificate_bits: buffer.max_bits(),
         total_certificate_bits: buffer.total_bits(),
     }
+}
+
+/// Executes one **t-round** verification trial of `scheme` against
+/// `labeling` — the space–time trade-off entry point. The labeling is
+/// prepared internally for this single trial; callers running many trials
+/// should [`Rpls::prepare`] (or [`Rpls::prepare_cached`]) once and use
+/// [`run_multiround_prepared_with`] or the batched
+/// [`run_multiround_trials_batched_with`] instead.
+///
+/// The schedule is the scheme's [`PreparedRpls::run_multiround`]: by
+/// default the one-round certificates are split into `rounds` chunks
+/// delivered one per round (per-round bits `⌈κ/t⌉`, verdict after the last
+/// chunk); [`CompiledRpls`](crate::compiler::CompiledRpls) overrides it
+/// with chunked fingerprint streaming (each round fingerprints the next
+/// κ/t-bit slice of the inner label, with early rejection). The default
+/// schedule's verdict is identical to the one-round engine for the same
+/// seed at any `t` (it re-times the same trial); schedules that
+/// re-randomise per round — the compiled streaming — preserve perfect
+/// completeness and the soundness *bound* instead, so their `t > 1`
+/// verdicts may differ per seed. Every schedule's `rounds = 1` case is
+/// bit-identical to the one-round engine — summaries, estimates and
+/// randomness consumption alike (`tests/engine_golden.rs` pins this).
+///
+/// # Panics
+///
+/// Panics if `rounds` is 0 or `labeling` does not assign one label per
+/// node.
+pub fn run_multiround_with<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    seed: u64,
+    rounds: usize,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> MultiRoundSummary {
+    assert!(rounds > 0, "a schedule needs at least one round");
+    let prepared = scheme.prepare(config, labeling, 1);
+    prepared.run_multiround(config, seed, rounds, mode, scratch)
+}
+
+/// Executes one t-round trial of a **prepared** scheme (see
+/// [`run_multiround_with`] for the schedule semantics). `prepared` must
+/// have been prepared for `config`.
+///
+/// # Panics
+///
+/// Panics if `rounds` is 0.
+pub fn run_multiround_prepared_with<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seed: u64,
+    rounds: usize,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> MultiRoundSummary {
+    assert!(rounds > 0, "a schedule needs at least one round");
+    prepared.run_multiround(config, seed, rounds, mode, scratch)
+}
+
+/// Runs one t-round trial per seed in `seeds` against a prepared scheme,
+/// calling `emit` once per trial in seed order — the multi-round twin of
+/// [`run_trials_batched_with`], and what the multi-round estimators in
+/// [`stats`](crate::stats) and [`measure`](crate::measure) funnel into.
+///
+/// Delegates to [`PreparedRpls::run_multiround_trials`]: the default rides
+/// the (batched) one-round trial engine and re-times its summaries as the
+/// certificate-splitting schedule, while
+/// [`CompiledRpls`](crate::compiler::CompiledRpls) streams chunked
+/// fingerprints with a labeling-static per-round plan. Emitted summaries
+/// are bit-identical to running [`run_multiround_prepared_with`] once per
+/// seed.
+///
+/// # Panics
+///
+/// Panics if `rounds` is 0.
+pub fn run_multiround_trials_batched_with<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seeds: &[u64],
+    rounds: usize,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+    emit: &mut dyn FnMut(MultiRoundSummary),
+) {
+    assert!(rounds > 0, "a schedule needs at least one round");
+    prepared.run_multiround_trials(config, seeds, rounds, mode, scratch, emit);
 }
 
 /// How many per-trial seeds the estimators hand to the batched engine at
@@ -557,6 +719,104 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn multiround_seed_keeps_round_zero_and_mixes_the_rest() {
+        assert_eq!(multiround_seed(42, 0), 42);
+        let later: std::collections::HashSet<u64> =
+            (1..5).map(|r| multiround_seed(42, r)).collect();
+        assert_eq!(later.len(), 4);
+        assert!(!later.contains(&42));
+        assert_ne!(multiround_seed(42, 1), multiround_seed(43, 1));
+    }
+
+    #[test]
+    fn default_split_schedule_matches_one_round_verdicts() {
+        let config = Configuration::plain(generators::wheel(9));
+        let labeling = VariableLength.label(&config);
+        let mut scratch = RoundScratch::new();
+        for seed in [0u64, 7, 991] {
+            let one = run_randomized_with(
+                &VariableLength,
+                &config,
+                &labeling,
+                seed,
+                StreamMode::EdgeIndependent,
+                &mut scratch,
+            );
+            for rounds in [1usize, 2, 3, 16, usize::MAX] {
+                let multi = run_multiround_with(
+                    &VariableLength,
+                    &config,
+                    &labeling,
+                    seed,
+                    rounds,
+                    StreamMode::EdgeIndependent,
+                    &mut scratch,
+                );
+                assert_eq!(multi.accepted, one.accepted);
+                assert_eq!(multi.rounds, rounds);
+                assert_eq!(multi.decided_round, rounds);
+                assert_eq!(
+                    multi.max_bits_per_round,
+                    one.max_certificate_bits.div_ceil(rounds)
+                );
+                assert_eq!(multi.total_bits, one.total_certificate_bits);
+            }
+        }
+    }
+
+    #[test]
+    fn multiround_batched_default_equals_scalar_per_seed() {
+        let config = Configuration::plain(generators::wheel(7));
+        let labeling = VariableLength.label(&config);
+        let prepared = Rpls::prepare(&VariableLength, &config, &labeling, 8);
+        let mut scratch = RoundScratch::new();
+        let seeds: Vec<u64> = (0..8).collect();
+        for rounds in [1usize, 4] {
+            let mut batched = Vec::new();
+            run_multiround_trials_batched_with(
+                &*prepared,
+                &config,
+                &seeds,
+                rounds,
+                StreamMode::EdgeIndependent,
+                &mut scratch,
+                &mut |s| batched.push(s),
+            );
+            let scalar: Vec<MultiRoundSummary> = seeds
+                .iter()
+                .map(|&s| {
+                    run_multiround_prepared_with(
+                        &*prepared,
+                        &config,
+                        s,
+                        rounds,
+                        StreamMode::EdgeIndependent,
+                        &mut scratch,
+                    )
+                })
+                .collect();
+            assert_eq!(batched, scalar, "rounds {rounds}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_round_schedule_is_rejected() {
+        let config = Configuration::plain(generators::path(3));
+        let labeling = RandomBit.label(&config);
+        let mut scratch = RoundScratch::new();
+        let _ = run_multiround_with(
+            &RandomBit,
+            &config,
+            &labeling,
+            0,
+            0,
+            StreamMode::EdgeIndependent,
+            &mut scratch,
+        );
     }
 
     #[test]

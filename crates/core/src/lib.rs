@@ -8,10 +8,12 @@
 //! * [`state`] — node states and [`Configuration`]s `G_s` (§2.1);
 //! * [`scheme`] — the [`Pls`] and [`Rpls`] traits: prover, verifier, and
 //!   the strictly local views they are allowed to see (§2.2);
-//! * [`engine`] — the one-round synchronous execution: label exchange for
+//! * [`engine`] — the synchronous execution: label exchange for
 //!   deterministic schemes, certificate generation with per-(node, port)
 //!   independent randomness (edge-independent by construction,
-//!   Definition 4.5) and delivery for randomized ones;
+//!   Definition 4.5) and delivery for randomized ones, and the **t-round
+//!   trade-off schedules** (`run_multiround_*`) that verify a proof of
+//!   size κ over `t` rounds at ≈ κ/t bits per round per edge;
 //! * [`compiler`] — **Theorem 3.1**: any deterministic scheme with
 //!   verification complexity κ compiles into a one-sided randomized scheme
 //!   exchanging `O(log κ)` bits, via the Lemma A.1 equality protocol;
@@ -35,16 +37,89 @@
 //!   Fraigniaud–Korman–Peleg (radius-t ball inspection), implemented so the
 //!   repository can show what proof labels buy over plain local decision.
 //!
-//! # Examples
+//! # The verification pipeline
+//!
+//! Every estimate this crate produces — acceptance probabilities,
+//! verification complexities, adversary sweeps — is Monte-Carlo over
+//! verification rounds, and the engine exposes four layers that trade
+//! generality for throughput. All four are **bit-identical** on the same
+//! inputs (`tests/engine_golden.rs` pins it); each layer only moves work,
+//! never results:
+//!
+//! 1. **Unprepared** — [`engine::run_randomized_with`] routes every
+//!    (node, port) straight through [`Rpls::certify_into`] /
+//!    [`Rpls::verify`]. No setup, full per-round cost: labels are
+//!    re-parsed and fingerprint polynomials rebuilt every round. Right
+//!    for one-shot rounds.
+//! 2. **Prepared** — [`Rpls::prepare`] binds the scheme to one
+//!    `(configuration, labeling)` pair and hoists per-labeling work out
+//!    of the loop; [`engine::run_randomized_prepared_with`] then runs
+//!    single rounds at one random field element plus one polynomial probe
+//!    per (node, port) for the compiled schemes.
+//! 3. **Batched** — [`engine::run_trials_batched_with`] hands whole
+//!    blocks of per-trial seeds to [`PreparedRpls::run_trials`];
+//!    [`CompiledRpls`] answers with a labeling-static batch plan that
+//!    classifies nodes (always-reject / static-pass / dynamic), drops
+//!    statically satisfied probes, skips already-rejected trials, and
+//!    never materialises a certificate.
+//! 4. **Cached** — [`Rpls::prepare_cached`] reuses a content-keyed
+//!    [`PrepCache`] *across* labelings, so a sweep (an adversary's forged
+//!    candidates, a configuration scan) re-prepares only the labels that
+//!    actually changed.
+//!
+//! The same ladder carries the **t-round trade-off**: any scheme verifies
+//! in `t` rounds via [`engine::run_multiround_with`] (certificates split
+//! into `t` chunks, ≈ κ/t bits per round), prepared/batched variants ride
+//! layers 2–4 unchanged, and [`CompiledRpls`] streams one fingerprint of
+//! each κ/t-bit label slice per round with early rejection.
 //!
 //! ```
 //! use rpls_core::prelude::*;
 //! use rpls_graph::generators;
 //!
-//! let g = generators::cycle(6);
-//! let config = Configuration::plain(g);
-//! // See `rpls-schemes` for real schemes and `examples/` for walkthroughs.
-//! assert_eq!(config.node_count(), 6);
+//! // A toy deterministic scheme: every node must carry an empty label.
+//! struct Empty;
+//! impl Pls for Empty {
+//!     fn name(&self) -> String { "empty".into() }
+//!     fn label(&self, c: &Configuration) -> Labeling { Labeling::empty(c.node_count()) }
+//!     fn verify(&self, view: &DetView<'_>) -> bool { view.label.is_empty() }
+//! }
+//!
+//! let config = Configuration::plain(generators::cycle(6));
+//! let scheme = CompiledRpls::new(Empty); // Theorem 3.1 compilation
+//! let labeling = Rpls::label(&scheme, &config);
+//! let mut scratch = RoundScratch::new();
+//!
+//! // Layer 1: unprepared single round.
+//! let one = engine::run_randomized_with(
+//!     &scheme, &config, &labeling, 7, StreamMode::EdgeIndependent, &mut scratch);
+//! assert!(one.accepted);
+//!
+//! // Layer 2: prepared single round — bit-identical.
+//! let prepared = scheme.prepare(&config, &labeling, 100);
+//! let two = engine::run_randomized_prepared_with(
+//!     &*prepared, &config, 7, StreamMode::EdgeIndependent, &mut scratch);
+//! assert_eq!(one, two);
+//!
+//! // Layer 3: batched trials — same summaries, whole blocks at a time.
+//! let mut batched = Vec::new();
+//! engine::run_trials_batched_with(
+//!     &*prepared, &config, &[7, 8], StreamMode::EdgeIndependent,
+//!     &mut scratch, &mut |s| batched.push(s));
+//! assert_eq!(batched[0], one);
+//!
+//! // Layer 4: cached preparation across a sweep — same estimates.
+//! let mut cache = PrepCache::new();
+//! let p = stats::acceptance_probability_cached(
+//!     &scheme, &config, &labeling, 50, 7, &mut scratch, &mut cache);
+//! assert_eq!(p, 1.0);
+//!
+//! // The t-round trade-off rides the same prepared instance: 4 rounds,
+//! // ≤ the one-round bits per round, same verdict.
+//! let multi = engine::run_multiround_prepared_with(
+//!     &*prepared, &config, 7, 4, StreamMode::EdgeIndependent, &mut scratch);
+//! assert!(multi.accepted);
+//! assert!(multi.max_bits_per_round <= one.max_certificate_bits);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -77,7 +152,7 @@ pub use universal::{UniversalPls, UniversalRpls};
 pub mod prelude {
     pub use crate::buffer::{CertificateBuffer, Received, RoundScratch};
     pub use crate::compiler::CompiledRpls;
-    pub use crate::engine::{self, Outcome, RoundSummary, StreamMode};
+    pub use crate::engine::{self, MultiRoundSummary, Outcome, RoundSummary, StreamMode};
     pub use crate::labeling::Labeling;
     pub use crate::measure;
     pub use crate::prep::PrepCache;

@@ -45,6 +45,21 @@ pub fn edge_stream_first_word(seed: u64, node: u64, port: u64) -> u64 {
     split_mix_output(mix_seed(seed, node, port).wrapping_add(GAMMA))
 }
 
+/// The `index`-th word of the **per-node** stream
+/// `PortRng::for_node(seed, node)`, as a pure function — exactly what the
+/// generator's `(index + 1)`-th `next_u64()` call returns.
+///
+/// The multi-round engine's shared-stream diagnostics mode draws one word
+/// per port from the node's single stream (port rank `p` consumes word
+/// `p`); this lets the batched multi-round kernel reproduce those draws
+/// without materialising the generator, exactly as
+/// [`edge_stream_first_word`] does for the edge-independent mode.
+#[inline]
+#[must_use]
+pub fn node_stream_word(seed: u64, node: u64, index: u64) -> u64 {
+    split_mix_output(mix_seed(seed, node, u64::MAX).wrapping_add((index + 1).wrapping_mul(GAMMA)))
+}
+
 /// The SplitMix64 additive constant shared by [`PortRng`] and the
 /// counter-block path.
 const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -156,6 +171,20 @@ mod tests {
                 r.next_u64(),
                 "({seed}, {node}, {port})"
             );
+        }
+    }
+
+    #[test]
+    fn node_stream_word_matches_generator() {
+        for (seed, node) in [(0u64, 0u64), (7, 3), (u64::MAX, 255)] {
+            let mut r = PortRng::for_node(seed, node);
+            for index in 0..8u64 {
+                assert_eq!(
+                    node_stream_word(seed, node, index),
+                    r.next_u64(),
+                    "({seed}, {node}, {index})"
+                );
+            }
         }
     }
 

@@ -215,6 +215,219 @@ pub fn acceptance_probability_par<S: Rpls + Sync + ?Sized>(
     accepts as f64 / trials as f64
 }
 
+/// Estimates `Pr[the t-round verifier accepts]` over `trials` independent
+/// t-round trials — the multi-round twin of [`acceptance_probability`].
+/// Trials use the **same** per-trial seeds as the one-round estimator, so
+/// the `rounds = 1` estimate is bit-identical to
+/// [`acceptance_probability`] on the same inputs (the schedule is
+/// bit-identical to the one-round engine there; `tests/engine_golden.rs`
+/// pins both).
+///
+/// # Panics
+///
+/// Panics if `rounds` or `trials` is 0.
+pub fn multiround_acceptance_probability<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    rounds: usize,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let mut scratch = RoundScratch::new();
+    multiround_acceptance_probability_cached(
+        scheme,
+        config,
+        labeling,
+        rounds,
+        trials,
+        seed,
+        &mut scratch,
+        &mut PrepCache::new(),
+    )
+}
+
+/// Like [`multiround_acceptance_probability`] but reuses caller-owned
+/// scratch and a [`PrepCache`] across labelings, so multi-round sweeps
+/// amortise preparation exactly as the one-round
+/// [`acceptance_probability_cached`] does (the PR 2–4 layers — prepared
+/// instances, batched trials, shared label parses — all carry over; only
+/// the per-`t` slice schedules are per-instance).
+///
+/// # Panics
+///
+/// Panics if `rounds` or `trials` is 0.
+#[allow(clippy::too_many_arguments)]
+pub fn multiround_acceptance_probability_cached<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    rounds: usize,
+    trials: usize,
+    seed: u64,
+    scratch: &mut RoundScratch,
+    cache: &mut PrepCache,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    assert!(rounds > 0, "a schedule needs at least one round");
+    let prepared = scheme.prepare_cached(config, labeling, trials, cache);
+    let mut accepts = 0usize;
+    let mut seeds_buf: Vec<u64> = Vec::new();
+    let mut next = 0usize;
+    while next < trials {
+        let chunk = TRIAL_CHUNK.min(trials - next);
+        seeds_buf.clear();
+        seeds_buf.extend((next..next + chunk).map(|t| trial_seed(seed, t as u64)));
+        next += chunk;
+        engine::run_multiround_trials_batched_with(
+            &*prepared,
+            config,
+            &seeds_buf,
+            rounds,
+            StreamMode::EdgeIndependent,
+            scratch,
+            &mut |summary| accepts += usize::from(summary.accepted),
+        );
+    }
+    accepts as f64 / trials as f64
+}
+
+/// The distribution of verdict-decision rounds over a block of t-round
+/// trials: how soon the early-rejecting multi-round verifier settles, per
+/// trial. Produced by [`rounds_to_reject_profile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RejectionProfile {
+    /// The schedule length `t` the trials ran with.
+    pub rounds: usize,
+    /// Trials that accepted (their verdict settles at round `rounds` by
+    /// definition — the last chunk must arrive before a verifier can say
+    /// yes).
+    pub accepts: usize,
+    /// `rejects_at[r]` counts the rejecting trials whose verdict became
+    /// known in round `r + 1` (1-based): parse- and width-level garbage
+    /// lands in round 1, a tampered replica in the round whose slice
+    /// covers the tampering, an inner-verifier rejection in round
+    /// `rounds`. The histogram holds at most 2²⁰ buckets — for hostile
+    /// schedules with more rounds than that, later decision rounds are
+    /// clamped into the last bucket (see [`rounds_to_reject_profile`]),
+    /// so the derived statistics are lower bounds there.
+    pub rejects_at: Vec<usize>,
+}
+
+impl RejectionProfile {
+    /// Total rejecting trials.
+    #[must_use]
+    pub fn rejects(&self) -> usize {
+        self.rejects_at.iter().sum()
+    }
+
+    /// Total trials profiled.
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        self.accepts + self.rejects()
+    }
+
+    /// The smallest 1-based round by which at least `q` (0 < q ≤ 1) of the
+    /// rejecting trials were decided — `quantile_reject_round(0.5)` is the
+    /// median rejection round. `None` when no trial rejected.
+    #[must_use]
+    pub fn quantile_reject_round(&self, q: f64) -> Option<usize> {
+        let rejects = self.rejects();
+        if rejects == 0 {
+            return None;
+        }
+        let need = (q * rejects as f64).ceil().max(1.0) as usize;
+        let mut seen = 0usize;
+        for (r, &count) in self.rejects_at.iter().enumerate() {
+            seen += count;
+            if seen >= need {
+                return Some(r + 1);
+            }
+        }
+        Some(self.rounds)
+    }
+
+    /// Mean 1-based rejection round over rejecting trials, `None` when no
+    /// trial rejected.
+    #[must_use]
+    pub fn mean_reject_round(&self) -> Option<f64> {
+        let rejects = self.rejects();
+        if rejects == 0 {
+            return None;
+        }
+        let total: usize = self
+            .rejects_at
+            .iter()
+            .enumerate()
+            .map(|(r, &count)| (r + 1) * count)
+            .sum();
+        Some(total as f64 / rejects as f64)
+    }
+}
+
+/// Profiles how many rounds the t-round verifier needs before the verdict
+/// is known, over `trials` trials with the estimator's per-trial seeds —
+/// the rounds-to-reject histogram of the trade-off experiments. Uses the
+/// same seeds as [`multiround_acceptance_probability`], so
+/// `accepts / trials` equals that estimate exactly.
+///
+/// The histogram allocates one bucket per round up to 2²⁰; a hostile
+/// `rounds` beyond that (the engine accepts any `t`, including
+/// `usize::MAX`) clamps later decision rounds into the last bucket rather
+/// than allocating per round, so [`RejectionProfile::mean_reject_round`]
+/// and friends become lower bounds for such schedules.
+///
+/// # Panics
+///
+/// Panics if `rounds` or `trials` is 0.
+pub fn rounds_to_reject_profile<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    rounds: usize,
+    trials: usize,
+    seed: u64,
+) -> RejectionProfile {
+    assert!(trials > 0, "need at least one trial");
+    assert!(rounds > 0, "a schedule needs at least one round");
+    let mut scratch = RoundScratch::new();
+    let prepared = scheme.prepare_cached(config, labeling, trials, &mut PrepCache::new());
+    // Hostile round counts (up to usize::MAX) must not allocate a
+    // histogram slot per round: decided rounds past the cap are clamped
+    // into the last bucket.
+    let cap = rounds.min(1 << 20);
+    let mut profile = RejectionProfile {
+        rounds,
+        accepts: 0,
+        rejects_at: vec![0; cap],
+    };
+    let mut seeds_buf: Vec<u64> = Vec::new();
+    let mut next = 0usize;
+    while next < trials {
+        let chunk = TRIAL_CHUNK.min(trials - next);
+        seeds_buf.clear();
+        seeds_buf.extend((next..next + chunk).map(|t| trial_seed(seed, t as u64)));
+        next += chunk;
+        engine::run_multiround_trials_batched_with(
+            &*prepared,
+            config,
+            &seeds_buf,
+            rounds,
+            StreamMode::EdgeIndependent,
+            &mut scratch,
+            &mut |summary| {
+                if summary.accepted {
+                    profile.accepts += 1;
+                } else {
+                    let bucket = summary.decided_round.clamp(1, cap) - 1;
+                    profile.rejects_at[bucket] += 1;
+                }
+            },
+        );
+    }
+    profile
+}
+
 /// One boosted verification: run `repetitions` independent rounds and
 /// output the majority verdict (ties count as reject).
 ///
@@ -492,6 +705,93 @@ mod tests {
         let reused =
             acceptance_probability_with(&CoinAtNodeZero, &config, &labeling, 300, 5, &mut scratch);
         assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn multiround_t1_estimate_is_bit_identical_to_one_round() {
+        let config = Configuration::plain(generators::cycle(5));
+        let labeling = Labeling::empty(5);
+        for (trials, seed) in [(1usize, 0u64), (500, 7), (2000, 42)] {
+            let one = acceptance_probability(&CoinAtNodeZero, &config, &labeling, trials, seed);
+            let multi = multiround_acceptance_probability(
+                &CoinAtNodeZero,
+                &config,
+                &labeling,
+                1,
+                trials,
+                seed,
+            );
+            assert!(
+                one == multi,
+                "trials {trials} seed {seed}: {one} vs {multi}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiround_split_estimate_is_t_invariant_for_default_schemes() {
+        // The default certificate-splitting schedule re-times the same
+        // one-round trial, so its estimate must not depend on t at all.
+        let config = Configuration::plain(generators::cycle(5));
+        let labeling = Labeling::empty(5);
+        let reference =
+            multiround_acceptance_probability(&CoinAtNodeZero, &config, &labeling, 1, 800, 3);
+        for rounds in [2usize, 7, 64] {
+            let p = multiround_acceptance_probability(
+                &CoinAtNodeZero,
+                &config,
+                &labeling,
+                rounds,
+                800,
+                3,
+            );
+            assert!(p == reference, "t {rounds}: {p} vs {reference}");
+        }
+    }
+
+    #[test]
+    fn rejection_profile_accounts_every_trial() {
+        let config = Configuration::plain(generators::cycle(5));
+        let labeling = Labeling::empty(5);
+        let trials = 600;
+        let profile = rounds_to_reject_profile(&CoinAtNodeZero, &config, &labeling, 4, trials, 11);
+        assert_eq!(profile.trials(), trials);
+        assert_eq!(profile.rounds, 4);
+        // The default splitting schedule only decides at the last round.
+        assert_eq!(profile.rejects_at[0..3], [0, 0, 0]);
+        assert!(profile.rejects() > 0 && profile.accepts > 0);
+        assert_eq!(profile.quantile_reject_round(0.5), Some(4));
+        assert_eq!(profile.mean_reject_round(), Some(4.0));
+        let p = profile.accepts as f64 / trials as f64;
+        let estimate =
+            multiround_acceptance_probability(&CoinAtNodeZero, &config, &labeling, 4, trials, 11);
+        assert!(p == estimate, "profile accepts must match the estimator");
+    }
+
+    #[test]
+    fn rejection_profile_of_all_accepting_scheme_has_no_rejects() {
+        let config = Configuration::plain(generators::cycle(4));
+        let labeling = Labeling::empty(4);
+        struct AlwaysYes;
+        impl Rpls for AlwaysYes {
+            fn name(&self) -> String {
+                "yes".into()
+            }
+            fn label(&self, config: &Configuration) -> Labeling {
+                Labeling::empty(config.node_count())
+            }
+            fn certify(&self, _v: &CertView<'_>, _p: Port, _r: &mut dyn Rng) -> BitString {
+                BitString::new()
+            }
+            fn verify(&self, _view: &RandView<'_>) -> bool {
+                true
+            }
+        }
+        let profile = rounds_to_reject_profile(&AlwaysYes, &config, &labeling, 3, 50, 0);
+        assert_eq!(profile.accepts, 50);
+        assert_eq!(profile.rejects(), 0);
+        assert_eq!(profile.quantile_reject_round(0.5), None);
+        assert_eq!(profile.mean_reject_round(), None);
     }
 
     #[test]

@@ -608,6 +608,49 @@ mod tests {
     }
 
     #[test]
+    fn multiround_schedule_certifies_mst() {
+        use rpls_core::engine::StreamMode;
+        use rpls_core::RoundScratch;
+        let c = mst_config(&weighted_config(16, 8));
+        let scheme = CompiledRpls::new(MstPls);
+        let labeling = Rpls::label(&scheme, &c);
+        let mut scratch = RoundScratch::new();
+        // Honest MST labels verify in t rounds for every schedule length,
+        // with per-round bits non-increasing in t.
+        let mut last = usize::MAX;
+        for rounds in [1usize, 2, 4, 8, 16] {
+            let summary = engine::run_multiround_with(
+                &scheme,
+                &c,
+                &labeling,
+                5,
+                rounds,
+                StreamMode::EdgeIndependent,
+                &mut scratch,
+            );
+            assert!(summary.accepted, "t = {rounds}");
+            assert!(summary.max_bits_per_round <= last);
+            last = summary.max_bits_per_round;
+        }
+        // A corrupted replica is still rejected with good probability
+        // under the t = 4 chunked-fingerprint schedule, and the
+        // rejection-round profile decides no later than round 4.
+        let mut tampered = labeling.clone();
+        let node = rpls_graph::NodeId::new(3);
+        let target = tampered.get(node).len() / 2;
+        let flipped: rpls_bits::BitString = tampered
+            .get(node)
+            .iter()
+            .enumerate()
+            .map(|(i, b)| if i == target { !b } else { b })
+            .collect();
+        tampered.set(node, flipped);
+        let profile = rpls_core::stats::rounds_to_reject_profile(&scheme, &c, &tampered, 4, 300, 2);
+        assert!(profile.rejects() > 150, "rejects = {}", profile.rejects());
+        assert!(profile.quantile_reject_round(1.0) <= Some(4));
+    }
+
+    #[test]
     fn compiled_mst_certificates_are_tiny() {
         let c = mst_config(&weighted_config(24, 8));
         let scheme = CompiledRpls::new(MstPls);

@@ -316,6 +316,53 @@ mod tests {
     }
 
     #[test]
+    fn multiround_schedule_certifies_spanning_tree() {
+        use rpls_core::engine::StreamMode;
+        use rpls_core::{CompiledRpls, RoundScratch, Rpls};
+        let c = legal_config(12);
+        let scheme = CompiledRpls::new(SpanningTreePls::new());
+        let labeling = Rpls::label(&scheme, &c);
+        let mut scratch = RoundScratch::new();
+        // Honest labels: perfect completeness at every schedule length,
+        // with per-round communication only shrinking as t grows.
+        let mut last = usize::MAX;
+        for rounds in [1usize, 2, 4, 8] {
+            let summary = engine::run_multiround_with(
+                &scheme,
+                &c,
+                &labeling,
+                9,
+                rounds,
+                StreamMode::EdgeIndependent,
+                &mut scratch,
+            );
+            assert!(summary.accepted, "t = {rounds}");
+            assert_eq!(summary.decided_round, rounds);
+            assert!(summary.max_bits_per_round <= last, "t = {rounds}");
+            last = summary.max_bits_per_round;
+        }
+        // A corrupted claimed replica still gets caught at t = 4 with the
+        // one-sided bound, and the estimator agrees with the one-round one
+        // at t = 1.
+        let mut tampered = labeling.clone();
+        let target = tampered.get(NodeId::new(4)).len() / 2;
+        let flipped: BitString = tampered
+            .get(NodeId::new(4))
+            .iter()
+            .enumerate()
+            .map(|(i, b)| if i == target { !b } else { b })
+            .collect();
+        tampered.set(NodeId::new(4), flipped);
+        let p4 =
+            rpls_core::stats::multiround_acceptance_probability(&scheme, &c, &tampered, 4, 400, 3);
+        assert!(p4 < 0.5, "tampered acceptance at t = 4: {p4}");
+        let p1 =
+            rpls_core::stats::multiround_acceptance_probability(&scheme, &c, &tampered, 1, 400, 3);
+        let one = rpls_core::stats::acceptance_probability(&scheme, &c, &tampered, 400, 3);
+        assert!(p1 == one, "t = 1 must equal the one-round estimate");
+    }
+
+    #[test]
     fn cycle_pointers_cannot_be_certified() {
         // On a cycle configuration where pointers chase each other (no
         // root), no labeling can be accepted: follow the exhaustive forger

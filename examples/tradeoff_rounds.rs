@@ -1,0 +1,102 @@
+//! The space–time trade-off: verify the same proof in `t` rounds with
+//! per-round communication shrinking ≈ κ/t.
+//!
+//! The paper's headline compiler (Theorem 3.1) shrinks *what* is sent —
+//! κ-bit labels become `O(log κ)`-bit fingerprints. The multi-round engine
+//! adds the orthogonal axis of the t-PLS literature (Patt-Shamir & Perry;
+//! Filtser & Fischer): shrink *when* it is sent, by spreading verification
+//! over `t` rounds. This example sweeps `t ∈ {1, 2, 4, 8, 16}` over both
+//! regimes on one spanning-tree instance:
+//!
+//! * **proof streaming** (the κ-bit `ExchangeLabels` baseline): the label
+//!   is cut into `t` chunks, one per round — per-round bits are `⌈κ/t⌉`
+//!   exactly, and the verdict arrives with the last chunk;
+//! * **fingerprint streaming** (the compiled scheme): each round carries a
+//!   fresh fingerprint of the next κ/t-bit label slice — per-round bits
+//!   shrink like `O(log(κ/t))`, and tampering is caught (and the trial
+//!   *decided*) in the round whose slice covers it.
+//!
+//! ```text
+//! cargo run --release --example tradeoff_rounds
+//! ```
+
+use rpls::core::engine::StreamMode;
+use rpls::core::{engine, stats, CompiledRpls, Configuration, RoundScratch, Rpls};
+use rpls::graph::{generators, NodeId};
+use rpls::schemes::spanning_tree::{spanning_tree_config, SpanningTreePls};
+
+fn main() {
+    let n = 64;
+    let trials = 2000;
+    let seed = 11;
+    let config = spanning_tree_config(&Configuration::plain(generators::cycle(n)), NodeId::new(0));
+    let compiled = CompiledRpls::new(SpanningTreePls::new());
+    let exchange = rpls::core::scheme::ExchangeLabels::new(SpanningTreePls::new());
+
+    // One corrupted claimed replica for the rejection-round profiles.
+    let tamper = |labeling: &rpls::core::Labeling| {
+        let mut out = labeling.clone();
+        let node = NodeId::new(5);
+        let target = out.get(node).len() / 2;
+        let flipped: rpls::bits::BitString = out
+            .get(node)
+            .iter()
+            .enumerate()
+            .map(|(i, b)| if i == target { !b } else { b })
+            .collect();
+        out.set(node, flipped);
+        out
+    };
+
+    println!("t-round trade-off on the {n}-cycle spanning tree ({trials} trials per cell)\n");
+    let mut scratch = RoundScratch::new();
+    for (name, scheme) in [
+        (
+            "exchange-labels (κ-bit proof streaming)",
+            &exchange as &dyn Rpls,
+        ),
+        ("compiled (fingerprint streaming)", &compiled as &dyn Rpls),
+    ] {
+        let honest = scheme.label(&config);
+        let tampered = tamper(&honest);
+        println!("{name}");
+        println!(
+            "    t | bits/round | total bits | honest accept | tampered accept | mean reject round"
+        );
+        println!(
+            "  ----+------------+------------+---------------+-----------------+------------------"
+        );
+        for t in [1usize, 2, 4, 8, 16] {
+            let summary = engine::run_multiround_with(
+                scheme,
+                &config,
+                &honest,
+                seed,
+                t,
+                StreamMode::EdgeIndependent,
+                &mut scratch,
+            );
+            assert!(summary.accepted, "one-sided completeness");
+            let honest_p =
+                stats::multiround_acceptance_probability(scheme, &config, &honest, t, trials, seed);
+            let profile =
+                stats::rounds_to_reject_profile(scheme, &config, &tampered, t, trials, seed);
+            let tampered_p = profile.accepts as f64 / trials as f64;
+            println!(
+                "  {t:>3} | {:>10} | {:>10} | {honest_p:>13} | {tampered_p:>15.4} | {:>17}",
+                summary.max_bits_per_round,
+                summary.total_bits,
+                profile
+                    .mean_reject_round()
+                    .map_or("-".to_string(), |m| format!("{m:.2}")),
+            );
+        }
+        println!();
+    }
+
+    println!("reading the table:");
+    println!("  * exchange-labels bits/round shrink as ⌈κ/t⌉ — the t-PLS trade-off verbatim;");
+    println!("  * compiled bits/round shrink like 2⌈log₂ p⌉ for the κ/t-bit slice protocol;");
+    println!("  * the compiled schedule rejects early: its mean reject round tracks where");
+    println!("    the tampered slice lives, not the end of the schedule.");
+}

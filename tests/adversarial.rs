@@ -298,6 +298,63 @@ mod never_panic {
             );
             assert!(cache.retained_key_bits() <= PrepCache::KEY_BITS_BUDGET);
             assert!(cache.table_slots_reserved() <= PrepCache::TABLE_SLOT_BUDGET);
+
+            // The t-round trade-off engine on the same garbage: hostile
+            // round counts (including absurd ones — the chunked planner
+            // must stay O(label bits), never O(t)) and both stream modes
+            // may reject, never panic or hang; cached and fresh
+            // preparations must emit identical multi-round summaries.
+            for rounds in [1usize, 2, 7, 129, usize::MAX] {
+                for mode in [StreamMode::EdgeIndependent, StreamMode::SharedPerNode] {
+                    let mut fresh_out = Vec::new();
+                    engine::run_multiround_trials_batched_with(
+                        &*prepared,
+                        config,
+                        &[seed, seed ^ 11],
+                        rounds,
+                        mode,
+                        &mut scratch,
+                        &mut |s| fresh_out.push(s),
+                    );
+                    let mut cached_out = Vec::new();
+                    engine::run_multiround_trials_batched_with(
+                        &*cached,
+                        config,
+                        &[seed, seed ^ 11],
+                        rounds,
+                        mode,
+                        &mut scratch,
+                        &mut |s| cached_out.push(s),
+                    );
+                    assert_eq!(
+                        fresh_out, cached_out,
+                        "cached vs fresh multi-round summaries (t = {rounds})"
+                    );
+                    for s in &fresh_out {
+                        assert!(s.decided_round >= 1 && s.decided_round <= s.rounds);
+                    }
+                }
+            }
+            let _ = engine::run_multiround_with(
+                &compiled,
+                config,
+                &labeling,
+                seed ^ 6,
+                3,
+                StreamMode::EdgeIndependent,
+                &mut scratch,
+            );
+            let _ = stats::multiround_acceptance_probability(
+                &compiled,
+                config,
+                &labeling,
+                2,
+                2,
+                seed ^ 7,
+            );
+            let profile =
+                stats::rounds_to_reject_profile(&compiled, config, &labeling, 3, 2, seed ^ 8);
+            assert_eq!(profile.trials(), 2);
         }
 
         // Honest labels but corrupted certificates, then garbage labels

@@ -635,6 +635,460 @@ mod batched_identity {
     }
 }
 
+/// The t-round trade-off engine. Two contracts are pinned here: the
+/// `t = 1` schedule of **every** scheme is bit-identical to the batched
+/// one-round path (summaries and estimates alike, whatever the labeling),
+/// and the compiled scheme's chunked-fingerprint schedule agrees
+/// trial-for-trial with an independent scalar re-implementation of the
+/// slice protocol for `t > 1`.
+mod multiround {
+    use super::*;
+    use rpls::bits::{BitReader, BitString, BitWriter};
+    use rpls::core::engine::MultiRoundSummary;
+    use rpls::core::stats;
+    use rpls::core::{PortRng, Rpls};
+    use rpls::fingerprint::{EqMessage, EqProtocol};
+    use rpls::graph::NodeId;
+
+    /// One mid-label bit flip (the tampered-replica labeling).
+    fn tamper(labeling: &Labeling) -> Labeling {
+        let mut out = labeling.clone();
+        for v in 0..out.len() {
+            let label = out.get(NodeId::new(v));
+            if label.is_empty() {
+                continue;
+            }
+            let target = label.len() / 2;
+            let flipped: rpls::bits::BitString = label
+                .iter()
+                .enumerate()
+                .map(|(i, b)| if i == target { !b } else { b })
+                .collect();
+            out.set(NodeId::new(v), flipped);
+            break;
+        }
+        out
+    }
+
+    /// Drives one scheme × labeling through the t = 1 schedule on both
+    /// paths and both stream modes, asserting bit-identity of summaries
+    /// and estimates against the batched one-round engine.
+    fn check_t1<S: Rpls + ?Sized>(
+        name: &str,
+        scheme: &S,
+        config: &Configuration,
+        labeling: &Labeling,
+    ) {
+        use rpls::core::engine::RoundSummary;
+        let trials = 60usize;
+        let seed = 0x7261u64;
+        let seeds: Vec<u64> = (0..trials)
+            .map(|t| stats::trial_seed(seed, t as u64))
+            .collect();
+        let mut scratch = RoundScratch::new();
+        for mode in [StreamMode::EdgeIndependent, StreamMode::SharedPerNode] {
+            let prepared = scheme.prepare(config, labeling, trials);
+            let mut one_round: Vec<RoundSummary> = Vec::new();
+            engine::run_trials_batched_with(
+                &*prepared,
+                config,
+                &seeds,
+                mode,
+                &mut scratch,
+                &mut |s| one_round.push(s),
+            );
+            let prepared2 = scheme.prepare(config, labeling, trials);
+            let mut multi: Vec<MultiRoundSummary> = Vec::new();
+            engine::run_multiround_trials_batched_with(
+                &*prepared2,
+                config,
+                &seeds,
+                1,
+                mode,
+                &mut scratch,
+                &mut |s| multi.push(s),
+            );
+            let expected: Vec<MultiRoundSummary> = one_round
+                .iter()
+                .map(|&s| MultiRoundSummary {
+                    accepted: s.accepted,
+                    rounds: 1,
+                    decided_round: 1,
+                    max_bits_per_round: s.max_certificate_bits,
+                    total_bits: s.total_certificate_bits,
+                })
+                .collect();
+            assert_eq!(multi, expected, "{name}: t = 1 summaries ({mode:?})");
+
+            // The scalar multi-round entry point agrees with the batch.
+            for (i, &s) in seeds.iter().take(8).enumerate() {
+                let scalar = engine::run_multiround_prepared_with(
+                    &*prepared2,
+                    config,
+                    s,
+                    1,
+                    mode,
+                    &mut scratch,
+                );
+                assert_eq!(scalar, multi[i], "{name}: scalar trial {i} ({mode:?})");
+            }
+        }
+
+        // Estimates: the t = 1 multi-round estimator equals the one-round
+        // estimator bit for bit, cached and uncached alike.
+        let one = stats::acceptance_probability(scheme, config, labeling, trials, seed);
+        let multi =
+            stats::multiround_acceptance_probability(scheme, config, labeling, 1, trials, seed);
+        assert!(
+            one == multi,
+            "{name}: t = 1 estimate {multi} != one-round {one}"
+        );
+        let mut cache = rpls::core::PrepCache::new();
+        let cached = stats::multiround_acceptance_probability_cached(
+            scheme,
+            config,
+            labeling,
+            1,
+            trials,
+            seed,
+            &mut scratch,
+            &mut cache,
+        );
+        assert!(
+            cached == one,
+            "{name}: cached t = 1 estimate {cached} != {one}"
+        );
+    }
+
+    fn matrix_t1<S: Pls + Clone + Sync>(name: &str, inner: S, config: &Configuration) {
+        let scheme = CompiledRpls::new(inner);
+        let honest = Rpls::label(&scheme, config);
+        check_t1(name, &scheme, config, &honest);
+        check_t1(name, &scheme, config, &tamper(&honest));
+        let garbage = Labeling::new(
+            (0..config.node_count())
+                .map(|i| rpls::bits::BitString::zeros(i % 5))
+                .collect(),
+        );
+        check_t1(name, &scheme, config, &garbage);
+    }
+
+    /// `t = 1` multi-round summaries and estimates are bit-identical to
+    /// the batched one-round path for every scheme in `rpls-schemes` ×
+    /// {honest, tampered, garbage} × both stream modes.
+    #[test]
+    fn every_scheme_t1_is_bit_identical_to_batched_path() {
+        use rpls::schemes::*;
+        let plain5 = Configuration::plain(generators::cycle(5));
+        let path5 = Configuration::plain(generators::path(5));
+        let cyc6 = Configuration::plain(generators::cycle(6));
+
+        matrix_t1("acyclicity", acyclicity::AcyclicityPls::new(), &path5);
+        matrix_t1(
+            "biconnectivity",
+            biconnectivity::BiconnectivityPls::new(),
+            &plain5,
+        );
+        matrix_t1(
+            "coloring",
+            coloring::ColoringPls::new(),
+            &coloring::greedy_coloring_config(&plain5),
+        );
+        matrix_t1(
+            "cycle_at_least",
+            cycle_at_least::CycleAtLeastPls::new(4),
+            &plain5,
+        );
+        matrix_t1(
+            "leader",
+            leader::LeaderPls::new(),
+            &leader::leader_config(&plain5, NodeId::new(2)),
+        );
+        matrix_t1(
+            "spanning_tree",
+            SpanningTreePls::new(),
+            &spanning_tree_config(&plain5, NodeId::new(0)),
+        );
+        matrix_t1(
+            "uniformity",
+            uniformity::UniformityPls::new(),
+            &uniformity::uniform_config(&plain5, &rpls::bits::BitString::zeros(16)),
+        );
+        matrix_t1(
+            "mst",
+            mst::MstPls::new(),
+            &mst::mst_config(&Configuration::plain(
+                generators::cycle(5).with_weights(&[4, 1, 5, 2, 3]),
+            )),
+        );
+        matrix_t1(
+            "flow",
+            flow::FlowPls::new(flow::FlowPredicate::new(0, 3, 2)),
+            &cyc6,
+        );
+        matrix_t1(
+            "vertex_connectivity",
+            vertex_connectivity::StConnectivityPls::new(
+                vertex_connectivity::StConnectivityPredicate::new(0, 3, 2),
+            ),
+            &cyc6,
+        );
+        matrix_t1(
+            "cycle_at_most",
+            cycle_at_most::cycle_at_most_pls(6),
+            &plain5,
+        );
+        matrix_t1("symmetry", symmetry::symmetry_pls(), &path5);
+
+        // The κ-bit baseline wrapper rides the default splitting schedule.
+        let st_config = spanning_tree_config(&plain5, NodeId::new(0));
+        let exchange = rpls::core::scheme::ExchangeLabels::new(SpanningTreePls::new());
+        let labels = Rpls::label(&exchange, &st_config);
+        check_t1("exchange_labels", &exchange, &st_config, &labels);
+        check_t1("exchange_labels", &exchange, &st_config, &tamper(&labels));
+    }
+
+    // ----- The independent scalar reference of the compiled schedule -----
+
+    /// The replicated-label layout of the Theorem 3.1 compiler, decoded
+    /// from scratch (32-bit κ, then per part a 32-bit length and the
+    /// bits) — this test owns an independent copy of the format so a
+    /// compiler-side drift cannot hide.
+    const LEN_BITS: u32 = 32;
+
+    fn decode_replicated(label: &BitString) -> Option<(usize, Vec<BitString>)> {
+        let mut r = BitReader::new(label);
+        let kappa = r.read_u64(LEN_BITS).ok()? as usize;
+        let mut parts = Vec::new();
+        while !r.is_exhausted() {
+            let len = r.read_u64(LEN_BITS).ok()? as usize;
+            if len > kappa {
+                return None;
+            }
+            parts.push(r.read_bits(len).ok()?);
+        }
+        Some((kappa, parts))
+    }
+
+    fn decode_own(label: &BitString) -> Option<(usize, BitString)> {
+        let mut r = BitReader::new(label);
+        let kappa = r.read_u64(LEN_BITS).ok()? as usize;
+        let len = r.read_u64(LEN_BITS).ok()? as usize;
+        if len > kappa {
+            return None;
+        }
+        Some((kappa, r.read_bits(len).ok()?))
+    }
+
+    fn encode_replicated(kappa: usize, parts: &[&BitString]) -> BitString {
+        let mut w = BitWriter::new();
+        w.write_u64(kappa as u64, LEN_BITS);
+        for part in parts {
+            w.write_u64(part.len() as u64, LEN_BITS);
+            w.write_bits(part);
+        }
+        w.finish()
+    }
+
+    fn length_prefixed(label: &BitString) -> BitString {
+        let mut w = BitWriter::new();
+        w.write_u64(label.len() as u64, LEN_BITS);
+        w.write_bits(label);
+        w.finish()
+    }
+
+    fn slice_of(lp: &BitString, r: usize, chunk: usize) -> BitString {
+        let start = r * chunk;
+        let end = lp.len().min(start + chunk);
+        BitString::from_bools((start..end).map(|i| lp.bit(i).expect("in range")))
+    }
+
+    /// A from-first-principles scalar execution of the chunked-fingerprint
+    /// schedule: real `EqProtocol` messages, real per-round `PortRng`
+    /// streams, no plan, no batching. Returns `(accepted, decided_round)`.
+    fn reference_multiround(
+        scheme: &CompiledRpls<SpanningTreePls>,
+        config: &Configuration,
+        labeling: &Labeling,
+        seed: u64,
+        rounds: usize,
+        mode: StreamMode,
+    ) -> (bool, usize) {
+        let g = config.graph();
+        let mut decided: Option<usize> = None;
+        let note = |round: usize, decided: &mut Option<usize>| {
+            *decided = Some(decided.map_or(round, |k| k.min(round)));
+        };
+        for u in g.nodes() {
+            let node_fail: Option<usize> = (|| {
+                let Some((kappa_u, parts)) = decode_replicated(labeling.get(u)) else {
+                    return Some(1);
+                };
+                if parts.len() != g.degree(u) + 1 {
+                    return Some(1);
+                }
+                let chunk_u = (LEN_BITS as usize + kappa_u).div_ceil(rounds);
+                let proto_u = EqProtocol::for_length(chunk_u);
+                let mut first_fail: Option<usize> = None;
+                for (i, nb) in g.neighbors(u).enumerate() {
+                    let v = nb.node;
+                    let sender = decode_own(labeling.get(v)).map(|(kappa_v, own)| {
+                        let chunk_v = (LEN_BITS as usize + kappa_v).div_ceil(rounds);
+                        (
+                            chunk_v,
+                            EqProtocol::for_length(chunk_v),
+                            length_prefixed(&own),
+                        )
+                    });
+                    let lp_u = length_prefixed(&parts[i + 1]);
+                    let covered_u = lp_u.len().div_ceil(chunk_u);
+                    let port_fail: Option<usize> = (|| {
+                        let Some((chunk_v, proto_v, lp_v)) = sender else {
+                            // Empty certificates where round 1 expects a
+                            // slice message.
+                            return Some(1);
+                        };
+                        let covered_v = lp_v.len().div_ceil(chunk_v);
+                        for r in 0..covered_v.max(covered_u) {
+                            let sends = r < covered_v;
+                            let expects = r < covered_u;
+                            if sends != expects {
+                                return Some(r + 1);
+                            }
+                            if !sends {
+                                continue;
+                            }
+                            let rseed = engine::multiround_seed(seed, r);
+                            let msg = {
+                                let slice = slice_of(&lp_v, r, chunk_v);
+                                match mode {
+                                    StreamMode::EdgeIndependent => {
+                                        let mut rng = PortRng::for_edge(
+                                            rseed,
+                                            v.index() as u64,
+                                            nb.remote_port.rank() as u64,
+                                        );
+                                        proto_v.alice_message(&slice, &mut rng)
+                                    }
+                                    StreamMode::SharedPerNode => {
+                                        // The node's single per-round
+                                        // stream, consumed one word per
+                                        // port in port order.
+                                        use rand::Rng;
+                                        let mut rng = PortRng::for_node(rseed, v.index() as u64);
+                                        for _ in 0..nb.remote_port.rank() {
+                                            let _ = rng.next_u64();
+                                        }
+                                        proto_v.alice_message(&slice, &mut rng)
+                                    }
+                                }
+                            };
+                            let packed = msg.to_bits(proto_v.modulus());
+                            if packed.len() != proto_u.message_bits() {
+                                return Some(r + 1);
+                            }
+                            let Ok(reparsed) = EqMessage::from_bits(&packed, proto_u.modulus())
+                            else {
+                                return Some(r + 1);
+                            };
+                            if !proto_u.bob_accepts(&slice_of(&lp_u, r, chunk_u), &reparsed) {
+                                return Some(r + 1);
+                            }
+                        }
+                        None
+                    })();
+                    if let Some(k) = port_fail {
+                        first_fail = Some(first_fail.map_or(k, |f: usize| f.min(k)));
+                    }
+                }
+                if first_fail.is_none() {
+                    // All fingerprint rounds passed: the inner verifier
+                    // votes after the last round.
+                    let det = rpls::core::DetView {
+                        local: engine::local_context(config, u),
+                        label: &parts[0],
+                        neighbor_labels: parts[1..].iter().collect(),
+                    };
+                    if !scheme.inner().verify(&det) {
+                        first_fail = Some(rounds);
+                    }
+                }
+                first_fail
+            })();
+            if let Some(k) = node_fail {
+                note(k, &mut decided);
+            }
+        }
+        match decided {
+            Some(k) => (false, k),
+            None => (true, rounds),
+        }
+    }
+
+    /// The compiled chunked-fingerprint schedule agrees trial-for-trial
+    /// (verdict **and** decided round) with the independent scalar
+    /// reference, for honest, tampered, truncated-replica, κ-mismatched
+    /// and garbage labelings, several `t`s, both stream modes.
+    #[test]
+    fn compiled_schedule_matches_independent_reference() {
+        let (scheme, config, honest) = compiled_spanning_tree_workload(8);
+
+        let mut tampered = honest.clone();
+        let flipped: BitString = tampered
+            .get(NodeId::new(2))
+            .iter()
+            .enumerate()
+            .map(|(i, b)| if i == 50 { !b } else { b })
+            .collect();
+        tampered.set(NodeId::new(2), flipped);
+
+        // A claimed copy 8 bits shorter than the sender's actual label:
+        // lp lengths differ, so slice schedules disagree in content (and,
+        // at some t, in coverage).
+        let mut truncated = honest.clone();
+        let (kappa, mut parts) = decode_replicated(truncated.get(NodeId::new(3))).unwrap();
+        let shorter = parts[1].truncated(parts[1].len() - 8);
+        parts[1] = shorter;
+        let refs: Vec<&BitString> = parts.iter().collect();
+        truncated.set(NodeId::new(3), encode_replicated(kappa, &refs));
+
+        // A node declaring a different κ: its slice protocol (and usually
+        // its message width) disagrees with its neighbors'.
+        let mut mismatched = honest.clone();
+        let (kappa, parts) = decode_replicated(mismatched.get(NodeId::new(4))).unwrap();
+        let refs: Vec<&BitString> = parts.iter().collect();
+        mismatched.set(NodeId::new(4), encode_replicated(kappa * 4, &refs));
+
+        let garbage = Labeling::new((0..8).map(|i| BitString::zeros(i % 4)).collect());
+
+        let mut scratch = RoundScratch::new();
+        for labeling in [&honest, &tampered, &truncated, &mismatched, &garbage] {
+            let prepared = scheme.prepare(&config, labeling, 16);
+            for rounds in [1usize, 2, 3, 5] {
+                for mode in [StreamMode::EdgeIndependent, StreamMode::SharedPerNode] {
+                    for seed in 0..16u64 {
+                        let got = engine::run_multiround_prepared_with(
+                            &*prepared,
+                            &config,
+                            seed,
+                            rounds,
+                            mode,
+                            &mut scratch,
+                        );
+                        let (accepted, decided) =
+                            reference_multiround(&scheme, &config, labeling, seed, rounds, mode);
+                        assert_eq!(
+                            (got.accepted, got.decided_round),
+                            (accepted, decided),
+                            "seed {seed}, t {rounds}, {mode:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The deterministic engine still agrees with the randomized compilation on
 /// honest inputs (Theorem 3.1 completeness), end to end through the facade.
 #[test]
