@@ -9,7 +9,11 @@
 //!
 //! Besides the criterion-style console report, the bench emits
 //! machine-readable results to `BENCH_engine.json` at the workspace root so
-//! later PRs have a perf trajectory.
+//! later PRs have a perf trajectory. The `faults` workload records the
+//! graceful-degradation curve — acceptance of the honest and tampered
+//! 256-cycle spanning tree as drop/corrupt/crash rates grow — plus the two
+//! correctness bits the gate enforces (`zero_fault_identical`,
+//! `soundness_preserved`).
 //!
 //! Setting `BENCH_ENGINE_SMOKE=1` runs a reduced matrix (~15 s total):
 //! the cheap acceptance runners keep their full 10k trials — their ratios
@@ -792,11 +796,174 @@ fn bench_tradeoff(results: &mut Vec<TradeoffRow>) {
     sweep("exchange_spanning_tree", &exchange, 1000, results);
 }
 
+/// One row of the fault-tolerance sweep: acceptance of the honest and
+/// tampered spanning-tree labeling on the 256-cycle under one fault spec,
+/// estimated through the faulted batched engine. Two correctness bits are
+/// gated: `zero_fault_identical` (the transparent row reproduces the
+/// fault-free estimates bit for bit) and `soundness_preserved` (the
+/// faulted tampered acceptance never exceeds the clean one — faults may
+/// only flip accept → reject).
+struct FaultRow {
+    kind: &'static str,
+    rate: f64,
+    trials: usize,
+    honest_acceptance: f64,
+    tampered_acceptance: f64,
+    /// Fraction of honest trials that lost at least one message.
+    honest_degraded: f64,
+    secs: f64,
+    soundness_preserved: bool,
+    /// Transparent row only: faulted estimates == clean estimates.
+    zero_fault_identical: Option<bool>,
+}
+
+fn bench_faults(results: &mut Vec<FaultRow>) {
+    use rpls_core::{FaultPlan, FaultSpec};
+    let n = 256usize;
+    let seed = 0xFA17u64;
+    let fault_seed = 0x5EEDu64;
+    let trials = if smoke_mode() { 2_000 } else { 10_000 };
+    let config = spanning_tree_config(
+        &Configuration::plain(generators::cycle(n)),
+        rpls_graph::NodeId::new(0),
+    );
+    let scheme = CompiledRpls::new(SpanningTreePls::new());
+    let honest = Rpls::label(&scheme, &config);
+    let tampered = {
+        let mut out = honest.clone();
+        let node = rpls_graph::NodeId::new(5);
+        let target = out.get(node).len() / 2;
+        let flipped: BitString = out
+            .get(node)
+            .iter()
+            .enumerate()
+            .map(|(i, b)| if i == target { !b } else { b })
+            .collect();
+        out.set(node, flipped);
+        out
+    };
+    let mut scratch = RoundScratch::new();
+    let mut cache = PrepCache::new();
+    let clean_honest = rpls_core::stats::acceptance_probability_cached(
+        &scheme,
+        &config,
+        &honest,
+        trials,
+        seed,
+        &mut scratch,
+        &mut cache,
+    );
+    let clean_tampered = rpls_core::stats::acceptance_probability_cached(
+        &scheme,
+        &config,
+        &tampered,
+        trials,
+        seed,
+        &mut scratch,
+        &mut cache,
+    );
+
+    // 512 directed ports: per-message rates are small so the per-trial
+    // survival probability (1 - p)^512 spans the whole decay curve.
+    let specs: &[(&str, FaultSpec)] = &[
+        ("none", FaultSpec::transparent()),
+        ("drop", FaultSpec::transparent().with_drop(0.001)),
+        ("drop", FaultSpec::transparent().with_drop(0.005)),
+        ("drop", FaultSpec::transparent().with_drop(0.02)),
+        ("corrupt", FaultSpec::transparent().with_corrupt(0.001)),
+        ("corrupt", FaultSpec::transparent().with_corrupt(0.005)),
+        ("crash", FaultSpec::transparent().with_crash(0.001)),
+        (
+            "mixed",
+            FaultSpec::transparent()
+                .with_drop(0.002)
+                .with_corrupt(0.002)
+                .with_duplicate(0.002)
+                .with_crash(0.0005),
+        ),
+    ];
+    for &(kind, spec) in specs {
+        let plan = FaultPlan::new(spec, fault_seed);
+        let mut secs = f64::INFINITY;
+        let mut fh = rpls_core::stats::FaultedAcceptance::default();
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            fh = rpls_core::stats::acceptance_under_faults_cached(
+                &scheme,
+                &config,
+                &honest,
+                trials,
+                seed,
+                &plan,
+                &mut scratch,
+                &mut cache,
+            );
+            secs = secs.min(t0.elapsed().as_secs_f64());
+        }
+        let ft = rpls_core::stats::acceptance_under_faults_cached(
+            &scheme,
+            &config,
+            &tampered,
+            trials,
+            seed,
+            &plan,
+            &mut scratch,
+            &mut cache,
+        );
+        let rate = spec
+            .drop_rate()
+            .max(spec.corrupt_rate())
+            .max(spec.duplicate_rate())
+            .max(spec.crash_rate());
+        let row = FaultRow {
+            kind,
+            rate,
+            trials,
+            honest_acceptance: fh.acceptance(),
+            tampered_acceptance: ft.acceptance(),
+            honest_degraded: fh.degradation(),
+            secs,
+            // Exact, not statistical: the faulted and clean estimators use
+            // the same per-trial seeds, and a faulted trial accepts only if
+            // its clean twin does.
+            soundness_preserved: ft.acceptance() <= clean_tampered,
+            zero_fault_identical: spec.is_transparent().then_some(
+                fh.acceptance() == clean_honest
+                    && ft.acceptance() == clean_tampered
+                    && fh.degraded_trials == 0
+                    && ft.degraded_trials == 0,
+            ),
+        };
+        println!(
+            "bench: faults_cycle256/{kind} rate={rate} ... honest {:.4} (degraded {:.4}) | \
+             tampered {:.4} | {secs:.4}s | sound {}",
+            row.honest_acceptance,
+            row.honest_degraded,
+            row.tampered_acceptance,
+            row.soundness_preserved,
+        );
+        assert!(
+            row.soundness_preserved,
+            "faults_cycle256/{kind} rate={rate}: faulted tampered acceptance \
+             {} exceeds clean {clean_tampered}",
+            row.tampered_acceptance,
+        );
+        if let Some(identical) = row.zero_fault_identical {
+            assert!(
+                identical,
+                "faults_cycle256/{kind}: transparent plan diverged from the fault-free engine"
+            );
+        }
+        results.push(row);
+    }
+}
+
 fn write_json(
     rows: &[MatrixRow],
     acceptance: &[AcceptanceResult],
     sweeps: &[SweepResult],
     tradeoff: &[TradeoffRow],
+    faults: &[FaultRow],
 ) {
     let mut out = String::new();
     let _ = writeln!(
@@ -898,6 +1065,34 @@ fn write_json(
             if i + 1 == tradeoff.len() { "" } else { "," }
         );
     }
+    // The fault-tolerance sweep: acceptance decay of the 256-cycle
+    // spanning tree as channels get lossier. The gate enforces the two
+    // correctness bits (`zero_fault_identical`, `soundness_preserved`) on
+    // every current run; the acceptance values themselves are
+    // deterministic functions of the seeds, recorded for the trajectory.
+    out.push_str("  ],\n  \"faults\": [\n");
+    for (i, r) in faults.iter().enumerate() {
+        let zero_field = r.zero_fault_identical.map_or(String::new(), |b| {
+            format!(", \"zero_fault_identical\": {b}")
+        });
+        let _ = writeln!(
+            out,
+            "    {{\"kind\": \"{}\", \"rate\": {}, \"trials\": {}, \
+             \"honest_acceptance\": {:.4}, \"tampered_acceptance\": {:.4}, \
+             \"honest_degraded\": {:.4}, \"secs\": {:.4}, \
+             \"soundness_preserved\": {}{}}}{}",
+            r.kind,
+            r.rate,
+            r.trials,
+            r.honest_acceptance,
+            r.tampered_acceptance,
+            r.honest_degraded,
+            r.secs,
+            r.soundness_preserved,
+            zero_field,
+            if i + 1 == faults.len() { "" } else { "," }
+        );
+    }
     out.push_str("  ]\n}\n");
 
     let file = if smoke_mode() {
@@ -915,11 +1110,13 @@ fn bench_engine(c: &mut Criterion) {
     let mut acceptance = Vec::new();
     let mut sweeps = Vec::new();
     let mut tradeoff = Vec::new();
+    let mut faults = Vec::new();
     bench_round_matrix(c, &mut rows);
     bench_acceptance_10k(&mut acceptance);
     bench_adversary_sweep(&mut sweeps);
     bench_tradeoff(&mut tradeoff);
-    write_json(&rows, &acceptance, &sweeps, &tradeoff);
+    bench_faults(&mut faults);
+    write_json(&rows, &acceptance, &sweeps, &tradeoff, &faults);
 }
 
 criterion_group!(benches, bench_engine);

@@ -41,16 +41,24 @@ pub struct Row {
 impl Row {
     /// The row's identity within `section`: `family/n` for the round
     /// matrix, the scheme name for the acceptance table, `scheme/t` for
-    /// the per-round-count trade-off rows.
+    /// the per-round-count trade-off rows, `kind/rate` for the
+    /// fault-tolerance sweep.
     #[must_use]
     pub fn key(&self) -> String {
-        match (self.tags.get("family"), self.tags.get("scheme")) {
-            (Some(f), _) => format!("{f}/n={}", self.nums.get("n").copied().unwrap_or(0.0)),
-            (None, Some(s)) => match self.nums.get("t") {
+        match (
+            self.tags.get("family"),
+            self.tags.get("scheme"),
+            self.tags.get("kind"),
+        ) {
+            (Some(f), _, _) => format!("{f}/n={}", self.nums.get("n").copied().unwrap_or(0.0)),
+            (None, Some(s), _) => match self.nums.get("t") {
                 Some(t) => format!("{s}/t={t}"),
                 None => s.clone(),
             },
-            (None, None) => String::from("?"),
+            (None, None, Some(k)) => {
+                format!("{k}/rate={}", self.nums.get("rate").copied().unwrap_or(0.0))
+            }
+            (None, None, None) => String::from("?"),
         }
     }
 }
@@ -108,14 +116,15 @@ fn rows(array: &str) -> Vec<Row> {
 }
 
 /// Parses one bench JSON into its row tables: the round matrix, the
-/// acceptance table, and the t-round trade-off sweep (empty for JSONs
-/// predating the `tradeoff` section).
+/// acceptance table, the t-round trade-off sweep, and the fault-tolerance
+/// sweep (the latter two empty for JSONs predating their sections).
 #[must_use]
-pub fn parse(json: &str) -> (Vec<Row>, Vec<Row>, Vec<Row>) {
+pub fn parse(json: &str) -> (Vec<Row>, Vec<Row>, Vec<Row>, Vec<Row>) {
     (
         rows(section(json, "round_matrix")),
         rows(section(json, "acceptance_probability_cycle256")),
         rows(section(json, "tradeoff")),
+        rows(section(json, "faults")),
     )
 }
 
@@ -184,8 +193,8 @@ pub fn check(current: &str, reference: &str, max_regress: f64) -> GateReport {
         max_regress.is_finite() && max_regress > 0.0,
         "max_regress must be positive"
     );
-    let (cur_matrix, cur_acc, cur_tradeoff) = parse(current);
-    let (ref_matrix, ref_acc, ref_tradeoff) = parse(reference);
+    let (cur_matrix, cur_acc, cur_tradeoff, cur_faults) = parse(current);
+    let (ref_matrix, ref_acc, ref_tradeoff, _) = parse(reference);
     let mut report = GateReport::default();
 
     // One comparison: the named value must not sit more than `max_regress`
@@ -277,6 +286,22 @@ pub fn check(current: &str, reference: &str, max_regress: f64) -> GateReport {
             report
                 .failures
                 .push(format!("{}: t1_identical is false", row.key()));
+        }
+    }
+    // The fault sweep is gated purely on its correctness bits (its
+    // acceptance values are deterministic in the seeds, not timing): a
+    // transparent plan diverging from the fault-free engine, or a faulted
+    // run accepting a labeling its clean twin rejects, fails at any speed.
+    for row in &cur_faults {
+        if row.nums.get("zero_fault_identical") == Some(&0.0) {
+            report
+                .failures
+                .push(format!("{}: zero_fault_identical is false", row.key()));
+        }
+        if row.nums.get("soundness_preserved") == Some(&0.0) {
+            report
+                .failures
+                .push(format!("{}: soundness_preserved is false", row.key()));
         }
     }
     report
@@ -451,7 +476,7 @@ mod tests {
     #[test]
     fn tradeoff_rows_are_keyed_by_scheme_and_t() {
         let json = with_tradeoff(&sample(300000.0, 20.0, Some(50.0), true), 16.0, true);
-        let (_, _, tradeoff) = parse(&json);
+        let (_, _, tradeoff, _) = parse(&json);
         assert_eq!(tradeoff.len(), 2);
         assert_eq!(tradeoff[0].key(), "exchange_spanning_tree/t=1");
         assert_eq!(tradeoff[1].key(), "exchange_spanning_tree/t=16");
@@ -497,7 +522,7 @@ mod tests {
         // The committed reference itself must parse: guard against the
         // emitter and the parser drifting apart.
         let json = include_str!("../../../BENCH_engine.json");
-        let (matrix, acc, tradeoff) = parse(json);
+        let (matrix, acc, tradeoff, faults) = parse(json);
         assert!(matrix.len() >= 9);
         assert!(acc.len() >= 2);
         assert!(matrix[0].nums.contains_key("rand_rounds_per_sec"));
@@ -517,7 +542,76 @@ mod tests {
                 .any(|r| r.nums.get("t1_identical") == Some(&1.0)),
             "the t = 1 rows must carry their identity bit"
         );
+        assert!(
+            faults.len() >= 6,
+            "committed reference must include the fault-tolerance sweep"
+        );
+        assert!(
+            faults
+                .iter()
+                .all(|r| r.nums.get("soundness_preserved") == Some(&1.0)),
+            "every committed fault row must have preserved soundness"
+        );
+        assert!(
+            faults
+                .iter()
+                .any(|r| r.nums.get("zero_fault_identical") == Some(&1.0)),
+            "the transparent row must carry its identity bit"
+        );
         let report = check(json, json, 2.0);
         assert!(report.failures.is_empty(), "{:?}", report.failures);
+    }
+
+    /// A bench JSON with a `faults` section: the transparent row (carrying
+    /// `zero_fault_identical`) and one lossy row.
+    fn with_faults(base: &str, zero_identical: bool, sound: bool) -> String {
+        let faults = format!(
+            ",\n  \"faults\": [\n    {{\"kind\": \"none\", \"rate\": 0, \"trials\": 2000, \
+             \"honest_acceptance\": 1.0000, \"tampered_acceptance\": 0.4500, \
+             \"honest_degraded\": 0.0000, \"secs\": 0.01, \"soundness_preserved\": true, \
+             \"zero_fault_identical\": {zero_identical}}},\n    {{\"kind\": \"drop\", \
+             \"rate\": 0.005, \"trials\": 2000, \"honest_acceptance\": 0.0771, \
+             \"tampered_acceptance\": 0.0300, \"honest_degraded\": 0.9200, \"secs\": 0.01, \
+             \"soundness_preserved\": {sound}}}\n  ]"
+        );
+        let at = base.rfind("\n}").expect("object close");
+        let mut out = String::from(&base[..at]);
+        out.push_str(&faults);
+        out.push_str(&base[at..]);
+        out
+    }
+
+    #[test]
+    fn fault_rows_are_keyed_by_kind_and_rate() {
+        let json = with_faults(&sample(300000.0, 20.0, Some(50.0), true), true, true);
+        let (_, _, _, faults) = parse(&json);
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].key(), "none/rate=0");
+        assert_eq!(faults[1].key(), "drop/rate=0.005");
+        // A healthy file passes against itself and against a pre-faults
+        // reference (new sections never break the gate).
+        assert!(check(&json, &json, 2.0).failures.is_empty());
+        let pre_faults = sample(300000.0, 20.0, Some(50.0), true);
+        assert!(check(&json, &pre_faults, 2.0).failures.is_empty());
+    }
+
+    #[test]
+    fn zero_fault_divergence_fails_regardless_of_speed() {
+        let cur = with_faults(&sample(300000.0, 20.0, Some(50.0), true), false, true);
+        let report = check(&cur, &cur, 2.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("none/rate=0") && f.contains("zero_fault_identical")));
+    }
+
+    #[test]
+    fn soundness_break_fails_regardless_of_speed() {
+        let cur = with_faults(&sample(300000.0, 20.0, Some(50.0), true), true, false);
+        let report = check(&cur, &cur, 2.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("drop/rate=0.005") && f.contains("soundness_preserved")));
     }
 }

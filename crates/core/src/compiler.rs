@@ -66,6 +66,9 @@
 
 use crate::buffer::{Received, RoundScratch};
 use crate::engine::{multiround_seed, MultiRoundSummary, RoundSummary, StreamMode};
+use crate::fault::{
+    DeliveryOutcome, FaultCounts, FaultPlan, FaultedMultiRoundSummary, FaultedRoundSummary,
+};
 use crate::labeling::Labeling;
 use crate::prep::{CachedLabel, CachedReplication, PrepCache};
 use crate::rng::{edge_stream_first_word, node_stream_word};
@@ -1208,6 +1211,255 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
                 decided_round: if accepted { rounds } else { r },
                 max_bits_per_round: plan.max_bits,
                 total_bits: plan.total_bits,
+            });
+        }
+    }
+
+    /// The faulted batched trial loop: the clean probe kernel
+    /// ([`PreparedRpls::run_trials`]) plus a per-trial fault scan over
+    /// **every** directed edge. The scan runs over all ports — not just the
+    /// plan's dynamic checks — so a message the batch plan statically
+    /// skipped (a shared-preparation probe, a static-pass node) still fails
+    /// its trial when the plan perturbs it: a dropped or corrupted message
+    /// never silently counts as a passed probe. The global verdict is the
+    /// clean kernel's AND "no message missing", which is exactly the scalar
+    /// reference semantics (a node missing input rejects conservatively, so
+    /// the conjunction over nodes factors).
+    fn run_trials_faulted(
+        &self,
+        config: &Configuration,
+        seeds: &[u64],
+        plan: &FaultPlan,
+        mode: StreamMode,
+        scratch: &mut RoundScratch,
+        emit: &mut dyn FnMut(FaultedRoundSummary),
+    ) {
+        if plan.is_transparent() {
+            self.run_trials(config, seeds, mode, scratch, &mut |s| {
+                emit(FaultedRoundSummary::clean(s));
+            });
+            return;
+        }
+        let mut clean: Vec<bool> = Vec::with_capacity(seeds.len());
+        self.run_trials(config, seeds, mode, scratch, &mut |s| {
+            clean.push(s.accepted);
+        });
+
+        // Per-node transmitted certificate width, label-static: exactly
+        // what `certify_into` writes (the prover's message width, or zero
+        // when the (κ, own-label) prefix is malformed).
+        let cert_bits: Vec<usize> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                n.label
+                    .prover
+                    .as_ref()
+                    .map_or(0, |p| p.protocol().message_bits())
+            })
+            .collect();
+
+        let n = config.node_count();
+        let delivery = config.delivery();
+        let port_owner = config.port_owner();
+        let mut crashed = vec![false; n];
+        // Trial-stamped marker for "this receiver already lost a message".
+        let mut short_at = vec![usize::MAX; n];
+        for (t, &seed) in seeds.iter().enumerate() {
+            let mut counts = FaultCounts::default();
+            for (v, down) in crashed.iter_mut().enumerate() {
+                *down = plan.crash_hazard(seed, v as u64, 0);
+                counts.crashed_nodes += usize::from(*down);
+            }
+            let mut missing_messages = 0usize;
+            let mut insufficient_nodes = 0usize;
+            let mut max_bits = 0usize;
+            let mut total_bits = 0usize;
+            for (recv_port, &src) in delivery.iter().enumerate() {
+                let src = src as usize;
+                let sender = port_owner[src] as usize;
+                let receiver = port_owner[recv_port] as usize;
+                let mut lose = || {
+                    missing_messages += 1;
+                    if short_at[receiver] != t {
+                        short_at[receiver] = t;
+                        insufficient_nodes += 1;
+                    }
+                };
+                if crashed[sender] {
+                    lose();
+                    continue;
+                }
+                let len = cert_bits[sender];
+                let outcome = plan.outcome(seed, 0, src as u64);
+                total_bits += len * outcome.transmissions();
+                max_bits = max_bits.max(len);
+                match outcome {
+                    DeliveryOutcome::Intact => {}
+                    DeliveryOutcome::Duplicated => counts.duplicated += 1,
+                    DeliveryOutcome::Dropped => {
+                        counts.dropped += 1;
+                        lose();
+                    }
+                    DeliveryOutcome::Corrupted => {
+                        counts.corrupted += 1;
+                        lose();
+                    }
+                }
+            }
+            emit(FaultedRoundSummary {
+                summary: RoundSummary {
+                    accepted: clean[t] && missing_messages == 0,
+                    max_certificate_bits: max_bits,
+                    total_certificate_bits: total_bits,
+                },
+                insufficient_nodes,
+                missing_messages,
+                counts,
+            });
+        }
+    }
+
+    /// The faulted batched t-round loop: the clean chunked-fingerprint
+    /// kernel plus a fault overlay on *its* per-round message set — node
+    /// `u` sends one slice message of its protocol width per port in each
+    /// of its `covered` rounds; rounds past coverage carry nothing and
+    /// draw no fault word. Failed chunks are re-sent within their round up
+    /// to the plan's retry budget (each attempt pays the slice width
+    /// again); senders crash-stop at their first firing hazard. A receiver
+    /// still missing a chunk after retries rejects at the end of that
+    /// round, so `decided_round` is the earlier of the clean kernel's
+    /// decision and the first unrecovered loss.
+    fn run_multiround_trials_faulted(
+        &self,
+        config: &Configuration,
+        seeds: &[u64],
+        rounds: usize,
+        plan: &FaultPlan,
+        mode: StreamMode,
+        scratch: &mut RoundScratch,
+        emit: &mut dyn FnMut(FaultedMultiRoundSummary),
+    ) {
+        assert!(rounds > 0, "a schedule needs at least one round");
+        if plan.is_transparent() {
+            self.run_multiround_trials(config, seeds, rounds, mode, scratch, &mut |s| {
+                emit(FaultedMultiRoundSummary::clean(s));
+            });
+            return;
+        }
+        let mut clean: Vec<MultiRoundSummary> = Vec::with_capacity(seeds.len());
+        self.run_multiround_trials(config, seeds, rounds, mode, scratch, &mut |s| {
+            clean.push(s);
+        });
+
+        // The streaming schedule's per-node message shape, mirroring the
+        // plan builder's `SenderSchedule`: slice-message width and covered
+        // rounds (malformed prefixes stream nothing, as in certify_into).
+        let sched: Vec<(usize, usize)> = config
+            .graph()
+            .nodes()
+            .map(|v| {
+                parse_own_label(self.labeling.get(v)).map_or((0, 0), |(kappa, own)| {
+                    let chunk = (LEN_BITS as usize + kappa).div_ceil(rounds);
+                    let proto = EqProtocol::for_length(chunk);
+                    (
+                        proto.message_bits(),
+                        length_prefixed(&own).len().div_ceil(chunk),
+                    )
+                })
+            })
+            .collect();
+        let max_covered = sched.iter().map(|&(_, c)| c).max().unwrap_or(0);
+
+        let n = config.node_count();
+        let delivery = config.delivery();
+        let port_owner = config.port_owner();
+        let mut crash_round = vec![usize::MAX; n];
+        let mut short_at = vec![usize::MAX; n];
+        for (t, &seed) in seeds.iter().enumerate() {
+            let mut counts = FaultCounts::default();
+            for (v, cr) in crash_round.iter_mut().enumerate() {
+                *cr = usize::MAX;
+                for r in 0..max_covered {
+                    if plan.crash_hazard(seed, v as u64, r as u64) {
+                        *cr = r;
+                        counts.crashed_nodes += 1;
+                        break;
+                    }
+                }
+            }
+            let mut missing_messages = 0usize;
+            let mut insufficient_nodes = 0usize;
+            let mut earliest_missing = usize::MAX;
+            let mut max_round_bits = 0usize;
+            let mut total_bits = 0usize;
+            for (recv_port, &src) in delivery.iter().enumerate() {
+                let src = src as usize;
+                let sender = port_owner[src] as usize;
+                let receiver = port_owner[recv_port] as usize;
+                let (bits, covered) = sched[sender];
+                for r in 0..covered {
+                    if r >= crash_round[sender] {
+                        missing_messages += covered - r;
+                        if short_at[receiver] != t {
+                            short_at[receiver] = t;
+                            insufficient_nodes += 1;
+                        }
+                        earliest_missing = earliest_missing.min(r);
+                        break;
+                    }
+                    let outcome = plan.outcome(seed, r as u64, src as u64);
+                    total_bits += bits * outcome.transmissions();
+                    let mut round_bits = bits * outcome.transmissions();
+                    match outcome {
+                        DeliveryOutcome::Intact => {}
+                        DeliveryOutcome::Duplicated => counts.duplicated += 1,
+                        DeliveryOutcome::Dropped | DeliveryOutcome::Corrupted => {
+                            if matches!(outcome, DeliveryOutcome::Dropped) {
+                                counts.dropped += 1;
+                            } else {
+                                counts.corrupted += 1;
+                            }
+                            let mut delivered = false;
+                            for attempt in 0..plan.retry_budget() {
+                                counts.retries += 1;
+                                total_bits += bits;
+                                round_bits += bits;
+                                if plan.retry_delivers(seed, r as u64, src as u64, attempt as u64) {
+                                    delivered = true;
+                                    break;
+                                }
+                            }
+                            if !delivered {
+                                missing_messages += 1;
+                                if short_at[receiver] != t {
+                                    short_at[receiver] = t;
+                                    insufficient_nodes += 1;
+                                }
+                                earliest_missing = earliest_missing.min(r);
+                            }
+                        }
+                    }
+                    max_round_bits = max_round_bits.max(round_bits);
+                }
+            }
+            let cl = clean[t];
+            let decided_round = if missing_messages > 0 {
+                cl.decided_round.min(earliest_missing + 1)
+            } else {
+                cl.decided_round
+            };
+            emit(FaultedMultiRoundSummary {
+                summary: MultiRoundSummary {
+                    accepted: cl.accepted && missing_messages == 0,
+                    rounds,
+                    decided_round,
+                    max_bits_per_round: max_round_bits,
+                    total_bits,
+                },
+                insufficient_nodes,
+                missing_messages,
+                counts,
             });
         }
     }

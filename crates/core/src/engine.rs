@@ -39,6 +39,10 @@
 //! the scalar loop.
 
 use crate::buffer::{Received, RoundScratch};
+use crate::fault::{
+    DegradedSummary, DeliveryOutcome, FaultCounts, FaultPlan, FaultedMultiRoundSummary,
+    FaultedRoundSummary, NodeVerdict,
+};
 use crate::labeling::Labeling;
 use crate::rng::PortRng;
 use crate::scheme::{DetView, LocalContext, Pls, PreparedRpls, Rpls, UnpreparedRpls};
@@ -403,6 +407,172 @@ pub fn run_randomized_prepared_with<P: PreparedRpls + ?Sized>(
     }
 }
 
+/// Executes one randomized round of `scheme` against `labeling` under the
+/// fault environment of `plan` — the unprepared faulted entry point,
+/// mirroring [`run_randomized_with`]. Certificate *generation* is
+/// unaffected by faults (nodes draw their randomness before the network
+/// acts); only delivery is perturbed. See
+/// [`run_randomized_prepared_faulted_with`] for the semantics.
+pub fn run_randomized_faulted_with<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    seed: u64,
+    plan: &FaultPlan,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> DegradedSummary {
+    assert_eq!(
+        labeling.len(),
+        config.node_count(),
+        "one label per node required"
+    );
+    let unprepared = UnpreparedRpls {
+        scheme,
+        config,
+        labeling,
+    };
+    run_randomized_prepared_faulted_with(&unprepared, config, seed, plan, mode, scratch)
+}
+
+/// Executes one randomized round of a **prepared** scheme under the fault
+/// environment of `plan` — the scalar reference semantics every faulted
+/// engine path must agree with:
+///
+/// * Phase 1 (certificate generation) is exactly the fault-free
+///   [`run_randomized_prepared_with`] phase — same streams, same bits.
+/// * Phase 2 consults the plan once per directed edge: a message from a
+///   crashed sender is never transmitted; a dropped or corrupted message
+///   is transmitted but lost; a duplicated message arrives intact with its
+///   bits counted twice.
+/// * A node missing any incident message votes
+///   [`NodeVerdict::InsufficientInput`] — a conservative reject — and its
+///   verifier is not consulted; every other node votes its fault-free
+///   verdict. Faults can therefore only flip accept → reject, preserving
+///   the paper's one-sided soundness.
+///
+/// A transparent `plan` branches to the exact fault-free path, so its
+/// summary (and the scratch contents) are bit-identical to
+/// [`run_randomized_prepared_with`].
+pub fn run_randomized_prepared_faulted_with<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seed: u64,
+    plan: &FaultPlan,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> DegradedSummary {
+    if plan.is_transparent() {
+        let summary = run_randomized_prepared_with(prepared, config, seed, mode, scratch);
+        return DegradedSummary::transparent(summary, scratch.votes());
+    }
+
+    let g = config.graph();
+    let RoundScratch { buffer, votes, tmp } = scratch;
+
+    // Phase 1: certificate generation, untouched by the fault layer.
+    buffer.clear();
+    for v in g.nodes() {
+        let node_index = v.index() as u64;
+        let degree = g.degree(v);
+        match mode {
+            StreamMode::EdgeIndependent => {
+                for p in 0..degree {
+                    let mut rng = PortRng::for_edge(seed, node_index, p as u64);
+                    prepared.certify_into(v, Port::from_rank(p), &mut rng, tmp);
+                    buffer.push(tmp);
+                }
+            }
+            StreamMode::SharedPerNode => {
+                let mut rng = PortRng::for_node(seed, node_index);
+                for p in 0..degree {
+                    prepared.certify_into(v, Port::from_rank(p), &mut rng, tmp);
+                    buffer.push(tmp);
+                }
+            }
+        }
+    }
+
+    // Crash draws: the one-round engine has a single round, round 0.
+    let n = config.node_count();
+    let mut counts = FaultCounts::default();
+    let mut crashed = vec![false; n];
+    for (v, down) in crashed.iter_mut().enumerate() {
+        if plan.crash_hazard(seed, v as u64, 0) {
+            *down = true;
+            counts.crashed_nodes += 1;
+        }
+    }
+
+    // Phase 2: faulted delivery. The message of each directed edge is
+    // keyed by its *sender's* global port index; `delivery` being an
+    // involution, walking receiver ports visits every edge exactly once.
+    let delivery = config.delivery();
+    let port_base = config.port_base();
+    let port_owner = config.port_owner();
+    let mut missing: Vec<u32> = vec![0; n];
+    let mut max_bits = 0usize;
+    let mut total_bits = 0usize;
+    for (recv_port, &src) in delivery.iter().enumerate() {
+        let src = src as usize;
+        let receiver = port_owner[recv_port] as usize;
+        let len = buffer.get(src).len();
+        if crashed[port_owner[src] as usize] {
+            missing[receiver] += 1;
+            continue;
+        }
+        let outcome = plan.outcome(seed, 0, src as u64);
+        total_bits += len * outcome.transmissions();
+        max_bits = max_bits.max(len);
+        match outcome {
+            DeliveryOutcome::Intact => {}
+            DeliveryOutcome::Duplicated => counts.duplicated += 1,
+            DeliveryOutcome::Dropped => {
+                counts.dropped += 1;
+                missing[receiver] += 1;
+            }
+            DeliveryOutcome::Corrupted => {
+                counts.corrupted += 1;
+                missing[receiver] += 1;
+            }
+        }
+    }
+
+    // Verdicts: InsufficientInput dominates; intact nodes vote their
+    // fault-free verdict over the unchanged certificate arena.
+    votes.clear();
+    let mut verdicts = Vec::with_capacity(n);
+    let mut accepted = true;
+    for v in g.nodes() {
+        let verdict = if missing[v.index()] > 0 {
+            NodeVerdict::InsufficientInput
+        } else {
+            let lo = port_base[v.index()] as usize;
+            let hi = port_base[v.index() + 1] as usize;
+            let received = Received::new(buffer, &delivery[lo..hi]);
+            if prepared.verify(v, &received) {
+                NodeVerdict::Accept
+            } else {
+                NodeVerdict::Reject
+            }
+        };
+        accepted &= verdict.accepts();
+        votes.push(verdict.accepts());
+        verdicts.push(verdict);
+    }
+
+    DegradedSummary {
+        summary: RoundSummary {
+            accepted,
+            max_certificate_bits: max_bits,
+            total_certificate_bits: total_bits,
+        },
+        verdicts,
+        missing,
+        counts,
+    }
+}
+
 /// Executes one **t-round** verification trial of `scheme` against
 /// `labeling` — the space–time trade-off entry point. The labeling is
 /// prepared internally for this single trial; callers running many trials
@@ -490,6 +660,184 @@ pub fn run_multiround_trials_batched_with<P: PreparedRpls + ?Sized>(
     prepared.run_multiround_trials(config, seeds, rounds, mode, scratch, emit);
 }
 
+/// Executes one faulted t-round trial of `scheme` against `labeling` — the
+/// faulted twin of [`run_multiround_with`]. Delegates to
+/// [`PreparedRpls::run_multiround_faulted`]: the default overlays the
+/// fault schedule (with the plan's retry budget) on the
+/// certificate-splitting schedule; the compiled streaming schemes overlay
+/// it on their per-round chunked-fingerprint message set.
+///
+/// # Panics
+///
+/// Panics if `rounds` is 0 or `labeling` does not assign one label per
+/// node.
+#[allow(clippy::too_many_arguments)]
+pub fn run_multiround_faulted_with<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    seed: u64,
+    rounds: usize,
+    plan: &FaultPlan,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> FaultedMultiRoundSummary {
+    assert!(rounds > 0, "a schedule needs at least one round");
+    let prepared = scheme.prepare(config, labeling, 1);
+    prepared.run_multiround_faulted(config, seed, rounds, plan, mode, scratch)
+}
+
+/// Runs one faulted t-round trial per seed against a prepared scheme — the
+/// faulted twin of [`run_multiround_trials_batched_with`]. A transparent
+/// plan emits summaries bit-identical (wrapped clean) to the fault-free
+/// trial engine.
+///
+/// # Panics
+///
+/// Panics if `rounds` is 0.
+#[allow(clippy::too_many_arguments)]
+pub fn run_multiround_trials_faulted_with<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seeds: &[u64],
+    rounds: usize,
+    plan: &FaultPlan,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+    emit: &mut dyn FnMut(FaultedMultiRoundSummary),
+) {
+    assert!(rounds > 0, "a schedule needs at least one round");
+    prepared.run_multiround_trials_faulted(config, seeds, rounds, plan, mode, scratch, emit);
+}
+
+/// Overlays the fault schedule of `plan` on the **certificate-splitting**
+/// multiround schedule of a trial whose fault-free one-round summary is
+/// `clean` and whose certificates sit in `scratch.buffer` — the default
+/// [`PreparedRpls::run_multiround_trials_faulted`] core.
+///
+/// The split schedule cuts the `L`-bit certificate of each directed edge
+/// into `rounds` chunks (sizes `⌈L/rounds⌉` then `⌊L/rounds⌋`); zero-bit
+/// chunks carry no message and draw no fault word, so the loop is bounded
+/// by certificate bits even at `rounds = usize::MAX`. A chunk that fails
+/// delivery (dropped or corrupted) is re-sent within its round up to the
+/// plan's retry budget, each attempt paying the chunk's bits again;
+/// senders crash-stop at their first firing hazard and crashed senders
+/// never retry. A receiver still missing a chunk after retries rejects
+/// (insufficient input) at the end of that round, which is what
+/// `decided_round` reports.
+pub(crate) fn overlay_split_faults(
+    config: &Configuration,
+    seed: u64,
+    rounds: usize,
+    plan: &FaultPlan,
+    scratch: &RoundScratch,
+    clean: RoundSummary,
+) -> FaultedMultiRoundSummary {
+    let n = config.node_count();
+    let buffer = scratch.certificates();
+    let delivery = config.delivery();
+    let port_owner = config.port_owner();
+
+    // Message-bearing rounds per edge: ⌈L/rounds⌉-then-⌊L/rounds⌋ chunks,
+    // of which exactly min(rounds, L) are non-empty.
+    let msgs_of = |len: usize| if len == 0 { 0 } else { rounds.min(len) };
+    let max_msgs = (0..delivery.len())
+        .map(|p| msgs_of(buffer.get(p).len()))
+        .max()
+        .unwrap_or(0);
+
+    // Crash rounds, drawn only while messages are still outstanding.
+    let mut counts = FaultCounts::default();
+    let mut crash_round: Vec<usize> = vec![usize::MAX; n];
+    for (v, cr) in crash_round.iter_mut().enumerate() {
+        for r in 0..max_msgs {
+            if plan.crash_hazard(seed, v as u64, r as u64) {
+                *cr = r;
+                counts.crashed_nodes += 1;
+                break;
+            }
+        }
+    }
+
+    let mut missing: Vec<u32> = vec![0; n];
+    let mut earliest_missing = usize::MAX;
+    let mut max_round_bits = 0usize;
+    let mut total_bits = 0usize;
+    for (recv_port, &src) in delivery.iter().enumerate() {
+        let src = src as usize;
+        let receiver = port_owner[recv_port] as usize;
+        let sender = port_owner[src] as usize;
+        let len = buffer.get(src).len();
+        let msgs = msgs_of(len);
+        let (q, rem) = if msgs == 0 {
+            (0, 0)
+        } else {
+            (len / rounds, len % rounds)
+        };
+        for r in 0..msgs {
+            if r >= crash_round[sender] {
+                // Crash-stop: every remaining chunk of this edge is lost
+                // without being transmitted.
+                missing[receiver] += (msgs - r) as u32;
+                earliest_missing = earliest_missing.min(r);
+                break;
+            }
+            let bits = q + usize::from(r < rem);
+            let outcome = plan.outcome(seed, r as u64, src as u64);
+            total_bits += bits * outcome.transmissions();
+            let mut round_bits = bits * outcome.transmissions();
+            match outcome {
+                DeliveryOutcome::Intact => {}
+                DeliveryOutcome::Duplicated => counts.duplicated += 1,
+                DeliveryOutcome::Dropped | DeliveryOutcome::Corrupted => {
+                    if matches!(outcome, DeliveryOutcome::Dropped) {
+                        counts.dropped += 1;
+                    } else {
+                        counts.corrupted += 1;
+                    }
+                    let mut delivered = false;
+                    for attempt in 0..plan.retry_budget() {
+                        counts.retries += 1;
+                        total_bits += bits;
+                        round_bits += bits;
+                        if plan.retry_delivers(seed, r as u64, src as u64, attempt as u64) {
+                            delivered = true;
+                            break;
+                        }
+                    }
+                    if !delivered {
+                        missing[receiver] += 1;
+                        earliest_missing = earliest_missing.min(r);
+                    }
+                }
+            }
+            max_round_bits = max_round_bits.max(round_bits);
+        }
+    }
+
+    let missing_messages: usize = missing.iter().map(|&m| m as usize).sum();
+    let insufficient_nodes = missing.iter().filter(|&&m| m > 0).count();
+    let decided_round = if missing_messages > 0 {
+        // The first receiver to come up short rejects at the end of that
+        // round; the split schedule itself only decides after the last.
+        rounds.min(earliest_missing + 1)
+    } else {
+        rounds
+    };
+    FaultedMultiRoundSummary {
+        summary: MultiRoundSummary {
+            accepted: clean.accepted && missing_messages == 0,
+            rounds,
+            decided_round,
+            max_bits_per_round: max_round_bits,
+            total_bits,
+        },
+        insufficient_nodes,
+        missing_messages,
+        counts,
+    }
+}
+
 /// How many per-trial seeds the estimators hand to the batched engine at
 /// once. Bounds estimator memory at O(chunk) for any trial count while
 /// leaving whole-node batching intact — trials are independent, so chunked
@@ -525,6 +873,33 @@ pub fn run_trials_batched_with<P: PreparedRpls + ?Sized>(
     emit: &mut dyn FnMut(RoundSummary),
 ) {
     prepared.run_trials(config, seeds, mode, scratch, emit);
+}
+
+/// Runs one **faulted** verification round per seed against a prepared
+/// scheme, calling `emit` once per trial in seed order — the faulted twin
+/// of [`run_trials_batched_with`], and what
+/// [`stats::acceptance_under_faults`](crate::stats::acceptance_under_faults)
+/// funnels into.
+///
+/// Delegates to [`PreparedRpls::run_trials_faulted`], whose default is a
+/// scalar loop over [`run_randomized_prepared_faulted_with`]; the compiled
+/// schemes override it with the clean batched probe kernel plus a
+/// per-trial fault scan over every directed edge (so an edge the batched
+/// plan statically skipped still fails its trial when perturbed — a lost
+/// message never silently counts as a passed probe). Either way the
+/// emitted summaries agree with the scalar faulted reference path, and a
+/// transparent plan emits summaries bit-identical (wrapped clean) to
+/// [`run_trials_batched_with`].
+pub fn run_trials_faulted_with<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seeds: &[u64],
+    plan: &FaultPlan,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+    emit: &mut dyn FnMut(FaultedRoundSummary),
+) {
+    prepared.run_trials_faulted(config, seeds, plan, mode, scratch, emit);
 }
 
 #[cfg(test)]
@@ -617,11 +992,14 @@ mod tests {
         let config = Configuration::plain(generators::complete(8));
         let labeling = RandomBit.label(&config);
         let rec = run_randomized(&RandomBit, &config, &labeling, 7);
+        // Total read: a too-short certificate counts as a zero bit instead
+        // of panicking (the "reject, never panic" contract applies to every
+        // consumer of delivered certificates, tests included).
         let bits: Vec<bool> = rec
             .certificates
             .iter()
             .flatten()
-            .map(|c| c.bit(0).unwrap())
+            .map(|c| c.bit(0).unwrap_or(false))
             .collect();
         let ones = bits.iter().filter(|&&b| b).count();
         assert!(ones > 10 && ones < bits.len() - 10, "ones = {ones}");

@@ -33,6 +33,13 @@
 //!   across the labelings of a sweep;
 //! * [`adversary`] — label forgers used to probe soundness: exhaustive for
 //!   tiny label spaces, randomized hill-climbing otherwise;
+//! * [`fault`] — deterministic, seed-replayable fault injection
+//!   (lossy/corrupting channels, duplication, crash-stop nodes) with
+//!   graceful-degradation semantics: a node missing input rejects
+//!   conservatively, so faults can degrade completeness but never break
+//!   the one-sided soundness; every engine layer has a faulted twin
+//!   (`engine::run_*_faulted_with`) that is bit-identical to the clean
+//!   path under a transparent plan;
 //! * [`local_decision`] — the label-free `LD(t)` baseline of
 //!   Fraigniaud–Korman–Peleg (radius-t ball inspection), implemented so the
 //!   repository can show what proof labels buy over plain local decision.
@@ -129,6 +136,7 @@ pub mod adversary;
 pub mod buffer;
 pub mod compiler;
 pub mod engine;
+pub mod fault;
 pub mod labeling;
 pub mod local_decision;
 pub mod measure;
@@ -141,6 +149,10 @@ pub mod universal;
 
 pub use buffer::{CertificateBuffer, Received, RoundScratch};
 pub use compiler::CompiledRpls;
+pub use fault::{
+    DegradedSummary, DeliveryOutcome, FaultCounts, FaultPlan, FaultSpec, FaultedMultiRoundSummary,
+    FaultedRoundSummary, NodeVerdict,
+};
 pub use labeling::Labeling;
 pub use prep::PrepCache;
 pub use rng::PortRng;
@@ -153,6 +165,10 @@ pub mod prelude {
     pub use crate::buffer::{CertificateBuffer, Received, RoundScratch};
     pub use crate::compiler::CompiledRpls;
     pub use crate::engine::{self, MultiRoundSummary, Outcome, RoundSummary, StreamMode};
+    pub use crate::fault::{
+        DegradedSummary, DeliveryOutcome, FaultCounts, FaultPlan, FaultSpec,
+        FaultedMultiRoundSummary, FaultedRoundSummary, NodeVerdict,
+    };
     pub use crate::labeling::Labeling;
     pub use crate::measure;
     pub use crate::prep::PrepCache;

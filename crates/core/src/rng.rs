@@ -60,6 +60,20 @@ pub fn node_stream_word(seed: u64, node: u64, index: u64) -> u64 {
     split_mix_output(mix_seed(seed, node, u64::MAX).wrapping_add((index + 1).wrapping_mul(GAMMA)))
 }
 
+/// The `index`-th word of the stream keyed by a raw SplitMix64 `state`, as
+/// a pure function — exactly what `PortRng::from_state(state)`'s
+/// `(index + 1)`-th `next_u64()` call returns.
+///
+/// The fault-injection layer derives its per-(trial, round, edge) decision
+/// words through this: a fault schedule is a pure function of a mixed
+/// fault state and a counter, so any schedule replays bit-identically from
+/// the same `(seed, fault_seed)` pair with no generator state to thread.
+#[inline]
+#[must_use]
+pub fn state_stream_word(state: u64, index: u64) -> u64 {
+    split_mix_output(state.wrapping_add((index + 1).wrapping_mul(GAMMA)))
+}
+
 /// The SplitMix64 additive constant shared by [`PortRng`] and the
 /// counter-block path.
 const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -183,6 +197,20 @@ mod tests {
                     node_stream_word(seed, node, index),
                     r.next_u64(),
                     "({seed}, {node}, {index})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn state_stream_word_matches_generator() {
+        for state in [0u64, 7, 0xDEAD_BEEF, u64::MAX] {
+            let mut r = PortRng::from_state(state);
+            for index in 0..8u64 {
+                assert_eq!(
+                    state_stream_word(state, index),
+                    r.next_u64(),
+                    "({state}, {index})"
                 );
             }
         }

@@ -92,6 +92,8 @@ pub struct Configuration {
     /// certificate arrives at port `i` (the far endpoint's port of the same
     /// edge).
     delivery: Vec<u32>,
+    /// Inverse CSR: `port_owner[i]` is the node owning global port `i`.
+    port_owner: Vec<u32>,
 }
 
 impl PartialEq for Configuration {
@@ -127,21 +129,24 @@ impl Configuration {
             states.len(),
             "node identities must be pairwise distinct"
         );
-        let (port_base, port_weights, delivery) = Self::build_port_layout(&graph);
+        let (port_base, port_weights, delivery, port_owner) = Self::build_port_layout(&graph);
         Self {
             graph,
             states,
             port_base,
             port_weights,
             delivery,
+            port_owner,
         }
     }
 
     /// Builds the CSR port layout the engine's flat certificate buffers
     /// index by: per-node port offsets, incident weights in global port
-    /// order, and the delivery map routing each port to the far endpoint's
-    /// port of the same edge.
-    fn build_port_layout(graph: &Graph) -> (Vec<u32>, Vec<Option<u64>>, Vec<u32>) {
+    /// order, the delivery map routing each port to the far endpoint's
+    /// port of the same edge, and the inverse map from global port to
+    /// owning node.
+    #[allow(clippy::type_complexity)]
+    fn build_port_layout(graph: &Graph) -> (Vec<u32>, Vec<Option<u64>>, Vec<u32>, Vec<u32>) {
         let n = graph.node_count();
         let mut port_base = Vec::with_capacity(n + 1);
         let mut total: u32 = 0;
@@ -152,6 +157,7 @@ impl Configuration {
         }
         let mut port_weights = Vec::with_capacity(total as usize);
         let mut delivery = Vec::with_capacity(total as usize);
+        let mut port_owner = Vec::with_capacity(total as usize);
         for v in graph.nodes() {
             for nb in graph.neighbors(v) {
                 port_weights.push(nb.weight);
@@ -159,9 +165,10 @@ impl Configuration {
                     port_base[nb.node.index()]
                         + u32::try_from(nb.remote_port.rank()).expect("port fits in u32"),
                 );
+                port_owner.push(u32::try_from(v.index()).expect("node fits in u32"));
             }
         }
-        (port_base, port_weights, delivery)
+        (port_base, port_weights, delivery, port_owner)
     }
 
     /// The default configuration: node `v` gets identity `v` and an empty
@@ -266,13 +273,14 @@ impl Configuration {
             self.node_count(),
             "crossing preserves the node set"
         );
-        let (port_base, port_weights, delivery) = Self::build_port_layout(&graph);
+        let (port_base, port_weights, delivery, port_owner) = Self::build_port_layout(&graph);
         Self {
             graph,
             states: self.states.clone(),
             port_base,
             port_weights,
             delivery,
+            port_owner,
         }
     }
 
@@ -312,6 +320,15 @@ impl Configuration {
     #[must_use]
     pub fn delivery(&self) -> &[u32] {
         &self.delivery
+    }
+
+    /// The inverse CSR map: entry `i` is the node owning global port `i`
+    /// (the sender side of the directed edge the port represents). The
+    /// batched kernels and the fault layer use this to look up the sender
+    /// of a delivered certificate without re-walking the adjacency lists.
+    #[must_use]
+    pub fn port_owner(&self) -> &[u32] {
+        &self.port_owner
     }
 }
 
@@ -397,6 +414,19 @@ mod tests {
                 assert_eq!(delivery[there] as usize, here);
             }
         }
+    }
+
+    #[test]
+    fn port_owner_inverts_the_csr() {
+        let c = Configuration::plain(generators::wheel(6));
+        for v in c.graph().nodes() {
+            let lo = c.port_base()[v.index()] as usize;
+            let hi = c.port_base()[v.index() + 1] as usize;
+            for i in lo..hi {
+                assert_eq!(c.port_owner()[i] as usize, v.index());
+            }
+        }
+        assert_eq!(c.port_owner().len(), c.port_count());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use crate::buffer::RoundScratch;
 use crate::engine::{self, mix_seed, StreamMode, TRIAL_CHUNK};
+use crate::fault::{FaultCounts, FaultPlan};
 use crate::labeling::Labeling;
 use crate::prep::PrepCache;
 use crate::scheme::{PreparedRpls, Rpls};
@@ -152,6 +153,114 @@ pub fn acceptance_probability_cached<S: Rpls + ?Sized>(
     accepts as f64 / trials as f64
 }
 
+/// Aggregate outcome of a faulted Monte-Carlo acceptance estimate —
+/// produced by [`acceptance_under_faults`]. Beyond the acceptance rate it
+/// reports how much the fault plan actually degraded the run, so sweeps
+/// can separate "rejected because the labeling is wrong" from "rejected
+/// because input went missing".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultedAcceptance {
+    /// Trials estimated.
+    pub trials: usize,
+    /// Trials whose every node voted accept.
+    pub accepts: usize,
+    /// Trials in which at least one node was missing input (and therefore
+    /// voted [`NodeVerdict::InsufficientInput`](crate::fault::NodeVerdict)).
+    pub degraded_trials: usize,
+    /// Total missing messages over all trials.
+    pub missing_messages: usize,
+    /// Fault events aggregated over all trials.
+    pub counts: FaultCounts,
+}
+
+impl FaultedAcceptance {
+    /// The estimated acceptance probability under the fault plan.
+    #[must_use]
+    pub fn acceptance(&self) -> f64 {
+        self.accepts as f64 / self.trials as f64
+    }
+
+    /// The fraction of trials that lost at least one message.
+    #[must_use]
+    pub fn degradation(&self) -> f64 {
+        self.degraded_trials as f64 / self.trials as f64
+    }
+}
+
+/// Estimates `Pr[verifier accepts]` over `trials` independent rounds run
+/// through the faulted engine — the fault-injection twin of
+/// [`acceptance_probability`]. Per-trial seeds are **identical** to the
+/// clean estimator's, so under a transparent plan the accept count (and
+/// hence [`FaultedAcceptance::acceptance`]) is bit-identical to
+/// [`acceptance_probability`] on the same inputs.
+pub fn acceptance_under_faults<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    trials: usize,
+    seed: u64,
+    plan: &FaultPlan,
+) -> FaultedAcceptance {
+    let mut scratch = RoundScratch::new();
+    acceptance_under_faults_cached(
+        scheme,
+        config,
+        labeling,
+        trials,
+        seed,
+        plan,
+        &mut scratch,
+        &mut PrepCache::new(),
+    )
+}
+
+/// Like [`acceptance_under_faults`] but reuses caller-owned scratch and a
+/// [`PrepCache`] across labelings — the faulted member of the layer-4
+/// estimator family, used by
+/// [`measure::fault_tolerance_profile`](crate::measure::fault_tolerance_profile)
+/// to sweep fault rates against one prepared instance.
+#[allow(clippy::too_many_arguments)]
+pub fn acceptance_under_faults_cached<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    trials: usize,
+    seed: u64,
+    plan: &FaultPlan,
+    scratch: &mut RoundScratch,
+    cache: &mut PrepCache,
+) -> FaultedAcceptance {
+    assert!(trials > 0, "need at least one trial");
+    let prepared = scheme.prepare_cached(config, labeling, trials, cache);
+    let mut out = FaultedAcceptance {
+        trials,
+        ..FaultedAcceptance::default()
+    };
+    let mut seeds_buf: Vec<u64> = Vec::new();
+    let mut next = 0usize;
+    while next < trials {
+        let chunk = TRIAL_CHUNK.min(trials - next);
+        seeds_buf.clear();
+        seeds_buf.extend((next..next + chunk).map(|t| trial_seed(seed, t as u64)));
+        next += chunk;
+        engine::run_trials_faulted_with(
+            &*prepared,
+            config,
+            &seeds_buf,
+            plan,
+            StreamMode::EdgeIndependent,
+            scratch,
+            &mut |s| {
+                out.accepts += usize::from(s.summary.accepted);
+                out.degraded_trials += usize::from(s.insufficient_nodes > 0);
+                out.missing_messages += s.missing_messages;
+                out.counts.absorb(s.counts);
+            },
+        );
+    }
+    out
+}
+
 /// Parallel twin of [`acceptance_probability`]: shards trials across
 /// threads, each with its own [`RoundScratch`]. Per-trial seeds are
 /// identical to the serial path, so the estimate is **bit-identical** to
@@ -178,6 +287,7 @@ pub fn acceptance_probability_par<S: Rpls + Sync + ?Sized>(
     if workers == 1 {
         return acceptance_probability(scheme, config, labeling, trials, seed);
     }
+    let name = scheme.name();
     let accepts: usize = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
@@ -210,7 +320,26 @@ pub fn acceptance_probability_par<S: Rpls + Sync + ?Sized>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(w, h)| {
+                // Propagate the worker's panic with enough context to find
+                // it (worker index, scheme) instead of the bare "worker"
+                // message a plain `expect` would give.
+                h.join().unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    panic!(
+                        "acceptance_probability_par worker {w}/{workers} \
+                         for scheme '{name}' panicked: {msg}"
+                    )
+                })
+            })
+            .sum()
     });
     accepts as f64 / trials as f64
 }

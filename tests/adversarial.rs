@@ -335,6 +335,72 @@ mod never_panic {
                     }
                 }
             }
+            // The fault-injection twins on the same garbage: hostile
+            // fault rates (including total loss) and hostile round
+            // counts may degrade the verdict, never panic or hang —
+            // and cached and fresh preparations must emit identical
+            // faulted summaries.
+            {
+                use rpls::core::{FaultPlan, FaultSpec};
+                let hostile = [
+                    FaultSpec::transparent(),
+                    FaultSpec::transparent().with_drop(1.0),
+                    FaultSpec::transparent().with_crash(1.0),
+                    FaultSpec::transparent()
+                        .with_drop(0.4)
+                        .with_corrupt(0.4)
+                        .with_duplicate(0.4)
+                        .with_crash(0.3)
+                        .with_retry_budget(2),
+                ];
+                for spec in hostile {
+                    let plan = FaultPlan::new(spec, seed ^ 0xFA);
+                    let mut fresh_out = Vec::new();
+                    engine::run_trials_faulted_with(
+                        &*prepared,
+                        config,
+                        &[seed, seed ^ 13],
+                        &plan,
+                        StreamMode::EdgeIndependent,
+                        &mut scratch,
+                        &mut |s| fresh_out.push(s),
+                    );
+                    let mut cached_out = Vec::new();
+                    engine::run_trials_faulted_with(
+                        &*cached,
+                        config,
+                        &[seed, seed ^ 13],
+                        &plan,
+                        StreamMode::EdgeIndependent,
+                        &mut scratch,
+                        &mut |s| cached_out.push(s),
+                    );
+                    assert_eq!(fresh_out, cached_out, "cached vs fresh faulted summaries");
+                    for rounds in [1usize, 5, usize::MAX] {
+                        let mut out = Vec::new();
+                        engine::run_multiround_trials_faulted_with(
+                            &*prepared,
+                            config,
+                            &[seed ^ 17],
+                            rounds,
+                            &plan,
+                            StreamMode::EdgeIndependent,
+                            &mut scratch,
+                            &mut |s| out.push(s),
+                        );
+                    }
+                    let _ = engine::run_randomized_faulted_with(
+                        &compiled,
+                        config,
+                        &labeling,
+                        seed ^ 21,
+                        &plan,
+                        StreamMode::EdgeIndependent,
+                        &mut scratch,
+                    );
+                }
+            }
+
             let _ = engine::run_multiround_with(
                 &compiled,
                 config,
@@ -434,6 +500,111 @@ mod never_panic {
                 prepared_scratch.votes(),
                 "seed {seed}"
             );
+        }
+    }
+
+    /// Wraps a randomized scheme so every certificate arrives truncated
+    /// to a fixed prefix — including the empty one. Unlike
+    /// [`CorruptingRpls`] the damage is deterministic, so the test can
+    /// assert the verdict, not just the absence of a panic.
+    struct TruncatingRpls<S> {
+        inner: S,
+        keep: usize,
+    }
+
+    impl<S: Rpls> Rpls for TruncatingRpls<S> {
+        fn name(&self) -> String {
+            format!("truncating({}, {})", self.inner.name(), self.keep)
+        }
+        fn label(&self, config: &Configuration) -> Labeling {
+            self.inner.label(config)
+        }
+        fn certify(&self, view: &CertView<'_>, port: Port, rng: &mut dyn Rng) -> BitString {
+            self.inner.certify(view, port, rng).truncated(self.keep)
+        }
+        fn certify_into(
+            &self,
+            view: &CertView<'_>,
+            port: Port,
+            rng: &mut dyn Rng,
+            out: &mut BitString,
+        ) {
+            self.inner.certify_into(view, port, rng, out);
+            *out = out.truncated(self.keep);
+        }
+        fn verify(&self, view: &RandView<'_>) -> bool {
+            self.inner.verify(view)
+        }
+        fn prepare<'a>(
+            &'a self,
+            config: &'a Configuration,
+            labeling: &'a Labeling,
+            rounds_hint: usize,
+        ) -> Box<dyn PreparedRpls + 'a> {
+            Box::new(TruncatingPrepared {
+                inner: self.inner.prepare(config, labeling, rounds_hint),
+                keep: self.keep,
+            })
+        }
+    }
+
+    struct TruncatingPrepared<'a> {
+        inner: Box<dyn PreparedRpls + 'a>,
+        keep: usize,
+    }
+
+    impl PreparedRpls for TruncatingPrepared<'_> {
+        fn certify_into(&self, node: NodeId, port: Port, rng: &mut dyn Rng, out: &mut BitString) {
+            self.inner.certify_into(node, port, rng, out);
+            *out = out.truncated(self.keep);
+        }
+        fn verify(&self, node: NodeId, received: &Received<'_>) -> bool {
+            self.inner.verify(node, received)
+        }
+    }
+
+    /// Regression for the total-read contract on delivered certificates:
+    /// a certificate truncated below the bits the verifier wants to read
+    /// (down to and including zero bits) must yield a reject vote — never
+    /// a panic — on the unprepared and prepared paths alike.
+    #[test]
+    fn truncated_certificates_reject_never_panic() {
+        use rpls::core::engine::StreamMode;
+        use rpls::core::RoundScratch;
+        use rpls::schemes::spanning_tree::{spanning_tree_config, SpanningTreePls};
+        let config =
+            spanning_tree_config(&Configuration::plain(generators::cycle(6)), NodeId::new(0));
+        let mut scratch = RoundScratch::new();
+        for keep in [0usize, 1, 2, 3] {
+            let scheme = TruncatingRpls {
+                inner: CompiledRpls::new(SpanningTreePls::new()),
+                keep,
+            };
+            let labeling = Rpls::label(&scheme, &config);
+            let prepared = scheme.prepare(&config, &labeling, 8);
+            for seed in 0..8u64 {
+                let a = engine::run_randomized_with(
+                    &scheme,
+                    &config,
+                    &labeling,
+                    seed,
+                    StreamMode::EdgeIndependent,
+                    &mut scratch,
+                );
+                assert!(
+                    !a.accepted,
+                    "a {keep}-bit prefix of a fingerprint certificate must reject (seed {seed})"
+                );
+                assert!(scratch.votes().iter().all(|&v| !v), "every vote rejects");
+                let b = engine::run_randomized_prepared_with(
+                    &*prepared,
+                    &config,
+                    seed,
+                    StreamMode::EdgeIndependent,
+                    &mut scratch,
+                );
+                assert_eq!(a, b, "prepared path agrees (keep {keep}, seed {seed})");
+            }
         }
     }
 

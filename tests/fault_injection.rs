@@ -1,0 +1,625 @@
+//! The fault-injection layer's three contracts, pinned end to end.
+//!
+//! 1. **Zero-fault identity**: under a transparent [`FaultPlan`] every
+//!    faulted engine path — scalar, batched, multiround, and the
+//!    Monte-Carlo estimator — is bit-identical to its fault-free twin, for
+//!    every scheme, honest and hostile labelings alike, in both stream
+//!    modes.
+//! 2. **Soundness preservation**: faults only ever flip accept → reject.
+//!    For any fault rates (up to and including 1.0) a faulted trial
+//!    accepts only if the fault-free trial with the same seed accepts, so
+//!    an illegal labeling the clean engine rejects is never accepted by
+//!    the faulted one.
+//! 3. **Replay determinism**: the whole fault schedule is a pure function
+//!    of `(trial seed, fault seed)` — re-running reproduces every summary,
+//!    verdict, and counter exactly.
+
+use proptest::prelude::*;
+use rpls::core::engine::{self, RoundSummary, StreamMode};
+use rpls::core::stats;
+use rpls::core::{
+    Configuration, FaultPlan, FaultSpec, FaultedMultiRoundSummary, FaultedRoundSummary, Labeling,
+    NodeVerdict, Pls, PrepCache, RoundScratch, Rpls,
+};
+use rpls::graph::{generators, NodeId};
+use rpls_core::CompiledRpls;
+
+/// Flips one mid-label bit of the first node with a non-empty label — a
+/// tampered replica the clean engine rejects with probability ≥ 1/2.
+fn tamper(labeling: &Labeling) -> Labeling {
+    let mut out = labeling.clone();
+    for v in 0..out.len() {
+        let label = out.get(NodeId::new(v));
+        if label.is_empty() {
+            continue;
+        }
+        let target = label.len() / 2;
+        let flipped: rpls::bits::BitString = label
+            .iter()
+            .enumerate()
+            .map(|(i, b)| if i == target { !b } else { b })
+            .collect();
+        out.set(NodeId::new(v), flipped);
+        break;
+    }
+    out
+}
+
+/// Structurally hostile labels: wrong widths, nothing parseable.
+fn garbage(config: &Configuration) -> Labeling {
+    Labeling::new(
+        (0..config.node_count())
+            .map(|i| rpls::bits::BitString::zeros(i % 5))
+            .collect(),
+    )
+}
+
+/// The fault specs the soundness sweep probes: each channel alone, a mixed
+/// plan, and the total-loss endpoints (rate exactly 1.0).
+fn hostile_specs() -> Vec<FaultSpec> {
+    vec![
+        FaultSpec::transparent().with_drop(0.3),
+        FaultSpec::transparent()
+            .with_corrupt(0.3)
+            .with_retry_budget(2),
+        FaultSpec::transparent().with_duplicate(0.5),
+        FaultSpec::transparent().with_crash(0.2),
+        FaultSpec::transparent()
+            .with_drop(0.2)
+            .with_corrupt(0.2)
+            .with_duplicate(0.2)
+            .with_crash(0.1)
+            .with_retry_budget(1),
+        FaultSpec::transparent().with_drop(1.0),
+        FaultSpec::transparent()
+            .with_corrupt(1.0)
+            .with_retry_budget(3),
+        FaultSpec::transparent().with_crash(1.0),
+    ]
+}
+
+const FAULT_SEED: u64 = 0xFA11_5EED;
+
+/// Zero-fault identity for one (scheme, labeling) pair: every faulted path
+/// under a transparent plan reproduces its clean twin bit for bit.
+fn check_transparent_identity<S: Pls + Clone>(
+    name: &str,
+    scheme: &CompiledRpls<S>,
+    config: &Configuration,
+    labeling: &Labeling,
+    cache: &mut PrepCache,
+) {
+    let trials = 48usize;
+    let seed = 0xC0FFu64;
+    let seeds: Vec<u64> = (0..trials)
+        .map(|t| stats::trial_seed(seed, t as u64))
+        .collect();
+    let plan = FaultPlan::new(FaultSpec::transparent(), FAULT_SEED);
+    assert!(plan.is_transparent());
+    let mut scratch = RoundScratch::new();
+
+    for mode in [StreamMode::EdgeIndependent, StreamMode::SharedPerNode] {
+        // Unprepared scalar entry point.
+        let clean =
+            engine::run_randomized_with(scheme, config, labeling, seeds[0], mode, &mut scratch);
+        let clean_votes: Vec<bool> = scratch.votes().to_vec();
+        let faulted = engine::run_randomized_faulted_with(
+            scheme,
+            config,
+            labeling,
+            seeds[0],
+            &plan,
+            mode,
+            &mut scratch,
+        );
+        assert_eq!(faulted.summary, clean, "{name}: unprepared summary");
+        assert_eq!(faulted.missing_messages(), 0);
+        assert_eq!(faulted.counts, Default::default());
+        for (verdict, vote) in faulted.verdicts.iter().zip(&clean_votes) {
+            assert_eq!(
+                *verdict,
+                if *vote {
+                    NodeVerdict::Accept
+                } else {
+                    NodeVerdict::Reject
+                },
+                "{name}: transparent verdicts mirror clean votes"
+            );
+        }
+
+        // Prepared scalar loop, against the sweep-shared cache.
+        let prepared = scheme.prepare_cached(config, labeling, trials, cache);
+        let scalar_clean: Vec<RoundSummary> = seeds
+            .iter()
+            .map(|&s| {
+                engine::run_randomized_prepared_with(&*prepared, config, s, mode, &mut scratch)
+            })
+            .collect();
+        for (&s, want) in seeds.iter().zip(&scalar_clean) {
+            let got = engine::run_randomized_prepared_faulted_with(
+                &*prepared,
+                config,
+                s,
+                &plan,
+                mode,
+                &mut scratch,
+            );
+            assert_eq!(&got.summary, want, "{name}: prepared scalar summary");
+            assert!(got.insufficient_nodes() == 0 && got.missing_messages() == 0);
+        }
+
+        // Batched trial loop (the compiled override's transparent branch).
+        let mut batched_clean: Vec<RoundSummary> = Vec::new();
+        engine::run_trials_batched_with(&*prepared, config, &seeds, mode, &mut scratch, &mut |s| {
+            batched_clean.push(s)
+        });
+        let mut batched_faulted: Vec<FaultedRoundSummary> = Vec::new();
+        engine::run_trials_faulted_with(
+            &*prepared,
+            config,
+            &seeds,
+            &plan,
+            mode,
+            &mut scratch,
+            &mut |s| batched_faulted.push(s),
+        );
+        let unwrapped: Vec<RoundSummary> = batched_faulted
+            .iter()
+            .inspect(|s| {
+                assert_eq!(s.insufficient_nodes, 0, "{name}: transparent batched");
+                assert_eq!(s.missing_messages, 0);
+                assert_eq!(s.counts, Default::default());
+            })
+            .map(|s| s.summary)
+            .collect();
+        assert_eq!(unwrapped, batched_clean, "{name}: batched summaries");
+
+        // Multiround schedules.
+        for rounds in [1usize, 2, 5] {
+            let mut multi_clean = Vec::new();
+            engine::run_multiround_trials_batched_with(
+                &*prepared,
+                config,
+                &seeds[..16],
+                rounds,
+                mode,
+                &mut scratch,
+                &mut |s| multi_clean.push(s),
+            );
+            let mut multi_faulted: Vec<FaultedMultiRoundSummary> = Vec::new();
+            engine::run_multiround_trials_faulted_with(
+                &*prepared,
+                config,
+                &seeds[..16],
+                rounds,
+                &plan,
+                mode,
+                &mut scratch,
+                &mut |s| multi_faulted.push(s),
+            );
+            for (got, want) in multi_faulted.iter().zip(&multi_clean) {
+                assert_eq!(&got.summary, want, "{name}: multiround t={rounds}");
+                assert_eq!(got.missing_messages, 0);
+            }
+        }
+    }
+
+    // The faulted estimator under a transparent plan reproduces the clean
+    // estimate exactly (same per-trial seeds, same engine).
+    let clean_p = stats::acceptance_probability(scheme, config, labeling, trials, seed);
+    let faulted_p = stats::acceptance_under_faults(scheme, config, labeling, trials, seed, &plan);
+    assert_eq!(faulted_p.acceptance(), clean_p, "{name}: estimator");
+    assert_eq!(faulted_p.degraded_trials, 0);
+    assert_eq!(faulted_p.counts, Default::default());
+}
+
+/// Soundness preservation for one (scheme, labeling) pair: under every
+/// hostile spec, a faulted trial accepts only if the clean trial with the
+/// same seed accepts — and the batched faulted path agrees verdict-for-
+/// verdict with the scalar faulted reference.
+fn check_soundness<S: Pls + Clone>(
+    name: &str,
+    scheme: &CompiledRpls<S>,
+    config: &Configuration,
+    labeling: &Labeling,
+    cache: &mut PrepCache,
+) {
+    let trials = 32usize;
+    let seed = 0x50FAu64;
+    let seeds: Vec<u64> = (0..trials)
+        .map(|t| stats::trial_seed(seed, t as u64))
+        .collect();
+    let mut scratch = RoundScratch::new();
+    let prepared = scheme.prepare_cached(config, labeling, trials, cache);
+    let mode = StreamMode::EdgeIndependent;
+
+    let clean: Vec<RoundSummary> = seeds
+        .iter()
+        .map(|&s| engine::run_randomized_prepared_with(&*prepared, config, s, mode, &mut scratch))
+        .collect();
+
+    for spec in hostile_specs() {
+        let plan = FaultPlan::new(spec, FAULT_SEED);
+
+        // Scalar faulted reference, and the batched override against it.
+        let scalar: Vec<FaultedRoundSummary> = seeds
+            .iter()
+            .map(|&s| {
+                engine::run_randomized_prepared_faulted_with(
+                    &*prepared,
+                    config,
+                    s,
+                    &plan,
+                    mode,
+                    &mut scratch,
+                )
+                .compact()
+            })
+            .collect();
+        let mut batched: Vec<FaultedRoundSummary> = Vec::new();
+        engine::run_trials_faulted_with(
+            &*prepared,
+            config,
+            &seeds,
+            &plan,
+            mode,
+            &mut scratch,
+            &mut |s| batched.push(s),
+        );
+        assert_eq!(
+            scalar, batched,
+            "{name}: scalar vs batched faulted ({spec:?})"
+        );
+
+        for ((faulted, cl), &s) in scalar.iter().zip(&clean).zip(&seeds) {
+            // The load-bearing invariant: faults never flip reject → accept.
+            assert!(
+                !faulted.summary.accepted || cl.accepted,
+                "{name}: faulted trial accepted a clean-rejected run (seed {s:#x}, {spec:?})"
+            );
+            // And a node missing input always rejects conservatively.
+            assert!(
+                !(faulted.missing_messages > 0 && faulted.summary.accepted),
+                "{name}: accepted despite missing input (seed {s:#x}, {spec:?})"
+            );
+        }
+
+        // The multiround schedules obey the same one-sided contract.
+        for rounds in [1usize, 3] {
+            let mut multi: Vec<FaultedMultiRoundSummary> = Vec::new();
+            engine::run_multiround_trials_faulted_with(
+                &*prepared,
+                config,
+                &seeds[..12],
+                rounds,
+                &plan,
+                mode,
+                &mut scratch,
+                &mut |s| multi.push(s),
+            );
+            let mut multi_clean = Vec::new();
+            engine::run_multiround_trials_batched_with(
+                &*prepared,
+                config,
+                &seeds[..12],
+                rounds,
+                mode,
+                &mut scratch,
+                &mut |s| multi_clean.push(s),
+            );
+            for (f, cl) in multi.iter().zip(&multi_clean) {
+                assert!(
+                    !f.summary.accepted || cl.accepted,
+                    "{name}: multiround t={rounds} soundness ({spec:?})"
+                );
+                assert!(
+                    f.summary.decided_round <= cl.decided_round,
+                    "{name}: a fault can only advance the decision round"
+                );
+                assert!(!(f.missing_messages > 0 && f.summary.accepted));
+            }
+        }
+    }
+}
+
+/// Runs both contract checks for one scheme over honest, tampered, and
+/// garbage labelings, sharing one preparation cache across the sweep.
+fn contracts<S: Pls + Clone>(name: &str, inner: S, config: &Configuration) {
+    let scheme = CompiledRpls::new(inner);
+    let mut cache = PrepCache::new();
+    let honest = Rpls::label(&scheme, config);
+    for labeling in [honest.clone(), tamper(&honest), garbage(config)] {
+        check_transparent_identity(name, &scheme, config, &labeling, &mut cache);
+        check_soundness(name, &scheme, config, &labeling, &mut cache);
+    }
+}
+
+#[test]
+fn every_scheme_survives_fault_injection() {
+    use rpls::schemes::*;
+    let plain5 = Configuration::plain(generators::cycle(5));
+    let path5 = Configuration::plain(generators::path(5));
+    let cyc6 = Configuration::plain(generators::cycle(6));
+
+    contracts("acyclicity", acyclicity::AcyclicityPls::new(), &path5);
+    contracts(
+        "biconnectivity",
+        biconnectivity::BiconnectivityPls::new(),
+        &plain5,
+    );
+    contracts(
+        "coloring",
+        coloring::ColoringPls::new(),
+        &coloring::greedy_coloring_config(&plain5),
+    );
+    contracts(
+        "cycle_at_least",
+        cycle_at_least::CycleAtLeastPls::new(4),
+        &plain5,
+    );
+    contracts(
+        "leader",
+        leader::LeaderPls::new(),
+        &leader::leader_config(&plain5, NodeId::new(2)),
+    );
+    contracts(
+        "spanning_tree",
+        rpls::schemes::spanning_tree::SpanningTreePls::new(),
+        &rpls::schemes::spanning_tree::spanning_tree_config(&plain5, NodeId::new(0)),
+    );
+    contracts(
+        "uniformity",
+        uniformity::UniformityPls::new(),
+        &uniformity::uniform_config(&plain5, &rpls::bits::BitString::zeros(16)),
+    );
+    contracts(
+        "mst",
+        mst::MstPls::new(),
+        &mst::mst_config(&Configuration::plain(
+            generators::cycle(5).with_weights(&[4, 1, 5, 2, 3]),
+        )),
+    );
+    contracts(
+        "flow",
+        flow::FlowPls::new(flow::FlowPredicate::new(0, 3, 2)),
+        &cyc6,
+    );
+    contracts(
+        "vertex_connectivity",
+        vertex_connectivity::StConnectivityPls::new(
+            vertex_connectivity::StConnectivityPredicate::new(0, 3, 2),
+        ),
+        &cyc6,
+    );
+    contracts(
+        "cycle_at_most",
+        cycle_at_most::cycle_at_most_pls(6),
+        &plain5,
+    );
+    contracts("symmetry", symmetry::symmetry_pls(), &path5);
+}
+
+/// A node that lost input votes `InsufficientInput` — and on an honest
+/// labeling (clean engine accepts with probability 1) the faulted verdict
+/// is accept exactly when no message went missing.
+#[test]
+fn honest_acceptance_degrades_exactly_with_missing_input() {
+    let config = rpls::schemes::spanning_tree::spanning_tree_config(
+        &Configuration::plain(generators::cycle(16)),
+        NodeId::new(0),
+    );
+    let scheme = CompiledRpls::new(rpls::schemes::spanning_tree::SpanningTreePls::new());
+    let labeling = Rpls::label(&scheme, &config);
+    // 5% per message over 32 directed ports: ≈ 19% of trials deliver
+    // everything, so 64 trials all but surely see both outcomes.
+    let plan = FaultPlan::new(FaultSpec::transparent().with_drop(0.05), 99);
+    let mut scratch = RoundScratch::new();
+    let mut saw_degraded = false;
+    let mut saw_intact = false;
+    for trial in 0..64u64 {
+        let summary = engine::run_randomized_faulted_with(
+            &scheme,
+            &config,
+            &labeling,
+            stats::trial_seed(5, trial),
+            &plan,
+            StreamMode::EdgeIndependent,
+            &mut scratch,
+        );
+        assert_eq!(
+            summary.accepted(),
+            summary.missing_messages() == 0,
+            "honest run: acceptance == full delivery"
+        );
+        for (verdict, &miss) in summary.verdicts.iter().zip(&summary.missing) {
+            assert_eq!(
+                matches!(verdict, NodeVerdict::InsufficientInput),
+                miss > 0,
+                "InsufficientInput exactly on the nodes that lost input"
+            );
+        }
+        saw_degraded |= summary.missing_messages() > 0;
+        saw_intact |= summary.missing_messages() == 0;
+    }
+    assert!(
+        saw_degraded && saw_intact,
+        "a 5% drop rate over 64 trials should produce both outcomes"
+    );
+}
+
+/// Total-loss endpoints are exact, not approximate: crash rate 1.0 silences
+/// every channel (zero bits on the wire), drop rate 1.0 loses every message
+/// but still pays for the transmission.
+#[test]
+fn endpoint_rates_silence_or_lose_everything() {
+    let config = rpls::schemes::spanning_tree::spanning_tree_config(
+        &Configuration::plain(generators::cycle(8)),
+        NodeId::new(0),
+    );
+    let scheme = CompiledRpls::new(rpls::schemes::spanning_tree::SpanningTreePls::new());
+    let labeling = Rpls::label(&scheme, &config);
+    let mut scratch = RoundScratch::new();
+    let ports = config.port_count();
+
+    let crash_all = FaultPlan::new(FaultSpec::transparent().with_crash(1.0), 7);
+    let s = engine::run_randomized_faulted_with(
+        &scheme,
+        &config,
+        &labeling,
+        42,
+        &crash_all,
+        StreamMode::EdgeIndependent,
+        &mut scratch,
+    );
+    assert!(!s.accepted());
+    assert_eq!(s.counts.crashed_nodes, config.node_count());
+    assert_eq!(s.missing_messages(), ports);
+    assert_eq!(
+        s.summary.total_certificate_bits, 0,
+        "crashed senders are silent"
+    );
+
+    let drop_all = FaultPlan::new(FaultSpec::transparent().with_drop(1.0), 7);
+    let s = engine::run_randomized_faulted_with(
+        &scheme,
+        &config,
+        &labeling,
+        42,
+        &drop_all,
+        StreamMode::EdgeIndependent,
+        &mut scratch,
+    );
+    assert!(!s.accepted());
+    assert_eq!(s.counts.dropped, ports);
+    assert_eq!(s.missing_messages(), ports);
+    assert!(
+        s.summary.total_certificate_bits > 0,
+        "dropped messages were still transmitted"
+    );
+}
+
+/// The multiround resend schedule: a retry budget can only recover
+/// messages (missing never increases) and every retry is paid for in
+/// `total_bits`.
+#[test]
+fn retries_recover_messages_and_cost_bits() {
+    let config = rpls::schemes::spanning_tree::spanning_tree_config(
+        &Configuration::plain(generators::cycle(24)),
+        NodeId::new(0),
+    );
+    let scheme = CompiledRpls::new(rpls::schemes::spanning_tree::SpanningTreePls::new());
+    let labeling = Rpls::label(&scheme, &config);
+    let prepared = scheme.prepare(&config, &labeling, 8);
+    let mut scratch = RoundScratch::new();
+    let seeds: Vec<u64> = (0..8).map(|t| stats::trial_seed(11, t)).collect();
+
+    let run = |budget: usize, scratch: &mut RoundScratch| {
+        let plan = FaultPlan::new(
+            FaultSpec::transparent()
+                .with_corrupt(0.5)
+                .with_retry_budget(budget),
+            3,
+        );
+        let mut out: Vec<FaultedMultiRoundSummary> = Vec::new();
+        engine::run_multiround_trials_faulted_with(
+            &*prepared,
+            &config,
+            &seeds,
+            4,
+            &plan,
+            StreamMode::EdgeIndependent,
+            scratch,
+            &mut |s| out.push(s),
+        );
+        out
+    };
+    let without = run(0, &mut scratch);
+    let with = run(3, &mut scratch);
+    let retries: usize = with.iter().map(|s| s.counts.retries).sum();
+    assert!(retries > 0, "a 50% corrupt rate must trigger retries");
+    assert_eq!(without.iter().map(|s| s.counts.retries).sum::<usize>(), 0);
+    for (w, wo) in with.iter().zip(&without) {
+        assert!(
+            w.missing_messages <= wo.missing_messages,
+            "retries only recover messages"
+        );
+        assert!(
+            w.summary.total_bits >= wo.summary.total_bits,
+            "every retry transmission is accounted"
+        );
+    }
+    assert!(
+        with.iter().map(|s| s.missing_messages).sum::<usize>()
+            < without.iter().map(|s| s.missing_messages).sum::<usize>(),
+        "3 retries against 50% loss recover some messages over 8 trials"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replay determinism: the faulted engine is a pure function of
+    /// `(trial seed, fault seed, spec)` — both the scalar summary and the
+    /// batched trial block reproduce exactly.
+    #[test]
+    fn fault_schedules_replay_deterministically(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        drop_milli in 0u64..=1000,
+        corrupt_milli in 0u64..=1000,
+        crash_milli in 0u64..=500,
+        budget in 0usize..3,
+    ) {
+        let (drop, corrupt, crash) = (
+            drop_milli as f64 / 1000.0,
+            corrupt_milli as f64 / 1000.0,
+            crash_milli as f64 / 1000.0,
+        );
+        let config = rpls::schemes::spanning_tree::spanning_tree_config(
+            &Configuration::plain(generators::cycle(7)),
+            NodeId::new(0),
+        );
+        let scheme = CompiledRpls::new(rpls::schemes::spanning_tree::SpanningTreePls::new());
+        let labeling = Rpls::label(&scheme, &config);
+        let spec = FaultSpec::transparent()
+            .with_drop(drop)
+            .with_corrupt(corrupt)
+            .with_crash(crash)
+            .with_retry_budget(budget);
+        let plan_a = FaultPlan::new(spec, fault_seed);
+        let plan_b = FaultPlan::new(spec, fault_seed);
+        let mut scratch = RoundScratch::new();
+
+        let one = engine::run_randomized_faulted_with(
+            &scheme, &config, &labeling, seed, &plan_a,
+            StreamMode::EdgeIndependent, &mut scratch,
+        );
+        let two = engine::run_randomized_faulted_with(
+            &scheme, &config, &labeling, seed, &plan_b,
+            StreamMode::EdgeIndependent, &mut scratch,
+        );
+        prop_assert_eq!(one, two);
+
+        let prepared = scheme.prepare(&config, &labeling, 4);
+        let seeds: Vec<u64> = (0..4).map(|t| stats::trial_seed(seed, t)).collect();
+        let mut runs: [Vec<FaultedRoundSummary>; 2] = [Vec::new(), Vec::new()];
+        for block in &mut runs {
+            engine::run_trials_faulted_with(
+                &*prepared, &config, &seeds, &plan_a,
+                StreamMode::EdgeIndependent, &mut scratch, &mut |s| block.push(s),
+            );
+        }
+        let [first, second] = runs;
+        prop_assert_eq!(first, second);
+
+        let multi_a = engine::run_multiround_faulted_with(
+            &scheme, &config, &labeling, seed, 3, &plan_a,
+            StreamMode::EdgeIndependent, &mut scratch,
+        );
+        let multi_b = engine::run_multiround_faulted_with(
+            &scheme, &config, &labeling, seed, 3, &plan_b,
+            StreamMode::EdgeIndependent, &mut scratch,
+        );
+        prop_assert_eq!(multi_a, multi_b);
+    }
+}
