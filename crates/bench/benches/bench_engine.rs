@@ -29,7 +29,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rpls_bits::BitString;
-use rpls_core::engine::{self, mix_seed, StreamMode};
+use rpls_core::engine::{self, mix_seed, MessagePattern, StreamMode};
 use rpls_core::{
     CertView, CertificateBuffer, CompiledRpls, Configuration, DetView, Labeling, Pls, PrepCache,
     RandView, Received, RoundScratch, Rpls,
@@ -958,12 +958,156 @@ fn bench_faults(results: &mut Vec<FaultRow>) {
     }
 }
 
+/// One row of the message-pattern sweep: the `(messages, bits-per-round,
+/// total-bits)` economics of the compiled spanning tree under one
+/// [`MessagePattern`], on a sparse and a dense graph. The gate enforces
+/// `per_port_identical` (the per-port pattern reproduces the pre-pattern
+/// estimator and bit accounting exactly — a correctness bit, independent
+/// of machine speed) and that unicast's `total_bits` never exceeds
+/// per-port's on the same graph.
+struct PatternRow {
+    graph: &'static str,
+    pattern: &'static str,
+    trials: usize,
+    /// Maximum distinct messages any node sends per round.
+    messages: usize,
+    max_bits_per_round: usize,
+    total_bits: usize,
+    secs: f64,
+    honest_estimate: f64,
+    /// Per-port rows only: estimate and bit accounting identical to the
+    /// pre-pattern batched path within this run.
+    per_port_identical: Option<bool>,
+}
+
+fn bench_patterns(results: &mut Vec<PatternRow>) {
+    let seed = 0x9A77u64;
+    let trials = if smoke_mode() { 2_000 } else { 10_000 };
+    let patterns: [(&'static str, MessagePattern); 5] = [
+        ("per_port", MessagePattern::PerPort),
+        ("broadcast", MessagePattern::Broadcast),
+        ("unicast", MessagePattern::Unicast),
+        ("k2", MessagePattern::KMessages(2)),
+        ("k4", MessagePattern::KMessages(4)),
+    ];
+    // The sparse workload (Δ = 2) and a dense one (Δ = 63), where the
+    // broadcast/k-messages slot sharing actually bites.
+    let workloads: [(&'static str, Configuration); 2] = [
+        (
+            "cycle256",
+            spanning_tree_config(
+                &Configuration::plain(generators::cycle(256)),
+                rpls_graph::NodeId::new(0),
+            ),
+        ),
+        (
+            "clique64",
+            spanning_tree_config(
+                &Configuration::plain(generators::complete(64)),
+                rpls_graph::NodeId::new(0),
+            ),
+        ),
+    ];
+    let scheme = CompiledRpls::new(SpanningTreePls::new());
+    let mut scratch = RoundScratch::new();
+    let mut cache = PrepCache::new();
+    for (graph, config) in &workloads {
+        let honest = Rpls::label(&scheme, config);
+        // The pre-pattern reference: the legacy estimator and the legacy
+        // one-round bit accounting.
+        let reference =
+            rpls_core::stats::acceptance_probability(&scheme, config, &honest, trials, seed);
+        let reference_summary = engine::run_randomized_with(
+            &scheme,
+            config,
+            &honest,
+            1,
+            StreamMode::EdgeIndependent,
+            &mut scratch,
+        );
+        let prepared = scheme.prepare_cached(config, &honest, trials, &mut cache);
+        let mut per_port_total = usize::MAX;
+        for (name, pattern) in patterns {
+            let cost = prepared
+                .pattern_cost(pattern, 1)
+                .expect("compiled schemes know their pattern economics");
+            let mut secs = f64::INFINITY;
+            let mut honest_estimate = 0.0;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                honest_estimate = rpls_core::stats::acceptance_probability_patterned_cached(
+                    &scheme,
+                    config,
+                    &honest,
+                    trials,
+                    seed,
+                    pattern,
+                    &mut scratch,
+                    &mut cache,
+                );
+                secs = secs.min(t0.elapsed().as_secs_f64());
+            }
+            let per_port_identical = (pattern == MessagePattern::PerPort).then_some(
+                honest_estimate == reference
+                    && cost.max_bits_per_round == reference_summary.max_certificate_bits
+                    && cost.total_bits == reference_summary.total_certificate_bits,
+            );
+            if pattern == MessagePattern::PerPort {
+                per_port_total = cost.total_bits;
+            }
+            let row = PatternRow {
+                graph,
+                pattern: name,
+                trials,
+                messages: cost.messages,
+                max_bits_per_round: cost.max_bits_per_round,
+                total_bits: cost.total_bits,
+                secs,
+                honest_estimate,
+                per_port_identical,
+            };
+            println!(
+                "bench: patterns/{graph}/{name} ... {} msgs | {} bits/round | {} total bits | \
+                 honest {honest_estimate} in {secs:.4}s",
+                row.messages, row.max_bits_per_round, row.total_bits,
+            );
+            assert!(
+                honest_estimate == 1.0,
+                "patterns/{graph}/{name}: honest estimate {honest_estimate} (completeness must \
+                 survive every pattern)"
+            );
+            if let Some(identical) = row.per_port_identical {
+                assert!(
+                    identical,
+                    "patterns/{graph}: per-port must reproduce the pre-pattern engine"
+                );
+            }
+            if pattern == MessagePattern::Broadcast {
+                assert_eq!(
+                    row.messages, 1,
+                    "patterns/{graph}: broadcast must emit exactly one message per node per round"
+                );
+            }
+            if pattern == MessagePattern::Unicast {
+                assert!(
+                    row.total_bits < per_port_total,
+                    "patterns/{graph}: unicast total bits {} must strictly undercut per-port's \
+                     {per_port_total}",
+                    row.total_bits,
+                );
+            }
+            results.push(row);
+        }
+    }
+}
+
 fn write_json(
     rows: &[MatrixRow],
     acceptance: &[AcceptanceResult],
     sweeps: &[SweepResult],
     tradeoff: &[TradeoffRow],
     faults: &[FaultRow],
+    patterns: &[PatternRow],
 ) {
     let mut out = String::new();
     let _ = writeln!(
@@ -1093,6 +1237,33 @@ fn write_json(
             if i + 1 == faults.len() { "" } else { "," }
         );
     }
+    // The message-pattern sweep: resource triples of the compiled spanning
+    // tree across the broadcast/unicast/k-messages spectrum. The gate
+    // enforces `per_port_identical` and the unicast ≤ per-port total-bits
+    // ordering on every current run; the triples themselves are
+    // labeling-static and recorded for the trajectory.
+    out.push_str("  ],\n  \"patterns\": [\n");
+    for (i, r) in patterns.iter().enumerate() {
+        let identical_field = r
+            .per_port_identical
+            .map_or(String::new(), |b| format!(", \"per_port_identical\": {b}"));
+        let _ = writeln!(
+            out,
+            "    {{\"graph\": \"{}\", \"pattern\": \"{}\", \"trials\": {}, \"messages\": {}, \
+             \"max_bits_per_round\": {}, \"total_bits\": {}, \"secs\": {:.4}, \
+             \"honest_estimate\": {}{}}}{}",
+            r.graph,
+            r.pattern,
+            r.trials,
+            r.messages,
+            r.max_bits_per_round,
+            r.total_bits,
+            r.secs,
+            r.honest_estimate,
+            identical_field,
+            if i + 1 == patterns.len() { "" } else { "," }
+        );
+    }
     out.push_str("  ]\n}\n");
 
     let file = if smoke_mode() {
@@ -1111,12 +1282,14 @@ fn bench_engine(c: &mut Criterion) {
     let mut sweeps = Vec::new();
     let mut tradeoff = Vec::new();
     let mut faults = Vec::new();
+    let mut patterns = Vec::new();
     bench_round_matrix(c, &mut rows);
     bench_acceptance_10k(&mut acceptance);
     bench_adversary_sweep(&mut sweeps);
     bench_tradeoff(&mut tradeoff);
     bench_faults(&mut faults);
-    write_json(&rows, &acceptance, &sweeps, &tradeoff, &faults);
+    bench_patterns(&mut patterns);
+    write_json(&rows, &acceptance, &sweeps, &tradeoff, &faults, &patterns);
 }
 
 criterion_group!(benches, bench_engine);

@@ -42,9 +42,13 @@ impl Row {
     /// The row's identity within `section`: `family/n` for the round
     /// matrix, the scheme name for the acceptance table, `scheme/t` for
     /// the per-round-count trade-off rows, `kind/rate` for the
-    /// fault-tolerance sweep.
+    /// fault-tolerance sweep, `graph/pattern` for the message-pattern
+    /// sweep.
     #[must_use]
     pub fn key(&self) -> String {
+        if let (Some(g), Some(p)) = (self.tags.get("graph"), self.tags.get("pattern")) {
+            return format!("{g}/{p}");
+        }
         match (
             self.tags.get("family"),
             self.tags.get("scheme"),
@@ -115,16 +119,22 @@ fn rows(array: &str) -> Vec<Row> {
     out
 }
 
+/// The five row tables of one bench JSON, in emission order: round
+/// matrix, acceptance table, trade-off sweep, fault sweep, pattern sweep.
+pub type Sections = (Vec<Row>, Vec<Row>, Vec<Row>, Vec<Row>, Vec<Row>);
+
 /// Parses one bench JSON into its row tables: the round matrix, the
-/// acceptance table, the t-round trade-off sweep, and the fault-tolerance
-/// sweep (the latter two empty for JSONs predating their sections).
+/// acceptance table, the t-round trade-off sweep, the fault-tolerance
+/// sweep, and the message-pattern sweep (the latter three empty for
+/// JSONs predating their sections).
 #[must_use]
-pub fn parse(json: &str) -> (Vec<Row>, Vec<Row>, Vec<Row>, Vec<Row>) {
+pub fn parse(json: &str) -> Sections {
     (
         rows(section(json, "round_matrix")),
         rows(section(json, "acceptance_probability_cycle256")),
         rows(section(json, "tradeoff")),
         rows(section(json, "faults")),
+        rows(section(json, "patterns")),
     )
 }
 
@@ -193,8 +203,8 @@ pub fn check(current: &str, reference: &str, max_regress: f64) -> GateReport {
         max_regress.is_finite() && max_regress > 0.0,
         "max_regress must be positive"
     );
-    let (cur_matrix, cur_acc, cur_tradeoff, cur_faults) = parse(current);
-    let (ref_matrix, ref_acc, ref_tradeoff, _) = parse(reference);
+    let (cur_matrix, cur_acc, cur_tradeoff, cur_faults, cur_patterns) = parse(current);
+    let (ref_matrix, ref_acc, ref_tradeoff, _, _) = parse(reference);
     let mut report = GateReport::default();
 
     // One comparison: the named value must not sit more than `max_regress`
@@ -302,6 +312,45 @@ pub fn check(current: &str, reference: &str, max_regress: f64) -> GateReport {
             report
                 .failures
                 .push(format!("{}: soundness_preserved is false", row.key()));
+        }
+    }
+    // The message-pattern sweep is gated on correctness bits and on its
+    // deterministic bit accounting, never on timing. `per_port_identical`
+    // says the per-port pattern reproduced the legacy engine's estimate
+    // and bit totals exactly — transcript identity at any speed. And on
+    // each graph unicast must not account more total bits than per-port:
+    // the half-width message (sender ships only the evaluation, the point
+    // is shared) is the entire content of that pattern.
+    for row in &cur_patterns {
+        if row.nums.get("per_port_identical") == Some(&0.0) {
+            report
+                .failures
+                .push(format!("{}: per_port_identical is false", row.key()));
+        }
+    }
+    for row in &cur_patterns {
+        if row.tags.get("pattern").map(String::as_str) != Some("unicast") {
+            continue;
+        }
+        let per_port_bits = row.tags.get("graph").and_then(|graph| {
+            cur_patterns
+                .iter()
+                .find(|r| {
+                    r.tags.get("graph") == Some(graph)
+                        && r.tags.get("pattern").map(String::as_str) == Some("per_port")
+                })
+                .and_then(|r| r.nums.get("total_bits").copied())
+        });
+        let (Some(&unicast_bits), Some(per_port_bits)) =
+            (row.nums.get("total_bits"), per_port_bits)
+        else {
+            continue;
+        };
+        if unicast_bits > per_port_bits {
+            report.failures.push(format!(
+                "{}: unicast total_bits {unicast_bits} exceeds per_port {per_port_bits}",
+                row.key()
+            ));
         }
     }
     report
@@ -476,7 +525,7 @@ mod tests {
     #[test]
     fn tradeoff_rows_are_keyed_by_scheme_and_t() {
         let json = with_tradeoff(&sample(300000.0, 20.0, Some(50.0), true), 16.0, true);
-        let (_, _, tradeoff, _) = parse(&json);
+        let (_, _, tradeoff, _, _) = parse(&json);
         assert_eq!(tradeoff.len(), 2);
         assert_eq!(tradeoff[0].key(), "exchange_spanning_tree/t=1");
         assert_eq!(tradeoff[1].key(), "exchange_spanning_tree/t=16");
@@ -522,7 +571,7 @@ mod tests {
         // The committed reference itself must parse: guard against the
         // emitter and the parser drifting apart.
         let json = include_str!("../../../BENCH_engine.json");
-        let (matrix, acc, tradeoff, faults) = parse(json);
+        let (matrix, acc, tradeoff, faults, patterns) = parse(json);
         assert!(matrix.len() >= 9);
         assert!(acc.len() >= 2);
         assert!(matrix[0].nums.contains_key("rand_rounds_per_sec"));
@@ -558,6 +607,24 @@ mod tests {
                 .any(|r| r.nums.get("zero_fault_identical") == Some(&1.0)),
             "the transparent row must carry its identity bit"
         );
+        assert!(
+            patterns.len() >= 10,
+            "committed reference must include the message-pattern sweep"
+        );
+        assert!(
+            patterns.iter().all(
+                |r| r.tags.get("pattern").map(String::as_str) != Some("per_port")
+                    || r.nums.get("per_port_identical") == Some(&1.0)
+            ),
+            "every committed per_port row must carry its identity bit"
+        );
+        assert!(
+            patterns.iter().all(
+                |r| r.tags.get("pattern").map(String::as_str) != Some("broadcast")
+                    || r.nums.get("messages") == Some(&1.0)
+            ),
+            "every committed broadcast row must emit one message per node"
+        );
         let report = check(json, json, 2.0);
         assert!(report.failures.is_empty(), "{:?}", report.failures);
     }
@@ -584,7 +651,7 @@ mod tests {
     #[test]
     fn fault_rows_are_keyed_by_kind_and_rate() {
         let json = with_faults(&sample(300000.0, 20.0, Some(50.0), true), true, true);
-        let (_, _, _, faults) = parse(&json);
+        let (_, _, _, faults, _) = parse(&json);
         assert_eq!(faults.len(), 2);
         assert_eq!(faults[0].key(), "none/rate=0");
         assert_eq!(faults[1].key(), "drop/rate=0.005");
@@ -613,5 +680,67 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.contains("drop/rate=0.005") && f.contains("soundness_preserved")));
+    }
+
+    /// A bench JSON with a `patterns` section: one graph's per-port row
+    /// (carrying `per_port_identical`), its unicast row with the given
+    /// `total_bits`, and a broadcast row.
+    fn with_patterns(base: &str, per_port_identical: bool, unicast_bits: u64) -> String {
+        let patterns = format!(
+            ",\n  \"patterns\": [\n    {{\"graph\": \"cycle256\", \"pattern\": \"per_port\", \
+             \"trials\": 10000, \"messages\": 2, \"max_bits_per_round\": 14, \
+             \"total_bits\": 7168, \"secs\": 0.01, \"honest_estimate\": 1, \
+             \"per_port_identical\": {per_port_identical}}},\n    {{\"graph\": \"cycle256\", \
+             \"pattern\": \"unicast\", \"trials\": 10000, \"messages\": 2, \
+             \"max_bits_per_round\": 7, \"total_bits\": {unicast_bits}, \"secs\": 0.01, \
+             \"honest_estimate\": 1}},\n    {{\"graph\": \"cycle256\", \"pattern\": \
+             \"broadcast\", \"trials\": 10000, \"messages\": 1, \"max_bits_per_round\": 14, \
+             \"total_bits\": 3584, \"secs\": 0.01, \"honest_estimate\": 1}}\n  ]"
+        );
+        let at = base.rfind("\n}").expect("object close");
+        let mut out = String::from(&base[..at]);
+        out.push_str(&patterns);
+        out.push_str(&base[at..]);
+        out
+    }
+
+    #[test]
+    fn pattern_rows_are_keyed_by_graph_and_pattern() {
+        let json = with_patterns(&sample(300000.0, 20.0, Some(50.0), true), true, 3584);
+        let (_, _, _, _, patterns) = parse(&json);
+        assert_eq!(patterns.len(), 3);
+        assert_eq!(patterns[0].key(), "cycle256/per_port");
+        assert_eq!(patterns[1].key(), "cycle256/unicast");
+        assert_eq!(patterns[2].key(), "cycle256/broadcast");
+        // A healthy file passes against itself and against a pre-patterns
+        // reference (new sections never break the gate).
+        assert!(check(&json, &json, 2.0).failures.is_empty());
+        let pre_patterns = sample(300000.0, 20.0, Some(50.0), true);
+        assert!(check(&json, &pre_patterns, 2.0).failures.is_empty());
+    }
+
+    #[test]
+    fn per_port_divergence_fails_regardless_of_speed() {
+        let cur = with_patterns(&sample(300000.0, 20.0, Some(50.0), true), false, 3584);
+        let report = check(&cur, &cur, 2.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("cycle256/per_port") && f.contains("per_port_identical")));
+    }
+
+    #[test]
+    fn unicast_bit_inflation_fails_regardless_of_speed() {
+        // Unicast accounting more bits than per-port means the half-width
+        // message was lost somewhere — fail at any speed.
+        let cur = with_patterns(&sample(300000.0, 20.0, Some(50.0), true), true, 9000);
+        let report = check(&cur, &cur, 2.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("cycle256/unicast") && f.contains("exceeds per_port")));
+        // At or below the per-port total it passes.
+        let ok = with_patterns(&sample(300000.0, 20.0, Some(50.0), true), true, 7168);
+        assert!(check(&ok, &ok, 2.0).failures.is_empty());
     }
 }

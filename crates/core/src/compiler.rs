@@ -65,12 +65,14 @@
 //! batched kernel.
 
 use crate::buffer::{Received, RoundScratch};
-use crate::engine::{multiround_seed, MultiRoundSummary, RoundSummary, StreamMode};
+use crate::engine::{
+    multiround_seed, MessagePattern, MultiRoundSummary, PatternCost, RoundSummary, StreamMode,
+};
 use crate::fault::{
     DeliveryOutcome, FaultCounts, FaultPlan, FaultedMultiRoundSummary, FaultedRoundSummary,
 };
 use crate::labeling::Labeling;
-use crate::prep::{CachedLabel, CachedReplication, PrepCache};
+use crate::prep::{CachedLabel, CachedReplication, EqStore, PrepCache};
 use crate::rng::{edge_stream_first_word, node_stream_word};
 use crate::scheme::{CertView, DetView, ErrorSides, Pls, PreparedRpls, RandView, Rpls};
 use crate::state::Configuration;
@@ -317,6 +319,7 @@ impl<S: Pls> Rpls for CompiledRpls<S> {
             config,
             labeling,
             rounds_hint,
+            store: cache.store_handle(),
             nodes,
             plan,
             multiround_plans: RefCell::new(Vec::new()),
@@ -324,7 +327,42 @@ impl<S: Pls> Rpls for CompiledRpls<S> {
     }
 }
 
-impl PrepCache {
+/// The closed-form `(messages, bits-per-round, total-bits)` accounting of
+/// a compiled scheme under `pattern`, from per-node `(message width,
+/// degree, covered rounds)` dimensions. One message per slot: a node of
+/// degree `d` sends [`MessagePattern::slots`]`(d)` distinct messages in
+/// each of its covered rounds, each of its protocol's width — halved for
+/// [`MessagePattern::Unicast`], where Filtser–Fischer-style shared public
+/// randomness lets the sender omit the evaluation point `x` and ship only
+/// `P(x)` (half of the `(x, P(x))` pair).
+fn pattern_cost_from_dims(
+    pattern: MessagePattern,
+    dims: impl Iterator<Item = (usize, usize, usize)>,
+) -> PatternCost {
+    let mut messages = 0usize;
+    let mut max_bits_per_round = 0usize;
+    let mut total_bits = 0usize;
+    for (width, degree, covered) in dims {
+        let slots = pattern.slots(degree);
+        let width = if pattern == MessagePattern::Unicast {
+            width / 2
+        } else {
+            width
+        };
+        messages = messages.max(slots);
+        if degree > 0 {
+            max_bits_per_round = max_bits_per_round.max(width);
+        }
+        total_bits += slots * width * covered;
+    }
+    PatternCost {
+        messages,
+        max_bits_per_round,
+        total_bits,
+    }
+}
+
+impl EqStore {
     /// The shared fingerprint preparation for `input` under `proto`,
     /// preparing (and, budget permitting, retaining) it on first sight.
     /// `None` iff `input` is longer than the protocol's λ.
@@ -362,7 +400,7 @@ impl PrepCache {
             return Some(prep);
         }
         self.misses += 1;
-        let cost = Self::key_cost(key.1.len());
+        let cost = PrepCache::key_cost(key.1.len());
         if self.key_bits < cost && cost <= PrepCache::KEY_BITS_BUDGET {
             self.begin_epoch();
         }
@@ -396,28 +434,34 @@ impl PrepCache {
             }
         }
     }
+}
 
+impl PrepCache {
     /// The shared preparation of one replicated label: parse results and
     /// per-part fingerprints, keyed by the label's bits. Built on first
     /// sight, retained while the key budget lasts.
     fn label_prep(&mut self, label: &BitString, rounds_hint: usize) -> Rc<CachedLabel> {
+        self.sync_labels();
         if let Some(hit) = self.labels.get(label) {
             let prep = Rc::clone(hit);
-            self.hits += 1;
-            self.upgrade_tables(&prep, rounds_hint);
+            let mut store = self.store.borrow_mut();
+            store.hits += 1;
+            store.upgrade_tables(&prep, rounds_hint);
             return prep;
         }
-        self.misses += 1;
+        self.store.borrow_mut().misses += 1;
         // Prover side: the (κ, own-label) prefix. A malformed prefix keeps
         // the unprepared behaviour — empty certificates, no randomness
         // drawn.
         let prover = parse_own_label(label).map(|(kappa, own)| {
-            self.eq_prep(
-                &EqProtocol::for_length(LEN_BITS as usize + kappa),
-                length_prefixed(&own),
-                rounds_hint,
-            )
-            .expect("own label length is bounded by κ")
+            self.store
+                .borrow_mut()
+                .eq_prep(
+                    &EqProtocol::for_length(LEN_BITS as usize + kappa),
+                    length_prefixed(&own),
+                    rounds_hint,
+                )
+                .expect("own label length is bounded by κ")
         });
         // Verifier side: the full replication, with one prepared
         // fingerprint per claimed neighbor copy. Whether the arity fits a
@@ -430,7 +474,9 @@ impl PrepCache {
                 let ports = parts[1..]
                     .iter()
                     .map(|part| {
-                        self.eq_prep(&proto, length_prefixed(part), rounds_hint)
+                        self.store
+                            .borrow_mut()
+                            .eq_prep(&proto, length_prefixed(part), rounds_hint)
                             .expect("claimed copy length is bounded by κ")
                     })
                     .collect();
@@ -448,14 +494,22 @@ impl PrepCache {
             replication,
         });
         let cost = Self::key_cost(label.len());
-        if self.key_bits < cost && cost <= PrepCache::KEY_BITS_BUDGET {
-            // Epoch turnover (see `eq_prep`). This label's own fingerprint
-            // entries, created just above, are wiped with the rest — the
-            // Rcs in `prep` keep them alive, only future sharing restarts.
-            self.begin_epoch();
+        {
+            let mut store = self.store.borrow_mut();
+            if store.key_bits < cost && cost <= PrepCache::KEY_BITS_BUDGET {
+                // Epoch turnover (see `EqStore::eq_prep`). This label's
+                // own fingerprint entries, created just above, are wiped
+                // with the rest — the Rcs in `prep` keep them alive, only
+                // future sharing restarts.
+                store.begin_epoch();
+            }
         }
-        if self.key_bits >= cost {
-            self.key_bits -= cost;
+        // An epoch may have turned just above or inside any `eq_prep`
+        // call; the label map must catch up before a retained insert.
+        self.sync_labels();
+        let mut store = self.store.borrow_mut();
+        if store.key_bits >= cost {
+            store.key_bits -= cost;
             self.labels.insert(label.clone(), Rc::clone(&prep));
         }
         prep
@@ -470,12 +524,12 @@ impl PrepCache {
 /// and the per-(edge, trial) loop is left with one SplitMix64 word, one
 /// reduction, and two polynomial probes.
 struct BatchPlan {
-    /// Largest certificate any round generates (every cert length is
+    /// Per-node `(message width, degree)` — the dimensions every
+    /// message-pattern cost formula needs (width 0 when the node's prover
+    /// prefix is malformed and it sends nothing). Every cert length is
     /// labeling-static: a node sends `message_bits` of its own protocol on
-    /// every port, or nothing when its prover prefix is malformed).
-    max_bits: usize,
-    /// Total certificate bits per round, over all directed edges.
-    total_bits: usize,
+    /// each of its slots, or nothing when its prover prefix is malformed.
+    dims: Vec<(usize, usize)>,
     /// One entry per node, parallel to `PreparedCompiled::nodes`.
     nodes: Vec<NodeBatch>,
 }
@@ -513,6 +567,19 @@ struct EdgeCheck {
     receiver: Rc<PreparedEq>,
 }
 
+impl EdgeCheck {
+    /// Which of the sender's distinct message slots this check's port
+    /// carries under `pattern` — the key of the probe word's stream (the
+    /// port itself for the per-port-keyed patterns; unused by broadcast,
+    /// which draws from the sender's node stream).
+    fn slot_under(&self, pattern: MessagePattern, g: &rpls_graph::Graph) -> u64 {
+        pattern.slot_of(
+            g.degree(NodeId::new(self.src_node as usize)),
+            self.src_port as usize,
+        ) as u64
+    }
+}
+
 impl BatchPlan {
     fn build(config: &Configuration, nodes: &[PreparedNode]) -> Self {
         let g = config.graph();
@@ -525,19 +592,14 @@ impl BatchPlan {
             let node = u32::try_from(v).expect("node index fits in u32");
             owner[port_base[v] as usize..port_base[v + 1] as usize].fill(node);
         }
-        let mut max_bits = 0usize;
-        let mut total_bits = 0usize;
+        let mut dims = Vec::with_capacity(nodes.len());
         for (v, n) in nodes.iter().enumerate() {
             let len = n
                 .label
                 .prover
                 .as_ref()
                 .map_or(0, |p| p.protocol().message_bits());
-            let degree = g.degree(NodeId::new(v));
-            if degree > 0 {
-                max_bits = max_bits.max(len);
-            }
-            total_bits += degree * len;
+            dims.push((len, g.degree(NodeId::new(v))));
         }
         let batch_nodes = nodes
             .iter()
@@ -591,8 +653,7 @@ impl BatchPlan {
             })
             .collect();
         Self {
-            max_bits,
-            total_bits,
+            dims,
             nodes: batch_nodes,
         }
     }
@@ -624,12 +685,11 @@ impl BatchPlan {
 /// SplitMix64 word plus two slice-polynomial probes. Plans are cached per
 /// `t` on the prepared instance.
 struct MultiRoundPlan {
-    /// Largest per-round certificate on any directed edge (round 0 always
-    /// carries a full slice message wherever anything is sent).
-    max_bits: usize,
-    /// Total bits over all directed edges and all rounds: each node sends
-    /// its slice-message width per port for each of its covered rounds.
-    total_bits: usize,
+    /// Per-node `(slice-message width, degree, covered rounds)` for the
+    /// message-pattern cost formulas (width and coverage 0 when the
+    /// node's prover prefix is malformed and it streams nothing). Round 0
+    /// always carries a full slice message wherever anything is sent.
+    dims: Vec<(usize, usize, usize)>,
     /// One entry per node.
     nodes: Vec<MultiNodeBatch>,
 }
@@ -675,6 +735,17 @@ struct MultiEdgeCheck {
     receiver: Rc<PreparedEq>,
 }
 
+impl MultiEdgeCheck {
+    /// Which of the sender's distinct message slots this check's port
+    /// carries under `pattern` (see [`EdgeCheck::slot_under`]).
+    fn slot_under(&self, pattern: MessagePattern, g: &rpls_graph::Graph) -> u64 {
+        pattern.slot_of(
+            g.degree(NodeId::new(self.src_node as usize)),
+            self.src_port as usize,
+        ) as u64
+    }
+}
+
 /// The prover-side slice schedule of one node: how its length-prefixed
 /// inner label streams across `t` rounds.
 struct SenderSchedule {
@@ -702,12 +773,6 @@ fn slice_of(lp: &BitString, r: usize, chunk: usize) -> BitString {
 }
 
 impl MultiRoundPlan {
-    /// Aggregate cap on lazy evaluation-table slots one plan may grant its
-    /// slice fingerprints — same budget shape as
-    /// [`PrepCache::TABLE_SLOT_BUDGET`], applied per plan because slice
-    /// preparations are per-instance, not cache-shared.
-    const TABLE_SLOT_BUDGET: u64 = PrepCache::TABLE_SLOT_BUDGET;
-
     fn build<S: Pls>(
         prepared: &PreparedCompiled<'_, S>,
         rounds: usize,
@@ -746,39 +811,28 @@ impl MultiRoundPlan {
             })
             .collect();
 
-        let mut max_bits = 0usize;
-        let mut total_bits = 0usize;
+        let mut dims = Vec::with_capacity(senders.len());
         for (v, s) in senders.iter().enumerate() {
             let degree = g.degree(NodeId::new(v));
-            let Some(s) = s else { continue };
-            if degree > 0 {
-                max_bits = max_bits.max(s.proto.message_bits());
+            match s {
+                Some(s) => dims.push((s.proto.message_bits(), degree, s.covered)),
+                None => dims.push((0, degree, 0)),
             }
-            total_bits += degree * s.proto.message_bits() * s.covered;
         }
 
-        // Sender slice fingerprints are shared across the ports that check
-        // them (several neighbors may claim copies of one label); receiver
-        // slices are unique per (node, port, round). Lazy-table allowances
-        // draw on one per-plan budget.
-        let mut table_slots = Self::TABLE_SLOT_BUDGET;
-        let mut sender_slices: std::collections::HashMap<(usize, usize), Rc<PreparedEq>> =
-            std::collections::HashMap::new();
-        let prepare_slice =
-            |proto: &EqProtocol, slice: BitString, table_slots: &mut u64| -> Rc<PreparedEq> {
-                let hint = if *table_slots >= proto.modulus() {
-                    rounds_hint
-                } else {
-                    0
-                };
-                let prep = proto
-                    .prepare(&slice, hint)
-                    .expect("slice length is bounded by the slice capacity");
-                if prep.table_allowed() {
-                    *table_slots -= proto.modulus();
-                }
-                Rc::new(prep)
-            };
+        // Slice fingerprints are content-keyed `(modulus, slice)` pairs
+        // like every other preparation, so they are requested through the
+        // cache's shared store: a sender slice checked by several ports —
+        // or recurring across the labelings and per-t plans of a sweep —
+        // is prepared once, with retention and lazy-table allowances drawn
+        // from the cache-wide epoch budgets instead of a per-plan pool.
+        let store = &prepared.store;
+        let prepare_slice = |proto: &EqProtocol, slice: BitString| -> Rc<PreparedEq> {
+            store
+                .borrow_mut()
+                .eq_prep(proto, slice, rounds_hint)
+                .expect("slice length is bounded by the slice capacity")
+        };
 
         let batch_nodes = prepared
             .nodes
@@ -832,11 +886,8 @@ impl MultiRoundPlan {
                             // the field, every trial.
                             continue;
                         }
-                        let sender = sender_slices
-                            .entry((v, r))
-                            .or_insert_with(|| prepare_slice(&sv.proto, ss, &mut table_slots))
-                            .clone();
-                        let receiver = prepare_slice(&proto_u, su, &mut table_slots);
+                        let sender = prepare_slice(&sv.proto, ss);
+                        let receiver = prepare_slice(&proto_u, su);
                         checks.push(MultiEdgeCheck {
                             round: r,
                             src_node: v as u64,
@@ -866,8 +917,7 @@ impl MultiRoundPlan {
             .collect();
 
         Self {
-            max_bits,
-            total_bits,
+            dims,
             nodes: batch_nodes,
         }
     }
@@ -912,6 +962,11 @@ struct PreparedCompiled<'a, S> {
     /// The round count this instance was prepared for, reused as the
     /// lazy-table hint of multi-round slice fingerprints.
     rounds_hint: usize,
+    /// Handle on the preparing cache's fingerprint store: plans built
+    /// lazily after binding time (the per-`t` slice schedules) request
+    /// their preparations through it, sharing content and budgets with
+    /// everything prepared up front.
+    store: Rc<std::cell::RefCell<EqStore>>,
     nodes: Vec<PreparedNode>,
     /// The labeling-static batched-trial plan (see [`BatchPlan`]).
     plan: BatchPlan,
@@ -964,6 +1019,17 @@ impl<S: Pls> PreparedCompiled<'_, S> {
 }
 
 impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
+    fn pattern_cost(&self, pattern: MessagePattern, rounds: usize) -> Option<PatternCost> {
+        if rounds == 1 {
+            return Some(pattern_cost_from_dims(
+                pattern,
+                self.plan.dims.iter().map(|&(w, d)| (w, d, 1)),
+            ));
+        }
+        let plan = self.multiround_plan(rounds);
+        Some(pattern_cost_from_dims(pattern, plan.dims.iter().copied()))
+    }
+
     fn certify_into(
         &self,
         node: NodeId,
@@ -1013,6 +1079,7 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
         &self,
         config: &Configuration,
         seeds: &[u64],
+        pattern: MessagePattern,
         mode: StreamMode,
         scratch: &mut RoundScratch,
         emit: &mut dyn FnMut(RoundSummary),
@@ -1020,16 +1087,27 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
         // The shared-stream violation mode threads one generator across a
         // node's ports sequentially; batching per (node, port) would
         // reorder its draws, so that diagnostics mode keeps the scalar
-        // loop.
-        if mode != StreamMode::EdgeIndependent {
+        // loop for the per-port-keyed patterns. Broadcast and k-messages
+        // key their streams by slot and ignore the stream mode entirely,
+        // so they always batch.
+        let scalar = matches!(pattern, MessagePattern::PerPort | MessagePattern::Unicast)
+            && mode != StreamMode::EdgeIndependent;
+        if scalar {
             for &seed in seeds {
-                emit(crate::engine::run_randomized_prepared_with(
-                    self, config, seed, mode, scratch,
+                emit(crate::engine::run_randomized_prepared_patterned_with(
+                    self, config, seed, pattern, mode, scratch,
                 ));
             }
             return;
         }
         let plan = &self.plan;
+        // Pattern-adjusted bit accounting, identical by construction to
+        // what the scalar patterned path reports (it overrides its
+        // transcript-derived bits with the same `pattern_cost`). For
+        // `PerPort` the formula reproduces `plan.{max,total}_bits`
+        // exactly, keeping the golden transcripts intact.
+        let cost = pattern_cost_from_dims(pattern, plan.dims.iter().map(|&(w, d)| (w, d, 1)));
+        let g = config.graph();
         let trials = seeds.len();
         let mut acc = vec![true; trials];
         let mut ok: Vec<bool> = Vec::with_capacity(trials);
@@ -1047,19 +1125,26 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
                 }
                 NodeBatch::Dynamic(checks) => {
                     // Trials some earlier node already rejected can skip
-                    // the probes: streams are per-(node, port, trial), so
+                    // the probes: streams are per-(node, slot, trial), so
                     // nothing downstream observes the skipped draws.
                     ok.clear();
                     ok.extend_from_slice(&acc);
                     for c in checks {
                         let send = c.sender.evaluator();
                         let recv = c.receiver.evaluator();
+                        // Which of the sender's distinct messages this
+                        // port carries under `pattern` (the port itself
+                        // for the per-port-keyed patterns).
+                        let slot = c.slot_under(pattern, g);
                         for (t, &seed) in seeds.iter().enumerate() {
                             if !ok[t] {
                                 continue;
                             }
-                            let x =
-                                edge_stream_first_word(seed, c.src_node, c.src_port) % c.send_mod;
+                            let word = match pattern {
+                                MessagePattern::Broadcast => node_stream_word(seed, c.src_node, 0),
+                                _ => edge_stream_first_word(seed, c.src_node, slot),
+                            };
+                            let x = word % c.send_mod;
                             ok[t] = x < c.recv_mod && recv.eval(x) == send.eval(x);
                         }
                     }
@@ -1083,8 +1168,8 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
         for &accepted in &acc {
             emit(RoundSummary {
                 accepted,
-                max_certificate_bits: plan.max_bits,
-                total_certificate_bits: plan.total_bits,
+                max_certificate_bits: cost.max_bits_per_round,
+                total_certificate_bits: cost.total_bits,
             });
         }
     }
@@ -1095,11 +1180,12 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
         config: &Configuration,
         seed: u64,
         rounds: usize,
+        pattern: MessagePattern,
         mode: StreamMode,
         scratch: &mut RoundScratch,
     ) -> MultiRoundSummary {
         let mut out = None;
-        self.run_multiround_trials(config, &[seed], rounds, mode, scratch, &mut |s| {
+        self.run_multiround_trials(config, &[seed], rounds, pattern, mode, scratch, &mut |s| {
             out = Some(s);
         });
         out.expect("one summary per seed")
@@ -1119,13 +1205,18 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
         config: &Configuration,
         seeds: &[u64],
         rounds: usize,
+        pattern: MessagePattern,
         mode: StreamMode,
         scratch: &mut RoundScratch,
         emit: &mut dyn FnMut(MultiRoundSummary),
     ) {
         assert!(rounds > 0, "a schedule needs at least one round");
-        let _ = (config, scratch);
+        let _ = scratch;
         let plan = self.multiround_plan(rounds);
+        // Pattern-adjusted bit accounting; reproduces the plan's own
+        // `{max,total}_bits` exactly under `PerPort`.
+        let cost = pattern_cost_from_dims(pattern, plan.dims.iter().copied());
+        let g = config.graph();
         let trials = seeds.len();
         /// Sentinel for "no rejection observed yet".
         const NONE: usize = usize::MAX;
@@ -1155,23 +1246,36 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
                         let send = c.sender.evaluator();
                         let recv = c.receiver.evaluator();
                         let round1 = c.round + 1;
+                        let slot = c.slot_under(pattern, g);
                         for (t, &seed) in seeds.iter().enumerate() {
                             if node_fail[t] <= round1 || reject_at[t] <= round1 {
                                 continue;
                             }
                             let rseed = multiround_seed(seed, c.round);
-                            let word = match mode {
-                                StreamMode::EdgeIndependent => {
-                                    edge_stream_first_word(rseed, c.src_node, c.src_port)
+                            let word = match pattern {
+                                // Broadcast keys each round's single
+                                // message by the sender's per-round node
+                                // stream, whatever the stream mode.
+                                MessagePattern::Broadcast => node_stream_word(rseed, c.src_node, 0),
+                                // k-messages keys each slot's message by
+                                // its slot-indexed edge stream,
+                                // mode-independently.
+                                MessagePattern::KMessages(_) => {
+                                    edge_stream_first_word(rseed, c.src_node, slot)
                                 }
-                                // The shared-stream violation mode draws
-                                // one word per port from the node's single
-                                // per-round stream; port rank p consumes
-                                // word p (each slice message costs exactly
-                                // one word).
-                                StreamMode::SharedPerNode => {
-                                    node_stream_word(rseed, c.src_node, c.src_port)
-                                }
+                                MessagePattern::PerPort | MessagePattern::Unicast => match mode {
+                                    StreamMode::EdgeIndependent => {
+                                        edge_stream_first_word(rseed, c.src_node, c.src_port)
+                                    }
+                                    // The shared-stream violation mode
+                                    // draws one word per port from the
+                                    // node's single per-round stream; port
+                                    // rank p consumes word p (each slice
+                                    // message costs exactly one word).
+                                    StreamMode::SharedPerNode => {
+                                        node_stream_word(rseed, c.src_node, c.src_port)
+                                    }
+                                },
                             };
                             let x = word % c.send_mod;
                             if !(x < c.recv_mod && recv.eval(x) == send.eval(x)) {
@@ -1209,8 +1313,8 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
                 accepted,
                 rounds,
                 decided_round: if accepted { rounds } else { r },
-                max_bits_per_round: plan.max_bits,
-                total_bits: plan.total_bits,
+                max_bits_per_round: cost.max_bits_per_round,
+                total_bits: cost.total_bits,
             });
         }
     }
@@ -1230,18 +1334,22 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
         config: &Configuration,
         seeds: &[u64],
         plan: &FaultPlan,
+        pattern: MessagePattern,
         mode: StreamMode,
         scratch: &mut RoundScratch,
         emit: &mut dyn FnMut(FaultedRoundSummary),
     ) {
         if plan.is_transparent() {
-            self.run_trials(config, seeds, mode, scratch, &mut |s| {
+            self.run_trials(config, seeds, pattern, mode, scratch, &mut |s| {
                 emit(FaultedRoundSummary::clean(s));
             });
             return;
         }
+        // The fault layer models point-to-point delivery, so the scan
+        // below stays per directed link under every pattern: a broadcast
+        // message crossing d links is hazarded (and accounted) d times.
         let mut clean: Vec<bool> = Vec::with_capacity(seeds.len());
-        self.run_trials(config, seeds, mode, scratch, &mut |s| {
+        self.run_trials(config, seeds, pattern, mode, scratch, &mut |s| {
             clean.push(s.accepted);
         });
 
@@ -1330,25 +1438,29 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
     /// still missing a chunk after retries rejects at the end of that
     /// round, so `decided_round` is the earlier of the clean kernel's
     /// decision and the first unrecovered loss.
+    #[allow(clippy::too_many_arguments)]
     fn run_multiround_trials_faulted(
         &self,
         config: &Configuration,
         seeds: &[u64],
         rounds: usize,
         plan: &FaultPlan,
+        pattern: MessagePattern,
         mode: StreamMode,
         scratch: &mut RoundScratch,
         emit: &mut dyn FnMut(FaultedMultiRoundSummary),
     ) {
         assert!(rounds > 0, "a schedule needs at least one round");
         if plan.is_transparent() {
-            self.run_multiround_trials(config, seeds, rounds, mode, scratch, &mut |s| {
+            self.run_multiround_trials(config, seeds, rounds, pattern, mode, scratch, &mut |s| {
                 emit(FaultedMultiRoundSummary::clean(s));
             });
             return;
         }
+        // As in `run_trials_faulted`, the overlay stays per directed link
+        // under every pattern (point-to-point delivery model).
         let mut clean: Vec<MultiRoundSummary> = Vec::with_capacity(seeds.len());
-        self.run_multiround_trials(config, seeds, rounds, mode, scratch, &mut |s| {
+        self.run_multiround_trials(config, seeds, rounds, pattern, mode, scratch, &mut |s| {
             clean.push(s);
         });
 

@@ -221,6 +221,105 @@ pub enum StreamMode {
     SharedPerNode,
 }
 
+/// How many **distinct** messages a node emits per round — the
+/// Patt-Shamir–Perry axis ("Proof-Labeling Schemes: Broadcast, Unicast and
+/// In Between"): between the broadcast model, where a node utters one
+/// message heard by all neighbors, and the unicast model, where every port
+/// carries its own message, lies a spectrum parameterised by the number of
+/// distinct messages `k`, and the number of distinct messages is a resource
+/// axis of its own with real verification-complexity consequences.
+///
+/// The engine realises the spectrum as a first-class parameter next to
+/// [`StreamMode`]:
+///
+/// * [`MessagePattern::PerPort`] — today's implicit assumption: one
+///   independently drawn message per port. The default everywhere; all
+///   legacy entry points are thin wrappers over it, and the golden tests
+///   pin it transcript-identical to the pre-pattern engine.
+/// * [`MessagePattern::Broadcast`] — one message per node per round,
+///   drawn from the node's single stream and shared across all its ports.
+///   A one-round broadcast therefore *coincides* with what
+///   [`StreamMode::SharedPerNode`] draws for port 0 — the broadcast
+///   pattern subsumes the node-keyed stream machinery rather than
+///   duplicating it — and ignores `StreamMode` (there is only one message,
+///   so there is nothing to correlate).
+/// * [`MessagePattern::Unicast`] — one distinct message per port, but the
+///   random point `x` of a fingerprint message is a pure function of the
+///   public round seed (Filtser–Fischer-style randomness sharing), so only
+///   the evaluation `P(x)` needs the wire: compiled schemes charge half
+///   the per-port message width. Transcripts are identical to `PerPort` —
+///   the saving is accounting, the verdict path is untouched.
+/// * [`MessagePattern::KMessages`] — `k` distinct messages interpolating
+///   between the endpoints: port `p` carries slot `p mod k`'s message. At
+///   `k ≥ degree` this is bit-identical to `PerPort` under
+///   [`StreamMode::EdgeIndependent`].
+///
+/// Patterns re-time and re-share *messages*; they never change verdict
+/// semantics: `PerPort` and `Unicast` are transcript-identical, and
+/// `Broadcast`/`KMessages` deliver each slot's message on every port that
+/// maps to the slot, so phase 2 (delivery + verification) is untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessagePattern {
+    /// One independent message per port (the classic RPLS model and the
+    /// engine's historical implicit behaviour).
+    PerPort,
+    /// One message per node per round, shared across all its ports.
+    Broadcast,
+    /// One distinct message per port at half the wire cost for compiled
+    /// fingerprint schemes (the random point rides the public round seed).
+    Unicast,
+    /// Exactly `k` distinct messages per node per round (clamped to
+    /// `1..=degree`); port `p` carries slot `p mod k`.
+    KMessages(usize),
+}
+
+impl MessagePattern {
+    /// The number of distinct message slots a node of `degree` fills under
+    /// this pattern: `degree` for per-port and unicast, 1 for broadcast,
+    /// `k.clamp(1, degree)` for k-messages. A degree-0 node fills no slot
+    /// under any pattern.
+    #[must_use]
+    pub fn slots(self, degree: usize) -> usize {
+        if degree == 0 {
+            return 0;
+        }
+        match self {
+            Self::PerPort | Self::Unicast => degree,
+            Self::Broadcast => 1,
+            Self::KMessages(k) => k.clamp(1, degree),
+        }
+    }
+
+    /// The message slot port rank `port` carries under this pattern at a
+    /// node of `degree` (`port < degree` required): the port itself for
+    /// per-port and unicast, slot 0 for broadcast, `port mod k` for
+    /// k-messages.
+    #[must_use]
+    pub fn slot_of(self, degree: usize, port: usize) -> usize {
+        match self {
+            Self::PerPort | Self::Unicast => port,
+            Self::Broadcast => 0,
+            Self::KMessages(_) => port % self.slots(degree),
+        }
+    }
+}
+
+/// The per-round communication profile of a prepared scheme under one
+/// [`MessagePattern`] — what [`PreparedRpls::pattern_cost`] reports and the
+/// complexity triple in [`measure`](crate::measure) is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternCost {
+    /// The largest number of distinct messages any node emits per round
+    /// (`max_v slots(deg v)`): `Δ` for per-port/unicast, 1 for broadcast.
+    pub messages: usize,
+    /// The largest number of bits any single message carries in any round.
+    pub max_bits_per_round: usize,
+    /// Total bits on the wire over all nodes, slots, and rounds — each
+    /// distinct message is counted **once** per round, which is exactly
+    /// where broadcast and unicast beat per-port.
+    pub total_bits: usize,
+}
+
 /// Builds the strictly-local context of `node` within `config` —
 /// allocation-free, borrowing the configuration's precomputed port layout.
 #[must_use]
@@ -407,6 +506,144 @@ pub fn run_randomized_prepared_with<P: PreparedRpls + ?Sized>(
     }
 }
 
+/// Phase 1 of a patterned round for the slot-sharing patterns
+/// ([`MessagePattern::Broadcast`] / [`MessagePattern::KMessages`]): fills
+/// the arena with one certificate per port, where port `p` of node `v`
+/// carries the message of slot `slot_of(deg v, p)` — broadcast slots draw
+/// from the node's single stream ([`PortRng::for_node`]), k-message slot
+/// `s` from the edge stream of `(v, s)`. Every port of a slot regenerates
+/// the slot's message from a fresh generator, so the copies are
+/// bit-identical by construction. Returns `(max_bits, total_bits)` with
+/// each distinct slot counted **once** — the pattern's wire accounting.
+fn patterned_certificates<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seed: u64,
+    pattern: MessagePattern,
+    buffer: &mut crate::buffer::CertificateBuffer,
+    tmp: &mut BitString,
+) -> (usize, usize) {
+    let g = config.graph();
+    let mut max_bits = 0usize;
+    let mut total_bits = 0usize;
+    buffer.clear();
+    for v in g.nodes() {
+        let node_index = v.index() as u64;
+        let degree = g.degree(v);
+        let slots = pattern.slots(degree);
+        for p in 0..degree {
+            let slot = pattern.slot_of(degree, p);
+            let mut rng = match pattern {
+                MessagePattern::Broadcast => PortRng::for_node(seed, node_index),
+                _ => PortRng::for_edge(seed, node_index, slot as u64),
+            };
+            prepared.certify_into(v, Port::from_rank(slot), &mut rng, tmp);
+            if p < slots {
+                max_bits = max_bits.max(tmp.len());
+                total_bits += tmp.len();
+            }
+            buffer.push(tmp);
+        }
+    }
+    (max_bits, total_bits)
+}
+
+/// Executes one randomized round of `scheme` against `labeling` under an
+/// explicit [`MessagePattern`] — the unprepared patterned entry point.
+/// [`MessagePattern::PerPort`] is exactly [`run_randomized_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_randomized_patterned_with<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    seed: u64,
+    pattern: MessagePattern,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> RoundSummary {
+    assert_eq!(
+        labeling.len(),
+        config.node_count(),
+        "one label per node required"
+    );
+    let unprepared = UnpreparedRpls {
+        scheme,
+        config,
+        labeling,
+    };
+    run_randomized_prepared_patterned_with(&unprepared, config, seed, pattern, mode, scratch)
+}
+
+/// Executes one randomized round of a **prepared** scheme under an explicit
+/// [`MessagePattern`] — the patterned scalar reference path every batched
+/// pattern kernel must agree with.
+///
+/// * `PerPort` delegates verbatim to [`run_randomized_prepared_with`] —
+///   bit-identical to the pre-pattern engine by construction.
+/// * `Unicast` runs the same transcript as `PerPort` (the random point is
+///   shared through the round seed, so the verdict path is untouched) and
+///   only re-accounts bits via [`PreparedRpls::pattern_cost`] when the
+///   scheme knows its wire cost.
+/// * `Broadcast` / `KMessages` generate one message per slot (see
+///   [`MessagePattern`]) and deliver each slot's message on every port
+///   mapping to it; summaries count each distinct slot once, overridden by
+///   [`PreparedRpls::pattern_cost`] when available so the scalar and
+///   batched summaries agree by construction.
+pub fn run_randomized_prepared_patterned_with<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seed: u64,
+    pattern: MessagePattern,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> RoundSummary {
+    match pattern {
+        MessagePattern::PerPort => {
+            return run_randomized_prepared_with(prepared, config, seed, mode, scratch);
+        }
+        MessagePattern::Unicast => {
+            let mut summary = run_randomized_prepared_with(prepared, config, seed, mode, scratch);
+            if let Some(cost) = prepared.pattern_cost(pattern, 1) {
+                summary.max_certificate_bits = cost.max_bits_per_round;
+                summary.total_certificate_bits = cost.total_bits;
+            }
+            return summary;
+        }
+        MessagePattern::Broadcast | MessagePattern::KMessages(_) => {}
+    }
+    let g = config.graph();
+    let RoundScratch { buffer, votes, tmp } = scratch;
+    let (max_bits, total_bits) =
+        patterned_certificates(prepared, config, seed, pattern, buffer, tmp);
+
+    // Phase 2 is the unchanged delivery + verification of the per-port
+    // engine: patterns share messages across ports, they never change what
+    // a port receives relative to what its slot generated.
+    let delivery = config.delivery();
+    let port_base = config.port_base();
+    votes.clear();
+    let mut accepted = true;
+    for v in g.nodes() {
+        let lo = port_base[v.index()] as usize;
+        let hi = port_base[v.index() + 1] as usize;
+        let received = Received::new(buffer, &delivery[lo..hi]);
+        let vote = prepared.verify(v, &received);
+        accepted &= vote;
+        votes.push(vote);
+    }
+
+    let mut summary = RoundSummary {
+        accepted,
+        max_certificate_bits: max_bits,
+        total_certificate_bits: total_bits,
+    };
+    if let Some(cost) = prepared.pattern_cost(pattern, 1) {
+        summary.max_certificate_bits = cost.max_bits_per_round;
+        summary.total_certificate_bits = cost.total_bits;
+    }
+    summary
+}
+
 /// Executes one randomized round of `scheme` against `labeling` under the
 /// fault environment of `plan` — the unprepared faulted entry point,
 /// mirroring [`run_randomized_with`]. Certificate *generation* is
@@ -493,6 +730,95 @@ pub fn run_randomized_prepared_faulted_with<P: PreparedRpls + ?Sized>(
         }
     }
 
+    faulted_verdicts(prepared, config, seed, plan, buffer, votes)
+}
+
+/// Executes one randomized round of `scheme` under `plan`'s faults with an
+/// explicit [`MessagePattern`] — the unprepared patterned faulted entry
+/// point, mirroring [`run_randomized_faulted_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_randomized_faulted_patterned_with<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    seed: u64,
+    pattern: MessagePattern,
+    plan: &FaultPlan,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> DegradedSummary {
+    assert_eq!(
+        labeling.len(),
+        config.node_count(),
+        "one label per node required"
+    );
+    let unprepared = UnpreparedRpls {
+        scheme,
+        config,
+        labeling,
+    };
+    run_randomized_prepared_faulted_patterned_with(
+        &unprepared,
+        config,
+        seed,
+        pattern,
+        plan,
+        mode,
+        scratch,
+    )
+}
+
+/// Executes one randomized round of a **prepared** scheme under `plan`'s
+/// faults with an explicit [`MessagePattern`] — the patterned faulted
+/// scalar reference. `PerPort` and `Unicast` delegate verbatim to
+/// [`run_randomized_prepared_faulted_with`]; the slot-sharing patterns run
+/// the patterned phase 1 and the unchanged faulted delivery.
+///
+/// Note the deliberate accounting asymmetry: the fault layer models
+/// point-to-point delivery, so its bit totals charge each directed link's
+/// transmissions individually (a broadcast message crossing `d` links pays
+/// `d` times) — pattern-shared accounting applies to the clean summaries
+/// only.
+#[allow(clippy::too_many_arguments)]
+pub fn run_randomized_prepared_faulted_patterned_with<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seed: u64,
+    pattern: MessagePattern,
+    plan: &FaultPlan,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> DegradedSummary {
+    match pattern {
+        MessagePattern::PerPort | MessagePattern::Unicast => {
+            return run_randomized_prepared_faulted_with(
+                prepared, config, seed, plan, mode, scratch,
+            );
+        }
+        MessagePattern::Broadcast | MessagePattern::KMessages(_) => {}
+    }
+    if plan.is_transparent() {
+        let summary =
+            run_randomized_prepared_patterned_with(prepared, config, seed, pattern, mode, scratch);
+        return DegradedSummary::transparent(summary, scratch.votes());
+    }
+    let RoundScratch { buffer, votes, tmp } = scratch;
+    let _ = patterned_certificates(prepared, config, seed, pattern, buffer, tmp);
+    faulted_verdicts(prepared, config, seed, plan, buffer, votes)
+}
+
+/// The faulted phase 2 shared by the per-port and patterned scalar paths:
+/// crash draws, per-link perturbed delivery over the filled certificate
+/// arena, and conservative verdicts.
+fn faulted_verdicts<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seed: u64,
+    plan: &FaultPlan,
+    buffer: &crate::buffer::CertificateBuffer,
+    votes: &mut Vec<bool>,
+) -> DegradedSummary {
+    let g = config.graph();
     // Crash draws: the one-round engine has a single round, round 0.
     let n = config.node_count();
     let mut counts = FaultCounts::default();
@@ -609,7 +935,7 @@ pub fn run_multiround_with<S: Rpls + ?Sized>(
 ) -> MultiRoundSummary {
     assert!(rounds > 0, "a schedule needs at least one round");
     let prepared = scheme.prepare(config, labeling, 1);
-    prepared.run_multiround(config, seed, rounds, mode, scratch)
+    prepared.run_multiround(config, seed, rounds, MessagePattern::PerPort, mode, scratch)
 }
 
 /// Executes one t-round trial of a **prepared** scheme (see
@@ -628,7 +954,51 @@ pub fn run_multiround_prepared_with<P: PreparedRpls + ?Sized>(
     scratch: &mut RoundScratch,
 ) -> MultiRoundSummary {
     assert!(rounds > 0, "a schedule needs at least one round");
-    prepared.run_multiround(config, seed, rounds, mode, scratch)
+    prepared.run_multiround(config, seed, rounds, MessagePattern::PerPort, mode, scratch)
+}
+
+/// Executes one **t-round** trial of `scheme` against `labeling` under an
+/// explicit [`MessagePattern`] — the patterned twin of
+/// [`run_multiround_with`].
+///
+/// # Panics
+///
+/// Panics if `rounds` is 0 or `labeling` does not assign one label per
+/// node.
+#[allow(clippy::too_many_arguments)]
+pub fn run_multiround_patterned_with<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    seed: u64,
+    rounds: usize,
+    pattern: MessagePattern,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> MultiRoundSummary {
+    assert!(rounds > 0, "a schedule needs at least one round");
+    let prepared = scheme.prepare(config, labeling, 1);
+    prepared.run_multiround(config, seed, rounds, pattern, mode, scratch)
+}
+
+/// Executes one t-round trial of a **prepared** scheme under an explicit
+/// [`MessagePattern`] — the patterned twin of
+/// [`run_multiround_prepared_with`].
+///
+/// # Panics
+///
+/// Panics if `rounds` is 0.
+pub fn run_multiround_prepared_patterned_with<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seed: u64,
+    rounds: usize,
+    pattern: MessagePattern,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> MultiRoundSummary {
+    assert!(rounds > 0, "a schedule needs at least one round");
+    prepared.run_multiround(config, seed, rounds, pattern, mode, scratch)
 }
 
 /// Runs one t-round trial per seed in `seeds` against a prepared scheme,
@@ -657,7 +1027,36 @@ pub fn run_multiround_trials_batched_with<P: PreparedRpls + ?Sized>(
     emit: &mut dyn FnMut(MultiRoundSummary),
 ) {
     assert!(rounds > 0, "a schedule needs at least one round");
-    prepared.run_multiround_trials(config, seeds, rounds, mode, scratch, emit);
+    prepared.run_multiround_trials(
+        config,
+        seeds,
+        rounds,
+        MessagePattern::PerPort,
+        mode,
+        scratch,
+        emit,
+    );
+}
+
+/// Runs one t-round trial per seed under an explicit [`MessagePattern`] —
+/// the patterned twin of [`run_multiround_trials_batched_with`].
+///
+/// # Panics
+///
+/// Panics if `rounds` is 0.
+#[allow(clippy::too_many_arguments)]
+pub fn run_multiround_trials_batched_patterned_with<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seeds: &[u64],
+    rounds: usize,
+    pattern: MessagePattern,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+    emit: &mut dyn FnMut(MultiRoundSummary),
+) {
+    assert!(rounds > 0, "a schedule needs at least one round");
+    prepared.run_multiround_trials(config, seeds, rounds, pattern, mode, scratch, emit);
 }
 
 /// Executes one faulted t-round trial of `scheme` against `labeling` — the
@@ -684,7 +1083,40 @@ pub fn run_multiround_faulted_with<S: Rpls + ?Sized>(
 ) -> FaultedMultiRoundSummary {
     assert!(rounds > 0, "a schedule needs at least one round");
     let prepared = scheme.prepare(config, labeling, 1);
-    prepared.run_multiround_faulted(config, seed, rounds, plan, mode, scratch)
+    prepared.run_multiround_faulted(
+        config,
+        seed,
+        rounds,
+        plan,
+        MessagePattern::PerPort,
+        mode,
+        scratch,
+    )
+}
+
+/// Executes one faulted t-round trial of `scheme` against `labeling` under
+/// an explicit [`MessagePattern`] — the patterned twin of
+/// [`run_multiround_faulted_with`].
+///
+/// # Panics
+///
+/// Panics if `rounds` is 0 or `labeling` does not assign one label per
+/// node.
+#[allow(clippy::too_many_arguments)]
+pub fn run_multiround_faulted_patterned_with<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    seed: u64,
+    rounds: usize,
+    pattern: MessagePattern,
+    plan: &FaultPlan,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> FaultedMultiRoundSummary {
+    assert!(rounds > 0, "a schedule needs at least one round");
+    let prepared = scheme.prepare(config, labeling, 1);
+    prepared.run_multiround_faulted(config, seed, rounds, plan, pattern, mode, scratch)
 }
 
 /// Runs one faulted t-round trial per seed against a prepared scheme — the
@@ -707,7 +1139,40 @@ pub fn run_multiround_trials_faulted_with<P: PreparedRpls + ?Sized>(
     emit: &mut dyn FnMut(FaultedMultiRoundSummary),
 ) {
     assert!(rounds > 0, "a schedule needs at least one round");
-    prepared.run_multiround_trials_faulted(config, seeds, rounds, plan, mode, scratch, emit);
+    prepared.run_multiround_trials_faulted(
+        config,
+        seeds,
+        rounds,
+        plan,
+        MessagePattern::PerPort,
+        mode,
+        scratch,
+        emit,
+    );
+}
+
+/// Runs one faulted t-round trial per seed under an explicit
+/// [`MessagePattern`] — the patterned twin of
+/// [`run_multiround_trials_faulted_with`].
+///
+/// # Panics
+///
+/// Panics if `rounds` is 0.
+#[allow(clippy::too_many_arguments)]
+pub fn run_multiround_trials_faulted_patterned_with<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seeds: &[u64],
+    rounds: usize,
+    pattern: MessagePattern,
+    plan: &FaultPlan,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+    emit: &mut dyn FnMut(FaultedMultiRoundSummary),
+) {
+    assert!(rounds > 0, "a schedule needs at least one round");
+    prepared
+        .run_multiround_trials_faulted(config, seeds, rounds, plan, pattern, mode, scratch, emit);
 }
 
 /// Overlays the fault schedule of `plan` on the **certificate-splitting**
@@ -872,7 +1337,21 @@ pub fn run_trials_batched_with<P: PreparedRpls + ?Sized>(
     scratch: &mut RoundScratch,
     emit: &mut dyn FnMut(RoundSummary),
 ) {
-    prepared.run_trials(config, seeds, mode, scratch, emit);
+    prepared.run_trials(config, seeds, MessagePattern::PerPort, mode, scratch, emit);
+}
+
+/// Runs one verification round per seed under an explicit
+/// [`MessagePattern`] — the patterned twin of [`run_trials_batched_with`].
+pub fn run_trials_batched_patterned_with<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seeds: &[u64],
+    pattern: MessagePattern,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+    emit: &mut dyn FnMut(RoundSummary),
+) {
+    prepared.run_trials(config, seeds, pattern, mode, scratch, emit);
 }
 
 /// Runs one **faulted** verification round per seed against a prepared
@@ -899,7 +1378,31 @@ pub fn run_trials_faulted_with<P: PreparedRpls + ?Sized>(
     scratch: &mut RoundScratch,
     emit: &mut dyn FnMut(FaultedRoundSummary),
 ) {
-    prepared.run_trials_faulted(config, seeds, plan, mode, scratch, emit);
+    prepared.run_trials_faulted(
+        config,
+        seeds,
+        plan,
+        MessagePattern::PerPort,
+        mode,
+        scratch,
+        emit,
+    );
+}
+
+/// Runs one faulted verification round per seed under an explicit
+/// [`MessagePattern`] — the patterned twin of [`run_trials_faulted_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_trials_faulted_patterned_with<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seeds: &[u64],
+    pattern: MessagePattern,
+    plan: &FaultPlan,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+    emit: &mut dyn FnMut(FaultedRoundSummary),
+) {
+    prepared.run_trials_faulted(config, seeds, plan, pattern, mode, scratch, emit);
 }
 
 #[cfg(test)]

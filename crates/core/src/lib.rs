@@ -164,7 +164,9 @@ pub use universal::{UniversalPls, UniversalRpls};
 pub mod prelude {
     pub use crate::buffer::{CertificateBuffer, Received, RoundScratch};
     pub use crate::compiler::CompiledRpls;
-    pub use crate::engine::{self, MultiRoundSummary, Outcome, RoundSummary, StreamMode};
+    pub use crate::engine::{
+        self, MessagePattern, MultiRoundSummary, Outcome, PatternCost, RoundSummary, StreamMode,
+    };
     pub use crate::fault::{
         DegradedSummary, DeliveryOutcome, FaultCounts, FaultPlan, FaultSpec,
         FaultedMultiRoundSummary, FaultedRoundSummary, NodeVerdict,

@@ -40,6 +40,7 @@
 
 use rpls_bits::BitString;
 use rpls_fingerprint::PreparedEq;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::rc::Rc;
@@ -133,11 +134,34 @@ pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
 /// assert!(cache.hits() > cache.misses());
 /// ```
 pub struct PrepCache {
-    /// Fingerprint preparations keyed by `(modulus, fingerprinted string)`.
-    pub(crate) eq: HashMap<(u64, BitString), Rc<PreparedEq>, FxBuildHasher>,
+    /// The fingerprint layer plus budgets and counters, behind a shared
+    /// handle (see [`EqStore`]): prepared instances clone it so plans
+    /// built lazily after binding time (the per-`t` multi-round slice
+    /// schedules) request their fingerprints through the same
+    /// content-keyed sharing and epoch budgets as everything prepared up
+    /// front.
+    pub(crate) store: Rc<RefCell<EqStore>>,
     /// Replicated-label preparations keyed by the raw label bits.
     pub(crate) labels: HashMap<BitString, Rc<CachedLabel>, FxBuildHasher>,
-    /// Remaining evaluation-table slots (`u64` entries) this cache may
+    /// The store epoch this label map belongs to. The store turns epochs
+    /// over without a handle on the label map, so the map is cleared
+    /// *lazily*: any label lookup that observes a newer store epoch first
+    /// drops the stale entries (their `Rc`s stay valid for holders —
+    /// only future sharing restarts, exactly as for fingerprints).
+    pub(crate) labels_epoch: u64,
+}
+
+/// The fingerprint layer of a [`PrepCache`]: shared preparations keyed by
+/// `(modulus, fingerprinted string)`, the per-epoch budgets, and the
+/// hit/miss counters. Split out behind `Rc<RefCell<…>>` so prepared
+/// instances can keep requesting content-keyed preparations *after*
+/// binding time — the multi-round planner cuts slice fingerprints on
+/// first use of each `t`, long after `prepare_cached` returned — against
+/// the same budgets and sharing as binding-time preparation.
+pub(crate) struct EqStore {
+    /// Fingerprint preparations keyed by `(modulus, fingerprinted string)`.
+    pub(crate) eq: HashMap<(u64, BitString), Rc<PreparedEq>, FxBuildHasher>,
+    /// Remaining evaluation-table slots (`u64` entries) this store may
     /// still grant in the current epoch.
     pub(crate) table_slots: u64,
     /// Remaining retention budget (key bits + per-entry overhead) for the
@@ -149,6 +173,34 @@ pub struct PrepCache {
     pub(crate) hits: u64,
     /// Lookups that had to prepare fresh state (either layer).
     pub(crate) misses: u64,
+}
+
+impl EqStore {
+    /// An empty store with full budgets.
+    fn new() -> Self {
+        Self {
+            eq: HashMap::default(),
+            table_slots: PrepCache::TABLE_SLOT_BUDGET,
+            key_bits: PrepCache::KEY_BITS_BUDGET,
+            epoch_count: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Turns the store over to a fresh epoch: the fingerprint map is
+    /// cleared and both budgets reset. The label layer lives on
+    /// [`PrepCache`] and clears itself lazily on the next lookup that
+    /// observes the bumped epoch count. Live `Rc`s held by outstanding
+    /// prepared instances stay valid — only future sharing is affected,
+    /// and values never depend on sharing, so an epoch boundary can never
+    /// change a transcript.
+    pub(crate) fn begin_epoch(&mut self) {
+        self.eq.clear();
+        self.table_slots = PrepCache::TABLE_SLOT_BUDGET;
+        self.key_bits = PrepCache::KEY_BITS_BUDGET;
+        self.epoch_count += 1;
+    }
 }
 
 /// The content-derived preparation of one replicated label — everything the
@@ -212,31 +264,28 @@ impl PrepCache {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            eq: HashMap::default(),
+            store: Rc::new(RefCell::new(EqStore::new())),
             labels: HashMap::default(),
-            table_slots: Self::TABLE_SLOT_BUDGET,
-            key_bits: Self::KEY_BITS_BUDGET,
-            epoch_count: 0,
-            hits: 0,
-            misses: 0,
+            labels_epoch: 0,
         }
     }
 
-    /// Turns the cache over to a fresh epoch: both maps are cleared and
-    /// both budgets reset. Called internally when the retention budget
-    /// runs out, so a sweep longer than one epoch's worth of distinct
-    /// labels keeps amortising (recent candidates re-share within the new
-    /// epoch) instead of silently degrading to uncached preparation for
-    /// the rest of the cache's life. Live `Rc`s held by outstanding
-    /// prepared instances stay valid — only future sharing is affected,
-    /// and values never depend on sharing, so an epoch boundary can never
-    /// change a transcript.
-    pub(crate) fn begin_epoch(&mut self) {
-        self.eq.clear();
-        self.labels.clear();
-        self.table_slots = Self::TABLE_SLOT_BUDGET;
-        self.key_bits = Self::KEY_BITS_BUDGET;
-        self.epoch_count += 1;
+    /// A clone of the shared fingerprint-store handle, for prepared
+    /// instances that build plans lazily after binding time.
+    pub(crate) fn store_handle(&self) -> Rc<RefCell<EqStore>> {
+        Rc::clone(&self.store)
+    }
+
+    /// The lazy half of an epoch turnover: if the store has moved on to a
+    /// newer epoch since this label map was last touched, drop the stale
+    /// entries. Must run before any read of — or insert into — the label
+    /// map.
+    pub(crate) fn sync_labels(&mut self) {
+        let epoch = self.store.borrow().epoch_count;
+        if epoch != self.labels_epoch {
+            self.labels.clear();
+            self.labels_epoch = epoch;
+        }
     }
 
     /// How many times the cache has turned over an epoch (cleared itself
@@ -244,18 +293,23 @@ impl PrepCache {
     /// overflowed.
     #[must_use]
     pub fn epochs(&self) -> u64 {
-        self.epoch_count
+        self.store.borrow().epoch_count
     }
 
     /// Number of shared fingerprint preparations currently retained.
     #[must_use]
     pub fn shared_fingerprints(&self) -> usize {
-        self.eq.len()
+        self.store.borrow().eq.len()
     }
 
     /// Number of shared replicated-label preparations currently retained.
     #[must_use]
     pub fn shared_labels(&self) -> usize {
+        if self.store.borrow().epoch_count != self.labels_epoch {
+            // Stale entries pending their lazy clear are already dead for
+            // sharing purposes.
+            return 0;
+        }
         self.labels.len()
     }
 
@@ -264,7 +318,7 @@ impl PrepCache {
     /// [`PrepCache::KEY_BITS_BUDGET`].
     #[must_use]
     pub fn retained_key_bits(&self) -> u64 {
-        Self::KEY_BITS_BUDGET - self.key_bits
+        Self::KEY_BITS_BUDGET - self.store.borrow().key_bits
     }
 
     /// Evaluation-table slots granted in the current epoch — by
@@ -274,20 +328,20 @@ impl PrepCache {
     /// table memory, counted in `u64` entries.
     #[must_use]
     pub fn table_slots_reserved(&self) -> u64 {
-        Self::TABLE_SLOT_BUDGET - self.table_slots
+        Self::TABLE_SLOT_BUDGET - self.store.borrow().table_slots
     }
 
     /// Lookups served from the cache since construction (label or
     /// fingerprint layer).
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.store.borrow().hits
     }
 
     /// Lookups that prepared fresh state since construction.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.store.borrow().misses
     }
 }
 
@@ -300,13 +354,13 @@ impl Default for PrepCache {
 impl std::fmt::Debug for PrepCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PrepCache")
-            .field("shared_fingerprints", &self.eq.len())
-            .field("shared_labels", &self.labels.len())
+            .field("shared_fingerprints", &self.shared_fingerprints())
+            .field("shared_labels", &self.shared_labels())
             .field("retained_key_bits", &self.retained_key_bits())
             .field("table_slots_reserved", &self.table_slots_reserved())
-            .field("epochs", &self.epoch_count)
-            .field("hits", &self.hits)
-            .field("misses", &self.misses)
+            .field("epochs", &self.epochs())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
             .finish()
     }
 }

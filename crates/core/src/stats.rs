@@ -24,7 +24,7 @@
 //! estimates.
 
 use crate::buffer::RoundScratch;
-use crate::engine::{self, mix_seed, StreamMode, TRIAL_CHUNK};
+use crate::engine::{self, mix_seed, MessagePattern, StreamMode, TRIAL_CHUNK};
 use crate::fault::{FaultCounts, FaultPlan};
 use crate::labeling::Labeling;
 use crate::prep::PrepCache;
@@ -58,6 +58,7 @@ fn count_accepts(
     config: &Configuration,
     trials: usize,
     seed_of: &dyn Fn(u64) -> u64,
+    pattern: MessagePattern,
     scratch: &mut RoundScratch,
     seeds_buf: &mut Vec<u64>,
 ) -> usize {
@@ -68,10 +69,11 @@ fn count_accepts(
         seeds_buf.clear();
         seeds_buf.extend((next..next + chunk).map(|t| seed_of(t as u64)));
         next += chunk;
-        engine::run_trials_batched_with(
+        engine::run_trials_batched_patterned_with(
             prepared,
             config,
             seeds_buf,
+            pattern,
             StreamMode::EdgeIndependent,
             scratch,
             &mut |summary| accepts += usize::from(summary.accepted),
@@ -147,6 +149,65 @@ pub fn acceptance_probability_cached<S: Rpls + ?Sized>(
         config,
         trials,
         &|t| trial_seed(seed, t),
+        MessagePattern::PerPort,
+        scratch,
+        &mut seeds_buf,
+    );
+    accepts as f64 / trials as f64
+}
+
+/// Estimates `Pr[verifier accepts]` under a [`MessagePattern`] — the
+/// message-pattern twin of [`acceptance_probability`]. Per-trial seeds are
+/// identical to the per-port estimator's, so
+/// [`MessagePattern::PerPort`] (and [`MessagePattern::Unicast`], which
+/// only re-accounts bits) reproduce [`acceptance_probability`]
+/// bit-for-bit; [`MessagePattern::Broadcast`] and
+/// [`MessagePattern::KMessages`] re-key the certificate streams by slot
+/// and so estimate the acceptance of genuinely coarser message schedules.
+pub fn acceptance_probability_patterned<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    trials: usize,
+    seed: u64,
+    pattern: MessagePattern,
+) -> f64 {
+    acceptance_probability_patterned_cached(
+        scheme,
+        config,
+        labeling,
+        trials,
+        seed,
+        pattern,
+        &mut RoundScratch::new(),
+        &mut PrepCache::new(),
+    )
+}
+
+/// Like [`acceptance_probability_patterned`] but reuses caller-owned
+/// scratch and a [`PrepCache`] across labelings — see
+/// [`acceptance_probability_cached`] for the sweep-amortisation contract,
+/// which carries over unchanged (the batch plan serves every pattern).
+#[allow(clippy::too_many_arguments)]
+pub fn acceptance_probability_patterned_cached<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    trials: usize,
+    seed: u64,
+    pattern: MessagePattern,
+    scratch: &mut RoundScratch,
+    cache: &mut PrepCache,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let prepared = scheme.prepare_cached(config, labeling, trials, cache);
+    let mut seeds_buf = Vec::new();
+    let accepts = count_accepts(
+        &*prepared,
+        config,
+        trials,
+        &|t| trial_seed(seed, t),
+        pattern,
         scratch,
         &mut seeds_buf,
     );
@@ -314,6 +375,7 @@ pub fn acceptance_probability_par<S: Rpls + Sync + ?Sized>(
                         config,
                         shard,
                         &|i| trial_seed(seed, w as u64 + i * workers as u64),
+                        MessagePattern::PerPort,
                         &mut scratch,
                         &mut seeds_buf,
                     )
@@ -415,6 +477,49 @@ pub fn multiround_acceptance_probability_cached<S: Rpls + ?Sized>(
             rounds,
             StreamMode::EdgeIndependent,
             scratch,
+            &mut |summary| accepts += usize::from(summary.accepted),
+        );
+    }
+    accepts as f64 / trials as f64
+}
+
+/// Estimates `Pr[the t-round verifier accepts]` under a
+/// [`MessagePattern`] — the message-pattern twin of
+/// [`multiround_acceptance_probability`], with the same per-trial seeds
+/// (so [`MessagePattern::PerPort`] reproduces it bit-for-bit).
+///
+/// # Panics
+///
+/// Panics if `rounds` or `trials` is 0.
+pub fn multiround_acceptance_probability_patterned<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    rounds: usize,
+    trials: usize,
+    seed: u64,
+    pattern: MessagePattern,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    assert!(rounds > 0, "a schedule needs at least one round");
+    let mut scratch = RoundScratch::new();
+    let prepared = scheme.prepare_cached(config, labeling, trials, &mut PrepCache::new());
+    let mut accepts = 0usize;
+    let mut seeds_buf: Vec<u64> = Vec::new();
+    let mut next = 0usize;
+    while next < trials {
+        let chunk = TRIAL_CHUNK.min(trials - next);
+        seeds_buf.clear();
+        seeds_buf.extend((next..next + chunk).map(|t| trial_seed(seed, t as u64)));
+        next += chunk;
+        engine::run_multiround_trials_batched_patterned_with(
+            &*prepared,
+            config,
+            &seeds_buf,
+            rounds,
+            pattern,
+            StreamMode::EdgeIndependent,
+            &mut scratch,
             &mut |summary| accepts += usize::from(summary.accepted),
         );
     }
@@ -633,6 +738,7 @@ fn boosted_accepts_prepared(
         config,
         repetitions,
         &|r| mix_seed(seed, r, TAG_BOOST),
+        MessagePattern::PerPort,
         scratch,
         seeds_buf,
     );

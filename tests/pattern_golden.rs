@@ -1,0 +1,527 @@
+//! Golden identity tests for the message-pattern engine axis.
+//!
+//! [`MessagePattern::PerPort`] is the pre-pattern engine: every patterned
+//! entry point run under it must be transcript-identical — vote for vote,
+//! certificate for certificate, summary for summary — to the legacy path,
+//! across honest/tampered/garbage labelings, both stream modes, and the
+//! one-round, multi-round, and faulted engines. The coarser patterns have
+//! their own pins: one-round `Broadcast` coincides with the
+//! `SharedPerNode` stream mode's first draw (subsumption, not
+//! duplication), and `KMessages(k ≥ Δ)` degenerates to per-port exactly.
+
+use rpls::core::engine::{self, MessagePattern, StreamMode};
+use rpls::core::scheme::ExchangeLabels;
+use rpls::core::{Configuration, FaultPlan, FaultSpec, Labeling, PrepCache, RoundScratch, Rpls};
+use rpls::graph::generators;
+use rpls::schemes::spanning_tree::{spanning_tree_config, SpanningTreePls};
+use rpls_core::CompiledRpls;
+
+const ALL_PATTERNS: [MessagePattern; 5] = [
+    MessagePattern::PerPort,
+    MessagePattern::Broadcast,
+    MessagePattern::Unicast,
+    MessagePattern::KMessages(1),
+    MessagePattern::KMessages(2),
+];
+
+fn spanning_tree_workload(n: usize) -> (Configuration, Labeling, Labeling, Labeling) {
+    let config = spanning_tree_config(
+        &Configuration::plain(generators::cycle(n)),
+        rpls::graph::NodeId::new(0),
+    );
+    let scheme = CompiledRpls::new(SpanningTreePls::new());
+    let honest = Rpls::label(&scheme, &config);
+    let mut tampered = honest.clone();
+    let flipped: rpls::bits::BitString = tampered
+        .get(rpls::graph::NodeId::new(2))
+        .iter()
+        .enumerate()
+        .map(|(i, b)| if i == 50 { !b } else { b })
+        .collect();
+    tampered.set(rpls::graph::NodeId::new(2), flipped);
+    let garbage = Labeling::new(
+        (0..n)
+            .map(|i| rpls::bits::BitString::zeros(i % 4))
+            .collect(),
+    );
+    (config, honest, tampered, garbage)
+}
+
+/// `PerPort` through every patterned entry point is bit-identical to the
+/// legacy engine: one-round scalar, one-round batched, multiround, and
+/// faulted — across labelings, stream modes, and both the compiled and
+/// exchange-labels schemes.
+#[test]
+fn per_port_is_transcript_identical_to_legacy() {
+    let (config, honest, tampered, garbage) = spanning_tree_workload(10);
+    let compiled = CompiledRpls::new(SpanningTreePls::new());
+    let exchange = ExchangeLabels::new(SpanningTreePls::new());
+    let plan = FaultPlan::new(FaultSpec::transparent().with_drop(0.2), 99);
+
+    let mut legacy_scratch = RoundScratch::new();
+    let mut patterned_scratch = RoundScratch::new();
+    let seeds = [0u64, 9, 77, 12345];
+    for labeling in [&honest, &tampered, &garbage] {
+        for mode in [StreamMode::EdgeIndependent, StreamMode::SharedPerNode] {
+            for seed in seeds {
+                macro_rules! check_scheme {
+                    ($scheme:expr) => {
+                        // One-round scalar.
+                        let a = engine::run_randomized_with(
+                            $scheme,
+                            &config,
+                            labeling,
+                            seed,
+                            mode,
+                            &mut legacy_scratch,
+                        );
+                        let b = engine::run_randomized_patterned_with(
+                            $scheme,
+                            &config,
+                            labeling,
+                            seed,
+                            MessagePattern::PerPort,
+                            mode,
+                            &mut patterned_scratch,
+                        );
+                        assert_eq!(a, b, "one-round summary (seed {seed}, mode {mode:?})");
+                        assert_eq!(legacy_scratch.votes(), patterned_scratch.votes());
+                        assert_eq!(
+                            legacy_scratch.certificates().to_nested(config.port_base()),
+                            patterned_scratch
+                                .certificates()
+                                .to_nested(config.port_base()),
+                            "certificates (seed {seed}, mode {mode:?})"
+                        );
+                        let prepared = $scheme.prepare(&config, labeling, seeds.len());
+                        // Batched trials.
+                        let mut legacy = Vec::new();
+                        engine::run_trials_batched_with(
+                            &*prepared,
+                            &config,
+                            &seeds,
+                            mode,
+                            &mut legacy_scratch,
+                            &mut |s| legacy.push(s),
+                        );
+                        let mut patterned = Vec::new();
+                        engine::run_trials_batched_patterned_with(
+                            &*prepared,
+                            &config,
+                            &seeds,
+                            MessagePattern::PerPort,
+                            mode,
+                            &mut patterned_scratch,
+                            &mut |s| patterned.push(s),
+                        );
+                        assert_eq!(legacy, patterned, "batched trials (mode {mode:?})");
+                        // Multiround.
+                        for rounds in [1usize, 3] {
+                            let a = engine::run_multiround_prepared_with(
+                                &*prepared,
+                                &config,
+                                seed,
+                                rounds,
+                                mode,
+                                &mut legacy_scratch,
+                            );
+                            let b = engine::run_multiround_prepared_patterned_with(
+                                &*prepared,
+                                &config,
+                                seed,
+                                rounds,
+                                MessagePattern::PerPort,
+                                mode,
+                                &mut patterned_scratch,
+                            );
+                            assert_eq!(a, b, "t={rounds} (seed {seed}, mode {mode:?})");
+                        }
+                        // Faulted (scalar + batched).
+                        let a = engine::run_randomized_prepared_faulted_with(
+                            &*prepared,
+                            &config,
+                            seed,
+                            &plan,
+                            mode,
+                            &mut legacy_scratch,
+                        );
+                        let b = engine::run_randomized_prepared_faulted_patterned_with(
+                            &*prepared,
+                            &config,
+                            seed,
+                            MessagePattern::PerPort,
+                            &plan,
+                            mode,
+                            &mut patterned_scratch,
+                        );
+                        assert_eq!(a, b, "faulted (seed {seed}, mode {mode:?})");
+                        let mut legacy = Vec::new();
+                        engine::run_trials_faulted_with(
+                            &*prepared,
+                            &config,
+                            &seeds,
+                            &plan,
+                            mode,
+                            &mut legacy_scratch,
+                            &mut |s| legacy.push(s),
+                        );
+                        let mut patterned = Vec::new();
+                        engine::run_trials_faulted_patterned_with(
+                            &*prepared,
+                            &config,
+                            &seeds,
+                            MessagePattern::PerPort,
+                            &plan,
+                            mode,
+                            &mut patterned_scratch,
+                            &mut |s| patterned.push(s),
+                        );
+                        assert_eq!(legacy, patterned, "faulted batch (mode {mode:?})");
+                        let a = engine::run_multiround_faulted_with(
+                            $scheme,
+                            &config,
+                            labeling,
+                            seed,
+                            3,
+                            &plan,
+                            mode,
+                            &mut legacy_scratch,
+                        );
+                        let b = engine::run_multiround_faulted_patterned_with(
+                            $scheme,
+                            &config,
+                            labeling,
+                            seed,
+                            3,
+                            MessagePattern::PerPort,
+                            &plan,
+                            mode,
+                            &mut patterned_scratch,
+                        );
+                        assert_eq!(a, b, "faulted multiround (seed {seed}, mode {mode:?})");
+                    };
+                }
+                check_scheme!(&compiled);
+                check_scheme!(&exchange);
+            }
+        }
+    }
+}
+
+/// One-round `Broadcast` is the `SharedPerNode` stream mode's first draw,
+/// shared across the node's ports: every port of the broadcast transcript
+/// carries exactly the certificate `SharedPerNode` puts on port 0, for
+/// both the compiled and exchange-labels schemes — subsumption, not a
+/// parallel implementation.
+#[test]
+fn one_round_broadcast_coincides_with_shared_per_node() {
+    let (config, honest, tampered, _) = spanning_tree_workload(8);
+    let compiled = CompiledRpls::new(SpanningTreePls::new());
+    let exchange = ExchangeLabels::new(SpanningTreePls::new());
+    let mut shared_scratch = RoundScratch::new();
+    let mut broadcast_scratch = RoundScratch::new();
+    for labeling in [&honest, &tampered] {
+        for seed in [0u64, 5, 1234] {
+            macro_rules! check_scheme {
+                ($scheme:expr, $name:expr) => {
+                    engine::run_randomized_with(
+                        $scheme,
+                        &config,
+                        labeling,
+                        seed,
+                        StreamMode::SharedPerNode,
+                        &mut shared_scratch,
+                    );
+                    engine::run_randomized_patterned_with(
+                        $scheme,
+                        &config,
+                        labeling,
+                        seed,
+                        MessagePattern::Broadcast,
+                        StreamMode::EdgeIndependent,
+                        &mut broadcast_scratch,
+                    );
+                    let shared = shared_scratch.certificates().to_nested(config.port_base());
+                    let broadcast = broadcast_scratch
+                        .certificates()
+                        .to_nested(config.port_base());
+                    for (v, (s, b)) in shared.iter().zip(broadcast.iter()).enumerate() {
+                        for (p, cert) in b.iter().enumerate() {
+                            assert_eq!(
+                                cert, &s[0],
+                                "{}: node {v} port {p} (seed {seed}): broadcast must \
+                                 replicate SharedPerNode's first draw",
+                                $name
+                            );
+                        }
+                    }
+                };
+            }
+            check_scheme!(&compiled, "compiled");
+            check_scheme!(&exchange, "exchange");
+        }
+    }
+    // For exchange-labels the certificate is the label on every port, so
+    // the *whole* transcript (certificates and votes) coincides.
+    for seed in [0u64, 5] {
+        let a = engine::run_randomized_with(
+            &exchange,
+            &config,
+            &honest,
+            seed,
+            StreamMode::SharedPerNode,
+            &mut shared_scratch,
+        );
+        let b = engine::run_randomized_patterned_with(
+            &exchange,
+            &config,
+            &honest,
+            seed,
+            MessagePattern::Broadcast,
+            StreamMode::EdgeIndependent,
+            &mut broadcast_scratch,
+        );
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(shared_scratch.votes(), broadcast_scratch.votes());
+        assert_eq!(
+            shared_scratch.certificates().to_nested(config.port_base()),
+            broadcast_scratch
+                .certificates()
+                .to_nested(config.port_base()),
+        );
+    }
+}
+
+/// `KMessages(k ≥ Δ)` assigns every port its own slot, so under the
+/// edge-independent stream it is bit-identical to `PerPort`; `Unicast`
+/// shares `PerPort`'s transcript by construction (only the bit accounting
+/// differs, and only for schemes that know their wire cost).
+#[test]
+fn saturated_k_and_unicast_share_per_port_transcripts() {
+    let (config, honest, tampered, garbage) = spanning_tree_workload(9);
+    let compiled = CompiledRpls::new(SpanningTreePls::new());
+    let mut a_scratch = RoundScratch::new();
+    let mut b_scratch = RoundScratch::new();
+    for labeling in [&honest, &tampered, &garbage] {
+        for seed in [0u64, 7, 321] {
+            let a = engine::run_randomized_patterned_with(
+                &compiled,
+                &config,
+                labeling,
+                seed,
+                MessagePattern::PerPort,
+                StreamMode::EdgeIndependent,
+                &mut a_scratch,
+            );
+            // Cycle degree is 2: k = 2 saturates, as does any larger k.
+            for k in [2usize, 3, 64] {
+                let b = engine::run_randomized_patterned_with(
+                    &compiled,
+                    &config,
+                    labeling,
+                    seed,
+                    MessagePattern::KMessages(k),
+                    StreamMode::EdgeIndependent,
+                    &mut b_scratch,
+                );
+                assert_eq!(a, b, "k={k} (seed {seed})");
+                assert_eq!(a_scratch.votes(), b_scratch.votes());
+                assert_eq!(
+                    a_scratch.certificates().to_nested(config.port_base()),
+                    b_scratch.certificates().to_nested(config.port_base()),
+                );
+            }
+            // Unicast accounting needs the prepared scheme (only the
+            // labeling-static plans know the wire cost): same transcript,
+            // half the (x, P(x)) width — the sender ships P(x) only.
+            let prepared = compiled.prepare(&config, labeling, 1);
+            let u = engine::run_randomized_prepared_patterned_with(
+                &*prepared,
+                &config,
+                seed,
+                MessagePattern::Unicast,
+                StreamMode::EdgeIndependent,
+                &mut b_scratch,
+            );
+            assert_eq!(a.accepted, u.accepted, "unicast verdict (seed {seed})");
+            assert_eq!(a_scratch.votes(), b_scratch.votes());
+            assert_eq!(
+                a_scratch.certificates().to_nested(config.port_base()),
+                b_scratch.certificates().to_nested(config.port_base()),
+                "unicast transcript (seed {seed})"
+            );
+            assert_eq!(u.max_certificate_bits, a.max_certificate_bits / 2);
+            assert_eq!(u.total_certificate_bits, a.total_certificate_bits / 2);
+        }
+    }
+}
+
+/// The compiled batched pattern kernels agree with the patterned scalar
+/// reference path, trial for trial, for every pattern (the batched
+/// `Broadcast`/`KMessages` probes re-key the stream by slot; this pins
+/// that re-keying against the scalar certificate generator).
+#[test]
+fn batched_pattern_kernels_match_scalar_reference() {
+    let (config, honest, tampered, garbage) = spanning_tree_workload(11);
+    let compiled = CompiledRpls::new(SpanningTreePls::new());
+    let seeds = [0u64, 9, 77, 12345, 54321];
+    let mut scalar_scratch = RoundScratch::new();
+    let mut batched_scratch = RoundScratch::new();
+    for labeling in [&honest, &tampered, &garbage] {
+        let prepared = compiled.prepare(&config, labeling, seeds.len());
+        for pattern in ALL_PATTERNS {
+            let scalar: Vec<_> = seeds
+                .iter()
+                .map(|&seed| {
+                    engine::run_randomized_prepared_patterned_with(
+                        &*prepared,
+                        &config,
+                        seed,
+                        pattern,
+                        StreamMode::EdgeIndependent,
+                        &mut scalar_scratch,
+                    )
+                })
+                .collect();
+            let mut batched = Vec::new();
+            engine::run_trials_batched_patterned_with(
+                &*prepared,
+                &config,
+                &seeds,
+                pattern,
+                StreamMode::EdgeIndependent,
+                &mut batched_scratch,
+                &mut |s| batched.push(s),
+            );
+            assert_eq!(scalar, batched, "pattern {pattern:?}");
+            // Multiround kernels against the prepared scalar schedule.
+            for rounds in [1usize, 4] {
+                let scalar: Vec<_> = seeds
+                    .iter()
+                    .map(|&seed| {
+                        engine::run_multiround_prepared_patterned_with(
+                            &*prepared,
+                            &config,
+                            seed,
+                            rounds,
+                            pattern,
+                            StreamMode::EdgeIndependent,
+                            &mut scalar_scratch,
+                        )
+                    })
+                    .collect();
+                let mut batched = Vec::new();
+                engine::run_multiround_trials_batched_patterned_with(
+                    &*prepared,
+                    &config,
+                    &seeds,
+                    rounds,
+                    pattern,
+                    StreamMode::EdgeIndependent,
+                    &mut batched_scratch,
+                    &mut |s| batched.push(s),
+                );
+                assert_eq!(scalar, batched, "pattern {pattern:?} t={rounds}");
+            }
+        }
+    }
+}
+
+/// Completeness survives every pattern: an honest labeling accepts with
+/// probability 1 under the whole spectrum (the schemes are one-sided, and
+/// sharing a correct fingerprint across ports cannot create a rejection).
+#[test]
+fn honest_labelings_accept_under_every_pattern() {
+    let (config, honest, _, _) = spanning_tree_workload(12);
+    let compiled = CompiledRpls::new(SpanningTreePls::new());
+    let exchange = ExchangeLabels::new(SpanningTreePls::new());
+    // Each scheme's own honest labels (the compiled label carries a κ
+    // prefix the exchange baseline doesn't use).
+    let exchange_honest = Rpls::label(&exchange, &config);
+    for pattern in ALL_PATTERNS {
+        let p = rpls::core::stats::acceptance_probability_patterned(
+            &compiled, &config, &honest, 60, 3, pattern,
+        );
+        assert_eq!(p, 1.0, "compiled under {pattern:?}");
+        let p = rpls::core::stats::acceptance_probability_patterned(
+            &exchange,
+            &config,
+            &exchange_honest,
+            20,
+            3,
+            pattern,
+        );
+        assert_eq!(p, 1.0, "exchange under {pattern:?}");
+    }
+}
+
+/// The patterned estimators share the per-port estimators' per-trial
+/// seeds: `PerPort` reproduces `acceptance_probability` (and its
+/// multiround twin) bit-for-bit, cached or not.
+#[test]
+fn per_port_estimators_match_legacy_estimators() {
+    let (config, _, tampered, _) = spanning_tree_workload(10);
+    let compiled = CompiledRpls::new(SpanningTreePls::new());
+    for (trials, seed) in [(64usize, 7u64), (300, 11)] {
+        let legacy =
+            rpls::core::stats::acceptance_probability(&compiled, &config, &tampered, trials, seed);
+        let patterned = rpls::core::stats::acceptance_probability_patterned(
+            &compiled,
+            &config,
+            &tampered,
+            trials,
+            seed,
+            MessagePattern::PerPort,
+        );
+        assert!(legacy == patterned, "{legacy} vs {patterned}");
+        let cached = rpls::core::stats::acceptance_probability_patterned_cached(
+            &compiled,
+            &config,
+            &tampered,
+            trials,
+            seed,
+            MessagePattern::PerPort,
+            &mut RoundScratch::new(),
+            &mut PrepCache::new(),
+        );
+        assert!(legacy == cached, "{legacy} vs cached {cached}");
+        for rounds in [1usize, 4] {
+            let legacy = rpls::core::stats::multiround_acceptance_probability(
+                &compiled, &config, &tampered, rounds, trials, seed,
+            );
+            let patterned = rpls::core::stats::multiround_acceptance_probability_patterned(
+                &compiled,
+                &config,
+                &tampered,
+                rounds,
+                trials,
+                seed,
+                MessagePattern::PerPort,
+            );
+            assert!(legacy == patterned, "t={rounds}: {legacy} vs {patterned}");
+        }
+    }
+}
+
+/// Serial and parallel estimates stay bit-identical now that the serial
+/// path funnels through the patterned kernels — on shard counts ≥ 2, with
+/// non-trivial acceptance (the satellite pin for the `parallel` CI job).
+#[cfg(feature = "parallel")]
+#[test]
+fn parallel_shards_stay_bit_identical_after_pattern_refactor() {
+    let (config, _, tampered, _) = spanning_tree_workload(14);
+    let compiled = CompiledRpls::new(SpanningTreePls::new());
+    for (trials, seed) in [(128usize, 3u64), (500, 21)] {
+        let serial =
+            rpls::core::stats::acceptance_probability(&compiled, &config, &tampered, trials, seed);
+        for threads in [Some(2), Some(4), Some(7)] {
+            let par = rpls::core::stats::acceptance_probability_par(
+                &compiled, &config, &tampered, trials, seed, threads,
+            );
+            assert!(
+                serial == par,
+                "trials {trials} seed {seed} threads {threads:?}: {serial} vs {par}"
+            );
+        }
+    }
+}
