@@ -13,7 +13,11 @@
 //! graceful-degradation curve — acceptance of the honest and tampered
 //! 256-cycle spanning tree as drop/corrupt/crash rates grow — plus the two
 //! correctness bits the gate enforces (`zero_fault_identical`,
-//! `soundness_preserved`).
+//! `soundness_preserved`). The `service` workload pushes a mixed
+//! multi-tenant batch through the resident `rpls_service::Service` and
+//! records jobs/s, the shared-cache hit rate, and the
+//! `verdicts_identical` bit (service replies equal direct engine
+//! estimates exactly) that the gate enforces speed-independently.
 //!
 //! Setting `BENCH_ENGINE_SMOKE=1` runs a reduced matrix (~15 s total):
 //! the cheap acceptance runners keep their full 10k trials — their ratios
@@ -29,13 +33,16 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rpls_bits::BitString;
-use rpls_core::engine::{self, mix_seed, MessagePattern, StreamMode};
+use rpls_core::engine::{self, mix_seed, MessagePattern, SeedSource, StreamMode};
 use rpls_core::{
     CertView, CertificateBuffer, CompiledRpls, Configuration, DetView, Labeling, Pls, PrepCache,
     RandView, Received, RoundScratch, Rpls,
 };
 use rpls_graph::{generators, Graph, Port};
 use rpls_schemes::spanning_tree::{spanning_tree_config, SpanningTreePls};
+use rpls_service::registry::{self, request_skeleton};
+use rpls_service::service::Service;
+use rpls_service::wire::{JobReply, WireFaults};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -1101,6 +1108,147 @@ fn bench_patterns(results: &mut Vec<PatternRow>) {
     }
 }
 
+/// One row of the service workload: a mixed multi-tenant batch pushed
+/// through the resident [`Service`] — three tenants with different
+/// schemes, graphs, patterns, fault environments, and seed sources,
+/// resubmitting so the shared `PrepCache` has recurring content to hit
+/// on. The gate enforces the correctness bits (`verdicts_identical` —
+/// every service reply equals a direct engine estimate run with a private
+/// fresh cache, bit for bit — and a nonzero `cache_hit_rate`, both
+/// deterministic functions of the batch), never the jobs/s throughput.
+struct ServiceRow {
+    workload: &'static str,
+    jobs: usize,
+    trials: usize,
+    jobs_per_sec: f64,
+    secs: f64,
+    sheds: u64,
+    cache_hit_rate: f64,
+    verdicts_identical: bool,
+}
+
+/// Whether one service reply reproduces the direct estimate bit for bit.
+fn reply_matches(reply: &JobReply, direct: &rpls_core::stats::Estimate) -> bool {
+    let JobReply::Ok(resp) = reply else {
+        return false;
+    };
+    resp.trials == direct.trials as u64
+        && resp.accepts == direct.accepts as u64
+        && resp.degraded_trials == direct.degraded_trials as u64
+        && resp.missing_messages == direct.missing_messages as u64
+        && resp.dropped == direct.counts.dropped as u64
+        && resp.corrupted == direct.counts.corrupted as u64
+        && resp.duplicated == direct.counts.duplicated as u64
+        && resp.crashed_nodes == direct.counts.crashed_nodes as u64
+        && resp.retries == direct.counts.retries as u64
+}
+
+fn bench_service(results: &mut Vec<ServiceRow>) {
+    let (trials, repeats) = if smoke_mode() {
+        (400usize, 3)
+    } else {
+        (4_000usize, 8)
+    };
+
+    // Tenant A: spanning tree on a 64-cycle, private coins.
+    let cycle: Vec<(u32, u32)> = (0..64).map(|i| (i, (i + 1) % 64)).collect();
+    let mut a = request_skeleton("spanning-tree", 64, &cycle);
+    a.trials = trials as u32;
+    a.seed_source = SeedSource::Trial(0xA11CE);
+
+    // Tenant B: uniformity on a 16-path, broadcast pattern, a 2-round
+    // schedule, public beacon coins.
+    let path: Vec<(u32, u32)> = (0..15).map(|i| (i, i + 1)).collect();
+    let mut b = request_skeleton("uniformity", 16, &path);
+    b.payload = BitString::from_bools((0..96).map(|i| i % 3 == 0));
+    b.trials = (trials / 2) as u32;
+    b.pattern = MessagePattern::Broadcast;
+    b.rounds = 2;
+    b.seed_source = SeedSource::Beacon {
+        round_id: 7,
+        value: 0xBEAC_0000,
+    };
+
+    // Tenant C: leader election on a 12-star behind a lossy channel.
+    let star: Vec<(u32, u32)> = (1..12).map(|i| (0, i)).collect();
+    let mut c = request_skeleton("leader", 12, &star);
+    c.param = 3;
+    c.trials = (trials / 2) as u32;
+    c.seed_source = SeedSource::Trial(0xC0FFEE);
+    c.faults = Some(WireFaults {
+        drop_rate: 0.05,
+        corrupt_rate: 0.02,
+        duplicate_rate: 0.0,
+        crash_rate: 0.0,
+        retry_budget: 0,
+        fault_seed: 99,
+    });
+
+    // Ground truth first, outside the timed region: each tenant's job run
+    // directly against the engine with a private fresh cache.
+    let tenants = [a, b, c];
+    let directs: Vec<rpls_core::stats::Estimate> = tenants
+        .iter()
+        .map(|req| {
+            let job = registry::build(req).expect("bench tenants are well-formed");
+            rpls_core::stats::estimate(
+                &*job.scheme,
+                &job.config,
+                &job.labeling,
+                &req.run_spec(),
+                &rpls_core::stats::EstimateOpts::new(req.trials as usize),
+            )
+        })
+        .collect();
+
+    let service = Service::spawn();
+    let mut replies = Vec::new();
+    let t0 = Instant::now();
+    for _ in 0..repeats {
+        for req in &tenants {
+            replies.push(service.submit(req.clone()));
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let jobs = replies.len();
+    let verdicts_identical = replies
+        .iter()
+        .enumerate()
+        .all(|(i, reply)| reply_matches(reply, &directs[i % tenants.len()]));
+    let cache_hit_rate = service.cache_stats().hit_rate();
+    let sheds = service.shed_count();
+    service.shutdown();
+
+    let row = ServiceRow {
+        workload: "mixed_tenants",
+        jobs,
+        trials,
+        jobs_per_sec: jobs as f64 / secs,
+        secs,
+        sheds,
+        cache_hit_rate,
+        verdicts_identical,
+    };
+    println!(
+        "bench: service/{} ... {jobs} jobs in {secs:.4}s ({:.1} jobs/s) | hit rate {:.4} | \
+         verdicts identical {verdicts_identical}",
+        row.workload, row.jobs_per_sec, row.cache_hit_rate,
+    );
+    assert!(
+        verdicts_identical,
+        "service/mixed_tenants: every reply must equal the direct engine estimate"
+    );
+    assert!(
+        cache_hit_rate > 0.0,
+        "service/mixed_tenants: resubmitting tenants must hit the shared cache"
+    );
+    assert_eq!(
+        sheds, 0,
+        "service/mixed_tenants: a sequential batch must never overflow the queue"
+    );
+    results.push(row);
+}
+
 fn write_json(
     rows: &[MatrixRow],
     acceptance: &[AcceptanceResult],
@@ -1108,12 +1256,13 @@ fn write_json(
     tradeoff: &[TradeoffRow],
     faults: &[FaultRow],
     patterns: &[PatternRow],
+    service: &[ServiceRow],
 ) {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{{\n  \"bench\": \"engine\",\n  \"mode\": \"{}\",\n  \"units\": {{\"rounds_per_sec\": \
-         \"1/s\", \"secs\": \"s\"}},",
+         \"1/s\", \"jobs_per_sec\": \"1/s\", \"secs\": \"s\"}},",
         if smoke_mode() { "smoke" } else { "full" }
     );
     out.push_str("  \"round_matrix\": [\n");
@@ -1264,6 +1413,30 @@ fn write_json(
             if i + 1 == patterns.len() { "" } else { "," }
         );
     }
+    // The service workload: a mixed multi-tenant batch through the
+    // resident engine. The gate enforces `verdicts_identical` and a
+    // nonzero `cache_hit_rate` on every current run (both deterministic
+    // functions of the batch); `jobs_per_sec` is recorded for the
+    // trajectory but never compared — absolute throughput is
+    // machine-bound.
+    out.push_str("  ],\n  \"service\": [\n");
+    for (i, r) in service.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"jobs\": {}, \"trials\": {}, \
+             \"jobs_per_sec\": {:.1}, \"secs\": {:.4}, \"sheds\": {}, \
+             \"cache_hit_rate\": {:.4}, \"verdicts_identical\": {}}}{}",
+            r.workload,
+            r.jobs,
+            r.trials,
+            r.jobs_per_sec,
+            r.secs,
+            r.sheds,
+            r.cache_hit_rate,
+            r.verdicts_identical,
+            if i + 1 == service.len() { "" } else { "," }
+        );
+    }
     out.push_str("  ]\n}\n");
 
     let file = if smoke_mode() {
@@ -1283,13 +1456,23 @@ fn bench_engine(c: &mut Criterion) {
     let mut tradeoff = Vec::new();
     let mut faults = Vec::new();
     let mut patterns = Vec::new();
+    let mut service = Vec::new();
     bench_round_matrix(c, &mut rows);
     bench_acceptance_10k(&mut acceptance);
     bench_adversary_sweep(&mut sweeps);
     bench_tradeoff(&mut tradeoff);
     bench_faults(&mut faults);
     bench_patterns(&mut patterns);
-    write_json(&rows, &acceptance, &sweeps, &tradeoff, &faults, &patterns);
+    bench_service(&mut service);
+    write_json(
+        &rows,
+        &acceptance,
+        &sweeps,
+        &tradeoff,
+        &faults,
+        &patterns,
+        &service,
+    );
 }
 
 criterion_group!(benches, bench_engine);

@@ -18,7 +18,11 @@
 //! matched by `(family, n)` (round matrix) and by scheme name (acceptance
 //! table); rows present in only one file are skipped, so adding a
 //! workload never breaks the gate, and metrics missing from an older
-//! reference are simply not checked.
+//! reference are simply not checked. Correctness bits
+//! (`estimates_identical`, `t1_identical`, `soundness_preserved`,
+//! `per_port_identical`, the service table's `verdicts_identical` and
+//! nonzero `cache_hit_rate`) are enforced on the current run alone — they
+//! are deterministic at any machine speed, so no reference is consulted.
 //!
 //! The parser is deliberately minimal: it reads exactly the flat
 //! object-per-row schema `bench_engine` emits (no nested objects inside
@@ -43,9 +47,12 @@ impl Row {
     /// matrix, the scheme name for the acceptance table, `scheme/t` for
     /// the per-round-count trade-off rows, `kind/rate` for the
     /// fault-tolerance sweep, `graph/pattern` for the message-pattern
-    /// sweep.
+    /// sweep, the workload name for the service table.
     #[must_use]
     pub fn key(&self) -> String {
+        if let Some(w) = self.tags.get("workload") {
+            return w.clone();
+        }
         if let (Some(g), Some(p)) = (self.tags.get("graph"), self.tags.get("pattern")) {
             return format!("{g}/{p}");
         }
@@ -119,14 +126,15 @@ fn rows(array: &str) -> Vec<Row> {
     out
 }
 
-/// The five row tables of one bench JSON, in emission order: round
-/// matrix, acceptance table, trade-off sweep, fault sweep, pattern sweep.
-pub type Sections = (Vec<Row>, Vec<Row>, Vec<Row>, Vec<Row>, Vec<Row>);
+/// The six row tables of one bench JSON, in emission order: round
+/// matrix, acceptance table, trade-off sweep, fault sweep, pattern sweep,
+/// service table.
+pub type Sections = (Vec<Row>, Vec<Row>, Vec<Row>, Vec<Row>, Vec<Row>, Vec<Row>);
 
 /// Parses one bench JSON into its row tables: the round matrix, the
 /// acceptance table, the t-round trade-off sweep, the fault-tolerance
-/// sweep, and the message-pattern sweep (the latter three empty for
-/// JSONs predating their sections).
+/// sweep, the message-pattern sweep, and the service workload (the
+/// latter four empty for JSONs predating their sections).
 #[must_use]
 pub fn parse(json: &str) -> Sections {
     (
@@ -135,6 +143,7 @@ pub fn parse(json: &str) -> Sections {
         rows(section(json, "tradeoff")),
         rows(section(json, "faults")),
         rows(section(json, "patterns")),
+        rows(section(json, "service")),
     )
 }
 
@@ -203,8 +212,8 @@ pub fn check(current: &str, reference: &str, max_regress: f64) -> GateReport {
         max_regress.is_finite() && max_regress > 0.0,
         "max_regress must be positive"
     );
-    let (cur_matrix, cur_acc, cur_tradeoff, cur_faults, cur_patterns) = parse(current);
-    let (ref_matrix, ref_acc, ref_tradeoff, _, _) = parse(reference);
+    let (cur_matrix, cur_acc, cur_tradeoff, cur_faults, cur_patterns, cur_service) = parse(current);
+    let (ref_matrix, ref_acc, ref_tradeoff, _, _, _) = parse(reference);
     let mut report = GateReport::default();
 
     // One comparison: the named value must not sit more than `max_regress`
@@ -349,6 +358,24 @@ pub fn check(current: &str, reference: &str, max_regress: f64) -> GateReport {
         if unicast_bits > per_port_bits {
             report.failures.push(format!(
                 "{}: unicast total_bits {unicast_bits} exceeds per_port {per_port_bits}",
+                row.key()
+            ));
+        }
+    }
+    // The service workload is gated purely on its correctness bits, never
+    // on jobs/s (absolute throughput is machine-bound): a service reply
+    // diverging from the direct engine estimate, or a mixed batch whose
+    // shared cache stopped hitting, fails at any speed. Both are
+    // deterministic functions of the batch, not of timing.
+    for row in &cur_service {
+        if row.nums.get("verdicts_identical") == Some(&0.0) {
+            report
+                .failures
+                .push(format!("{}: verdicts_identical is false", row.key()));
+        }
+        if row.nums.get("cache_hit_rate") == Some(&0.0) {
+            report.failures.push(format!(
+                "{}: cache_hit_rate is zero — the shared cache stopped sharing",
                 row.key()
             ));
         }
@@ -525,7 +552,7 @@ mod tests {
     #[test]
     fn tradeoff_rows_are_keyed_by_scheme_and_t() {
         let json = with_tradeoff(&sample(300000.0, 20.0, Some(50.0), true), 16.0, true);
-        let (_, _, tradeoff, _, _) = parse(&json);
+        let (_, _, tradeoff, _, _, _) = parse(&json);
         assert_eq!(tradeoff.len(), 2);
         assert_eq!(tradeoff[0].key(), "exchange_spanning_tree/t=1");
         assert_eq!(tradeoff[1].key(), "exchange_spanning_tree/t=16");
@@ -571,7 +598,7 @@ mod tests {
         // The committed reference itself must parse: guard against the
         // emitter and the parser drifting apart.
         let json = include_str!("../../../BENCH_engine.json");
-        let (matrix, acc, tradeoff, faults, patterns) = parse(json);
+        let (matrix, acc, tradeoff, faults, patterns, service) = parse(json);
         assert!(matrix.len() >= 9);
         assert!(acc.len() >= 2);
         assert!(matrix[0].nums.contains_key("rand_rounds_per_sec"));
@@ -625,6 +652,22 @@ mod tests {
             ),
             "every committed broadcast row must emit one message per node"
         );
+        assert!(
+            !service.is_empty(),
+            "committed reference must include the service workload"
+        );
+        assert!(
+            service
+                .iter()
+                .all(|r| r.nums.get("verdicts_identical") == Some(&1.0)),
+            "every committed service row must match the direct engine"
+        );
+        assert!(
+            service
+                .iter()
+                .all(|r| r.nums.get("cache_hit_rate").copied().unwrap_or(0.0) > 0.0),
+            "every committed service row must report a nonzero hit rate"
+        );
         let report = check(json, json, 2.0);
         assert!(report.failures.is_empty(), "{:?}", report.failures);
     }
@@ -651,7 +694,7 @@ mod tests {
     #[test]
     fn fault_rows_are_keyed_by_kind_and_rate() {
         let json = with_faults(&sample(300000.0, 20.0, Some(50.0), true), true, true);
-        let (_, _, _, faults, _) = parse(&json);
+        let (_, _, _, faults, _, _) = parse(&json);
         assert_eq!(faults.len(), 2);
         assert_eq!(faults[0].key(), "none/rate=0");
         assert_eq!(faults[1].key(), "drop/rate=0.005");
@@ -707,7 +750,7 @@ mod tests {
     #[test]
     fn pattern_rows_are_keyed_by_graph_and_pattern() {
         let json = with_patterns(&sample(300000.0, 20.0, Some(50.0), true), true, 3584);
-        let (_, _, _, _, patterns) = parse(&json);
+        let (_, _, _, _, patterns, _) = parse(&json);
         assert_eq!(patterns.len(), 3);
         assert_eq!(patterns[0].key(), "cycle256/per_port");
         assert_eq!(patterns[1].key(), "cycle256/unicast");
@@ -742,5 +785,55 @@ mod tests {
         // At or below the per-port total it passes.
         let ok = with_patterns(&sample(300000.0, 20.0, Some(50.0), true), true, 7168);
         assert!(check(&ok, &ok, 2.0).failures.is_empty());
+    }
+
+    /// A bench JSON with a `service` section: one mixed-tenant batch row
+    /// with the given correctness bit and cache hit rate.
+    fn with_service(base: &str, identical: bool, hit_rate: f64) -> String {
+        let service = format!(
+            ",\n  \"service\": [\n    {{\"workload\": \"mixed_tenants\", \"jobs\": 24, \
+             \"trials\": 4000, \"jobs_per_sec\": 45.2, \"secs\": 0.53, \"sheds\": 0, \
+             \"cache_hit_rate\": {hit_rate:.4}, \"verdicts_identical\": {identical}}}\n  ]"
+        );
+        let at = base.rfind("\n}").expect("object close");
+        let mut out = String::from(&base[..at]);
+        out.push_str(&service);
+        out.push_str(&base[at..]);
+        out
+    }
+
+    #[test]
+    fn service_rows_are_keyed_by_workload() {
+        let json = with_service(&sample(300000.0, 20.0, Some(50.0), true), true, 0.85);
+        let (_, _, _, _, _, service) = parse(&json);
+        assert_eq!(service.len(), 1);
+        assert_eq!(service[0].key(), "mixed_tenants");
+        // A healthy file passes against itself and against a pre-service
+        // reference (new sections never break the gate).
+        assert!(check(&json, &json, 2.0).failures.is_empty());
+        let pre_service = sample(300000.0, 20.0, Some(50.0), true);
+        assert!(check(&json, &pre_service, 2.0).failures.is_empty());
+    }
+
+    #[test]
+    fn service_verdict_divergence_fails_regardless_of_speed() {
+        let cur = with_service(&sample(300000.0, 20.0, Some(50.0), true), false, 0.85);
+        let report = check(&cur, &cur, 2.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("mixed_tenants") && f.contains("verdicts_identical")));
+    }
+
+    #[test]
+    fn service_zero_hit_rate_fails_regardless_of_speed() {
+        // The mixed batch resubmits tenants: a zero hit rate means the
+        // shared cache stopped sharing — fail at any speed.
+        let cur = with_service(&sample(300000.0, 20.0, Some(50.0), true), true, 0.0);
+        let report = check(&cur, &cur, 2.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("mixed_tenants") && f.contains("cache_hit_rate")));
     }
 }

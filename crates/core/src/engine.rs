@@ -37,6 +37,20 @@
 //! batch trials node-at-a-time — the compiled schemes skip certificate
 //! materialisation entirely — while emitting summaries bit-identical to
 //! the scalar loop.
+//!
+//! # One dispatch surface
+//!
+//! The entry points above grew as axes were added (multiround × faulted ×
+//! patterned × batched), and every combination spawned a `run_*` twin. The
+//! redesigned surface folds the axes into one value: a [`RunSpec`] names
+//! the job — `rounds`, `pattern`, `stream_mode`, optional `faults`, and a
+//! [`SeedSource`] (private trial seed or GRAIL-style public beacon coins)
+//! — and [`run`] / [`run_prepared`] / [`run_trials`] execute it, returning
+//! uniform [`RunReport`]s. Every legacy `run_*` entry is a thin shim over
+//! this dispatch (except the `DegradedSummary`-returning diagnostics
+//! entries, which share its cores, and the multiround fault-overlay
+//! family, which keeps its distinct `t = 1` semantics — see each entry's
+//! docs), so the golden suites pin the new surface transitively.
 
 use crate::buffer::{Received, RoundScratch};
 use crate::fault::{
@@ -320,6 +334,427 @@ pub struct PatternCost {
     pub total_bits: usize,
 }
 
+/// Where the base seed of a [`RunSpec`] comes from — the private-coin /
+/// public-coin axis of the redesigned dispatch surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedSource {
+    /// An ordinary private trial seed: the caller picks (or derives) a
+    /// 64-bit seed, exactly as every legacy entry point did.
+    Trial(u64),
+    /// GRAIL-style **public coins**: the seed is derived from a randomness
+    /// beacon pulse via [`beacon_seed`](crate::rng::beacon_seed), so any
+    /// third party holding `(round_id, value)` and a published transcript
+    /// re-derives every certificate bit-for-bit. Verification itself is
+    /// unchanged — the beacon only replaces where the seed comes from.
+    Beacon {
+        /// The beacon pulse's sequence number (e.g. a drand round).
+        round_id: u64,
+        /// The pulse's published 64-bit value.
+        value: u64,
+    },
+}
+
+impl SeedSource {
+    /// The 64-bit engine base seed this source denotes.
+    #[must_use]
+    pub fn resolve(self) -> u64 {
+        match self {
+            Self::Trial(seed) => seed,
+            Self::Beacon { round_id, value } => crate::rng::beacon_seed(round_id, value),
+        }
+    }
+}
+
+/// One verification job, fully specified — the single dispatch surface the
+/// historical `run_*` twins collapse into. Every axis the engine grew over
+/// the PRs is a field:
+///
+/// * `rounds` — the t-round space–time trade-off (1 = the paper's
+///   one-round model);
+/// * `pattern` — the broadcast/unicast/k-messages spectrum;
+/// * `stream_mode` — edge-independent randomness or the deliberate
+///   Proposition 4.6 violation mode;
+/// * `faults` — an optional fault plan (lossy/corrupting channels,
+///   crash-stop nodes);
+/// * `seed_source` — private trial seed or public beacon coins.
+///
+/// Execute a spec with [`run`] (unprepared convenience), [`run_prepared`]
+/// (against a prepared scheme) or [`run_trials`] (whole seed blocks, the
+/// Monte-Carlo regime). **Semantics note:** with faults at `rounds = 1`
+/// the spec runs the one-round fault model (single-shot delivery, no
+/// retries — what [`run_trials_faulted_with`] always measured); with
+/// faults at `rounds > 1` it runs the multiround overlay (chunked
+/// schedule, retry budget). The legacy `run_multiround_*faulted*` entries
+/// keep the overlay semantics at every `t`, including 1, and therefore
+/// delegate to the scheme hooks directly rather than through a spec.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Schedule length `t` (must be ≥ 1; enforced at execution).
+    pub rounds: usize,
+    /// The message pattern certificates are shared under.
+    pub pattern: MessagePattern,
+    /// How per-port random streams are keyed.
+    pub stream_mode: StreamMode,
+    /// The fault environment, `None` for a clean network.
+    pub faults: Option<FaultPlan>,
+    /// Where the base seed comes from.
+    pub seed_source: SeedSource,
+}
+
+impl RunSpec {
+    /// A one-round, per-port, edge-independent, fault-free spec over
+    /// `seed_source` — the defaults every legacy entry point implied.
+    #[must_use]
+    pub fn new(seed_source: SeedSource) -> Self {
+        Self {
+            rounds: 1,
+            pattern: MessagePattern::PerPort,
+            stream_mode: StreamMode::EdgeIndependent,
+            faults: None,
+            seed_source,
+        }
+    }
+
+    /// A default spec over a private trial seed.
+    #[must_use]
+    pub fn trial(seed: u64) -> Self {
+        Self::new(SeedSource::Trial(seed))
+    }
+
+    /// A default spec over public beacon coins (see [`SeedSource::Beacon`]).
+    #[must_use]
+    pub fn beacon(round_id: u64, value: u64) -> Self {
+        Self::new(SeedSource::Beacon { round_id, value })
+    }
+
+    /// Sets the schedule length `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is 0.
+    #[must_use]
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        assert!(rounds > 0, "a schedule needs at least one round");
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the message pattern.
+    #[must_use]
+    pub fn with_pattern(mut self, pattern: MessagePattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Sets the stream mode.
+    #[must_use]
+    pub fn with_stream_mode(mut self, mode: StreamMode) -> Self {
+        self.stream_mode = mode;
+        self
+    }
+
+    /// Installs a fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The resolved 64-bit base seed of this spec.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed_source.resolve()
+    }
+}
+
+/// The fault half of a [`RunReport`]: how much the plan actually degraded
+/// the trial. Present iff the spec carried a fault plan — a transparent
+/// plan still reports (all-zero) fault statistics, because the trial ran
+/// through the fault layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// Nodes that were missing at least one incident message (and so voted
+    /// a conservative reject).
+    pub insufficient_nodes: usize,
+    /// Messages that never arrived, over all rounds.
+    pub missing_messages: usize,
+    /// Fault events that fired.
+    pub counts: FaultCounts,
+}
+
+/// The uniform result of executing one [`RunSpec`] trial — what every
+/// summary type ([`RoundSummary`], [`MultiRoundSummary`],
+/// [`FaultedRoundSummary`], [`FaultedMultiRoundSummary`]) projects into,
+/// losslessly: the legacy shims convert back without information loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Whether every node's (accumulated) verdict is accept.
+    pub accepted: bool,
+    /// The schedule length the trial ran with (1 for one-round specs).
+    pub rounds: usize,
+    /// The 1-based round the global verdict became known in (see
+    /// [`MultiRoundSummary::decided_round`]; always 1 for one-round specs).
+    pub decided_round: usize,
+    /// Largest bits any single directed edge carried in any single round.
+    pub max_bits_per_round: usize,
+    /// Total bits over all directed edges and rounds.
+    pub total_bits: usize,
+    /// Fault statistics, `Some` iff the spec carried a fault plan.
+    pub fault: Option<FaultReport>,
+}
+
+impl RunReport {
+    fn from_round(summary: RoundSummary) -> Self {
+        Self {
+            accepted: summary.accepted,
+            rounds: 1,
+            decided_round: 1,
+            max_bits_per_round: summary.max_certificate_bits,
+            total_bits: summary.total_certificate_bits,
+            fault: None,
+        }
+    }
+
+    fn from_multiround(summary: MultiRoundSummary) -> Self {
+        Self {
+            accepted: summary.accepted,
+            rounds: summary.rounds,
+            decided_round: summary.decided_round,
+            max_bits_per_round: summary.max_bits_per_round,
+            total_bits: summary.total_bits,
+            fault: None,
+        }
+    }
+
+    fn from_faulted_round(summary: FaultedRoundSummary) -> Self {
+        Self {
+            fault: Some(FaultReport {
+                insufficient_nodes: summary.insufficient_nodes,
+                missing_messages: summary.missing_messages,
+                counts: summary.counts,
+            }),
+            ..Self::from_round(summary.summary)
+        }
+    }
+
+    fn from_faulted_multiround(summary: FaultedMultiRoundSummary) -> Self {
+        Self {
+            fault: Some(FaultReport {
+                insufficient_nodes: summary.insufficient_nodes,
+                missing_messages: summary.missing_messages,
+                counts: summary.counts,
+            }),
+            ..Self::from_multiround(summary.summary)
+        }
+    }
+
+    /// This report viewed as a one-round summary. Exact for one-round
+    /// specs (`rounds == 1`); for longer schedules the bits fields carry
+    /// the per-round maximum and the all-rounds total.
+    #[must_use]
+    pub fn round_summary(&self) -> RoundSummary {
+        RoundSummary {
+            accepted: self.accepted,
+            max_certificate_bits: self.max_bits_per_round,
+            total_certificate_bits: self.total_bits,
+        }
+    }
+
+    /// This report viewed as a t-round summary (exact at any `rounds`).
+    #[must_use]
+    pub fn multiround_summary(&self) -> MultiRoundSummary {
+        MultiRoundSummary {
+            accepted: self.accepted,
+            rounds: self.rounds,
+            decided_round: self.decided_round,
+            max_bits_per_round: self.max_bits_per_round,
+            total_bits: self.total_bits,
+        }
+    }
+
+    /// This report viewed as a faulted one-round summary; a report without
+    /// fault statistics converts as clean.
+    #[must_use]
+    pub fn faulted_round_summary(&self) -> FaultedRoundSummary {
+        let fault = self.fault.unwrap_or_default();
+        FaultedRoundSummary {
+            summary: self.round_summary(),
+            insufficient_nodes: fault.insufficient_nodes,
+            missing_messages: fault.missing_messages,
+            counts: fault.counts,
+        }
+    }
+
+    /// This report viewed as a faulted t-round summary; a report without
+    /// fault statistics converts as clean.
+    #[must_use]
+    pub fn faulted_multiround_summary(&self) -> FaultedMultiRoundSummary {
+        let fault = self.fault.unwrap_or_default();
+        FaultedMultiRoundSummary {
+            summary: self.multiround_summary(),
+            insufficient_nodes: fault.insufficient_nodes,
+            missing_messages: fault.missing_messages,
+            counts: fault.counts,
+        }
+    }
+}
+
+/// Executes one [`RunSpec`] trial of `scheme` against `labeling`,
+/// preparing the labeling internally — the one-shot convenience the
+/// service front uses. Callers running many trials should prepare once
+/// ([`Rpls::prepare`] / [`Rpls::prepare_cached`]) and use [`run_prepared`]
+/// or [`run_trials`].
+///
+/// # Panics
+///
+/// Panics if `spec.rounds` is 0 or `labeling` does not assign one label
+/// per node.
+pub fn run<S: Rpls + ?Sized>(
+    spec: &RunSpec,
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+) -> RunReport {
+    assert_eq!(
+        labeling.len(),
+        config.node_count(),
+        "one label per node required"
+    );
+    let prepared = scheme.prepare(config, labeling, 1);
+    run_prepared(spec, &*prepared, config, &mut RoundScratch::new())
+}
+
+/// Executes one [`RunSpec`] trial of a **prepared** scheme — the dispatch
+/// core every legacy scalar entry point is a shim over. The four-way
+/// dispatch on `(faults, rounds)`:
+///
+/// * clean, `rounds == 1` — the scalar one-round core (after the call
+///   `scratch.votes()` / `scratch.certificates()` hold the round, exactly
+///   as [`run_randomized_prepared_with`] always promised);
+/// * clean, `rounds > 1` — [`PreparedRpls::run_multiround`];
+/// * faulted, `rounds == 1` — the one-round fault model (single-shot
+///   delivery, no retries);
+/// * faulted, `rounds > 1` — [`PreparedRpls::run_multiround_faulted`]
+///   (the chunked overlay with the plan's retry budget).
+///
+/// # Panics
+///
+/// Panics if `spec.rounds` is 0.
+pub fn run_prepared<P: PreparedRpls + ?Sized>(
+    spec: &RunSpec,
+    prepared: &P,
+    config: &Configuration,
+    scratch: &mut RoundScratch,
+) -> RunReport {
+    assert!(spec.rounds > 0, "a schedule needs at least one round");
+    let seed = spec.seed();
+    match (&spec.faults, spec.rounds) {
+        (None, 1) => RunReport::from_round(clean_round_patterned(
+            prepared,
+            config,
+            seed,
+            spec.pattern,
+            spec.stream_mode,
+            scratch,
+        )),
+        (None, rounds) => RunReport::from_multiround(prepared.run_multiround(
+            config,
+            seed,
+            rounds,
+            spec.pattern,
+            spec.stream_mode,
+            scratch,
+        )),
+        (Some(plan), 1) => RunReport::from_faulted_round(
+            faulted_round_patterned(
+                prepared,
+                config,
+                seed,
+                spec.pattern,
+                plan,
+                spec.stream_mode,
+                scratch,
+            )
+            .compact(),
+        ),
+        (Some(plan), rounds) => {
+            RunReport::from_faulted_multiround(prepared.run_multiround_faulted(
+                config,
+                seed,
+                rounds,
+                plan,
+                spec.pattern,
+                spec.stream_mode,
+                scratch,
+            ))
+        }
+    }
+}
+
+/// Runs one [`RunSpec`] trial per seed in `seeds` against a prepared
+/// scheme, calling `emit` once per trial in seed order — the batched
+/// dispatch core behind every Monte-Carlo estimator
+/// ([`stats::estimate`](crate::stats::estimate) funnels here). Dispatches
+/// to the same four scheme hooks as [`run_prepared`], so emitted reports
+/// are bit-identical to calling it once per seed.
+///
+/// `spec.seed_source` is **not** consulted: the caller supplies the
+/// explicit per-trial seed block (the estimators derive one from the
+/// spec's base seed). Batched hooks may skip materialising certificates,
+/// so no promise is made about `scratch` afterwards.
+///
+/// # Panics
+///
+/// Panics if `spec.rounds` is 0.
+pub fn run_trials<P: PreparedRpls + ?Sized>(
+    spec: &RunSpec,
+    prepared: &P,
+    config: &Configuration,
+    seeds: &[u64],
+    scratch: &mut RoundScratch,
+    emit: &mut dyn FnMut(RunReport),
+) {
+    assert!(spec.rounds > 0, "a schedule needs at least one round");
+    match (&spec.faults, spec.rounds) {
+        (None, 1) => prepared.run_trials(
+            config,
+            seeds,
+            spec.pattern,
+            spec.stream_mode,
+            scratch,
+            &mut |s| emit(RunReport::from_round(s)),
+        ),
+        (None, rounds) => prepared.run_multiround_trials(
+            config,
+            seeds,
+            rounds,
+            spec.pattern,
+            spec.stream_mode,
+            scratch,
+            &mut |s| emit(RunReport::from_multiround(s)),
+        ),
+        (Some(plan), 1) => prepared.run_trials_faulted(
+            config,
+            seeds,
+            plan,
+            spec.pattern,
+            spec.stream_mode,
+            scratch,
+            &mut |s| emit(RunReport::from_faulted_round(s)),
+        ),
+        (Some(plan), rounds) => prepared.run_multiround_trials_faulted(
+            config,
+            seeds,
+            rounds,
+            plan,
+            spec.pattern,
+            spec.stream_mode,
+            scratch,
+            &mut |s| emit(RunReport::from_faulted_multiround(s)),
+        ),
+    }
+}
+
 /// Builds the strictly-local context of `node` within `config` —
 /// allocation-free, borrowing the configuration's precomputed port layout.
 #[must_use]
@@ -450,7 +885,30 @@ pub fn run_randomized_with<S: Rpls + ?Sized>(
 /// caller wants) — transcripts are bit-identical to
 /// [`run_randomized_with`] on the same inputs, which
 /// `tests/engine_golden.rs` pins.
+///
+/// A shim over [`run_prepared`] with a one-round, per-port [`RunSpec`].
 pub fn run_randomized_prepared_with<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seed: u64,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> RoundSummary {
+    run_prepared(
+        &RunSpec::trial(seed).with_stream_mode(mode),
+        prepared,
+        config,
+        scratch,
+    )
+    .round_summary()
+}
+
+/// The scalar one-round core: phase 1 (certificate generation in global
+/// port order from mode-keyed streams) and phase 2 (involution delivery +
+/// verification). Everything clean and one-round in the engine bottoms out
+/// here; after the call `scratch.votes()` / `scratch.certificates()` hold
+/// the round.
+fn clean_round<P: PreparedRpls + ?Sized>(
     prepared: &P,
     config: &Configuration,
     seed: u64,
@@ -589,7 +1047,31 @@ pub fn run_randomized_patterned_with<S: Rpls + ?Sized>(
 ///   mapping to it; summaries count each distinct slot once, overridden by
 ///   [`PreparedRpls::pattern_cost`] when available so the scalar and
 ///   batched summaries agree by construction.
+///
+/// A shim over [`run_prepared`] with a one-round [`RunSpec`].
 pub fn run_randomized_prepared_patterned_with<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seed: u64,
+    pattern: MessagePattern,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> RoundSummary {
+    run_prepared(
+        &RunSpec::trial(seed)
+            .with_pattern(pattern)
+            .with_stream_mode(mode),
+        prepared,
+        config,
+        scratch,
+    )
+    .round_summary()
+}
+
+/// The scalar patterned one-round core (see
+/// [`run_randomized_prepared_patterned_with`] for the per-pattern
+/// semantics): the clean `rounds == 1` arm of [`run_prepared`]'s dispatch.
+fn clean_round_patterned<P: PreparedRpls + ?Sized>(
     prepared: &P,
     config: &Configuration,
     seed: u64,
@@ -599,10 +1081,10 @@ pub fn run_randomized_prepared_patterned_with<P: PreparedRpls + ?Sized>(
 ) -> RoundSummary {
     match pattern {
         MessagePattern::PerPort => {
-            return run_randomized_prepared_with(prepared, config, seed, mode, scratch);
+            return clean_round(prepared, config, seed, mode, scratch);
         }
         MessagePattern::Unicast => {
-            let mut summary = run_randomized_prepared_with(prepared, config, seed, mode, scratch);
+            let mut summary = clean_round(prepared, config, seed, mode, scratch);
             if let Some(cost) = prepared.pattern_cost(pattern, 1) {
                 summary.max_certificate_bits = cost.max_bits_per_round;
                 summary.total_certificate_bits = cost.total_bits;
@@ -691,6 +1173,11 @@ pub fn run_randomized_faulted_with<S: Rpls + ?Sized>(
 /// A transparent `plan` branches to the exact fault-free path, so its
 /// summary (and the scratch contents) are bit-identical to
 /// [`run_randomized_prepared_with`].
+///
+/// This entry keeps its rich [`DegradedSummary`] return (per-node verdicts
+/// and missing-message counts, which the compact [`RunReport`] does not
+/// carry) and therefore calls the faulted scalar core directly — the same
+/// core [`run_prepared`]'s faulted one-round arm compacts.
 pub fn run_randomized_prepared_faulted_with<P: PreparedRpls + ?Sized>(
     prepared: &P,
     config: &Configuration,
@@ -699,8 +1186,23 @@ pub fn run_randomized_prepared_faulted_with<P: PreparedRpls + ?Sized>(
     mode: StreamMode,
     scratch: &mut RoundScratch,
 ) -> DegradedSummary {
+    faulted_round(prepared, config, seed, plan, mode, scratch)
+}
+
+/// The scalar faulted one-round core (see
+/// [`run_randomized_prepared_faulted_with`] for the semantics): the
+/// faulted `rounds == 1` arm of [`run_prepared`]'s dispatch bottoms out
+/// here (via [`faulted_round_patterned`]).
+fn faulted_round<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seed: u64,
+    plan: &FaultPlan,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> DegradedSummary {
     if plan.is_transparent() {
-        let summary = run_randomized_prepared_with(prepared, config, seed, mode, scratch);
+        let summary = clean_round(prepared, config, seed, mode, scratch);
         return DegradedSummary::transparent(summary, scratch.votes());
     }
 
@@ -779,6 +1281,11 @@ pub fn run_randomized_faulted_patterned_with<S: Rpls + ?Sized>(
 /// transmissions individually (a broadcast message crossing `d` links pays
 /// `d` times) — pattern-shared accounting applies to the clean summaries
 /// only.
+///
+/// Like [`run_randomized_prepared_faulted_with`], this entry keeps its
+/// rich [`DegradedSummary`] return and calls the faulted patterned core
+/// directly — the exact core [`run_prepared`]'s faulted one-round arm
+/// compacts into a [`RunReport`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_randomized_prepared_faulted_patterned_with<P: PreparedRpls + ?Sized>(
     prepared: &P,
@@ -789,17 +1296,29 @@ pub fn run_randomized_prepared_faulted_patterned_with<P: PreparedRpls + ?Sized>(
     mode: StreamMode,
     scratch: &mut RoundScratch,
 ) -> DegradedSummary {
+    faulted_round_patterned(prepared, config, seed, pattern, plan, mode, scratch)
+}
+
+/// The scalar faulted patterned one-round core (see
+/// [`run_randomized_prepared_faulted_patterned_with`] for the semantics):
+/// the faulted `rounds == 1` arm of [`run_prepared`]'s dispatch.
+fn faulted_round_patterned<P: PreparedRpls + ?Sized>(
+    prepared: &P,
+    config: &Configuration,
+    seed: u64,
+    pattern: MessagePattern,
+    plan: &FaultPlan,
+    mode: StreamMode,
+    scratch: &mut RoundScratch,
+) -> DegradedSummary {
     match pattern {
         MessagePattern::PerPort | MessagePattern::Unicast => {
-            return run_randomized_prepared_faulted_with(
-                prepared, config, seed, plan, mode, scratch,
-            );
+            return faulted_round(prepared, config, seed, plan, mode, scratch);
         }
         MessagePattern::Broadcast | MessagePattern::KMessages(_) => {}
     }
     if plan.is_transparent() {
-        let summary =
-            run_randomized_prepared_patterned_with(prepared, config, seed, pattern, mode, scratch);
+        let summary = clean_round_patterned(prepared, config, seed, pattern, mode, scratch);
         return DegradedSummary::transparent(summary, scratch.votes());
     }
     let RoundScratch { buffer, votes, tmp } = scratch;
@@ -933,9 +1452,11 @@ pub fn run_multiround_with<S: Rpls + ?Sized>(
     mode: StreamMode,
     scratch: &mut RoundScratch,
 ) -> MultiRoundSummary {
-    assert!(rounds > 0, "a schedule needs at least one round");
+    let spec = RunSpec::trial(seed)
+        .with_rounds(rounds)
+        .with_stream_mode(mode);
     let prepared = scheme.prepare(config, labeling, 1);
-    prepared.run_multiround(config, seed, rounds, MessagePattern::PerPort, mode, scratch)
+    run_prepared(&spec, &*prepared, config, scratch).multiround_summary()
 }
 
 /// Executes one t-round trial of a **prepared** scheme (see
@@ -953,8 +1474,10 @@ pub fn run_multiround_prepared_with<P: PreparedRpls + ?Sized>(
     mode: StreamMode,
     scratch: &mut RoundScratch,
 ) -> MultiRoundSummary {
-    assert!(rounds > 0, "a schedule needs at least one round");
-    prepared.run_multiround(config, seed, rounds, MessagePattern::PerPort, mode, scratch)
+    let spec = RunSpec::trial(seed)
+        .with_rounds(rounds)
+        .with_stream_mode(mode);
+    run_prepared(&spec, prepared, config, scratch).multiround_summary()
 }
 
 /// Executes one **t-round** trial of `scheme` against `labeling` under an
@@ -976,9 +1499,12 @@ pub fn run_multiround_patterned_with<S: Rpls + ?Sized>(
     mode: StreamMode,
     scratch: &mut RoundScratch,
 ) -> MultiRoundSummary {
-    assert!(rounds > 0, "a schedule needs at least one round");
+    let spec = RunSpec::trial(seed)
+        .with_rounds(rounds)
+        .with_pattern(pattern)
+        .with_stream_mode(mode);
     let prepared = scheme.prepare(config, labeling, 1);
-    prepared.run_multiround(config, seed, rounds, pattern, mode, scratch)
+    run_prepared(&spec, &*prepared, config, scratch).multiround_summary()
 }
 
 /// Executes one t-round trial of a **prepared** scheme under an explicit
@@ -997,8 +1523,11 @@ pub fn run_multiround_prepared_patterned_with<P: PreparedRpls + ?Sized>(
     mode: StreamMode,
     scratch: &mut RoundScratch,
 ) -> MultiRoundSummary {
-    assert!(rounds > 0, "a schedule needs at least one round");
-    prepared.run_multiround(config, seed, rounds, pattern, mode, scratch)
+    let spec = RunSpec::trial(seed)
+        .with_rounds(rounds)
+        .with_pattern(pattern)
+        .with_stream_mode(mode);
+    run_prepared(&spec, prepared, config, scratch).multiround_summary()
 }
 
 /// Runs one t-round trial per seed in `seeds` against a prepared scheme,
@@ -1026,16 +1555,10 @@ pub fn run_multiround_trials_batched_with<P: PreparedRpls + ?Sized>(
     scratch: &mut RoundScratch,
     emit: &mut dyn FnMut(MultiRoundSummary),
 ) {
-    assert!(rounds > 0, "a schedule needs at least one round");
-    prepared.run_multiround_trials(
-        config,
-        seeds,
-        rounds,
-        MessagePattern::PerPort,
-        mode,
-        scratch,
-        emit,
-    );
+    let spec = RunSpec::trial(0).with_rounds(rounds).with_stream_mode(mode);
+    run_trials(&spec, prepared, config, seeds, scratch, &mut |r| {
+        emit(r.multiround_summary());
+    });
 }
 
 /// Runs one t-round trial per seed under an explicit [`MessagePattern`] —
@@ -1055,8 +1578,13 @@ pub fn run_multiround_trials_batched_patterned_with<P: PreparedRpls + ?Sized>(
     scratch: &mut RoundScratch,
     emit: &mut dyn FnMut(MultiRoundSummary),
 ) {
-    assert!(rounds > 0, "a schedule needs at least one round");
-    prepared.run_multiround_trials(config, seeds, rounds, pattern, mode, scratch, emit);
+    let spec = RunSpec::trial(0)
+        .with_rounds(rounds)
+        .with_pattern(pattern)
+        .with_stream_mode(mode);
+    run_trials(&spec, prepared, config, seeds, scratch, &mut |r| {
+        emit(r.multiround_summary());
+    });
 }
 
 /// Executes one faulted t-round trial of `scheme` against `labeling` — the
@@ -1065,6 +1593,12 @@ pub fn run_multiround_trials_batched_patterned_with<P: PreparedRpls + ?Sized>(
 /// fault schedule (with the plan's retry budget) on the
 /// certificate-splitting schedule; the compiled streaming schemes overlay
 /// it on their per-round chunked-fingerprint message set.
+///
+/// The `run_multiround_*faulted*` family keeps the **overlay** semantics
+/// at every `t`, including `t = 1` (retry budget active), and therefore
+/// delegates to the scheme hook directly; a faulted [`RunSpec`] at
+/// `rounds = 1` instead runs the one-round single-shot fault model. At
+/// `rounds > 1` the two surfaces call the identical hook.
 ///
 /// # Panics
 ///
@@ -1122,7 +1656,9 @@ pub fn run_multiround_faulted_patterned_with<S: Rpls + ?Sized>(
 /// Runs one faulted t-round trial per seed against a prepared scheme — the
 /// faulted twin of [`run_multiround_trials_batched_with`]. A transparent
 /// plan emits summaries bit-identical (wrapped clean) to the fault-free
-/// trial engine.
+/// trial engine. Like the scalar [`run_multiround_faulted_with`], this
+/// keeps overlay semantics at every `t` (including 1) and delegates to the
+/// scheme hook directly rather than through a [`RunSpec`].
 ///
 /// # Panics
 ///
@@ -1337,7 +1873,10 @@ pub fn run_trials_batched_with<P: PreparedRpls + ?Sized>(
     scratch: &mut RoundScratch,
     emit: &mut dyn FnMut(RoundSummary),
 ) {
-    prepared.run_trials(config, seeds, MessagePattern::PerPort, mode, scratch, emit);
+    let spec = RunSpec::trial(0).with_stream_mode(mode);
+    run_trials(&spec, prepared, config, seeds, scratch, &mut |r| {
+        emit(r.round_summary());
+    });
 }
 
 /// Runs one verification round per seed under an explicit
@@ -1351,7 +1890,12 @@ pub fn run_trials_batched_patterned_with<P: PreparedRpls + ?Sized>(
     scratch: &mut RoundScratch,
     emit: &mut dyn FnMut(RoundSummary),
 ) {
-    prepared.run_trials(config, seeds, pattern, mode, scratch, emit);
+    let spec = RunSpec::trial(0)
+        .with_pattern(pattern)
+        .with_stream_mode(mode);
+    run_trials(&spec, prepared, config, seeds, scratch, &mut |r| {
+        emit(r.round_summary());
+    });
 }
 
 /// Runs one **faulted** verification round per seed against a prepared
@@ -1378,15 +1922,12 @@ pub fn run_trials_faulted_with<P: PreparedRpls + ?Sized>(
     scratch: &mut RoundScratch,
     emit: &mut dyn FnMut(FaultedRoundSummary),
 ) {
-    prepared.run_trials_faulted(
-        config,
-        seeds,
-        plan,
-        MessagePattern::PerPort,
-        mode,
-        scratch,
-        emit,
-    );
+    let spec = RunSpec::trial(0)
+        .with_faults(plan.clone())
+        .with_stream_mode(mode);
+    run_trials(&spec, prepared, config, seeds, scratch, &mut |r| {
+        emit(r.faulted_round_summary());
+    });
 }
 
 /// Runs one faulted verification round per seed under an explicit
@@ -1402,7 +1943,13 @@ pub fn run_trials_faulted_patterned_with<P: PreparedRpls + ?Sized>(
     scratch: &mut RoundScratch,
     emit: &mut dyn FnMut(FaultedRoundSummary),
 ) {
-    prepared.run_trials_faulted(config, seeds, plan, pattern, mode, scratch, emit);
+    let spec = RunSpec::trial(0)
+        .with_pattern(pattern)
+        .with_faults(plan.clone())
+        .with_stream_mode(mode);
+    run_trials(&spec, prepared, config, seeds, scratch, &mut |r| {
+        emit(r.faulted_round_summary());
+    });
 }
 
 #[cfg(test)]
@@ -1698,6 +2245,125 @@ mod tests {
             StreamMode::EdgeIndependent,
             &mut scratch,
         );
+    }
+
+    #[test]
+    fn run_spec_dispatch_matches_legacy_entry_points() {
+        use crate::fault::FaultSpec;
+        let config = Configuration::plain(generators::wheel(9));
+        let labeling = VariableLength.label(&config);
+        let prepared = Rpls::prepare(&VariableLength, &config, &labeling, 8);
+        let mut scratch = RoundScratch::new();
+        let seed = 0xABCD;
+        let mode = StreamMode::EdgeIndependent;
+
+        // Clean one-round.
+        let report = run_prepared(&RunSpec::trial(seed), &*prepared, &config, &mut scratch);
+        let legacy = run_randomized_prepared_with(&*prepared, &config, seed, mode, &mut scratch);
+        assert_eq!(report.round_summary(), legacy);
+        assert!(report.fault.is_none());
+
+        // Clean multiround.
+        let spec = RunSpec::trial(seed).with_rounds(4);
+        let report = run_prepared(&spec, &*prepared, &config, &mut scratch);
+        let legacy = run_multiround_prepared_with(&*prepared, &config, seed, 4, mode, &mut scratch);
+        assert_eq!(report.multiround_summary(), legacy);
+
+        // Faulted one-round: the single-shot fault model.
+        let plan = FaultPlan::new(FaultSpec::transparent().with_drop(0.3), 7);
+        let spec = RunSpec::trial(seed).with_faults(plan.clone());
+        let report = run_prepared(&spec, &*prepared, &config, &mut scratch);
+        let legacy = run_randomized_prepared_faulted_with(
+            &*prepared,
+            &config,
+            seed,
+            &plan,
+            mode,
+            &mut scratch,
+        )
+        .compact();
+        assert_eq!(report.faulted_round_summary(), legacy);
+        assert!(report.fault.is_some());
+
+        // Faulted multiround: the overlay schedule.
+        let spec = RunSpec::trial(seed)
+            .with_rounds(3)
+            .with_faults(plan.clone());
+        let report = run_prepared(&spec, &*prepared, &config, &mut scratch);
+        let legacy = prepared.run_multiround_faulted(
+            &config,
+            seed,
+            3,
+            &plan,
+            MessagePattern::PerPort,
+            mode,
+            &mut scratch,
+        );
+        assert_eq!(report.faulted_multiround_summary(), legacy);
+    }
+
+    #[test]
+    fn run_trials_emits_reports_identical_to_scalar_dispatch() {
+        let config = Configuration::plain(generators::wheel(7));
+        let labeling = VariableLength.label(&config);
+        let prepared = Rpls::prepare(&VariableLength, &config, &labeling, 6);
+        let mut scratch = RoundScratch::new();
+        let seeds: Vec<u64> = (10..16).collect();
+        for spec in [
+            RunSpec::trial(0),
+            RunSpec::trial(0).with_rounds(3),
+            RunSpec::trial(0).with_pattern(MessagePattern::Broadcast),
+        ] {
+            let mut batched = Vec::new();
+            run_trials(&spec, &*prepared, &config, &seeds, &mut scratch, &mut |r| {
+                batched.push(r);
+            });
+            let scalar: Vec<RunReport> = seeds
+                .iter()
+                .map(|&s| {
+                    let mut per_seed = spec.clone();
+                    per_seed.seed_source = SeedSource::Trial(s);
+                    run_prepared(&per_seed, &*prepared, &config, &mut scratch)
+                })
+                .collect();
+            assert_eq!(batched, scalar, "spec {spec:?}");
+        }
+    }
+
+    #[test]
+    fn beacon_spec_equals_trial_of_derived_seed() {
+        let config = Configuration::plain(generators::wheel(9));
+        let labeling = VariableLength.label(&config);
+        let prepared = Rpls::prepare(&VariableLength, &config, &labeling, 2);
+        let mut scratch = RoundScratch::new();
+        let (round_id, value) = (4242u64, 0xDEAD_BEEFu64);
+        let beacon = run_prepared(
+            &RunSpec::beacon(round_id, value),
+            &*prepared,
+            &config,
+            &mut scratch,
+        );
+        let beacon_certs = scratch.certificates().to_nested(config.port_base());
+        let derived = crate::rng::beacon_seed(round_id, value);
+        assert_eq!(RunSpec::beacon(round_id, value).seed(), derived);
+        let trial = run_prepared(&RunSpec::trial(derived), &*prepared, &config, &mut scratch);
+        assert_eq!(beacon, trial);
+        assert_eq!(
+            scratch.certificates().to_nested(config.port_base()),
+            beacon_certs
+        );
+    }
+
+    #[test]
+    fn run_prepares_internally_and_matches_prepared_dispatch() {
+        let config = Configuration::plain(generators::wheel(7));
+        let labeling = VariableLength.label(&config);
+        let spec = RunSpec::trial(77).with_rounds(2);
+        let via_run = run(&spec, &VariableLength, &config, &labeling);
+        let prepared = Rpls::prepare(&VariableLength, &config, &labeling, 1);
+        let mut scratch = RoundScratch::new();
+        let direct = run_prepared(&spec, &*prepared, &config, &mut scratch);
+        assert_eq!(via_run, direct);
     }
 
     #[test]

@@ -154,7 +154,7 @@ pub use fault::{
     FaultedRoundSummary, NodeVerdict,
 };
 pub use labeling::Labeling;
-pub use prep::PrepCache;
+pub use prep::{CacheStats, PrepCache};
 pub use rng::PortRng;
 pub use scheme::{CertView, DetView, ErrorSides, Pls, Predicate, PreparedRpls, RandView, Rpls};
 pub use state::{Configuration, State};
@@ -165,7 +165,8 @@ pub mod prelude {
     pub use crate::buffer::{CertificateBuffer, Received, RoundScratch};
     pub use crate::compiler::CompiledRpls;
     pub use crate::engine::{
-        self, MessagePattern, MultiRoundSummary, Outcome, PatternCost, RoundSummary, StreamMode,
+        self, FaultReport, MessagePattern, MultiRoundSummary, Outcome, PatternCost, RoundSummary,
+        RunReport, RunSpec, SeedSource, StreamMode,
     };
     pub use crate::fault::{
         DegradedSummary, DeliveryOutcome, FaultCounts, FaultPlan, FaultSpec,
@@ -173,7 +174,7 @@ pub mod prelude {
     };
     pub use crate::labeling::Labeling;
     pub use crate::measure;
-    pub use crate::prep::PrepCache;
+    pub use crate::prep::{CacheStats, PrepCache};
     pub use crate::rng::PortRng;
     pub use crate::scheme::{
         CertView, DetView, ErrorSides, Pls, Predicate, PreparedRpls, RandView, Rpls,

@@ -345,6 +345,62 @@ impl PrepCache {
     }
 }
 
+/// A point-in-time snapshot of a [`PrepCache`]'s counters, as returned by
+/// [`PrepCache::stats`]. Everything a service operator needs to judge
+/// whether cross-tenant sharing is paying off: lifetime hit/miss counts,
+/// epoch turnovers, and the current epoch's retained footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache since construction (label or
+    /// fingerprint layer).
+    pub hits: u64,
+    /// Lookups that prepared fresh state since construction.
+    pub misses: u64,
+    /// Epoch turnovers so far (see [`PrepCache::epochs`]).
+    pub epochs: u64,
+    /// Retention cost charged in the current epoch, rounded up to bytes
+    /// (key bytes plus per-entry overhead; see
+    /// [`PrepCache::KEY_BITS_BUDGET`]).
+    pub retained_bytes: u64,
+    /// Shared fingerprint preparations currently retained.
+    pub shared_fingerprints: usize,
+    /// Shared replicated-label preparations currently retained.
+    pub shared_labels: usize,
+    /// Evaluation-table slots (`u64` entries) reserved in the current
+    /// epoch.
+    pub table_slots_reserved: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache, `0.0` when the cache has
+    /// never been consulted.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+impl PrepCache {
+    /// A snapshot of the cache's counters; see [`CacheStats`].
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            epochs: self.epochs(),
+            retained_bytes: self.retained_key_bits().div_ceil(8),
+            shared_fingerprints: self.shared_fingerprints(),
+            shared_labels: self.shared_labels(),
+            table_slots_reserved: self.table_slots_reserved(),
+        }
+    }
+}
+
 impl Default for PrepCache {
     fn default() -> Self {
         Self::new()
@@ -381,5 +437,19 @@ mod tests {
         assert_eq!(cache.misses(), 0);
         let dbg = format!("{:?}", PrepCache::default());
         assert!(dbg.contains("PrepCache"));
+    }
+
+    #[test]
+    fn stats_snapshot_mirrors_accessors() {
+        let cache = PrepCache::new();
+        let stats = cache.stats();
+        assert_eq!(stats, CacheStats::default());
+        assert_eq!(stats.hit_rate(), 0.0);
+        let warm = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert_eq!(warm.hit_rate(), 0.75);
     }
 }

@@ -74,6 +74,26 @@ pub fn state_stream_word(state: u64, index: u64) -> u64 {
     split_mix_output(state.wrapping_add((index + 1).wrapping_mul(GAMMA)))
 }
 
+/// Seed-derivation tag of the public-beacon mode, chosen to collide with
+/// neither the estimator tags in [`stats`](crate::stats) nor the engine's
+/// multiround tag nor any (node, port) mixing.
+const TAG_BEACON: u64 = 0x6265_6163_6F6E; // "beacon"
+
+/// Derives the engine base seed of the **public-coin** (beacon) mode from a
+/// randomness-beacon pulse: `(round_id, value)` is the pulse's sequence
+/// number and its published 64-bit value (GRAIL-style — e.g. a drand round
+/// and a word of its output). All verifier randomness is then the ordinary
+/// counter stream keyed by this seed, so any third party holding only the
+/// pulse and a published transcript re-derives every certificate
+/// bit-for-bit — the engine's determinism *is* the audit mechanism.
+///
+/// The derivation is domain-separated ([`mix_seed`] under a dedicated tag),
+/// so beacon streams never collide with trial-seeded estimator streams.
+#[must_use]
+pub fn beacon_seed(round_id: u64, value: u64) -> u64 {
+    mix_seed(value, round_id, TAG_BEACON)
+}
+
 /// The SplitMix64 additive constant shared by [`PortRng`] and the
 /// counter-block path.
 const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -214,6 +234,17 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn beacon_seed_is_deterministic_and_domain_separated() {
+        assert_eq!(beacon_seed(1234, 0xFEED), beacon_seed(1234, 0xFEED));
+        assert_ne!(beacon_seed(1234, 0xFEED), beacon_seed(1235, 0xFEED));
+        assert_ne!(beacon_seed(1234, 0xFEED), beacon_seed(1234, 0xFEEE));
+        // The beacon tag keeps the derivation off the raw value and off
+        // the plain (value, round) mix.
+        assert_ne!(beacon_seed(1234, 0xFEED), 0xFEED);
+        assert_ne!(beacon_seed(1234, 0xFEED), mix_seed(0xFEED, 1234, 0));
     }
 
     #[test]

@@ -22,9 +22,22 @@
 //! [`acceptance_probability_par`] shards trials across threads with the
 //! *same* per-trial seeds as the serial path, so both produce bit-identical
 //! estimates.
+//!
+//! # One estimator
+//!
+//! The `acceptance_probability{,_with,_cached,_patterned,…}` family grew
+//! one name per engine axis; all of them now delegate to a single surface:
+//! [`estimate`] / [`estimate_with`] / [`estimate_par`] take a
+//! [`RunSpec`] naming the job (rounds, pattern, faults, seed source) plus
+//! [`EstimateOpts`] and return a uniform [`Estimate`]. The legacy names
+//! remain seed-compatible shims — trial `t` runs seed
+//! [`trial_seed`]`(spec.seed(), t)` on every path. Only the boosting
+//! family (different seed tags, majority-vote semantics) and
+//! [`rounds_to_reject_profile`] (richer per-round output) keep their own
+//! loops.
 
 use crate::buffer::RoundScratch;
-use crate::engine::{self, mix_seed, MessagePattern, StreamMode, TRIAL_CHUNK};
+use crate::engine::{self, mix_seed, MessagePattern, RunSpec, StreamMode, TRIAL_CHUNK};
 use crate::fault::{FaultCounts, FaultPlan};
 use crate::labeling::Labeling;
 use crate::prep::PrepCache;
@@ -80,6 +93,153 @@ fn count_accepts(
         );
     }
     accepts
+}
+
+/// Options of a [`estimate`] run — everything about the Monte-Carlo
+/// experiment that is *not* part of the job itself (the job is the
+/// [`RunSpec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EstimateOpts {
+    /// Number of independent trials (must be ≥ 1; enforced at execution).
+    pub trials: usize,
+}
+
+impl EstimateOpts {
+    /// Options running `trials` independent trials.
+    #[must_use]
+    pub fn new(trials: usize) -> Self {
+        Self { trials }
+    }
+}
+
+/// Aggregate outcome of one [`estimate`] run — the uniform result every
+/// legacy estimator's return value projects out of. The fault fields stay
+/// zero for fault-free specs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Estimate {
+    /// Trials estimated.
+    pub trials: usize,
+    /// Trials whose every node voted accept.
+    pub accepts: usize,
+    /// Trials in which at least one node was missing input (always 0 for
+    /// fault-free specs).
+    pub degraded_trials: usize,
+    /// Total missing messages over all trials (0 for fault-free specs).
+    pub missing_messages: usize,
+    /// Fault events aggregated over all trials.
+    pub counts: FaultCounts,
+}
+
+impl Estimate {
+    /// The estimated acceptance probability.
+    #[must_use]
+    pub fn acceptance(&self) -> f64 {
+        self.accepts as f64 / self.trials as f64
+    }
+
+    /// The fraction of trials that lost at least one message.
+    #[must_use]
+    pub fn degradation(&self) -> f64 {
+        self.degraded_trials as f64 / self.trials as f64
+    }
+}
+
+/// The chunked trial loop every estimator bottoms out in: runs `trials`
+/// trials of `spec` whose per-trial seeds are `seed_of(0..trials)` through
+/// [`engine::run_trials`], accumulating an [`Estimate`]. Chunking bounds
+/// memory at O([`TRIAL_CHUNK`]) without changing results (trials are
+/// independent).
+fn estimate_prepared(
+    prepared: &dyn PreparedRpls,
+    config: &Configuration,
+    spec: &RunSpec,
+    trials: usize,
+    seed_of: &dyn Fn(u64) -> u64,
+    scratch: &mut RoundScratch,
+    seeds_buf: &mut Vec<u64>,
+) -> Estimate {
+    let mut out = Estimate {
+        trials,
+        ..Estimate::default()
+    };
+    let mut next = 0usize;
+    while next < trials {
+        let chunk = TRIAL_CHUNK.min(trials - next);
+        seeds_buf.clear();
+        seeds_buf.extend((next..next + chunk).map(|t| seed_of(t as u64)));
+        next += chunk;
+        engine::run_trials(spec, prepared, config, seeds_buf, scratch, &mut |r| {
+            out.accepts += usize::from(r.accepted);
+            if let Some(fault) = r.fault {
+                out.degraded_trials += usize::from(fault.insufficient_nodes > 0);
+                out.missing_messages += fault.missing_messages;
+                out.counts.absorb(fault.counts);
+            }
+        });
+    }
+    out
+}
+
+/// Estimates the acceptance probability of one [`RunSpec`] job over
+/// `opts.trials` independent trials — the single estimator the historical
+/// `acceptance_probability{,_with,_cached,_patterned,…}` family collapses
+/// into (each legacy name now delegates here with the equivalent spec, and
+/// stays seed-compatible: trial `t` runs seed
+/// [`trial_seed`]`(spec.seed(), t)` regardless of which surface invoked
+/// it).
+///
+/// The spec's [`SeedSource`](crate::engine::SeedSource) picks private or
+/// public (beacon) coins; everything else — rounds, pattern, stream mode,
+/// faults — dispatches through [`engine::run_trials`] exactly as the
+/// legacy twins did.
+///
+/// # Panics
+///
+/// Panics if `opts.trials` is 0 (and, transitively, if `spec.rounds` is 0).
+pub fn estimate<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    spec: &RunSpec,
+    opts: &EstimateOpts,
+) -> Estimate {
+    estimate_with(
+        scheme,
+        config,
+        labeling,
+        spec,
+        opts,
+        &mut RoundScratch::new(),
+        &mut PrepCache::new(),
+    )
+}
+
+/// Like [`estimate`] but reuses caller-owned scratch and a [`PrepCache`]
+/// across labelings — the layer-4 form the verification service batches
+/// tenant jobs through (one resident cache, content-keyed, shared across
+/// every submitted labeling). Estimates are bit-identical to [`estimate`]
+/// for any cache state; the cache only moves work, never results.
+pub fn estimate_with<S: Rpls + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    spec: &RunSpec,
+    opts: &EstimateOpts,
+    scratch: &mut RoundScratch,
+    cache: &mut PrepCache,
+) -> Estimate {
+    assert!(opts.trials > 0, "need at least one trial");
+    let prepared = scheme.prepare_cached(config, labeling, opts.trials, cache);
+    let base = spec.seed();
+    estimate_prepared(
+        &*prepared,
+        config,
+        spec,
+        opts.trials,
+        &|t| trial_seed(base, t),
+        scratch,
+        &mut Vec::new(),
+    )
 }
 
 /// Estimates `Pr[verifier accepts]` over `trials` independent rounds.
@@ -141,19 +301,16 @@ pub fn acceptance_probability_cached<S: Rpls + ?Sized>(
     scratch: &mut RoundScratch,
     cache: &mut PrepCache,
 ) -> f64 {
-    assert!(trials > 0, "need at least one trial");
-    let prepared = scheme.prepare_cached(config, labeling, trials, cache);
-    let mut seeds_buf = Vec::new();
-    let accepts = count_accepts(
-        &*prepared,
+    estimate_with(
+        scheme,
         config,
-        trials,
-        &|t| trial_seed(seed, t),
-        MessagePattern::PerPort,
+        labeling,
+        &RunSpec::trial(seed),
+        &EstimateOpts::new(trials),
         scratch,
-        &mut seeds_buf,
-    );
-    accepts as f64 / trials as f64
+        cache,
+    )
+    .acceptance()
 }
 
 /// Estimates `Pr[verifier accepts]` under a [`MessagePattern`] — the
@@ -199,19 +356,16 @@ pub fn acceptance_probability_patterned_cached<S: Rpls + ?Sized>(
     scratch: &mut RoundScratch,
     cache: &mut PrepCache,
 ) -> f64 {
-    assert!(trials > 0, "need at least one trial");
-    let prepared = scheme.prepare_cached(config, labeling, trials, cache);
-    let mut seeds_buf = Vec::new();
-    let accepts = count_accepts(
-        &*prepared,
+    estimate_with(
+        scheme,
         config,
-        trials,
-        &|t| trial_seed(seed, t),
-        pattern,
+        labeling,
+        &RunSpec::trial(seed).with_pattern(pattern),
+        &EstimateOpts::new(trials),
         scratch,
-        &mut seeds_buf,
-    );
-    accepts as f64 / trials as f64
+        cache,
+    )
+    .acceptance()
 }
 
 /// Aggregate outcome of a faulted Monte-Carlo acceptance estimate —
@@ -291,52 +445,40 @@ pub fn acceptance_under_faults_cached<S: Rpls + ?Sized>(
     scratch: &mut RoundScratch,
     cache: &mut PrepCache,
 ) -> FaultedAcceptance {
-    assert!(trials > 0, "need at least one trial");
-    let prepared = scheme.prepare_cached(config, labeling, trials, cache);
-    let mut out = FaultedAcceptance {
-        trials,
-        ..FaultedAcceptance::default()
-    };
-    let mut seeds_buf: Vec<u64> = Vec::new();
-    let mut next = 0usize;
-    while next < trials {
-        let chunk = TRIAL_CHUNK.min(trials - next);
-        seeds_buf.clear();
-        seeds_buf.extend((next..next + chunk).map(|t| trial_seed(seed, t as u64)));
-        next += chunk;
-        engine::run_trials_faulted_with(
-            &*prepared,
-            config,
-            &seeds_buf,
-            plan,
-            StreamMode::EdgeIndependent,
-            scratch,
-            &mut |s| {
-                out.accepts += usize::from(s.summary.accepted);
-                out.degraded_trials += usize::from(s.insufficient_nodes > 0);
-                out.missing_messages += s.missing_messages;
-                out.counts.absorb(s.counts);
-            },
-        );
+    let est = estimate_with(
+        scheme,
+        config,
+        labeling,
+        &RunSpec::trial(seed).with_faults(plan.clone()),
+        &EstimateOpts::new(trials),
+        scratch,
+        cache,
+    );
+    FaultedAcceptance {
+        trials: est.trials,
+        accepts: est.accepts,
+        degraded_trials: est.degraded_trials,
+        missing_messages: est.missing_messages,
+        counts: est.counts,
     }
-    out
 }
 
-/// Parallel twin of [`acceptance_probability`]: shards trials across
-/// threads, each with its own [`RoundScratch`]. Per-trial seeds are
-/// identical to the serial path, so the estimate is **bit-identical** to
-/// [`acceptance_probability`] for the same inputs.
+/// Parallel twin of [`estimate`]: shards trials across threads, each with
+/// its own [`RoundScratch`]. Per-trial seeds are identical to the serial
+/// path, so the result is **bit-identical** to [`estimate`] for the same
+/// inputs.
 ///
 /// `threads = None` uses the machine's available parallelism.
 #[cfg(feature = "parallel")]
-pub fn acceptance_probability_par<S: Rpls + Sync + ?Sized>(
+pub fn estimate_par<S: Rpls + Sync + ?Sized>(
     scheme: &S,
     config: &Configuration,
     labeling: &Labeling,
-    trials: usize,
-    seed: u64,
+    spec: &RunSpec,
+    opts: &EstimateOpts,
     threads: Option<usize>,
-) -> f64 {
+) -> Estimate {
+    let trials = opts.trials;
     assert!(trials > 0, "need at least one trial");
     let workers = threads
         .unwrap_or_else(|| {
@@ -346,12 +488,14 @@ pub fn acceptance_probability_par<S: Rpls + Sync + ?Sized>(
         })
         .clamp(1, trials);
     if workers == 1 {
-        return acceptance_probability(scheme, config, labeling, trials, seed);
+        return estimate(scheme, config, labeling, spec, opts);
     }
     let name = scheme.name();
-    let accepts: usize = std::thread::scope(|scope| {
+    let base = spec.seed();
+    let partials: Vec<Estimate> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
+                let spec = spec.clone();
                 scope.spawn(move || {
                     let mut scratch = RoundScratch::new();
                     // Each worker prepares the labeling for itself (the
@@ -369,15 +513,14 @@ pub fn acceptance_probability_par<S: Rpls + Sync + ?Sized>(
                     // each shard runs as one batch with the same per-trial
                     // seeds the serial path derives.
                     let shard = (trials - w).div_ceil(workers);
-                    let mut seeds_buf = Vec::new();
-                    count_accepts(
+                    estimate_prepared(
                         &*prepared,
                         config,
+                        &spec,
                         shard,
-                        &|i| trial_seed(seed, w as u64 + i * workers as u64),
-                        MessagePattern::PerPort,
+                        &|i| trial_seed(base, w as u64 + i * workers as u64),
                         &mut scratch,
-                        &mut seeds_buf,
+                        &mut Vec::new(),
                     )
                 })
             })
@@ -396,14 +539,50 @@ pub fn acceptance_probability_par<S: Rpls + Sync + ?Sized>(
                         .or_else(|| payload.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "non-string panic payload".to_string());
                     panic!(
-                        "acceptance_probability_par worker {w}/{workers} \
+                        "estimate_par worker {w}/{workers} \
                          for scheme '{name}' panicked: {msg}"
                     )
                 })
             })
-            .sum()
+            .collect()
     });
-    accepts as f64 / trials as f64
+    let mut out = Estimate {
+        trials,
+        ..Estimate::default()
+    };
+    for p in partials {
+        out.accepts += p.accepts;
+        out.degraded_trials += p.degraded_trials;
+        out.missing_messages += p.missing_messages;
+        out.counts.absorb(p.counts);
+    }
+    out
+}
+
+/// Parallel twin of [`acceptance_probability`] — a shim over
+/// [`estimate_par`] with a one-round, per-port spec; per-trial seeds are
+/// identical to the serial path, so the estimate is **bit-identical** to
+/// [`acceptance_probability`] for the same inputs.
+///
+/// `threads = None` uses the machine's available parallelism.
+#[cfg(feature = "parallel")]
+pub fn acceptance_probability_par<S: Rpls + Sync + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labeling: &Labeling,
+    trials: usize,
+    seed: u64,
+    threads: Option<usize>,
+) -> f64 {
+    estimate_par(
+        scheme,
+        config,
+        labeling,
+        &RunSpec::trial(seed),
+        &EstimateOpts::new(trials),
+        threads,
+    )
+    .acceptance()
 }
 
 /// Estimates `Pr[the t-round verifier accepts]` over `trials` independent
@@ -459,28 +638,16 @@ pub fn multiround_acceptance_probability_cached<S: Rpls + ?Sized>(
     scratch: &mut RoundScratch,
     cache: &mut PrepCache,
 ) -> f64 {
-    assert!(trials > 0, "need at least one trial");
-    assert!(rounds > 0, "a schedule needs at least one round");
-    let prepared = scheme.prepare_cached(config, labeling, trials, cache);
-    let mut accepts = 0usize;
-    let mut seeds_buf: Vec<u64> = Vec::new();
-    let mut next = 0usize;
-    while next < trials {
-        let chunk = TRIAL_CHUNK.min(trials - next);
-        seeds_buf.clear();
-        seeds_buf.extend((next..next + chunk).map(|t| trial_seed(seed, t as u64)));
-        next += chunk;
-        engine::run_multiround_trials_batched_with(
-            &*prepared,
-            config,
-            &seeds_buf,
-            rounds,
-            StreamMode::EdgeIndependent,
-            scratch,
-            &mut |summary| accepts += usize::from(summary.accepted),
-        );
-    }
-    accepts as f64 / trials as f64
+    estimate_with(
+        scheme,
+        config,
+        labeling,
+        &RunSpec::trial(seed).with_rounds(rounds),
+        &EstimateOpts::new(trials),
+        scratch,
+        cache,
+    )
+    .acceptance()
 }
 
 /// Estimates `Pr[the t-round verifier accepts]` under a
@@ -500,30 +667,16 @@ pub fn multiround_acceptance_probability_patterned<S: Rpls + ?Sized>(
     seed: u64,
     pattern: MessagePattern,
 ) -> f64 {
-    assert!(trials > 0, "need at least one trial");
-    assert!(rounds > 0, "a schedule needs at least one round");
-    let mut scratch = RoundScratch::new();
-    let prepared = scheme.prepare_cached(config, labeling, trials, &mut PrepCache::new());
-    let mut accepts = 0usize;
-    let mut seeds_buf: Vec<u64> = Vec::new();
-    let mut next = 0usize;
-    while next < trials {
-        let chunk = TRIAL_CHUNK.min(trials - next);
-        seeds_buf.clear();
-        seeds_buf.extend((next..next + chunk).map(|t| trial_seed(seed, t as u64)));
-        next += chunk;
-        engine::run_multiround_trials_batched_patterned_with(
-            &*prepared,
-            config,
-            &seeds_buf,
-            rounds,
-            pattern,
-            StreamMode::EdgeIndependent,
-            &mut scratch,
-            &mut |summary| accepts += usize::from(summary.accepted),
-        );
-    }
-    accepts as f64 / trials as f64
+    estimate(
+        scheme,
+        config,
+        labeling,
+        &RunSpec::trial(seed)
+            .with_rounds(rounds)
+            .with_pattern(pattern),
+        &EstimateOpts::new(trials),
+    )
+    .acceptance()
 }
 
 /// The distribution of verdict-decision rounds over a block of t-round
@@ -1027,6 +1180,118 @@ mod tests {
         assert_eq!(profile.rejects(), 0);
         assert_eq!(profile.quantile_reject_round(0.5), None);
         assert_eq!(profile.mean_reject_round(), None);
+    }
+
+    #[test]
+    fn estimate_matches_legacy_estimators_bit_for_bit() {
+        use crate::fault::FaultSpec;
+        let config = Configuration::plain(generators::cycle(6));
+        let labeling = Labeling::empty(6);
+        let (trials, seed) = (700usize, 13u64);
+        let opts = EstimateOpts::new(trials);
+
+        let plain = estimate(
+            &CoinAtNodeZero,
+            &config,
+            &labeling,
+            &RunSpec::trial(seed),
+            &opts,
+        );
+        assert_eq!(plain.trials, trials);
+        assert_eq!(plain.counts, FaultCounts::default());
+        assert!(
+            plain.acceptance()
+                == acceptance_probability(&CoinAtNodeZero, &config, &labeling, trials, seed)
+        );
+
+        let patterned = estimate(
+            &CoinAtNodeZero,
+            &config,
+            &labeling,
+            &RunSpec::trial(seed).with_pattern(MessagePattern::Broadcast),
+            &opts,
+        );
+        assert!(
+            patterned.acceptance()
+                == acceptance_probability_patterned(
+                    &CoinAtNodeZero,
+                    &config,
+                    &labeling,
+                    trials,
+                    seed,
+                    MessagePattern::Broadcast,
+                )
+        );
+
+        let multi = estimate(
+            &CoinAtNodeZero,
+            &config,
+            &labeling,
+            &RunSpec::trial(seed).with_rounds(5),
+            &opts,
+        );
+        assert!(
+            multi.acceptance()
+                == multiround_acceptance_probability(
+                    &CoinAtNodeZero,
+                    &config,
+                    &labeling,
+                    5,
+                    trials,
+                    seed,
+                )
+        );
+
+        let plan = FaultPlan::new(FaultSpec::transparent().with_drop(0.2), 5);
+        let faulted = estimate(
+            &CoinAtNodeZero,
+            &config,
+            &labeling,
+            &RunSpec::trial(seed).with_faults(plan.clone()),
+            &opts,
+        );
+        let legacy =
+            acceptance_under_faults(&CoinAtNodeZero, &config, &labeling, trials, seed, &plan);
+        assert_eq!(faulted.accepts, legacy.accepts);
+        assert_eq!(faulted.degraded_trials, legacy.degraded_trials);
+        assert_eq!(faulted.missing_messages, legacy.missing_messages);
+        assert_eq!(faulted.counts, legacy.counts);
+    }
+
+    #[test]
+    fn beacon_estimate_is_trial_estimate_of_derived_seed() {
+        let config = Configuration::plain(generators::cycle(6));
+        let labeling = Labeling::empty(6);
+        let opts = EstimateOpts::new(400);
+        let beacon = estimate(
+            &CoinAtNodeZero,
+            &config,
+            &labeling,
+            &RunSpec::beacon(99, 0xFACE),
+            &opts,
+        );
+        let trial = estimate(
+            &CoinAtNodeZero,
+            &config,
+            &labeling,
+            &RunSpec::trial(crate::rng::beacon_seed(99, 0xFACE)),
+            &opts,
+        );
+        assert_eq!(beacon, trial);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn estimate_par_is_bit_identical_to_serial_estimate() {
+        let config = Configuration::plain(generators::cycle(7));
+        let labeling = Labeling::empty(7);
+        let spec = RunSpec::trial(21).with_rounds(3);
+        let opts = EstimateOpts::new(333);
+        let serial = estimate(&CoinAtNodeZero, &config, &labeling, &spec, &opts);
+        for threads in [None, Some(1), Some(4), Some(13)] {
+            let par = estimate_par(&CoinAtNodeZero, &config, &labeling, &spec, &opts, threads);
+            assert_eq!(serial, par, "threads {threads:?}");
+        }
     }
 
     #[test]

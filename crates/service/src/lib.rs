@@ -1,0 +1,50 @@
+//! Verification-as-a-service for the RPLS engine: a resident job engine
+//! serving (scheme, configuration, labeling, trials, rounds, pattern,
+//! faults, seed-source) verification jobs over a length-prefixed wire
+//! format, batching them into the seed-block trial engine behind one
+//! persistent, cross-tenant [`PrepCache`](rpls_core::PrepCache).
+//!
+//! * [`wire`] — the frame format and the total (never-panicking) codecs
+//!   for [`JobRequest`] and [`JobReply`];
+//! * [`registry`] — scheme names → compiled schemes plus workload
+//!   configuration builders;
+//! * [`service`] — the resident engine: one worker thread owning the
+//!   shared cache, a bounded queue with shed-with-reason backpressure;
+//! * [`tcp`] — a std [`TcpListener`](std::net::TcpListener) front speaking
+//!   the same frames.
+//!
+//! Seed sourcing is the [`RunSpec`](rpls_core::engine::RunSpec) axis: a
+//! job may run on a private trial seed or on **public beacon coins**
+//! ([`SeedSource::Beacon`](rpls_core::engine::SeedSource::Beacon)), in
+//! which case any third party holding the pulse re-derives the transcript
+//! bit-for-bit — see the README's "Service & public randomness" section
+//! for the soundness argument.
+//!
+//! ```
+//! use rpls_service::registry::request_skeleton;
+//! use rpls_service::service::Service;
+//! use rpls_service::wire::JobReply;
+//!
+//! let service = Service::spawn();
+//! // A 4-cycle, spanning-tree scheme rooted at node 0, 32 trials.
+//! let mut req = request_skeleton("spanning-tree", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+//! req.trials = 32;
+//! match service.submit(req) {
+//!     JobReply::Ok(resp) => assert_eq!(resp.acceptance(), 1.0),
+//!     JobReply::Shed(reason) => panic!("shed: {reason}"),
+//! }
+//! service.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod service;
+pub mod tcp;
+pub mod wire;
+
+pub use registry::{build, Job, SCHEME_NAMES};
+pub use service::{Service, DEFAULT_QUEUE_CAPACITY};
+pub use tcp::TcpFront;
+pub use wire::{JobReply, JobRequest, JobResponse, ShedReason, WireEdge, WireError, WireFaults};

@@ -1,0 +1,153 @@
+//! The scheme registry: from a wire-level [`JobRequest`] to a runnable
+//! `(scheme, configuration, labeling)` triple.
+//!
+//! Tenants name schemes by string; the registry instantiates the compiled
+//! (Theorem 3.1) randomized scheme, builds the workload configuration from
+//! the submitted graph and the scheme-specific parameters, and either
+//! installs the tenant's candidate labeling or asks the honest prover for
+//! one. Every way a structurally valid request can still be unrunnable —
+//! unknown name, malformed graph, out-of-range parameter, disconnected
+//! graph for a scheme whose prover needs connectivity — is reported as a
+//! [`ShedReason::BadJob`]-style error instead of a panic, so a hostile
+//! tenant cannot take the worker thread down.
+
+use crate::wire::{JobRequest, ShedReason};
+use rpls_bits::BitString;
+use rpls_core::{CompiledRpls, Configuration, Labeling, Rpls};
+use rpls_graph::{connectivity, Graph, GraphBuilder, NodeId};
+use rpls_schemes::coloring::{greedy_coloring_config, ColoringPls};
+use rpls_schemes::leader::{leader_config, LeaderPls};
+use rpls_schemes::spanning_tree::{spanning_tree_config, SpanningTreePls};
+use rpls_schemes::uniformity::{uniform_config, UniformityPls};
+
+/// Names the registry resolves, in registry order.
+pub const SCHEME_NAMES: [&str; 4] = ["spanning-tree", "leader", "coloring", "uniformity"];
+
+/// A runnable job: the scheme, the workload configuration, and the
+/// labeling to verify.
+pub struct Job {
+    /// The compiled randomized scheme.
+    pub scheme: Box<dyn Rpls>,
+    /// The workload configuration the job verifies against.
+    pub config: Configuration,
+    /// The labeling under verification (tenant-submitted or honest).
+    pub labeling: Labeling,
+}
+
+/// Builds the configuration graph a request describes.
+fn build_graph(req: &JobRequest) -> Result<Graph, ShedReason> {
+    if req.node_count == 0 {
+        return Err(ShedReason::BadJob("graph needs at least one node".into()));
+    }
+    let mut b = GraphBuilder::new(req.node_count as usize);
+    for e in &req.edges {
+        let result = match e.weight {
+            None => b.add_edge(NodeId::new(e.u as usize), NodeId::new(e.v as usize)),
+            Some(w) => b.add_weighted_edge(NodeId::new(e.u as usize), NodeId::new(e.v as usize), w),
+        };
+        result.map_err(|err| ShedReason::BadJob(format!("bad edge: {err}")))?;
+    }
+    b.finish()
+        .map_err(|err| ShedReason::BadJob(format!("bad graph: {err}")))
+}
+
+/// Resolves a request into a runnable [`Job`].
+///
+/// # Errors
+///
+/// [`ShedReason::UnknownScheme`] for names outside [`SCHEME_NAMES`];
+/// [`ShedReason::BadJob`] for anything the named scheme cannot run.
+pub fn build(req: &JobRequest) -> Result<Job, ShedReason> {
+    let graph = build_graph(req)?;
+    let base = match &req.ids {
+        None => Configuration::plain(graph),
+        Some(ids) => Configuration::with_ids(graph, ids),
+    };
+    let n = base.node_count();
+    let node_param = || {
+        let v = req.param as usize;
+        if v < n {
+            Ok(NodeId::new(v))
+        } else {
+            Err(ShedReason::BadJob(format!(
+                "node parameter {v} out of range for {n} nodes"
+            )))
+        }
+    };
+    let (scheme, config): (Box<dyn Rpls>, Configuration) = match req.scheme.as_str() {
+        "spanning-tree" => {
+            let root = node_param()?;
+            if !connectivity::is_connected(base.graph()) {
+                return Err(ShedReason::BadJob(
+                    "spanning-tree needs a connected graph".into(),
+                ));
+            }
+            (
+                Box::new(CompiledRpls::new(SpanningTreePls::new())),
+                spanning_tree_config(&base, root),
+            )
+        }
+        "leader" => {
+            let leader = node_param()?;
+            if !connectivity::is_connected(base.graph()) {
+                return Err(ShedReason::BadJob("leader needs a connected graph".into()));
+            }
+            (
+                Box::new(CompiledRpls::new(LeaderPls::new())),
+                leader_config(&base, leader),
+            )
+        }
+        "coloring" => (
+            Box::new(CompiledRpls::new(ColoringPls::new())),
+            greedy_coloring_config(&base),
+        ),
+        "uniformity" => (
+            Box::new(CompiledRpls::new(UniformityPls::new())),
+            uniform_config(&base, &req.payload),
+        ),
+        other => return Err(ShedReason::UnknownScheme(other.to_string())),
+    };
+    let labeling = match &req.labeling {
+        Some(labels) => {
+            if labels.len() != n {
+                return Err(ShedReason::BadJob(format!(
+                    "labeling has {} labels for {n} nodes",
+                    labels.len()
+                )));
+            }
+            Labeling::new(labels.clone())
+        }
+        None => scheme.label(&config),
+    };
+    Ok(Job {
+        scheme,
+        config,
+        labeling,
+    })
+}
+
+/// A convenience for tests and benches: the empty-payload/zero-param
+/// request skeleton for `scheme` on the graph `(node_count, edges)` —
+/// honest labeling, one trial, one round, per-port pattern, clean network,
+/// trial seed 0. Callers adjust fields from there.
+#[must_use]
+pub fn request_skeleton(scheme: &str, node_count: u32, edges: &[(u32, u32)]) -> JobRequest {
+    JobRequest {
+        scheme: scheme.to_string(),
+        node_count,
+        edges: edges
+            .iter()
+            .map(|&(u, v)| crate::wire::WireEdge { u, v, weight: None })
+            .collect(),
+        ids: None,
+        param: 0,
+        payload: BitString::new(),
+        labeling: None,
+        trials: 1,
+        rounds: 1,
+        pattern: rpls_core::engine::MessagePattern::PerPort,
+        stream_mode: rpls_core::engine::StreamMode::EdgeIndependent,
+        faults: None,
+        seed_source: rpls_core::engine::SeedSource::Trial(0),
+    }
+}

@@ -1,0 +1,198 @@
+//! The resident verification engine: one worker thread, a bounded job
+//! queue, and one persistent [`PrepCache`] shared across every tenant.
+//!
+//! # Why one worker thread
+//!
+//! [`PrepCache`] is deliberately single-threaded (`Rc`-based sharing — the
+//! engine's hot path must not pay atomics), so the service gives it a home:
+//! a single worker owns the cache and a reusable
+//! [`RoundScratch`], and jobs are serialized
+//! through a bounded [`std::sync::mpsc::sync_channel`]. Backpressure is
+//! explicit: when the queue is full, [`Service::submit`] **sheds** the job
+//! with [`ShedReason::QueueFull`] instead of blocking the caller — the
+//! tenant decides whether to retry.
+//!
+//! # Cross-tenant sharing is sound
+//!
+//! The cache is **content-keyed**: every key is the full content its value
+//! is a pure function of (a label's bits, a fingerprinted string plus its
+//! modulus), and nothing configuration- or scheme-dependent is ever stored.
+//! Tenant A's entries can therefore only ever *accelerate* tenant B's jobs,
+//! never change their verdicts — estimates are bit-identical to a private
+//! fresh cache per job (`tests/smoke.rs` pins this), and hit rates under a
+//! mixed workload are observable through the [`CacheStats`] snapshot every
+//! response carries.
+
+use crate::registry;
+use crate::wire::{JobReply, JobRequest, JobResponse, ShedReason};
+use rpls_core::prep::CacheStats;
+use rpls_core::stats::{self, EstimateOpts};
+use rpls_core::{PrepCache, RoundScratch};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Default bound on the job queue.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// One queued job: the request plus the channel its reply goes back on.
+struct Envelope {
+    req: JobRequest,
+    reply: mpsc::Sender<JobReply>,
+}
+
+/// A running verification service. Dropping it (or calling
+/// [`Service::shutdown`]) drains the queue and stops the worker.
+pub struct Service {
+    tx: SyncSender<Envelope>,
+    handle: Option<JoinHandle<()>>,
+    shed: AtomicU64,
+    completed: Arc<AtomicU64>,
+    cache_stats: Arc<Mutex<CacheStats>>,
+}
+
+impl Service {
+    /// Spawns a service with the default queue capacity.
+    #[must_use]
+    pub fn spawn() -> Self {
+        Self::with_capacity(DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// Spawns a service whose queue holds at most `capacity` waiting jobs
+    /// (the job being executed is not counted).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let (tx, rx) = mpsc::sync_channel::<Envelope>(capacity);
+        let completed = Arc::new(AtomicU64::new(0));
+        let cache_stats = Arc::new(Mutex::new(CacheStats::default()));
+        let worker_completed = Arc::clone(&completed);
+        let worker_stats = Arc::clone(&cache_stats);
+        let handle = std::thread::spawn(move || worker(rx, &worker_completed, &worker_stats));
+        Self {
+            tx,
+            handle: Some(handle),
+            shed: AtomicU64::new(0),
+            completed,
+            cache_stats,
+        }
+    }
+
+    /// Submits a job and waits for its reply. Returns
+    /// [`JobReply::Shed`]`(`[`ShedReason::QueueFull`]`)` immediately when
+    /// the queue is full — submission never blocks on a busy service.
+    pub fn submit(&self, req: JobRequest) -> JobReply {
+        match self.submit_nowait(req) {
+            Ok(rx) => rx.recv().unwrap_or(JobReply::Shed(ShedReason::QueueFull)),
+            Err(shed) => JobReply::Shed(shed),
+        }
+    }
+
+    /// Submits a job without waiting: on success the reply arrives on the
+    /// returned channel, on a full queue the shed reason comes back
+    /// directly. Lets a tenant pipeline submissions.
+    ///
+    /// # Errors
+    ///
+    /// [`ShedReason::QueueFull`] when the bounded queue has no room.
+    pub fn submit_nowait(&self, req: JobRequest) -> Result<mpsc::Receiver<JobReply>, ShedReason> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        match self.tx.try_send(Envelope {
+            req,
+            reply: reply_tx,
+        }) {
+            Ok(()) => Ok(reply_rx),
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                Err(ShedReason::QueueFull)
+            }
+        }
+    }
+
+    /// Jobs shed at the queue (lifetime count).
+    #[must_use]
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs the worker has finished (lifetime count, successful or not).
+    #[must_use]
+    pub fn completed_count(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// The shared cache's counters as of the most recently completed job.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        *self.cache_stats.lock().expect("cache stats lock")
+    }
+
+    /// Stops accepting jobs, drains the queue, and joins the worker.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        // Replace the sender with a dead one so the worker's receive loop
+        // ends once the queue drains.
+        let (dead, _) = mpsc::sync_channel(1);
+        drop(std::mem::replace(&mut self.tx, dead));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The worker loop: owns the persistent cache and scratch, runs every job
+/// in arrival order.
+fn worker(rx: Receiver<Envelope>, completed: &AtomicU64, stats_out: &Mutex<CacheStats>) {
+    let mut cache = PrepCache::new();
+    let mut scratch = RoundScratch::new();
+    for Envelope { req, reply } in rx {
+        let out = run_job(&req, &mut scratch, &mut cache);
+        completed.fetch_add(1, Ordering::Relaxed);
+        if let Ok(mut snapshot) = stats_out.lock() {
+            *snapshot = cache.stats();
+        }
+        // A tenant that hung up just doesn't get its reply.
+        let _ = reply.send(out);
+    }
+}
+
+/// Runs one job against the shared cache: resolve through the registry,
+/// estimate through the one-surface [`stats::estimate_with`], snapshot the
+/// cache counters into the response.
+fn run_job(req: &JobRequest, scratch: &mut RoundScratch, cache: &mut PrepCache) -> JobReply {
+    let job = match registry::build(req) {
+        Ok(job) => job,
+        Err(reason) => return JobReply::Shed(reason),
+    };
+    let spec = req.run_spec();
+    let est = stats::estimate_with(
+        &*job.scheme,
+        &job.config,
+        &job.labeling,
+        &spec,
+        &EstimateOpts::new(req.trials as usize),
+        scratch,
+        cache,
+    );
+    JobReply::Ok(JobResponse {
+        trials: est.trials as u64,
+        accepts: est.accepts as u64,
+        degraded_trials: est.degraded_trials as u64,
+        missing_messages: est.missing_messages as u64,
+        dropped: est.counts.dropped as u64,
+        corrupted: est.counts.corrupted as u64,
+        duplicated: est.counts.duplicated as u64,
+        crashed_nodes: est.counts.crashed_nodes as u64,
+        retries: est.counts.retries as u64,
+        cache: cache.stats(),
+    })
+}

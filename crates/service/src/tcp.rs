@@ -1,0 +1,101 @@
+//! A minimal TCP front for the service: one listener thread, frame-per-job
+//! connections.
+//!
+//! Each connection carries any number of request frames (see
+//! [`wire`]); every frame gets exactly one reply frame — the
+//! job's estimate, or the shed reason (including
+//! [`ShedReason::Malformed`] for bytes
+//! that don't decode, so a confused client hears *why* instead of a closed
+//! socket). The front is intentionally sequential: jobs serialize through
+//! the service's single worker anyway, so per-connection threads would buy
+//! nothing but nondeterminism.
+
+use crate::service::Service;
+use crate::wire::{self, JobReply, JobRequest, ShedReason};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running TCP front. Stop it with [`TcpFront::stop`]; dropping without
+/// stopping leaves the listener thread running until the process exits.
+pub struct TcpFront {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TcpFront {
+    /// Binds `127.0.0.1:0` (an OS-assigned port — read it back with
+    /// [`TcpFront::addr`]) and serves `service` until stopped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener binding failures.
+    pub fn spawn(service: Arc<Service>) -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || accept_loop(&listener, &service, &stop_flag));
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address the front is listening on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the listener thread. Connections
+    /// already being served finish their current frame.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Polling accept loop; non-blocking so the stop flag is honored promptly.
+fn accept_loop(listener: &TcpListener, service: &Service, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Served connections run blocking reads again.
+                if stream.set_nonblocking(false).is_ok() {
+                    serve_connection(stream, service);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serves one connection: request frame in, reply frame out, until EOF or
+/// an unwritable socket.
+fn serve_connection(mut stream: TcpStream, service: &Service) {
+    loop {
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(_) => return, // EOF or a broken frame header: hang up.
+        };
+        let reply = match JobRequest::decode(&payload) {
+            Ok(req) => service.submit(req),
+            Err(e) => JobReply::Shed(ShedReason::Malformed(e.to_string())),
+        };
+        if wire::write_frame(&mut stream, &reply.encode()).is_err() {
+            return;
+        }
+    }
+}

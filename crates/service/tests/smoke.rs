@@ -1,0 +1,212 @@
+//! End-to-end service smoke: a mixed multi-tenant batch whose verdicts are
+//! bit-identical to direct engine runs, a nonzero shared-cache hit rate,
+//! explicit backpressure, and the TCP front speaking the same frames.
+
+use rpls_bits::BitString;
+use rpls_core::engine::{MessagePattern, SeedSource};
+use rpls_core::stats::{self, EstimateOpts};
+use rpls_service::registry::{self, request_skeleton};
+use rpls_service::service::Service;
+use rpls_service::wire::{self, JobReply, JobRequest, JobResponse, ShedReason, WireFaults};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// The mixed three-tenant workload: different schemes, graphs, patterns,
+/// fault environments, and seed sources, with repeats so the shared cache
+/// has something to hit on.
+fn tenant_batch() -> Vec<JobRequest> {
+    // Tenant A: spanning-tree on a 6-cycle, private coins.
+    let mut a = request_skeleton(
+        "spanning-tree",
+        6,
+        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+    );
+    a.trials = 40;
+    a.seed_source = SeedSource::Trial(7);
+
+    // Tenant B: uniformity on a path, broadcast pattern, beacon coins.
+    let mut b = request_skeleton("uniformity", 5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+    b.payload = BitString::from_bools((0..48).map(|i| i % 3 == 0));
+    b.trials = 25;
+    b.pattern = MessagePattern::Broadcast;
+    b.rounds = 2;
+    b.seed_source = SeedSource::Beacon {
+        round_id: 4242,
+        value: 0xFEED_F00D,
+    };
+
+    // Tenant C: leader on a star, lossy network.
+    let mut c = request_skeleton("leader", 5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+    c.param = 2;
+    c.trials = 30;
+    c.seed_source = SeedSource::Trial(99);
+    c.faults = Some(WireFaults {
+        drop_rate: 0.2,
+        corrupt_rate: 0.05,
+        duplicate_rate: 0.0,
+        crash_rate: 0.0,
+        retry_budget: 0,
+        fault_seed: 13,
+    });
+
+    // Interleave with repeats: tenants resubmit, which is exactly what the
+    // shared cache amortises.
+    vec![
+        a.clone(),
+        b.clone(),
+        c.clone(),
+        b.clone(),
+        a.clone(),
+        c,
+        a,
+        b,
+    ]
+}
+
+/// What the engine says when the same job runs directly, with a private
+/// fresh cache — the ground truth the service must match bit-for-bit.
+fn direct_estimate(req: &JobRequest) -> stats::Estimate {
+    let job = registry::build(req).expect("batch jobs are well-formed");
+    stats::estimate(
+        &*job.scheme,
+        &job.config,
+        &job.labeling,
+        &req.run_spec(),
+        &EstimateOpts::new(req.trials as usize),
+    )
+}
+
+fn assert_matches_direct(resp: &JobResponse, direct: &stats::Estimate) {
+    assert_eq!(resp.trials, direct.trials as u64);
+    assert_eq!(resp.accepts, direct.accepts as u64);
+    assert_eq!(resp.degraded_trials, direct.degraded_trials as u64);
+    assert_eq!(resp.missing_messages, direct.missing_messages as u64);
+    assert_eq!(resp.dropped, direct.counts.dropped as u64);
+    assert_eq!(resp.corrupted, direct.counts.corrupted as u64);
+    assert_eq!(resp.crashed_nodes, direct.counts.crashed_nodes as u64);
+}
+
+#[test]
+fn mixed_tenant_batch_matches_direct_engine_and_shares_the_cache() {
+    let service = Service::spawn();
+    let batch = tenant_batch();
+    let mut last = None;
+    for req in &batch {
+        let direct = direct_estimate(req);
+        match service.submit(req.clone()) {
+            JobReply::Ok(resp) => {
+                assert_matches_direct(&resp, &direct);
+                last = Some(resp);
+            }
+            JobReply::Shed(reason) => panic!("job shed: {reason}"),
+        }
+    }
+    let last = last.expect("batch is non-empty");
+    // The resubmissions hit the shared cache: nonzero hit rate, and the
+    // tenants actually shared (label content recurs across jobs).
+    assert!(last.cache.hits > 0, "no cache hits: {:?}", last.cache);
+    assert!(last.cache.hit_rate() > 0.0);
+    assert_eq!(service.completed_count(), batch.len() as u64);
+    assert_eq!(service.shed_count(), 0);
+    assert_eq!(service.cache_stats(), last.cache);
+    service.shutdown();
+}
+
+#[test]
+fn bad_jobs_shed_with_a_reason_not_a_dead_worker() {
+    let service = Service::spawn();
+    let mut unknown = request_skeleton("no-such-scheme", 3, &[(0, 1), (1, 2)]);
+    unknown.trials = 5;
+    assert_eq!(
+        service.submit(unknown),
+        JobReply::Shed(ShedReason::UnknownScheme("no-such-scheme".into()))
+    );
+    // Disconnected graph for a connectivity-requiring scheme.
+    let disconnected = request_skeleton("spanning-tree", 4, &[(0, 1), (2, 3)]);
+    match service.submit(disconnected) {
+        JobReply::Shed(ShedReason::BadJob(_)) => {}
+        other => panic!("expected BadJob shed, got {other:?}"),
+    }
+    // Labeling arity mismatch.
+    let mut short = request_skeleton("coloring", 4, &[(0, 1), (1, 2), (2, 3)]);
+    short.labeling = Some(vec![BitString::new(); 2]);
+    match service.submit(short) {
+        JobReply::Shed(ShedReason::BadJob(_)) => {}
+        other => panic!("expected BadJob shed, got {other:?}"),
+    }
+    // The worker survived all of it and still runs good jobs.
+    let mut ok = request_skeleton("coloring", 4, &[(0, 1), (1, 2), (2, 3)]);
+    ok.trials = 10;
+    match service.submit(ok) {
+        JobReply::Ok(resp) => assert_eq!(resp.acceptance(), 1.0),
+        other => panic!("worker should still serve: {other:?}"),
+    }
+    service.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_instead_of_blocking() {
+    // Capacity 2: one slow job occupies the worker, two more fill the
+    // queue, the burst after that must shed.
+    let service = Service::with_capacity(2);
+    let mut slow = request_skeleton(
+        "spanning-tree",
+        32,
+        &(0..32).map(|i| (i, (i + 1) % 32)).collect::<Vec<_>>(),
+    );
+    slow.trials = 200_000;
+    let mut pending = vec![service.submit_nowait(slow.clone()).expect("worker idle")];
+    let mut sheds = 0u64;
+    for _ in 0..32 {
+        match service.submit_nowait(slow.clone()) {
+            Ok(rx) => pending.push(rx),
+            Err(ShedReason::QueueFull) => sheds += 1,
+            Err(other) => panic!("unexpected shed: {other:?}"),
+        }
+    }
+    assert!(sheds > 0, "a capacity-2 queue must shed a 32-job burst");
+    assert_eq!(service.shed_count(), sheds);
+    for rx in pending {
+        match rx.recv().expect("worker replies") {
+            JobReply::Ok(resp) => assert_eq!(resp.accepts, resp.trials),
+            other => panic!("queued job failed: {other:?}"),
+        }
+    }
+    service.shutdown();
+}
+
+#[test]
+fn tcp_front_serves_the_same_verdicts() {
+    let service = Arc::new(Service::spawn());
+    let front = rpls_service::TcpFront::spawn(Arc::clone(&service)).expect("bind localhost");
+    let mut stream = TcpStream::connect(front.addr()).expect("connect");
+    for req in tenant_batch().into_iter().take(4) {
+        let direct = direct_estimate(&req);
+        wire::write_frame(&mut stream, &req.encode()).expect("send");
+        let payload = wire::read_frame(&mut stream).expect("reply frame");
+        match wire::JobReply::decode(&payload).expect("reply decodes") {
+            JobReply::Ok(resp) => assert_matches_direct(&resp, &direct),
+            JobReply::Shed(reason) => panic!("tcp job shed: {reason}"),
+        }
+    }
+    // Garbage frames come back as malformed sheds, not hangups.
+    wire::write_frame(&mut stream, b"definitely not a job").expect("send garbage");
+    let payload = wire::read_frame(&mut stream).expect("reply frame");
+    match wire::JobReply::decode(&payload).expect("reply decodes") {
+        JobReply::Shed(ShedReason::Malformed(_)) => {}
+        other => panic!("expected malformed shed, got {other:?}"),
+    }
+    drop(stream);
+    front.stop();
+    let hit_rate = service.cache_stats().hit_rate();
+    assert!(hit_rate > 0.0, "tcp batch should share the cache");
+}
+
+#[test]
+fn writer_flush_on_oversized_frame_is_rejected() {
+    let mut sink = Vec::new();
+    let big = vec![0u8; (wire::MAX_FRAME_LEN as usize) + 1];
+    assert!(wire::write_frame(&mut sink, &big).is_err());
+    sink.write_all(b"").unwrap();
+}

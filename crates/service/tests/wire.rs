@@ -1,0 +1,155 @@
+//! Wire-format properties: encode/decode round-trips on randomized jobs,
+//! and total decoding on adversarial bytes — no input may panic.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use rpls_bits::BitString;
+use rpls_core::engine::{MessagePattern, SeedSource, StreamMode};
+use rpls_core::prep::CacheStats;
+use rpls_service::wire::{JobReply, JobRequest, JobResponse, ShedReason, WireEdge, WireFaults};
+
+/// A randomized but well-formed request drawn from `seed`.
+fn random_request(seed: u64) -> JobRequest {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let node_count = rng.random_range(1u32..12);
+    // A random subset of the complete graph's edges, no duplicates.
+    let mut edges = Vec::new();
+    for u in 0..node_count {
+        for v in (u + 1)..node_count {
+            if rng.random_bool(0.4) {
+                let weight = rng.random_bool(0.3).then(|| rng.next_u64());
+                edges.push(WireEdge { u, v, weight });
+            }
+        }
+    }
+    let ids = rng
+        .random_bool(0.5)
+        .then(|| (0..node_count).map(|_| rng.next_u64()).collect());
+    let payload =
+        BitString::from_bools((0..rng.random_range(0usize..64)).map(|_| rng.random_bool(0.5)));
+    let labeling = rng.random_bool(0.5).then(|| {
+        (0..node_count)
+            .map(|_| {
+                BitString::from_bools(
+                    (0..rng.random_range(0usize..24)).map(|_| rng.random_bool(0.5)),
+                )
+            })
+            .collect()
+    });
+    let pattern = match rng.random_range(0u32..4) {
+        0 => MessagePattern::PerPort,
+        1 => MessagePattern::Broadcast,
+        2 => MessagePattern::Unicast,
+        _ => MessagePattern::KMessages(rng.random_range(1usize..5)),
+    };
+    let milli = |rng: &mut StdRng| rng.random_range(0u64..=1000) as f64 / 1000.0;
+    let faults = rng.random_bool(0.5).then(|| WireFaults {
+        drop_rate: milli(&mut rng),
+        corrupt_rate: milli(&mut rng),
+        duplicate_rate: milli(&mut rng),
+        crash_rate: milli(&mut rng),
+        retry_budget: rng.random_range(0u32..4),
+        fault_seed: rng.next_u64(),
+    });
+    let seed_source = if rng.random_bool(0.5) {
+        SeedSource::Trial(rng.next_u64())
+    } else {
+        SeedSource::Beacon {
+            round_id: rng.next_u64(),
+            value: rng.next_u64(),
+        }
+    };
+    JobRequest {
+        scheme: ["spanning-tree", "leader", "coloring", "uniformity", "x"]
+            [rng.random_range(0usize..5)]
+        .to_string(),
+        node_count,
+        edges,
+        ids,
+        param: rng.next_u64(),
+        payload,
+        labeling,
+        trials: rng.random_range(1u32..1000),
+        rounds: rng.random_range(1u32..8),
+        pattern,
+        stream_mode: if rng.random_bool(0.5) {
+            StreamMode::EdgeIndependent
+        } else {
+            StreamMode::SharedPerNode
+        },
+        faults,
+        seed_source,
+    }
+}
+
+fn random_reply(seed: u64) -> JobReply {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if rng.random_bool(0.5) {
+        JobReply::Ok(JobResponse {
+            trials: rng.next_u64(),
+            accepts: rng.next_u64(),
+            degraded_trials: rng.next_u64(),
+            missing_messages: rng.next_u64(),
+            dropped: rng.next_u64(),
+            corrupted: rng.next_u64(),
+            duplicated: rng.next_u64(),
+            crashed_nodes: rng.next_u64(),
+            retries: rng.next_u64(),
+            cache: CacheStats {
+                hits: rng.next_u64(),
+                misses: rng.next_u64(),
+                epochs: rng.next_u64(),
+                retained_bytes: rng.next_u64(),
+                shared_fingerprints: rng.random_range(0usize..1 << 20),
+                shared_labels: rng.random_range(0usize..1 << 20),
+                table_slots_reserved: rng.next_u64(),
+            },
+        })
+    } else {
+        JobReply::Shed(match rng.random_range(0u32..4) {
+            0 => ShedReason::QueueFull,
+            1 => ShedReason::UnknownScheme("who".into()),
+            2 => ShedReason::BadJob("because".into()),
+            _ => ShedReason::Malformed("bytes".into()),
+        })
+    }
+}
+
+proptest! {
+    /// Well-formed requests survive an encode/decode round trip exactly.
+    #[test]
+    fn request_round_trips(seed in any::<u64>()) {
+        let req = random_request(seed);
+        let decoded = JobRequest::decode(&req.encode());
+        prop_assert_eq!(decoded, Ok(req));
+    }
+
+    /// Replies round-trip exactly, both Ok and every shed reason.
+    #[test]
+    fn reply_round_trips(seed in any::<u64>()) {
+        let reply = random_reply(seed);
+        let decoded = JobReply::decode(&reply.encode());
+        prop_assert_eq!(decoded, Ok(reply));
+    }
+
+    /// Arbitrary bytes never panic either decoder — a hostile client can
+    /// at worst earn a WireError.
+    #[test]
+    fn adversarial_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = JobRequest::decode(&bytes);
+        let _ = JobReply::decode(&bytes);
+    }
+
+    /// Mutating any single byte of a valid encoding (or truncating it
+    /// anywhere) decodes totally: Ok or a WireError, never a panic.
+    #[test]
+    fn corrupted_encodings_never_panic(seed in any::<u64>(), at in any::<usize>(), flip in any::<u8>()) {
+        let encoded = random_request(seed).encode();
+        let mut mutated = encoded.clone();
+        let at = at % mutated.len();
+        mutated[at] ^= flip | 1;
+        let _ = JobRequest::decode(&mutated);
+        let _ = JobRequest::decode(&encoded[..at]);
+    }
+}

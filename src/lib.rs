@@ -12,7 +12,10 @@
 //!   and the universal schemes ([`rpls_core`]);
 //! * [`schemes`] — concrete schemes for the predicates of §5
 //!   ([`rpls_schemes`]);
-//! * [`crossing`] — the §4 lower-bound machinery ([`rpls_crossing`]).
+//! * [`crossing`] — the §4 lower-bound machinery ([`rpls_crossing`]);
+//! * [`service`] — the resident verification service: wire format, job
+//!   queue, shared [`PrepCache`](rpls_core::PrepCache), TCP front
+//!   ([`rpls_service`]).
 //!
 //! # Quickstart
 //!
@@ -28,3 +31,4 @@ pub use rpls_crossing as crossing;
 pub use rpls_fingerprint as fingerprint;
 pub use rpls_graph as graph;
 pub use rpls_schemes as schemes;
+pub use rpls_service as service;
