@@ -17,7 +17,13 @@
 //! multi-tenant batch through the resident `rpls_service::Service` and
 //! records jobs/s, the shared-cache hit rate, and the
 //! `verdicts_identical` bit (service replies equal direct engine
-//! estimates exactly) that the gate enforces speed-independently.
+//! estimates exactly) that the gate enforces speed-independently. The
+//! `service_chaos` workload drives the same service through the retrying
+//! client and the seeded `ChaosProxy` byte-fault interposer twice with
+//! one chaos seed, and records three more speed-independent bits the
+//! gate enforces: delivered verdicts bit-identical to direct engine
+//! runs, replay-identical outcome/retry/shed accounting, and a balanced
+//! shed/fault ledger.
 //!
 //! Setting `BENCH_ENGINE_SMOKE=1` runs a reduced matrix (~15 s total):
 //! the cheap acceptance runners keep their full 10k trials — their ratios
@@ -40,12 +46,16 @@ use rpls_core::{
 };
 use rpls_graph::{generators, Graph, Port};
 use rpls_schemes::spanning_tree::{spanning_tree_config, SpanningTreePls};
+use rpls_service::chaos::{ChaosPlan, ChaosProxy};
+use rpls_service::client::{self, ClientError, RetryPolicy};
 use rpls_service::registry::{self, request_skeleton};
-use rpls_service::service::Service;
-use rpls_service::wire::{JobReply, WireFaults};
+use rpls_service::service::{Service, ServiceStats};
+use rpls_service::tcp::{FrontConfig, TcpFront};
+use rpls_service::wire::{JobReply, JobRequest, WireFaults};
 use std::fmt::Write as _;
 use std::hint::black_box;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// An engine-pure randomized scheme: `bits` fresh random bits per (node,
 /// port), constant-time verification. Isolates engine overhead — RNG
@@ -1249,6 +1259,231 @@ fn bench_service(results: &mut Vec<ServiceRow>) {
     results.push(row);
 }
 
+/// One row of the chaos workload: the full robustness stack — retrying
+/// client → seeded [`ChaosProxy`] → deadline'd TCP front → supervised
+/// service — driven twice with the same chaos seed. The gate enforces
+/// three correctness bits, all deterministic functions of the seed and
+/// never of machine speed: `verdicts_identical` (every verdict that
+/// survived the chaos equals a direct engine estimate bit for bit, and
+/// the deliberate crash-test job never delivers one),
+/// `replay_identical` (the second run reproduces every outcome, retry
+/// split, and the service's shed/fault ledger exactly), and
+/// `shed_accounting_ok` (each worker panic cost exactly one restart, the
+/// sequential client never pressured the queue, and the completion ledger
+/// covers every delivery and fault).
+struct ChaosRow {
+    workload: &'static str,
+    jobs: usize,
+    delivered: usize,
+    attempts: u32,
+    transport_retries: u32,
+    shed_retries: u32,
+    worker_faults: u64,
+    worker_restarts: u64,
+    secs: f64,
+    verdicts_identical: bool,
+    replay_identical: bool,
+    shed_accounting_ok: bool,
+}
+
+/// What one job's trip through the chaos reduced to — everything a replay
+/// must reproduce: the delivered verdict triple (if any), the attempt and
+/// retry accounting, and a tag naming the terminal outcome otherwise.
+type ChaosOutcome = (Option<(u64, u64, u64)>, u32, u32, u32, String);
+
+/// The chaos batch: three distinct real jobs (different schemes, graphs,
+/// patterns, seed sources, one with engine-level faults under the
+/// network-level chaos) plus the deliberate worker-killer that exercises
+/// supervision.
+fn chaos_bench_batch(trials: u32) -> Vec<JobRequest> {
+    let cycle: Vec<(u32, u32)> = (0..8).map(|i| (i, (i + 1) % 8)).collect();
+    let mut a = request_skeleton("spanning-tree", 8, &cycle);
+    a.trials = trials;
+    a.seed_source = SeedSource::Trial(0xA11CE);
+    a.tenant = "a".into();
+
+    let path: Vec<(u32, u32)> = (0..5).map(|i| (i, i + 1)).collect();
+    let mut b = request_skeleton("uniformity", 6, &path);
+    b.payload = BitString::from_bools((0..48).map(|i| i % 3 == 0));
+    b.trials = trials / 2;
+    b.pattern = MessagePattern::Broadcast;
+    b.seed_source = SeedSource::Beacon {
+        round_id: 7,
+        value: 0xBEAC_0000,
+    };
+    b.tenant = "b".into();
+
+    let mut kill = request_skeleton(registry::CRASH_TEST_SCHEME, 3, &[(0, 1), (1, 2)]);
+    kill.trials = 2;
+    kill.tenant = "k".into();
+
+    let star: Vec<(u32, u32)> = (1..6).map(|i| (0, i)).collect();
+    let mut c = request_skeleton("leader", 6, &star);
+    c.trials = trials / 2;
+    c.seed_source = SeedSource::Trial(0xC0FFEE);
+    c.faults = Some(WireFaults {
+        drop_rate: 0.10,
+        corrupt_rate: 0.04,
+        duplicate_rate: 0.0,
+        crash_rate: 0.0,
+        retry_budget: 1,
+        fault_seed: 21,
+    });
+    c.tenant = "c".into();
+
+    vec![a, b, kill, c]
+}
+
+/// One full chaos pass: fresh service, front, and seeded proxy; the batch
+/// pushed through sequentially with deterministic jittered retries.
+fn chaos_pass(batch: &[JobRequest], seed: u64) -> (Vec<ChaosOutcome>, ServiceStats) {
+    let service = Arc::new(Service::spawn());
+    let front = TcpFront::spawn_with(
+        Arc::clone(&service),
+        FrontConfig {
+            frame_timeout: Duration::from_millis(300),
+            idle_timeout: Some(Duration::from_secs(2)),
+        },
+    )
+    .expect("bind front");
+    let plan = ChaosPlan {
+        seed,
+        drop_rate: 0.0004,
+        corrupt_rate: 0.002,
+        truncate_rate: 0.001,
+        split_rate: 0.02,
+        delay_rate: 0.01,
+        delay: Duration::from_millis(1),
+    };
+    let proxy = ChaosProxy::spawn(front.addr(), plan).expect("bind proxy");
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(40),
+        io_timeout: Duration::from_millis(500),
+        jitter_seed: seed,
+    };
+    let outcomes = batch
+        .iter()
+        .map(
+            |req| match client::submit_with_retry(proxy.addr(), req, &policy) {
+                Ok(o) => (
+                    Some((
+                        o.response.trials,
+                        o.response.accepts,
+                        o.response.degraded_trials,
+                    )),
+                    o.attempts,
+                    o.transport_retries,
+                    o.shed_retries,
+                    String::from("ok"),
+                ),
+                Err(ClientError::Terminal(reason)) => (None, 0, 0, 0, format!("terminal:{reason}")),
+                Err(ClientError::Exhausted { attempts, .. }) => {
+                    (None, attempts, 0, 0, String::from("exhausted"))
+                }
+            },
+        )
+        .collect();
+    proxy.stop();
+    front.stop();
+    let stats = service.stats();
+    drop(service);
+    (outcomes, stats)
+}
+
+fn bench_service_chaos(results: &mut Vec<ChaosRow>) {
+    const CHAOS_SEED: u64 = 0xD15E_A5ED;
+    let trials = if smoke_mode() { 40u32 } else { 200u32 };
+    let batch = chaos_bench_batch(trials);
+
+    // Ground truth outside the timed region: every real job run directly
+    // against the engine with a private fresh cache. The crash-test job
+    // has no direct verdict — its ground truth is that it never delivers.
+    let directs: Vec<Option<rpls_core::stats::Estimate>> = batch
+        .iter()
+        .map(|req| {
+            (req.scheme != registry::CRASH_TEST_SCHEME).then(|| {
+                let job = registry::build(req).expect("bench chaos jobs are well-formed");
+                rpls_core::stats::estimate(
+                    &*job.scheme,
+                    &job.config,
+                    &job.labeling,
+                    &req.run_spec(),
+                    &rpls_core::stats::EstimateOpts::new(req.trials as usize),
+                )
+            })
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let (outcomes, stats) = chaos_pass(&batch, CHAOS_SEED);
+    let secs = t0.elapsed().as_secs_f64();
+    let (replay_outcomes, replay_stats) = chaos_pass(&batch, CHAOS_SEED);
+
+    let verdicts_identical = outcomes.iter().zip(&directs).all(|(outcome, direct)| {
+        match (outcome.0, direct) {
+            // A delivered verdict must equal the direct engine run.
+            (Some((trials, accepts, degraded)), Some(d)) => {
+                trials == d.trials as u64
+                    && accepts == d.accepts as u64
+                    && degraded == d.degraded_trials as u64
+            }
+            // The crash-test job must never deliver one.
+            (Some(_), None) => false,
+            (None, _) => true,
+        }
+    });
+    let replay_identical = outcomes == replay_outcomes && stats == replay_stats;
+    let delivered = outcomes.iter().filter(|o| o.0.is_some()).count();
+    // The ledger must balance: each panic cost exactly one restart (and
+    // the crash job guarantees at least one), the one-at-a-time client
+    // never pressured the queue, and `completed` covers every delivered
+    // verdict (each needed at least one worker execution) plus every
+    // fault.
+    let shed_accounting_ok = stats.worker_faults == stats.worker_restarts
+        && stats.worker_faults >= 1
+        && stats.queue_sheds == 0
+        && stats.evictions == 0
+        && stats.deadline_sheds == 0
+        && stats.completed >= delivered as u64 + stats.worker_faults;
+
+    let row = ChaosRow {
+        workload: "service_chaos",
+        jobs: batch.len(),
+        delivered,
+        attempts: outcomes.iter().map(|o| o.1).sum(),
+        transport_retries: outcomes.iter().map(|o| o.2).sum(),
+        shed_retries: outcomes.iter().map(|o| o.3).sum(),
+        worker_faults: stats.worker_faults,
+        worker_restarts: stats.worker_restarts,
+        secs,
+        verdicts_identical,
+        replay_identical,
+        shed_accounting_ok,
+    };
+    println!(
+        "bench: service/{} ... {} jobs ({} delivered) in {secs:.4}s | verdicts identical \
+         {verdicts_identical} | replay identical {replay_identical} | accounting ok \
+         {shed_accounting_ok}",
+        row.workload, row.jobs, row.delivered,
+    );
+    assert!(
+        verdicts_identical,
+        "service/service_chaos: every delivered verdict must equal the direct engine estimate"
+    );
+    assert!(
+        replay_identical,
+        "service/service_chaos: the same chaos seed must reproduce the run exactly"
+    );
+    assert!(
+        shed_accounting_ok,
+        "service/service_chaos: the shed/fault ledger must balance: {stats:?}"
+    );
+    results.push(row);
+}
+
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     rows: &[MatrixRow],
     acceptance: &[AcceptanceResult],
@@ -1257,6 +1492,7 @@ fn write_json(
     faults: &[FaultRow],
     patterns: &[PatternRow],
     service: &[ServiceRow],
+    chaos: &[ChaosRow],
 ) {
     let mut out = String::new();
     let _ = writeln!(
@@ -1434,7 +1670,37 @@ fn write_json(
             r.sheds,
             r.cache_hit_rate,
             r.verdicts_identical,
-            if i + 1 == service.len() { "" } else { "," }
+            if i + 1 == service.len() && chaos.is_empty() {
+                ""
+            } else {
+                ","
+            }
+        );
+    }
+    // The chaos rows live in the same flat array (same parser, same
+    // per-workload matching in the gate). All three of their bits are
+    // speed-independent correctness gates; the retry/fault counters are
+    // recorded for the trajectory and replay-deterministic per seed.
+    for (i, r) in chaos.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"jobs\": {}, \"delivered\": {}, \"attempts\": {}, \
+             \"transport_retries\": {}, \"shed_retries\": {}, \"worker_faults\": {}, \
+             \"worker_restarts\": {}, \"secs\": {:.4}, \"verdicts_identical\": {}, \
+             \"replay_identical\": {}, \"shed_accounting_ok\": {}}}{}",
+            r.workload,
+            r.jobs,
+            r.delivered,
+            r.attempts,
+            r.transport_retries,
+            r.shed_retries,
+            r.worker_faults,
+            r.worker_restarts,
+            r.secs,
+            r.verdicts_identical,
+            r.replay_identical,
+            r.shed_accounting_ok,
+            if i + 1 == chaos.len() { "" } else { "," }
         );
     }
     out.push_str("  ]\n}\n");
@@ -1457,6 +1723,7 @@ fn bench_engine(c: &mut Criterion) {
     let mut faults = Vec::new();
     let mut patterns = Vec::new();
     let mut service = Vec::new();
+    let mut chaos = Vec::new();
     bench_round_matrix(c, &mut rows);
     bench_acceptance_10k(&mut acceptance);
     bench_adversary_sweep(&mut sweeps);
@@ -1464,6 +1731,7 @@ fn bench_engine(c: &mut Criterion) {
     bench_faults(&mut faults);
     bench_patterns(&mut patterns);
     bench_service(&mut service);
+    bench_service_chaos(&mut chaos);
     write_json(
         &rows,
         &acceptance,
@@ -1472,6 +1740,7 @@ fn bench_engine(c: &mut Criterion) {
         &faults,
         &patterns,
         &service,
+        &chaos,
     );
 }
 

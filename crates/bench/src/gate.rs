@@ -20,8 +20,9 @@
 //! workload never breaks the gate, and metrics missing from an older
 //! reference are simply not checked. Correctness bits
 //! (`estimates_identical`, `t1_identical`, `soundness_preserved`,
-//! `per_port_identical`, the service table's `verdicts_identical` and
-//! nonzero `cache_hit_rate`) are enforced on the current run alone — they
+//! `per_port_identical`, the service table's `verdicts_identical`,
+//! nonzero `cache_hit_rate`, and the chaos row's `replay_identical` and
+//! `shed_accounting_ok`) are enforced on the current run alone — they
 //! are deterministic at any machine speed, so no reference is consulted.
 //!
 //! The parser is deliberately minimal: it reads exactly the flat
@@ -366,7 +367,12 @@ pub fn check(current: &str, reference: &str, max_regress: f64) -> GateReport {
     // on jobs/s (absolute throughput is machine-bound): a service reply
     // diverging from the direct engine estimate, or a mixed batch whose
     // shared cache stopped hitting, fails at any speed. Both are
-    // deterministic functions of the batch, not of timing.
+    // deterministic functions of the batch, not of timing. The chaos row
+    // adds two more such bits: `replay_identical` (the same chaos seed
+    // must reproduce outcomes, retries, and the shed/fault ledger
+    // exactly — losing it means the harness or the service went
+    // nondeterministic) and `shed_accounting_ok` (every worker panic cost
+    // exactly one restart and the completion ledger balances).
     for row in &cur_service {
         if row.nums.get("verdicts_identical") == Some(&0.0) {
             report
@@ -376,6 +382,18 @@ pub fn check(current: &str, reference: &str, max_regress: f64) -> GateReport {
         if row.nums.get("cache_hit_rate") == Some(&0.0) {
             report.failures.push(format!(
                 "{}: cache_hit_rate is zero — the shared cache stopped sharing",
+                row.key()
+            ));
+        }
+        if row.nums.get("replay_identical") == Some(&0.0) {
+            report.failures.push(format!(
+                "{}: replay_identical is false — the chaos run is not seed-deterministic",
+                row.key()
+            ));
+        }
+        if row.nums.get("shed_accounting_ok") == Some(&0.0) {
+            report.failures.push(format!(
+                "{}: shed_accounting_ok is false — the shed/fault ledger does not balance",
                 row.key()
             ));
         }
@@ -653,8 +671,8 @@ mod tests {
             "every committed broadcast row must emit one message per node"
         );
         assert!(
-            !service.is_empty(),
-            "committed reference must include the service workload"
+            service.len() >= 2,
+            "committed reference must include the service and chaos workloads"
         );
         assert!(
             service
@@ -663,10 +681,26 @@ mod tests {
             "every committed service row must match the direct engine"
         );
         assert!(
-            service
-                .iter()
-                .all(|r| r.nums.get("cache_hit_rate").copied().unwrap_or(0.0) > 0.0),
-            "every committed service row must report a nonzero hit rate"
+            service.iter().any(|r| r.key() == "mixed_tenants")
+                && service
+                    .iter()
+                    .filter_map(|r| r.nums.get("cache_hit_rate"))
+                    .all(|&rate| rate > 0.0),
+            "the committed mixed-tenant row must report a nonzero hit rate"
+        );
+        let chaos = service
+            .iter()
+            .find(|r| r.key() == "service_chaos")
+            .expect("committed reference must include the chaos row");
+        assert_eq!(
+            chaos.nums.get("replay_identical"),
+            Some(&1.0),
+            "the committed chaos row must be seed-deterministic"
+        );
+        assert_eq!(
+            chaos.nums.get("shed_accounting_ok"),
+            Some(&1.0),
+            "the committed chaos row's shed/fault ledger must balance"
         );
         let report = check(json, json, 2.0);
         assert!(report.failures.is_empty(), "{:?}", report.failures);
@@ -823,6 +857,61 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.contains("mixed_tenants") && f.contains("verdicts_identical")));
+    }
+
+    /// A bench JSON with a `service` section holding both rows: the
+    /// mixed-tenant batch and the chaos-harness row with the given replay
+    /// and accounting bits.
+    fn with_chaos(base: &str, replay: bool, accounting: bool) -> String {
+        let service = format!(
+            ",\n  \"service\": [\n    {{\"workload\": \"mixed_tenants\", \"jobs\": 24, \
+             \"trials\": 4000, \"jobs_per_sec\": 45.2, \"secs\": 0.53, \"sheds\": 0, \
+             \"cache_hit_rate\": 0.8500, \"verdicts_identical\": true}},\n    \
+             {{\"workload\": \"service_chaos\", \"jobs\": 4, \"delivered\": 3, \
+             \"attempts\": 9, \"transport_retries\": 1, \"shed_retries\": 3, \
+             \"worker_faults\": 4, \"worker_restarts\": 4, \"secs\": 0.81, \
+             \"verdicts_identical\": true, \"replay_identical\": {replay}, \
+             \"shed_accounting_ok\": {accounting}}}\n  ]"
+        );
+        let at = base.rfind("\n}").expect("object close");
+        let mut out = String::from(&base[..at]);
+        out.push_str(&service);
+        out.push_str(&base[at..]);
+        out
+    }
+
+    #[test]
+    fn chaos_row_is_keyed_by_workload_and_healthy_bits_pass() {
+        let json = with_chaos(&sample(300000.0, 20.0, Some(50.0), true), true, true);
+        let (_, _, _, _, _, service) = parse(&json);
+        assert_eq!(service.len(), 2);
+        assert_eq!(service[1].key(), "service_chaos");
+        // Healthy bits pass against the file itself and against a
+        // pre-chaos reference (new rows never break the gate); the chaos
+        // row's absent cache_hit_rate is not treated as zero.
+        assert!(check(&json, &json, 2.0).failures.is_empty());
+        let pre_chaos = sample(300000.0, 20.0, Some(50.0), true);
+        assert!(check(&json, &pre_chaos, 2.0).failures.is_empty());
+    }
+
+    #[test]
+    fn chaos_replay_divergence_fails_regardless_of_speed() {
+        let cur = with_chaos(&sample(300000.0, 20.0, Some(50.0), true), false, true);
+        let report = check(&cur, &cur, 2.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("service_chaos") && f.contains("replay_identical")));
+    }
+
+    #[test]
+    fn chaos_accounting_break_fails_regardless_of_speed() {
+        let cur = with_chaos(&sample(300000.0, 20.0, Some(50.0), true), true, false);
+        let report = check(&cur, &cur, 2.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("service_chaos") && f.contains("shed_accounting_ok")));
     }
 
     #[test]

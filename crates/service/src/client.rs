@@ -1,0 +1,228 @@
+//! A deadline-aware TCP client with deterministic retries.
+//!
+//! [`submit_with_retry`] speaks checksummed frames (so transport
+//! corruption surfaces as a retryable I/O failure, never as a silently
+//! different request), puts an I/O timeout on every socket operation, and
+//! retries **only** what retrying can fix:
+//!
+//! * transport failures — connect errors, timeouts, hangups, checksum
+//!   mismatches, undecodable replies — and
+//! * retryable sheds ([`ShedReason::is_retryable`]: `QueueFull`,
+//!   `WorkerFault`),
+//!
+//! never terminal sheds (`BadJob`, `Malformed`, `UnknownScheme`,
+//! `DeadlineExceeded`) — resubmitting a rejected job reproduces the
+//! rejection, so the client reports it instead
+//! ([`ClientError::Terminal`]).
+//!
+//! Backoff between attempts is exponential with deterministic jitter: the
+//! pause before retry `k` is `base · 2ᵏ` (capped) scaled into
+//! `[50%, 100%]` by a SplitMix64 word derived from
+//! [`RetryPolicy::jitter_seed`] — the same counter-stream recipe as the
+//! engine's fault plans, so a chaos experiment replays its exact timing
+//! decisions from its seeds.
+
+use crate::wire::{self, JobReply, JobRequest, JobResponse, ShedReason};
+use rpls_core::rng::{mix_seed, state_stream_word};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Retry/deadline knobs for [`submit_with_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). Clamped to at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry after that.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff pause.
+    pub max_backoff: Duration,
+    /// Budget for each socket operation (connect, and the whole
+    /// request-to-reply exchange).
+    pub io_timeout: Duration,
+    /// Seed of the jitter stream; same seed, same pauses.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(5),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered pause before retry `attempt` (0-based): `base · 2^attempt`,
+    /// capped at [`RetryPolicy::max_backoff`], scaled by a deterministic
+    /// factor in `[0.5, 1.0]`.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.max_backoff);
+        let word = state_stream_word(mix_seed(self.jitter_seed, u64::from(attempt), 0), 0);
+        // Map the word's top 53 bits to [0.5, 1.0).
+        let unit = (word >> 11) as f64 / 9_007_199_254_740_992.0;
+        exp.mul_f64(0.5 + 0.5 * unit)
+    }
+}
+
+/// Why [`submit_with_retry`] gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The service shed the job for a reason retrying cannot fix.
+    Terminal(ShedReason),
+    /// Every attempt failed retryably; `last` describes the final one.
+    Exhausted {
+        /// Attempts made (equals the policy's `max_attempts`).
+        attempts: u32,
+        /// Human-readable description of the last failure.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Terminal(reason) => write!(f, "terminal shed: {reason}"),
+            Self::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// What a successful [`submit_with_retry`] took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryOutcome {
+    /// The verdict.
+    pub response: JobResponse,
+    /// Attempts made, first try included (1 = clean first exchange).
+    pub attempts: u32,
+    /// Of the failed attempts, how many failed at the transport layer.
+    pub transport_retries: u32,
+    /// Of the failed attempts, how many were retryable sheds.
+    pub shed_retries: u32,
+}
+
+/// Submits `req` to the front at `addr`, retrying per `policy`. Every
+/// attempt is a fresh connection carrying one checksummed request frame.
+///
+/// # Errors
+///
+/// [`ClientError::Terminal`] on a non-retryable shed;
+/// [`ClientError::Exhausted`] when `max_attempts` attempts all failed
+/// retryably.
+pub fn submit_with_retry(
+    addr: SocketAddr,
+    req: &JobRequest,
+    policy: &RetryPolicy,
+) -> Result<RetryOutcome, ClientError> {
+    let max_attempts = policy.max_attempts.max(1);
+    let payload = req.encode();
+    let mut transport_retries = 0u32;
+    let mut shed_retries = 0u32;
+    let mut last = String::new();
+    for attempt in 0..max_attempts {
+        if attempt > 0 {
+            std::thread::sleep(policy.backoff(attempt - 1));
+        }
+        match exchange(addr, &payload, policy.io_timeout) {
+            Ok(JobReply::Ok(response)) => {
+                return Ok(RetryOutcome {
+                    response,
+                    attempts: attempt + 1,
+                    transport_retries,
+                    shed_retries,
+                })
+            }
+            Ok(JobReply::Shed(reason)) if reason.is_retryable() => {
+                shed_retries += 1;
+                last = format!("shed: {reason}");
+            }
+            Ok(JobReply::Shed(reason)) => return Err(ClientError::Terminal(reason)),
+            Err(e) => {
+                transport_retries += 1;
+                last = format!("transport: {e}");
+            }
+        }
+    }
+    Err(ClientError::Exhausted {
+        attempts: max_attempts,
+        last,
+    })
+}
+
+/// One attempt: connect, send the checksummed request frame, read and
+/// decode the reply frame, all under `io_timeout`.
+fn exchange(addr: SocketAddr, payload: &[u8], io_timeout: Duration) -> io::Result<JobReply> {
+    let timeout = io_timeout.max(Duration::from_millis(1));
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+    stream.set_write_timeout(Some(timeout))?;
+    wire::write_frame_checked(&mut stream, payload)?;
+    let deadline = Instant::now() + timeout;
+    let reply = read_frame_deadline(&mut stream, deadline)?;
+    JobReply::decode(&reply)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad reply frame: {e}")))
+}
+
+/// Reads one reply frame (either flavor, checksum verified when present)
+/// against an absolute deadline, polling in short slices.
+fn read_frame_deadline(stream: &mut TcpStream, deadline: Instant) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; 4];
+    read_full(stream, &mut header, deadline)?;
+    let (len, checked) = wire::frame_header(u32::from_le_bytes(header))?;
+    let expect = if checked {
+        let mut sum = [0u8; 8];
+        read_full(stream, &mut sum, deadline)?;
+        Some(u64::from_le_bytes(sum))
+    } else {
+        None
+    };
+    let mut payload = vec![0u8; len];
+    read_full(stream, &mut payload, deadline)?;
+    if let Some(expect) = expect {
+        if wire::frame_checksum(&payload) != expect {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame checksum mismatch",
+            ));
+        }
+    }
+    Ok(payload)
+}
+
+/// Fills `buf` or fails by `deadline`; poll-sliced like the front's
+/// reader so a stalled reply cannot hang the client.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], deadline: Instant) -> io::Result<()> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "reply deadline exceeded",
+            ));
+        }
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}

@@ -4,14 +4,23 @@
 //! format, batching them into the seed-block trial engine behind one
 //! persistent, cross-tenant [`PrepCache`](rpls_core::PrepCache).
 //!
-//! * [`wire`] — the frame format and the total (never-panicking) codecs
-//!   for [`JobRequest`] and [`JobReply`];
+//! * [`wire`] — the frame format (plain and checksummed flavors) and the
+//!   total (never-panicking) codecs for [`JobRequest`] and [`JobReply`];
 //! * [`registry`] — scheme names → compiled schemes plus workload
 //!   configuration builders;
-//! * [`service`] — the resident engine: one worker thread owning the
-//!   shared cache, a bounded queue with shed-with-reason backpressure;
+//! * [`service`] — the resident engine: a supervised worker owning the
+//!   shared cache, a bounded fair-shedding queue with per-tenant
+//!   accounting and shed-with-reason backpressure;
 //! * [`tcp`] — a std [`TcpListener`](std::net::TcpListener) front speaking
-//!   the same frames.
+//!   the same frames, with per-frame deadlines and drain-on-stop;
+//! * [`client`] — a deadline-aware client retrying only retryable sheds,
+//!   with deterministic jittered backoff;
+//! * [`chaos`] — the seed-replayable network-chaos interposer
+//!   ([`ChaosProxy`]) the robustness suites drive everything through.
+//!
+//! The front's failure semantics — the shed-reason taxonomy, what is
+//! retryable, and what supervision guarantees — are documented in the
+//! README's "Service failure semantics" section.
 //!
 //! Seed sourcing is the [`RunSpec`](rpls_core::engine::RunSpec) axis: a
 //! job may run on a private trial seed or on **public beacon coins**
@@ -39,12 +48,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod client;
 pub mod registry;
 pub mod service;
 pub mod tcp;
 pub mod wire;
 
-pub use registry::{build, Job, SCHEME_NAMES};
-pub use service::{Service, DEFAULT_QUEUE_CAPACITY};
-pub use tcp::TcpFront;
+pub use chaos::{ChaosPlan, ChaosProxy, ChaosStats};
+pub use client::{submit_with_retry, ClientError, RetryOutcome, RetryPolicy};
+pub use registry::{build, Job, CRASH_TEST_SCHEME, SCHEME_NAMES};
+pub use service::{Service, ServiceConfig, ServiceStats, DEFAULT_QUEUE_CAPACITY};
+pub use tcp::{FrontConfig, TcpFront};
 pub use wire::{JobReply, JobRequest, JobResponse, ShedReason, WireEdge, WireError, WireFaults};

@@ -12,9 +12,10 @@
 //! tenant cannot take the worker thread down.
 
 use crate::wire::{JobRequest, ShedReason};
+use rand::Rng;
 use rpls_bits::BitString;
-use rpls_core::{CompiledRpls, Configuration, Labeling, Rpls};
-use rpls_graph::{connectivity, Graph, GraphBuilder, NodeId};
+use rpls_core::{CertView, CompiledRpls, Configuration, Labeling, RandView, Rpls};
+use rpls_graph::{connectivity, Graph, GraphBuilder, NodeId, Port};
 use rpls_schemes::coloring::{greedy_coloring_config, ColoringPls};
 use rpls_schemes::leader::{leader_config, LeaderPls};
 use rpls_schemes::spanning_tree::{spanning_tree_config, SpanningTreePls};
@@ -22,6 +23,36 @@ use rpls_schemes::uniformity::{uniform_config, UniformityPls};
 
 /// Names the registry resolves, in registry order.
 pub const SCHEME_NAMES: [&str; 4] = ["spanning-tree", "leader", "coloring", "uniformity"];
+
+/// The reserved panic-injection scheme name: a job naming it resolves (so
+/// it passes admission) and then panics inside the engine, exercising the
+/// service's worker supervision. Deliberately excluded from
+/// [`SCHEME_NAMES`] — it is a test fixture, not a scheme.
+pub const CRASH_TEST_SCHEME: &str = "__crash-test";
+
+/// The panic-injection fixture behind [`CRASH_TEST_SCHEME`]: labels
+/// resolve fine, but any attempt to run a verification round panics. The
+/// supervision tests and the chaos bench use it to prove a worker panic
+/// costs exactly one job.
+struct CrashTestPls;
+
+impl Rpls for CrashTestPls {
+    fn name(&self) -> String {
+        CRASH_TEST_SCHEME.into()
+    }
+
+    fn label(&self, config: &Configuration) -> Labeling {
+        Labeling::new(vec![BitString::new(); config.node_count()])
+    }
+
+    fn certify(&self, _view: &CertView<'_>, _port: Port, _rng: &mut dyn Rng) -> BitString {
+        panic!("injected worker panic ({CRASH_TEST_SCHEME})");
+    }
+
+    fn verify(&self, _view: &RandView<'_>) -> bool {
+        panic!("injected worker panic ({CRASH_TEST_SCHEME})");
+    }
+}
 
 /// A runnable job: the scheme, the workload configuration, and the
 /// labeling to verify.
@@ -105,6 +136,7 @@ pub fn build(req: &JobRequest) -> Result<Job, ShedReason> {
             Box::new(CompiledRpls::new(UniformityPls::new())),
             uniform_config(&base, &req.payload),
         ),
+        CRASH_TEST_SCHEME => (Box::new(CrashTestPls), base),
         other => return Err(ShedReason::UnknownScheme(other.to_string())),
     };
     let labeling = match &req.labeling {
@@ -149,5 +181,7 @@ pub fn request_skeleton(scheme: &str, node_count: u32, edges: &[(u32, u32)]) -> 
         stream_mode: rpls_core::engine::StreamMode::EdgeIndependent,
         faults: None,
         seed_source: rpls_core::engine::SeedSource::Trial(0),
+        tenant: String::new(),
+        deadline_ms: None,
     }
 }

@@ -1,16 +1,50 @@
-//! The resident verification engine: one worker thread, a bounded job
-//! queue, and one persistent [`PrepCache`] shared across every tenant.
+//! The resident verification engine: a supervised worker, a fair bounded
+//! job queue, and one persistent [`PrepCache`] shared across every tenant.
 //!
 //! # Why one worker thread
 //!
 //! [`PrepCache`] is deliberately single-threaded (`Rc`-based sharing — the
 //! engine's hot path must not pay atomics), so the service gives it a home:
-//! a single worker owns the cache and a reusable
-//! [`RoundScratch`], and jobs are serialized
-//! through a bounded [`std::sync::mpsc::sync_channel`]. Backpressure is
-//! explicit: when the queue is full, [`Service::submit`] **sheds** the job
-//! with [`ShedReason::QueueFull`] instead of blocking the caller — the
-//! tenant decides whether to retry.
+//! a single worker owns the cache and a reusable [`RoundScratch`], and jobs
+//! serialize through a bounded queue. Backpressure is explicit: when the
+//! queue has no fair room, [`Service::submit`] **sheds** the job with
+//! [`ShedReason::QueueFull`] instead of blocking the caller — the tenant
+//! decides whether to retry.
+//!
+//! # Supervision: a panic costs one job, never the service
+//!
+//! The worker runs every job under
+//! [`std::panic::catch_unwind`]. If a job panics, exactly
+//! that job is answered with [`ShedReason::WorkerFault`]; the worker
+//! thread is then allowed to die and a supervisor loop respawns it with a
+//! **fresh** [`PrepCache`] and scratch (a panic may have left them
+//! half-updated, and a fresh thread also sheds any poisoned thread-local
+//! state). Restart and fault counters are visible through
+//! [`Service::stats`]. A dead worker can also never masquerade as
+//! backpressure: a reply channel that drops without a reply surfaces as
+//! [`ShedReason::WorkerFault`], not `QueueFull`.
+//!
+//! # Fair shedding and per-tenant quotas
+//!
+//! Every job carries an opaque tenant key ([`JobRequest::tenant`]); the
+//! queue tracks in-flight (queued + executing) jobs per key. When the
+//! bounded queue is full and a new job arrives, the queue sheds **the
+//! heaviest tenant first**: if some queued tenant holds strictly more
+//! in-flight jobs than the newcomer's tenant, that tenant's newest queued
+//! job is evicted (answered `QueueFull`) to admit the newcomer; otherwise
+//! the newcomer itself is shed. A single noisy tenant therefore converges
+//! to at most `capacity` queue slots *minus* whatever lighter tenants ask
+//! for — it can saturate an idle queue but never starve an active one. An
+//! optional hard quota ([`ServiceConfig::tenant_quota`]) additionally caps
+//! any one tenant's in-flight jobs outright.
+//!
+//! # Deadlines
+//!
+//! A job may carry a deadline ([`JobRequest::deadline_ms`], or
+//! [`ServiceConfig::default_deadline`] when it doesn't). The deadline is
+//! checked when the worker *dequeues* the job: a job whose deadline passed
+//! while it waited is shed with [`ShedReason::DeadlineExceeded`] instead
+//! of burning worker time on a verdict nobody is waiting for.
 //!
 //! # Cross-tenant sharing is sound
 //!
@@ -28,103 +62,310 @@ use crate::wire::{JobReply, JobRequest, JobResponse, ShedReason};
 use rpls_core::prep::CacheStats;
 use rpls_core::stats::{self, EstimateOpts};
 use rpls_core::{PrepCache, RoundScratch};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Default bound on the job queue.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
-/// One queued job: the request plus the channel its reply goes back on.
+/// Tuning knobs for a [`Service`]. The defaults reproduce the historical
+/// behavior: a [`DEFAULT_QUEUE_CAPACITY`]-slot queue, no per-tenant quota,
+/// no implicit deadline.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum number of *waiting* jobs (the executing job is not
+    /// counted). Clamped to at least 1.
+    pub queue_capacity: usize,
+    /// Hard cap on any one tenant's in-flight (queued + executing) jobs;
+    /// submissions beyond it are shed with [`ShedReason::QueueFull`].
+    /// `None` disables the cap (fair shedding still applies).
+    pub tenant_quota: Option<usize>,
+    /// Deadline applied to jobs that carry none of their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            tenant_quota: None,
+            default_deadline: None,
+        }
+    }
+}
+
+/// A lifetime snapshot of a service's shed/fault accounting — the ledger
+/// that makes "reject with a reason, never hang" auditable. Every job
+/// submitted to a service ends up in exactly one bucket: `completed`
+/// (worker replied — verdict, deadline shed, or fault shed), `queue_sheds`
+/// (refused at submission), or `evictions` (admitted, then shed in favor
+/// of a lighter tenant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Jobs the worker disposed of (verdict computed, or shed at the
+    /// worker with `DeadlineExceeded`/`WorkerFault`).
+    pub completed: u64,
+    /// Jobs refused at submission time (queue full or quota), including
+    /// `quota_sheds`.
+    pub queue_sheds: u64,
+    /// Of `queue_sheds`, those refused by the per-tenant quota.
+    pub quota_sheds: u64,
+    /// Queued jobs shed to admit a lighter tenant's job.
+    pub evictions: u64,
+    /// Jobs shed at dequeue because their deadline had passed.
+    pub deadline_sheds: u64,
+    /// Jobs lost to a worker panic (each answered `WorkerFault`).
+    pub worker_faults: u64,
+    /// Fresh workers spawned by the supervisor after a panic.
+    pub worker_restarts: u64,
+}
+
+/// One queued job: the request, the channel its reply goes back on, and
+/// its (absolute) deadline.
 struct Envelope {
     req: JobRequest,
     reply: mpsc::Sender<JobReply>,
+    expires: Option<Instant>,
+}
+
+/// Queue state under the mutex: the waiting jobs, the per-tenant
+/// in-flight ledger, and the shutdown latch.
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Envelope>,
+    /// In-flight (queued + executing) jobs per tenant key. Entries are
+    /// removed when they reach zero, so the map's size is bounded by the
+    /// number of *active* tenants, not of all tenants ever seen.
+    inflight: HashMap<String, usize>,
+    closed: bool,
+}
+
+/// Everything the submitters, the worker, and the supervisor share.
+struct Shared {
+    queue: Mutex<QueueState>,
+    avail: Condvar,
+    capacity: usize,
+    tenant_quota: Option<usize>,
+    completed: AtomicU64,
+    queue_sheds: AtomicU64,
+    quota_sheds: AtomicU64,
+    evictions: AtomicU64,
+    deadline_sheds: AtomicU64,
+    worker_faults: AtomicU64,
+    worker_restarts: AtomicU64,
+    cache_stats: Mutex<CacheStats>,
+}
+
+impl Shared {
+    /// Locks the queue, recovering from poisoning: the state under the
+    /// mutex is only ever touched between jobs, never across an unwind,
+    /// so a poisoned lock carries no torn state.
+    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Drops one job from `tenant`'s in-flight count.
+    fn release_tenant(&self, state: &mut QueueState, tenant: &str) {
+        if let Some(count) = state.inflight.get_mut(tenant) {
+            *count -= 1;
+            if *count == 0 {
+                state.inflight.remove(tenant);
+            }
+        }
+    }
 }
 
 /// A running verification service. Dropping it (or calling
 /// [`Service::shutdown`]) drains the queue and stops the worker.
 pub struct Service {
-    tx: SyncSender<Envelope>,
+    shared: Arc<Shared>,
+    default_deadline: Option<Duration>,
     handle: Option<JoinHandle<()>>,
-    shed: AtomicU64,
-    completed: Arc<AtomicU64>,
-    cache_stats: Arc<Mutex<CacheStats>>,
 }
 
 impl Service {
-    /// Spawns a service with the default queue capacity.
+    /// Spawns a service with the default configuration.
     #[must_use]
     pub fn spawn() -> Self {
-        Self::with_capacity(DEFAULT_QUEUE_CAPACITY)
+        Self::with_config(ServiceConfig::default())
     }
 
     /// Spawns a service whose queue holds at most `capacity` waiting jobs
     /// (the job being executed is not counted).
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        let (tx, rx) = mpsc::sync_channel::<Envelope>(capacity);
-        let completed = Arc::new(AtomicU64::new(0));
-        let cache_stats = Arc::new(Mutex::new(CacheStats::default()));
-        let worker_completed = Arc::clone(&completed);
-        let worker_stats = Arc::clone(&cache_stats);
-        let handle = std::thread::spawn(move || worker(rx, &worker_completed, &worker_stats));
+        Self::with_config(ServiceConfig {
+            queue_capacity: capacity,
+            ..ServiceConfig::default()
+        })
+    }
+
+    /// Spawns a service with explicit [`ServiceConfig`] knobs.
+    #[must_use]
+    pub fn with_config(config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState::default()),
+            avail: Condvar::new(),
+            capacity: config.queue_capacity.max(1),
+            tenant_quota: config.tenant_quota,
+            completed: AtomicU64::new(0),
+            queue_sheds: AtomicU64::new(0),
+            quota_sheds: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            deadline_sheds: AtomicU64::new(0),
+            worker_faults: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            cache_stats: Mutex::new(CacheStats::default()),
+        });
+        let supervisor_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("rpls-service-supervisor".into())
+            .spawn(move || supervisor(&supervisor_shared))
+            .expect("spawn service supervisor");
         Self {
-            tx,
+            shared,
+            default_deadline: config.default_deadline,
             handle: Some(handle),
-            shed: AtomicU64::new(0),
-            completed,
-            cache_stats,
         }
     }
 
-    /// Submits a job and waits for its reply. Returns
-    /// [`JobReply::Shed`]`(`[`ShedReason::QueueFull`]`)` immediately when
-    /// the queue is full — submission never blocks on a busy service.
+    /// Submits a job and waits for its reply. Sheds immediately (with
+    /// [`ShedReason::QueueFull`]) when the queue has no fair room —
+    /// submission never blocks on a busy service. If the worker dies
+    /// without replying (a bug by construction — the supervisor answers
+    /// every job), the failure surfaces as [`ShedReason::WorkerFault`],
+    /// never as a phantom full queue.
     pub fn submit(&self, req: JobRequest) -> JobReply {
         match self.submit_nowait(req) {
-            Ok(rx) => rx.recv().unwrap_or(JobReply::Shed(ShedReason::QueueFull)),
+            Ok(rx) => rx.recv().unwrap_or(JobReply::Shed(ShedReason::WorkerFault)),
             Err(shed) => JobReply::Shed(shed),
         }
     }
 
     /// Submits a job without waiting: on success the reply arrives on the
-    /// returned channel, on a full queue the shed reason comes back
-    /// directly. Lets a tenant pipeline submissions.
+    /// returned channel, on a shed the reason comes back directly. Lets a
+    /// tenant pipeline submissions. A queued job can still be answered
+    /// `QueueFull` later (fair-shedding eviction) or
+    /// `DeadlineExceeded` at dequeue — the channel always gets exactly
+    /// one reply.
     ///
     /// # Errors
     ///
-    /// [`ShedReason::QueueFull`] when the bounded queue has no room.
+    /// [`ShedReason::QueueFull`] when the bounded queue has no fair room
+    /// for this tenant (full queue, quota, or a heavier-tenant check).
     pub fn submit_nowait(&self, req: JobRequest) -> Result<mpsc::Receiver<JobReply>, ShedReason> {
+        let expires = req
+            .deadline_ms
+            .map(|ms| Duration::from_millis(u64::from(ms)))
+            .or(self.default_deadline)
+            .map(|d| Instant::now() + d);
         let (reply_tx, reply_rx) = mpsc::channel();
-        match self.tx.try_send(Envelope {
+        let tenant = req.tenant.clone();
+        let mut state = self.shared.lock_queue();
+        if state.closed {
+            self.shared.queue_sheds.fetch_add(1, Ordering::Relaxed);
+            return Err(ShedReason::QueueFull);
+        }
+        let mine = state.inflight.get(&tenant).copied().unwrap_or(0);
+        if let Some(quota) = self.shared.tenant_quota {
+            if mine >= quota {
+                self.shared.quota_sheds.fetch_add(1, Ordering::Relaxed);
+                self.shared.queue_sheds.fetch_add(1, Ordering::Relaxed);
+                return Err(ShedReason::QueueFull);
+            }
+        }
+        if state.jobs.len() >= self.shared.capacity {
+            // Fair shedding: find the queued job whose tenant is heaviest
+            // (ties break to the newest entry, preserving FIFO order for
+            // the rest of that tenant's work). Only a *strictly* heavier
+            // tenant is evicted — a tenant never gains queue room by
+            // racing itself.
+            let victim = state
+                .jobs
+                .iter()
+                .enumerate()
+                .map(|(at, env)| {
+                    (
+                        at,
+                        state.inflight.get(&env.req.tenant).copied().unwrap_or(0),
+                    )
+                })
+                .max_by_key(|&(_, weight)| weight)
+                .expect("full queue is non-empty");
+            let (at, weight) = victim;
+            if weight <= mine {
+                self.shared.queue_sheds.fetch_add(1, Ordering::Relaxed);
+                return Err(ShedReason::QueueFull);
+            }
+            let evicted = state.jobs.remove(at).expect("victim index in bounds");
+            self.shared.release_tenant(&mut state, &evicted.req.tenant);
+            self.shared.evictions.fetch_add(1, Ordering::Relaxed);
+            let _ = evicted.reply.send(JobReply::Shed(ShedReason::QueueFull));
+        }
+        *state.inflight.entry(tenant).or_insert(0) += 1;
+        state.jobs.push_back(Envelope {
             req,
             reply: reply_tx,
-        }) {
-            Ok(()) => Ok(reply_rx),
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.shed.fetch_add(1, Ordering::Relaxed);
-                Err(ShedReason::QueueFull)
-            }
+            expires,
+        });
+        drop(state);
+        self.shared.avail.notify_one();
+        Ok(reply_rx)
+    }
+
+    /// Jobs currently waiting in the queue (the job being executed, if
+    /// any, is not counted). A snapshot — mainly for tests and
+    /// observability.
+    #[must_use]
+    pub fn queued_count(&self) -> usize {
+        self.shared.lock_queue().jobs.len()
+    }
+
+    /// Jobs shed at the queue — submission-time refusals plus
+    /// fair-shedding evictions (lifetime count).
+    #[must_use]
+    pub fn shed_count(&self) -> u64 {
+        self.shared.queue_sheds.load(Ordering::Relaxed)
+            + self.shared.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Jobs the worker has disposed of (lifetime count: verdicts plus
+    /// worker-side sheds).
+    #[must_use]
+    pub fn completed_count(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// The full shed/fault ledger.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            queue_sheds: self.shared.queue_sheds.load(Ordering::Relaxed),
+            quota_sheds: self.shared.quota_sheds.load(Ordering::Relaxed),
+            evictions: self.shared.evictions.load(Ordering::Relaxed),
+            deadline_sheds: self.shared.deadline_sheds.load(Ordering::Relaxed),
+            worker_faults: self.shared.worker_faults.load(Ordering::Relaxed),
+            worker_restarts: self.shared.worker_restarts.load(Ordering::Relaxed),
         }
     }
 
-    /// Jobs shed at the queue (lifetime count).
-    #[must_use]
-    pub fn shed_count(&self) -> u64 {
-        self.shed.load(Ordering::Relaxed)
-    }
-
-    /// Jobs the worker has finished (lifetime count, successful or not).
-    #[must_use]
-    pub fn completed_count(&self) -> u64 {
-        self.completed.load(Ordering::Relaxed)
-    }
-
     /// The shared cache's counters as of the most recently completed job.
+    /// A worker respawn starts a fresh cache, so these reset after a
+    /// fault — by design: they describe the cache that will serve the
+    /// *next* job.
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
-        *self.cache_stats.lock().expect("cache stats lock")
+        *self
+            .shared
+            .cache_stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
     }
 
     /// Stops accepting jobs, drains the queue, and joins the worker.
@@ -133,10 +374,11 @@ impl Service {
     }
 
     fn stop(&mut self) {
-        // Replace the sender with a dead one so the worker's receive loop
-        // ends once the queue drains.
-        let (dead, _) = mpsc::sync_channel(1);
-        drop(std::mem::replace(&mut self.tx, dead));
+        {
+            let mut state = self.shared.lock_queue();
+            state.closed = true;
+        }
+        self.shared.avail.notify_all();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
@@ -149,20 +391,84 @@ impl Drop for Service {
     }
 }
 
-/// The worker loop: owns the persistent cache and scratch, runs every job
-/// in arrival order.
-fn worker(rx: Receiver<Envelope>, completed: &AtomicU64, stats_out: &Mutex<CacheStats>) {
+/// The supervisor loop: keeps exactly one worker alive until the queue is
+/// closed and drained. A worker that returns cleanly means shutdown; a
+/// worker that panicked already answered its poisoned job with
+/// [`ShedReason::WorkerFault`], so the supervisor just respawns a fresh
+/// one — new thread, new [`PrepCache`], new scratch.
+fn supervisor(shared: &Arc<Shared>) {
+    loop {
+        let worker_shared = Arc::clone(shared);
+        let worker = std::thread::Builder::new()
+            .name("rpls-service-worker".into())
+            .spawn(move || worker_epoch(&worker_shared))
+            .expect("spawn service worker");
+        if worker.join().is_ok() {
+            return;
+        }
+        shared.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Blocks until a job is available or the queue is closed and empty.
+fn next_envelope(shared: &Shared) -> Option<Envelope> {
+    let mut state = shared.lock_queue();
+    loop {
+        if let Some(env) = state.jobs.pop_front() {
+            return Some(env);
+        }
+        if state.closed {
+            return None;
+        }
+        state = shared.avail.wait(state).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// One worker's lifetime: owns a fresh cache and scratch, runs jobs in
+/// arrival order until the queue closes — or until a job panics, in which
+/// case the job is answered [`ShedReason::WorkerFault`] and the panic is
+/// resumed so the supervisor can replace this worker wholesale.
+fn worker_epoch(shared: &Shared) {
     let mut cache = PrepCache::new();
     let mut scratch = RoundScratch::new();
-    for Envelope { req, reply } in rx {
-        let out = run_job(&req, &mut scratch, &mut cache);
-        completed.fetch_add(1, Ordering::Relaxed);
-        if let Ok(mut snapshot) = stats_out.lock() {
-            *snapshot = cache.stats();
+    while let Some(Envelope {
+        req,
+        reply,
+        expires,
+    }) = next_envelope(shared)
+    {
+        if expires.is_some_and(|at| Instant::now() >= at) {
+            shared.deadline_sheds.fetch_add(1, Ordering::Relaxed);
+            finish(shared, &req.tenant);
+            let _ = reply.send(JobReply::Shed(ShedReason::DeadlineExceeded));
+            continue;
         }
-        // A tenant that hung up just doesn't get its reply.
-        let _ = reply.send(out);
+        match catch_unwind(AssertUnwindSafe(|| run_job(&req, &mut scratch, &mut cache))) {
+            Ok(out) => {
+                if let Ok(mut snapshot) = shared.cache_stats.lock() {
+                    *snapshot = cache.stats();
+                }
+                finish(shared, &req.tenant);
+                // A tenant that hung up just doesn't get its reply.
+                let _ = reply.send(out);
+            }
+            Err(payload) => {
+                shared.worker_faults.fetch_add(1, Ordering::Relaxed);
+                finish(shared, &req.tenant);
+                let _ = reply.send(JobReply::Shed(ShedReason::WorkerFault));
+                // The cache and scratch may be half-updated; die and let
+                // the supervisor respawn a clean worker.
+                resume_unwind(payload);
+            }
+        }
     }
+}
+
+/// Books one job out of the in-flight ledger and into `completed`.
+fn finish(shared: &Shared, tenant: &str) {
+    shared.completed.fetch_add(1, Ordering::Relaxed);
+    let mut state = shared.lock_queue();
+    shared.release_tenant(&mut state, tenant);
 }
 
 /// Runs one job against the shared cache: resolve through the registry,

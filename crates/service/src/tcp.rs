@@ -1,23 +1,66 @@
-//! A minimal TCP front for the service: one listener thread, frame-per-job
-//! connections.
+//! The TCP front for the service: one listener thread, a handler thread
+//! per connection, frame deadlines on every read and write.
 //!
-//! Each connection carries any number of request frames (see
-//! [`wire`]); every frame gets exactly one reply frame — the
-//! job's estimate, or the shed reason (including
-//! [`ShedReason::Malformed`] for bytes
-//! that don't decode, so a confused client hears *why* instead of a closed
-//! socket). The front is intentionally sequential: jobs serialize through
-//! the service's single worker anyway, so per-connection threads would buy
-//! nothing but nondeterminism.
+//! Each connection carries any number of request frames (see [`wire`]);
+//! every frame gets exactly one reply frame — the job's estimate, or the
+//! shed reason (including [`ShedReason::Malformed`] for bytes that don't
+//! decode, so a confused client hears *why* instead of a closed socket).
+//! Replies answer in the flavor they were asked in: a checksummed request
+//! frame gets a checksummed reply frame.
+//!
+//! # Deadlines: a slow client costs a timeout, never the service
+//!
+//! Connections are served on their own threads, so a slowloris — a client
+//! trickling a frame one byte at a time — can no longer wedge the accept
+//! loop. It cannot wedge its own handler either: from the moment a
+//! frame's first byte arrives, the whole frame must land within
+//! [`FrontConfig::frame_timeout`] or the connection is dropped, and the
+//! reply write runs under the same budget. Waiting *between* frames is
+//! governed separately by [`FrontConfig::idle_timeout`] (unlimited by
+//! default — an idle connection parks cheaply on a poll loop).
+//!
+//! # Stop drains
+//!
+//! [`TcpFront::stop`] closes the accept loop, then joins every live
+//! connection handler. Handlers observe the stop flag only while idle
+//! between frames, so a frame already in flight is read, served, and
+//! answered before its connection closes — bounded by `frame_timeout`,
+//! never abandoned mid-frame.
 
 use crate::service::Service;
 use crate::wire::{self, JobReply, JobRequest, ShedReason};
-use std::io;
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The read-poll slice: how often a blocked read re-checks its deadline
+/// (and, while idle, the stop flag).
+const POLL_SLICE: Duration = Duration::from_millis(20);
+
+/// Deadline knobs for the TCP front.
+#[derive(Debug, Clone)]
+pub struct FrontConfig {
+    /// Budget for one whole frame, counted from its first byte: header,
+    /// payload, and the reply write each complete within this or the
+    /// connection is dropped. Clamped to at least 1ms.
+    pub frame_timeout: Duration,
+    /// How long a connection may sit idle between frames before the front
+    /// hangs up. `None` (the default) means idle connections are kept
+    /// until the client leaves or the front stops.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for FrontConfig {
+    fn default() -> Self {
+        Self {
+            frame_timeout: Duration::from_secs(5),
+            idle_timeout: None,
+        }
+    }
+}
 
 /// A running TCP front. Stop it with [`TcpFront::stop`]; dropping without
 /// stopping leaves the listener thread running until the process exits.
@@ -29,18 +72,31 @@ pub struct TcpFront {
 
 impl TcpFront {
     /// Binds `127.0.0.1:0` (an OS-assigned port — read it back with
-    /// [`TcpFront::addr`]) and serves `service` until stopped.
+    /// [`TcpFront::addr`]) and serves `service` with default
+    /// [`FrontConfig`] deadlines until stopped.
     ///
     /// # Errors
     ///
     /// Propagates listener binding failures.
     pub fn spawn(service: Arc<Service>) -> io::Result<Self> {
+        Self::spawn_with(service, FrontConfig::default())
+    }
+
+    /// Like [`TcpFront::spawn`] with explicit deadline knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener binding failures.
+    pub fn spawn_with(service: Arc<Service>, config: FrontConfig) -> io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
-        let handle = std::thread::spawn(move || accept_loop(&listener, &service, &stop_flag));
+        let handle = std::thread::Builder::new()
+            .name("rpls-tcp-accept".into())
+            .spawn(move || accept_loop(&listener, &service, &config, &stop_flag))
+            .expect("spawn tcp accept loop");
         Ok(Self {
             addr,
             stop,
@@ -54,8 +110,9 @@ impl TcpFront {
         self.addr
     }
 
-    /// Stops the accept loop and joins the listener thread. Connections
-    /// already being served finish their current frame.
+    /// Stops the accept loop and drains: every connection finishes (and
+    /// answers) the frame it is currently reading, then closes. Returns
+    /// once all handlers have exited.
     pub fn stop(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(handle) = self.handle.take() {
@@ -65,37 +122,165 @@ impl TcpFront {
 }
 
 /// Polling accept loop; non-blocking so the stop flag is honored promptly.
-fn accept_loop(listener: &TcpListener, service: &Service, stop: &AtomicBool) {
+/// Spawns a handler thread per connection and joins them all on the way
+/// out — stop means drain, not abandon.
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<Service>,
+    config: &FrontConfig,
+    stop: &Arc<AtomicBool>,
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                // Served connections run blocking reads again.
-                if stream.set_nonblocking(false).is_ok() {
-                    serve_connection(stream, service);
+                // Served connections run poll-sliced blocking reads.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let service = Arc::clone(service);
+                let config = config.clone();
+                let stop = Arc::clone(stop);
+                let spawned = std::thread::Builder::new()
+                    .name("rpls-tcp-conn".into())
+                    .spawn(move || serve_connection(stream, &service, &config, &stop));
+                if let Ok(handle) = spawned {
+                    handlers.push(handle);
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                handlers.retain(|h| !h.is_finished());
                 std::thread::sleep(Duration::from_millis(2));
             }
             Err(_) => break,
         }
     }
+    for handle in handlers {
+        let _ = handle.join();
+    }
 }
 
-/// Serves one connection: request frame in, reply frame out, until EOF or
-/// an unwritable socket.
-fn serve_connection(mut stream: TcpStream, service: &Service) {
+/// Serves one connection: request frame in, reply frame out (in the same
+/// frame flavor), until EOF, stop-while-idle, a missed deadline, or an
+/// unwritable socket.
+fn serve_connection(
+    mut stream: TcpStream,
+    service: &Service,
+    config: &FrontConfig,
+    stop: &AtomicBool,
+) {
+    if stream.set_read_timeout(Some(POLL_SLICE)).is_err() {
+        return;
+    }
+    if stream
+        .set_write_timeout(Some(config.frame_timeout.max(Duration::from_millis(1))))
+        .is_err()
+    {
+        return;
+    }
     loop {
-        let payload = match wire::read_frame(&mut stream) {
-            Ok(p) => p,
-            Err(_) => return, // EOF or a broken frame header: hang up.
+        let (payload, checked) = match read_frame_deadline(&mut stream, config, stop) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => return,
         };
         let reply = match JobRequest::decode(&payload) {
             Ok(req) => service.submit(req),
             Err(e) => JobReply::Shed(ShedReason::Malformed(e.to_string())),
         };
-        if wire::write_frame(&mut stream, &reply.encode()).is_err() {
+        let bytes = reply.encode();
+        let written = if checked {
+            wire::write_frame_checked(&mut stream, &bytes)
+        } else {
+            wire::write_frame(&mut stream, &bytes)
+        };
+        if written.is_err() {
             return;
         }
     }
+}
+
+/// Reads one frame (either flavor) with slowloris-proof deadlines:
+/// unlimited (or `idle_timeout`-bounded) patience while waiting for a
+/// frame to *start*, a hard `frame_timeout` once its first byte arrives.
+/// `Ok(None)` is the clean between-frames exit: EOF, stop, or idle
+/// timeout.
+fn read_frame_deadline(
+    stream: &mut TcpStream,
+    config: &FrontConfig,
+    stop: &AtomicBool,
+) -> io::Result<Option<(Vec<u8>, bool)>> {
+    let mut header = [0u8; 4];
+    let idle_deadline = config.idle_timeout.map(|d| Instant::now() + d);
+    let mut got = 0usize;
+    while got == 0 {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match stream.read(&mut header) {
+            Ok(0) => return Ok(None),
+            Ok(n) => got = n,
+            Err(e) if poll_expired(&e) => {
+                if idle_deadline.is_some_and(|at| Instant::now() >= at) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    // The frame has started: everything below runs against one deadline,
+    // and the stop flag is deliberately ignored — stop drains in-flight
+    // frames, and this bound caps how long the drain can take.
+    let deadline = Instant::now() + config.frame_timeout.max(Duration::from_millis(1));
+    read_full(stream, &mut header[got..], deadline)?;
+    let (len, checked) = wire::frame_header(u32::from_le_bytes(header))?;
+    let expect = if checked {
+        let mut sum = [0u8; 8];
+        read_full(stream, &mut sum, deadline)?;
+        Some(u64::from_le_bytes(sum))
+    } else {
+        None
+    };
+    let mut payload = vec![0u8; len];
+    read_full(stream, &mut payload, deadline)?;
+    if let Some(expect) = expect {
+        if wire::frame_checksum(&payload) != expect {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame checksum mismatch",
+            ));
+        }
+    }
+    Ok(Some((payload, checked)))
+}
+
+/// Fills `buf` completely or fails: poll-sliced reads against an absolute
+/// deadline, so even a one-byte-per-slice trickle cannot stretch a frame
+/// past its budget.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], deadline: Instant) -> io::Result<()> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "frame deadline exceeded",
+            ));
+        }
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => got += n,
+            Err(e) if poll_expired(&e) || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Whether an error is the read-timeout poll slice expiring (reported as
+/// `WouldBlock` or `TimedOut` depending on the platform).
+fn poll_expired(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }

@@ -1,11 +1,27 @@
 //! The service's length-prefixed wire format.
 //!
-//! A connection carries **frames**: a little-endian `u32` payload length
-//! followed by that many payload bytes ([`write_frame`] / [`read_frame`]).
+//! A connection carries **frames**: a little-endian `u32` header word
+//! followed by the payload bytes ([`write_frame`] / [`read_frame`]). Two
+//! frame flavors share that header word: a **plain** frame (the word is
+//! the payload length) and a **checksummed** frame (the high bit
+//! [`FRAME_CHECKED_FLAG`] is set, and an 8-byte FNV-1a checksum of the
+//! payload sits between the header and the payload — see
+//! [`write_frame_checked`]). [`read_frame_tagged`] auto-detects the
+//! flavor, so both coexist on one connection; the checksummed flavor lets
+//! a client distinguish *transport corruption* (checksum mismatch — a
+//! retryable I/O error) from a genuinely malformed job (a decode error
+//! the service answers with [`ShedReason::Malformed`], which is terminal).
+//!
 //! Every payload opens with the 4-byte magic `b"RPLS"` and a version byte,
 //! then a kind byte (request or reply) and the body. All integers are
 //! little-endian; rates travel as IEEE-754 bit patterns; bit strings as a
 //! bit length plus their canonical zero-padded bytes.
+//!
+//! The format is **versioned**: encoders emit [`VERSION`], decoders accept
+//! every version back to [`MIN_VERSION`]. Version 2 appended the tenant
+//! key and the optional per-job deadline to requests (and the
+//! `DeadlineExceeded` / `WorkerFault` shed codes to replies); a version-1
+//! frame still decodes bit-for-bit, with an empty tenant and no deadline.
 //!
 //! Decoding is **total**: [`JobRequest::decode`] and [`JobReply::decode`]
 //! return a [`WireError`] on any malformed input — truncation, bad magic,
@@ -24,13 +40,28 @@ use std::io::{self, Read, Write};
 /// Magic bytes opening every payload.
 pub const MAGIC: [u8; 4] = *b"RPLS";
 
-/// Wire-format version this crate speaks.
-pub const VERSION: u8 = 1;
+/// Wire-format version this crate emits.
+pub const VERSION: u8 = 2;
+
+/// Oldest wire-format version this crate still decodes.
+pub const MIN_VERSION: u8 = 1;
 
 /// Hard cap on a frame's payload length: 16 MiB. Anything larger is
 /// rejected before allocation, so a hostile peer cannot make the service
 /// reserve unbounded memory from a 4-byte header.
 pub const MAX_FRAME_LEN: u32 = 1 << 24;
+
+/// High bit of the frame header word, marking a **checksummed** frame:
+/// the remaining 31 bits are the payload length and an 8-byte FNV-1a
+/// checksum of the payload follows the header word. Plain frames (the
+/// whole word is the length) never collide with the flag because
+/// [`MAX_FRAME_LEN`] keeps legal lengths far below it.
+pub const FRAME_CHECKED_FLAG: u32 = 1 << 31;
+
+/// Cap on a request's deadline: one hour, in milliseconds. A deadline is
+/// advice about *this* submission, not a calendar entry; anything longer
+/// is a client bug and is rejected at decode time.
+pub const MAX_DEADLINE_MS: u32 = 3_600_000;
 
 /// Caps on decoded collection sizes, keeping adversarial payloads from
 /// turning small frames into large allocations.
@@ -159,6 +190,17 @@ pub struct JobRequest {
     pub faults: Option<WireFaults>,
     /// Private trial seed or public beacon coins.
     pub seed_source: SeedSource,
+    /// The submitting tenant's key (empty = the anonymous default
+    /// tenant). The service tracks in-flight jobs per tenant key for
+    /// quota enforcement and fair shedding; the key is opaque — it
+    /// never influences a verdict. Wire version ≥ 2; version-1 frames
+    /// decode with an empty key.
+    pub tenant: String,
+    /// Optional per-job deadline, in milliseconds from submission. A job
+    /// still queued when its deadline passes is shed with
+    /// [`ShedReason::DeadlineExceeded`] instead of being computed
+    /// uselessly. Wire version ≥ 2; version-1 frames decode with `None`.
+    pub deadline_ms: Option<u32>,
 }
 
 impl JobRequest {
@@ -254,14 +296,25 @@ impl JobRequest {
                 put_u64(&mut out, value);
             }
         }
+        // Version-2 tail: tenant key + optional deadline.
+        put_str(&mut out, &self.tenant);
+        match self.deadline_ms {
+            None => out.push(0),
+            Some(ms) => {
+                out.push(1);
+                put_u32(&mut out, ms);
+            }
+        }
         out
     }
 
     /// Decodes a frame payload. Total: any byte sequence yields `Ok` or a
-    /// [`WireError`], never a panic.
+    /// [`WireError`], never a panic. Accepts every version back to
+    /// [`MIN_VERSION`]; fields a version predates decode to their
+    /// defaults.
     pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
         let mut c = Cursor::new(payload);
-        c.header(KIND_REQUEST)?;
+        let version = c.header(KIND_REQUEST)?;
         let scheme = c.str(MAX_NAME, "scheme name")?;
         let node_count = c.u32()?;
         if node_count > MAX_NODES {
@@ -363,6 +416,23 @@ impl JobRequest {
             },
             t => return Err(WireError::BadTag("seed source", t)),
         };
+        let (tenant, deadline_ms) = if version >= 2 {
+            let tenant = c.str(MAX_NAME, "tenant key")?;
+            let deadline_ms = match c.u8()? {
+                0 => None,
+                1 => {
+                    let ms = c.u32()?;
+                    if ms == 0 || ms > MAX_DEADLINE_MS {
+                        return Err(WireError::Invalid("deadline"));
+                    }
+                    Some(ms)
+                }
+                t => return Err(WireError::BadTag("deadline", t)),
+            };
+            (tenant, deadline_ms)
+        } else {
+            (String::new(), None)
+        };
         c.done()?;
         Ok(Self {
             scheme,
@@ -378,14 +448,29 @@ impl JobRequest {
             stream_mode,
             faults,
             seed_source,
+            tenant,
+            deadline_ms,
         })
     }
 }
 
 /// Why the service refused a job instead of running it.
+///
+/// The taxonomy splits into **retryable** reasons — transient service
+/// state the tenant should back off and resubmit through
+/// ([`QueueFull`](Self::QueueFull), [`WorkerFault`](Self::WorkerFault);
+/// see [`ShedReason::is_retryable`]) — and **terminal** reasons, where
+/// resubmitting the identical job can only earn the identical refusal
+/// ([`UnknownScheme`](Self::UnknownScheme), [`BadJob`](Self::BadJob),
+/// [`Malformed`](Self::Malformed), and
+/// [`DeadlineExceeded`](Self::DeadlineExceeded) — the job's own deadline
+/// has already passed). The service *always* sheds with a reason: a job
+/// never hangs and never takes the worker down.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ShedReason {
-    /// The bounded queue was full — backpressure; resubmit later.
+    /// The bounded queue had no fair room for this tenant — global
+    /// backpressure, a per-tenant quota, or a fair-shedding eviction in
+    /// favor of a lighter tenant. Retryable: back off and resubmit.
     QueueFull,
     /// The scheme name is not in the registry.
     UnknownScheme(String),
@@ -394,6 +479,27 @@ pub enum ShedReason {
     BadJob(String),
     /// The frame failed to decode.
     Malformed(String),
+    /// The job's deadline passed while it waited in the queue, so the
+    /// service shed it instead of computing a verdict nobody is waiting
+    /// for. Terminal for *this* submission; the tenant may resubmit with
+    /// a fresh deadline.
+    DeadlineExceeded,
+    /// The worker panicked while running this job. The panic cost exactly
+    /// this job: the worker was respawned with a fresh cache and keeps
+    /// serving. Retryable — though a job that *deterministically* crashes
+    /// the worker will earn the same reply every time.
+    WorkerFault,
+}
+
+impl ShedReason {
+    /// Whether a client should back off and resubmit the identical job.
+    /// `true` only for transient service-side states
+    /// ([`QueueFull`](Self::QueueFull), [`WorkerFault`](Self::WorkerFault));
+    /// every reason that indicts the job itself is terminal.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Self::QueueFull | Self::WorkerFault)
+    }
 }
 
 impl std::fmt::Display for ShedReason {
@@ -403,6 +509,8 @@ impl std::fmt::Display for ShedReason {
             Self::UnknownScheme(name) => write!(f, "unknown scheme {name:?}"),
             Self::BadJob(why) => write!(f, "bad job: {why}"),
             Self::Malformed(why) => write!(f, "malformed frame: {why}"),
+            Self::DeadlineExceeded => write!(f, "deadline exceeded while queued"),
+            Self::WorkerFault => write!(f, "worker fault (job panicked; worker respawned)"),
         }
     }
 }
@@ -486,6 +594,8 @@ impl JobReply {
                     ShedReason::UnknownScheme(name) => (1, name.clone()),
                     ShedReason::BadJob(why) => (2, why.clone()),
                     ShedReason::Malformed(why) => (3, why.clone()),
+                    ShedReason::DeadlineExceeded => (4, String::new()),
+                    ShedReason::WorkerFault => (5, String::new()),
                 };
                 out.push(code);
                 put_str(&mut out, &detail);
@@ -497,7 +607,7 @@ impl JobReply {
     /// Decodes a reply frame payload; total like [`JobRequest::decode`].
     pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
         let mut c = Cursor::new(payload);
-        let kind = c.header_any()?;
+        let (_, kind) = c.header_any()?;
         let reply = match kind {
             KIND_OK => {
                 let mut words = [0u64; 16];
@@ -533,6 +643,8 @@ impl JobReply {
                     1 => ShedReason::UnknownScheme(detail),
                     2 => ShedReason::BadJob(detail),
                     3 => ShedReason::Malformed(detail),
+                    4 => ShedReason::DeadlineExceeded,
+                    5 => ShedReason::WorkerFault,
                     t => return Err(WireError::BadTag("shed reason", t)),
                 })
             }
@@ -543,32 +655,101 @@ impl JobReply {
     }
 }
 
-/// Writes one frame: `u32` LE payload length, then the payload.
+/// Writes one **plain** frame: `u32` LE payload length, then the payload.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    let len = u32::try_from(payload.len())
-        .ok()
-        .filter(|&l| l <= MAX_FRAME_LEN)
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    let len = frame_payload_len(payload)?;
     w.write_all(&len.to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
 }
 
-/// Reads one frame's payload. Frames longer than [`MAX_FRAME_LEN`] are
-/// rejected before any allocation.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
-    let mut len_bytes = [0u8; 4];
-    r.read_exact(&mut len_bytes)?;
-    let len = u32::from_le_bytes(len_bytes);
+/// Writes one **checksummed** frame: the header word with
+/// [`FRAME_CHECKED_FLAG`] set, an 8-byte FNV-1a checksum of the payload,
+/// then the payload. A receiver that verifies the checksum (both
+/// [`read_frame`] and [`read_frame_tagged`] do) turns any transport-level
+/// corruption into a clean I/O error instead of a garbled — or worse, a
+/// *plausible but different* — payload, which is what lets a retry policy
+/// treat corruption as transient.
+pub fn write_frame_checked(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = frame_payload_len(payload)?;
+    w.write_all(&(len | FRAME_CHECKED_FLAG).to_le_bytes())?;
+    w.write_all(&frame_checksum(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Validates a payload's length against [`MAX_FRAME_LEN`].
+fn frame_payload_len(payload: &[u8]) -> io::Result<u32> {
+    u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))
+}
+
+/// Splits a frame header word into `(payload length, checksummed?)`,
+/// enforcing the [`MAX_FRAME_LEN`] cap **before** any allocation — a
+/// hostile 4 GiB length prefix earns an error, never a reservation.
+///
+/// # Errors
+///
+/// `InvalidData` when the encoded length exceeds [`MAX_FRAME_LEN`].
+pub fn frame_header(word: u32) -> io::Result<(usize, bool)> {
+    let checked = word & FRAME_CHECKED_FLAG != 0;
+    let len = word & !FRAME_CHECKED_FLAG;
     if len > MAX_FRAME_LEN {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "frame too large",
         ));
     }
-    let mut payload = vec![0u8; len as usize];
+    Ok((len as usize, checked))
+}
+
+/// The 64-bit FNV-1a checksum guarding checksummed frames. Not
+/// cryptographic — it detects *accidental* corruption (the adversary
+/// model here is a lossy wire, not a forger; forged jobs are harmless
+/// because verdicts are pure functions of the request).
+#[must_use]
+pub fn frame_checksum(payload: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in payload {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Reads one frame's payload plus its flavor (`true` = checksummed).
+/// Frames longer than [`MAX_FRAME_LEN`] are rejected before any
+/// allocation; a checksummed frame whose checksum does not match its
+/// payload is an `InvalidData` error.
+pub fn read_frame_tagged(r: &mut impl Read) -> io::Result<(Vec<u8>, bool)> {
+    let mut word = [0u8; 4];
+    r.read_exact(&mut word)?;
+    let (len, checked) = frame_header(u32::from_le_bytes(word))?;
+    let expected = if checked {
+        let mut sum = [0u8; 8];
+        r.read_exact(&mut sum)?;
+        Some(u64::from_le_bytes(sum))
+    } else {
+        None
+    };
+    let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    Ok(payload)
+    if let Some(expected) = expected {
+        if frame_checksum(&payload) != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame checksum mismatch",
+            ));
+        }
+    }
+    Ok((payload, checked))
+}
+
+/// Reads one frame's payload, either flavor. See [`read_frame_tagged`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    read_frame_tagged(r).map(|(payload, _)| payload)
 }
 
 fn put_header(out: &mut Vec<u8>, kind: u8) {
@@ -658,24 +839,27 @@ impl<'a> Cursor<'a> {
         Ok(BitString::from_bytes(bytes, len as usize))
     }
 
-    fn header(&mut self, kind: u8) -> Result<(), WireError> {
-        let got = self.header_any()?;
+    /// Reads the payload header, requiring `kind`; returns the version.
+    fn header(&mut self, kind: u8) -> Result<u8, WireError> {
+        let (version, got) = self.header_any()?;
         if got == kind {
-            Ok(())
+            Ok(version)
         } else {
             Err(WireError::BadTag("payload kind", got))
         }
     }
 
-    fn header_any(&mut self) -> Result<u8, WireError> {
+    /// Reads the payload header; returns `(version, kind)`. Every version
+    /// in [`MIN_VERSION`]`..=`[`VERSION`] is accepted.
+    fn header_any(&mut self) -> Result<(u8, u8), WireError> {
         if self.bytes(4)? != MAGIC {
             return Err(WireError::BadMagic);
         }
         let version = self.u8()?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(WireError::BadVersion(version));
         }
-        self.u8()
+        Ok((version, self.u8()?))
     }
 
     fn done(&self) -> Result<(), WireError> {

@@ -7,7 +7,9 @@ use rand::{Rng, RngExt, SeedableRng};
 use rpls_bits::BitString;
 use rpls_core::engine::{MessagePattern, SeedSource, StreamMode};
 use rpls_core::prep::CacheStats;
-use rpls_service::wire::{JobReply, JobRequest, JobResponse, ShedReason, WireEdge, WireFaults};
+use rpls_service::wire::{
+    self, JobReply, JobRequest, JobResponse, ShedReason, WireEdge, WireFaults,
+};
 
 /// A randomized but well-formed request drawn from `seed`.
 fn random_request(seed: u64) -> JobRequest {
@@ -80,6 +82,10 @@ fn random_request(seed: u64) -> JobRequest {
         },
         faults,
         seed_source,
+        tenant: ["", "tenant-a", "tenant-b", "平仄"][rng.random_range(0usize..4)].to_string(),
+        deadline_ms: rng
+            .random_bool(0.5)
+            .then(|| rng.random_range(1u32..=wire::MAX_DEADLINE_MS)),
     }
 }
 
@@ -107,10 +113,12 @@ fn random_reply(seed: u64) -> JobReply {
             },
         })
     } else {
-        JobReply::Shed(match rng.random_range(0u32..4) {
+        JobReply::Shed(match rng.random_range(0u32..6) {
             0 => ShedReason::QueueFull,
             1 => ShedReason::UnknownScheme("who".into()),
             2 => ShedReason::BadJob("because".into()),
+            3 => ShedReason::DeadlineExceeded,
+            4 => ShedReason::WorkerFault,
             _ => ShedReason::Malformed("bytes".into()),
         })
     }
@@ -151,5 +159,84 @@ proptest! {
         mutated[at] ^= flip | 1;
         let _ = JobRequest::decode(&mutated);
         let _ = JobRequest::decode(&encoded[..at]);
+    }
+
+    /// Version-1 frames (no tenant, no deadline) still decode, yielding
+    /// the defaults. Built by stripping the v2 tail — an empty tenant
+    /// (4-byte zero length) plus the no-deadline tag byte — and patching
+    /// the version byte.
+    #[test]
+    fn v1_request_frames_still_decode(seed in any::<u64>()) {
+        let mut req = random_request(seed);
+        req.tenant = String::new();
+        req.deadline_ms = None;
+        let mut v1 = req.encode();
+        v1.truncate(v1.len() - 5);
+        v1[4] = 1;
+        prop_assert_eq!(JobRequest::decode(&v1), Ok(req));
+    }
+}
+
+/// A hostile length prefix — up to the full 4 GiB range — earns an error
+/// before any allocation, in both frame flavors.
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    for word in [
+        u32::MAX,
+        wire::MAX_FRAME_LEN + 1,
+        wire::FRAME_CHECKED_FLAG | (wire::MAX_FRAME_LEN + 1),
+        0x7FFF_FFFF,
+    ] {
+        let err = wire::frame_header(word).expect_err("hostile length must be rejected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // The streaming reader rejects it too, without waiting for the
+        // (absent) payload bytes.
+        let mut bytes: &[u8] = &word.to_le_bytes();
+        let err = wire::read_frame(&mut bytes).expect_err("reader must reject");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+    // The cap itself is fine (header-wise).
+    assert_eq!(
+        wire::frame_header(wire::MAX_FRAME_LEN).unwrap(),
+        (wire::MAX_FRAME_LEN as usize, false)
+    );
+}
+
+#[test]
+fn checked_frames_round_trip_and_detect_corruption() {
+    let payload = random_request(7).encode();
+    let mut frame = Vec::new();
+    wire::write_frame_checked(&mut frame, &payload).expect("write");
+    let (read, checked) = wire::read_frame_tagged(&mut frame.as_slice()).expect("read");
+    assert!(checked);
+    assert_eq!(read, payload);
+
+    // Any single-byte corruption — header flag aside — is caught: flipping
+    // a checksum byte or a payload byte yields a clean InvalidData error,
+    // never a silently different payload.
+    for at in [4, 11, frame.len() - 1] {
+        let mut bad = frame.clone();
+        bad[at] ^= 0x40;
+        let err = wire::read_frame(&mut bad.as_slice()).expect_err("corruption detected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    // Plain frames still read (and are tagged unchecked).
+    let mut plain = Vec::new();
+    wire::write_frame(&mut plain, &payload).expect("write");
+    let (read, checked) = wire::read_frame_tagged(&mut plain.as_slice()).expect("read");
+    assert!(!checked);
+    assert_eq!(read, payload);
+}
+
+#[test]
+fn deadline_field_is_validated() {
+    let mut req = random_request(3);
+    req.deadline_ms = Some(wire::MAX_DEADLINE_MS);
+    assert_eq!(JobRequest::decode(&req.encode()), Ok(req.clone()));
+    // Zero and beyond-cap deadlines are rejected at decode time.
+    for bad in [0u32, wire::MAX_DEADLINE_MS + 1] {
+        req.deadline_ms = Some(bad);
+        assert!(JobRequest::decode(&req.encode()).is_err());
     }
 }
