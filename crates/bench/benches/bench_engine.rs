@@ -39,12 +39,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rpls_bits::BitString;
-use rpls_core::engine::{self, mix_seed, MessagePattern, SeedSource, StreamMode};
+use rpls_core::engine::{self, mix_seed, MessagePattern, RunSpec, SeedSource, StreamMode};
 use rpls_core::{
     CertView, CertificateBuffer, CompiledRpls, Configuration, DetView, Labeling, Pls, PrepCache,
-    RandView, Received, RoundScratch, Rpls,
+    ProbeSketch, RandView, Received, RoundScratch, Rpls,
 };
-use rpls_graph::{generators, Graph, Port};
+use rpls_graph::{generators, Graph, NodeId, Port};
 use rpls_schemes::spanning_tree::{spanning_tree_config, SpanningTreePls};
 use rpls_service::chaos::{ChaosPlan, ChaosProxy};
 use rpls_service::client::{self, ClientError, RetryPolicy};
@@ -1483,6 +1483,207 @@ fn bench_service_chaos(results: &mut Vec<ChaosRow>) {
     results.push(row);
 }
 
+/// One row of the `scale` workload: a large-graph spanning-tree
+/// verification run, measured in directed-port probes per second — the
+/// scale-free unit the dense-vs-sparse comparison and the thread-scaling
+/// rows are stated in.
+struct ScaleRow {
+    workload: &'static str,
+    n: usize,
+    /// Directed port count (2m): the per-trial probe surface.
+    ports: usize,
+    trials: usize,
+    secs: f64,
+    ports_per_sec: f64,
+    /// Sketched-clique per-port throughput over the sparse row's — the
+    /// dense-family cliff, stated machine-independently.
+    dense_vs_sparse_per_port: Option<f64>,
+    /// Whether the dense family stays within 2× of sparse per-port
+    /// throughput (the ISSUE's cliff criterion); gate-enforced.
+    dense_within_2x: Option<bool>,
+    /// serial secs / parallel secs at this row's worker count.
+    thread_scaling: Option<f64>,
+    /// Whether `estimate_par` reproduced the serial estimate bit for bit;
+    /// gate-enforced.
+    par_identical: Option<bool>,
+}
+
+/// Times one honest spanning-tree estimate on `graph` with the compiled
+/// scheme forced dynamic (honest labelings otherwise collapse to the
+/// static-pass shortcut and there is nothing to measure), optionally
+/// sketched.
+fn scale_run(
+    workload: &'static str,
+    graph: Graph,
+    trials: usize,
+    sketch: Option<usize>,
+) -> ScaleRow {
+    let n = graph.node_count();
+    let ports = 2 * graph.edge_count();
+    let config = spanning_tree_config(&Configuration::plain(graph), NodeId::new(0));
+    let mut scheme = CompiledRpls::new(SpanningTreePls::new()).force_dynamic();
+    if let Some(budget) = sketch {
+        scheme = scheme.with_sketch(ProbeSketch::new(budget));
+    }
+    let labeling = Rpls::label(&scheme, &config);
+    let spec = RunSpec::trial(0x5CA1E);
+    // Warm caches and page in the plan outside the timed region.
+    let _ = rpls_core::stats::estimate(
+        &scheme,
+        &config,
+        &labeling,
+        &spec,
+        &rpls_core::stats::EstimateOpts::new(1),
+    );
+    let t0 = Instant::now();
+    let est = rpls_core::stats::estimate(
+        &scheme,
+        &config,
+        &labeling,
+        &spec,
+        &rpls_core::stats::EstimateOpts::new(trials),
+    );
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(
+        est.accepts, est.trials,
+        "scale/{workload}: honest labeling must accept every trial"
+    );
+    ScaleRow {
+        workload,
+        n,
+        ports,
+        trials,
+        secs,
+        ports_per_sec: ports as f64 * trials as f64 / secs,
+        dense_vs_sparse_per_port: None,
+        dense_within_2x: None,
+        thread_scaling: None,
+        par_identical: None,
+    }
+}
+
+/// The `scale` workload: per-port throughput of the forced-dynamic
+/// compiled spanning tree on three large families — random sparse,
+/// power-law, and the clique both full-probe and sketched (the
+/// dense-family cliff row) — plus serial-vs-parallel thread-scaling rows
+/// carrying the gate's `par_identical` bit.
+fn bench_scale(results: &mut Vec<ScaleRow>) {
+    // Smoke mode keeps the full dimensions: the gate compares this
+    // workload's `thread_scaling` and `dense_vs_sparse_per_port` ratios
+    // against the committed full run, and both are dimension-dependent
+    // (thread-spawn overhead dominates tiny runs; a smaller clique
+    // subsamples less), so shrinking them would fail the gate by
+    // construction, not by regression. The whole workload is ~10 s.
+    let (n_sparse, n_clique, trials, clique_trials) = (16_384usize, 512usize, 32usize, 4usize);
+
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let sparse = scale_run(
+        "sparse_random",
+        generators::random_sparse(n_sparse, n_sparse / 4, &mut rng),
+        trials,
+        None,
+    );
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let power_law = scale_run(
+        "power_law",
+        generators::power_law(n_sparse, 2, &mut rng),
+        trials,
+        None,
+    );
+    let clique_full = scale_run(
+        "clique_full",
+        generators::complete(n_clique),
+        clique_trials,
+        None,
+    );
+    let mut clique_sketched = scale_run(
+        "clique_sketched",
+        generators::complete(n_clique),
+        clique_trials,
+        Some(16),
+    );
+    let ratio = clique_sketched.ports_per_sec / sparse.ports_per_sec;
+    clique_sketched.dense_vs_sparse_per_port = Some(ratio);
+    clique_sketched.dense_within_2x = Some(ratio >= 0.5);
+
+    // Thread scaling on the sparse workload: serial vs estimate_par at 2
+    // and 4 workers. The ratio is machine-bound (a single-core runner
+    // reports ~1), so the gate compares it against the committed
+    // reference relatively, like every other timing; `par_identical` is a
+    // correctness bit enforced on every run.
+    let config = spanning_tree_config(
+        &Configuration::plain({
+            let mut rng = StdRng::seed_from_u64(0xBEEF);
+            generators::random_sparse(n_sparse, n_sparse / 4, &mut rng)
+        }),
+        NodeId::new(0),
+    );
+    let scheme = CompiledRpls::new(SpanningTreePls::new()).force_dynamic();
+    let labeling = Rpls::label(&scheme, &config);
+    let spec = RunSpec::trial(0x5CA1E);
+    let opts = rpls_core::stats::EstimateOpts::new(trials);
+    let ports = 2 * config.graph().edge_count();
+    let t0 = Instant::now();
+    let serial = rpls_core::stats::estimate(&scheme, &config, &labeling, &spec, &opts);
+    let serial_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    for (workload, workers) in [("thread_scaling_2", 2usize), ("thread_scaling_4", 4)] {
+        let t0 = Instant::now();
+        let par = rpls_core::stats::estimate_par(
+            &scheme,
+            &config,
+            &labeling,
+            &spec,
+            &opts,
+            Some(workers),
+        );
+        let par_secs = t0.elapsed().as_secs_f64().max(1e-9);
+        results.push(ScaleRow {
+            workload,
+            n: n_sparse,
+            ports,
+            trials,
+            secs: par_secs,
+            ports_per_sec: ports as f64 * trials as f64 / par_secs,
+            dense_vs_sparse_per_port: None,
+            dense_within_2x: None,
+            thread_scaling: Some(serial_secs / par_secs),
+            par_identical: Some(par == serial),
+        });
+    }
+
+    for row in [sparse, power_law, clique_full, clique_sketched] {
+        println!(
+            "bench: scale/{} ... n={} ports={} {} trials in {:.4}s | {:.0} port-probes/s{}",
+            row.workload,
+            row.n,
+            row.ports,
+            row.trials,
+            row.secs,
+            row.ports_per_sec,
+            row.dense_vs_sparse_per_port
+                .map_or(String::new(), |r| format!(" | dense/sparse {r:.2}")),
+        );
+        results.push(row);
+    }
+    for row in results.iter().filter(|r| r.thread_scaling.is_some()) {
+        println!(
+            "bench: scale/{} ... {:.4}s | scaling {:.2} | par identical {}",
+            row.workload,
+            row.secs,
+            row.thread_scaling.unwrap_or(0.0),
+            row.par_identical.unwrap_or(false),
+        );
+    }
+    assert!(
+        results.iter().all(|r| r.par_identical != Some(false)),
+        "scale: estimate_par diverged from the serial estimate"
+    );
+    assert!(
+        results.iter().all(|r| r.dense_within_2x != Some(false)),
+        "scale: the dense family regressed more than 2x vs sparse per-port throughput"
+    );
+}
+
 #[allow(clippy::too_many_arguments)]
 fn write_json(
     rows: &[MatrixRow],
@@ -1493,6 +1694,7 @@ fn write_json(
     patterns: &[PatternRow],
     service: &[ServiceRow],
     chaos: &[ChaosRow],
+    scale: &[ScaleRow],
 ) {
     let mut out = String::new();
     let _ = writeln!(
@@ -1703,6 +1905,41 @@ fn write_json(
             if i + 1 == chaos.len() { "" } else { "," }
         );
     }
+    // The scale workload: per-port throughput of the large-graph families.
+    // The gate enforces `par_identical` and `dense_within_2x` on every
+    // current run, and compares `thread_scaling` and
+    // `dense_vs_sparse_per_port` relatively against the reference (both
+    // are within-run ratios, so runner speed cancels); `ports_per_sec` is
+    // recorded for the trajectory but never compared.
+    out.push_str("  ],\n  \"scale\": [\n");
+    for (i, r) in scale.iter().enumerate() {
+        let dense_fields = match (r.dense_vs_sparse_per_port, r.dense_within_2x) {
+            (Some(ratio), Some(ok)) => {
+                format!(", \"dense_vs_sparse_per_port\": {ratio:.4}, \"dense_within_2x\": {ok}")
+            }
+            _ => String::new(),
+        };
+        let thread_fields = match (r.thread_scaling, r.par_identical) {
+            (Some(scaling), Some(identical)) => {
+                format!(", \"thread_scaling\": {scaling:.4}, \"par_identical\": {identical}")
+            }
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"n\": {}, \"ports\": {}, \"trials\": {}, \
+             \"secs\": {:.4}, \"ports_per_sec\": {:.0}{}{}}}{}",
+            r.workload,
+            r.n,
+            r.ports,
+            r.trials,
+            r.secs,
+            r.ports_per_sec,
+            dense_fields,
+            thread_fields,
+            if i + 1 == scale.len() { "" } else { "," }
+        );
+    }
     out.push_str("  ]\n}\n");
 
     let file = if smoke_mode() {
@@ -1724,6 +1961,7 @@ fn bench_engine(c: &mut Criterion) {
     let mut patterns = Vec::new();
     let mut service = Vec::new();
     let mut chaos = Vec::new();
+    let mut scale = Vec::new();
     bench_round_matrix(c, &mut rows);
     bench_acceptance_10k(&mut acceptance);
     bench_adversary_sweep(&mut sweeps);
@@ -1732,6 +1970,7 @@ fn bench_engine(c: &mut Criterion) {
     bench_patterns(&mut patterns);
     bench_service(&mut service);
     bench_service_chaos(&mut chaos);
+    bench_scale(&mut scale);
     write_json(
         &rows,
         &acceptance,
@@ -1741,6 +1980,7 @@ fn bench_engine(c: &mut Criterion) {
         &patterns,
         &service,
         &chaos,
+        &scale,
     );
 }
 

@@ -21,9 +21,12 @@
 //! reference are simply not checked. Correctness bits
 //! (`estimates_identical`, `t1_identical`, `soundness_preserved`,
 //! `per_port_identical`, the service table's `verdicts_identical`,
-//! nonzero `cache_hit_rate`, and the chaos row's `replay_identical` and
-//! `shed_accounting_ok`) are enforced on the current run alone — they
+//! nonzero `cache_hit_rate`, the chaos row's `replay_identical` and
+//! `shed_accounting_ok`, and the scale table's `par_identical` and
+//! `dense_within_2x`) are enforced on the current run alone — they
 //! are deterministic at any machine speed, so no reference is consulted.
+//! The scale table's `thread_scaling` and `dense_vs_sparse_per_port`
+//! ratios are compared relatively like every other timing metric.
 //!
 //! The parser is deliberately minimal: it reads exactly the flat
 //! object-per-row schema `bench_engine` emits (no nested objects inside
@@ -127,15 +130,24 @@ fn rows(array: &str) -> Vec<Row> {
     out
 }
 
-/// The six row tables of one bench JSON, in emission order: round
+/// The seven row tables of one bench JSON, in emission order: round
 /// matrix, acceptance table, trade-off sweep, fault sweep, pattern sweep,
-/// service table.
-pub type Sections = (Vec<Row>, Vec<Row>, Vec<Row>, Vec<Row>, Vec<Row>, Vec<Row>);
+/// service table, scale table.
+pub type Sections = (
+    Vec<Row>,
+    Vec<Row>,
+    Vec<Row>,
+    Vec<Row>,
+    Vec<Row>,
+    Vec<Row>,
+    Vec<Row>,
+);
 
 /// Parses one bench JSON into its row tables: the round matrix, the
 /// acceptance table, the t-round trade-off sweep, the fault-tolerance
-/// sweep, the message-pattern sweep, and the service workload (the
-/// latter four empty for JSONs predating their sections).
+/// sweep, the message-pattern sweep, the service workload, and the
+/// large-graph scale workload (the latter five empty for JSONs predating
+/// their sections).
 #[must_use]
 pub fn parse(json: &str) -> Sections {
     (
@@ -145,6 +157,7 @@ pub fn parse(json: &str) -> Sections {
         rows(section(json, "faults")),
         rows(section(json, "patterns")),
         rows(section(json, "service")),
+        rows(section(json, "scale")),
     )
 }
 
@@ -180,6 +193,13 @@ const ACCEPTANCE_METRICS: &[&str] = &[
 /// function of the protocol (no timing), so a regression means the
 /// schedule itself changed, not the machine.
 const TRADEOFF_METRICS: &[&str] = &["bits_shrink"];
+/// Scale-free metrics compared per scale row: `thread_scaling` is the
+/// serial-over-parallel time ratio of the same run (losing it means the
+/// sharded runner stopped scaling, wherever it runs — a one-core runner's
+/// reference is ~1 and stays comparable), and `dense_vs_sparse_per_port`
+/// is the sketched clique's per-port throughput over the sparse family's
+/// (losing it means the dense cliff is back).
+const SCALE_METRICS: &[&str] = &["thread_scaling", "dense_vs_sparse_per_port"];
 
 /// The outcome of one gate run.
 #[derive(Debug, Clone, Default)]
@@ -213,8 +233,9 @@ pub fn check(current: &str, reference: &str, max_regress: f64) -> GateReport {
         max_regress.is_finite() && max_regress > 0.0,
         "max_regress must be positive"
     );
-    let (cur_matrix, cur_acc, cur_tradeoff, cur_faults, cur_patterns, cur_service) = parse(current);
-    let (ref_matrix, ref_acc, ref_tradeoff, _, _, _) = parse(reference);
+    let (cur_matrix, cur_acc, cur_tradeoff, cur_faults, cur_patterns, cur_service, cur_scale) =
+        parse(current);
+    let (ref_matrix, ref_acc, ref_tradeoff, _, _, _, ref_scale) = parse(reference);
     let mut report = GateReport::default();
 
     // One comparison: the named value must not sit more than `max_regress`
@@ -277,6 +298,24 @@ pub fn check(current: &str, reference: &str, max_regress: f64) -> GateReport {
         .collect();
     for (cur, reference) in &tradeoff_pairs {
         for &metric in TRADEOFF_METRICS {
+            let (Some(&c), Some(&r)) = (cur.nums.get(metric), reference.nums.get(metric)) else {
+                continue;
+            };
+            compare_one(&cur.key(), metric, c, r);
+        }
+    }
+
+    let scale_pairs: Vec<(&Row, &Row)> = cur_scale
+        .iter()
+        .filter_map(|c| {
+            ref_scale
+                .iter()
+                .find(|r| r.key() == c.key())
+                .map(|r| (c, r))
+        })
+        .collect();
+    for (cur, reference) in &scale_pairs {
+        for &metric in SCALE_METRICS {
             let (Some(&c), Some(&r)) = (cur.nums.get(metric), reference.nums.get(metric)) else {
                 continue;
             };
@@ -394,6 +433,28 @@ pub fn check(current: &str, reference: &str, max_regress: f64) -> GateReport {
         if row.nums.get("shed_accounting_ok") == Some(&0.0) {
             report.failures.push(format!(
                 "{}: shed_accounting_ok is false — the shed/fault ledger does not balance",
+                row.key()
+            ));
+        }
+    }
+    // The scale workload's two correctness bits are enforced on the
+    // current run alone: `par_identical` (the thread-sharded estimator
+    // reproduced the serial estimate bit for bit — transcript identity at
+    // any speed and any worker count) and `dense_within_2x` (the sketched
+    // dense family stays within 2× of the sparse family's per-port
+    // throughput — the cliff criterion is a within-run ratio, so it holds
+    // or fails identically on any machine).
+    for row in &cur_scale {
+        if row.nums.get("par_identical") == Some(&0.0) {
+            report.failures.push(format!(
+                "{}: par_identical is false — the parallel estimate diverged from serial",
+                row.key()
+            ));
+        }
+        if row.nums.get("dense_within_2x") == Some(&0.0) {
+            report.failures.push(format!(
+                "{}: dense_within_2x is false — the dense family regressed more than 2x \
+                 vs sparse per-port throughput",
                 row.key()
             ));
         }
@@ -570,7 +631,7 @@ mod tests {
     #[test]
     fn tradeoff_rows_are_keyed_by_scheme_and_t() {
         let json = with_tradeoff(&sample(300000.0, 20.0, Some(50.0), true), 16.0, true);
-        let (_, _, tradeoff, _, _, _) = parse(&json);
+        let (_, _, tradeoff, _, _, _, _) = parse(&json);
         assert_eq!(tradeoff.len(), 2);
         assert_eq!(tradeoff[0].key(), "exchange_spanning_tree/t=1");
         assert_eq!(tradeoff[1].key(), "exchange_spanning_tree/t=16");
@@ -616,7 +677,7 @@ mod tests {
         // The committed reference itself must parse: guard against the
         // emitter and the parser drifting apart.
         let json = include_str!("../../../BENCH_engine.json");
-        let (matrix, acc, tradeoff, faults, patterns, service) = parse(json);
+        let (matrix, acc, tradeoff, faults, patterns, service, scale) = parse(json);
         assert!(matrix.len() >= 9);
         assert!(acc.len() >= 2);
         assert!(matrix[0].nums.contains_key("rand_rounds_per_sec"));
@@ -702,6 +763,26 @@ mod tests {
             Some(&1.0),
             "the committed chaos row's shed/fault ledger must balance"
         );
+        assert!(
+            scale.len() >= 6,
+            "committed reference must include the scale workload"
+        );
+        assert!(
+            scale
+                .iter()
+                .filter(|r| r.key().starts_with("thread_scaling"))
+                .all(|r| r.nums.get("par_identical") == Some(&1.0)),
+            "every committed thread-scaling row must carry its identity bit"
+        );
+        let dense = scale
+            .iter()
+            .find(|r| r.key() == "clique_sketched")
+            .expect("committed reference must include the sketched clique row");
+        assert_eq!(
+            dense.nums.get("dense_within_2x"),
+            Some(&1.0),
+            "the committed dense row must sit within 2x of sparse per-port throughput"
+        );
         let report = check(json, json, 2.0);
         assert!(report.failures.is_empty(), "{:?}", report.failures);
     }
@@ -728,7 +809,7 @@ mod tests {
     #[test]
     fn fault_rows_are_keyed_by_kind_and_rate() {
         let json = with_faults(&sample(300000.0, 20.0, Some(50.0), true), true, true);
-        let (_, _, _, faults, _, _) = parse(&json);
+        let (_, _, _, faults, _, _, _) = parse(&json);
         assert_eq!(faults.len(), 2);
         assert_eq!(faults[0].key(), "none/rate=0");
         assert_eq!(faults[1].key(), "drop/rate=0.005");
@@ -784,7 +865,7 @@ mod tests {
     #[test]
     fn pattern_rows_are_keyed_by_graph_and_pattern() {
         let json = with_patterns(&sample(300000.0, 20.0, Some(50.0), true), true, 3584);
-        let (_, _, _, _, patterns, _) = parse(&json);
+        let (_, _, _, _, patterns, _, _) = parse(&json);
         assert_eq!(patterns.len(), 3);
         assert_eq!(patterns[0].key(), "cycle256/per_port");
         assert_eq!(patterns[1].key(), "cycle256/unicast");
@@ -839,7 +920,7 @@ mod tests {
     #[test]
     fn service_rows_are_keyed_by_workload() {
         let json = with_service(&sample(300000.0, 20.0, Some(50.0), true), true, 0.85);
-        let (_, _, _, _, _, service) = parse(&json);
+        let (_, _, _, _, _, service, _) = parse(&json);
         assert_eq!(service.len(), 1);
         assert_eq!(service[0].key(), "mixed_tenants");
         // A healthy file passes against itself and against a pre-service
@@ -883,7 +964,7 @@ mod tests {
     #[test]
     fn chaos_row_is_keyed_by_workload_and_healthy_bits_pass() {
         let json = with_chaos(&sample(300000.0, 20.0, Some(50.0), true), true, true);
-        let (_, _, _, _, _, service) = parse(&json);
+        let (_, _, _, _, _, service, _) = parse(&json);
         assert_eq!(service.len(), 2);
         assert_eq!(service[1].key(), "service_chaos");
         // Healthy bits pass against the file itself and against a
@@ -924,5 +1005,113 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.contains("mixed_tenants") && f.contains("cache_hit_rate")));
+    }
+
+    /// A bench JSON with a `scale` section: the sparse row, the sketched
+    /// clique row (carrying the dense ratio and its 2x bit), and one
+    /// thread-scaling row with the given scaling ratio and identity bit.
+    fn with_scale(
+        base: &str,
+        dense_ratio: f64,
+        dense_ok: bool,
+        scaling: f64,
+        par_identical: bool,
+    ) -> String {
+        let scale = format!(
+            ",\n  \"scale\": [\n    {{\"workload\": \"sparse_random\", \"n\": 16384, \
+             \"ports\": 40958, \"trials\": 32, \"secs\": 0.2000, \
+             \"ports_per_sec\": 6553280}},\n    {{\"workload\": \"clique_sketched\", \
+             \"n\": 512, \"ports\": 261632, \"trials\": 4, \"secs\": 0.0500, \
+             \"ports_per_sec\": 20930560, \"dense_vs_sparse_per_port\": {dense_ratio:.4}, \
+             \"dense_within_2x\": {dense_ok}}},\n    {{\"workload\": \"thread_scaling_4\", \
+             \"n\": 16384, \"ports\": 40958, \"trials\": 32, \"secs\": 0.0600, \
+             \"ports_per_sec\": 21844266, \"thread_scaling\": {scaling:.4}, \
+             \"par_identical\": {par_identical}}}\n  ]"
+        );
+        let at = base.rfind("\n}").expect("object close");
+        let mut out = String::from(&base[..at]);
+        out.push_str(&scale);
+        out.push_str(&base[at..]);
+        out
+    }
+
+    #[test]
+    fn scale_rows_are_keyed_by_workload() {
+        let json = with_scale(
+            &sample(300000.0, 20.0, Some(50.0), true),
+            3.2,
+            true,
+            3.1,
+            true,
+        );
+        let (_, _, _, _, _, _, scale) = parse(&json);
+        assert_eq!(scale.len(), 3);
+        assert_eq!(scale[0].key(), "sparse_random");
+        assert_eq!(scale[1].key(), "clique_sketched");
+        assert_eq!(scale[2].key(), "thread_scaling_4");
+        // A healthy file passes against itself and against a pre-scale
+        // reference (new sections never break the gate).
+        assert!(check(&json, &json, 2.0).failures.is_empty());
+        let pre_scale = sample(300000.0, 20.0, Some(50.0), true);
+        assert!(check(&json, &pre_scale, 2.0).failures.is_empty());
+    }
+
+    #[test]
+    fn thread_scaling_collapse_fails() {
+        let base = sample(300000.0, 20.0, Some(50.0), true);
+        let reference = with_scale(&base, 3.2, true, 3.1, true);
+        // Within tolerance: 3.1 → 1.8 is less than 2x down.
+        let ok = with_scale(&base, 3.2, true, 1.8, true);
+        assert!(check(&ok, &reference, 2.0).failures.is_empty());
+        // Collapse: the sharded runner serialised, the ratio fell to ~1.
+        let collapsed = with_scale(&base, 3.2, true, 1.0, true);
+        let report = check(&collapsed, &reference, 2.0);
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("thread_scaling"));
+    }
+
+    #[test]
+    fn dense_ratio_collapse_fails() {
+        let base = sample(300000.0, 20.0, Some(50.0), true);
+        let reference = with_scale(&base, 3.2, true, 3.1, true);
+        // The dense cliff is back: the within-run ratio collapsed (the 2x
+        // bit is still true only because the emitter would have flipped
+        // it; here we keep it true to isolate the ratio comparison).
+        let collapsed = with_scale(&base, 0.9, true, 3.1, true);
+        let report = check(&collapsed, &reference, 2.0);
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("dense_vs_sparse_per_port"));
+    }
+
+    #[test]
+    fn par_divergence_fails_regardless_of_speed() {
+        let cur = with_scale(
+            &sample(300000.0, 20.0, Some(50.0), true),
+            3.2,
+            true,
+            3.1,
+            false,
+        );
+        let report = check(&cur, &cur, 2.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("thread_scaling_4") && f.contains("par_identical")));
+    }
+
+    #[test]
+    fn dense_cliff_bit_fails_regardless_of_speed() {
+        let cur = with_scale(
+            &sample(300000.0, 20.0, Some(50.0), true),
+            0.3,
+            false,
+            3.1,
+            true,
+        );
+        let report = check(&cur, &cur, 2.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("clique_sketched") && f.contains("dense_within_2x")));
     }
 }

@@ -73,12 +73,12 @@ use crate::fault::{
 };
 use crate::labeling::Labeling;
 use crate::prep::{CachedLabel, CachedReplication, EqStore, PrepCache};
-use crate::rng::{edge_stream_first_word, node_stream_word};
+use crate::rng::{edge_stream_first_word, node_stream_word, sketch_stream_word};
 use crate::scheme::{CertView, DetView, ErrorSides, Pls, PreparedRpls, RandView, Rpls};
-use crate::state::Configuration;
+use crate::state::{Configuration, DegreeBuckets};
 use rand::Rng;
 use rpls_bits::{BitReader, BitString, BitWriter};
-use rpls_fingerprint::{EqMessage, EqProtocol, PreparedEq};
+use rpls_fingerprint::{Barrett, EqEvaluator, EqMessage, EqProtocol, PreparedEq};
 use rpls_graph::NodeId;
 use std::cell::{OnceCell, RefCell};
 use std::rc::Rc;
@@ -97,13 +97,107 @@ const LEN_BITS: u32 = 32;
 #[derive(Debug, Clone)]
 pub struct CompiledRpls<S> {
     inner: S,
+    /// Probe subsampling for high-degree nodes (see [`ProbeSketch`]);
+    /// `None` (the default) runs every non-trivial probe.
+    sketch: Option<ProbeSketch>,
+    /// Disables the static-pass shortcut of the batch plan so every
+    /// honest probe runs dynamically (see
+    /// [`CompiledRpls::force_dynamic`]).
+    force_dynamic: bool,
+}
+
+/// Per-node **probe subsampling** for dense graphs: a node with more than
+/// `max_probes` non-trivial fingerprint checks runs, per trial,
+/// `max_probes` checks sampled from its own domain-separated
+/// [`sketch stream`](crate::rng::sketch_stream_word) instead of all of
+/// them — turning the quadratic per-trial port cost of cliques and
+/// power-law hubs into a constant.
+///
+/// # Soundness
+///
+/// Every sampled check is one of the full plan's checks, evaluated at
+/// exactly the point the full plan would evaluate it at (probe streams
+/// are keyed per `(node, slot)`, independent of the sketch stream). The
+/// sketched verdict is therefore a conjunction over a **subset** of the
+/// full conjunction: a sketched rejection implies a full-probe rejection
+/// on the same seed, and an honest configuration is never rejected —
+/// completeness is exact and the error stays one-sided.
+///
+/// What is traded is the *rejection probability per trial*. If tampering
+/// makes `f` of a node's `d > max_probes` checks fail, a sketched trial
+/// rejects with probability `1 − (1 − f/d)^s` over the sketch draws
+/// (`s = max_probes`), instead of 1; each failing check itself already
+/// incorporates the `> 2/3` fingerprint catch probability. A single
+/// tampered edge at a hub is thus caught with probability
+/// `≥ (2/3)·(1 − (1 − 1/d)^s) ≈ (2/3)·s/d` per trial — the engine's
+/// per-trial soundness bound degrades by the subsampling ratio `s/d`, and
+/// the usual amplification (more trials, or
+/// [`stats::rounds_to_reject_profile`](crate::stats)) restores any target
+/// confidence at total cost `O(d/s)` trials, still far below the `O(d)`
+/// per-trial probe cost it replaces on dense families.
+///
+/// Sketching applies to the one-round batched path (and its faulted
+/// wrapper's clean kernel); the multiround streaming schedule and the
+/// scalar diagnostics paths always run full probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeSketch {
+    max_probes: usize,
+}
+
+impl ProbeSketch {
+    /// A sketch running at most `max_probes` probes per (node, trial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_probes` is 0 (a node must probe something).
+    #[must_use]
+    pub fn new(max_probes: usize) -> Self {
+        assert!(max_probes >= 1, "a sketch needs at least one probe");
+        Self { max_probes }
+    }
+
+    /// The per-(node, trial) probe budget.
+    #[must_use]
+    pub fn max_probes(&self) -> usize {
+        self.max_probes
+    }
 }
 
 impl<S: Pls> CompiledRpls<S> {
     /// Compiles a deterministic scheme.
     #[must_use]
     pub fn new(inner: S) -> Self {
-        Self { inner }
+        Self {
+            inner,
+            sketch: None,
+            force_dynamic: false,
+        }
+    }
+
+    /// Enables high-degree probe subsampling (see [`ProbeSketch`] for the
+    /// soundness trade). Transcripts of nodes at or below the budget are
+    /// unchanged; estimates over graphs whose maximum degree is within
+    /// the budget are bit-identical to the unsketched scheme.
+    #[must_use]
+    pub fn with_sketch(mut self, sketch: ProbeSketch) -> Self {
+        self.sketch = Some(sketch);
+        self
+    }
+
+    /// Disables the batch plan's static-pass shortcut: probes whose two
+    /// sides share one cached preparation (every probe of an honest
+    /// labeling) are kept as dynamic checks instead of being dropped at
+    /// plan-build time. Verdicts are unchanged — a shared-preparation
+    /// probe passes at every point of the field — so this exists for
+    /// measurement: it is the only way to drive the full probe kernel
+    /// (and the sketch) on an *accepting* configuration, which is what
+    /// the `scale` bench workload and the kernel's throughput numbers
+    /// are measured on. Applies to the one-round batch plan; the
+    /// multiround planner keeps its shortcut.
+    #[must_use]
+    pub fn force_dynamic(mut self) -> Self {
+        self.force_dynamic = true;
+        self
     }
 
     /// The wrapped deterministic scheme.
@@ -313,7 +407,7 @@ impl<S: Pls> Rpls for CompiledRpls<S> {
                 }
             })
             .collect();
-        let plan = BatchPlan::build(config, &nodes);
+        let plan = BatchPlan::build(config, &nodes, self.force_dynamic);
         Box::new(PreparedCompiled {
             scheme: self,
             config,
@@ -532,6 +626,13 @@ struct BatchPlan {
     dims: Vec<(usize, usize)>,
     /// One entry per node, parallel to `PreparedCompiled::nodes`.
     nodes: Vec<NodeBatch>,
+    /// Node processing order: every node once, cheapest degree bucket
+    /// first (see [`DegreeBuckets`]). The global verdict is a
+    /// per-trial conjunction over nodes, so any order yields identical
+    /// summaries — but walking hubs last means the dense nodes of a
+    /// clique or power-law graph probe only the trials every cheap node
+    /// already passed.
+    order: Vec<u32>,
 }
 
 /// How one node votes across a block of trials.
@@ -567,6 +668,13 @@ struct EdgeCheck {
     receiver: Rc<PreparedEq>,
 }
 
+/// Trials per chunk of the lane-vectorised probe kernel: wide enough that
+/// the interleaved Horner chains fill the multiplier pipeline (and give
+/// the autovectoriser a fixed-width inner loop), small enough to live in
+/// registers. Values are lane-count-independent, so this is a pure tuning
+/// knob.
+const PROBE_LANES: usize = 8;
+
 impl EdgeCheck {
     /// Which of the sender's distinct message slots this check's port
     /// carries under `pattern` — the key of the probe word's stream (the
@@ -578,10 +686,101 @@ impl EdgeCheck {
             self.src_port as usize,
         ) as u64
     }
+
+    /// The probe word of `(seed, this check)` under `pattern`: one
+    /// SplitMix64 word of the sender's per-slot edge stream (per-node
+    /// stream for broadcast).
+    #[inline]
+    fn word(&self, pattern: MessagePattern, seed: u64, slot: u64) -> u64 {
+        match pattern {
+            MessagePattern::Broadcast => node_stream_word(seed, self.src_node, 0),
+            _ => edge_stream_first_word(seed, self.src_node, slot),
+        }
+    }
+
+    /// The scalar probe: `true` iff the delivered fingerprint would be
+    /// accepted on this port for `seed`'s trial.
+    #[inline]
+    fn probe_one(
+        &self,
+        pattern: MessagePattern,
+        slot: u64,
+        seed: u64,
+        send: &EqEvaluator<'_>,
+        recv: &EqEvaluator<'_>,
+    ) -> bool {
+        let x = self.word(pattern, seed, slot) % self.send_mod;
+        x < self.recv_mod && recv.eval(x) == send.eval(x)
+    }
+
+    /// Applies this check to every live trial, ANDing the probe verdict
+    /// into `ok` — the **lane-vectorised probe kernel**. Trials are laid
+    /// out in `u64×8` chunks: 8 probe words, one Barrett multiply-shift
+    /// reduction each (bit-identical to `%`), then both polynomials'
+    /// 8-lane Horner evaluations ([`EqEvaluator::eval_lanes`]). Plain
+    /// fixed-width scalar code throughout — no target-feature gates; the
+    /// lane layout's win is breaking the Horner dependency chain (and
+    /// letting the autovectoriser lift what it can).
+    ///
+    /// A chunk whose 8 trials are all dead is skipped entirely; a chunk
+    /// with any live trial evaluates all 8 lanes (dead lanes' verdicts
+    /// are discarded by the AND — probe streams are stateless pure
+    /// functions, so the extra evaluations can't shift anything another
+    /// trial observes, and only nudge the lazy-table probe counter,
+    /// which moves work but never values).
+    ///
+    /// Mismatched-field probes (`send_mod > recv_mod`, adversarial
+    /// labelings only) keep the scalar masked path: a point past the
+    /// receiver's field must reject *without* touching the receiver
+    /// polynomial.
+    fn probe_trials(
+        &self,
+        pattern: MessagePattern,
+        g: &rpls_graph::Graph,
+        seeds: &[u64],
+        ok: &mut [bool],
+    ) {
+        let send = self.sender.evaluator();
+        let recv = self.receiver.evaluator();
+        let slot = self.slot_under(pattern, g);
+        if self.send_mod > self.recv_mod {
+            for (t, &seed) in seeds.iter().enumerate() {
+                if ok[t] {
+                    ok[t] = self.probe_one(pattern, slot, seed, &send, &recv);
+                }
+            }
+            return;
+        }
+        // send_mod ≤ recv_mod: every reduced point lies in both fields,
+        // so whole chunks evaluate unconditionally.
+        let field = Barrett::cached(self.send_mod);
+        let mut t0 = 0usize;
+        while t0 + PROBE_LANES <= seeds.len() {
+            let live = &mut ok[t0..t0 + PROBE_LANES];
+            if live.iter().any(|&b| b) {
+                let mut xs = [0u64; PROBE_LANES];
+                for (l, x) in xs.iter_mut().enumerate() {
+                    *x = field.reduce(u128::from(self.word(pattern, seeds[t0 + l], slot)));
+                }
+                let sv = send.eval_lanes(&xs);
+                let rv = recv.eval_lanes(&xs);
+                for (l, o) in live.iter_mut().enumerate() {
+                    *o = *o && rv[l] == sv[l];
+                }
+            }
+            t0 += PROBE_LANES;
+        }
+        for (t, &seed) in seeds.iter().enumerate().skip(t0) {
+            if ok[t] {
+                let x = field.reduce(u128::from(self.word(pattern, seed, slot)));
+                ok[t] = recv.eval(x) == send.eval(x);
+            }
+        }
+    }
 }
 
 impl BatchPlan {
-    fn build(config: &Configuration, nodes: &[PreparedNode]) -> Self {
+    fn build(config: &Configuration, nodes: &[PreparedNode], force_dynamic: bool) -> Self {
         let g = config.graph();
         let port_base = config.port_base();
         let delivery = config.delivery();
@@ -625,7 +824,7 @@ impl BatchPlan {
                     if send_prep.protocol().message_bits() != rep.expected_bits {
                         return NodeBatch::AlwaysFalse;
                     }
-                    if Rc::ptr_eq(send_prep, recv_prep) {
+                    if !force_dynamic && Rc::ptr_eq(send_prep, recv_prep) {
                         // Preparations are shared by (modulus,
                         // fingerprinted string), so pointer equality means
                         // the sender fingerprints exactly the string this
@@ -633,7 +832,10 @@ impl BatchPlan {
                         // the field, every trial. (When a cache budget ran
                         // out and handed one side out unshared, the probe
                         // simply runs — and passes — dynamically; votes
-                        // cannot depend on the shortcut.)
+                        // cannot depend on the shortcut. `force_dynamic`
+                        // keeps every such probe for the same reason the
+                        // shortcut is sound: measurement-only, verdicts
+                        // identical.)
                         continue;
                     }
                     checks.push(EdgeCheck {
@@ -652,9 +854,11 @@ impl BatchPlan {
                 }
             })
             .collect();
+        let order = DegreeBuckets::new(g).iter_by_bucket().collect();
         Self {
             dims,
             nodes: batch_nodes,
+            order,
         }
     }
 }
@@ -1111,8 +1315,12 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
         let trials = seeds.len();
         let mut acc = vec![true; trials];
         let mut ok: Vec<bool> = Vec::with_capacity(trials);
-        'nodes: for (u, nb) in plan.nodes.iter().enumerate() {
-            match nb {
+        // Cheapest degree bucket first (see `BatchPlan::order`): the
+        // conjunction over nodes is order-independent, but hubs walked
+        // last probe only the trials every cheap node already passed.
+        'nodes: for &u in &plan.order {
+            let u = u as usize;
+            match &plan.nodes[u] {
                 NodeBatch::AlwaysFalse => {
                     acc.fill(false);
                     break 'nodes;
@@ -1129,23 +1337,37 @@ impl<S: Pls> PreparedRpls for PreparedCompiled<'_, S> {
                     // nothing downstream observes the skipped draws.
                     ok.clear();
                     ok.extend_from_slice(&acc);
-                    for c in checks {
-                        let send = c.sender.evaluator();
-                        let recv = c.receiver.evaluator();
-                        // Which of the sender's distinct messages this
-                        // port carries under `pattern` (the port itself
-                        // for the per-port-keyed patterns).
-                        let slot = c.slot_under(pattern, g);
-                        for (t, &seed) in seeds.iter().enumerate() {
-                            if !ok[t] {
-                                continue;
+                    match self.scheme.sketch.map(|s| s.max_probes()) {
+                        Some(s) if checks.len() > s => {
+                            // The probe sketch: a node over budget runs,
+                            // per live trial, `s` checks sampled from its
+                            // domain-separated sketch stream — a subset
+                            // of the full conjunction, so rejection here
+                            // implies full-probe rejection on the same
+                            // seed (see [`ProbeSketch`]).
+                            let d = checks.len() as u64;
+                            for (t, &seed) in seeds.iter().enumerate() {
+                                if !ok[t] {
+                                    continue;
+                                }
+                                for draw in 0..s as u64 {
+                                    let idx =
+                                        (sketch_stream_word(seed, u as u64, draw) % d) as usize;
+                                    let c = &checks[idx];
+                                    let send = c.sender.evaluator();
+                                    let recv = c.receiver.evaluator();
+                                    let slot = c.slot_under(pattern, g);
+                                    if !c.probe_one(pattern, slot, seed, &send, &recv) {
+                                        ok[t] = false;
+                                        break;
+                                    }
+                                }
                             }
-                            let word = match pattern {
-                                MessagePattern::Broadcast => node_stream_word(seed, c.src_node, 0),
-                                _ => edge_stream_first_word(seed, c.src_node, slot),
-                            };
-                            let x = word % c.send_mod;
-                            ok[t] = x < c.recv_mod && recv.eval(x) == send.eval(x);
+                        }
+                        _ => {
+                            for c in checks {
+                                c.probe_trials(pattern, g, seeds, &mut ok);
+                            }
                         }
                     }
                     if !ok.contains(&true) {

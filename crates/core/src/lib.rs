@@ -148,7 +148,7 @@ pub mod stats;
 pub mod universal;
 
 pub use buffer::{CertificateBuffer, Received, RoundScratch};
-pub use compiler::CompiledRpls;
+pub use compiler::{CompiledRpls, ProbeSketch};
 pub use fault::{
     DegradedSummary, DeliveryOutcome, FaultCounts, FaultPlan, FaultSpec, FaultedMultiRoundSummary,
     FaultedRoundSummary, NodeVerdict,
@@ -157,13 +157,13 @@ pub use labeling::Labeling;
 pub use prep::{CacheStats, PrepCache};
 pub use rng::PortRng;
 pub use scheme::{CertView, DetView, ErrorSides, Pls, Predicate, PreparedRpls, RandView, Rpls};
-pub use state::{Configuration, State};
+pub use state::{Configuration, DegreeBuckets, State};
 pub use universal::{UniversalPls, UniversalRpls};
 
 /// Convenient glob-import surface: `use rpls_core::prelude::*;`.
 pub mod prelude {
     pub use crate::buffer::{CertificateBuffer, Received, RoundScratch};
-    pub use crate::compiler::CompiledRpls;
+    pub use crate::compiler::{CompiledRpls, ProbeSketch};
     pub use crate::engine::{
         self, FaultReport, MessagePattern, MultiRoundSummary, Outcome, PatternCost, RoundSummary,
         RunReport, RunSpec, SeedSource, StreamMode,

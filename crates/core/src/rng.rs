@@ -74,6 +74,25 @@ pub fn state_stream_word(state: u64, index: u64) -> u64 {
     split_mix_output(state.wrapping_add((index + 1).wrapping_mul(GAMMA)))
 }
 
+/// Domain-separation tag of the probe-sketch subsampling streams, chosen
+/// to collide with neither the estimator tags, the beacon tag, nor any
+/// (node, port) mixing.
+const TAG_SKETCH: u64 = 0x736B_6574_6368; // "sketch"
+
+/// The `draw`-th word of the per-`(trial seed, node)` **sketch stream** —
+/// the stream from which the dense-graph probe sketch samples which of a
+/// high-degree node's fingerprint checks to run this trial.
+///
+/// Domain-separated from every probe stream ([`mix_seed`] under a
+/// dedicated tag), so which checks a sketch samples is independent of the
+/// field points those checks then draw — the independence the sketch
+/// soundness argument needs.
+#[inline]
+#[must_use]
+pub fn sketch_stream_word(seed: u64, node: u64, draw: u64) -> u64 {
+    state_stream_word(mix_seed(seed, node, TAG_SKETCH), draw)
+}
+
 /// Seed-derivation tag of the public-beacon mode, chosen to collide with
 /// neither the estimator tags in [`stats`](crate::stats) nor the engine's
 /// multiround tag nor any (node, port) mixing.

@@ -332,6 +332,90 @@ impl Configuration {
     }
 }
 
+/// Nodes grouped into power-of-two **degree buckets** over the CSR port
+/// layout: bucket `b` holds the nodes whose degree `d` satisfies
+/// `bucket_of_degree(d) == b`, i.e. `d = 0` in bucket 0, `d = 1` in
+/// bucket 1, `d ∈ [2^(b−1)+1, 2^b]` in bucket `b ≥ 1`.
+///
+/// The batched trial engine processes dynamic probe nodes bucket by
+/// bucket, cheapest first: by the time the quadratic-port hub nodes of a
+/// dense or power-law graph are reached, most rejecting trials are
+/// already dead and their probes are skipped — the degree-bucketed half
+/// of the dense-family fix (the other half is the probe sketch, which
+/// subsamples the probes a hub still runs on live trials).
+#[derive(Debug, Clone)]
+pub struct DegreeBuckets {
+    /// Node indices sorted by (bucket, node index) — stable within a
+    /// bucket so traversal order is deterministic.
+    order: Vec<u32>,
+    /// CSR over `order`: bucket `b` is `order[bounds[b]..bounds[b+1]]`.
+    bounds: Vec<u32>,
+}
+
+impl DegreeBuckets {
+    /// The bucket index of degree `d`: `0` for isolated nodes, else
+    /// `⌈log₂ d⌉ + 1` (so degree 1 → bucket 1, 2 → 2, 3..=4 → 3, …).
+    #[must_use]
+    pub fn bucket_of_degree(d: usize) -> usize {
+        match d {
+            0 => 0,
+            _ => 65 - (d as u64 - 1).leading_zeros() as usize,
+        }
+    }
+
+    /// Buckets the nodes of `graph` by degree.
+    #[must_use]
+    pub fn new(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut counts = vec![0u32; 1];
+        for v in graph.nodes() {
+            let b = Self::bucket_of_degree(graph.degree(v));
+            if b >= counts.len() {
+                counts.resize(b + 1, 0);
+            }
+            counts[b] += 1;
+        }
+        // Prefix sums → CSR bounds, then a stable counting sort.
+        let mut bounds = Vec::with_capacity(counts.len() + 1);
+        let mut total = 0u32;
+        bounds.push(0);
+        for &c in &counts {
+            total += c;
+            bounds.push(total);
+        }
+        let mut next: Vec<u32> = bounds[..counts.len()].to_vec();
+        let mut order = vec![0u32; n];
+        for v in graph.nodes() {
+            let b = Self::bucket_of_degree(graph.degree(v));
+            order[next[b] as usize] = u32::try_from(v.index()).expect("node fits in u32");
+            next[b] += 1;
+        }
+        Self { order, bounds }
+    }
+
+    /// Number of buckets (highest occupied bucket + 1).
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The node indices of bucket `b`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= bucket_count()`.
+    #[must_use]
+    pub fn bucket(&self, b: usize) -> &[u32] {
+        &self.order[self.bounds[b] as usize..self.bounds[b + 1] as usize]
+    }
+
+    /// Every node exactly once, cheapest bucket first (the engine's
+    /// processing order).
+    pub fn iter_by_bucket(&self) -> impl Iterator<Item = u32> + '_ {
+        self.order.iter().copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +511,33 @@ mod tests {
             }
         }
         assert_eq!(c.port_owner().len(), c.port_count());
+    }
+
+    #[test]
+    fn degree_buckets_partition_nodes_by_power_of_two() {
+        assert_eq!(DegreeBuckets::bucket_of_degree(0), 0);
+        assert_eq!(DegreeBuckets::bucket_of_degree(1), 1);
+        assert_eq!(DegreeBuckets::bucket_of_degree(2), 2);
+        assert_eq!(DegreeBuckets::bucket_of_degree(3), 3);
+        assert_eq!(DegreeBuckets::bucket_of_degree(4), 3);
+        assert_eq!(DegreeBuckets::bucket_of_degree(5), 4);
+        assert_eq!(DegreeBuckets::bucket_of_degree(8), 4);
+        assert_eq!(DegreeBuckets::bucket_of_degree(9), 5);
+
+        let g = generators::star(6); // center degree 6, leaves degree 1
+        let buckets = DegreeBuckets::new(&g);
+        let mut seen: Vec<u32> = buckets.iter_by_bucket().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..7).collect::<Vec<u32>>());
+        for b in 0..buckets.bucket_count() {
+            for &v in buckets.bucket(b) {
+                let d = g.degree(rpls_graph::NodeId::new(v as usize));
+                assert_eq!(DegreeBuckets::bucket_of_degree(d), b, "node {v}");
+            }
+        }
+        // Leaves (degree 1) come before the hub (degree 6).
+        let order: Vec<u32> = buckets.iter_by_bucket().collect();
+        assert_eq!(*order.last().unwrap(), 0, "hub is processed last");
     }
 
     #[test]

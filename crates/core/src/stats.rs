@@ -468,6 +468,30 @@ pub fn acceptance_under_faults_cached<S: Rpls + ?Sized>(
 /// path, so the result is **bit-identical** to [`estimate`] for the same
 /// inputs.
 ///
+/// # Coverage
+///
+/// Every [`RunSpec`] the serial estimator accepts parallelises here, with
+/// the same transcripts trial for trial:
+///
+/// * **multiround** (`spec.with_rounds(t)`) — each worker's shard
+///   dispatches through the same `engine::run_trials` →
+///   `run_multiround_trials` schedule; per-round streams are keyed by
+///   `(trial seed, round)`, independent of which worker runs the trial;
+/// * **faulted** (`spec.with_faults(plan)`) — fault decision words are
+///   pure functions of `(seed, fault_seed, trial)`, so sharding cannot
+///   move a fault; degraded/missing counts merge additively;
+/// * **patterns and stream modes** — the spec's pattern/mode is cloned
+///   into every worker verbatim;
+/// * **cached** — each worker prepares through its own private
+///   [`PrepCache`] (the cache is `Rc`-based and cannot cross threads;
+///   preparation is a pure function of the labeling, so per-shard caches
+///   and any shared-cache serial run produce identical transcripts).
+///   `tests/parallel_identity.rs` pins serial ≡ parallel at 2/4/8
+///   workers across all of the above. For sweeps over **many**
+///   labelings, where a per-call cache would forfeit cross-candidate
+///   amortisation, use [`sweep_par`], which keeps one long-lived cache
+///   per worker.
+///
 /// `threads = None` uses the machine's available parallelism.
 #[cfg(feature = "parallel")]
 pub fn estimate_par<S: Rpls + Sync + ?Sized>(
@@ -583,6 +607,129 @@ pub fn acceptance_probability_par<S: Rpls + Sync + ?Sized>(
         threads,
     )
     .acceptance()
+}
+
+/// Parallel **sweep**: estimates every labeling in `labelings` under one
+/// `spec`, sharding each candidate's trials across a pool of workers that
+/// each keep one long-lived [`PrepCache`] for the whole sweep — the
+/// parallel twin of calling [`estimate_with`] in a loop with one shared
+/// cache.
+///
+/// This is the "shard one cache per worker" answer to the cache being
+/// `Rc`-based (`!Sync`): a cache cannot cross threads, but a cache *owned
+/// by* a worker thread amortises preparation across every candidate that
+/// worker touches, exactly as the serial sweep's single cache does — an
+/// adversary sweep re-prepares only the labels that changed between
+/// candidates, in parallel. Worker `w` runs the strided trials
+/// `w, w + k, …` of every candidate with the same per-trial seeds the
+/// serial path derives, so each returned [`Estimate`] is **bit-identical**
+/// to its serial counterpart for any cache state (preparation is a pure
+/// function of label content; caches move work, never results —
+/// `tests/parallel_identity.rs` pins the shared-cache-vs-per-worker-cache
+/// identity at 2/4/8 workers).
+///
+/// `threads = None` uses the machine's available parallelism.
+///
+/// # Panics
+///
+/// Panics if `opts.trials` is 0, or propagates (with worker context) any
+/// worker panic.
+#[cfg(feature = "parallel")]
+pub fn sweep_par<S: Rpls + Sync + ?Sized>(
+    scheme: &S,
+    config: &Configuration,
+    labelings: &[Labeling],
+    spec: &RunSpec,
+    opts: &EstimateOpts,
+    threads: Option<usize>,
+) -> Vec<Estimate> {
+    let trials = opts.trials;
+    assert!(trials > 0, "need at least one trial");
+    let workers = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .clamp(1, trials);
+    if workers == 1 || labelings.is_empty() {
+        let mut scratch = RoundScratch::new();
+        let mut cache = PrepCache::new();
+        return labelings
+            .iter()
+            .map(|l| estimate_with(scheme, config, l, spec, opts, &mut scratch, &mut cache))
+            .collect();
+    }
+    let name = scheme.name();
+    let base = spec.seed();
+    // partials[w][c] = worker w's shard of candidate c.
+    let partials: Vec<Vec<Estimate>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let spec = spec.clone();
+                scope.spawn(move || {
+                    let mut scratch = RoundScratch::new();
+                    // One cache per worker, alive across the whole sweep:
+                    // candidate c+1 re-prepares only the labels c didn't
+                    // share.
+                    let mut cache = PrepCache::new();
+                    let shard = (trials - w).div_ceil(workers);
+                    labelings
+                        .iter()
+                        .map(|labeling| {
+                            let prepared = scheme.prepare_cached(
+                                config,
+                                labeling,
+                                trials.div_ceil(workers),
+                                &mut cache,
+                            );
+                            estimate_prepared(
+                                &*prepared,
+                                config,
+                                &spec,
+                                shard,
+                                &|i| trial_seed(base, w as u64 + i * workers as u64),
+                                &mut scratch,
+                                &mut Vec::new(),
+                            )
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(w, h)| {
+                h.join().unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    panic!(
+                        "sweep_par worker {w}/{workers} \
+                         for scheme '{name}' panicked: {msg}"
+                    )
+                })
+            })
+            .collect()
+    });
+    (0..labelings.len())
+        .map(|c| {
+            let mut out = Estimate {
+                trials,
+                ..Estimate::default()
+            };
+            for shard in &partials {
+                out.accepts += shard[c].accepts;
+                out.degraded_trials += shard[c].degraded_trials;
+                out.missing_messages += shard[c].missing_messages;
+                out.counts.absorb(shard[c].counts);
+            }
+            out
+        })
+        .collect()
 }
 
 /// Estimates `Pr[the t-round verifier accepts]` over `trials` independent

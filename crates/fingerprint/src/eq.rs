@@ -330,6 +330,30 @@ impl PreparedEq {
         self.poly.eval_raw(x)
     }
 
+    /// `[A(xs[0]), …, A(xs[L−1])]` for raw residues `xs[l] < p`, values
+    /// bit-identical to `L` calls of [`PreparedEq::eval`].
+    ///
+    /// One chunk counts as `L` probes toward the lazy table (the batched
+    /// engine probes in `u64×8` lanes, so per-probe counting would cost a
+    /// `Cell` round-trip per lane for the same materialisation decision).
+    /// Before the table exists the chunk is served by the lane Horner
+    /// kernel ([`BitPolynomial::eval_raw_lanes`]); after, by `L` gathers.
+    #[must_use]
+    pub fn eval_lanes<const L: usize>(&self, xs: &[u64; L]) -> [u64; L] {
+        if let Some(t) = self.table.get() {
+            return xs.map(|x| t[x as usize]);
+        }
+        if self.table_allowed.get() {
+            let seen = self.probes.get() + L as u64;
+            self.probes.set(seen);
+            if seen.saturating_mul(4) >= self.proto.modulus {
+                let t = self.table.get_or_init(|| self.poly.evaluation_table());
+                return xs.map(|x| t[x as usize]);
+            }
+        }
+        self.poly.eval_raw_lanes(xs)
+    }
+
     /// A borrowed evaluation view with the table dispatch resolved once
     /// when the table already exists, for callers that probe the same
     /// prepared polynomial many times in a tight loop — the batched trial
@@ -384,6 +408,18 @@ impl EqEvaluator<'_> {
             // The lazy path: the table may materialise mid-loop, in which
             // case `PreparedEq::eval` serves from it from then on.
             None => self.prep.eval(x),
+        }
+    }
+
+    /// `[A(xs[0]), …, A(xs[L−1])]` for raw residues `xs[l] < p`, values
+    /// bit-identical to `L` calls of [`EqEvaluator::eval`] (see
+    /// [`PreparedEq::eval_lanes`]).
+    #[inline]
+    #[must_use]
+    pub fn eval_lanes<const L: usize>(&self, xs: &[u64; L]) -> [u64; L] {
+        match self.table {
+            Some(t) => xs.map(|x| t[x as usize]),
+            None => self.prep.eval_lanes(xs),
         }
     }
 
@@ -446,6 +482,33 @@ mod tests {
             proto.soundness_error()
         );
         assert!(rate < 1.0 / 3.0, "rate {rate} must be below 1/3");
+    }
+
+    #[test]
+    fn lane_evaluation_matches_scalar_across_table_materialisation() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let lambda = 48usize;
+        let proto = EqProtocol::for_length(lambda);
+        let input = random_bits(lambda, &mut rng);
+        // One preparation probed scalar, one laned, one table-free: all
+        // three must agree at every point even as the allowed ones cross
+        // their lazy-table threshold mid-sweep.
+        let scalar = proto.prepare(&input, usize::MAX).unwrap();
+        let laned = proto.prepare(&input, usize::MAX).unwrap();
+        let bare = proto.prepare(&input, 1).unwrap();
+        assert!(scalar.table_allowed() && !bare.table_allowed());
+        let p = proto.modulus();
+        let mut x = 0u64;
+        while x < p {
+            let xs: [u64; 8] = std::array::from_fn(|l| (x + l as u64) % p);
+            let lanes = laned.evaluator().eval_lanes(&xs);
+            for (l, &xl) in xs.iter().enumerate() {
+                assert_eq!(lanes[l], scalar.eval(xl), "x = {xl}");
+                assert_eq!(lanes[l], bare.eval(xl), "x = {xl}");
+            }
+            x += 8;
+        }
+        assert!(laned.has_table(), "lane probes must feed the lazy table");
     }
 
     #[test]

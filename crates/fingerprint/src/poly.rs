@@ -104,6 +104,42 @@ impl BitPolynomial {
         acc
     }
 
+    /// Evaluates the polynomial at `L` points at once, Horner from the
+    /// highest coefficient down across all lanes per step.
+    ///
+    /// Values are bit-identical to `L` calls of [`BitPolynomial::eval_raw`]
+    /// — the point of the lane layout is purely mechanical: the scalar
+    /// Horner loop is one long multiply-reduce dependency chain, so the
+    /// core sits idle waiting on each step; interleaving `L` independent
+    /// chains keeps the multiplier busy and hands the compiler a fixed-
+    /// width inner loop it can unroll or lift to vector registers
+    /// (portable scalar code, no target-feature gates). The batched trial
+    /// engine probes in `u64×8` chunks through this path.
+    ///
+    /// Every lane must already be reduced (`xs[l] < p`).
+    #[must_use]
+    pub fn eval_raw_lanes<const L: usize>(&self, xs: &[u64; L]) -> [u64; L] {
+        debug_assert!(
+            xs.iter().all(|&x| x < self.modulus()),
+            "evaluation points not reduced"
+        );
+        let p = self.field.modulus();
+        let mut acc = [0u64; L];
+        for i in (0..self.coeffs.len()).rev() {
+            let bit = self.coeffs.bit(i).expect("index in range");
+            for l in 0..L {
+                acc[l] = self.field.mul_mod(acc[l], xs[l]);
+                if bit {
+                    acc[l] += 1;
+                    if acc[l] == p {
+                        acc[l] = 0;
+                    }
+                }
+            }
+        }
+        acc
+    }
+
     /// The full evaluation table `[A(0), A(1), …, A(p−1)]`.
     ///
     /// Costs `p` Horner evaluations up front; afterwards each evaluation is
@@ -152,6 +188,31 @@ mod tests {
                 % p;
             assert_eq!(poly.eval(Fp::new(x, p)).value(), naive, "x = {x}");
         }
+    }
+
+    #[test]
+    fn lane_evaluation_is_bit_identical_to_scalar() {
+        let p = protocol_prime(40);
+        let poly = BitPolynomial::from_bits(&bits("1101001011101000100101110110100101110100"), p);
+        // Sweep misaligned windows so every lane position sees many points.
+        for start in 0..32u64 {
+            let xs: [u64; 8] = std::array::from_fn(|l| (start + 7 * l as u64) % p);
+            let lanes = poly.eval_raw_lanes(&xs);
+            for (l, &x) in xs.iter().enumerate() {
+                assert_eq!(lanes[l], poly.eval_raw(x), "lane {l}, x = {x}");
+            }
+        }
+        // Narrow lane widths share the same code path.
+        let xs4: [u64; 4] = [0, 1, p - 1, p / 2];
+        assert_eq!(
+            poly.eval_raw_lanes(&xs4),
+            [
+                poly.eval_raw(0),
+                poly.eval_raw(1),
+                poly.eval_raw(p - 1),
+                poly.eval_raw(p / 2)
+            ]
+        );
     }
 
     #[test]

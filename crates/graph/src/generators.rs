@@ -182,6 +182,95 @@ pub fn gnp_connected<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
     b.finish().expect("auto ports are contiguous")
 }
 
+/// A connected random **sparse** graph on `n` nodes: a random recursive
+/// tree plus `extra` additional uniform random edges (rejection-sampled
+/// past self-loops and duplicates), so `m = n − 1 + extra`.
+///
+/// Unlike [`gnp_connected`] — which enumerates all `n(n−1)/2` pairs and is
+/// unusable past a few thousand nodes — this runs in `O(n + extra)` and is
+/// the scale family for million-node runs: constant average degree, tree-
+/// like local structure, linear memory.
+///
+/// # Panics
+///
+/// Panics if `n < 1`, or if `extra` exceeds the number of non-tree pairs
+/// (for `n ≥ 3`; tiny graphs simply stop when the graph is complete).
+pub fn random_sparse<R: Rng>(n: usize, extra: usize, rng: &mut R) -> Graph {
+    assert!(n >= 1, "graph needs at least one node");
+    let pairs = n * n.saturating_sub(1) / 2;
+    assert!(
+        n.saturating_sub(1) + extra <= pairs,
+        "extra {extra} edges cannot fit in a simple graph on {n} nodes"
+    );
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let parent = rng.random_range(0..i);
+        b.add_edge(parent, i).expect("tree edges are simple");
+    }
+    let mut added = 0usize;
+    while added < extra {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v && b.add_edge(u, v).is_ok() {
+            added += 1;
+        }
+    }
+    b.finish().expect("auto ports are contiguous")
+}
+
+/// A connected **power-law** graph on `n` nodes by preferential attachment
+/// (Barabási–Albert style): node `i` attaches to up to `m` distinct earlier
+/// nodes, each chosen with probability proportional to its current degree
+/// by sampling uniformly from the running edge-endpoint list. A handful of
+/// high-degree hubs emerge — the realistic "heavy traffic" topology whose
+/// hub nodes exercise the degree-bucketed dense path.
+///
+/// Runs in `O(n·m)` time and memory. Attachment targets that collide with
+/// an already-chosen target for the same node are retried a few times, then
+/// skipped, so early low-degree nodes never loop forever; `i ≤ m` nodes
+/// attach to all predecessors.
+///
+/// # Panics
+///
+/// Panics if `n < 1` or `m < 1`.
+pub fn power_law<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(n >= 1, "graph needs at least one node");
+    assert!(m >= 1, "each node needs at least one attachment");
+    let mut b = GraphBuilder::new(n);
+    // Every edge contributes both endpoints; a uniform draw from this list
+    // is a degree-proportional draw over nodes.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m.min(4));
+    let mut chosen: Vec<usize> = Vec::with_capacity(m);
+    for i in 1..n {
+        chosen.clear();
+        let want = m.min(i);
+        let mut attempts = 0usize;
+        while chosen.len() < want && attempts < 8 * m + 16 {
+            attempts += 1;
+            let target = if endpoints.is_empty() {
+                rng.random_range(0..i)
+            } else {
+                endpoints[rng.random_range(0..endpoints.len())] as usize
+            };
+            if target < i && !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        if chosen.is_empty() {
+            // Degenerate fallback keeps the graph connected whatever the
+            // retry budget did: attach uniformly.
+            chosen.push(rng.random_range(0..i));
+        }
+        for &target in &chosen {
+            b.add_edge(target, i)
+                .expect("targets are distinct earlier nodes");
+            endpoints.push(target as u32);
+            endpoints.push(i as u32);
+        }
+    }
+    b.finish().expect("auto ports are contiguous")
+}
+
 /// Figure 2(a): an `n`-node cycle with consistently ordered ports plus
 /// chords `{v_0, v_j}` for `j = 2, …, n−2`.
 ///
@@ -499,6 +588,34 @@ mod tests {
             assert!(connectivity::is_connected(&g), "p={p}");
             assert!(g.edge_count() >= 14);
         }
+    }
+
+    #[test]
+    fn random_sparse_is_connected_with_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &(n, extra) in &[(1usize, 0usize), (3, 1), (50, 0), (200, 80)] {
+            let g = random_sparse(n, extra, &mut rng);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), n - 1 + extra, "n={n} extra={extra}");
+            assert!(connectivity::is_connected(&g), "n={n} extra={extra}");
+        }
+    }
+
+    #[test]
+    fn power_law_is_connected_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 400;
+        let g = power_law(n, 2, &mut rng);
+        assert_eq!(g.node_count(), n);
+        assert!(connectivity::is_connected(&g));
+        // Preferential attachment concentrates degree: the hub must beat
+        // the mean by a wide margin.
+        let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap();
+        let mean = 2.0 * g.edge_count() as f64 / n as f64;
+        assert!(
+            max_deg as f64 > 3.0 * mean,
+            "max degree {max_deg} should exceed 3x mean {mean:.1}"
+        );
     }
 
     #[test]

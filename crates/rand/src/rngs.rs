@@ -145,4 +145,52 @@ mod tests {
         let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
         assert_eq!(same, 0);
     }
+
+    /// Upstream `rand_core::SeedableRng::seed_from_u64` expands the seed
+    /// with a PCG32 step per 4-byte key chunk, NOT SplitMix64 — so this
+    /// shim's `StdRng` is intentionally **stream-incompatible** with
+    /// upstream `rand::rngs::StdRng` for the same `u64` seed, even though
+    /// both are ChaCha12. Every golden digest in the workspace is keyed to
+    /// the shim's streams; this test makes a future "just swap in the real
+    /// `rand` crate" fail loudly here instead of silently shifting every
+    /// pinned transcript.
+    #[test]
+    fn seed_expansion_is_not_upstream_rand_compatible() {
+        // rand_core's seed_from_u64 key fill, transcribed: PCG32 with the
+        // seed as the initial state increment.
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let seed = 7u64;
+        let mut state = seed.wrapping_add(INC);
+        let mut upstream_key = [0u8; 32];
+        for chunk in upstream_key.chunks_exact_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
+        }
+
+        // Same ChaCha12 core, upstream's key schedule: the streams must
+        // differ from the shim's for the same u64 seed.
+        let mut upstream_style = StdRng::from_key(upstream_key);
+        let mut shim = StdRng::seed_from_u64(seed);
+        let diverged = (0..16).any(|_| upstream_style.next_u64() != shim.next_u64());
+        assert!(
+            diverged,
+            "shim seed_from_u64 now matches upstream rand's key schedule; \
+             re-pin every golden transcript before accepting this"
+        );
+
+        // And the shim's own expansion stays pinned to SplitMix64.
+        let mut sm = seed;
+        let mut expect = [0u8; 32];
+        for chunk in expect.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&splitmix64(&mut sm).to_le_bytes());
+        }
+        let mut pinned = StdRng::from_key(expect);
+        let mut again = StdRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            assert_eq!(pinned.next_u64(), again.next_u64());
+        }
+    }
 }

@@ -1,10 +1,59 @@
 //! Scale checks: the engine and schemes stay correct (and the certificate
 //! sizes stay tiny) on networks far larger than the unit-test sizes.
+//!
+//! The `million_node_*` tests are `#[ignore]`d by default — they want a
+//! release build and a few GB of headroom. CI runs them in the nightly-style
+//! job as `cargo test --release --test scale -- --ignored --test-threads=1`
+//! (single-threaded so the allocator guard below measures one test at a
+//! time).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rpls::core::{engine, CompiledRpls, Configuration, Pls, Rpls};
 use rpls::graph::{generators, NodeId};
+
+/// Byte-counting allocator guard: tracks live bytes and the high-water
+/// mark so the million-node tests can assert peak-memory *linearity*, not
+/// just "it didn't OOM".
+struct CountingAlloc;
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: defers all allocation to `System`; only adds relaxed counter
+// updates. The default `realloc` routes through `alloc`/`dealloc`, so the
+// counters see every byte.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE_BYTES.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns its result plus the peak number of bytes allocated
+/// *above* the baseline live at entry.
+fn peak_bytes_during<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let baseline = LIVE_BYTES.load(Ordering::Relaxed);
+    PEAK_BYTES.store(baseline, Ordering::Relaxed);
+    let out = f();
+    let peak = PEAK_BYTES.load(Ordering::Relaxed);
+    (out, peak.saturating_sub(baseline))
+}
 
 #[test]
 fn compiled_acyclicity_at_n_2000() {
@@ -56,6 +105,95 @@ fn spanning_tree_detection_latency_at_scale() {
     // Only the corrupted node itself can notice (its label says depth > 0
     // but its state now claims root).
     assert_eq!(out.rejecting_nodes(), vec![NodeId::new(700)]);
+}
+
+#[test]
+fn random_sparse_mid_size_spanning_tree_accepts() {
+    use rpls::schemes::spanning_tree::{spanning_tree_config, SpanningTreePls};
+    let mut rng = StdRng::seed_from_u64(11);
+    let base = Configuration::plain(generators::random_sparse(20_000, 5_000, &mut rng));
+    let config = spanning_tree_config(&base, NodeId::new(0));
+    let scheme = CompiledRpls::new(SpanningTreePls::new());
+    let labels = Rpls::label(&scheme, &config);
+    let rec = engine::run_randomized(&scheme, &config, &labels, 17);
+    assert!(rec.outcome.accepted());
+    assert!(rec.max_certificate_bits() <= 24);
+}
+
+#[test]
+fn power_law_mid_size_spanning_tree_accepts() {
+    use rpls::schemes::spanning_tree::{spanning_tree_config, SpanningTreePls};
+    let mut rng = StdRng::seed_from_u64(13);
+    let base = Configuration::plain(generators::power_law(10_000, 2, &mut rng));
+    let config = spanning_tree_config(&base, NodeId::new(0));
+    let scheme = CompiledRpls::new(SpanningTreePls::new());
+    let labels = Rpls::label(&scheme, &config);
+    let rec = engine::run_randomized(&scheme, &config, &labels, 19);
+    assert!(rec.outcome.accepted());
+    assert!(rec.max_certificate_bits() <= 24);
+}
+
+/// Builds the full verification pipeline at size `n` — random sparse tree,
+/// acyclicity labels, one randomized round — and reports (accepted,
+/// max certificate bits).
+fn acyclicity_run_at(n: usize, rng_seed: u64, trial_seed: u64) -> (bool, usize) {
+    use rpls::schemes::acyclicity::AcyclicityPls;
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let config = Configuration::plain(generators::random_sparse(n, 0, &mut rng));
+    let scheme = CompiledRpls::new(AcyclicityPls);
+    let labels = Rpls::label(&scheme, &config);
+    let rec = engine::run_randomized(&scheme, &config, &labels, trial_seed);
+    (rec.outcome.accepted(), rec.max_certificate_bits())
+}
+
+#[test]
+#[ignore = "million-node run: needs a release build (CI nightly job)"]
+fn million_node_sparse_tree_accepts_with_linear_memory() {
+    // Quarter-scale reference first, so the linearity check compares two
+    // measurements from the same process and allocator state.
+    let ((ok_q, bits_q), peak_q) = peak_bytes_during(|| acyclicity_run_at(250_000, 2, 23));
+    assert!(ok_q);
+    let ((ok_m, bits_m), peak_m) = peak_bytes_during(|| acyclicity_run_at(1_000_000, 2, 23));
+    assert!(ok_m);
+
+    // O(1) certificates: growing n 4× moves the fingerprint field not at
+    // all (the prime depends on the ~log n label length, so going from
+    // 250k to 1M nodes adds at most a couple of bits).
+    assert!(bits_m <= 24, "certificate bits blew up: {bits_m}");
+    assert!(
+        bits_m <= bits_q + 2,
+        "certificate bits must be ~constant: {bits_q} bits at 250k vs {bits_m} at 1M"
+    );
+
+    // Peak-memory linearity: 4× the nodes may take at most ~4× the bytes
+    // (plus slack for allocator rounding and fixed overheads). A
+    // superlinear structure — the old O(n·m) adjacency scan's successor,
+    // an accidental dense matrix — fails this immediately.
+    assert!(
+        peak_m <= 5 * peak_q,
+        "peak memory superlinear: {peak_q} bytes at 250k vs {peak_m} at 1M"
+    );
+}
+
+#[test]
+#[ignore = "million-node run: needs a release build (CI nightly job)"]
+fn million_node_power_law_spanning_tree_accepts() {
+    use rpls::schemes::spanning_tree::{spanning_tree_config, SpanningTreePls};
+    let mut rng = StdRng::seed_from_u64(3);
+    let (config, peak_build) = peak_bytes_during(|| {
+        let base = Configuration::plain(generators::power_law(1_000_000, 2, &mut rng));
+        spanning_tree_config(&base, NodeId::new(0))
+    });
+    // ~2M edges of graph + states must stay well under a GB.
+    assert!(
+        peak_build <= 1 << 30,
+        "power-law build took {peak_build} bytes"
+    );
+    let scheme = CompiledRpls::new(SpanningTreePls::new());
+    let labels = Rpls::label(&scheme, &config);
+    let rec = engine::run_randomized(&scheme, &config, &labels, 29);
+    assert!(rec.outcome.accepted());
+    assert!(rec.max_certificate_bits() <= 24);
 }
 
 #[test]
